@@ -1,0 +1,248 @@
+//! One line of an ACL file.
+
+use crate::{Rights, SubjectPattern};
+use std::fmt;
+
+/// A single ACL entry: a subject pattern, its rights, and — when the
+/// reserve right is held — the rights granted inside a freshly reserved
+/// directory.
+///
+/// Textual form (whitespace-separated, rights last):
+///
+/// ```text
+/// /O=UnivNowhere/CN=Fred   rwlax
+/// globus:/O=UnivNowhere/*  v(rwlax)
+/// hostname:*.nowhere.edu   rlxv(rwl)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AclEntry {
+    /// Who this entry applies to.
+    pub subject: SubjectPattern,
+    /// The rights held (includes [`Rights::RESERVE`] when a `v` form is
+    /// present).
+    pub rights: Rights,
+    /// The rights written into the ACL of a directory created under the
+    /// reserve right, i.e. the parenthesized set in `v(rwlax)`. Empty when
+    /// the entry has no reserve right or a bare `v`.
+    pub reserve_grant: Rights,
+}
+
+impl AclEntry {
+    /// An ordinary entry with no reserve component.
+    pub fn new(subject: impl Into<SubjectPattern>, rights: Rights) -> Self {
+        AclEntry {
+            subject: subject.into(),
+            rights: rights - Rights::RESERVE,
+            reserve_grant: Rights::NONE,
+        }
+    }
+
+    /// An entry carrying the reserve right with the given grant set, in
+    /// addition to `rights`.
+    pub fn with_reserve(
+        subject: impl Into<SubjectPattern>,
+        rights: Rights,
+        grant: Rights,
+    ) -> Self {
+        AclEntry {
+            subject: subject.into(),
+            rights: rights | Rights::RESERVE,
+            reserve_grant: grant - Rights::RESERVE,
+        }
+    }
+
+    /// Parse one non-empty line. The *last* whitespace-separated token is
+    /// the rights specification; everything before it (trimmed) is the
+    /// subject, which may therefore contain spaces.
+    pub fn parse(line: &str) -> Result<AclEntry, AclParseError> {
+        let line = line.trim();
+        let split = line
+            .rfind(char::is_whitespace)
+            .ok_or_else(|| AclParseError::MissingRights(line.to_string()))?;
+        let subject = line[..split].trim();
+        let spec = line[split..].trim();
+        if subject.is_empty() {
+            return Err(AclParseError::MissingRights(line.to_string()));
+        }
+        let (rights, grant) = parse_rights_spec(spec)
+            .map_err(|c| AclParseError::BadRight(c, line.to_string()))?;
+        Ok(AclEntry {
+            subject: SubjectPattern::new(subject),
+            rights,
+            reserve_grant: grant,
+        })
+    }
+
+    /// The canonical rights specification, e.g. `rlv(rwlax)`.
+    pub fn rights_spec(&self) -> String {
+        let plain = self.rights - Rights::RESERVE;
+        let mut s = plain.letters();
+        if self.rights.contains(Rights::RESERVE) {
+            s.push('v');
+            if !self.reserve_grant.is_empty() {
+                s.push('(');
+                s.push_str(&self.reserve_grant.letters());
+                s.push(')');
+            }
+        }
+        if s.is_empty() {
+            s.push('-');
+        }
+        s
+    }
+}
+
+/// Parse a rights spec such as `rwlax`, `v(rwlax)`, `rlxv(rwl)`, or `-`.
+fn parse_rights_spec(spec: &str) -> Result<(Rights, Rights), char> {
+    if spec == "-" {
+        return Ok((Rights::NONE, Rights::NONE));
+    }
+    let mut rights = Rights::NONE;
+    let mut grant = Rights::NONE;
+    let mut chars = spec.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == 'v' {
+            rights |= Rights::RESERVE;
+            if chars.peek() == Some(&'(') {
+                chars.next();
+                let mut inner = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    if c == ')' {
+                        closed = true;
+                        break;
+                    }
+                    inner.push(c);
+                }
+                if !closed {
+                    return Err('(');
+                }
+                grant |= Rights::parse_letters(&inner)? - Rights::RESERVE;
+            }
+        } else {
+            rights |= Rights::parse_letters(&c.to_string())?;
+        }
+    }
+    Ok((rights, grant))
+}
+
+impl fmt::Display for AclEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.subject, self.rights_spec())
+    }
+}
+
+/// Errors from parsing ACL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AclParseError {
+    /// A line had no whitespace-separated rights token.
+    MissingRights(String),
+    /// A rights token contained an unknown letter (or an unclosed `v(`).
+    BadRight(char, String),
+}
+
+impl fmt::Display for AclParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AclParseError::MissingRights(l) => {
+                write!(f, "ACL line has no rights token: {:?}", l)
+            }
+            AclParseError::BadRight(c, l) => {
+                write!(f, "ACL line has bad right {:?}: {:?}", c, l)
+            }
+        }
+    }
+}
+
+impl std::error::Error for AclParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_plain_entry() {
+        let e = AclEntry::parse("/O=UnivNowhere/CN=Fred rwlax").unwrap();
+        assert_eq!(e.subject.as_str(), "/O=UnivNowhere/CN=Fred");
+        assert_eq!(e.rights, Rights::RWLAX);
+        assert!(e.reserve_grant.is_empty());
+    }
+
+    #[test]
+    fn parse_reserve_entry() {
+        let e = AclEntry::parse("globus:/O=UnivNowhere/* v(rwlax)").unwrap();
+        assert!(e.rights.contains(Rights::RESERVE));
+        assert_eq!(e.reserve_grant, Rights::RWLAX);
+        assert_eq!(e.rights - Rights::RESERVE, Rights::NONE);
+    }
+
+    #[test]
+    fn parse_mixed_reserve() {
+        let e = AclEntry::parse("hostname:*.nowhere.edu rlxv(rwl)").unwrap();
+        assert!(e.rights.contains(Rights::READ | Rights::LIST | Rights::EXECUTE));
+        assert!(e.rights.contains(Rights::RESERVE));
+        assert_eq!(
+            e.reserve_grant,
+            Rights::READ | Rights::WRITE | Rights::LIST
+        );
+    }
+
+    #[test]
+    fn parse_bare_v() {
+        let e = AclEntry::parse("anyone v").unwrap();
+        assert!(e.rights.contains(Rights::RESERVE));
+        assert!(e.reserve_grant.is_empty());
+    }
+
+    #[test]
+    fn subject_with_spaces() {
+        let e = AclEntry::parse("/O=Univ Nowhere/CN=Fred Smith rl").unwrap();
+        assert_eq!(e.subject.as_str(), "/O=Univ Nowhere/CN=Fred Smith");
+        assert_eq!(e.rights, Rights::READ | Rights::LIST);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for line in [
+            "/O=UnivNowhere/CN=Fred rwlax",
+            "globus:/O=UnivNowhere/* v(rwlax)",
+            "hostname:*.nowhere.edu rlxv(rwl)",
+            "denied -",
+        ] {
+            let e = AclEntry::parse(line).unwrap();
+            let printed = e.to_string();
+            let e2 = AclEntry::parse(&printed).unwrap();
+            assert_eq!(e, e2, "roundtrip failed for {line:?}");
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            AclEntry::parse("nospaceatall"),
+            Err(AclParseError::MissingRights(_))
+        ));
+        assert!(matches!(
+            AclEntry::parse("fred rz"),
+            Err(AclParseError::BadRight('z', _))
+        ));
+        assert!(matches!(
+            AclEntry::parse("fred v(rwl"),
+            Err(AclParseError::BadRight('(', _))
+        ));
+    }
+
+    #[test]
+    fn dash_means_no_rights() {
+        let e = AclEntry::parse("banned -").unwrap();
+        assert!(e.rights.is_empty());
+        assert_eq!(e.rights_spec(), "-");
+    }
+
+    #[test]
+    fn reserve_grant_cannot_contain_v() {
+        let e = AclEntry::parse("fred v(rv)").unwrap();
+        assert!(!e.reserve_grant.contains(Rights::RESERVE));
+        assert!(e.reserve_grant.contains(Rights::READ));
+    }
+}

@@ -1,0 +1,30 @@
+//! Per-directory access control lists.
+//!
+//! Within an identity box the Unix protection scheme is abandoned in favour
+//! of ACLs (paper, Section 3). Each directory carries a file (named
+//! [`idbox_types::ACL_FILE_NAME`]) listing, one per line, a *subject
+//! pattern* and the rights it holds:
+//!
+//! ```text
+//! /O=UnivNowhere/CN=Fred   rwlax
+//! /O=UnivNowhere/*         rl
+//! hostname:*.nowhere.edu   rlx
+//! globus:/O=UnivNowhere/*  v(rwlax)
+//! ```
+//!
+//! Subjects may contain wildcards (`*`, `?`). Rights are the letters
+//! `r` (read), `w` (write), `l` (list), `d` (delete), `a` (administer),
+//! `x` (execute), plus the **reserve right** `v(...)` — a form of
+//! amplification: a user holding only `v(rwlax)` in a directory may
+//! `mkdir` there, and the fresh directory's ACL names that user with the
+//! parenthesized rights (paper, Section 4).
+
+mod entry;
+mod list;
+mod rights;
+mod subject;
+
+pub use entry::{AclEntry, AclParseError};
+pub use list::Acl;
+pub use rights::Rights;
+pub use subject::SubjectPattern;

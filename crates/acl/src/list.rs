@@ -1,0 +1,304 @@
+//! The access control list itself.
+
+use crate::{AclEntry, AclParseError, Rights, SubjectPattern};
+use idbox_types::Identity;
+use std::fmt;
+
+/// A directory's access control list: an ordered list of entries.
+///
+/// Rights are **additive**: an identity's effective rights are the union
+/// of the rights of every entry whose subject pattern matches it. This is
+/// the semantics the paper's examples rely on (`/O=UnivNowhere/CN=Fred
+/// rwlax` plus `/O=UnivNowhere/* rl` gives Fred `rwlax`, everyone else at
+/// UnivNowhere `rl`).
+///
+/// ```
+/// use idbox_acl::{Acl, Rights};
+/// use idbox_types::Identity;
+///
+/// let acl = Acl::parse(
+///     "/O=UnivNowhere/CN=Fred rwlax\n\
+///      /O=UnivNowhere/*       rl\n",
+/// ).unwrap();
+/// let fred = Identity::new("/O=UnivNowhere/CN=Fred");
+/// let george = Identity::new("/O=UnivNowhere/CN=George");
+/// assert!(acl.allows(&fred, Rights::WRITE | Rights::ADMIN));
+/// assert!(acl.allows(&george, Rights::READ));
+/// assert!(!acl.allows(&george, Rights::WRITE));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Acl {
+    entries: Vec<AclEntry>,
+}
+
+impl Acl {
+    /// An empty ACL: nobody holds any rights.
+    pub fn empty() -> Self {
+        Acl::default()
+    }
+
+    /// An ACL giving one identity full control (`rwldax`) — the initial
+    /// ACL of a visiting user's fresh home directory.
+    pub fn owner(identity: &Identity) -> Self {
+        let mut acl = Acl::empty();
+        acl.set_entry(AclEntry::new(
+            SubjectPattern::literal(identity),
+            Rights::FULL,
+        ));
+        acl
+    }
+
+    /// The ACL given to a directory created under the reserve right: the
+    /// creating identity, literally (no wildcard), with the reserve
+    /// entry's grant set (paper, Section 4).
+    pub fn reserved(identity: &Identity, grant: Rights) -> Self {
+        let mut acl = Acl::empty();
+        acl.set_entry(AclEntry::new(SubjectPattern::literal(identity), grant));
+        acl
+    }
+
+    /// Build from entries.
+    pub fn from_entries(entries: impl IntoIterator<Item = AclEntry>) -> Self {
+        let mut acl = Acl::empty();
+        for e in entries {
+            acl.set_entry(e);
+        }
+        acl
+    }
+
+    /// Parse the text of an ACL file. Blank lines and `#` comments are
+    /// ignored.
+    pub fn parse(text: &str) -> Result<Acl, AclParseError> {
+        let mut acl = Acl::empty();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            acl.set_entry(AclEntry::parse(line)?);
+        }
+        Ok(acl)
+    }
+
+    /// Serialize to the on-disk text form.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for e in &self.entries {
+            s.push_str(&e.to_string());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// The entries, in order.
+    pub fn entries(&self) -> &[AclEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the ACL has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert or replace the entry for `entry.subject` (subjects are
+    /// unique within an ACL; setting an existing subject overwrites it).
+    pub fn set_entry(&mut self, entry: AclEntry) {
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.subject == entry.subject)
+        {
+            *existing = entry;
+        } else {
+            self.entries.push(entry);
+        }
+    }
+
+    /// Convenience: set a subject to plain rights.
+    pub fn set(&mut self, subject: impl Into<SubjectPattern>, rights: Rights) {
+        self.set_entry(AclEntry::new(subject, rights));
+    }
+
+    /// Convenience: set a subject to rights plus a reserve grant.
+    pub fn set_reserve(
+        &mut self,
+        subject: impl Into<SubjectPattern>,
+        rights: Rights,
+        grant: Rights,
+    ) {
+        self.set_entry(AclEntry::with_reserve(subject, rights, grant));
+    }
+
+    /// Remove the entry whose subject is exactly `subject`. Returns true
+    /// when an entry was removed.
+    pub fn remove(&mut self, subject: &str) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.subject.as_str() != subject);
+        self.entries.len() != before
+    }
+
+    /// The effective rights of `identity`: the union over all matching
+    /// entries (including [`Rights::RESERVE`] when any matching entry
+    /// carries it).
+    pub fn rights_for(&self, identity: &Identity) -> Rights {
+        let mut r = Rights::NONE;
+        for e in &self.entries {
+            if e.subject.matches(identity) {
+                r |= e.rights;
+            }
+        }
+        r
+    }
+
+    /// The reserve grant for `identity`: the union of the grant sets of
+    /// every matching entry that holds the reserve right. `None` when the
+    /// identity holds no reserve right here.
+    pub fn reserve_grant_for(&self, identity: &Identity) -> Option<Rights> {
+        let mut any = false;
+        let mut grant = Rights::NONE;
+        for e in &self.entries {
+            if e.subject.matches(identity) && e.rights.contains(Rights::RESERVE) {
+                any = true;
+                grant |= e.reserve_grant;
+            }
+        }
+        any.then_some(grant)
+    }
+
+    /// True when `identity` holds every right in `needed`.
+    pub fn allows(&self, identity: &Identity, needed: Rights) -> bool {
+        self.rights_for(identity).contains(needed)
+    }
+}
+
+impl fmt::Display for Acl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: &str) -> Identity {
+        Identity::new(s)
+    }
+
+    #[test]
+    fn paper_example_acl() {
+        // "this ACL allows /O=UnivNowhere/CN=Fred to read, write, list,
+        //  execute and administer this directory. It also allows any user
+        //  at /O=UnivNowhere/ to read and list it."
+        let acl = Acl::parse(
+            "/O=UnivNowhere/CN=Fred rwlax\n\
+             /O=UnivNowhere/* rl\n",
+        )
+        .unwrap();
+        let fred = id("/O=UnivNowhere/CN=Fred");
+        let george = id("/O=UnivNowhere/CN=George");
+        let outsider = id("/O=NotreDame/CN=dthain");
+        assert!(acl.allows(&fred, Rights::RWLAX));
+        assert!(acl.allows(&george, Rights::READ | Rights::LIST));
+        assert!(!acl.allows(&george, Rights::WRITE));
+        assert_eq!(acl.rights_for(&outsider), Rights::NONE);
+    }
+
+    #[test]
+    fn paper_root_acl_with_reserve() {
+        // "/: hostname:*.nowhere.edu rlx
+        //     globus:/O=UnivNowhere/* v(rwlax)"
+        let acl = Acl::parse(
+            "hostname:*.nowhere.edu rlx\n\
+             globus:/O=UnivNowhere/* v(rwlax)\n",
+        )
+        .unwrap();
+        let host = id("hostname:laptop.cs.nowhere.edu");
+        let fred = id("globus:/O=UnivNowhere/CN=Fred");
+        assert!(acl.allows(&host, Rights::READ | Rights::LIST | Rights::EXECUTE));
+        assert_eq!(acl.reserve_grant_for(&host), None);
+        assert_eq!(acl.reserve_grant_for(&fred), Some(Rights::RWLAX));
+        // Fred holds only the reserve right, nothing else.
+        assert!(!acl.allows(&fred, Rights::READ));
+        assert!(acl.allows(&fred, Rights::RESERVE));
+    }
+
+    #[test]
+    fn reserved_derivation_matches_paper() {
+        // mkdir(/work) by Fred under v(rwlax) yields
+        // "/work: globus:/O=UnivNowhere/CN=Fred rwlax"
+        let fred = id("globus:/O=UnivNowhere/CN=Fred");
+        let acl = Acl::reserved(&fred, Rights::RWLAX);
+        assert!(acl.allows(&fred, Rights::RWLAX));
+        assert!(!acl.entries()[0].subject.is_wildcard());
+        let other = id("globus:/O=UnivNowhere/CN=George");
+        assert_eq!(acl.rights_for(&other), Rights::NONE);
+    }
+
+    #[test]
+    fn rights_union_across_entries() {
+        let acl = Acl::parse("fred r\nfre? w\nf* l\n").unwrap();
+        assert_eq!(
+            acl.rights_for(&id("fred")),
+            Rights::READ | Rights::WRITE | Rights::LIST
+        );
+    }
+
+    #[test]
+    fn set_replaces_existing_subject() {
+        let mut acl = Acl::owner(&id("fred"));
+        assert_eq!(acl.len(), 1);
+        acl.set("fred", Rights::READ);
+        assert_eq!(acl.len(), 1);
+        assert_eq!(acl.rights_for(&id("fred")), Rights::READ);
+    }
+
+    #[test]
+    fn remove_entry() {
+        let mut acl = Acl::parse("fred rl\ngeorge rw\n").unwrap();
+        assert!(acl.remove("fred"));
+        assert!(!acl.remove("fred"));
+        assert_eq!(acl.rights_for(&id("fred")), Rights::NONE);
+        assert_eq!(acl.len(), 1);
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_blanks() {
+        let acl = Acl::parse("# a comment\n\nfred rl\n   \n# more\n").unwrap();
+        assert_eq!(acl.len(), 1);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let acl = Acl::parse(
+            "hostname:*.nowhere.edu rlx\n\
+             globus:/O=UnivNowhere/* v(rwlax)\n\
+             unix:dthain rwldax\n",
+        )
+        .unwrap();
+        let reparsed = Acl::parse(&acl.to_text()).unwrap();
+        assert_eq!(acl, reparsed);
+    }
+
+    #[test]
+    fn empty_acl_denies_everything() {
+        let acl = Acl::empty();
+        assert!(!acl.allows(&id("anyone"), Rights::READ));
+        assert_eq!(acl.reserve_grant_for(&id("anyone")), None);
+    }
+
+    #[test]
+    fn multiple_reserve_entries_union_grants() {
+        let acl = Acl::parse("f* v(r)\n*d v(wl)\n").unwrap();
+        assert_eq!(
+            acl.reserve_grant_for(&id("fred")),
+            Some(Rights::READ | Rights::WRITE | Rights::LIST)
+        );
+        assert_eq!(acl.reserve_grant_for(&id("frank")), Some(Rights::READ));
+    }
+}

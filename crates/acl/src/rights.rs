@@ -1,0 +1,215 @@
+//! The rights lattice.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign, Sub};
+
+/// A set of rights over a directory and the files within it.
+///
+/// Represented as a small bitset; the letters follow the paper (and the
+/// Chirp storage system it extends):
+///
+/// | letter | right | meaning |
+/// |---|---|---|
+/// | `r` | [`Rights::READ`] | read files |
+/// | `w` | [`Rights::WRITE`] | create and write files |
+/// | `l` | [`Rights::LIST`] | list the directory |
+/// | `d` | [`Rights::DELETE`] | remove files and directories |
+/// | `a` | [`Rights::ADMIN`] | modify the ACL itself |
+/// | `x` | [`Rights::EXECUTE`] | execute programs |
+/// | `v` | [`Rights::RESERVE`] | reserve a fresh sub-namespace via `mkdir` |
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Rights(u8);
+
+impl Rights {
+    /// The empty set of rights.
+    pub const NONE: Rights = Rights(0);
+    /// Permission to read files in the directory.
+    pub const READ: Rights = Rights(1 << 0);
+    /// Permission to create and write files in the directory.
+    pub const WRITE: Rights = Rights(1 << 1);
+    /// Permission to list the directory.
+    pub const LIST: Rights = Rights(1 << 2);
+    /// Permission to delete entries from the directory.
+    pub const DELETE: Rights = Rights(1 << 3);
+    /// Permission to modify the directory's ACL.
+    pub const ADMIN: Rights = Rights(1 << 4);
+    /// Permission to execute programs found in the directory.
+    pub const EXECUTE: Rights = Rights(1 << 5);
+    /// The reserve right: permission to `mkdir` a fresh, privately-owned
+    /// sub-namespace (the granted rights ride alongside in the
+    /// [`AclEntry`](crate::AclEntry)).
+    pub const RESERVE: Rights = Rights(1 << 6);
+
+    /// Every right except reserve: `rwldax`.
+    pub const FULL: Rights = Rights(
+        Rights::READ.0
+            | Rights::WRITE.0
+            | Rights::LIST.0
+            | Rights::DELETE.0
+            | Rights::ADMIN.0
+            | Rights::EXECUTE.0,
+    );
+
+    /// The rights the paper writes as `rwlax` (full control, spelled
+    /// without `d`; deletion is folded into `w` in the paper's examples,
+    /// but we keep `d` distinct and include it in [`Rights::FULL`]).
+    pub const RWLAX: Rights = Rights(
+        Rights::READ.0
+            | Rights::WRITE.0
+            | Rights::LIST.0
+            | Rights::ADMIN.0
+            | Rights::EXECUTE.0,
+    );
+
+    /// Parse a rights token such as `rwlax` or `rl`. Rejects unknown
+    /// letters and the `v(...)` form (which is handled at the entry level,
+    /// because the grant set rides with it).
+    pub fn parse_letters(s: &str) -> Result<Rights, char> {
+        let mut r = Rights::NONE;
+        for c in s.chars() {
+            r |= match c {
+                'r' => Rights::READ,
+                'w' => Rights::WRITE,
+                'l' => Rights::LIST,
+                'd' => Rights::DELETE,
+                'a' => Rights::ADMIN,
+                'x' => Rights::EXECUTE,
+                'v' => Rights::RESERVE,
+                other => return Err(other),
+            };
+        }
+        Ok(r)
+    }
+
+    /// True when every right in `needed` is present.
+    #[inline]
+    pub fn contains(self, needed: Rights) -> bool {
+        self.0 & needed.0 == needed.0
+    }
+
+    /// True when no rights are present.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Letters in canonical `rwldaxv` order.
+    pub fn letters(self) -> String {
+        let mut s = String::new();
+        for (flag, c) in Rights::LETTER_TABLE {
+            if self.contains(flag) {
+                s.push(c);
+            }
+        }
+        s
+    }
+
+    const LETTER_TABLE: [(Rights, char); 7] = [
+        (Rights::READ, 'r'),
+        (Rights::WRITE, 'w'),
+        (Rights::LIST, 'l'),
+        (Rights::DELETE, 'd'),
+        (Rights::ADMIN, 'a'),
+        (Rights::EXECUTE, 'x'),
+        (Rights::RESERVE, 'v'),
+    ];
+}
+
+impl BitOr for Rights {
+    type Output = Rights;
+    fn bitor(self, rhs: Rights) -> Rights {
+        Rights(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Rights {
+    fn bitor_assign(&mut self, rhs: Rights) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for Rights {
+    type Output = Rights;
+    fn bitand(self, rhs: Rights) -> Rights {
+        Rights(self.0 & rhs.0)
+    }
+}
+
+impl Sub for Rights {
+    type Output = Rights;
+    fn sub(self, rhs: Rights) -> Rights {
+        Rights(self.0 & !rhs.0)
+    }
+}
+
+impl fmt::Display for Rights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            f.write_str("-")
+        } else {
+            f.write_str(&self.letters())
+        }
+    }
+}
+
+impl fmt::Debug for Rights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rights({})", self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_print_roundtrip() {
+        for s in ["r", "rl", "rwlax", "rwldax", "rwldaxv", "x", "v"] {
+            let r = Rights::parse_letters(s).unwrap();
+            // letters() prints canonical order; reparse must be equal.
+            assert_eq!(Rights::parse_letters(&r.letters()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn paper_rwlax() {
+        let r = Rights::parse_letters("rwlax").unwrap();
+        assert_eq!(r, Rights::RWLAX);
+        assert!(r.contains(Rights::READ));
+        assert!(r.contains(Rights::ADMIN));
+        assert!(!r.contains(Rights::DELETE));
+    }
+
+    #[test]
+    fn unknown_letter_rejected() {
+        assert_eq!(Rights::parse_letters("rz"), Err('z'));
+        assert_eq!(Rights::parse_letters("R"), Err('R'));
+    }
+
+    #[test]
+    fn contains_is_superset() {
+        let r = Rights::READ | Rights::WRITE;
+        assert!(r.contains(Rights::READ));
+        assert!(r.contains(Rights::NONE));
+        assert!(!r.contains(Rights::READ | Rights::EXECUTE));
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = Rights::READ | Rights::LIST;
+        let b = Rights::LIST | Rights::WRITE;
+        assert_eq!((a | b).letters(), "rwl");
+        assert_eq!((a - b).letters(), "r");
+        assert_eq!((a & b).letters(), "l");
+    }
+
+    #[test]
+    fn display_empty_is_dash() {
+        assert_eq!(Rights::NONE.to_string(), "-");
+    }
+
+    #[test]
+    fn full_has_everything_but_reserve() {
+        assert!(Rights::FULL.contains(Rights::DELETE));
+        assert!(!Rights::FULL.contains(Rights::RESERVE));
+    }
+}

@@ -1,0 +1,172 @@
+//! Subject patterns with wildcards.
+
+use idbox_types::Identity;
+use std::fmt;
+
+/// A subject in an ACL entry: either a literal identity or a wildcard
+/// pattern over identities.
+///
+/// Identity boxing encourages wildcards in access controls (paper,
+/// Section 4): `globus:/O=UnivNowhere/*` admits every holder of a
+/// UnivNowhere certificate, `hostname:*.nowhere.edu` admits every host in
+/// a domain. Patterns support `*` (any run of characters, including the
+/// empty run and `/`) and `?` (exactly one character).
+///
+/// ```
+/// use idbox_acl::SubjectPattern;
+/// use idbox_types::Identity;
+///
+/// let p = SubjectPattern::new("hostname:*.nowhere.edu");
+/// assert!(p.matches(&Identity::new("hostname:laptop.cs.nowhere.edu")));
+/// assert!(!p.matches(&Identity::new("hostname:laptop.elsewhere.org")));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SubjectPattern(String);
+
+impl SubjectPattern {
+    /// Build a pattern from its textual form.
+    pub fn new(pattern: impl Into<String>) -> Self {
+        SubjectPattern(pattern.into())
+    }
+
+    /// A pattern matching exactly one identity (no metacharacters are
+    /// interpreted even if present — they are escaped by construction
+    /// being impossible here, so we simply compare literally when the
+    /// pattern came from [`SubjectPattern::literal`]).
+    pub fn literal(identity: &Identity) -> Self {
+        SubjectPattern(identity.as_str().to_string())
+    }
+
+    /// The textual form of the pattern.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// True when the pattern contains wildcard metacharacters.
+    pub fn is_wildcard(&self) -> bool {
+        self.0.contains('*') || self.0.contains('?')
+    }
+
+    /// Match an identity against this pattern.
+    ///
+    /// Iterative glob matching with backtracking over the last `*`;
+    /// linear in practice, worst-case `O(n*m)`, never recursive.
+    pub fn matches(&self, identity: &Identity) -> bool {
+        glob_match(self.0.as_bytes(), identity.as_str().as_bytes())
+    }
+}
+
+/// Classic iterative glob match: `*` matches any run, `?` one byte.
+fn glob_match(pattern: &[u8], text: &[u8]) -> bool {
+    let (mut p, mut t) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while t < text.len() {
+        if p < pattern.len() && (pattern[p] == b'?' || pattern[p] == text[t]) {
+            p += 1;
+            t += 1;
+        } else if p < pattern.len() && pattern[p] == b'*' {
+            star = Some((p, t));
+            p += 1;
+        } else if let Some((sp, st)) = star {
+            p = sp + 1;
+            t = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while p < pattern.len() && pattern[p] == b'*' {
+        p += 1;
+    }
+    p == pattern.len()
+}
+
+impl fmt::Display for SubjectPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for SubjectPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SubjectPattern({})", self.0)
+    }
+}
+
+impl From<&str> for SubjectPattern {
+    fn from(s: &str) -> Self {
+        SubjectPattern::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, id: &str) -> bool {
+        SubjectPattern::new(pat).matches(&Identity::new(id))
+    }
+
+    #[test]
+    fn literal_match() {
+        assert!(m("/O=UnivNowhere/CN=Fred", "/O=UnivNowhere/CN=Fred"));
+        assert!(!m("/O=UnivNowhere/CN=Fred", "/O=UnivNowhere/CN=George"));
+    }
+
+    #[test]
+    fn paper_org_wildcard() {
+        assert!(m("/O=UnivNowhere/*", "/O=UnivNowhere/CN=Fred"));
+        assert!(m("/O=UnivNowhere/*", "/O=UnivNowhere/OU=CS/CN=Deep"));
+        assert!(!m("/O=UnivNowhere/*", "/O=NotreDame/CN=dthain"));
+    }
+
+    #[test]
+    fn paper_hostname_wildcard() {
+        assert!(m("hostname:*.nowhere.edu", "hostname:laptop.cs.nowhere.edu"));
+        assert!(m("hostname:*.nowhere.edu", "hostname:a.nowhere.edu"));
+        assert!(!m("hostname:*.nowhere.edu", "hostname:nowhere.edu"));
+        assert!(!m("hostname:*.nowhere.edu", "hostname:laptop.nowhere.com"));
+    }
+
+    #[test]
+    fn star_matches_empty() {
+        assert!(m("fred*", "fred"));
+        assert!(m("*", ""));
+        assert!(m("*", "anything at all"));
+    }
+
+    #[test]
+    fn question_matches_exactly_one() {
+        assert!(m("grid?", "grid9"));
+        assert!(!m("grid?", "grid"));
+        assert!(!m("grid?", "grid42"));
+    }
+
+    #[test]
+    fn multiple_stars_backtrack() {
+        assert!(m("*CN=*ed*", "globus:/O=UnivNowhere/CN=Fred"));
+        assert!(m("a*b*c", "aXXbYYc"));
+        assert!(!m("a*b*c", "aXXcYYb"));
+    }
+
+    #[test]
+    fn trailing_stars_collapse() {
+        assert!(m("fred**", "fred"));
+        assert!(m("**", ""));
+    }
+
+    #[test]
+    fn wildcard_detection() {
+        assert!(SubjectPattern::new("/O=X/*").is_wildcard());
+        assert!(SubjectPattern::new("grid?").is_wildcard());
+        assert!(!SubjectPattern::new("unix:dthain").is_wildcard());
+    }
+
+    #[test]
+    fn literal_constructor_equals_identity() {
+        let id = Identity::new("kerberos:fred@nowhere.edu");
+        let p = SubjectPattern::literal(&id);
+        assert!(p.matches(&id));
+        assert_eq!(p.as_str(), id.as_str());
+    }
+}

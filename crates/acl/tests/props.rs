@@ -1,0 +1,151 @@
+//! Property-based tests for the ACL crate: parse/print round trips,
+//! rights-lattice laws, and glob matching against a reference
+//! implementation.
+
+use idbox_acl::{Acl, AclEntry, Rights, SubjectPattern};
+use idbox_types::Identity;
+use proptest::prelude::*;
+
+/// A strategy producing arbitrary rights sets.
+fn rights() -> impl Strategy<Value = Rights> {
+    proptest::bits::u8::ANY.prop_map(|bits| {
+        let mut r = Rights::NONE;
+        let table = [
+            Rights::READ,
+            Rights::WRITE,
+            Rights::LIST,
+            Rights::DELETE,
+            Rights::ADMIN,
+            Rights::EXECUTE,
+            Rights::RESERVE,
+        ];
+        for (i, flag) in table.iter().enumerate() {
+            if bits & (1 << i) != 0 {
+                r |= *flag;
+            }
+        }
+        r
+    })
+}
+
+/// Subjects without whitespace-only content; may contain wildcards.
+fn subject() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z0-9/=:@.*?_-]{1,40}").unwrap()
+}
+
+/// Identity strings drawn from the same alphabet minus metacharacters.
+fn identity_str() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z0-9/=:@._-]{0,40}").unwrap()
+}
+
+/// Reference glob matcher: recursive, obviously correct.
+fn ref_glob(pattern: &[u8], text: &[u8]) -> bool {
+    match pattern.split_first() {
+        None => text.is_empty(),
+        Some((b'*', rest)) => {
+            (0..=text.len()).any(|i| ref_glob(rest, &text[i..]))
+        }
+        Some((b'?', rest)) => {
+            !text.is_empty() && ref_glob(rest, &text[1..])
+        }
+        Some((&c, rest)) => {
+            text.first() == Some(&c) && ref_glob(rest, &text[1..])
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn rights_letters_roundtrip(r in rights()) {
+        let printed = r.letters();
+        let reparsed = Rights::parse_letters(&printed).unwrap();
+        prop_assert_eq!(reparsed, r);
+    }
+
+    #[test]
+    fn rights_union_is_commutative_and_idempotent(a in rights(), b in rights()) {
+        prop_assert_eq!(a | b, b | a);
+        prop_assert_eq!(a | a, a);
+        prop_assert!((a | b).contains(a));
+        prop_assert!((a | b).contains(b));
+    }
+
+    #[test]
+    fn rights_difference_laws(a in rights(), b in rights()) {
+        prop_assert_eq!((a - b) & b, Rights::NONE);
+        prop_assert_eq!((a - b) | (a & b), a);
+    }
+
+    #[test]
+    fn glob_matches_reference(pat in subject(), text in identity_str()) {
+        let fast = SubjectPattern::new(pat.clone()).matches(&Identity::new(text.clone()));
+        let slow = ref_glob(pat.as_bytes(), text.as_bytes());
+        prop_assert_eq!(fast, slow, "pattern={:?} text={:?}", pat, text);
+    }
+
+    #[test]
+    fn literal_pattern_always_matches_itself(text in identity_str()) {
+        // Only when the text has no metacharacters is it a literal.
+        prop_assume!(!text.contains('*') && !text.contains('?'));
+        let id = Identity::new(text);
+        prop_assert!(SubjectPattern::literal(&id).matches(&id));
+    }
+
+    #[test]
+    fn entry_roundtrip(sub in subject(), r in rights(), g in rights()) {
+        let entry = if r.contains(Rights::RESERVE) {
+            AclEntry::with_reserve(sub.as_str(), r, g)
+        } else {
+            AclEntry::new(sub.as_str(), r)
+        };
+        let printed = entry.to_string();
+        let reparsed = AclEntry::parse(&printed).unwrap();
+        prop_assert_eq!(reparsed, entry, "printed={:?}", printed);
+    }
+
+    #[test]
+    fn acl_text_roundtrip(
+        subs in proptest::collection::vec((subject(), rights(), rights()), 0..8)
+    ) {
+        let acl = Acl::from_entries(subs.into_iter().map(|(s, r, g)| {
+            if r.contains(Rights::RESERVE) {
+                AclEntry::with_reserve(s.as_str(), r, g)
+            } else {
+                AclEntry::new(s.as_str(), r)
+            }
+        }));
+        let reparsed = Acl::parse(&acl.to_text()).unwrap();
+        prop_assert_eq!(reparsed, acl);
+    }
+
+    #[test]
+    fn rights_for_is_monotone_in_entries(
+        subs in proptest::collection::vec((subject(), rights()), 1..6),
+        who in identity_str(),
+    ) {
+        // Adding entries can only add rights, never remove them.
+        let id = Identity::new(who);
+        let mut acl = Acl::empty();
+        let mut prev = Rights::NONE;
+        for (s, r) in subs {
+            // Use push-like set with unique synthetic subjects to avoid
+            // replacement semantics interfering with monotonicity.
+            let unique = format!("{}#{}", s, acl.len());
+            acl.set(unique.as_str(), r);
+            let now = acl.rights_for(&id);
+            prop_assert!(now.contains(prev));
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn owner_acl_grants_full_to_owner_only(
+        owner in identity_str(), other in identity_str()
+    ) {
+        prop_assume!(owner != other);
+        let o = Identity::new(owner);
+        let acl = Acl::owner(&o);
+        prop_assert!(acl.allows(&o, Rights::FULL));
+        prop_assert_eq!(acl.rights_for(&Identity::new(other)), Rights::NONE);
+    }
+}

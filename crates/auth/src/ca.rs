@@ -1,0 +1,166 @@
+//! Simulated GSI: certificate authorities and certificates.
+
+use crate::keyed_digest;
+use std::collections::BTreeMap;
+
+/// A certificate: a subject name vouched for by an issuer.
+///
+/// Subjects use GSI-style distinguished names like
+/// `/O=UnivNowhere/CN=Fred`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The certified subject.
+    pub subject: String,
+    /// The issuing authority's name.
+    pub issuer: String,
+    /// The keyed digest standing in for a signature.
+    pub signature: u64,
+}
+
+impl Certificate {
+    /// Wire form: `subject|issuer|signature` (subjects never contain
+    /// `|`).
+    pub fn to_wire(&self) -> String {
+        format!("{}|{}|{:016x}", self.subject, self.issuer, self.signature)
+    }
+
+    /// Parse the wire form.
+    pub fn from_wire(s: &str) -> Option<Certificate> {
+        let mut f = s.rsplitn(3, '|');
+        let signature = u64::from_str_radix(f.next()?, 16).ok()?;
+        let issuer = f.next()?.to_string();
+        let subject = f.next()?.to_string();
+        Some(Certificate {
+            subject,
+            issuer,
+            signature,
+        })
+    }
+}
+
+/// A certificate authority holding a signing key.
+#[derive(Debug, Clone)]
+pub struct CertificateAuthority {
+    name: String,
+    key: u64,
+}
+
+impl CertificateAuthority {
+    /// Create an authority with a secret key.
+    pub fn new(name: impl Into<String>, key: u64) -> Self {
+        CertificateAuthority {
+            name: name.into(),
+            key,
+        }
+    }
+
+    /// The authority's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Issue a certificate for `subject`.
+    pub fn issue(&self, subject: impl Into<String>) -> Certificate {
+        let subject = subject.into();
+        let signature = keyed_digest(self.key, &[&subject, &self.name]);
+        Certificate {
+            subject,
+            issuer: self.name.clone(),
+            signature,
+        }
+    }
+
+    /// Verify that a certificate was issued by this authority.
+    pub fn verify(&self, cert: &Certificate) -> bool {
+        cert.issuer == self.name
+            && cert.signature == keyed_digest(self.key, &[&cert.subject, &self.name])
+    }
+}
+
+/// The set of authorities a server trusts.
+#[derive(Debug, Clone, Default)]
+pub struct CaStore {
+    authorities: BTreeMap<String, CertificateAuthority>,
+}
+
+impl CaStore {
+    /// An empty store (trusts nobody).
+    pub fn new() -> Self {
+        CaStore::default()
+    }
+
+    /// Trust an authority.
+    pub fn trust(&mut self, ca: CertificateAuthority) {
+        self.authorities.insert(ca.name().to_string(), ca);
+    }
+
+    /// Verify a certificate against the trusted authorities.
+    pub fn verify(&self, cert: &Certificate) -> bool {
+        self.authorities
+            .get(&cert.issuer)
+            .map(|ca| ca.verify(cert))
+            .unwrap_or(false)
+    }
+
+    /// Number of trusted authorities.
+    pub fn len(&self) -> usize {
+        self.authorities.len()
+    }
+
+    /// True when no authority is trusted.
+    pub fn is_empty(&self) -> bool {
+        self.authorities.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ca() -> CertificateAuthority {
+        CertificateAuthority::new("/O=UnivNowhere CA", 0x5EC2E7)
+    }
+
+    #[test]
+    fn issue_and_verify() {
+        let ca = ca();
+        let cert = ca.issue("/O=UnivNowhere/CN=Fred");
+        assert!(ca.verify(&cert));
+    }
+
+    #[test]
+    fn tampered_subject_fails() {
+        let ca = ca();
+        let mut cert = ca.issue("/O=UnivNowhere/CN=Fred");
+        cert.subject = "/O=UnivNowhere/CN=Root".to_string();
+        assert!(!ca.verify(&cert));
+    }
+
+    #[test]
+    fn wrong_ca_fails() {
+        let cert = ca().issue("/O=UnivNowhere/CN=Fred");
+        let other = CertificateAuthority::new("/O=UnivNowhere CA", 0xBAD);
+        assert!(!other.verify(&cert));
+        let renamed = CertificateAuthority::new("/O=Elsewhere CA", 0x5EC2E7);
+        assert!(!renamed.verify(&cert));
+    }
+
+    #[test]
+    fn store_verifies_against_trusted_set() {
+        let trusted = ca();
+        let untrusted = CertificateAuthority::new("/O=Shady CA", 7);
+        let mut store = CaStore::new();
+        store.trust(trusted.clone());
+        assert!(store.verify(&trusted.issue("/O=UnivNowhere/CN=Fred")));
+        assert!(!store.verify(&untrusted.issue("/O=UnivNowhere/CN=Fred")));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let cert = ca().issue("/O=UnivNowhere/CN=Fred");
+        let wire = cert.to_wire();
+        assert_eq!(Certificate::from_wire(&wire).unwrap(), cert);
+        assert!(Certificate::from_wire("garbage").is_none());
+    }
+}

@@ -1,0 +1,161 @@
+//! Simulated Kerberos: a key distribution center and tickets.
+
+use crate::keyed_digest;
+use std::collections::BTreeMap;
+
+/// A service ticket: a principal name plus an expiry, MACed under the
+/// KDC's key for that principal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ticket {
+    /// `user@REALM` principal name.
+    pub principal: String,
+    /// Logical expiry time (compared against the verifier's clock).
+    pub expires: u64,
+    /// The MAC.
+    pub mac: u64,
+}
+
+impl Ticket {
+    /// Wire form: `principal|expires|mac`.
+    pub fn to_wire(&self) -> String {
+        format!("{}|{}|{:016x}", self.principal, self.expires, self.mac)
+    }
+
+    /// Parse the wire form.
+    pub fn from_wire(s: &str) -> Option<Ticket> {
+        let mut f = s.rsplitn(3, '|');
+        let mac = u64::from_str_radix(f.next()?, 16).ok()?;
+        let expires = f.next()?.parse().ok()?;
+        let principal = f.next()?.to_string();
+        Some(Ticket {
+            principal,
+            expires,
+            mac,
+        })
+    }
+}
+
+/// The key distribution center for one realm.
+#[derive(Debug, Clone)]
+pub struct Kdc {
+    realm: String,
+    keys: BTreeMap<String, u64>,
+    clock: u64,
+    next_key: u64,
+}
+
+impl Kdc {
+    /// A KDC for `realm` (e.g. `NOWHERE.EDU`).
+    pub fn new(realm: impl Into<String>) -> Self {
+        Kdc {
+            realm: realm.into(),
+            keys: BTreeMap::new(),
+            clock: 0,
+            next_key: 0x0123_4567_89AB_CDEF,
+        }
+    }
+
+    /// The realm name.
+    pub fn realm(&self) -> &str {
+        &self.realm
+    }
+
+    /// Register a user; returns their full principal name.
+    pub fn register(&mut self, user: &str) -> String {
+        let principal = format!("{}@{}", user, self.realm.to_lowercase());
+        self.next_key = self.next_key.rotate_left(13).wrapping_add(0x9E37_79B9);
+        self.keys.entry(principal.clone()).or_insert(self.next_key);
+        principal
+    }
+
+    /// Advance the logical clock (tickets age).
+    pub fn tick(&mut self, amount: u64) {
+        self.clock += amount;
+    }
+
+    /// The current logical time.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Grant a ticket valid for `lifetime` logical units. `None` for
+    /// unknown users.
+    pub fn grant(&self, user: &str, lifetime: u64) -> Option<Ticket> {
+        let principal = format!("{}@{}", user, self.realm.to_lowercase());
+        let key = *self.keys.get(&principal)?;
+        let expires = self.clock + lifetime;
+        let mac = keyed_digest(key, &[&principal, &expires.to_string()]);
+        Some(Ticket {
+            principal,
+            expires,
+            mac,
+        })
+    }
+
+    /// Verify a ticket: known principal, valid MAC, not expired.
+    pub fn verify(&self, ticket: &Ticket) -> bool {
+        let Some(&key) = self.keys.get(&ticket.principal) else {
+            return false;
+        };
+        let expect = keyed_digest(key, &[&ticket.principal, &ticket.expires.to_string()]);
+        expect == ticket.mac && ticket.expires > self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kdc() -> Kdc {
+        let mut k = Kdc::new("NOWHERE.EDU");
+        k.register("fred");
+        k
+    }
+
+    #[test]
+    fn grant_and_verify() {
+        let k = kdc();
+        let t = k.grant("fred", 100).unwrap();
+        assert_eq!(t.principal, "fred@nowhere.edu");
+        assert!(k.verify(&t));
+    }
+
+    #[test]
+    fn unknown_user_gets_nothing() {
+        assert!(kdc().grant("mallory", 100).is_none());
+    }
+
+    #[test]
+    fn tampered_ticket_fails() {
+        let k = kdc();
+        let mut t = k.grant("fred", 100).unwrap();
+        t.expires += 1_000_000;
+        assert!(!k.verify(&t));
+    }
+
+    #[test]
+    fn expired_ticket_fails() {
+        let mut k = kdc();
+        let t = k.grant("fred", 10).unwrap();
+        assert!(k.verify(&t));
+        k.tick(11);
+        assert!(!k.verify(&t));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let t = kdc().grant("fred", 5).unwrap();
+        assert_eq!(Ticket::from_wire(&t.to_wire()).unwrap(), t);
+        assert!(Ticket::from_wire("nope").is_none());
+    }
+
+    #[test]
+    fn distinct_users_distinct_keys() {
+        let mut k = Kdc::new("X");
+        k.register("a");
+        k.register("b");
+        let ta = k.grant("a", 10).unwrap();
+        let tb = k.grant("b", 10).unwrap();
+        assert_ne!(ta.mac, tb.mac);
+    }
+}

@@ -1,0 +1,360 @@
+//! Method negotiation and identity proof.
+//!
+//! Upon connecting, the client and server negotiate an acceptable
+//! authentication method and the client proves its identity; the server
+//! then knows the client by a principal name such as
+//! `globus:/O=UnivNowhere/CN=Fred` (paper, Section 4). The client walks
+//! its credentials in preference order; the server accepts or rejects
+//! each method, and a failed proof falls through to the next credential.
+
+use crate::ca::{CaStore, Certificate};
+use crate::kdc::{Kdc, Ticket};
+use crate::keyed_digest;
+use crate::transport::AuthTransport;
+use idbox_types::{AuthMethod, Principal};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Authentication failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthError {
+    /// Every offered method was rejected or failed.
+    Refused,
+    /// The peer spoke something unexpected.
+    Protocol(String),
+    /// The transport failed.
+    Io(String),
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::Refused => write!(f, "authentication refused"),
+            AuthError::Protocol(m) => write!(f, "protocol error: {m}"),
+            AuthError::Io(m) => write!(f, "transport error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// One credential the client may offer.
+#[derive(Debug, Clone)]
+pub enum ClientCredential {
+    /// A GSI-style certificate.
+    Globus(Certificate),
+    /// A Kerberos ticket.
+    Kerberos(Ticket),
+    /// A claimed hostname (the server checks it against its own reverse
+    /// lookup of the peer).
+    Hostname(String),
+    /// A Unix account name plus the per-account secret obtained through
+    /// the local filesystem challenge.
+    Unix {
+        /// Claimed account name.
+        name: String,
+        /// Secret proving local access to that account.
+        secret: u64,
+    },
+}
+
+impl ClientCredential {
+    /// The method this credential drives.
+    pub fn method(&self) -> AuthMethod {
+        match self {
+            ClientCredential::Globus(_) => AuthMethod::Globus,
+            ClientCredential::Kerberos(_) => AuthMethod::Kerberos,
+            ClientCredential::Hostname(_) => AuthMethod::Hostname,
+            ClientCredential::Unix { .. } => AuthMethod::Unix,
+        }
+    }
+}
+
+/// The server's verification state.
+#[derive(Debug, Clone, Default)]
+pub struct ServerVerifier {
+    /// Methods the server will entertain, in any order.
+    pub accept: Vec<AuthMethod>,
+    /// Trusted certificate authorities (globus method).
+    pub cas: CaStore,
+    /// The Kerberos realm service view (kerberos method).
+    pub kdc: Option<Kdc>,
+    /// The hostname this server resolved for the connecting peer.
+    pub peer_hostname: Option<String>,
+    /// Per-account secrets for the unix filesystem challenge.
+    pub unix_secrets: BTreeMap<String, u64>,
+}
+
+impl ServerVerifier {
+    /// A verifier accepting nothing (build it up field by field).
+    pub fn new() -> Self {
+        ServerVerifier::default()
+    }
+}
+
+fn io<T>(r: Result<T, String>) -> Result<T, AuthError> {
+    r.map_err(AuthError::Io)
+}
+
+/// Run the client side of the negotiation, offering `creds` in order.
+pub fn authenticate_client(
+    t: &mut dyn AuthTransport,
+    creds: &[ClientCredential],
+) -> Result<Principal, AuthError> {
+    for cred in creds {
+        io(t.send_line(&format!("method {}", cred.method().wire_name())))?;
+        let resp = io(t.recv_line())?;
+        match resp.as_str() {
+            "ok" => {}
+            "no" => continue,
+            other => return Err(AuthError::Protocol(other.to_string())),
+        }
+        match cred {
+            ClientCredential::Globus(cert) => {
+                io(t.send_line(&format!("cert {}", cert.to_wire())))?;
+            }
+            ClientCredential::Kerberos(ticket) => {
+                io(t.send_line(&format!("ticket {}", ticket.to_wire())))?;
+            }
+            ClientCredential::Hostname(host) => {
+                io(t.send_line(&format!("host {host}")))?;
+            }
+            ClientCredential::Unix { name, secret } => {
+                io(t.send_line(&format!("unix {name}")))?;
+                let challenge = io(t.recv_line())?;
+                let nonce = challenge
+                    .strip_prefix("nonce ")
+                    .ok_or_else(|| AuthError::Protocol(challenge.clone()))?;
+                let response = keyed_digest(*secret, &[nonce]);
+                io(t.send_line(&format!("response {response:016x}")))?;
+            }
+        }
+        let verdict = io(t.recv_line())?;
+        if let Some(principal) = verdict.strip_prefix("welcome ") {
+            return Principal::parse(principal)
+                .map_err(|e| AuthError::Protocol(e.to_string()));
+        }
+        if verdict != "fail" {
+            return Err(AuthError::Protocol(verdict));
+        }
+    }
+    io(t.send_line("giveup"))?;
+    Err(AuthError::Refused)
+}
+
+/// Run the server side of the negotiation.
+pub fn authenticate_server(
+    t: &mut dyn AuthTransport,
+    v: &ServerVerifier,
+) -> Result<Principal, AuthError> {
+    loop {
+        let line = io(t.recv_line())?;
+        if line == "giveup" {
+            return Err(AuthError::Refused);
+        }
+        let Some(method_name) = line.strip_prefix("method ") else {
+            return Err(AuthError::Protocol(line));
+        };
+        let Ok(method) = method_name.parse::<AuthMethod>() else {
+            io(t.send_line("no"))?;
+            continue;
+        };
+        if !v.accept.contains(&method) {
+            io(t.send_line("no"))?;
+            continue;
+        }
+        io(t.send_line("ok"))?;
+        let proven: Option<String> = match method {
+            AuthMethod::Globus => {
+                let line = io(t.recv_line())?;
+                line.strip_prefix("cert ")
+                    .and_then(Certificate::from_wire)
+                    .filter(|c| v.cas.verify(c))
+                    .map(|c| c.subject)
+            }
+            AuthMethod::Kerberos => {
+                let line = io(t.recv_line())?;
+                line.strip_prefix("ticket ")
+                    .and_then(Ticket::from_wire)
+                    .filter(|tk| v.kdc.as_ref().is_some_and(|k| k.verify(tk)))
+                    .map(|tk| tk.principal)
+            }
+            AuthMethod::Hostname => {
+                let line = io(t.recv_line())?;
+                line.strip_prefix("host ")
+                    .filter(|claimed| v.peer_hostname.as_deref() == Some(*claimed))
+                    .map(str::to_string)
+            }
+            AuthMethod::Unix => {
+                let line = io(t.recv_line())?;
+                let Some(name) = line.strip_prefix("unix ") else {
+                    return Err(AuthError::Protocol(line));
+                };
+                let nonce: u64 = rand::random();
+                let nonce = format!("{nonce:016x}");
+                io(t.send_line(&format!("nonce {nonce}")))?;
+                let resp = io(t.recv_line())?;
+                let answered = resp
+                    .strip_prefix("response ")
+                    .and_then(|h| u64::from_str_radix(h, 16).ok());
+                match (v.unix_secrets.get(name), answered) {
+                    (Some(&secret), Some(answer))
+                        if answer == keyed_digest(secret, &[nonce.as_str()]) =>
+                    {
+                        Some(name.to_string())
+                    }
+                    _ => None,
+                }
+            }
+        };
+        match proven {
+            Some(name) => {
+                let principal = Principal::new(method, name);
+                io(t.send_line(&format!("welcome {principal}")))?;
+                return Ok(principal);
+            }
+            None => io(t.send_line("fail"))?,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CertificateAuthority;
+    use crate::transport::duplex_pair;
+    use std::thread;
+
+    fn run(
+        creds: Vec<ClientCredential>,
+        verifier: ServerVerifier,
+    ) -> (
+        Result<Principal, AuthError>,
+        Result<Principal, AuthError>,
+    ) {
+        let (mut c, mut s) = duplex_pair();
+        let server = thread::spawn(move || authenticate_server(&mut s, &verifier));
+        let client = authenticate_client(&mut c, &creds);
+        (client, server.join().unwrap())
+    }
+
+    fn globus_setup() -> (ClientCredential, ServerVerifier) {
+        let ca = CertificateAuthority::new("/O=UnivNowhere CA", 0xCA11AB1E);
+        let cert = ca.issue("/O=UnivNowhere/CN=Fred");
+        let mut v = ServerVerifier::new();
+        v.accept = vec![AuthMethod::Globus];
+        v.cas.trust(ca);
+        (ClientCredential::Globus(cert), v)
+    }
+
+    #[test]
+    fn globus_succeeds() {
+        let (cred, v) = globus_setup();
+        let (c, s) = run(vec![cred], v);
+        let p = c.unwrap();
+        assert_eq!(p.to_string(), "globus:/O=UnivNowhere/CN=Fred");
+        assert_eq!(s.unwrap(), p);
+    }
+
+    #[test]
+    fn untrusted_ca_refused() {
+        let (_, v) = globus_setup();
+        let rogue = CertificateAuthority::new("/O=Rogue CA", 1);
+        let cred = ClientCredential::Globus(rogue.issue("/O=UnivNowhere/CN=Fred"));
+        let (c, s) = run(vec![cred], v);
+        assert_eq!(c, Err(AuthError::Refused));
+        assert_eq!(s, Err(AuthError::Refused));
+    }
+
+    #[test]
+    fn kerberos_succeeds() {
+        let mut kdc = Kdc::new("NOWHERE.EDU");
+        kdc.register("fred");
+        let ticket = kdc.grant("fred", 100).unwrap();
+        let mut v = ServerVerifier::new();
+        v.accept = vec![AuthMethod::Kerberos];
+        v.kdc = Some(kdc);
+        let (c, _) = run(vec![ClientCredential::Kerberos(ticket)], v);
+        assert_eq!(c.unwrap().to_string(), "kerberos:fred@nowhere.edu");
+    }
+
+    #[test]
+    fn hostname_checked_against_reverse_lookup() {
+        let mut v = ServerVerifier::new();
+        v.accept = vec![AuthMethod::Hostname];
+        v.peer_hostname = Some("laptop.cs.nowhere.edu".to_string());
+        let (c, _) = run(
+            vec![ClientCredential::Hostname("laptop.cs.nowhere.edu".into())],
+            v.clone(),
+        );
+        assert_eq!(c.unwrap().to_string(), "hostname:laptop.cs.nowhere.edu");
+        // A spoofed claim fails.
+        let (c, _) = run(
+            vec![ClientCredential::Hostname("trusted.nowhere.edu".into())],
+            v,
+        );
+        assert_eq!(c, Err(AuthError::Refused));
+    }
+
+    #[test]
+    fn unix_challenge_response() {
+        let mut v = ServerVerifier::new();
+        v.accept = vec![AuthMethod::Unix];
+        v.unix_secrets.insert("dthain".into(), 0x5EED);
+        let good = ClientCredential::Unix {
+            name: "dthain".into(),
+            secret: 0x5EED,
+        };
+        let (c, _) = run(vec![good], v.clone());
+        assert_eq!(c.unwrap().to_string(), "unix:dthain");
+        let bad = ClientCredential::Unix {
+            name: "dthain".into(),
+            secret: 0xBAD,
+        };
+        let (c, _) = run(vec![bad], v);
+        assert_eq!(c, Err(AuthError::Refused));
+    }
+
+    #[test]
+    fn negotiation_falls_through_methods() {
+        // Server only accepts hostname; the client leads with globus and
+        // must fall through.
+        let (globus_cred, _) = globus_setup();
+        let mut v = ServerVerifier::new();
+        v.accept = vec![AuthMethod::Hostname];
+        v.peer_hostname = Some("h.x.edu".to_string());
+        let creds = vec![globus_cred, ClientCredential::Hostname("h.x.edu".into())];
+        let (c, s) = run(creds, v);
+        let p = c.unwrap();
+        assert_eq!(p.method, AuthMethod::Hostname);
+        assert_eq!(s.unwrap(), p);
+    }
+
+    #[test]
+    fn failed_proof_then_success() {
+        // First credential is a bad cert for an accepted method; second
+        // is a good hostname.
+        let ca = CertificateAuthority::new("/O=CA", 2);
+        let mut rogue_cert = ca.issue("/O=X/CN=Y");
+        rogue_cert.signature ^= 1;
+        let mut v = ServerVerifier::new();
+        v.accept = vec![AuthMethod::Globus, AuthMethod::Hostname];
+        v.cas.trust(ca);
+        v.peer_hostname = Some("ok.edu".to_string());
+        let creds = vec![
+            ClientCredential::Globus(rogue_cert),
+            ClientCredential::Hostname("ok.edu".into()),
+        ];
+        let (c, _) = run(creds, v);
+        assert_eq!(c.unwrap().to_string(), "hostname:ok.edu");
+    }
+
+    #[test]
+    fn no_credentials_refused() {
+        let mut v = ServerVerifier::new();
+        v.accept = vec![AuthMethod::Globus];
+        let (c, s) = run(vec![], v);
+        assert_eq!(c, Err(AuthError::Refused));
+        assert_eq!(s, Err(AuthError::Refused));
+    }
+}

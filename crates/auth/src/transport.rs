@@ -1,0 +1,64 @@
+//! Line-oriented transports for the authentication exchange.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// A bidirectional, line-oriented message channel. The negotiation runs
+/// over this; Chirp implements it on a TCP stream, tests on an in-memory
+/// pair.
+pub trait AuthTransport {
+    /// Send one line (without the newline).
+    fn send_line(&mut self, line: &str) -> Result<(), String>;
+
+    /// Receive one line.
+    fn recv_line(&mut self) -> Result<String, String>;
+}
+
+/// An in-memory transport built from mpsc channels.
+pub struct ChannelTransport {
+    tx: Sender<String>,
+    rx: Receiver<String>,
+}
+
+impl AuthTransport for ChannelTransport {
+    fn send_line(&mut self, line: &str) -> Result<(), String> {
+        self.tx
+            .send(line.to_string())
+            .map_err(|_| "peer hung up".to_string())
+    }
+
+    fn recv_line(&mut self) -> Result<String, String> {
+        self.rx.recv().map_err(|_| "peer hung up".to_string())
+    }
+}
+
+/// A connected pair of in-memory transports (client end, server end).
+pub fn duplex_pair() -> (ChannelTransport, ChannelTransport) {
+    let (tx_a, rx_b) = channel();
+    let (tx_b, rx_a) = channel();
+    (
+        ChannelTransport { tx: tx_a, rx: rx_a },
+        ChannelTransport { tx: tx_b, rx: rx_b },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_delivers_both_ways() {
+        let (mut a, mut b) = duplex_pair();
+        a.send_line("ping").unwrap();
+        assert_eq!(b.recv_line().unwrap(), "ping");
+        b.send_line("pong").unwrap();
+        assert_eq!(a.recv_line().unwrap(), "pong");
+    }
+
+    #[test]
+    fn hangup_is_an_error() {
+        let (mut a, b) = duplex_pair();
+        drop(b);
+        assert!(a.send_line("x").is_err());
+        assert!(a.recv_line().is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the simulated credentials: forgery resistance of
+//! the keyed digest under random tampering, and wire-format round trips.
+
+use idbox_auth::{keyed_digest, Certificate, CertificateAuthority, Kdc, Ticket};
+use proptest::prelude::*;
+
+fn subject() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("/O=[A-Za-z]{1,12}/CN=[A-Za-z0-9 ._-]{1,20}").unwrap()
+}
+
+proptest! {
+    #[test]
+    fn digest_avalanche_on_key(key in any::<u64>(), msg in ".*{0,50}") {
+        // Different keys practically never collide on the same message.
+        let other = key.wrapping_add(1);
+        prop_assert_ne!(
+            keyed_digest(key, &[&msg]),
+            keyed_digest(other, &[&msg])
+        );
+    }
+
+    #[test]
+    fn certificates_verify_only_their_own_subject(
+        key in any::<u64>(),
+        subject_a in subject(),
+        subject_b in subject(),
+    ) {
+        prop_assume!(subject_a != subject_b);
+        let ca = CertificateAuthority::new("/O=CA", key);
+        let cert = ca.issue(subject_a);
+        prop_assert!(ca.verify(&cert));
+        // Transplanting the signature onto a different subject fails.
+        let forged = Certificate {
+            subject: subject_b,
+            issuer: cert.issuer.clone(),
+            signature: cert.signature,
+        };
+        prop_assert!(!ca.verify(&forged));
+    }
+
+    #[test]
+    fn signature_bitflips_never_verify(
+        key in any::<u64>(),
+        sub in subject(),
+        flip in 0u32..64,
+    ) {
+        let ca = CertificateAuthority::new("/O=CA", key);
+        let mut cert = ca.issue(sub);
+        cert.signature ^= 1u64 << flip;
+        prop_assert!(!ca.verify(&cert));
+    }
+
+    #[test]
+    fn certificate_wire_roundtrip(key in any::<u64>(), sub in subject()) {
+        let ca = CertificateAuthority::new("/O=Some CA", key);
+        let cert = ca.issue(sub);
+        let back = Certificate::from_wire(&cert.to_wire()).unwrap();
+        prop_assert_eq!(&back, &cert);
+        prop_assert!(ca.verify(&back));
+    }
+
+    #[test]
+    fn tickets_expire_and_resist_extension(
+        lifetime in 1u64..1000,
+        tamper in 1u64..1_000_000,
+    ) {
+        let mut kdc = Kdc::new("REALM.EDU");
+        kdc.register("fred");
+        let t = kdc.grant("fred", lifetime).unwrap();
+        prop_assert!(kdc.verify(&t));
+        // Extending the expiry without the key fails.
+        let forged = Ticket {
+            expires: t.expires + tamper,
+            ..t.clone()
+        };
+        prop_assert!(!kdc.verify(&forged));
+        // Time passing really expires it.
+        kdc.tick(lifetime);
+        prop_assert!(!kdc.verify(&t));
+    }
+
+    #[test]
+    fn ticket_wire_roundtrip(lifetime in 1u64..100) {
+        let mut kdc = Kdc::new("X");
+        kdc.register("u");
+        let t = kdc.grant("u", lifetime).unwrap();
+        let back = Ticket::from_wire(&t.to_wire()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+}

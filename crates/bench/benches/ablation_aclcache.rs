@@ -1,0 +1,62 @@
+//! Ablation: ACL caching in the identity box.
+//!
+//! The box consults the containing directory's `.__acl` on every path
+//! call. Re-reading and re-parsing it each time is the simple, obviously
+//! correct implementation; an mtime-validated cache trades a stat for
+//! the parse. This bench measures a stat-heavy loop (make's profile)
+//! with the cache on and off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idbox_core::{BoxOptions, IdentityBox};
+use idbox_interpose::{share, GuestCtx};
+use idbox_kernel::{Account, Kernel};
+use idbox_types::CostModel;
+use idbox_vfs::Cred;
+
+fn bench_aclcache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_aclcache");
+    group.sample_size(30);
+    for cache in [false, true] {
+        let mut k = Kernel::new();
+        k.accounts_mut().add(Account::new("dthain", 1000, 1000)).unwrap();
+        let kernel = share(k);
+        let b = IdentityBox::with_options(
+            kernel,
+            "Fred",
+            Cred::new(1000, 1000),
+            BoxOptions {
+                cache_acls: cache,
+                cost_model: CostModel::free_switches(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let pid = b.spawn_process("stat-loop").unwrap();
+        let mut sup = b.supervisor();
+        let mut ctx = GuestCtx::new(&mut sup, pid);
+        // A populated directory with a multi-entry ACL, like a shared
+        // project space.
+        for i in 0..20 {
+            ctx.write_file(&format!("{}/f{i}", b.home()), b"x").unwrap();
+        }
+        let mut acl_text = ctx.read_file(&format!("{}/.__acl", b.home())).unwrap();
+        for i in 0..10 {
+            acl_text.extend_from_slice(format!("globus:/O=Org{i}/* rl\n").as_bytes());
+        }
+        ctx.write_file(&format!("{}/.__acl", b.home()), &acl_text)
+            .unwrap();
+        let paths: Vec<String> = (0..20).map(|i| format!("{}/f{i}", b.home())).collect();
+        let label = if cache { "cached" } else { "reparse-every-call" };
+        group.bench_function(BenchmarkId::new("stat20", label), |b| {
+            b.iter(|| {
+                for p in &paths {
+                    ctx.stat(p).unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aclcache);
+criterion_main!(benches);

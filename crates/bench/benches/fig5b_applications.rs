@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 5(b): whole-application runtime in both
+//! modes, at a reduced scale (the printed `fig5b_table` binary runs the
+//! full scale and reports percentages).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idbox_types::CostModel;
+use idbox_workloads::{all_apps, measure_app, Scale};
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_apps");
+    group.sample_size(10);
+    for app in all_apps() {
+        group.bench_with_input(
+            BenchmarkId::new("direct_vs_boxed", app.name),
+            &app,
+            |b, app| {
+                b.iter(|| {
+                    measure_app(app, Scale(0.02), CostModel::calibrated(), 1).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Calibration utility: find the context-switch footprint that lands
+//! boxed `getpid` at the paper's ~10x, and print the resulting model.
+//!
+//! ```text
+//! cargo run --release -p idbox-bench --bin calibrate [target_ratio]
+//! ```
+
+use idbox_interpose::calibrate::{calibrate_to, measure_ratio, TARGET_RATIO};
+use idbox_types::CostModel;
+
+fn main() {
+    let target: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(TARGET_RATIO);
+    println!("mechanism floor (free switches): {:.1}x", measure_ratio(CostModel::free_switches()));
+    println!(
+        "static default model: {:.1}x",
+        measure_ratio(CostModel::calibrated())
+    );
+    let (model, ratio) = calibrate_to(target);
+    println!("calibrated for {target:.1}x:");
+    println!("  switch_footprint_bytes = {}", model.switch_footprint_bytes);
+    println!("  switches_per_trap      = {}", model.switches_per_trap);
+    println!("  achieved ratio         = {ratio:.2}x");
+}

@@ -1,0 +1,61 @@
+//! Figure 5(a) — system-call latency, unmodified vs. identity box.
+//!
+//! The paper times getpid, stat, open/close, and 1 B / 8 KiB reads and
+//! writes; each trapped call is slowed "by an order of magnitude". This
+//! harness measures the same seven cases over the simulated kernel and
+//! prints µs/call in both modes plus the ratio.
+//!
+//! ```text
+//! cargo run --release -p idbox-bench --bin fig5a_table [iters]
+//! ```
+
+use idbox_bench::{bench_model, fig5a_paper_ratio_band, measure_fig5a};
+
+fn main() {
+    let iters: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
+    let model = bench_model();
+    println!("Figure 5(a): syscall latency (µs/call), {iters} iterations/case");
+    println!("{}", "-".repeat(64));
+    println!(
+        "{:<14} {:>10} {:>14} {:>9}",
+        "syscall", "unmodified", "identity box", "ratio"
+    );
+    println!("{}", "-".repeat(64));
+    let rows = measure_fig5a(model, iters);
+    let mut tsv = Vec::new();
+    for r in &rows {
+        println!(
+            "{:<14} {:>10.3} {:>14.3} {:>8.1}x",
+            r.case.label(),
+            r.direct_us,
+            r.boxed_us,
+            r.ratio()
+        );
+        tsv.push(format!(
+            "{}\t{:.4}\t{:.4}\t{:.2}",
+            r.case.label(),
+            r.direct_us,
+            r.boxed_us,
+            r.ratio()
+        ));
+    }
+    println!("{}", "-".repeat(64));
+    let (lo, hi) = fig5a_paper_ratio_band();
+    let in_band = rows
+        .iter()
+        .filter(|r| r.ratio() >= lo && r.ratio() <= hi)
+        .count();
+    println!(
+        "paper: every call slowed by an order of magnitude; measured: {}/{} cases in the {lo:.1}x-{hi:.0}x band",
+        in_band,
+        rows.len()
+    );
+    idbox_bench::write_tsv(
+        "fig5a_syscall_latency.tsv",
+        "case\tdirect_us\tboxed_us\tratio",
+        &tsv,
+    );
+}

@@ -1,0 +1,266 @@
+//! The Chirp client library.
+
+use crate::codec::{self, encode_word, parse_response};
+use idbox_acl::Acl;
+use idbox_auth::{authenticate_client, AuthTransport, ClientCredential};
+use idbox_interpose::abi;
+use idbox_kernel::OpenFlags;
+use idbox_types::{Errno, Principal, SysResult};
+use idbox_vfs::{DirEntry, StatBuf};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// An authenticated connection to a Chirp server.
+#[derive(Debug)]
+pub struct ChirpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    principal: Principal,
+}
+
+struct ClientTransport<'a> {
+    reader: &'a mut BufReader<TcpStream>,
+    writer: &'a mut TcpStream,
+}
+
+impl AuthTransport for ClientTransport<'_> {
+    fn send_line(&mut self, line: &str) -> Result<(), String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| e.to_string())
+    }
+
+    fn recv_line(&mut self) -> Result<String, String> {
+        codec::read_line(self.reader).map_err(|e| e.to_string())
+    }
+}
+
+impl ChirpClient {
+    /// Connect and authenticate, offering `creds` in preference order.
+    pub fn connect(addr: SocketAddr, creds: &[ClientCredential]) -> SysResult<Self> {
+        let stream = TcpStream::connect(addr).map_err(|_| Errno::ECONNREFUSED)?;
+        let mut reader = BufReader::new(stream.try_clone().map_err(|_| Errno::EIO)?);
+        let mut writer = stream;
+        let principal = {
+            let mut t = ClientTransport {
+                reader: &mut reader,
+                writer: &mut writer,
+            };
+            authenticate_client(&mut t, creds).map_err(|_| Errno::EACCES)?
+        };
+        Ok(ChirpClient {
+            reader,
+            writer,
+            principal,
+        })
+    }
+
+    /// The principal the server knows us by.
+    pub fn principal(&self) -> &Principal {
+        &self.principal
+    }
+
+    fn send(&mut self, line: &str) -> SysResult<()> {
+        codec::write_line(&mut self.writer, line)
+    }
+
+    fn send_with_payload(&mut self, line: &str, data: &[u8]) -> SysResult<()> {
+        codec::write_line(&mut self.writer, line)?;
+        self.writer.write_all(data).map_err(|_| Errno::EPIPE)?;
+        self.writer.flush().map_err(|_| Errno::EPIPE)
+    }
+
+    fn recv(&mut self) -> SysResult<Vec<String>> {
+        let line = codec::read_line(&mut self.reader)?;
+        parse_response(&line)
+    }
+
+    fn recv_payload(&mut self) -> SysResult<Vec<u8>> {
+        let words = self.recv()?;
+        let len: u64 = words
+            .first()
+            .and_then(|w| w.parse().ok())
+            .ok_or(Errno::EPROTO)?;
+        codec::read_payload(&mut self.reader, len)
+    }
+
+    fn round_trip(&mut self, line: &str) -> SysResult<Vec<String>> {
+        self.send(line)?;
+        self.recv()
+    }
+
+    fn one_num(words: &[String]) -> SysResult<i64> {
+        words
+            .first()
+            .and_then(|w| w.parse().ok())
+            .ok_or(Errno::EPROTO)
+    }
+
+    fn stat_words(words: &[String]) -> SysResult<StatBuf> {
+        if words.len() != abi::STAT_WORDS {
+            return Err(Errno::EPROTO);
+        }
+        let mut ws = [0u64; abi::STAT_WORDS];
+        for (i, w) in words.iter().enumerate() {
+            ws[i] = w.parse().map_err(|_| Errno::EPROTO)?;
+        }
+        abi::decode_stat(&ws)
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol operations
+    // ------------------------------------------------------------------
+
+    /// Who does the server think we are?
+    pub fn whoami(&mut self) -> SysResult<Principal> {
+        let words = self.round_trip("whoami")?;
+        let s = words.first().ok_or(Errno::EPROTO)?;
+        Principal::parse(s).map_err(|_| Errno::EPROTO)
+    }
+
+    /// Remote `stat`.
+    pub fn stat(&mut self, path: &str) -> SysResult<StatBuf> {
+        let words = self.round_trip(&format!("stat {}", encode_word(path)))?;
+        Self::stat_words(&words)
+    }
+
+    /// Remote `open`; returns a server-side descriptor.
+    pub fn open(&mut self, path: &str, flags: OpenFlags, mode: u16) -> SysResult<i64> {
+        let words = self.round_trip(&format!(
+            "open {} {} {}",
+            encode_word(path),
+            flags.to_bits(),
+            mode
+        ))?;
+        Self::one_num(&words)
+    }
+
+    /// Remote `close`.
+    pub fn close(&mut self, fd: i64) -> SysResult<()> {
+        self.round_trip(&format!("close {fd}"))?;
+        Ok(())
+    }
+
+    /// Remote positioned read.
+    pub fn pread(&mut self, fd: i64, len: usize, off: u64) -> SysResult<Vec<u8>> {
+        self.send(&format!("pread {fd} {len} {off}"))?;
+        self.recv_payload()
+    }
+
+    /// Remote positioned write.
+    pub fn pwrite(&mut self, fd: i64, data: &[u8], off: u64) -> SysResult<usize> {
+        self.send_with_payload(&format!("pwrite {fd} {off} {}", data.len()), data)?;
+        let words = self.recv()?;
+        Ok(Self::one_num(&words)? as usize)
+    }
+
+    /// Remote `fstat`.
+    pub fn fstat(&mut self, fd: i64) -> SysResult<StatBuf> {
+        let words = self.round_trip(&format!("fstat {fd}"))?;
+        Self::stat_words(&words)
+    }
+
+    /// Remote `mkdir` — subject to the reserve right exactly as local
+    /// mkdir inside a box.
+    pub fn mkdir(&mut self, path: &str, mode: u16) -> SysResult<()> {
+        self.round_trip(&format!("mkdir {} {}", encode_word(path), mode))?;
+        Ok(())
+    }
+
+    /// Remote `rmdir`.
+    pub fn rmdir(&mut self, path: &str) -> SysResult<()> {
+        self.round_trip(&format!("rmdir {}", encode_word(path)))?;
+        Ok(())
+    }
+
+    /// Remote `unlink`.
+    pub fn unlink(&mut self, path: &str) -> SysResult<()> {
+        self.round_trip(&format!("unlink {}", encode_word(path)))?;
+        Ok(())
+    }
+
+    /// Remote `rename`.
+    pub fn rename(&mut self, old: &str, new: &str) -> SysResult<()> {
+        self.round_trip(&format!(
+            "rename {} {}",
+            encode_word(old),
+            encode_word(new)
+        ))?;
+        Ok(())
+    }
+
+    /// Remote `truncate`.
+    pub fn truncate(&mut self, path: &str, len: u64) -> SysResult<()> {
+        self.round_trip(&format!("truncate {} {len}", encode_word(path)))?;
+        Ok(())
+    }
+
+    /// Remote directory listing.
+    pub fn readdir(&mut self, path: &str) -> SysResult<Vec<DirEntry>> {
+        self.send(&format!("readdir {}", encode_word(path)))?;
+        let data = self.recv_payload()?;
+        let text = String::from_utf8(data).map_err(|_| Errno::EPROTO)?;
+        abi::decode_entries(&text)
+    }
+
+    /// Fetch a directory's ACL.
+    pub fn getacl(&mut self, path: &str) -> SysResult<Acl> {
+        self.send(&format!("getacl {}", encode_word(path)))?;
+        let data = self.recv_payload()?;
+        let text = String::from_utf8(data).map_err(|_| Errno::EPROTO)?;
+        Acl::parse(&text).map_err(|_| Errno::EPROTO)
+    }
+
+    /// Install a directory's ACL (requires the A right).
+    pub fn setacl(&mut self, path: &str, acl: &Acl) -> SysResult<()> {
+        let text = acl.to_text();
+        self.send_with_payload(
+            &format!("setacl {} {}", encode_word(path), text.len()),
+            text.as_bytes(),
+        )?;
+        self.recv()?;
+        Ok(())
+    }
+
+    /// Stage a whole file onto the server (mode 0644).
+    pub fn put(&mut self, path: &str, data: &[u8]) -> SysResult<()> {
+        self.put_mode(path, data, 0o644)
+    }
+
+    /// Stage a whole file with an explicit creation mode (0755 for
+    /// executables, as `chirp_put -m` would).
+    pub fn put_mode(&mut self, path: &str, data: &[u8], mode: u16) -> SysResult<()> {
+        self.send_with_payload(
+            &format!("put {} {} {}", encode_word(path), data.len(), mode),
+            data,
+        )?;
+        self.recv()?;
+        Ok(())
+    }
+
+    /// Retrieve a whole file from the server.
+    pub fn get(&mut self, path: &str) -> SysResult<Vec<u8>> {
+        self.send(&format!("get {}", encode_word(path)))?;
+        self.recv_payload()
+    }
+
+    /// The paper's new call: run a staged program remotely, inside an
+    /// identity box carrying our principal. Returns the exit code.
+    pub fn exec(&mut self, path: &str, args: &[&str]) -> SysResult<i32> {
+        let mut line = format!("exec {}", encode_word(path));
+        for a in args {
+            line.push(' ');
+            line.push_str(&encode_word(a));
+        }
+        let words = self.round_trip(&line)?;
+        Ok(Self::one_num(&words)? as i32)
+    }
+
+    /// Polite disconnect.
+    pub fn quit(mut self) -> SysResult<()> {
+        self.round_trip("quit")?;
+        Ok(())
+    }
+}

@@ -1,0 +1,184 @@
+//! Wire encoding: text command lines plus length-prefixed binary
+//! payloads, in the spirit of the real Chirp protocol.
+//!
+//! A command is one line of space-separated words ending in `\n`.
+//! Words that may contain arbitrary bytes (paths, principals) are
+//! percent-encoded. Bulk data follows a line announcing its length.
+
+use idbox_types::{Errno, SysResult};
+use std::io::{BufRead, Read, Write};
+
+/// Maximum accepted line length (matches PATH_MAX plus slack).
+pub const LINE_MAX: usize = 8192;
+
+/// Maximum accepted payload (64 MiB).
+pub const PAYLOAD_MAX: u64 = 64 << 20;
+
+/// Percent-encode a word: `%`, whitespace, control bytes, and all
+/// non-ASCII bytes become `%XX`, so any UTF-8 string crosses the wire
+/// intact inside a space-separated command line.
+pub fn encode_word(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'%' | b' ' | b'\t' | b'\r' | b'\n' => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+            0x21..=0x7E => out.push(b as char),
+            _ => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+        }
+    }
+    out
+}
+
+/// Decode a percent-encoded word.
+pub fn decode_word(s: &str) -> SysResult<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3).ok_or(Errno::EPROTO)?;
+            let hi = (hex[0] as char).to_digit(16).ok_or(Errno::EPROTO)?;
+            let lo = (hex[1] as char).to_digit(16).ok_or(Errno::EPROTO)?;
+            out.push((hi * 16 + lo) as u8);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| Errno::EPROTO)
+}
+
+/// Read one `\n`-terminated line (without the terminator).
+pub fn read_line(r: &mut impl BufRead) -> SysResult<String> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line).map_err(|_| Errno::EIO)?;
+    if n == 0 {
+        return Err(Errno::EPIPE);
+    }
+    if line.len() > LINE_MAX {
+        return Err(Errno::EPROTO);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Write one line.
+pub fn write_line(w: &mut impl Write, line: &str) -> SysResult<()> {
+    w.write_all(line.as_bytes()).map_err(|_| Errno::EPIPE)?;
+    w.write_all(b"\n").map_err(|_| Errno::EPIPE)?;
+    w.flush().map_err(|_| Errno::EPIPE)
+}
+
+/// Read an exact-length payload.
+pub fn read_payload(r: &mut impl Read, len: u64) -> SysResult<Vec<u8>> {
+    if len > PAYLOAD_MAX {
+        return Err(Errno::EPROTO);
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf).map_err(|_| Errno::EPIPE)?;
+    Ok(buf)
+}
+
+/// Split a command line into decoded words.
+pub fn split_words(line: &str) -> SysResult<Vec<String>> {
+    line.split(' ')
+        .filter(|w| !w.is_empty())
+        .map(decode_word)
+        .collect()
+}
+
+/// Format an `ok` response carrying a numeric result.
+pub fn ok_num(n: i64) -> String {
+    format!("ok {n}")
+}
+
+/// Format an `error` response from an errno.
+pub fn error_line(e: Errno) -> String {
+    format!("error {}", e.code())
+}
+
+/// Parse a response line: `Ok(words-after-ok)` or the carried errno.
+pub fn parse_response(line: &str) -> SysResult<Vec<String>> {
+    let words: Vec<&str> = line.split(' ').filter(|w| !w.is_empty()).collect();
+    match words.first() {
+        Some(&"ok") => words[1..].iter().map(|w| decode_word(w)).collect(),
+        Some(&"error") => {
+            let code: i32 = words
+                .get(1)
+                .and_then(|w| w.parse().ok())
+                .ok_or(Errno::EPROTO)?;
+            Err(Errno::from_code(code).unwrap_or(Errno::EIO))
+        }
+        _ => Err(Errno::EPROTO),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_roundtrip() {
+        for s in [
+            "plain",
+            "/path/with spaces/file",
+            "globus:/O=Univ Nowhere/CN=Fred",
+            "100%",
+            "tab\there",
+            "nl\nhere",
+        ] {
+            let enc = encode_word(s);
+            assert!(!enc.contains(' ') && !enc.contains('\n'), "{enc}");
+            assert_eq!(decode_word(&enc).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn malformed_percent_rejected() {
+        assert!(decode_word("%").is_err());
+        assert!(decode_word("%2").is_err());
+        assert!(decode_word("%zz").is_err());
+    }
+
+    #[test]
+    fn line_io_roundtrip() {
+        let mut buf = Vec::new();
+        write_line(&mut buf, "hello world").unwrap();
+        let mut r = std::io::BufReader::new(&buf[..]);
+        assert_eq!(read_line(&mut r).unwrap(), "hello world");
+        assert_eq!(read_line(&mut r), Err(Errno::EPIPE));
+    }
+
+    #[test]
+    fn payload_roundtrip_and_cap() {
+        let data = vec![9u8; 100];
+        let mut r = std::io::Cursor::new(data.clone());
+        assert_eq!(read_payload(&mut r, 100).unwrap(), data);
+        let mut r = std::io::Cursor::new(vec![0u8; 10]);
+        assert_eq!(read_payload(&mut r, PAYLOAD_MAX + 1), Err(Errno::EPROTO));
+    }
+
+    #[test]
+    fn response_parsing() {
+        assert_eq!(parse_response("ok 42").unwrap(), ["42"]);
+        assert_eq!(parse_response("ok").unwrap(), Vec::<String>::new());
+        assert_eq!(parse_response("error 13"), Err(Errno::EACCES));
+        assert_eq!(parse_response("gibberish"), Err(Errno::EPROTO));
+        assert_eq!(parse_response("error notanumber"), Err(Errno::EPROTO));
+    }
+
+    #[test]
+    fn split_words_decodes() {
+        let words = split_words("open /a%20b 3").unwrap();
+        assert_eq!(words, ["open", "/a b", "3"]);
+    }
+}

@@ -1,0 +1,122 @@
+//! The Chirp filesystem driver: mounts a remote server into the
+//! simulated kernel's namespace, so guest programs open
+//! `/chirp/host:port/path` like ordinary files — Parrot's original
+//! trick, with the *same identity* enforced on both sides of the wire.
+
+use crate::client::ChirpClient;
+use idbox_kernel::{DriverFd, FsDriver, OpenFlags};
+use idbox_types::{Errno, Identity, SysResult};
+use idbox_vfs::{DirEntry, StatBuf};
+use std::collections::BTreeMap;
+
+/// A mounted Chirp connection.
+///
+/// The connection was authenticated when the driver was built; the
+/// per-operation `identity` arguments are checked against that
+/// principal — a mismatch means a different boxed identity is trying to
+/// ride someone else's authenticated channel, which is refused.
+pub struct ChirpDriver {
+    client: ChirpClient,
+    /// Remote fd (server-side) per driver fd.
+    handles: BTreeMap<DriverFd, i64>,
+    next: DriverFd,
+}
+
+impl ChirpDriver {
+    /// Wrap an authenticated client.
+    pub fn new(client: ChirpClient) -> Self {
+        ChirpDriver {
+            client,
+            handles: BTreeMap::new(),
+            next: 1,
+        }
+    }
+
+    fn check_identity(&self, identity: &Identity) -> SysResult<()> {
+        if identity.as_str() == self.client.principal().qualified() {
+            Ok(())
+        } else {
+            Err(Errno::EPERM)
+        }
+    }
+
+    fn remote(&mut self, dfd: DriverFd) -> SysResult<i64> {
+        self.handles.get(&dfd).copied().ok_or(Errno::EBADF)
+    }
+}
+
+impl FsDriver for ChirpDriver {
+    fn name(&self) -> &str {
+        "chirp"
+    }
+
+    fn open(
+        &mut self,
+        path: &str,
+        flags: OpenFlags,
+        mode: u16,
+        identity: &Identity,
+    ) -> SysResult<DriverFd> {
+        self.check_identity(identity)?;
+        let rfd = self.client.open(path, flags, mode)?;
+        let dfd = self.next;
+        self.next += 1;
+        self.handles.insert(dfd, rfd);
+        Ok(dfd)
+    }
+
+    fn close(&mut self, dfd: DriverFd) -> SysResult<()> {
+        let rfd = self.handles.remove(&dfd).ok_or(Errno::EBADF)?;
+        self.client.close(rfd)
+    }
+
+    fn pread(&mut self, dfd: DriverFd, len: usize, off: u64) -> SysResult<Vec<u8>> {
+        let rfd = self.remote(dfd)?;
+        self.client.pread(rfd, len, off)
+    }
+
+    fn pwrite(&mut self, dfd: DriverFd, data: &[u8], off: u64) -> SysResult<usize> {
+        let rfd = self.remote(dfd)?;
+        self.client.pwrite(rfd, data, off)
+    }
+
+    fn fstat(&mut self, dfd: DriverFd) -> SysResult<StatBuf> {
+        let rfd = self.remote(dfd)?;
+        self.client.fstat(rfd)
+    }
+
+    fn stat(&mut self, path: &str, identity: &Identity) -> SysResult<StatBuf> {
+        self.check_identity(identity)?;
+        self.client.stat(path)
+    }
+
+    fn mkdir(&mut self, path: &str, mode: u16, identity: &Identity) -> SysResult<()> {
+        self.check_identity(identity)?;
+        self.client.mkdir(path, mode)
+    }
+
+    fn rmdir(&mut self, path: &str, identity: &Identity) -> SysResult<()> {
+        self.check_identity(identity)?;
+        self.client.rmdir(path)
+    }
+
+    fn unlink(&mut self, path: &str, identity: &Identity) -> SysResult<()> {
+        self.check_identity(identity)?;
+        self.client.unlink(path)
+    }
+
+    fn rename(&mut self, old: &str, new: &str, identity: &Identity) -> SysResult<()> {
+        self.check_identity(identity)?;
+        self.client.rename(old, new)
+    }
+
+    fn readdir(&mut self, path: &str, identity: &Identity) -> SysResult<Vec<DirEntry>> {
+        self.check_identity(identity)?;
+        self.client.readdir(path)
+    }
+
+    fn truncate(&mut self, path: &str, len: u64, identity: &Identity) -> SysResult<()> {
+        self.check_identity(identity)?;
+        self.client.truncate(path, len)
+    }
+}

@@ -1,0 +1,67 @@
+//! The Chirp distributed storage and execution system.
+//!
+//! A Chirp server is "a personal file server for grid computing": an
+//! ordinary user deploys it over any directory, it exports a Unix-like
+//! I/O interface over the network, authenticates clients by negotiation
+//! (GSI / Kerberos / hostname / unix), and protects everything with the
+//! same ACLs the identity box uses — a **fully virtual user space** in
+//! which local accounts are invisible and every name is a principal
+//! (paper, Section 4).
+//!
+//! This reproduction runs over real TCP sockets. The defining design
+//! choice: every connection's operations execute *inside an identity
+//! box* on the server — a per-connection guest process carrying the
+//! authenticated principal, supervised by the interposition policy from
+//! `idbox-core`. There is exactly one enforcement path for local and
+//! remote access, which is the paper's whole point.
+//!
+//! The `exec` RPC (the paper's addition) runs a staged program in the
+//! caller's identity box. Staged executables are scripts of the form
+//! `#!guest <name> [args...]`, resolved against the server's registered
+//! program table (the substitution for real ELF images — see DESIGN.md);
+//! the execute-right check, staging, and identity propagation follow the
+//! paper exactly.
+
+pub mod catalog;
+mod client;
+mod codec;
+mod driver;
+mod server;
+
+pub use client::ChirpClient;
+pub use codec::{decode_word, encode_word};
+pub use driver::ChirpDriver;
+pub use server::{ChirpServer, ChirpServerHandle, GuestFn, ServerConfig};
+
+/// The directory inside the server kernel that backs the exported space.
+pub const EXPORT_ROOT: &str = "/export";
+
+/// Map a client-visible path into the server kernel's namespace.
+/// Lexically normalized first, so `..` cannot escape the export root.
+pub fn export_path(client_path: &str) -> String {
+    let norm = idbox_vfs::path::normalize_lexical(&format!("/{client_path}"));
+    if norm == "/" {
+        EXPORT_ROOT.to_string()
+    } else {
+        format!("{EXPORT_ROOT}{norm}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_mapping() {
+        assert_eq!(export_path("/work/sim.exe"), "/export/work/sim.exe");
+        assert_eq!(export_path("work"), "/export/work");
+        assert_eq!(export_path("/"), "/export");
+        assert_eq!(export_path(""), "/export");
+    }
+
+    #[test]
+    fn export_mapping_blocks_escape() {
+        assert_eq!(export_path("/../etc/passwd"), "/export/etc/passwd");
+        assert_eq!(export_path("/work/../../.."), "/export");
+    }
+}

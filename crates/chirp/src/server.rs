@@ -1,0 +1,496 @@
+//! The Chirp server.
+
+use crate::codec::{self, error_line, ok_num};
+use crate::export_path;
+use idbox_acl::Acl;
+use idbox_auth::{authenticate_server, AuthTransport, ServerVerifier};
+use idbox_core::{BoxOptions, IdentityBox};
+use idbox_interpose::abi;
+use idbox_interpose::{share, GuestCtx, SharedKernel};
+use idbox_kernel::{Account, Kernel, OpenFlags};
+use idbox_types::{CostModel, Errno, SysResult};
+use idbox_vfs::Cred;
+use std::collections::BTreeMap;
+use std::io::{BufReader, Write};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use std::time::Duration;
+
+/// A registered guest program: what a staged `#!guest <name>` script
+/// resolves to.
+pub type GuestFn = Arc<dyn Fn(&mut GuestCtx<'_>, &[String]) -> i32 + Send + Sync>;
+
+/// Server configuration.
+pub struct ServerConfig {
+    /// Server name (advertised to the catalog).
+    pub name: String,
+    /// Authentication configuration.
+    pub verifier: ServerVerifier,
+    /// The ACL installed on the export root (the paper's `/` ACL).
+    pub root_acl: Acl,
+    /// Cost model for the per-connection identity boxes.
+    pub cost_model: CostModel,
+    /// Reverse-lookup table for the hostname method.
+    pub host_db: BTreeMap<IpAddr, String>,
+    /// A catalog to report to (the paper's "servers report themselves
+    /// to a catalog"), with re-registration on this heartbeat period.
+    pub catalog: Option<SocketAddr>,
+    /// Heartbeat period for catalog re-registration.
+    pub heartbeat: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let mut host_db = BTreeMap::new();
+        host_db.insert(
+            IpAddr::from([127, 0, 0, 1]),
+            "localhost".to_string(),
+        );
+        ServerConfig {
+            name: "chirp".to_string(),
+            verifier: ServerVerifier::new(),
+            root_acl: Acl::empty(),
+            cost_model: CostModel::free_switches(),
+            host_db,
+            catalog: None,
+            heartbeat: Duration::from_secs(60),
+        }
+    }
+}
+
+/// A Chirp server ready to be spawned.
+pub struct ChirpServer {
+    config: ServerConfig,
+    kernel: SharedKernel,
+    programs: BTreeMap<String, GuestFn>,
+    sup_cred: Cred,
+}
+
+impl ChirpServer {
+    /// Build a server with its own simulated kernel: the export space
+    /// lives at [`crate::EXPORT_ROOT`] and carries `config.root_acl`.
+    /// The server runs as an ordinary user (`chirp`, uid 1000) — no
+    /// privileges anywhere.
+    pub fn new(config: ServerConfig) -> Self {
+        let mut k = Kernel::new();
+        k.accounts_mut()
+            .add(Account::new("chirp", 1000, 1000))
+            .expect("fresh kernel");
+        let sup_cred = Cred::new(1000, 1000);
+        let root = k.vfs().root();
+        let export = k
+            .vfs_mut()
+            .mkdir_all(root, crate::EXPORT_ROOT, 0o755, &Cred::ROOT)
+            .expect("create export root");
+        k.vfs_mut()
+            .chown(root, crate::EXPORT_ROOT, 1000, 1000, &Cred::ROOT)
+            .expect("chown export root");
+        idbox_core::write_acl(k.vfs_mut(), export, &config.root_acl, &sup_cred)
+            .expect("install root ACL");
+        ChirpServer {
+            config,
+            kernel: share(k),
+            programs: BTreeMap::new(),
+            sup_cred,
+        }
+    }
+
+    /// Register a guest program for `exec` (resolved from staged
+    /// `#!guest <name>` scripts).
+    pub fn register_program(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&mut GuestCtx<'_>, &[String]) -> i32 + Send + Sync + 'static,
+    ) {
+        self.programs.insert(name.into(), Arc::new(f));
+    }
+
+    /// The server's kernel (tests inspect the export space through it).
+    pub fn kernel(&self) -> &SharedKernel {
+        &self.kernel
+    }
+
+    /// Bind to a local port and serve connections on a background
+    /// thread. Returns a handle carrying the bound address.
+    pub fn spawn(self) -> std::io::Result<ChirpServerHandle> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let kernel = Arc::clone(&self.kernel);
+        let programs = Arc::new(self.programs);
+        let verifier = Arc::new(self.config.verifier);
+        let host_db = Arc::new(self.config.host_db);
+        let cost_model = self.config.cost_model;
+        let sup_cred = self.sup_cred;
+        // Catalog heartbeat: register now and on every period until
+        // shutdown.
+        if let Some(catalog) = self.config.catalog {
+            let name = self.config.name.clone();
+            let stop = Arc::clone(&stop);
+            let period = self.config.heartbeat;
+            let addr_str = addr.to_string();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = crate::catalog::register(catalog, &addr_str, &name);
+                    // Sleep in small slices so shutdown is prompt.
+                    let mut remaining = period;
+                    while !stop.load(Ordering::Relaxed) && remaining > Duration::ZERO {
+                        let slice = remaining.min(Duration::from_millis(20));
+                        std::thread::sleep(slice);
+                        remaining = remaining.saturating_sub(slice);
+                    }
+                }
+            });
+        }
+        let join = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, peer)) => {
+                        let kernel = Arc::clone(&kernel);
+                        let programs = Arc::clone(&programs);
+                        let mut verifier = (*verifier).clone();
+                        verifier.peer_hostname = host_db.get(&peer.ip()).cloned();
+                        // Detached: a connection lives as long as its
+                        // client keeps the socket open. Shutdown stops
+                        // the accept loop; lingering sessions end when
+                        // their peers hang up.
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(
+                                stream, kernel, &verifier, &programs, cost_model, sup_cred,
+                            );
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(ChirpServerHandle {
+            addr,
+            stop,
+            join: Some(join),
+            kernel: Arc::clone(&self.kernel),
+        })
+    }
+}
+
+/// A running server; shuts down when dropped.
+pub struct ChirpServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+    kernel: SharedKernel,
+}
+
+impl ChirpServerHandle {
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's kernel.
+    pub fn kernel(&self) -> &SharedKernel {
+        &self.kernel
+    }
+
+    /// Stop accepting and wait for the accept loop (in-flight
+    /// connections end when their clients disconnect).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ChirpServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// The auth transport over a TCP stream.
+struct TcpLineTransport {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl AuthTransport for TcpLineTransport {
+    fn send_line(&mut self, line: &str) -> Result<(), String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| e.to_string())
+    }
+
+    fn recv_line(&mut self) -> Result<String, String> {
+        codec::read_line(&mut self.reader).map_err(|e| e.to_string())
+    }
+}
+
+/// Serve one authenticated connection inside an identity box.
+fn serve_connection(
+    stream: TcpStream,
+    kernel: SharedKernel,
+    verifier: &ServerVerifier,
+    programs: &BTreeMap<String, GuestFn>,
+    cost_model: CostModel,
+    sup_cred: Cred,
+) -> SysResult<()> {
+    let reader = BufReader::new(stream.try_clone().map_err(|_| Errno::EIO)?);
+    let mut transport = TcpLineTransport {
+        reader,
+        writer: stream,
+    };
+    let principal = match authenticate_server(&mut transport, verifier) {
+        Ok(p) => p,
+        Err(_) => return Err(Errno::EACCES), // client saw the refusal
+    };
+
+    // The heart of the design: this connection's operations run inside
+    // an identity box carrying the authenticated principal.
+    let options = BoxOptions {
+        cost_model,
+        ..Default::default()
+    };
+    let b = IdentityBox::with_options(kernel, principal.to_identity(), sup_cred, options)?;
+    let pid = b.spawn_process("chirp-session")?;
+    let mut sup = b.supervisor();
+    let mut ctx = GuestCtx::new(&mut sup, pid);
+
+    let TcpLineTransport {
+        mut reader,
+        mut writer,
+    } = transport;
+
+    while let Ok(line) = codec::read_line(&mut reader) {
+        let words = match codec::split_words(&line) {
+            Ok(w) if !w.is_empty() => w,
+            _ => {
+                codec::write_line(&mut writer, &error_line(Errno::EPROTO))?;
+                continue;
+            }
+        };
+        if words[0] == "quit" {
+            codec::write_line(&mut writer, "ok")?;
+            break;
+        }
+        match dispatch(&words, &mut reader, &mut ctx, &principal, programs) {
+            Ok(Reply::Line(l)) => codec::write_line(&mut writer, &l)?,
+            Ok(Reply::Payload(head, data)) => {
+                codec::write_line(&mut writer, &head)?;
+                writer.write_all(&data).map_err(|_| Errno::EPIPE)?;
+                writer.flush().map_err(|_| Errno::EPIPE)?;
+            }
+            Err(e) => codec::write_line(&mut writer, &error_line(e))?,
+        }
+    }
+    ctx.exit(0);
+    Ok(())
+}
+
+enum Reply {
+    Line(String),
+    Payload(String, Vec<u8>),
+}
+
+fn parse_num<T: std::str::FromStr>(w: Option<&String>) -> SysResult<T> {
+    w.and_then(|s| s.parse().ok()).ok_or(Errno::EPROTO)
+}
+
+fn dispatch(
+    words: &[String],
+    reader: &mut BufReader<TcpStream>,
+    ctx: &mut GuestCtx<'_>,
+    principal: &idbox_types::Principal,
+    programs: &BTreeMap<String, GuestFn>,
+) -> SysResult<Reply> {
+    let cmd = words[0].as_str();
+    let arg = |i: usize| -> SysResult<&String> { words.get(i).ok_or(Errno::EPROTO) };
+    match cmd {
+        "whoami" => Ok(Reply::Line(format!(
+            "ok {}",
+            codec::encode_word(&principal.to_string())
+        ))),
+        "stat" => {
+            let st = ctx.stat(&export_path(arg(1)?))?;
+            let ws = abi::encode_stat(&st);
+            let mut line = "ok".to_string();
+            for w in ws {
+                line.push(' ');
+                line.push_str(&w.to_string());
+            }
+            Ok(Reply::Line(line))
+        }
+        "open" => {
+            let flags = OpenFlags::from_bits(parse_num(words.get(2))?);
+            let mode: u16 = parse_num(words.get(3))?;
+            let fd = ctx.open(&export_path(arg(1)?), flags, mode)?;
+            Ok(Reply::Line(ok_num(fd)))
+        }
+        "close" => {
+            ctx.close(parse_num(words.get(1))?)?;
+            Ok(Reply::Line("ok".to_string()))
+        }
+        "pread" => {
+            let fd: i64 = parse_num(words.get(1))?;
+            let len: usize = parse_num(words.get(2))?;
+            let off: u64 = parse_num(words.get(3))?;
+            if len as u64 > codec::PAYLOAD_MAX {
+                return Err(Errno::EINVAL);
+            }
+            let mut buf = vec![0u8; len];
+            let n = ctx.pread(fd, &mut buf, off)?;
+            buf.truncate(n);
+            Ok(Reply::Payload(ok_num(n as i64), buf))
+        }
+        "pwrite" => {
+            let fd: i64 = parse_num(words.get(1))?;
+            let off: u64 = parse_num(words.get(2))?;
+            let len: u64 = parse_num(words.get(3))?;
+            let data = codec::read_payload(reader, len)?;
+            let n = ctx.pwrite(fd, &data, off)?;
+            Ok(Reply::Line(ok_num(n as i64)))
+        }
+        "fstat" => {
+            let st = ctx.fstat(parse_num(words.get(1))?)?;
+            let ws = abi::encode_stat(&st);
+            let mut line = "ok".to_string();
+            for w in ws {
+                line.push(' ');
+                line.push_str(&w.to_string());
+            }
+            Ok(Reply::Line(line))
+        }
+        "mkdir" => {
+            ctx.mkdir(&export_path(arg(1)?), parse_num(words.get(2))?)?;
+            Ok(Reply::Line("ok".to_string()))
+        }
+        "rmdir" => {
+            ctx.rmdir(&export_path(arg(1)?))?;
+            Ok(Reply::Line("ok".to_string()))
+        }
+        "unlink" => {
+            ctx.unlink(&export_path(arg(1)?))?;
+            Ok(Reply::Line("ok".to_string()))
+        }
+        "rename" => {
+            ctx.rename(&export_path(arg(1)?), &export_path(arg(2)?))?;
+            Ok(Reply::Line("ok".to_string()))
+        }
+        "truncate" => {
+            ctx.truncate(&export_path(arg(1)?), parse_num(words.get(2))?)?;
+            Ok(Reply::Line("ok".to_string()))
+        }
+        "readdir" => {
+            let entries = ctx.readdir(&export_path(arg(1)?))?;
+            let text = abi::encode_entries(&entries);
+            Ok(Reply::Payload(
+                ok_num(text.len() as i64),
+                text.into_bytes(),
+            ))
+        }
+        "getacl" => {
+            let dir = export_path(arg(1)?);
+            let acl_path = format!("{dir}/{}", idbox_types::ACL_FILE_NAME);
+            let data = ctx.read_file(&acl_path)?;
+            Ok(Reply::Payload(ok_num(data.len() as i64), data))
+        }
+        "setacl" => {
+            let dir = export_path(arg(1)?);
+            let len: u64 = parse_num(words.get(2))?;
+            let data = codec::read_payload(reader, len)?;
+            // Validate before installing: a bad ACL must not brick the
+            // directory.
+            let text = String::from_utf8(data).map_err(|_| Errno::EINVAL)?;
+            Acl::parse(&text).map_err(|_| Errno::EINVAL)?;
+            let acl_path = format!("{dir}/{}", idbox_types::ACL_FILE_NAME);
+            ctx.write_file(&acl_path, text.as_bytes())?;
+            Ok(Reply::Line("ok".to_string()))
+        }
+        "put" => {
+            let path = export_path(arg(1)?);
+            let len: u64 = parse_num(words.get(2))?;
+            let mode: u16 = match words.get(3) {
+                Some(w) => w.parse().map_err(|_| Errno::EPROTO)?,
+                None => 0o644,
+            };
+            let data = codec::read_payload(reader, len)?;
+            ctx.write_file_mode(&path, &data, mode)?;
+            Ok(Reply::Line("ok".to_string()))
+        }
+        "get" => {
+            let data = ctx.read_file(&export_path(arg(1)?))?;
+            Ok(Reply::Payload(ok_num(data.len() as i64), data))
+        }
+        "exec" => {
+            let path = export_path(arg(1)?);
+            let args: Vec<String> = words[2..].to_vec();
+            let code = run_exec(ctx, &path, &args, programs)?;
+            Ok(Reply::Line(ok_num(code as i64)))
+        }
+        _ => Err(Errno::ENOSYS),
+    }
+}
+
+/// The paper's `exec` call: the staged program runs in a child process
+/// of this connection's identity box, in the staged file's directory.
+fn run_exec(
+    ctx: &mut GuestCtx<'_>,
+    path: &str,
+    args: &[String],
+    programs: &BTreeMap<String, GuestFn>,
+) -> SysResult<i32> {
+    // The x (and r) rights are enforced by the box policy here.
+    ctx.exec(path)?;
+    let image = ctx.read_file(path)?;
+    let workdir = idbox_vfs::path::split_parent(path)
+        .map(|(d, _)| d.to_string())
+        .ok_or(Errno::EINVAL)?;
+
+    // A staged GuestScript program: the code itself travelled over the
+    // wire; interpret it in a child of the box, capturing `echo` output
+    // into `script.out` next to the program.
+    if idbox_workloads::is_script(&image) {
+        ctx.run_child(move |c| {
+            if c.chdir(&workdir).is_err() {
+                return 111;
+            }
+            let result = idbox_workloads::run_script(c, &image);
+            if c.write_file("script.out", result.output.as_bytes()).is_err() {
+                return 112;
+            }
+            result.code
+        })?;
+        let (_, code) = ctx.wait()?;
+        return Ok(code);
+    }
+
+    // Otherwise: a registered compiled program named by the shebang.
+    let text = String::from_utf8_lossy(&image);
+    let first = text.lines().next().unwrap_or("");
+    let prog_name = first
+        .strip_prefix("#!guest ")
+        .map(str::trim)
+        .ok_or(Errno::ENOSYS)?;
+    let prog = programs.get(prog_name).cloned().ok_or(Errno::ENOSYS)?;
+    let args = args.to_vec();
+    ctx.run_child(move |c| {
+        if c.chdir(&workdir).is_err() {
+            return 111;
+        }
+        prog(c, &args)
+    })?;
+    let (_, code) = ctx.wait()?;
+    Ok(code)
+}

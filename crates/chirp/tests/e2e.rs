@@ -1,0 +1,446 @@
+//! End-to-end Chirp tests over real TCP on localhost.
+
+use idbox_acl::{Acl, Rights};
+use idbox_auth::{CertificateAuthority, ClientCredential, ServerVerifier};
+use idbox_chirp::{catalog, ChirpClient, ChirpDriver, ChirpServer, ServerConfig};
+use idbox_interpose::{share, GuestCtx, Supervisor};
+use idbox_kernel::{Kernel, OpenFlags};
+use idbox_types::{AuthMethod, Errno};
+use idbox_vfs::Cred;
+
+/// A CA + verifier trusting `/O=UnivNowhere`.
+fn gsi_setup() -> (CertificateAuthority, ServerVerifier) {
+    let ca = CertificateAuthority::new("/O=UnivNowhere CA", 0xCA11AB1E);
+    let mut v = ServerVerifier::new();
+    v.accept = vec![AuthMethod::Globus, AuthMethod::Hostname];
+    v.cas.trust(ca.clone());
+    (ca, v)
+}
+
+fn fred_creds(ca: &CertificateAuthority) -> Vec<ClientCredential> {
+    vec![ClientCredential::Globus(
+        ca.issue("/O=UnivNowhere/CN=Fred"),
+    )]
+}
+
+/// The paper's root ACL for Figure 3: hosts in nowhere.edu may read and
+/// run what is there; UnivNowhere certificate holders may reserve fresh
+/// directories with full rights.
+fn figure3_root_acl() -> Acl {
+    let mut acl = Acl::empty();
+    acl.set(
+        "hostname:*.nowhere.edu",
+        Rights::READ | Rights::LIST | Rights::EXECUTE,
+    );
+    acl.set_reserve("globus:/O=UnivNowhere/*", Rights::LIST, Rights::RWLAX);
+    acl
+}
+
+fn spawn_figure3_server() -> (idbox_chirp::ChirpServerHandle, CertificateAuthority) {
+    let (ca, verifier) = gsi_setup();
+    let mut server = ChirpServer::new(ServerConfig {
+        name: "figure3".to_string(),
+        verifier,
+        root_acl: figure3_root_acl(),
+        ..Default::default()
+    });
+    // The "sim.exe" program: reads its staged input, computes, writes
+    // out.dat in its working directory.
+    server.register_program("sim", |ctx, args| {
+        let scale: u64 = args
+            .first()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(10);
+        let Ok(input) = ctx.read_file("input.dat") else {
+            return 1;
+        };
+        let mut acc = 0u64;
+        for (i, b) in input.iter().enumerate() {
+            acc = acc.wrapping_mul(31).wrapping_add(*b as u64) ^ scale ^ i as u64;
+        }
+        let out = format!("simulated result: {acc:016x}\n");
+        match ctx.write_file("out.dat", out.as_bytes()) {
+            Ok(()) => 0,
+            Err(_) => 1,
+        }
+    });
+    (server.spawn().unwrap(), ca)
+}
+
+#[test]
+fn figure3_full_workflow() {
+    let (handle, ca) = spawn_figure3_server();
+    let mut client = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    assert_eq!(
+        client.whoami().unwrap().to_string(),
+        "globus:/O=UnivNowhere/CN=Fred"
+    );
+
+    // 1. mkdir /work — allowed only through the reserve right.
+    client.mkdir("/work", 0o755).unwrap();
+    // The fresh ACL names Fred literally with rwlax.
+    let acl = client.getacl("/work").unwrap();
+    let fred = idbox_types::Identity::new("globus:/O=UnivNowhere/CN=Fred");
+    assert!(acl.allows(&fred, Rights::RWLAX));
+    let george = idbox_types::Identity::new("globus:/O=UnivNowhere/CN=George");
+    assert_eq!(acl.rights_for(&george), Rights::NONE);
+
+    // 2-3. cd /work; put sim.exe (and its input).
+    client
+        .put_mode("/work/sim.exe", b"#!guest sim\n(simulated executable image)\n", 0o755)
+        .unwrap();
+    client.put("/work/input.dat", b"input particles 12345").unwrap();
+
+    // 4. exec sim.exe — runs in an identity box named by Fred's
+    // credentials, on the server.
+    let code = client.exec("/work/sim.exe", &["42"]).unwrap();
+    assert_eq!(code, 0);
+
+    // 5. get out.dat.
+    let out = client.get("/work/out.dat").unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.starts_with("simulated result: "), "{text}");
+
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn visitors_cannot_touch_without_rights() {
+    let (handle, ca) = spawn_figure3_server();
+    // George holds a valid UnivNowhere certificate too...
+    let creds = vec![ClientCredential::Globus(
+        ca.issue("/O=UnivNowhere/CN=George"),
+    )];
+    let mut fred = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    let mut george = ChirpClient::connect(handle.addr(), &creds).unwrap();
+    fred.mkdir("/work", 0o755).unwrap();
+    fred.put("/work/data", b"private").unwrap();
+    // ...but Fred's reserved directory excludes him entirely.
+    assert_eq!(george.get("/work/data"), Err(Errno::EACCES));
+    assert_eq!(george.put("/work/evil", b"x"), Err(Errno::EACCES));
+    assert_eq!(george.readdir("/work"), Err(Errno::EACCES));
+    // Until Fred, holding A, extends the ACL by grid name.
+    let mut acl = fred.getacl("/work").unwrap();
+    acl.set(
+        "globus:/O=UnivNowhere/CN=George",
+        Rights::READ | Rights::LIST,
+    );
+    fred.setacl("/work", &acl).unwrap();
+    assert_eq!(george.get("/work/data").unwrap(), b"private");
+    // Read-only: still no writing.
+    assert_eq!(george.put("/work/evil", b"x"), Err(Errno::EACCES));
+    handle.shutdown();
+}
+
+#[test]
+fn exec_requires_the_x_right() {
+    let (handle, ca) = spawn_figure3_server();
+    let mut fred = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    fred.mkdir("/work", 0o755).unwrap();
+    fred.put_mode("/work/sim.exe", b"#!guest sim\n", 0o755).unwrap();
+    fred.put("/work/input.dat", b"data").unwrap();
+    // Fred drops his own x right (keeping a to be able to do so).
+    let mut acl = fred.getacl("/work").unwrap();
+    acl.set(
+        "globus:/O=UnivNowhere/CN=Fred",
+        Rights::READ | Rights::WRITE | Rights::LIST | Rights::ADMIN,
+    );
+    fred.setacl("/work", &acl).unwrap();
+    assert_eq!(fred.exec("/work/sim.exe", &[]), Err(Errno::EACCES));
+    // Restore x: execution works again.
+    let mut acl = fred.getacl("/work").unwrap();
+    acl.set("globus:/O=UnivNowhere/CN=Fred", Rights::FULL);
+    fred.setacl("/work", &acl).unwrap();
+    assert_eq!(fred.exec("/work/sim.exe", &[]).unwrap(), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn hostname_clients_can_run_but_not_stage() {
+    // The paper's ACL: nowhere.edu hosts hold rlx — they may run
+    // existing programs but cannot stage in new ones.
+    let (ca, mut verifier) = gsi_setup();
+    verifier.peer_hostname = None; // set per-connection by host_db
+    let mut config = ServerConfig {
+        name: "rlx".to_string(),
+        verifier,
+        root_acl: {
+            let mut acl = Acl::empty();
+            acl.set(
+                "hostname:*.nowhere.edu",
+                Rights::READ | Rights::LIST | Rights::EXECUTE,
+            );
+            acl.set_reserve("globus:/O=UnivNowhere/*", Rights::LIST, Rights::RWLAX);
+            acl
+        },
+        ..Default::default()
+    };
+    config
+        .host_db
+        .insert([127, 0, 0, 1].into(), "laptop.cs.nowhere.edu".to_string());
+    let mut server = ChirpServer::new(config);
+    server.register_program("hello", |ctx, _| {
+        ctx.write_file("/tmp/hello-ran", b"yes").map(|_| 0).unwrap_or(1)
+    });
+    let handle = server.spawn().unwrap();
+
+    // Fred (globus) stages a program into his reserved directory, then
+    // opens it to the world.
+    let mut fred = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    fred.mkdir("/apps", 0o755).unwrap();
+    fred.put_mode("/apps/hello.exe", b"#!guest hello\n", 0o755).unwrap();
+    let mut acl = fred.getacl("/apps").unwrap();
+    acl.set(
+        "hostname:*.nowhere.edu",
+        Rights::READ | Rights::LIST | Rights::EXECUTE,
+    );
+    fred.setacl("/apps", &acl).unwrap();
+
+    // The hostname-authenticated visitor may list and execute...
+    let host_cred = vec![ClientCredential::Hostname(
+        "laptop.cs.nowhere.edu".to_string(),
+    )];
+    let mut host = ChirpClient::connect(handle.addr(), &host_cred).unwrap();
+    assert_eq!(
+        host.whoami().unwrap().to_string(),
+        "hostname:laptop.cs.nowhere.edu"
+    );
+    assert!(host.readdir("/apps").is_ok());
+    assert_eq!(host.exec("/apps/hello.exe", &[]).unwrap(), 0);
+    // ...but cannot stage in programs anywhere.
+    assert_eq!(host.put("/apps/own.exe", b"#!guest hello\n"), Err(Errno::EACCES));
+    assert_eq!(host.mkdir("/host-dir", 0o755), Err(Errno::EACCES));
+    handle.shutdown();
+}
+
+#[test]
+fn untrusted_ca_is_refused_at_connect() {
+    let (handle, _ca) = spawn_figure3_server();
+    let rogue = CertificateAuthority::new("/O=Rogue CA", 0xBAD);
+    let creds = vec![ClientCredential::Globus(
+        rogue.issue("/O=UnivNowhere/CN=Fred"),
+    )];
+    assert_eq!(
+        ChirpClient::connect(handle.addr(), &creds).unwrap_err(),
+        Errno::EACCES
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn fd_based_io_and_stat_over_the_wire() {
+    let (handle, ca) = spawn_figure3_server();
+    let mut client = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    client.mkdir("/work", 0o755).unwrap();
+    let fd = client
+        .open("/work/notes", OpenFlags::wronly_create_trunc(), 0o644)
+        .unwrap();
+    assert_eq!(client.pwrite(fd, b"hello chirp", 0).unwrap(), 11);
+    client.close(fd).unwrap();
+    let st = client.stat("/work/notes").unwrap();
+    assert_eq!(st.size, 11);
+    let fd = client.open("/work/notes", OpenFlags::rdonly(), 0).unwrap();
+    assert_eq!(client.pread(fd, 5, 6).unwrap(), b"chirp");
+    let fst = client.fstat(fd).unwrap();
+    assert_eq!(fst.size, 11);
+    client.close(fd).unwrap();
+    // rename + unlink + rmdir round out the namespace ops.
+    client.rename("/work/notes", "/work/notes2").unwrap();
+    assert_eq!(client.stat("/work/notes"), Err(Errno::ENOENT));
+    client.unlink("/work/notes2").unwrap();
+    client.unlink("/work/sim.exe").ok();
+    handle.shutdown();
+}
+
+#[test]
+fn chirp_driver_mounts_into_guest_namespace() {
+    let (handle, ca) = spawn_figure3_server();
+    // Prepare remote state as Fred.
+    let mut c = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    c.mkdir("/work", 0o755).unwrap();
+    c.put("/work/remote.txt", b"over the wire").unwrap();
+
+    // A *local* kernel mounts the server under /chirp/srv; the guest
+    // carries Fred's identity, which the driver presents remotely.
+    let client2 = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    let kernel = share(Kernel::new());
+    let pid = {
+        let mut k = kernel.lock();
+        k.mount("/chirp/srv", Box::new(ChirpDriver::new(client2)));
+        let pid = k.spawn(Cred::new(1000, 1000), "/tmp", "guest").unwrap();
+        k.set_identity(pid, idbox_types::Identity::new("globus:/O=UnivNowhere/CN=Fred"))
+            .unwrap();
+        pid
+    };
+    let mut sup = Supervisor::direct(kernel);
+    let mut ctx = GuestCtx::new(&mut sup, pid);
+    // Remote files appear as ordinary paths.
+    assert_eq!(
+        ctx.read_file("/chirp/srv/work/remote.txt").unwrap(),
+        b"over the wire"
+    );
+    ctx.write_file("/chirp/srv/work/pushed.txt", b"from guest").unwrap();
+    let st = ctx.stat("/chirp/srv/work/pushed.txt").unwrap();
+    assert_eq!(st.size, 10);
+    let names: Vec<String> = ctx
+        .readdir("/chirp/srv/work")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert!(names.contains(&"remote.txt".to_string()));
+    assert!(names.contains(&"pushed.txt".to_string()));
+    handle.shutdown();
+}
+
+#[test]
+fn catalog_discovery_roundtrip() {
+    let cat = catalog::Catalog::spawn().unwrap();
+    let (handle, ca) = spawn_figure3_server();
+    catalog::register(cat.addr(), &handle.addr().to_string(), "figure3").unwrap();
+    let servers = catalog::list(cat.addr()).unwrap();
+    assert_eq!(servers.len(), 1);
+    // A client discovers the server through the catalog and uses it.
+    let addr: std::net::SocketAddr = servers[0].addr.parse().unwrap();
+    let mut client = ChirpClient::connect(addr, &fred_creds(&ca)).unwrap();
+    assert!(client.whoami().is_ok());
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_share_one_server() {
+    let (handle, ca) = spawn_figure3_server();
+    let mut threads = Vec::new();
+    for i in 0..4 {
+        let addr = handle.addr();
+        let cert = ca.issue(format!("/O=UnivNowhere/CN=User{i}"));
+        threads.push(std::thread::spawn(move || {
+            let creds = vec![ClientCredential::Globus(cert)];
+            let mut c = ChirpClient::connect(addr, &creds).unwrap();
+            let dir = format!("/u{i}");
+            c.mkdir(&dir, 0o755).unwrap();
+            for j in 0..5 {
+                c.put(&format!("{dir}/f{j}"), format!("{i}-{j}").as_bytes())
+                    .unwrap();
+            }
+            for j in 0..5 {
+                let data = c.get(&format!("{dir}/f{j}")).unwrap();
+                assert_eq!(data, format!("{i}-{j}").as_bytes());
+            }
+            // Everyone's namespace is private.
+            let other = format!("/u{}/f0", (i + 1) % 4);
+            let r = c.get(&other);
+            assert!(
+                r == Err(Errno::EACCES) || r == Err(Errno::ENOENT),
+                "{r:?}"
+            );
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn guestscript_programs_run_over_the_wire() {
+    let (handle, ca) = spawn_figure3_server();
+    let mut fred = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    fred.mkdir("/work", 0o755).unwrap();
+    // The program *is* the staged content: no registration needed.
+    let script = b"#!guestscript\n\
+                   read input.dat\n\
+                   checksum\n\
+                   stat input.dat\n\
+                   write out.dat bytes=$SIZE digest=$SUM\n\
+                   echo analysis complete\n\
+                   exit 0\n";
+    fred.put_mode("/work/analyze.x", script, 0o755).unwrap();
+    fred.put("/work/input.dat", b"sequence data").unwrap();
+    assert_eq!(fred.exec("/work/analyze.x", &[]).unwrap(), 0);
+    let out = String::from_utf8(fred.get("/work/out.dat").unwrap()).unwrap();
+    assert!(out.starts_with("bytes=13 digest="), "{out}");
+    let echoed = String::from_utf8(fred.get("/work/script.out").unwrap()).unwrap();
+    assert_eq!(echoed, "analysis complete\n");
+    handle.shutdown();
+}
+
+#[test]
+fn guestscript_is_contained_by_the_box() {
+    let (handle, ca) = spawn_figure3_server();
+    let mut fred = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    fred.mkdir("/work", 0o755).unwrap();
+    // A hostile script: tries to escape the export space and read the
+    // server's own files. The box must contain it, and the failure must
+    // be a clean nonzero exit with a recorded error.
+    let script = b"#!guestscript\n\
+                   read /etc/shadow\n\
+                   echo never reached\n";
+    fred.put_mode("/work/evil.x", script, 0o755).unwrap();
+    let code = fred.exec("/work/evil.x", &[]).unwrap();
+    assert_eq!(code, 1);
+    let log = String::from_utf8(fred.get("/work/script.out").unwrap()).unwrap();
+    assert!(log.contains("script error"), "{log}");
+    assert!(!log.contains("never reached"));
+    handle.shutdown();
+}
+
+#[test]
+fn server_heartbeats_to_catalog() {
+    let cat = catalog::Catalog::spawn().unwrap();
+    let (ca, verifier) = gsi_setup();
+    let server = ChirpServer::new(ServerConfig {
+        name: "heartbeater".to_string(),
+        verifier,
+        root_acl: figure3_root_acl(),
+        catalog: Some(cat.addr()),
+        heartbeat: std::time::Duration::from_millis(50),
+        ..Default::default()
+    });
+    let handle = server.spawn().unwrap();
+    // Wait for at least two heartbeats: the seq must advance.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let mut first_seq = None;
+    let advanced = loop {
+        if std::time::Instant::now() > deadline {
+            break false;
+        }
+        let servers = catalog::list(cat.addr()).unwrap();
+        if let Some(info) = servers.iter().find(|s| s.name == "heartbeater") {
+            match first_seq {
+                None => first_seq = Some(info.seq),
+                Some(s0) if info.seq > s0 => break true,
+                Some(_) => {}
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    assert!(advanced, "heartbeat never re-registered");
+    // The advertised address really serves.
+    let servers = catalog::list(cat.addr()).unwrap();
+    let info = servers.iter().find(|s| s.name == "heartbeater").unwrap();
+    let addr: std::net::SocketAddr = info.addr.parse().unwrap();
+    let mut c = ChirpClient::connect(addr, &fred_creds(&ca)).unwrap();
+    assert!(c.whoami().is_ok());
+    handle.shutdown();
+}
+
+#[test]
+fn reserved_directory_cleanup_over_the_wire() {
+    // A visitor who created /work through the reserve right can dissolve
+    // it again once it is empty — the ACL file itself does not count as
+    // content.
+    let (handle, ca) = spawn_figure3_server();
+    let mut fred = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    fred.mkdir("/work", 0o755).unwrap();
+    fred.put("/work/tmp.dat", b"x").unwrap();
+    // Not empty yet.
+    assert_eq!(fred.rmdir("/work"), Err(Errno::ENOTEMPTY));
+    fred.unlink("/work/tmp.dat").unwrap();
+    fred.rmdir("/work").unwrap();
+    assert_eq!(fred.stat("/work"), Err(Errno::ENOENT));
+    // And the namespace is reusable.
+    fred.mkdir("/work", 0o755).unwrap();
+    handle.shutdown();
+}

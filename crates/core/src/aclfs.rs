@@ -1,0 +1,182 @@
+//! Reading and writing `.__acl` files, and computing effective rights.
+
+use idbox_acl::{Acl, Rights};
+use idbox_types::{Errno, Identity, SysResult, ACL_FILE_NAME, NOBODY};
+use idbox_vfs::{Access, Cred, Ino, Vfs};
+
+/// The Unix credential of the `nobody` account used by the fallback.
+pub const NOBODY_CRED: Cred = Cred {
+    uid: 65534,
+    gid: 65534,
+};
+
+/// What governs a visitor's access to a directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EffectiveRights {
+    /// The directory carries an ACL; these are the identity's rights
+    /// under it (plus the reserve grant, when held).
+    Acl(Rights, Option<Rights>),
+    /// No ACL anywhere: Unix permissions apply, evaluated as `nobody`.
+    UnixAsNobody,
+}
+
+/// Read the ACL of a directory, if present. The supervisor reads with its
+/// own credential — it owns the box areas — so visitors' rights never
+/// gate the *lookup* of the policy that governs them.
+pub fn read_acl(vfs: &mut Vfs, dir: Ino, sup: &Cred) -> SysResult<Option<Acl>> {
+    let acl_ino = match vfs.resolve(dir, ACL_FILE_NAME, false, sup) {
+        Ok(ino) => ino,
+        Err(Errno::ENOENT) => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let text = String::from_utf8(vfs.file_data(acl_ino)?.to_vec())
+        .map_err(|_| Errno::EIO)?;
+    // A malformed ACL file fails closed: treat as empty (deny everyone)
+    // rather than falling back to Unix permissions.
+    Ok(Some(Acl::parse(&text).unwrap_or_default()))
+}
+
+/// Write (create or replace) the ACL of a directory.
+pub fn write_acl(vfs: &mut Vfs, dir: Ino, acl: &Acl, sup: &Cred) -> SysResult<()> {
+    vfs.write_file(dir, ACL_FILE_NAME, acl.to_text().as_bytes(), sup)?;
+    Ok(())
+}
+
+/// Compute what governs `identity`'s access to the directory `dir`.
+pub fn effective_rights(
+    vfs: &mut Vfs,
+    dir: Ino,
+    identity: &Identity,
+    sup: &Cred,
+) -> SysResult<EffectiveRights> {
+    match read_acl(vfs, dir, sup)? {
+        Some(acl) => Ok(EffectiveRights::Acl(
+            acl.rights_for(identity),
+            acl.reserve_grant_for(identity),
+        )),
+        None => Ok(EffectiveRights::UnixAsNobody),
+    }
+}
+
+impl EffectiveRights {
+    /// Does this grant permission for an operation needing `needed` ACL
+    /// rights (ACL case) / `unix_want` access bits on `unix_target`
+    /// (fallback case)?
+    pub fn permits(
+        &self,
+        vfs: &Vfs,
+        needed: Rights,
+        unix_target: Option<Ino>,
+        unix_want: Access,
+    ) -> bool {
+        match self {
+            EffectiveRights::Acl(rights, _) => rights.contains(needed),
+            EffectiveRights::UnixAsNobody => match unix_target {
+                Some(ino) => vfs.check_access(ino, &nobody_cred(), unix_want).is_ok(),
+                None => false,
+            },
+        }
+    }
+}
+
+/// The `nobody` credential (looked up here so a future configurable
+/// account is a one-line change).
+pub fn nobody_cred() -> Cred {
+    let _ = NOBODY; // name documented in idbox-types
+    NOBODY_CRED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idbox_acl::AclEntry;
+
+    fn setup() -> (Vfs, Ino) {
+        let mut v = Vfs::new();
+        let root = v.root();
+        let d = v.mkdir(root, "/box", 0o755, &Cred::ROOT).unwrap();
+        (v, d)
+    }
+
+    #[test]
+    fn missing_acl_is_none() {
+        let (mut v, d) = setup();
+        assert_eq!(read_acl(&mut v, d, &Cred::ROOT).unwrap(), None);
+        assert_eq!(
+            effective_rights(&mut v, d, &Identity::new("fred"), &Cred::ROOT).unwrap(),
+            EffectiveRights::UnixAsNobody
+        );
+    }
+
+    #[test]
+    fn write_then_read_acl() {
+        let (mut v, d) = setup();
+        let acl = Acl::from_entries([AclEntry::new("fred", Rights::RWLAX)]);
+        write_acl(&mut v, d, &acl, &Cred::ROOT).unwrap();
+        assert_eq!(read_acl(&mut v, d, &Cred::ROOT).unwrap(), Some(acl));
+    }
+
+    #[test]
+    fn effective_rights_reads_entries() {
+        let (mut v, d) = setup();
+        let mut acl = Acl::empty();
+        acl.set("f*", Rights::READ | Rights::LIST);
+        acl.set_reserve("globus:*", Rights::NONE, Rights::RWLAX);
+        write_acl(&mut v, d, &acl, &Cred::ROOT).unwrap();
+        match effective_rights(&mut v, d, &Identity::new("fred"), &Cred::ROOT).unwrap() {
+            EffectiveRights::Acl(r, grant) => {
+                assert!(r.contains(Rights::READ | Rights::LIST));
+                assert_eq!(grant, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match effective_rights(
+            &mut v,
+            d,
+            &Identity::new("globus:/O=X/CN=Y"),
+            &Cred::ROOT,
+        )
+        .unwrap()
+        {
+            EffectiveRights::Acl(r, grant) => {
+                assert!(r.contains(Rights::RESERVE));
+                assert_eq!(grant, Some(Rights::RWLAX));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_acl_fails_closed() {
+        let (mut v, d) = setup();
+        v.write_file(d, ACL_FILE_NAME, b"not a valid acl line", &Cred::ROOT)
+            .unwrap();
+        match effective_rights(&mut v, d, &Identity::new("fred"), &Cred::ROOT).unwrap() {
+            EffectiveRights::Acl(r, grant) => {
+                assert!(r.is_empty());
+                assert_eq!(grant, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn permits_acl_and_unix_paths() {
+        let (mut v, d) = setup();
+        // ACL case.
+        let acl = Acl::from_entries([AclEntry::new("fred", Rights::READ)]);
+        write_acl(&mut v, d, &acl, &Cred::ROOT).unwrap();
+        let er = effective_rights(&mut v, d, &Identity::new("fred"), &Cred::ROOT).unwrap();
+        assert!(er.permits(&v, Rights::READ, None, Access::R));
+        assert!(!er.permits(&v, Rights::WRITE, None, Access::W));
+        // Unix-as-nobody case: a world-readable file is visible, a
+        // supervisor-private one is not.
+        let root = v.root();
+        let pub_f = v.create(root, "/pub.txt", 0o644, &Cred::ROOT).unwrap();
+        let priv_f = v.create(root, "/priv.txt", 0o600, &Cred::ROOT).unwrap();
+        let er = EffectiveRights::UnixAsNobody;
+        assert!(er.permits(&v, Rights::READ, Some(pub_f), Access::R));
+        assert!(!er.permits(&v, Rights::READ, Some(priv_f), Access::R));
+        assert!(!er.permits(&v, Rights::READ, None, Access::R));
+    }
+}

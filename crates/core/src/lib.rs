@@ -1,0 +1,39 @@
+//! The identity box.
+//!
+//! An identity box is a secure execution space in which every process and
+//! resource is associated with an external, free-form identity — a name
+//! like `globus:/O=UnivNowhere/CN=Fred` — that need not have any
+//! relationship to the local account database (paper, Section 3).
+//!
+//! The box is implemented as a [`idbox_interpose::SyscallPolicy`] plugged into the
+//! interposition supervisor:
+//!
+//! * **ACL enforcement** — every path-naming call is checked against the
+//!   `.__acl` file of the directory that *really* contains the target
+//!   (symlinks followed to their destination; hard links to unreadable
+//!   files refused — the "indirect paths" pitfall of Section 6);
+//! * **`nobody` fallback** — in directories without an ACL, Unix
+//!   permissions are enforced as if the visitor were the account
+//!   `nobody`, protecting the supervising user's data;
+//! * **reserve right** — `mkdir` in a directory where the visitor holds
+//!   only `v(rights)` succeeds and stamps the fresh directory with an ACL
+//!   naming the visitor literally (Section 4's amplification);
+//! * **ACL inheritance** — ordinary `mkdir` copies the parent's ACL;
+//! * **passwd virtualization** — accesses to `/etc/passwd` are redirected
+//!   to a private copy whose first entry is the visiting identity, so
+//!   `whoami` makes sense inside the box;
+//! * **same-identity signals** — a boxed process may signal only
+//!   processes carrying the same identity;
+//! * **`get_user_name`** — the new system call reporting the caller's
+//!   high-level name.
+//!
+//! The supervising user needs no privileges: the box runs under their
+//! ordinary uid, and with respect to visitors they are effectively root.
+
+mod aclfs;
+mod boxer;
+mod policy;
+
+pub use aclfs::{effective_rights, read_acl, write_acl, EffectiveRights};
+pub use boxer::{BoxOptions, IdentityBox};
+pub use policy::IdentityBoxPolicy;

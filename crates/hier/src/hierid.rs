@@ -1,0 +1,189 @@
+//! Hierarchical identity names.
+
+use std::fmt;
+
+/// A hierarchical identity: colon-separated segments rooted at `root`,
+/// e.g. `root:dthain:visitor` (Figure 6).
+///
+/// ```
+/// use idbox_hier::HierId;
+///
+/// let dthain = HierId::root().child("dthain").unwrap();
+/// let visitor = dthain.child("visitor").unwrap();
+/// assert_eq!(visitor.to_string(), "root:dthain:visitor");
+/// assert!(dthain.is_same_or_ancestor_of(&visitor));
+/// assert!(!visitor.is_same_or_ancestor_of(&dthain));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HierId {
+    segments: Vec<String>,
+}
+
+/// Errors constructing hierarchical names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HierIdError {
+    /// Empty name or empty segment.
+    Empty,
+    /// A segment contained `:` or other forbidden characters.
+    BadSegment(String),
+    /// The name did not start at `root`.
+    NotRooted(String),
+}
+
+impl fmt::Display for HierIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierIdError::Empty => write!(f, "empty hierarchical name"),
+            HierIdError::BadSegment(s) => write!(f, "bad segment: {s:?}"),
+            HierIdError::NotRooted(s) => write!(f, "name not rooted at 'root': {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HierIdError {}
+
+fn check_segment(seg: &str) -> Result<(), HierIdError> {
+    if seg.is_empty() {
+        return Err(HierIdError::Empty);
+    }
+    if seg.contains(':') || seg.contains(char::is_whitespace) {
+        return Err(HierIdError::BadSegment(seg.to_string()));
+    }
+    Ok(())
+}
+
+impl HierId {
+    /// The namespace root.
+    pub fn root() -> Self {
+        HierId {
+            segments: vec!["root".to_string()],
+        }
+    }
+
+    /// Parse a full name such as `root:dthain:visitor`.
+    pub fn parse(s: &str) -> Result<HierId, HierIdError> {
+        if s.is_empty() {
+            return Err(HierIdError::Empty);
+        }
+        let segments: Vec<String> = s.split(':').map(str::to_string).collect();
+        for seg in &segments {
+            check_segment(seg)?;
+        }
+        if segments[0] != "root" {
+            return Err(HierIdError::NotRooted(s.to_string()));
+        }
+        Ok(HierId { segments })
+    }
+
+    /// Derive a child name.
+    pub fn child(&self, name: &str) -> Result<HierId, HierIdError> {
+        check_segment(name)?;
+        let mut segments = self.segments.clone();
+        segments.push(name.to_string());
+        Ok(HierId { segments })
+    }
+
+    /// The parent domain; `None` for the root.
+    pub fn parent(&self) -> Option<HierId> {
+        if self.segments.len() <= 1 {
+            return None;
+        }
+        Some(HierId {
+            segments: self.segments[..self.segments.len() - 1].to_vec(),
+        })
+    }
+
+    /// Depth below the root (root = 0).
+    pub fn depth(&self) -> usize {
+        self.segments.len() - 1
+    }
+
+    /// The final segment.
+    pub fn leaf(&self) -> &str {
+        self.segments.last().expect("never empty")
+    }
+
+    /// True when `self` is `other` or one of its ancestors — the
+    /// relationship that grants management rights over a subtree.
+    pub fn is_same_or_ancestor_of(&self, other: &HierId) -> bool {
+        other.segments.len() >= self.segments.len()
+            && other.segments[..self.segments.len()] == self.segments[..]
+    }
+
+    /// Convert to the flat identity string used in ACLs and boxes.
+    pub fn to_identity(&self) -> idbox_types::Identity {
+        idbox_types::Identity::new(self.to_string())
+    }
+}
+
+impl fmt::Display for HierId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.segments.join(":"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["root", "root:dthain", "root:dthain:visitor", "root:grid:anon5"] {
+            assert_eq!(HierId::parse(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_names() {
+        assert_eq!(HierId::parse(""), Err(HierIdError::Empty));
+        assert!(matches!(
+            HierId::parse("dthain:visitor"),
+            Err(HierIdError::NotRooted(_))
+        ));
+        assert_eq!(HierId::parse("root::x"), Err(HierIdError::Empty));
+        assert!(matches!(
+            HierId::parse("root:has space"),
+            Err(HierIdError::BadSegment(_))
+        ));
+    }
+
+    #[test]
+    fn child_and_parent() {
+        let dthain = HierId::root().child("dthain").unwrap();
+        let visitor = dthain.child("visitor").unwrap();
+        assert_eq!(visitor.to_string(), "root:dthain:visitor");
+        assert_eq!(visitor.parent(), Some(dthain.clone()));
+        assert_eq!(visitor.leaf(), "visitor");
+        assert_eq!(visitor.depth(), 2);
+        assert_eq!(HierId::root().parent(), None);
+        assert!(dthain.child("a:b").is_err());
+    }
+
+    #[test]
+    fn ancestry_grants_subtree_only() {
+        let root = HierId::root();
+        let dthain = root.child("dthain").unwrap();
+        let visitor = dthain.child("visitor").unwrap();
+        let httpd = root.child("httpd").unwrap();
+        assert!(root.is_same_or_ancestor_of(&visitor));
+        assert!(dthain.is_same_or_ancestor_of(&visitor));
+        assert!(dthain.is_same_or_ancestor_of(&dthain));
+        assert!(!visitor.is_same_or_ancestor_of(&dthain));
+        assert!(!httpd.is_same_or_ancestor_of(&visitor));
+        assert!(!dthain.is_same_or_ancestor_of(&httpd));
+    }
+
+    #[test]
+    fn prefix_is_segment_wise_not_textual() {
+        // "root:dt" is not an ancestor of "root:dthain".
+        let dt = HierId::parse("root:dt").unwrap();
+        let dthain = HierId::parse("root:dthain").unwrap();
+        assert!(!dt.is_same_or_ancestor_of(&dthain));
+    }
+
+    #[test]
+    fn identity_conversion_matches_figure6() {
+        let v = HierId::parse("root:dthain:visitor").unwrap();
+        assert_eq!(v.to_identity().as_str(), "root:dthain:visitor");
+    }
+}

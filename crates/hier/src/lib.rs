@@ -1,0 +1,27 @@
+//! The hierarchical identity namespace of Figure 6 / Section 9.
+//!
+//! The paper's conclusion proposes that future operating systems let
+//! *ordinary users* create new protection domains with high-level names
+//! on the fly. Because anyone may mint names, a hierarchy is needed to
+//! prevent conflicts, like DNS: an ordinary user is `root:dthain`, a
+//! visitor they admit becomes `root:dthain:visitor`, a web server's
+//! service process `root:httpd:webapp`, a grid server's guests
+//! `root:grid:anon5` — and each domain may manage (signal, destroy)
+//! exactly its own subtree.
+//!
+//! This crate implements that future-work design: hierarchical
+//! [`HierId`] names, the [`DomainTree`] registry with
+//! create-under-yourself semantics, and a [`HierPolicy`] enforcing
+//! subtree-scoped process management. Combined with
+//! `Supervisor::in_kernel`, it realizes the paper's claim that a kernel
+//! implementation provides "the benefits of identity boxing with the
+//! performance and assurance of an operating system" — measured by the
+//! `fig6_hier_ablation` bench.
+
+mod hierid;
+mod policy;
+mod tree;
+
+pub use hierid::{HierId, HierIdError};
+pub use policy::HierPolicy;
+pub use tree::DomainTree;

@@ -1,0 +1,228 @@
+//! The protection-domain registry.
+
+use crate::hierid::HierId;
+use idbox_kernel::Pid;
+use idbox_types::{Errno, SysResult};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The tree of live protection domains plus the assignment of kernel
+/// processes to domains.
+///
+/// The operation the paper's conclusion asks for: **any** domain may
+/// create children under itself — no account database, no privilege.
+/// Destruction is likewise subtree-scoped.
+#[derive(Debug, Default)]
+pub struct DomainTree {
+    domains: BTreeSet<HierId>,
+    processes: BTreeMap<Pid, HierId>,
+}
+
+impl DomainTree {
+    /// A tree containing only the root domain.
+    pub fn new() -> Self {
+        let mut t = DomainTree::default();
+        t.domains.insert(HierId::root());
+        t
+    }
+
+    /// Number of live domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.domains.len() <= 1
+    }
+
+    /// Does a domain exist?
+    pub fn exists(&self, id: &HierId) -> bool {
+        self.domains.contains(id)
+    }
+
+    /// `actor` creates a child domain under `parent`. Allowed when the
+    /// actor is the parent or an ancestor of it, and the parent exists.
+    pub fn create(
+        &mut self,
+        actor: &HierId,
+        parent: &HierId,
+        name: &str,
+    ) -> SysResult<HierId> {
+        if !self.domains.contains(parent) {
+            return Err(Errno::ENOENT);
+        }
+        if !actor.is_same_or_ancestor_of(parent) {
+            return Err(Errno::EPERM);
+        }
+        let child = parent.child(name).map_err(|_| Errno::EINVAL)?;
+        if !self.domains.insert(child.clone()) {
+            return Err(Errno::EEXIST);
+        }
+        Ok(child)
+    }
+
+    /// `actor` destroys `target` and its whole subtree (processes in it
+    /// are unassigned; the caller decides whether to kill them). The
+    /// root is indestructible.
+    pub fn destroy(&mut self, actor: &HierId, target: &HierId) -> SysResult<Vec<Pid>> {
+        if target == &HierId::root() {
+            return Err(Errno::EPERM);
+        }
+        if !self.domains.contains(target) {
+            return Err(Errno::ENOENT);
+        }
+        // Destroying requires true authority over the target: an
+        // ancestor, not the domain itself (a visitor cannot dissolve
+        // their own sandbox).
+        let authorized = actor.is_same_or_ancestor_of(target) && actor != target;
+        if !authorized {
+            return Err(Errno::EPERM);
+        }
+        self.domains.retain(|d| !target.is_same_or_ancestor_of(d));
+        let mut orphaned = Vec::new();
+        self.processes.retain(|pid, dom| {
+            if target.is_same_or_ancestor_of(dom) {
+                orphaned.push(*pid);
+                false
+            } else {
+                true
+            }
+        });
+        Ok(orphaned)
+    }
+
+    /// Assign a process to a domain (the domain must exist).
+    pub fn assign(&mut self, pid: Pid, domain: HierId) -> SysResult<()> {
+        if !self.domains.contains(&domain) {
+            return Err(Errno::ENOENT);
+        }
+        self.processes.insert(pid, domain);
+        Ok(())
+    }
+
+    /// The domain of a process.
+    pub fn domain_of(&self, pid: Pid) -> Option<&HierId> {
+        self.processes.get(&pid)
+    }
+
+    /// Processes assigned within a subtree.
+    pub fn processes_under(&self, root: &HierId) -> Vec<Pid> {
+        self.processes
+            .iter()
+            .filter(|(_, d)| root.is_same_or_ancestor_of(d))
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// Direct children of a domain (for display).
+    pub fn children(&self, parent: &HierId) -> Vec<HierId> {
+        self.domains
+            .iter()
+            .filter(|d| d.parent().as_ref() == Some(parent))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (HierId, HierId, HierId) {
+        let root = HierId::root();
+        let dthain = root.child("dthain").unwrap();
+        let visitor = dthain.child("visitor").unwrap();
+        (root, dthain, visitor)
+    }
+
+    #[test]
+    fn figure6_tree() {
+        // root -> {dthain, httpd, grid}; dthain -> visitor;
+        // httpd -> webapp; grid -> {anon2, anon5}.
+        let (root, dthain, _) = ids();
+        let mut t = DomainTree::new();
+        t.create(&root, &root, "dthain").unwrap();
+        t.create(&root, &root, "httpd").unwrap();
+        t.create(&root, &root, "grid").unwrap();
+        t.create(&dthain, &dthain, "visitor").unwrap();
+        let httpd = root.child("httpd").unwrap();
+        t.create(&httpd, &httpd, "webapp").unwrap();
+        let grid = root.child("grid").unwrap();
+        t.create(&grid, &grid, "anon2").unwrap();
+        t.create(&grid, &grid, "anon5").unwrap();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.children(&root).len(), 3);
+        assert_eq!(t.children(&grid).len(), 2);
+    }
+
+    #[test]
+    fn ordinary_domains_create_their_own_children() {
+        let (root, dthain, _) = ids();
+        let mut t = DomainTree::new();
+        t.create(&root, &root, "dthain").unwrap();
+        // dthain needs nobody's help below himself...
+        let v = t.create(&dthain, &dthain, "visitor").unwrap();
+        assert!(t.exists(&v));
+        // ...but cannot create under a sibling.
+        t.create(&root, &root, "httpd").unwrap();
+        let httpd = root.child("httpd").unwrap();
+        assert_eq!(t.create(&dthain, &httpd, "evil"), Err(Errno::EPERM));
+    }
+
+    #[test]
+    fn duplicate_and_missing_parents() {
+        let (root, dthain, _) = ids();
+        let mut t = DomainTree::new();
+        t.create(&root, &root, "dthain").unwrap();
+        assert_eq!(t.create(&root, &root, "dthain"), Err(Errno::EEXIST));
+        let ghost = root.child("ghost").unwrap();
+        assert_eq!(t.create(&dthain, &ghost, "x"), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn destroy_is_subtree_scoped() {
+        let (root, dthain, visitor) = ids();
+        let mut t = DomainTree::new();
+        t.create(&root, &root, "dthain").unwrap();
+        t.create(&dthain, &dthain, "visitor").unwrap();
+        t.assign(Pid(5), visitor.clone()).unwrap();
+        t.assign(Pid(6), dthain.clone()).unwrap();
+        // The visitor cannot dissolve itself, nor its parent.
+        assert_eq!(t.destroy(&visitor, &visitor), Err(Errno::EPERM));
+        assert_eq!(t.destroy(&visitor, &dthain), Err(Errno::EPERM));
+        // dthain destroys the visitor subtree; pid 5 is orphaned.
+        let orphans = t.destroy(&dthain, &visitor).unwrap();
+        assert_eq!(orphans, vec![Pid(5)]);
+        assert!(!t.exists(&visitor));
+        assert!(t.exists(&dthain));
+        assert_eq!(t.domain_of(Pid(6)), Some(&dthain));
+        // Root is indestructible.
+        assert_eq!(t.destroy(&root, &HierId::root()), Err(Errno::EPERM));
+    }
+
+    #[test]
+    fn destroy_removes_whole_subtree() {
+        let (root, dthain, visitor) = ids();
+        let mut t = DomainTree::new();
+        t.create(&root, &root, "dthain").unwrap();
+        t.create(&dthain, &dthain, "visitor").unwrap();
+        t.create(&dthain, &visitor, "nested").unwrap();
+        let orphans = t.destroy(&root, &dthain).unwrap();
+        assert!(orphans.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn process_assignment() {
+        let (root, dthain, visitor) = ids();
+        let mut t = DomainTree::new();
+        t.create(&root, &root, "dthain").unwrap();
+        t.create(&dthain, &dthain, "visitor").unwrap();
+        t.assign(Pid(10), visitor.clone()).unwrap();
+        t.assign(Pid(11), dthain.clone()).unwrap();
+        assert_eq!(t.processes_under(&dthain).len(), 2);
+        assert_eq!(t.processes_under(&visitor), vec![Pid(10)]);
+        let ghost = root.child("ghost").unwrap();
+        assert_eq!(t.assign(Pid(12), ghost), Err(Errno::ENOENT));
+    }
+}

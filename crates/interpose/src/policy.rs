@@ -1,0 +1,115 @@
+//! Syscall policies: what the supervisor decides per trapped call.
+//!
+//! Parrot is a *delegation* architecture (like Ostia): the supervisor
+//! implements every call itself, so policy is a pure function from the
+//! decoded call to a decision — allow it, rewrite it (e.g. redirect
+//! `/etc/passwd` to the box's private copy), or deny it with an errno.
+//! Containment is achieved through access control, never by outlawing an
+//! interface (Garfinkel's "incorrect subsetting" pitfall), and denial is
+//! always a clean error return (his "side effects of denying" pitfall).
+
+use idbox_kernel::{Kernel, Pid, Syscall, SysRet};
+use idbox_types::{Errno, SysResult};
+
+/// The supervisor's decision about one trapped call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyDecision {
+    /// Execute the call as decoded.
+    Allow,
+    /// Execute a rewritten call instead (the guest never knows).
+    Rewrite(Syscall),
+    /// Refuse with this errno; the kernel is not entered.
+    Deny(Errno),
+}
+
+/// A policy consulted on every trapped system call.
+pub trait SyscallPolicy: Send {
+    /// Policy name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Decide what to do with `call` before it reaches the kernel.
+    fn check(&mut self, kernel: &mut Kernel, pid: Pid, call: &Syscall) -> PolicyDecision;
+
+    /// Post-process a result (e.g. initialize the ACL of a directory
+    /// created under the reserve right). May replace the result.
+    fn post(
+        &mut self,
+        kernel: &mut Kernel,
+        pid: Pid,
+        call: &Syscall,
+        result: &mut SysResult<SysRet>,
+    ) {
+        let _ = (kernel, pid, call, result);
+    }
+}
+
+/// The transparent policy: interposition cost without access control.
+/// This is "plain Parrot" — what the paper's Figure 5 baseline-with-agent
+/// measurements run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AllowAll;
+
+impl SyscallPolicy for AllowAll {
+    fn name(&self) -> &str {
+        "allow-all"
+    }
+
+    fn check(&mut self, _: &mut Kernel, _: Pid, _: &Syscall) -> PolicyDecision {
+        PolicyDecision::Allow
+    }
+}
+
+/// A policy denying every path-naming call with `EACCES` (non-path calls
+/// pass). Used by tests that verify denial is a clean errno, never a
+/// killed process.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DenyAll;
+
+impl SyscallPolicy for DenyAll {
+    fn name(&self) -> &str {
+        "deny-all"
+    }
+
+    fn check(&mut self, _: &mut Kernel, _: Pid, call: &Syscall) -> PolicyDecision {
+        if call.is_path_call() {
+            PolicyDecision::Deny(Errno::EACCES)
+        } else {
+            PolicyDecision::Allow
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idbox_kernel::OpenFlags;
+
+    #[test]
+    fn allow_all_allows() {
+        let mut k = Kernel::new();
+        let mut p = AllowAll;
+        assert_eq!(
+            p.check(&mut k, Pid(1), &Syscall::Getpid),
+            PolicyDecision::Allow
+        );
+        assert_eq!(p.name(), "allow-all");
+    }
+
+    #[test]
+    fn deny_all_denies_paths_only() {
+        let mut k = Kernel::new();
+        let mut p = DenyAll;
+        assert_eq!(
+            p.check(
+                &mut k,
+                Pid(1),
+                &Syscall::Open("/etc/passwd".into(), OpenFlags::rdonly(), 0)
+            ),
+            PolicyDecision::Deny(Errno::EACCES)
+        );
+        assert_eq!(
+            p.check(&mut k, Pid(1), &Syscall::Getpid),
+            PolicyDecision::Allow
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Forensic tracing of trapped system calls.
+//!
+//! Section 9 suggests the identity box "could be used for forensic
+//! purposes, recording the objects accessed and the activities taken by
+//! the untrusted user". The supervisor sees every call and its outcome,
+//! so the record is complete by construction: attach a [`TraceSink`] and
+//! every trapped syscall appends one strace-like [`TraceRecord`].
+
+use idbox_kernel::{Pid, Syscall, SysRet};
+use idbox_types::{Errno, SysResult};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// One recorded system call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Sequence number within the sink.
+    pub seq: u64,
+    /// The calling process.
+    pub pid: Pid,
+    /// Syscall name.
+    pub name: &'static str,
+    /// The object(s) named by the call (paths, targets), if any.
+    pub detail: String,
+    /// Rendered outcome: `ok`, `= <num>`, or the errno.
+    pub outcome: String,
+    /// True when the call failed (including policy denials).
+    pub denied: bool,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>5}] {} {}({}) {}",
+            self.seq, self.pid, self.name, self.detail, self.outcome
+        )
+    }
+}
+
+/// A shared, append-only record of everything a supervisor's processes
+/// did. Clone the handle to keep reading after the box is running.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    inner: Arc<Mutex<Vec<TraceRecord>>>,
+}
+
+impl TraceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        TraceSink::default()
+    }
+
+    /// Record one call (used by the supervisor).
+    pub fn record(&self, pid: Pid, call: &Syscall, result: &SysResult<SysRet>) {
+        let mut log = self.inner.lock();
+        let seq = log.len() as u64;
+        log.push(make_record(seq, pid, call, result));
+    }
+
+    /// Snapshot all records.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.inner.lock().clone()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Only the denied operations — the forensic highlights.
+    pub fn denials(&self) -> Vec<TraceRecord> {
+        self.inner.lock().iter().filter(|r| r.denied).cloned().collect()
+    }
+
+    /// The distinct objects (paths) touched, in first-access order —
+    /// "recording the objects accessed".
+    pub fn objects_accessed(&self) -> Vec<String> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for r in self.inner.lock().iter() {
+            for path in r.detail.split(" -> ") {
+                // Strip the open-mode annotation (`/a [r]` -> `/a`).
+                let path = path.split(" [").next().unwrap_or("").trim();
+                if !path.is_empty() && path.starts_with('/') && seen.insert(path.to_string())
+                {
+                    out.push(path.to_string());
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the whole log, one line per record.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for r in self.inner.lock().iter() {
+            s.push_str(&r.to_string());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+fn call_detail(call: &Syscall) -> String {
+    use Syscall::*;
+    match call {
+        Stat(p) | Lstat(p) | Rmdir(p) | Unlink(p) | Readlink(p) | Chdir(p)
+        | Readdir(p) | Exec(p) => p.clone(),
+        Open(p, flags, _) => {
+            let mut s = p.clone();
+            s.push_str(if flags.write { " [w]" } else { " [r]" });
+            s
+        }
+        Mkdir(p, _) | Truncate(p, _) | Chmod(p, _) => p.clone(),
+        Chown(p, uid, gid) => format!("{p} -> {uid}:{gid}"),
+        Link(a, b) | Symlink(a, b) | Rename(a, b) => format!("{a} -> {b}"),
+        AccessCheck(p, _) => p.clone(),
+        Read(fd, len) | Pread(fd, len, _) => format!("fd{fd}, {len}b"),
+        Write(fd, data) | Pwrite(fd, data, _) => format!("fd{fd}, {}b", data.len()),
+        Close(fd) | Dup(fd) | Fstat(fd) => format!("fd{fd}"),
+        Lseek(fd, off, _) => format!("fd{fd}, {off}"),
+        Kill(pid, sig) => format!("{pid}, {sig:?}"),
+        Exit(code) => format!("{code}"),
+        Umask(m) => format!("{m:o}"),
+        Getpid | Getppid | Getuid | Getcwd | Fork | Wait | SigPending | Pipe
+        | GetUserName => String::new(),
+    }
+}
+
+fn make_record(seq: u64, pid: Pid, call: &Syscall, result: &SysResult<SysRet>) -> TraceRecord {
+    let (outcome, denied) = match result {
+        Ok(SysRet::Num(n)) => (format!("= {n}"), false),
+        Ok(_) => ("= ok".to_string(), false),
+        Err(e @ (Errno::EACCES | Errno::EPERM)) => (format!("= {e:?} DENIED"), true),
+        Err(e) => (format!("= {e:?}"), false),
+    };
+    TraceRecord {
+        seq,
+        pid,
+        name: call.name(),
+        detail: call_detail(call),
+        outcome,
+        denied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idbox_kernel::OpenFlags;
+
+    fn rec(call: Syscall, result: SysResult<SysRet>) -> TraceRecord {
+        make_record(0, Pid(7), &call, &result)
+    }
+
+    #[test]
+    fn open_records_path_and_mode() {
+        let r = rec(
+            Syscall::Open("/etc/passwd".into(), OpenFlags::rdonly(), 0),
+            Ok(SysRet::Num(3)),
+        );
+        assert_eq!(r.detail, "/etc/passwd [r]");
+        assert_eq!(r.outcome, "= 3");
+        assert!(!r.denied);
+    }
+
+    #[test]
+    fn denials_are_flagged() {
+        let r = rec(
+            Syscall::Unlink("/home/dthain/secret".into()),
+            Err(Errno::EACCES),
+        );
+        assert!(r.denied);
+        assert!(r.outcome.contains("DENIED"));
+        let r = rec(Syscall::Stat("/missing".into()), Err(Errno::ENOENT));
+        assert!(!r.denied, "ENOENT is not a policy denial");
+    }
+
+    #[test]
+    fn sink_accumulates_and_filters() {
+        let sink = TraceSink::new();
+        sink.record(Pid(1), &Syscall::Getpid, &Ok(SysRet::Num(1)));
+        sink.record(
+            Pid(1),
+            &Syscall::Open("/a".into(), OpenFlags::rdonly(), 0),
+            &Err(Errno::EACCES),
+        );
+        sink.record(
+            Pid(1),
+            &Syscall::Rename("/b".into(), "/c".into()),
+            &Ok(SysRet::Unit),
+        );
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.denials().len(), 1);
+        assert_eq!(sink.objects_accessed(), ["/a", "/b", "/c"]);
+        let text = sink.render();
+        assert!(text.contains("open(/a [r]) = EACCES DENIED"), "{text}");
+    }
+
+    #[test]
+    fn display_format() {
+        let r = rec(Syscall::Exec("/work/sim.exe".into()), Ok(SysRet::Unit));
+        assert_eq!(r.to_string(), "[    0] pid7 exec(/work/sim.exe) = ok");
+    }
+}

@@ -1,0 +1,212 @@
+//! The tracee's registers and memory.
+
+use idbox_types::{Errno, SysResult};
+
+/// Number of register slots (the size of `user_regs_struct` on x86-64,
+/// which a real `PTRACE_GETREGS` transfers in full).
+pub const NREGS: usize = 27;
+
+/// Register indices used by the syscall ABI.
+pub mod reg {
+    /// Syscall number on entry; result on exit.
+    pub const NR: usize = 0;
+    /// First argument.
+    pub const A0: usize = 1;
+    /// Second argument.
+    pub const A1: usize = 2;
+    /// Third argument.
+    pub const A2: usize = 3;
+    /// Fourth argument.
+    pub const A3: usize = 4;
+    /// Fifth argument (reserved: no current call uses more than four
+    /// arguments, but the ABI transfers the full register file).
+    #[allow(dead_code)]
+    pub const A4: usize = 5;
+    /// Sixth argument (reserved, as above).
+    #[allow(dead_code)]
+    pub const A5: usize = 6;
+    /// Return value.
+    pub const RET: usize = 7;
+}
+
+/// Default guest memory size (1 MiB).
+pub const DEFAULT_MEM: usize = 1 << 20;
+
+/// A simulated traced process: a register file and a flat byte memory.
+///
+/// The supervisor may only touch the tracee through [`TraceeVm::peek_word`]
+/// and [`TraceeVm::poke_word`] (the `PTRACE_PEEKDATA`/`POKEDATA`
+/// equivalents, one machine word at a time) plus whole-register-file
+/// transfers; the *guest program itself* accesses its memory freely, the
+/// way real code does.
+#[derive(Debug, Clone)]
+pub struct TraceeVm {
+    /// The register file.
+    pub regs: [u64; NREGS],
+    mem: Vec<u8>,
+}
+
+impl Default for TraceeVm {
+    fn default() -> Self {
+        TraceeVm::new()
+    }
+}
+
+impl TraceeVm {
+    /// A VM with the default memory size.
+    pub fn new() -> Self {
+        TraceeVm::with_memory(DEFAULT_MEM)
+    }
+
+    /// A VM with a specific memory size (rounded up to 8 bytes).
+    pub fn with_memory(bytes: usize) -> Self {
+        TraceeVm {
+            regs: [0; NREGS],
+            mem: vec![0; bytes.div_ceil(8) * 8],
+        }
+    }
+
+    /// Memory size in bytes.
+    pub fn mem_len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Supervisor-side: read one aligned-enough word (8 bytes) of tracee
+    /// memory. Fails with `EFAULT` outside the address space, like a real
+    /// `PTRACE_PEEKDATA`.
+    #[inline]
+    pub fn peek_word(&self, addr: u64) -> SysResult<u64> {
+        let a = addr as usize;
+        let end = a.checked_add(8).ok_or(Errno::EFAULT)?;
+        if end > self.mem.len() {
+            return Err(Errno::EFAULT);
+        }
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.mem[a..end]);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Supervisor-side: write one word of tracee memory.
+    #[inline]
+    pub fn poke_word(&mut self, addr: u64, word: u64) -> SysResult<()> {
+        let a = addr as usize;
+        let end = a.checked_add(8).ok_or(Errno::EFAULT)?;
+        if end > self.mem.len() {
+            return Err(Errno::EFAULT);
+        }
+        self.mem[a..end].copy_from_slice(&word.to_le_bytes());
+        Ok(())
+    }
+
+    /// Guest-side: borrow a memory range (the application touching its
+    /// own address space — no supervisor involved, no per-word cost).
+    pub fn guest_slice(&self, addr: u64, len: usize) -> SysResult<&[u8]> {
+        let a = addr as usize;
+        let end = a.checked_add(len).ok_or(Errno::EFAULT)?;
+        if end > self.mem.len() {
+            return Err(Errno::EFAULT);
+        }
+        Ok(&self.mem[a..end])
+    }
+
+    /// Guest-side: mutably borrow a memory range.
+    pub fn guest_slice_mut(&mut self, addr: u64, len: usize) -> SysResult<&mut [u8]> {
+        let a = addr as usize;
+        let end = a.checked_add(len).ok_or(Errno::EFAULT)?;
+        if end > self.mem.len() {
+            return Err(Errno::EFAULT);
+        }
+        Ok(&mut self.mem[a..end])
+    }
+
+    /// Guest-side: copy data into memory.
+    pub fn guest_write(&mut self, addr: u64, data: &[u8]) -> SysResult<()> {
+        self.guest_slice_mut(addr, data.len())?.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Set up the register file for a syscall: number plus up to six
+    /// arguments.
+    pub fn load_call(&mut self, nr: u64, args: &[u64]) {
+        debug_assert!(args.len() <= 6);
+        self.regs[reg::NR] = nr;
+        for (i, &a) in args.iter().enumerate() {
+            self.regs[reg::A0 + i] = a;
+        }
+        for i in args.len()..6 {
+            self.regs[reg::A0 + i] = 0;
+        }
+    }
+
+    /// The raw return value register.
+    pub fn ret(&self) -> i64 {
+        self.regs[reg::RET] as i64
+    }
+
+    /// Set the return value register.
+    pub fn set_ret(&mut self, v: i64) {
+        self.regs[reg::RET] = v as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peek_poke_roundtrip() {
+        let mut vm = TraceeVm::with_memory(64);
+        vm.poke_word(8, 0xDEAD_BEEF_0BAD_F00D).unwrap();
+        assert_eq!(vm.peek_word(8).unwrap(), 0xDEAD_BEEF_0BAD_F00D);
+    }
+
+    #[test]
+    fn peek_out_of_bounds_is_efault() {
+        let vm = TraceeVm::with_memory(16);
+        assert_eq!(vm.peek_word(16), Err(Errno::EFAULT));
+        assert_eq!(vm.peek_word(9), Err(Errno::EFAULT));
+        assert_eq!(vm.peek_word(u64::MAX), Err(Errno::EFAULT));
+    }
+
+    #[test]
+    fn poke_out_of_bounds_is_efault() {
+        let mut vm = TraceeVm::with_memory(16);
+        assert_eq!(vm.poke_word(16, 1), Err(Errno::EFAULT));
+    }
+
+    #[test]
+    fn guest_access() {
+        let mut vm = TraceeVm::with_memory(64);
+        vm.guest_write(10, b"hello").unwrap();
+        assert_eq!(vm.guest_slice(10, 5).unwrap(), b"hello");
+        assert_eq!(vm.guest_slice(60, 8), Err(Errno::EFAULT));
+    }
+
+    #[test]
+    fn word_and_byte_views_agree() {
+        let mut vm = TraceeVm::with_memory(64);
+        vm.guest_write(0, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        assert_eq!(
+            vm.peek_word(0).unwrap(),
+            u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8])
+        );
+    }
+
+    #[test]
+    fn load_call_clears_stale_args() {
+        let mut vm = TraceeVm::new();
+        vm.load_call(1, &[1, 2, 3, 4, 5, 6]);
+        vm.load_call(2, &[9]);
+        assert_eq!(vm.regs[reg::NR], 2);
+        assert_eq!(vm.regs[reg::A0], 9);
+        assert_eq!(vm.regs[reg::A1], 0);
+        assert_eq!(vm.regs[reg::A5], 0);
+    }
+
+    #[test]
+    fn ret_roundtrips_negative() {
+        let mut vm = TraceeVm::new();
+        vm.set_ret(-13);
+        assert_eq!(vm.ret(), -13);
+    }
+}

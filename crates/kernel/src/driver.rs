@@ -1,0 +1,229 @@
+//! Filesystem drivers and the mount table.
+//!
+//! Parrot "directs system calls to device drivers" — filesystem-like
+//! services attached under path prefixes, so that opening
+//! `/chirp/server/path` transparently reaches a remote Chirp server. The
+//! kernel's mount table reproduces this: any path under a mounted prefix
+//! is forwarded to the mount's [`FsDriver`], carrying the caller's global
+//! identity so the remote side can enforce *its* ACLs against the same
+//! name used locally — the whole point of consistent global identity.
+
+use crate::process::OpenFlags;
+use idbox_types::{Identity, SysResult};
+use idbox_vfs::{DirEntry, StatBuf};
+
+/// A driver-private open-file descriptor.
+pub type DriverFd = u64;
+
+/// A filesystem-like service mounted under a path prefix.
+///
+/// Paths passed in are relative to the mount point (always absolute,
+/// beginning with `/`). The `identity` argument is the caller's global
+/// identity — drivers for remote services present it for access control
+/// on the far side.
+pub trait FsDriver: Send {
+    /// Human-readable driver name (`chirp`, `null`, ...).
+    fn name(&self) -> &str;
+
+    /// Open a file; returns a driver-private descriptor.
+    fn open(
+        &mut self,
+        path: &str,
+        flags: OpenFlags,
+        mode: u16,
+        identity: &Identity,
+    ) -> SysResult<DriverFd>;
+
+    /// Close a driver descriptor.
+    fn close(&mut self, dfd: DriverFd) -> SysResult<()>;
+
+    /// Positioned read.
+    fn pread(&mut self, dfd: DriverFd, len: usize, off: u64) -> SysResult<Vec<u8>>;
+
+    /// Positioned write; returns bytes written.
+    fn pwrite(&mut self, dfd: DriverFd, data: &[u8], off: u64) -> SysResult<usize>;
+
+    /// Metadata of an open descriptor.
+    fn fstat(&mut self, dfd: DriverFd) -> SysResult<StatBuf>;
+
+    /// Metadata by path.
+    fn stat(&mut self, path: &str, identity: &Identity) -> SysResult<StatBuf>;
+
+    /// Create a directory.
+    fn mkdir(&mut self, path: &str, mode: u16, identity: &Identity) -> SysResult<()>;
+
+    /// Remove an empty directory.
+    fn rmdir(&mut self, path: &str, identity: &Identity) -> SysResult<()>;
+
+    /// Remove a file.
+    fn unlink(&mut self, path: &str, identity: &Identity) -> SysResult<()>;
+
+    /// Rename within this mount.
+    fn rename(&mut self, old: &str, new: &str, identity: &Identity) -> SysResult<()>;
+
+    /// List a directory.
+    fn readdir(&mut self, path: &str, identity: &Identity) -> SysResult<Vec<DirEntry>>;
+
+    /// Truncate a file by path.
+    fn truncate(&mut self, path: &str, len: u64, identity: &Identity) -> SysResult<()>;
+}
+
+/// The mount table: ordered (longest-prefix-wins) path prefixes.
+#[derive(Default)]
+pub struct MountTable {
+    mounts: Vec<(String, Box<dyn FsDriver>)>,
+}
+
+impl std::fmt::Debug for MountTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<_> = self
+            .mounts
+            .iter()
+            .map(|(p, d)| format!("{} -> {}", p, d.name()))
+            .collect();
+        write!(f, "MountTable({names:?})")
+    }
+}
+
+impl MountTable {
+    /// Mount a driver under an absolute prefix (e.g. `/chirp/localhost`).
+    /// Returns the mount index.
+    pub fn mount(&mut self, prefix: impl Into<String>, driver: Box<dyn FsDriver>) -> usize {
+        let mut prefix = prefix.into();
+        while prefix.len() > 1 && prefix.ends_with('/') {
+            prefix.pop();
+        }
+        self.mounts.push((prefix, driver));
+        self.mounts.len() - 1
+    }
+
+    /// Number of mounts.
+    pub fn len(&self) -> usize {
+        self.mounts.len()
+    }
+
+    /// True when no mounts exist.
+    pub fn is_empty(&self) -> bool {
+        self.mounts.is_empty()
+    }
+
+    /// Find the mount owning `path`, if any: returns the mount index and
+    /// the path *relative to the mount* (always absolute; `/` for the
+    /// mount root). Longest matching prefix wins.
+    pub fn route(&self, path: &str) -> Option<(usize, String)> {
+        let mut best: Option<(usize, usize)> = None; // (mount idx, prefix len)
+        for (i, (prefix, _)) in self.mounts.iter().enumerate() {
+            let owns = path == prefix
+                || (path.starts_with(prefix) && path.as_bytes()[prefix.len()] == b'/');
+            if owns && best.map(|(_, l)| prefix.len() > l).unwrap_or(true) {
+                best = Some((i, prefix.len()));
+            }
+        }
+        best.map(|(i, l)| {
+            let rest = &path[l..];
+            let rel = if rest.is_empty() {
+                "/".to_string()
+            } else {
+                rest.to_string()
+            };
+            (i, rel)
+        })
+    }
+
+    /// Borrow a mounted driver by index.
+    pub fn driver_mut(&mut self, idx: usize) -> Option<&mut dyn FsDriver> {
+        match self.mounts.get_mut(idx) {
+            Some((_, d)) => Some(&mut **d),
+            None => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idbox_types::Errno;
+
+    /// A trivial driver for routing tests.
+    struct NullDriver;
+
+    impl FsDriver for NullDriver {
+        fn name(&self) -> &str {
+            "null"
+        }
+        fn open(&mut self, _: &str, _: OpenFlags, _: u16, _: &Identity) -> SysResult<DriverFd> {
+            Err(Errno::ENOSYS)
+        }
+        fn close(&mut self, _: DriverFd) -> SysResult<()> {
+            Err(Errno::ENOSYS)
+        }
+        fn pread(&mut self, _: DriverFd, _: usize, _: u64) -> SysResult<Vec<u8>> {
+            Err(Errno::ENOSYS)
+        }
+        fn pwrite(&mut self, _: DriverFd, _: &[u8], _: u64) -> SysResult<usize> {
+            Err(Errno::ENOSYS)
+        }
+        fn fstat(&mut self, _: DriverFd) -> SysResult<StatBuf> {
+            Err(Errno::ENOSYS)
+        }
+        fn stat(&mut self, _: &str, _: &Identity) -> SysResult<StatBuf> {
+            Err(Errno::ENOSYS)
+        }
+        fn mkdir(&mut self, _: &str, _: u16, _: &Identity) -> SysResult<()> {
+            Err(Errno::ENOSYS)
+        }
+        fn rmdir(&mut self, _: &str, _: &Identity) -> SysResult<()> {
+            Err(Errno::ENOSYS)
+        }
+        fn unlink(&mut self, _: &str, _: &Identity) -> SysResult<()> {
+            Err(Errno::ENOSYS)
+        }
+        fn rename(&mut self, _: &str, _: &str, _: &Identity) -> SysResult<()> {
+            Err(Errno::ENOSYS)
+        }
+        fn readdir(&mut self, _: &str, _: &Identity) -> SysResult<Vec<DirEntry>> {
+            Err(Errno::ENOSYS)
+        }
+        fn truncate(&mut self, _: &str, _: u64, _: &Identity) -> SysResult<()> {
+            Err(Errno::ENOSYS)
+        }
+    }
+
+    #[test]
+    fn routing_prefers_longest_prefix() {
+        let mut t = MountTable::default();
+        t.mount("/chirp", Box::new(NullDriver));
+        t.mount("/chirp/special", Box::new(NullDriver));
+        let (idx, rel) = t.route("/chirp/special/file").unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(rel, "/file");
+        let (idx, rel) = t.route("/chirp/other/file").unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(rel, "/other/file");
+    }
+
+    #[test]
+    fn mount_root_routes_to_slash() {
+        let mut t = MountTable::default();
+        t.mount("/chirp/host", Box::new(NullDriver));
+        let (_, rel) = t.route("/chirp/host").unwrap();
+        assert_eq!(rel, "/");
+    }
+
+    #[test]
+    fn non_prefix_paths_do_not_route() {
+        let mut t = MountTable::default();
+        t.mount("/chirp", Box::new(NullDriver));
+        assert!(t.route("/chirpy/file").is_none());
+        assert!(t.route("/local/file").is_none());
+        assert!(t.route("/").is_none());
+    }
+
+    #[test]
+    fn trailing_slash_on_mount_normalized() {
+        let mut t = MountTable::default();
+        t.mount("/m/", Box::new(NullDriver));
+        let (_, rel) = t.route("/m/x").unwrap();
+        assert_eq!(rel, "/x");
+    }
+}

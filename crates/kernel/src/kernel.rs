@@ -1,0 +1,1460 @@
+//! The kernel proper: process table + syscall dispatch.
+
+use crate::accounts::AccountDb;
+use crate::driver::{FsDriver, MountTable};
+use crate::process::{
+    FileBacking, OpenFile, OpenFlags, Pid, PipeEnd, ProcState, Process, Signal,
+};
+use crate::syscall::{SysRet, Syscall, Whence};
+use idbox_types::{Errno, Identity, SysResult};
+use idbox_vfs::{path as vpath, Access, Cred, FileKind, Ino, Vfs};
+use std::collections::BTreeMap;
+
+/// The initial process (everything reparents to it).
+const INIT: Pid = Pid(1);
+
+/// The simulated kernel.
+///
+/// Owns the filesystem, the mount table, the process table, and the
+/// account database. All interaction happens through [`Kernel::syscall`]
+/// (the trapped interface) or through supervisor-only methods such as
+/// [`Kernel::spawn`] and [`Kernel::set_identity`], which model actions the
+/// supervisor performs directly rather than on behalf of a guest.
+pub struct Kernel {
+    vfs: Vfs,
+    mounts: MountTable,
+    procs: BTreeMap<u32, Process>,
+    next_pid: u32,
+    accounts: AccountDb,
+    pipes: Vec<Option<PipeBuf>>,
+    /// Per-syscall-name invocation counters (workload characterization).
+    pub stats: BTreeMap<&'static str, u64>,
+}
+
+/// An in-kernel pipe: a byte queue plus end reference counts.
+#[derive(Debug, Default)]
+struct PipeBuf {
+    data: std::collections::VecDeque<u8>,
+    readers: u32,
+    writers: u32,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Kernel({} procs, {} inodes, {} mounts)",
+            self.procs.len(),
+            self.vfs.live_inodes(),
+            self.mounts.len()
+        )
+    }
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::new()
+    }
+}
+
+impl Kernel {
+    /// A fresh kernel with the standard filesystem layout (`/etc`,
+    /// `/home`, `/tmp`, `/root`, `/bin`), system accounts, an
+    /// `/etc/passwd` file, and an init process (pid 1) running as root.
+    pub fn new() -> Self {
+        let mut vfs = Vfs::new();
+        let root = vfs.root();
+        let r = &Cred::ROOT;
+        vfs.mkdir(root, "/etc", 0o755, r).unwrap();
+        vfs.mkdir(root, "/home", 0o755, r).unwrap();
+        vfs.mkdir(root, "/tmp", 0o777, r).unwrap();
+        vfs.mkdir(root, "/root", 0o700, r).unwrap();
+        vfs.mkdir(root, "/bin", 0o755, r).unwrap();
+        // Standard executables (content is a placeholder; the simulated
+        // exec checks existence and execute permission, not ELF headers).
+        for bin in ["sh", "cc", "ls", "cp", "mv", "rm", "make", "whoami"] {
+            let ino = vfs
+                .create(root, &format!("/bin/{bin}"), 0o755, r)
+                .unwrap();
+            vfs.write_at(ino, 0, b"#!simulated\n").unwrap();
+        }
+        let accounts = AccountDb::with_system_accounts();
+        vfs.write_file(root, "/etc/passwd", accounts.passwd_file().as_bytes(), r)
+            .unwrap();
+        let mut procs = BTreeMap::new();
+        procs.insert(
+            INIT.0,
+            Process {
+                pid: INIT,
+                ppid: INIT,
+                cred: Cred::ROOT,
+                identity: None,
+                cwd: root,
+                cwd_path: "/".to_string(),
+                fds: Vec::new(),
+                state: ProcState::Running,
+                pending: Vec::new(),
+                umask: 0o022,
+                comm: "init".to_string(),
+            },
+        );
+        Kernel {
+            vfs,
+            mounts: MountTable::default(),
+            procs,
+            next_pid: 2,
+            accounts,
+            pipes: Vec::new(),
+            stats: BTreeMap::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Supervisor-side (non-trapped) interface
+    // ------------------------------------------------------------------
+
+    /// Borrow the filesystem.
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// Mutably borrow the filesystem (supervisor acts with full power).
+    pub fn vfs_mut(&mut self) -> &mut Vfs {
+        &mut self.vfs
+    }
+
+    /// Borrow the account database.
+    pub fn accounts(&self) -> &AccountDb {
+        &self.accounts
+    }
+
+    /// Mutably borrow the account database (administrative action).
+    pub fn accounts_mut(&mut self) -> &mut AccountDb {
+        &mut self.accounts
+    }
+
+    /// Rewrite `/etc/passwd` from the account database.
+    pub fn sync_passwd_file(&mut self) {
+        let text = self.accounts.passwd_file();
+        let root = self.vfs.root();
+        self.vfs
+            .write_file(root, "/etc/passwd", text.as_bytes(), &Cred::ROOT)
+            .expect("passwd file is always writable by root");
+    }
+
+    /// Mount a filesystem driver under a path prefix. Returns the mount
+    /// index.
+    pub fn mount(&mut self, prefix: impl Into<String>, driver: Box<dyn FsDriver>) -> usize {
+        self.mounts.mount(prefix, driver)
+    }
+
+    /// Create a new process as a child of init.
+    pub fn spawn(&mut self, cred: Cred, cwd_path: &str, comm: &str) -> SysResult<Pid> {
+        let cwd = self.vfs.resolve(self.vfs.root(), cwd_path, true, &cred)?;
+        if self.vfs.fstat(cwd)?.kind != FileKind::Dir {
+            return Err(Errno::ENOTDIR);
+        }
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.procs.insert(
+            pid.0,
+            Process {
+                pid,
+                ppid: INIT,
+                cred,
+                identity: None,
+                cwd,
+                cwd_path: vpath::normalize_lexical(cwd_path),
+                fds: Vec::new(),
+                state: ProcState::Running,
+                pending: Vec::new(),
+                umask: 0o022,
+                comm: comm.to_string(),
+            },
+        );
+        Ok(pid)
+    }
+
+    /// Attach a global identity to a process (what the identity box does
+    /// when it admits a visitor). Supervisor-only: there is deliberately
+    /// no trapped syscall for this.
+    pub fn set_identity(&mut self, pid: Pid, identity: Identity) -> SysResult<()> {
+        self.proc_mut(pid)?.identity = Some(identity);
+        Ok(())
+    }
+
+    /// Borrow a process entry.
+    pub fn process(&self, pid: Pid) -> SysResult<&Process> {
+        self.procs.get(&pid.0).ok_or(Errno::ESRCH)
+    }
+
+    /// All live pids.
+    pub fn pids(&self) -> Vec<Pid> {
+        self.procs.values().map(|p| p.pid).collect()
+    }
+
+    /// Total number of syscalls dispatched.
+    pub fn total_syscalls(&self) -> u64 {
+        self.stats.values().sum()
+    }
+
+    /// The null system call: what a nullified (trapped-and-replaced) call
+    /// becomes. Does the same work as `getpid` — a real kernel entry with
+    /// a process-table lookup — but is not recorded in the per-name stats,
+    /// so workload characterization counts only the guest's own calls.
+    pub fn null_syscall(&mut self, pid: Pid) -> i64 {
+        match self.procs.get(&pid.0) {
+            Some(p) => p.pid.0 as i64,
+            None => Errno::ESRCH.as_ret(),
+        }
+    }
+
+    fn proc_mut(&mut self, pid: Pid) -> SysResult<&mut Process> {
+        self.procs.get_mut(&pid.0).ok_or(Errno::ESRCH)
+    }
+
+    /// Caller's cred; error if the process is gone or a zombie.
+    fn live_cred(&self, pid: Pid) -> SysResult<(Cred, Ino)> {
+        let p = self.process(pid)?;
+        if !p.is_alive() {
+            return Err(Errno::ESRCH);
+        }
+        Ok((p.cred, p.cwd))
+    }
+
+    /// The identity presented to mounted drivers for this process: the
+    /// box identity when present, otherwise `unix:<account>`.
+    fn driver_identity(&self, pid: Pid) -> SysResult<Identity> {
+        let p = self.process(pid)?;
+        if let Some(id) = &p.identity {
+            return Ok(id.clone());
+        }
+        let name = self
+            .accounts
+            .lookup_uid(p.cred.uid)
+            .map(|a| a.name.clone())
+            .unwrap_or_else(|| format!("uid{}", p.cred.uid));
+        Ok(Identity::new(format!("unix:{name}")))
+    }
+
+    /// Make a path absolute with respect to the process cwd (textually;
+    /// structural resolution happens later in the VFS).
+    fn absolutize(&self, pid: Pid, p: &str) -> SysResult<String> {
+        let proc = self.process(pid)?;
+        Ok(if vpath::is_absolute(p) {
+            p.to_string()
+        } else {
+            vpath::join(&proc.cwd_path, p)
+        })
+    }
+
+    /// Route a path: `Some((mount, rel))` for mounted prefixes, `None`
+    /// for the local filesystem.
+    fn route(&self, pid: Pid, p: &str) -> SysResult<Option<(usize, String)>> {
+        if self.mounts.is_empty() {
+            return Ok(None);
+        }
+        let abs = vpath::normalize_lexical(&self.absolutize(pid, p)?);
+        Ok(self.mounts.route(&abs))
+    }
+
+    // ------------------------------------------------------------------
+    // The trapped interface
+    // ------------------------------------------------------------------
+
+    /// Dispatch one system call on behalf of `pid`.
+    pub fn syscall(&mut self, pid: Pid, call: Syscall) -> SysResult<SysRet> {
+        *self.stats.entry(call.name()).or_insert(0) += 1;
+        use Syscall::*;
+        match call {
+            Getpid => Ok(SysRet::Num(pid.0 as i64)),
+            Getppid => Ok(SysRet::Num(self.process(pid)?.ppid.0 as i64)),
+            Getuid => Ok(SysRet::Num(self.process(pid)?.cred.uid as i64)),
+            Stat(p) => self.do_stat(pid, &p, true),
+            Lstat(p) => self.do_stat(pid, &p, false),
+            Fstat(fd) => self.do_fstat(pid, fd),
+            Open(p, flags, mode) => self.do_open(pid, &p, flags, mode),
+            Close(fd) => self.do_close(pid, fd),
+            Read(fd, len) => self.do_read(pid, fd, len, None),
+            Pread(fd, len, off) => self.do_read(pid, fd, len, Some(off)),
+            Write(fd, data) => self.do_write(pid, fd, &data, None),
+            Pwrite(fd, data, off) => self.do_write(pid, fd, &data, Some(off)),
+            Lseek(fd, off, whence) => self.do_lseek(pid, fd, off, whence),
+            Dup(fd) => self.do_dup(pid, fd),
+            Mkdir(p, mode) => self.do_mkdir(pid, &p, mode),
+            Rmdir(p) => self.do_rmdir(pid, &p),
+            Unlink(p) => self.do_unlink(pid, &p),
+            Link(old, new) => self.do_link(pid, &old, &new),
+            Symlink(target, linkp) => self.do_symlink(pid, &target, &linkp),
+            Readlink(p) => self.do_readlink(pid, &p),
+            Rename(old, new) => self.do_rename(pid, &old, &new),
+            Truncate(p, len) => self.do_truncate(pid, &p, len),
+            AccessCheck(p, want) => self.do_access(pid, &p, want),
+            Readdir(p) => self.do_readdir(pid, &p),
+            Chmod(p, mode) => self.do_chmod(pid, &p, mode),
+            Chown(p, uid, gid) => self.do_chown(pid, &p, uid, gid),
+            Chdir(p) => self.do_chdir(pid, &p),
+            Getcwd => Ok(SysRet::Text(self.process(pid)?.cwd_path.clone())),
+            Umask(mask) => {
+                let p = self.proc_mut(pid)?;
+                let old = p.umask;
+                p.umask = mask & 0o777;
+                Ok(SysRet::Num(old as i64))
+            }
+            Fork => self.do_fork(pid),
+            Exec(name) => self.do_exec(pid, name),
+            Exit(code) => self.do_exit(pid, code),
+            Wait => self.do_wait(pid),
+            Kill(target, sig) => self.do_kill(pid, target, sig),
+            SigPending => {
+                let p = self.proc_mut(pid)?;
+                Ok(SysRet::Signals(std::mem::take(&mut p.pending)))
+            }
+            Pipe => self.do_pipe(pid),
+            GetUserName => {
+                let p = self.process(pid)?;
+                let id = match &p.identity {
+                    Some(id) => id.clone(),
+                    None => {
+                        let name = self
+                            .accounts
+                            .lookup_uid(p.cred.uid)
+                            .map(|a| a.name.clone())
+                            .unwrap_or_else(|| format!("uid{}", p.cred.uid));
+                        Identity::new(name)
+                    }
+                };
+                Ok(SysRet::Name(id))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // File operations
+    // ------------------------------------------------------------------
+
+    fn do_stat(&mut self, pid: Pid, p: &str, follow: bool) -> SysResult<SysRet> {
+        if let Some((m, rel)) = self.route(pid, p)? {
+            let id = self.driver_identity(pid)?;
+            let d = self.mounts.driver_mut(m).ok_or(Errno::EIO)?;
+            return Ok(SysRet::Stat(d.stat(&rel, &id)?));
+        }
+        let (cred, cwd) = self.live_cred(pid)?;
+        Ok(SysRet::Stat(self.vfs.stat(cwd, p, follow, &cred)?))
+    }
+
+    /// Adjust a pipe's end counts; frees the slot when both reach zero.
+    fn pipe_release(&mut self, id: usize, end: PipeEnd) {
+        if let Some(Some(p)) = self.pipes.get_mut(id) {
+            match end {
+                PipeEnd::Read => p.readers = p.readers.saturating_sub(1),
+                PipeEnd::Write => p.writers = p.writers.saturating_sub(1),
+            }
+            if p.readers == 0 && p.writers == 0 {
+                self.pipes[id] = None;
+            }
+        }
+    }
+
+    fn pipe_retain(&mut self, id: usize, end: PipeEnd) {
+        if let Some(Some(p)) = self.pipes.get_mut(id) {
+            match end {
+                PipeEnd::Read => p.readers += 1,
+                PipeEnd::Write => p.writers += 1,
+            }
+        }
+    }
+
+    fn do_pipe(&mut self, pid: Pid) -> SysResult<SysRet> {
+        let id = match self.pipes.iter().position(Option::is_none) {
+            Some(i) => {
+                self.pipes[i] = Some(PipeBuf {
+                    readers: 1,
+                    writers: 1,
+                    ..Default::default()
+                });
+                i
+            }
+            None => {
+                self.pipes.push(Some(PipeBuf {
+                    readers: 1,
+                    writers: 1,
+                    ..Default::default()
+                }));
+                self.pipes.len() - 1
+            }
+        };
+        let proc = self.proc_mut(pid)?;
+        let (rfd, wfd) = match (proc.alloc_fd(), ()) {
+            (Some(rfd), ()) => {
+                proc.fds[rfd] = Some(OpenFile {
+                    backing: FileBacking::Pipe {
+                        id,
+                        end: PipeEnd::Read,
+                    },
+                    offset: 0,
+                    flags: OpenFlags::rdonly(),
+                });
+                match proc.alloc_fd() {
+                    Some(wfd) => {
+                        proc.fds[wfd] = Some(OpenFile {
+                            backing: FileBacking::Pipe {
+                                id,
+                                end: PipeEnd::Write,
+                            },
+                            offset: 0,
+                            flags: OpenFlags {
+                                write: true,
+                                ..Default::default()
+                            },
+                        });
+                        (rfd, wfd)
+                    }
+                    None => {
+                        proc.fds[rfd] = None;
+                        self.pipes[id] = None;
+                        return Err(Errno::EMFILE);
+                    }
+                }
+            }
+            _ => {
+                self.pipes[id] = None;
+                return Err(Errno::EMFILE);
+            }
+        };
+        Ok(SysRet::PipeFds(rfd, wfd))
+    }
+
+    fn do_fstat(&mut self, pid: Pid, fd: usize) -> SysResult<SysRet> {
+        let backing = self
+            .process(pid)?
+            .file(fd)
+            .ok_or(Errno::EBADF)?
+            .backing
+            .clone();
+        match backing {
+            FileBacking::Local(ino) => Ok(SysRet::Stat(self.vfs.fstat(ino)?)),
+            FileBacking::Driver { mount, dfd } => {
+                let d = self.mounts.driver_mut(mount).ok_or(Errno::EIO)?;
+                Ok(SysRet::Stat(d.fstat(dfd)?))
+            }
+            FileBacking::Pipe { id, .. } => {
+                let buffered = match self.pipes.get(id) {
+                    Some(Some(p)) => p.data.len() as u64,
+                    _ => 0,
+                };
+                Ok(SysRet::Stat(idbox_vfs::StatBuf {
+                    ino: Ino(0),
+                    kind: FileKind::File,
+                    mode: 0o600,
+                    uid: self.process(pid)?.cred.uid,
+                    gid: self.process(pid)?.cred.gid,
+                    nlink: 1,
+                    size: buffered,
+                    atime: 0,
+                    mtime: 0,
+                    ctime: 0,
+                }))
+            }
+        }
+    }
+
+    fn do_open(&mut self, pid: Pid, p: &str, flags: OpenFlags, mode: u16) -> SysResult<SysRet> {
+        if !flags.read && !flags.write {
+            return Err(Errno::EINVAL);
+        }
+        if let Some((m, rel)) = self.route(pid, p)? {
+            let id = self.driver_identity(pid)?;
+            let d = self.mounts.driver_mut(m).ok_or(Errno::EIO)?;
+            let dfd = d.open(&rel, flags, mode, &id)?;
+            let proc = self.proc_mut(pid)?;
+            let fd = proc.alloc_fd().ok_or(Errno::EMFILE)?;
+            proc.fds[fd] = Some(OpenFile {
+                backing: FileBacking::Driver { mount: m, dfd },
+                offset: 0,
+                flags,
+            });
+            return Ok(SysRet::Num(fd as i64));
+        }
+        let (cred, cwd) = self.live_cred(pid)?;
+        let umask = self.process(pid)?.umask;
+        let (dir, name, existing) = self.vfs.resolve_entry(cwd, p, &cred)?;
+        let ino = match existing {
+            Some(ino) => {
+                if flags.create && flags.excl {
+                    return Err(Errno::EEXIST);
+                }
+                let kind = self.vfs.fstat(ino)?.kind;
+                if kind == FileKind::Dir && flags.write {
+                    return Err(Errno::EISDIR);
+                }
+                if flags.read {
+                    self.vfs.check_access(ino, &cred, Access::R)?;
+                }
+                if flags.write {
+                    self.vfs.check_access(ino, &cred, Access::W)?;
+                }
+                if flags.trunc && kind == FileKind::File {
+                    self.vfs.truncate(ino, 0)?;
+                }
+                ino
+            }
+            None => {
+                if !flags.create {
+                    return Err(Errno::ENOENT);
+                }
+                self.vfs.create(dir, &name, mode & !umask, &cred)?
+            }
+        };
+        self.vfs.pin(ino)?;
+        let proc = self.proc_mut(pid)?;
+        let fd = match proc.alloc_fd() {
+            Some(fd) => fd,
+            None => {
+                self.vfs.unpin(ino)?;
+                return Err(Errno::EMFILE);
+            }
+        };
+        proc.fds[fd] = Some(OpenFile {
+            backing: FileBacking::Local(ino),
+            offset: 0,
+            flags,
+        });
+        Ok(SysRet::Num(fd as i64))
+    }
+
+    fn do_close(&mut self, pid: Pid, fd: usize) -> SysResult<SysRet> {
+        let file = self
+            .proc_mut(pid)?
+            .fds
+            .get_mut(fd)
+            .and_then(Option::take)
+            .ok_or(Errno::EBADF)?;
+        match file.backing {
+            FileBacking::Local(ino) => self.vfs.unpin(ino)?,
+            FileBacking::Driver { mount, dfd } => {
+                let d = self.mounts.driver_mut(mount).ok_or(Errno::EIO)?;
+                d.close(dfd)?;
+            }
+            FileBacking::Pipe { id, end } => self.pipe_release(id, end),
+        }
+        Ok(SysRet::Unit)
+    }
+
+    fn do_read(
+        &mut self,
+        pid: Pid,
+        fd: usize,
+        len: usize,
+        at: Option<u64>,
+    ) -> SysResult<SysRet> {
+        let file = self.process(pid)?.file(fd).ok_or(Errno::EBADF)?.clone();
+        if !file.flags.read {
+            return Err(Errno::EBADF);
+        }
+        let off = at.unwrap_or(file.offset);
+        let data = match file.backing {
+            FileBacking::Local(ino) => {
+                let mut buf = vec![0u8; len];
+                let n = self.vfs.read_into(ino, off, &mut buf)?;
+                buf.truncate(n);
+                buf
+            }
+            FileBacking::Driver { mount, dfd } => {
+                let d = self.mounts.driver_mut(mount).ok_or(Errno::EIO)?;
+                d.pread(dfd, len, off)?
+            }
+            FileBacking::Pipe { id, end } => {
+                if end != PipeEnd::Read || at.is_some() {
+                    return Err(if at.is_some() { Errno::ESPIPE } else { Errno::EBADF });
+                }
+                let p = match self.pipes.get_mut(id) {
+                    Some(Some(p)) => p,
+                    _ => return Err(Errno::EBADF),
+                };
+                if p.data.is_empty() {
+                    if p.writers == 0 {
+                        Vec::new() // EOF
+                    } else {
+                        return Err(Errno::EAGAIN); // nothing yet, writer alive
+                    }
+                } else {
+                    let n = len.min(p.data.len());
+                    p.data.drain(..n).collect()
+                }
+            }
+        };
+        if at.is_none() {
+            self.proc_mut(pid)?.file_mut(fd).ok_or(Errno::EBADF)?.offset =
+                off + data.len() as u64;
+        }
+        Ok(SysRet::Data(data))
+    }
+
+    fn do_write(
+        &mut self,
+        pid: Pid,
+        fd: usize,
+        data: &[u8],
+        at: Option<u64>,
+    ) -> SysResult<SysRet> {
+        let file = self.process(pid)?.file(fd).ok_or(Errno::EBADF)?.clone();
+        if !file.flags.write {
+            return Err(Errno::EBADF);
+        }
+        if let FileBacking::Pipe { id, end } = file.backing {
+            if end != PipeEnd::Write || at.is_some() {
+                return Err(if at.is_some() { Errno::ESPIPE } else { Errno::EBADF });
+            }
+            let has_readers = matches!(self.pipes.get(id), Some(Some(p)) if p.readers > 0);
+            if !has_readers {
+                // Writing with no reader: broken pipe (and a signal, as
+                // in a real kernel).
+                self.proc_mut(pid)?.pending.push(Signal::Term);
+                return Err(Errno::EPIPE);
+            }
+            let p = match self.pipes.get_mut(id) {
+                Some(Some(p)) => p,
+                _ => return Err(Errno::EBADF),
+            };
+            p.data.extend(data.iter().copied());
+            return Ok(SysRet::Num(data.len() as i64));
+        }
+        let off = match (at, file.flags.append) {
+            (Some(off), _) => off,
+            (None, true) => match file.backing {
+                FileBacking::Local(ino) => self.vfs.fstat(ino)?.size,
+                FileBacking::Driver { mount, dfd } => {
+                    let d = self.mounts.driver_mut(mount).ok_or(Errno::EIO)?;
+                    d.fstat(dfd)?.size
+                }
+                FileBacking::Pipe { .. } => unreachable!("handled above"),
+            },
+            (None, false) => file.offset,
+        };
+        let n = match file.backing {
+            FileBacking::Local(ino) => self.vfs.write_at(ino, off, data)?,
+            FileBacking::Driver { mount, dfd } => {
+                let d = self.mounts.driver_mut(mount).ok_or(Errno::EIO)?;
+                d.pwrite(dfd, data, off)?
+            }
+            FileBacking::Pipe { .. } => unreachable!("handled above"),
+        };
+        if at.is_none() {
+            self.proc_mut(pid)?.file_mut(fd).ok_or(Errno::EBADF)?.offset = off + n as u64;
+        }
+        Ok(SysRet::Num(n as i64))
+    }
+
+    fn do_lseek(&mut self, pid: Pid, fd: usize, off: i64, whence: Whence) -> SysResult<SysRet> {
+        let file = self.process(pid)?.file(fd).ok_or(Errno::EBADF)?.clone();
+        let size = match file.backing {
+            FileBacking::Local(ino) => self.vfs.fstat(ino)?.size,
+            FileBacking::Driver { mount, dfd } => {
+                let d = self.mounts.driver_mut(mount).ok_or(Errno::EIO)?;
+                d.fstat(dfd)?.size
+            }
+            FileBacking::Pipe { .. } => return Err(Errno::ESPIPE),
+        };
+        let base = match whence {
+            Whence::Set => 0i64,
+            Whence::Cur => file.offset as i64,
+            Whence::End => size as i64,
+        };
+        let new = base.checked_add(off).ok_or(Errno::EINVAL)?;
+        if new < 0 {
+            return Err(Errno::EINVAL);
+        }
+        self.proc_mut(pid)?.file_mut(fd).ok_or(Errno::EBADF)?.offset = new as u64;
+        Ok(SysRet::Num(new))
+    }
+
+    fn do_dup(&mut self, pid: Pid, fd: usize) -> SysResult<SysRet> {
+        let file = self.process(pid)?.file(fd).ok_or(Errno::EBADF)?.clone();
+        match file.backing {
+            FileBacking::Local(ino) => self.vfs.pin(ino)?,
+            FileBacking::Pipe { id, end } => self.pipe_retain(id, end),
+            // Driver handles are not duplicable (the remote side owns
+            // them); mirrors the fork limitation documented in DESIGN.md.
+            FileBacking::Driver { .. } => return Err(Errno::EINVAL),
+        }
+        let proc = self.proc_mut(pid)?;
+        let nfd = proc.alloc_fd().ok_or(Errno::EMFILE)?;
+        proc.fds[nfd] = Some(file);
+        Ok(SysRet::Num(nfd as i64))
+    }
+
+    // ------------------------------------------------------------------
+    // Namespace operations
+    // ------------------------------------------------------------------
+
+    fn do_mkdir(&mut self, pid: Pid, p: &str, mode: u16) -> SysResult<SysRet> {
+        if let Some((m, rel)) = self.route(pid, p)? {
+            let id = self.driver_identity(pid)?;
+            let d = self.mounts.driver_mut(m).ok_or(Errno::EIO)?;
+            d.mkdir(&rel, mode, &id)?;
+            return Ok(SysRet::Unit);
+        }
+        let (cred, cwd) = self.live_cred(pid)?;
+        let umask = self.process(pid)?.umask;
+        self.vfs.mkdir(cwd, p, mode & !umask, &cred)?;
+        Ok(SysRet::Unit)
+    }
+
+    fn do_rmdir(&mut self, pid: Pid, p: &str) -> SysResult<SysRet> {
+        if let Some((m, rel)) = self.route(pid, p)? {
+            let id = self.driver_identity(pid)?;
+            let d = self.mounts.driver_mut(m).ok_or(Errno::EIO)?;
+            d.rmdir(&rel, &id)?;
+            return Ok(SysRet::Unit);
+        }
+        let (cred, cwd) = self.live_cred(pid)?;
+        self.vfs.rmdir(cwd, p, &cred)?;
+        Ok(SysRet::Unit)
+    }
+
+    fn do_unlink(&mut self, pid: Pid, p: &str) -> SysResult<SysRet> {
+        if let Some((m, rel)) = self.route(pid, p)? {
+            let id = self.driver_identity(pid)?;
+            let d = self.mounts.driver_mut(m).ok_or(Errno::EIO)?;
+            d.unlink(&rel, &id)?;
+            return Ok(SysRet::Unit);
+        }
+        let (cred, cwd) = self.live_cred(pid)?;
+        self.vfs.unlink(cwd, p, &cred)?;
+        Ok(SysRet::Unit)
+    }
+
+    fn do_link(&mut self, pid: Pid, old: &str, new: &str) -> SysResult<SysRet> {
+        let ro = self.route(pid, old)?;
+        let rn = self.route(pid, new)?;
+        if ro.is_some() || rn.is_some() {
+            return Err(Errno::EXDEV); // no hard links across/to mounts
+        }
+        let (cred, cwd) = self.live_cred(pid)?;
+        self.vfs.link(cwd, old, new, &cred)?;
+        Ok(SysRet::Unit)
+    }
+
+    fn do_symlink(&mut self, pid: Pid, target: &str, linkp: &str) -> SysResult<SysRet> {
+        if self.route(pid, linkp)?.is_some() {
+            return Err(Errno::EXDEV);
+        }
+        let (cred, cwd) = self.live_cred(pid)?;
+        self.vfs.symlink(cwd, target, linkp, &cred)?;
+        Ok(SysRet::Unit)
+    }
+
+    fn do_readlink(&mut self, pid: Pid, p: &str) -> SysResult<SysRet> {
+        if self.route(pid, p)?.is_some() {
+            return Err(Errno::EINVAL);
+        }
+        let (cred, cwd) = self.live_cred(pid)?;
+        Ok(SysRet::Text(self.vfs.readlink(cwd, p, &cred)?))
+    }
+
+    fn do_rename(&mut self, pid: Pid, old: &str, new: &str) -> SysResult<SysRet> {
+        let ro = self.route(pid, old)?;
+        let rn = self.route(pid, new)?;
+        match (ro, rn) {
+            (Some((mo, relo)), Some((mn, reln))) if mo == mn => {
+                let id = self.driver_identity(pid)?;
+                let d = self.mounts.driver_mut(mo).ok_or(Errno::EIO)?;
+                d.rename(&relo, &reln, &id)?;
+                Ok(SysRet::Unit)
+            }
+            (None, None) => {
+                let (cred, cwd) = self.live_cred(pid)?;
+                self.vfs.rename(cwd, old, new, &cred)?;
+                Ok(SysRet::Unit)
+            }
+            _ => Err(Errno::EXDEV),
+        }
+    }
+
+    fn do_truncate(&mut self, pid: Pid, p: &str, len: u64) -> SysResult<SysRet> {
+        if let Some((m, rel)) = self.route(pid, p)? {
+            let id = self.driver_identity(pid)?;
+            let d = self.mounts.driver_mut(m).ok_or(Errno::EIO)?;
+            d.truncate(&rel, len, &id)?;
+            return Ok(SysRet::Unit);
+        }
+        let (cred, cwd) = self.live_cred(pid)?;
+        let ino = self.vfs.resolve(cwd, p, true, &cred)?;
+        self.vfs.check_access(ino, &cred, Access::W)?;
+        self.vfs.truncate(ino, len)?;
+        Ok(SysRet::Unit)
+    }
+
+    fn do_access(&mut self, pid: Pid, p: &str, want: Access) -> SysResult<SysRet> {
+        if let Some((m, rel)) = self.route(pid, p)? {
+            let id = self.driver_identity(pid)?;
+            let d = self.mounts.driver_mut(m).ok_or(Errno::EIO)?;
+            d.stat(&rel, &id)?; // existence check only; rights are remote
+            return Ok(SysRet::Unit);
+        }
+        let (cred, cwd) = self.live_cred(pid)?;
+        self.vfs.access(cwd, p, want, &cred)?;
+        Ok(SysRet::Unit)
+    }
+
+    fn do_readdir(&mut self, pid: Pid, p: &str) -> SysResult<SysRet> {
+        if let Some((m, rel)) = self.route(pid, p)? {
+            let id = self.driver_identity(pid)?;
+            let d = self.mounts.driver_mut(m).ok_or(Errno::EIO)?;
+            return Ok(SysRet::Entries(d.readdir(&rel, &id)?));
+        }
+        let (cred, cwd) = self.live_cred(pid)?;
+        Ok(SysRet::Entries(self.vfs.readdir(cwd, p, &cred)?))
+    }
+
+    fn do_chmod(&mut self, pid: Pid, p: &str, mode: u16) -> SysResult<SysRet> {
+        if self.route(pid, p)?.is_some() {
+            return Err(Errno::ENOSYS); // remote ACLs, not modes
+        }
+        let (cred, cwd) = self.live_cred(pid)?;
+        self.vfs.chmod(cwd, p, mode, &cred)?;
+        Ok(SysRet::Unit)
+    }
+
+    fn do_chown(&mut self, pid: Pid, p: &str, uid: u32, gid: u32) -> SysResult<SysRet> {
+        if self.route(pid, p)?.is_some() {
+            return Err(Errno::ENOSYS);
+        }
+        let (cred, cwd) = self.live_cred(pid)?;
+        self.vfs.chown(cwd, p, uid, gid, &cred)?;
+        Ok(SysRet::Unit)
+    }
+
+    fn do_chdir(&mut self, pid: Pid, p: &str) -> SysResult<SysRet> {
+        let abs = vpath::normalize_lexical(&self.absolutize(pid, p)?);
+        if self.route(pid, p)?.is_some() {
+            // cwd inside a mount is not supported; stay on the local fs.
+            return Err(Errno::EXDEV);
+        }
+        let (cred, cwd) = self.live_cred(pid)?;
+        let ino = self.vfs.resolve(cwd, p, true, &cred)?;
+        if self.vfs.fstat(ino)?.kind != FileKind::Dir {
+            return Err(Errno::ENOTDIR);
+        }
+        self.vfs.check_access(ino, &cred, Access::X)?;
+        let proc = self.proc_mut(pid)?;
+        proc.cwd = ino;
+        proc.cwd_path = abs;
+        Ok(SysRet::Unit)
+    }
+
+    // ------------------------------------------------------------------
+    // Process operations
+    // ------------------------------------------------------------------
+
+    fn do_fork(&mut self, pid: Pid) -> SysResult<SysRet> {
+        let parent = self.process(pid)?.clone();
+        if !parent.is_alive() {
+            return Err(Errno::ESRCH);
+        }
+        let child_pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let mut fds = Vec::with_capacity(parent.fds.len());
+        for slot in &parent.fds {
+            match slot {
+                Some(f) => match f.backing {
+                    FileBacking::Local(ino) => {
+                        self.vfs.pin(ino)?;
+                        fds.push(Some(f.clone()));
+                    }
+                    FileBacking::Pipe { id, end } => {
+                        self.pipe_retain(id, end);
+                        fds.push(Some(f.clone()));
+                    }
+                    // Driver handles are connection-private: not inherited.
+                    FileBacking::Driver { .. } => fds.push(None),
+                },
+                None => fds.push(None),
+            }
+        }
+        self.procs.insert(
+            child_pid.0,
+            Process {
+                pid: child_pid,
+                ppid: pid,
+                fds,
+                pending: Vec::new(),
+                state: ProcState::Running,
+                ..parent
+            },
+        );
+        Ok(SysRet::Num(child_pid.0 as i64))
+    }
+
+    /// `exec`: verify the image exists and is executable, then record it
+    /// as the process's program. (The simulation does not load code —
+    /// guest programs are host functions — but the permission semantics
+    /// are real.)
+    fn do_exec(&mut self, pid: Pid, name: String) -> SysResult<SysRet> {
+        if let Some((m, rel)) = self.route(pid, &name)? {
+            let id = self.driver_identity(pid)?;
+            let d = self.mounts.driver_mut(m).ok_or(Errno::EIO)?;
+            d.stat(&rel, &id)?; // existence; rights are the remote's call
+        } else {
+            let (cred, cwd) = self.live_cred(pid)?;
+            let ino = self.vfs.resolve(cwd, &name, true, &cred)?;
+            if self.vfs.fstat(ino)?.kind != FileKind::File {
+                return Err(Errno::EACCES);
+            }
+            self.vfs.check_access(ino, &cred, Access::X)?;
+        }
+        self.proc_mut(pid)?.comm = name;
+        Ok(SysRet::Unit)
+    }
+
+    fn do_exit(&mut self, pid: Pid, code: i32) -> SysResult<SysRet> {
+        self.terminate(pid, code)?;
+        Ok(SysRet::Unit)
+    }
+
+    /// Shared by `exit` and lethal signals.
+    fn terminate(&mut self, pid: Pid, code: i32) -> SysResult<()> {
+        // Close all fds.
+        let fds = std::mem::take(&mut self.proc_mut(pid)?.fds);
+        for f in fds.into_iter().flatten() {
+            match f.backing {
+                FileBacking::Local(ino) => {
+                    let _ = self.vfs.unpin(ino);
+                }
+                FileBacking::Driver { mount, dfd } => {
+                    if let Some(d) = self.mounts.driver_mut(mount) {
+                        let _ = d.close(dfd);
+                    }
+                }
+                FileBacking::Pipe { id, end } => self.pipe_release(id, end),
+            }
+        }
+        // Reparent children to init.
+        let children: Vec<u32> = self
+            .procs
+            .values()
+            .filter(|p| p.ppid == pid && p.pid != pid)
+            .map(|p| p.pid.0)
+            .collect();
+        for c in children {
+            if let Some(p) = self.procs.get_mut(&c) {
+                p.ppid = INIT;
+            }
+        }
+        self.proc_mut(pid)?.state = ProcState::Zombie(code);
+        Ok(())
+    }
+
+    fn do_wait(&mut self, pid: Pid) -> SysResult<SysRet> {
+        let mut have_child = false;
+        let mut reap: Option<(Pid, i32)> = None;
+        for p in self.procs.values() {
+            if p.ppid == pid && p.pid != pid {
+                have_child = true;
+                if let ProcState::Zombie(code) = p.state {
+                    reap = Some((p.pid, code));
+                    break;
+                }
+            }
+        }
+        match reap {
+            Some((cpid, code)) => {
+                self.procs.remove(&cpid.0);
+                Ok(SysRet::Reaped(cpid, code))
+            }
+            None if have_child => Err(Errno::EAGAIN),
+            None => Err(Errno::ECHILD),
+        }
+    }
+
+    fn do_kill(&mut self, pid: Pid, target: Pid, sig: Signal) -> SysResult<SysRet> {
+        let sender_cred = self.process(pid)?.cred;
+        let t = self.process(target)?;
+        if !t.is_alive() {
+            return Err(Errno::ESRCH);
+        }
+        // Unix rule: root, or matching uid. (The identity box adds the
+        // stricter same-identity rule above this layer.)
+        if sender_cred.uid != 0 && sender_cred.uid != t.cred.uid {
+            return Err(Errno::EPERM);
+        }
+        if sig == Signal::Kill {
+            self.terminate(target, 128 + sig.number() as i32)?;
+        } else {
+            self.proc_mut(target)?.pending.push(sig);
+        }
+        Ok(SysRet::Unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel_with_user(name: &str) -> (Kernel, Pid, Cred) {
+        let mut k = Kernel::new();
+        let uid = k.accounts_mut().next_free_uid();
+        k.accounts_mut()
+            .add(crate::Account::new(name, uid, uid))
+            .unwrap();
+        k.sync_passwd_file();
+        let cred = Cred::new(uid, uid);
+        let root = k.vfs().root();
+        k.vfs_mut()
+            .mkdir(root, &format!("/home/{name}"), 0o755, &Cred::ROOT)
+            .unwrap();
+        k.vfs_mut()
+            .chown(root, &format!("/home/{name}"), uid, uid, &Cred::ROOT)
+            .unwrap();
+        let pid = k.spawn(cred, &format!("/home/{name}"), "sh").unwrap();
+        (k, pid, cred)
+    }
+
+    #[test]
+    fn boot_layout() {
+        let mut k = Kernel::new();
+        let pid = k.spawn(Cred::ROOT, "/", "probe").unwrap();
+        for dir in ["/etc", "/home", "/tmp", "/root", "/bin"] {
+            let st = k.syscall(pid, Syscall::Stat(dir.into())).unwrap();
+            match st {
+                SysRet::Stat(s) => assert!(s.is_dir(), "{dir} should be a dir"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let passwd = k.syscall(pid, Syscall::Stat("/etc/passwd".into())).unwrap();
+        assert!(matches!(passwd, SysRet::Stat(s) if s.is_file()));
+    }
+
+    #[test]
+    fn open_write_read_close() {
+        let (mut k, pid, _) = kernel_with_user("dthain");
+        let fd = k
+            .syscall(
+                pid,
+                Syscall::Open("notes".into(), OpenFlags::wronly_create_trunc(), 0o644),
+            )
+            .unwrap()
+            .num() as usize;
+        let n = k
+            .syscall(pid, Syscall::Write(fd, b"hello".to_vec()))
+            .unwrap()
+            .num();
+        assert_eq!(n, 5);
+        k.syscall(pid, Syscall::Close(fd)).unwrap();
+        let fd = k
+            .syscall(pid, Syscall::Open("notes".into(), OpenFlags::rdonly(), 0))
+            .unwrap()
+            .num() as usize;
+        let data = k.syscall(pid, Syscall::Read(fd, 100)).unwrap();
+        assert_eq!(data.data(), b"hello");
+        // Sequential read advances: next read is empty.
+        let more = k.syscall(pid, Syscall::Read(fd, 100)).unwrap();
+        assert!(more.data().is_empty());
+        k.syscall(pid, Syscall::Close(fd)).unwrap();
+    }
+
+    #[test]
+    fn pread_pwrite_do_not_move_offset() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        let fd = k
+            .syscall(
+                pid,
+                Syscall::Open("f".into(), OpenFlags::rdwr_create(), 0o644),
+            )
+            .unwrap_or_else(|_| panic!("open"))
+            .num() as usize;
+        k.syscall(pid, Syscall::Pwrite(fd, b"abcdef".to_vec(), 0)).unwrap();
+        let d = k.syscall(pid, Syscall::Pread(fd, 3, 2)).unwrap();
+        assert_eq!(d.data(), b"cde");
+        // Offset still 0: sequential read sees the start.
+        let d = k.syscall(pid, Syscall::Read(fd, 2)).unwrap();
+        assert_eq!(d.data(), b"ab");
+    }
+
+    #[test]
+    fn append_mode() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        let fd = k
+            .syscall(
+                pid,
+                Syscall::Open("log".into(), OpenFlags::append_create(), 0o644),
+            )
+            .unwrap()
+            .num() as usize;
+        k.syscall(pid, Syscall::Write(fd, b"one".to_vec())).unwrap();
+        k.syscall(pid, Syscall::Write(fd, b"two".to_vec())).unwrap();
+        k.syscall(pid, Syscall::Close(fd)).unwrap();
+        let fd = k
+            .syscall(pid, Syscall::Open("log".into(), OpenFlags::rdonly(), 0))
+            .unwrap()
+            .num() as usize;
+        let d = k.syscall(pid, Syscall::Read(fd, 100)).unwrap();
+        assert_eq!(d.data(), b"onetwo");
+    }
+
+    #[test]
+    fn lseek_whences() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        let fd = k
+            .syscall(
+                pid,
+                Syscall::Open("f".into(), OpenFlags::rdwr_create(), 0o644),
+            )
+            .unwrap()
+            .num() as usize;
+        k.syscall(pid, Syscall::Write(fd, b"0123456789".to_vec())).unwrap();
+        assert_eq!(
+            k.syscall(pid, Syscall::Lseek(fd, 2, Whence::Set)).unwrap().num(),
+            2
+        );
+        assert_eq!(
+            k.syscall(pid, Syscall::Lseek(fd, 3, Whence::Cur)).unwrap().num(),
+            5
+        );
+        assert_eq!(
+            k.syscall(pid, Syscall::Lseek(fd, -1, Whence::End)).unwrap().num(),
+            9
+        );
+        assert_eq!(
+            k.syscall(pid, Syscall::Lseek(fd, -100, Whence::Cur)),
+            Err(Errno::EINVAL)
+        );
+    }
+
+    #[test]
+    fn umask_applies_to_create() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        k.syscall(pid, Syscall::Umask(0o077)).unwrap();
+        let fd = k
+            .syscall(
+                pid,
+                Syscall::Open("f".into(), OpenFlags::wronly_create_trunc(), 0o666),
+            )
+            .unwrap()
+            .num() as usize;
+        k.syscall(pid, Syscall::Close(fd)).unwrap();
+        let st = k.syscall(pid, Syscall::Stat("f".into())).unwrap();
+        assert!(matches!(st, SysRet::Stat(s) if s.mode == 0o600));
+    }
+
+    #[test]
+    fn fork_wait_exit() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        let child = Pid(k.syscall(pid, Syscall::Fork).unwrap().num() as u32);
+        // Child exits 42; parent reaps it.
+        k.syscall(child, Syscall::Exit(42)).unwrap();
+        match k.syscall(pid, Syscall::Wait).unwrap() {
+            SysRet::Reaped(cpid, code) => {
+                assert_eq!(cpid, child);
+                assert_eq!(code, 42);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(k.syscall(pid, Syscall::Wait), Err(Errno::ECHILD));
+    }
+
+    #[test]
+    fn wait_with_running_child_is_eagain() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        let _child = k.syscall(pid, Syscall::Fork).unwrap().num();
+        assert_eq!(k.syscall(pid, Syscall::Wait), Err(Errno::EAGAIN));
+    }
+
+    #[test]
+    fn fork_inherits_fds_with_pins() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        let fd = k
+            .syscall(
+                pid,
+                Syscall::Open("f".into(), OpenFlags::rdwr_create(), 0o644),
+            )
+            .unwrap()
+            .num() as usize;
+        k.syscall(pid, Syscall::Write(fd, b"x".to_vec())).unwrap();
+        let child = Pid(k.syscall(pid, Syscall::Fork).unwrap().num() as u32);
+        // Parent unlinks and closes; child's fd must still work.
+        k.syscall(pid, Syscall::Unlink("f".into())).unwrap();
+        k.syscall(pid, Syscall::Close(fd)).unwrap();
+        let d = k.syscall(child, Syscall::Pread(fd, 1, 0)).unwrap();
+        assert_eq!(d.data(), b"x");
+        k.syscall(child, Syscall::Exit(0)).unwrap();
+    }
+
+    #[test]
+    fn kill_permissions_follow_uid() {
+        let (mut k, alice_pid, _) = kernel_with_user("alice");
+        let bob_uid = k.accounts_mut().next_free_uid();
+        k.accounts_mut()
+            .add(crate::Account::new("bob", bob_uid, bob_uid))
+            .unwrap();
+        let bob_pid = k.spawn(Cred::new(bob_uid, bob_uid), "/tmp", "sh").unwrap();
+        // Bob cannot signal alice.
+        assert_eq!(
+            k.syscall(bob_pid, Syscall::Kill(alice_pid, Signal::Term)),
+            Err(Errno::EPERM)
+        );
+        // Alice can signal herself.
+        k.syscall(alice_pid, Syscall::Kill(alice_pid, Signal::Usr1))
+            .unwrap();
+        match k.syscall(alice_pid, Syscall::SigPending).unwrap() {
+            SysRet::Signals(sigs) => assert_eq!(sigs, vec![Signal::Usr1]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sigkill_terminates_immediately() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        let child = Pid(k.syscall(pid, Syscall::Fork).unwrap().num() as u32);
+        k.syscall(pid, Syscall::Kill(child, Signal::Kill)).unwrap();
+        assert!(!k.process(child).unwrap().is_alive());
+        match k.syscall(pid, Syscall::Wait).unwrap() {
+            SysRet::Reaped(_, code) => assert_eq!(code, 137),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chdir_and_getcwd() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        k.syscall(pid, Syscall::Mkdir("sub".into(), 0o755)).unwrap();
+        k.syscall(pid, Syscall::Chdir("sub".into())).unwrap();
+        match k.syscall(pid, Syscall::Getcwd).unwrap() {
+            SysRet::Text(p) => assert_eq!(p, "/home/u/sub"),
+            other => panic!("unexpected {other:?}"),
+        }
+        k.syscall(pid, Syscall::Chdir("..".into())).unwrap();
+        match k.syscall(pid, Syscall::Getcwd).unwrap() {
+            SysRet::Text(p) => assert_eq!(p, "/home/u"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_user_name_without_box_is_account() {
+        let (mut k, pid, _) = kernel_with_user("dthain");
+        match k.syscall(pid, Syscall::GetUserName).unwrap() {
+            SysRet::Name(id) => assert_eq!(id.as_str(), "dthain"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_user_name_with_identity() {
+        let (mut k, pid, _) = kernel_with_user("dthain");
+        k.set_identity(pid, Identity::new("globus:/O=UnivNowhere/CN=Fred"))
+            .unwrap();
+        match k.syscall(pid, Syscall::GetUserName).unwrap() {
+            SysRet::Name(id) => {
+                assert_eq!(id.as_str(), "globus:/O=UnivNowhere/CN=Fred")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn permission_denied_for_other_users_files() {
+        let (mut k, alice_pid, alice) = kernel_with_user("alice");
+        let root = k.vfs().root();
+        // Alice makes a private file.
+        k.vfs_mut()
+            .write_file(root, "/home/alice/secret", b"shh", &alice)
+            .unwrap();
+        k.vfs_mut()
+            .chmod(root, "/home/alice/secret", 0o600, &alice)
+            .unwrap();
+        k.vfs_mut()
+            .chmod(root, "/home/alice", 0o700, &alice)
+            .unwrap();
+        let bob_uid = k.accounts_mut().next_free_uid();
+        k.accounts_mut()
+            .add(crate::Account::new("bob", bob_uid, bob_uid))
+            .unwrap();
+        let bob_pid = k.spawn(Cred::new(bob_uid, bob_uid), "/tmp", "sh").unwrap();
+        assert_eq!(
+            k.syscall(
+                bob_pid,
+                Syscall::Open("/home/alice/secret".into(), OpenFlags::rdonly(), 0)
+            ),
+            Err(Errno::EACCES)
+        );
+        // Alice herself is fine.
+        assert!(k
+            .syscall(
+                alice_pid,
+                Syscall::Open("/home/alice/secret".into(), OpenFlags::rdonly(), 0)
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn stats_count_calls() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        k.syscall(pid, Syscall::Getpid).unwrap();
+        k.syscall(pid, Syscall::Getpid).unwrap();
+        let _ = k.syscall(pid, Syscall::Stat("/none".into()));
+        assert_eq!(k.stats["getpid"], 2);
+        assert_eq!(k.stats["stat"], 1);
+        assert_eq!(k.total_syscalls(), 3);
+    }
+
+    #[test]
+    fn open_requires_read_or_write() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        assert_eq!(
+            k.syscall(
+                pid,
+                Syscall::Open("f".into(), OpenFlags::default(), 0o644)
+            ),
+            Err(Errno::EINVAL)
+        );
+    }
+
+    #[test]
+    fn excl_create_fails_on_existing() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        let mut fl = OpenFlags::wronly_create_trunc();
+        fl.excl = true;
+        let fd = k
+            .syscall(pid, Syscall::Open("f".into(), fl, 0o644))
+            .unwrap()
+            .num() as usize;
+        k.syscall(pid, Syscall::Close(fd)).unwrap();
+        assert_eq!(
+            k.syscall(pid, Syscall::Open("f".into(), fl, 0o644)),
+            Err(Errno::EEXIST)
+        );
+    }
+
+    #[test]
+    fn exit_closes_fds_and_reparents_children() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        let fd = k
+            .syscall(
+                pid,
+                Syscall::Open("f".into(), OpenFlags::rdwr_create(), 0o644),
+            )
+            .unwrap()
+            .num() as usize;
+        let child = Pid(k.syscall(pid, Syscall::Fork).unwrap().num() as u32);
+        let grandchild = Pid(k.syscall(child, Syscall::Fork).unwrap().num() as u32);
+        k.syscall(child, Syscall::Exit(0)).unwrap();
+        // Grandchild reparented to init (pid 1).
+        assert_eq!(k.process(grandchild).unwrap().ppid, Pid(1));
+        // Parent's fd still valid, child's pins released.
+        k.syscall(pid, Syscall::Write(fd, b"ok".to_vec())).unwrap();
+        k.syscall(grandchild, Syscall::Exit(0)).unwrap();
+    }
+
+    #[test]
+    fn pipe_roundtrip_and_eof() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        let fds = k.syscall(pid, Syscall::Pipe).unwrap();
+        let (rfd, wfd) = match fds {
+            SysRet::PipeFds(r, w) => (r, w),
+            other => panic!("unexpected {other:?}"),
+        };
+        // Empty pipe with live writer: EAGAIN.
+        assert_eq!(k.syscall(pid, Syscall::Read(rfd, 10)), Err(Errno::EAGAIN));
+        k.syscall(pid, Syscall::Write(wfd, b"through the pipe".to_vec()))
+            .unwrap();
+        let d = k.syscall(pid, Syscall::Read(rfd, 7)).unwrap();
+        assert_eq!(d.data(), b"through");
+        let d = k.syscall(pid, Syscall::Read(rfd, 100)).unwrap();
+        assert_eq!(d.data(), b" the pipe");
+        // Close the writer: drained pipe now reports EOF.
+        k.syscall(pid, Syscall::Close(wfd)).unwrap();
+        let d = k.syscall(pid, Syscall::Read(rfd, 10)).unwrap();
+        assert!(d.data().is_empty());
+        k.syscall(pid, Syscall::Close(rfd)).unwrap();
+    }
+
+    #[test]
+    fn pipe_epipe_on_writer_without_reader() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        let (rfd, wfd) = match k.syscall(pid, Syscall::Pipe).unwrap() {
+            SysRet::PipeFds(r, w) => (r, w),
+            other => panic!("unexpected {other:?}"),
+        };
+        k.syscall(pid, Syscall::Close(rfd)).unwrap();
+        assert_eq!(
+            k.syscall(pid, Syscall::Write(wfd, b"x".to_vec())),
+            Err(Errno::EPIPE)
+        );
+        // And a termination signal was queued, as in a real kernel.
+        match k.syscall(pid, Syscall::SigPending).unwrap() {
+            SysRet::Signals(sigs) => assert_eq!(sigs, vec![Signal::Term]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipe_crosses_fork() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        let (rfd, wfd) = match k.syscall(pid, Syscall::Pipe).unwrap() {
+            SysRet::PipeFds(r, w) => (r, w),
+            other => panic!("unexpected {other:?}"),
+        };
+        let child = Pid(k.syscall(pid, Syscall::Fork).unwrap().num() as u32);
+        // Child writes, closes both ends, exits.
+        k.syscall(child, Syscall::Write(wfd, b"from child".to_vec()))
+            .unwrap();
+        k.syscall(child, Syscall::Exit(0)).unwrap();
+        // Parent closes its write end; reads the child's message; then EOF.
+        k.syscall(pid, Syscall::Close(wfd)).unwrap();
+        let d = k.syscall(pid, Syscall::Read(rfd, 100)).unwrap();
+        assert_eq!(d.data(), b"from child");
+        let d = k.syscall(pid, Syscall::Read(rfd, 100)).unwrap();
+        assert!(d.data().is_empty(), "EOF after all writers gone");
+        k.syscall(pid, Syscall::Wait).unwrap();
+    }
+
+    #[test]
+    fn pipe_misuse_is_clean_errors() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        let (rfd, wfd) = match k.syscall(pid, Syscall::Pipe).unwrap() {
+            SysRet::PipeFds(r, w) => (r, w),
+            other => panic!("unexpected {other:?}"),
+        };
+        // Wrong-direction I/O.
+        assert_eq!(
+            k.syscall(pid, Syscall::Write(rfd, b"x".to_vec())),
+            Err(Errno::EBADF)
+        );
+        assert_eq!(k.syscall(pid, Syscall::Read(wfd, 1)), Err(Errno::EBADF));
+        // Pipes are not seekable and have no positioned I/O.
+        assert_eq!(
+            k.syscall(pid, Syscall::Lseek(rfd, 0, Whence::Set)),
+            Err(Errno::ESPIPE)
+        );
+        assert_eq!(k.syscall(pid, Syscall::Pread(rfd, 1, 0)), Err(Errno::ESPIPE));
+        // fstat reports the buffered byte count.
+        k.syscall(pid, Syscall::Write(wfd, b"abc".to_vec())).unwrap();
+        match k.syscall(pid, Syscall::Fstat(rfd)).unwrap() {
+            SysRet::Stat(st) => assert_eq!(st.size, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn readdir_via_syscall() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        k.syscall(pid, Syscall::Mkdir("d".into(), 0o755)).unwrap();
+        let fd = k
+            .syscall(
+                pid,
+                Syscall::Open("d/f".into(), OpenFlags::wronly_create_trunc(), 0o644),
+            )
+            .unwrap()
+            .num() as usize;
+        k.syscall(pid, Syscall::Close(fd)).unwrap();
+        match k.syscall(pid, Syscall::Readdir("d".into())).unwrap() {
+            SysRet::Entries(es) => {
+                let names: Vec<_> = es.iter().map(|e| e.name.as_str()).collect();
+                assert_eq!(names, [".", "..", "f"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

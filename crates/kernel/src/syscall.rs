@@ -1,0 +1,244 @@
+//! The typed system-call interface.
+//!
+//! This is the boundary the interposition agent traps: every action a
+//! guest program can take is one of these calls. The register-level
+//! encoding (syscall numbers, argument marshalling through guest memory)
+//! lives in `idbox-interpose`; the kernel itself only sees these typed
+//! values.
+
+use crate::process::{OpenFlags, Pid, Signal};
+use idbox_types::Identity;
+use idbox_vfs::{Access, DirEntry, StatBuf};
+
+/// `lseek` origins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Whence {
+    /// From the start of the file.
+    Set,
+    /// From the current offset.
+    Cur,
+    /// From the end of the file.
+    End,
+}
+
+/// A decoded system call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Syscall {
+    /// The null syscall; also what nullified calls become.
+    Getpid,
+    /// Parent pid.
+    Getppid,
+    /// Caller's uid.
+    Getuid,
+    /// Look up metadata by path (following symlinks).
+    Stat(String),
+    /// Look up metadata by path (not following the final symlink).
+    Lstat(String),
+    /// Metadata of an open fd.
+    Fstat(usize),
+    /// Open (and possibly create) a file.
+    Open(String, OpenFlags, u16),
+    /// Close an fd.
+    Close(usize),
+    /// Read up to `len` bytes at the current offset.
+    Read(usize, usize),
+    /// Write bytes at the current offset.
+    Write(usize, Vec<u8>),
+    /// Positioned read (no offset change).
+    Pread(usize, usize, u64),
+    /// Positioned write (no offset change).
+    Pwrite(usize, Vec<u8>, u64),
+    /// Move the file offset.
+    Lseek(usize, i64, Whence),
+    /// Duplicate an fd.
+    Dup(usize),
+    /// Create a directory.
+    Mkdir(String, u16),
+    /// Remove an empty directory.
+    Rmdir(String),
+    /// Remove a file name.
+    Unlink(String),
+    /// Create a hard link (old, new).
+    Link(String, String),
+    /// Create a symbolic link (target, linkpath).
+    Symlink(String, String),
+    /// Read a symlink's target.
+    Readlink(String),
+    /// Rename (old, new).
+    Rename(String, String),
+    /// Truncate a path to a length.
+    Truncate(String, u64),
+    /// Check accessibility.
+    AccessCheck(String, Access),
+    /// List a directory.
+    Readdir(String),
+    /// Change permission bits.
+    Chmod(String, u16),
+    /// Change ownership.
+    Chown(String, u32, u32),
+    /// Change working directory.
+    Chdir(String),
+    /// Report the working directory.
+    Getcwd,
+    /// Set the file-creation mask; returns the old one.
+    Umask(u16),
+    /// Create a child process.
+    Fork,
+    /// Replace the program image (simulated: records the name).
+    Exec(String),
+    /// Exit with a status.
+    Exit(i32),
+    /// Wait for any child to exit.
+    Wait,
+    /// Send a signal.
+    Kill(Pid, Signal),
+    /// Poll and clear pending signals.
+    SigPending,
+    /// Create a pipe; returns (read fd, write fd).
+    Pipe,
+    /// The new call the identity box adds: the caller's high-level name
+    /// (paper, Section 3). Outside a box it reports the Unix account.
+    GetUserName,
+}
+
+impl Syscall {
+    /// A short name for traces and statistics.
+    pub fn name(&self) -> &'static str {
+        use Syscall::*;
+        match self {
+            Getpid => "getpid",
+            Getppid => "getppid",
+            Getuid => "getuid",
+            Stat(_) => "stat",
+            Lstat(_) => "lstat",
+            Fstat(_) => "fstat",
+            Open(..) => "open",
+            Close(_) => "close",
+            Read(..) => "read",
+            Write(..) => "write",
+            Pread(..) => "pread",
+            Pwrite(..) => "pwrite",
+            Lseek(..) => "lseek",
+            Dup(_) => "dup",
+            Mkdir(..) => "mkdir",
+            Rmdir(_) => "rmdir",
+            Unlink(_) => "unlink",
+            Link(..) => "link",
+            Symlink(..) => "symlink",
+            Readlink(_) => "readlink",
+            Rename(..) => "rename",
+            Truncate(..) => "truncate",
+            AccessCheck(..) => "access",
+            Readdir(_) => "readdir",
+            Chmod(..) => "chmod",
+            Chown(..) => "chown",
+            Chdir(_) => "chdir",
+            Getcwd => "getcwd",
+            Umask(_) => "umask",
+            Fork => "fork",
+            Exec(_) => "exec",
+            Exit(_) => "exit",
+            Wait => "wait",
+            Kill(..) => "kill",
+            SigPending => "sigpending",
+            Pipe => "pipe",
+            GetUserName => "get_user_name",
+        }
+    }
+
+    /// True for calls that name a path (the ones the identity box must
+    /// run ACL checks for).
+    pub fn is_path_call(&self) -> bool {
+        use Syscall::*;
+        matches!(
+            self,
+            Stat(_)
+                | Lstat(_)
+                | Open(..)
+                | Mkdir(..)
+                | Rmdir(_)
+                | Unlink(_)
+                | Link(..)
+                | Symlink(..)
+                | Readlink(_)
+                | Rename(..)
+                | Truncate(..)
+                | AccessCheck(..)
+                | Readdir(_)
+                | Chmod(..)
+                | Chown(..)
+                | Chdir(_)
+                | Exec(_)
+        )
+    }
+}
+
+/// The result of a successful system call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SysRet {
+    /// No interesting value (close, mkdir, ...).
+    Unit,
+    /// A small integer (pid, fd, count, old umask, uid...).
+    Num(i64),
+    /// Bytes read.
+    Data(Vec<u8>),
+    /// A path or name (getcwd, readlink, get_user_name).
+    Text(String),
+    /// File metadata.
+    Stat(StatBuf),
+    /// Directory listing.
+    Entries(Vec<DirEntry>),
+    /// A reaped child: (pid, exit status).
+    Reaped(Pid, i32),
+    /// Pending signals, oldest first.
+    Signals(Vec<Signal>),
+    /// A pipe's (read fd, write fd) pair.
+    PipeFds(usize, usize),
+    /// The identity reported by `get_user_name`.
+    Name(Identity),
+}
+
+impl SysRet {
+    /// Extract a numeric result; panics on mismatch (test helper).
+    pub fn num(&self) -> i64 {
+        match self {
+            SysRet::Num(n) => *n,
+            other => panic!("expected Num, got {other:?}"),
+        }
+    }
+
+    /// Extract data; panics on mismatch (test helper).
+    pub fn data(&self) -> &[u8] {
+        match self {
+            SysRet::Data(d) => d,
+            other => panic!("expected Data, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Syscall::Getpid.name(), "getpid");
+        assert_eq!(Syscall::Stat("/x".into()).name(), "stat");
+        assert_eq!(Syscall::GetUserName.name(), "get_user_name");
+    }
+
+    #[test]
+    fn path_call_classification() {
+        assert!(Syscall::Open("/f".into(), OpenFlags::rdonly(), 0).is_path_call());
+        assert!(Syscall::Rename("/a".into(), "/b".into()).is_path_call());
+        assert!(!Syscall::Getpid.is_path_call());
+        assert!(!Syscall::Read(0, 10).is_path_call());
+        assert!(!Syscall::GetUserName.is_path_call());
+    }
+
+    #[test]
+    fn sysret_helpers() {
+        assert_eq!(SysRet::Num(5).num(), 5);
+        assert_eq!(SysRet::Data(vec![1, 2]).data(), &[1, 2]);
+    }
+}

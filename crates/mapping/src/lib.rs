@@ -1,0 +1,22 @@
+//! Identity-mapping methods: the baselines of Figure 1.
+//!
+//! Once a grid user has proven a global identity, the site must somehow
+//! map it into the local system. This crate implements every method the
+//! paper surveys (Section 2) behind one [`IdentityMapper`] trait —
+//! single account, untrusted account, private accounts with a gridmap,
+//! group accounts, anonymous per-job accounts, account pools — plus
+//! identity boxing itself, so the [`probe`] harness can *measure* the
+//! property matrix of Figure 1 (privilege required, owner protection,
+//! privacy, sharing, return, administrative burden) rather than assert
+//! it.
+
+pub mod methods;
+pub mod probe;
+mod session;
+
+pub use methods::{
+    AccountPool, AnonymousAccounts, GroupAccounts, IdentityBoxMapper, PrivateAccounts,
+    SingleAccount, UntrustedAccount,
+};
+pub use probe::{probe_method, MethodProperties, Tri};
+pub use session::{IdentityMapper, MapError, Session};

@@ -1,0 +1,141 @@
+//! Account pools (Globus / Legion style).
+
+use crate::methods::create_account_with_home;
+use crate::session::{IdentityMapper, MapError, Runner, Session};
+use idbox_interpose::SharedKernel;
+use idbox_types::Principal;
+use idbox_vfs::Cred;
+use std::collections::VecDeque;
+
+/// A pool of anonymous accounts (`grid0`–`gridN`) created once by the
+/// administrator and assigned to jobs on the fly. Protects the owner and
+/// gives privacy, but "a given user might be grid9 today and grid33
+/// tomorrow": no return, and no grid-identity-based sharing.
+pub struct PoolSlot {
+    account: String,
+    cred: Cred,
+    home: String,
+}
+
+/// The pool mapper.
+pub struct AccountPool {
+    free: VecDeque<PoolSlot>,
+    interventions: u64,
+}
+
+impl AccountPool {
+    /// Create a pool of `n` accounts named `grid0..grid{n-1}` (one batch
+    /// of administrative work).
+    pub fn with_size(kernel: &SharedKernel, n: usize) -> Result<Self, MapError> {
+        let mut free = VecDeque::new();
+        for i in 0..n {
+            let account = format!("grid{i}");
+            let (cred, home) = create_account_with_home(kernel, &account)?;
+            free.push_back(PoolSlot {
+                account,
+                cred,
+                home,
+            });
+        }
+        Ok(AccountPool {
+            free,
+            interventions: 1, // the admin sets up the pool once
+        })
+    }
+
+    /// Accounts currently unassigned.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+}
+
+impl IdentityMapper for AccountPool {
+    fn name(&self) -> &'static str {
+        "pool"
+    }
+
+    fn requires_privilege(&self) -> bool {
+        true
+    }
+
+    fn burden_label(&self) -> &'static str {
+        "per pool"
+    }
+
+    fn admit(
+        &mut self,
+        _kernel: &SharedKernel,
+        principal: &Principal,
+    ) -> Result<Session, MapError> {
+        // FIFO assignment: a released account goes to the back, so a
+        // returning user almost never lands on their previous account —
+        // exactly the property that breaks "return".
+        let slot = self.free.pop_front().ok_or(MapError::NoAccountsAvailable)?;
+        Ok(Session {
+            principal: principal.clone(),
+            account: slot.account,
+            cred: slot.cred,
+            home: slot.home,
+            runner: Runner::Plain,
+        })
+    }
+
+    fn release(&mut self, _kernel: &SharedKernel, session: Session) -> Result<(), MapError> {
+        self.free.push_back(PoolSlot {
+            account: session.account,
+            cred: session.cred,
+            home: session.home,
+        });
+        Ok(())
+    }
+
+    fn interventions(&self) -> u64 {
+        self.interventions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idbox_kernel::Kernel;
+    use idbox_types::AuthMethod;
+
+    #[test]
+    fn assignment_and_exhaustion() {
+        let kernel = idbox_interpose::share(Kernel::new());
+        let mut m = AccountPool::with_size(&kernel, 2).unwrap();
+        let p = Principal::new(AuthMethod::Globus, "/O=X/CN=Fred");
+        let s1 = m.admit(&kernel, &p).unwrap();
+        let s2 = m.admit(&kernel, &p).unwrap();
+        assert_ne!(s1.account, s2.account);
+        assert_eq!(
+            m.admit(&kernel, &p).unwrap_err(),
+            MapError::NoAccountsAvailable
+        );
+        m.release(&kernel, s1).unwrap();
+        assert_eq!(m.available(), 1);
+        assert!(m.admit(&kernel, &p).is_ok());
+        let _ = s2;
+    }
+
+    #[test]
+    fn returning_user_gets_a_different_account() {
+        let kernel = idbox_interpose::share(Kernel::new());
+        let mut m = AccountPool::with_size(&kernel, 3).unwrap();
+        let fred = Principal::new(AuthMethod::Globus, "/O=X/CN=Fred");
+        let s1 = m.admit(&kernel, &fred).unwrap();
+        let first_account = s1.account.clone();
+        m.release(&kernel, s1).unwrap();
+        // grid9 today, grid33 tomorrow.
+        let s2 = m.admit(&kernel, &fred).unwrap();
+        assert_ne!(s2.account, first_account);
+    }
+
+    #[test]
+    fn one_intervention_for_the_whole_pool() {
+        let kernel = idbox_interpose::share(Kernel::new());
+        let m = AccountPool::with_size(&kernel, 50).unwrap();
+        assert_eq!(m.interventions(), 1);
+        assert_eq!(m.available(), 50);
+    }
+}

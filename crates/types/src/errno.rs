@@ -1,0 +1,234 @@
+//! The error space of the simulated kernel.
+//!
+//! Every syscall either succeeds or fails with a Unix-style error number.
+//! Identity boxing relies on being able to inject *any* return value into a
+//! trapped call — in particular "permission denied" — so denial is always an
+//! ordinary [`Errno`], never a killed process (Garfinkel's fifth pitfall).
+
+use std::fmt;
+
+/// Unix-style error numbers understood by the simulated kernel.
+///
+/// The numeric values mirror Linux on x86-64 so that raw register-level
+/// results in the interposer look familiar in traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(i32)]
+pub enum Errno {
+    /// Operation not permitted.
+    EPERM = 1,
+    /// No such file or directory.
+    ENOENT = 2,
+    /// No such process.
+    ESRCH = 3,
+    /// Interrupted system call.
+    EINTR = 4,
+    /// I/O error.
+    EIO = 5,
+    /// Bad file descriptor.
+    EBADF = 9,
+    /// No child processes.
+    ECHILD = 10,
+    /// Try again.
+    EAGAIN = 11,
+    /// Out of memory.
+    ENOMEM = 12,
+    /// Permission denied.
+    EACCES = 13,
+    /// Bad address (guest pointer outside the tracee's memory).
+    EFAULT = 14,
+    /// Device or resource busy.
+    EBUSY = 16,
+    /// File exists.
+    EEXIST = 17,
+    /// Cross-device link.
+    EXDEV = 18,
+    /// Not a directory.
+    ENOTDIR = 20,
+    /// Is a directory.
+    EISDIR = 21,
+    /// Invalid argument.
+    EINVAL = 22,
+    /// Too many open files.
+    EMFILE = 24,
+    /// File too large.
+    EFBIG = 27,
+    /// No space left on device.
+    ENOSPC = 28,
+    /// Illegal seek.
+    ESPIPE = 29,
+    /// Read-only file system.
+    EROFS = 30,
+    /// Too many links.
+    EMLINK = 31,
+    /// Broken pipe.
+    EPIPE = 32,
+    /// Result out of range.
+    ERANGE = 34,
+    /// File name too long.
+    ENAMETOOLONG = 36,
+    /// Function not implemented.
+    ENOSYS = 38,
+    /// Directory not empty.
+    ENOTEMPTY = 39,
+    /// Too many levels of symbolic links.
+    ELOOP = 40,
+    /// Protocol error (malformed Chirp exchange).
+    EPROTO = 71,
+    /// Connection refused.
+    ECONNREFUSED = 111,
+}
+
+impl Errno {
+    /// The raw (positive) error number.
+    pub fn code(self) -> i32 {
+        self as i32
+    }
+
+    /// Encode as a raw syscall return value (negated, like the Linux ABI).
+    pub fn as_ret(self) -> i64 {
+        -(self as i32 as i64)
+    }
+
+    /// Decode a raw syscall return value; `None` when the value encodes
+    /// success or an error number we do not model.
+    pub fn from_ret(ret: i64) -> Option<Errno> {
+        if ret >= 0 {
+            return None;
+        }
+        Errno::from_code((-ret) as i32)
+    }
+
+    /// Decode a raw positive error number.
+    pub fn from_code(code: i32) -> Option<Errno> {
+        use Errno::*;
+        Some(match code {
+            1 => EPERM,
+            2 => ENOENT,
+            3 => ESRCH,
+            4 => EINTR,
+            5 => EIO,
+            9 => EBADF,
+            10 => ECHILD,
+            11 => EAGAIN,
+            12 => ENOMEM,
+            13 => EACCES,
+            14 => EFAULT,
+            16 => EBUSY,
+            17 => EEXIST,
+            18 => EXDEV,
+            20 => ENOTDIR,
+            21 => EISDIR,
+            22 => EINVAL,
+            24 => EMFILE,
+            27 => EFBIG,
+            28 => ENOSPC,
+            29 => ESPIPE,
+            30 => EROFS,
+            31 => EMLINK,
+            32 => EPIPE,
+            34 => ERANGE,
+            36 => ENAMETOOLONG,
+            38 => ENOSYS,
+            39 => ENOTEMPTY,
+            40 => ELOOP,
+            71 => EPROTO,
+            111 => ECONNREFUSED,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description, like `strerror`.
+    pub fn describe(self) -> &'static str {
+        use Errno::*;
+        match self {
+            EPERM => "operation not permitted",
+            ENOENT => "no such file or directory",
+            ESRCH => "no such process",
+            EINTR => "interrupted system call",
+            EIO => "input/output error",
+            EBADF => "bad file descriptor",
+            ECHILD => "no child processes",
+            EAGAIN => "resource temporarily unavailable",
+            ENOMEM => "cannot allocate memory",
+            EACCES => "permission denied",
+            EFAULT => "bad address",
+            EBUSY => "device or resource busy",
+            EEXIST => "file exists",
+            EXDEV => "invalid cross-device link",
+            ENOTDIR => "not a directory",
+            EISDIR => "is a directory",
+            EINVAL => "invalid argument",
+            EMFILE => "too many open files",
+            EFBIG => "file too large",
+            ENOSPC => "no space left on device",
+            ESPIPE => "illegal seek",
+            EROFS => "read-only file system",
+            EMLINK => "too many links",
+            EPIPE => "broken pipe",
+            ERANGE => "result out of range",
+            ENAMETOOLONG => "file name too long",
+            ENOSYS => "function not implemented",
+            ENOTEMPTY => "directory not empty",
+            ELOOP => "too many levels of symbolic links",
+            EPROTO => "protocol error",
+            ECONNREFUSED => "connection refused",
+        }
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} ({})", self, self.describe())
+    }
+}
+
+impl std::error::Error for Errno {}
+
+/// Result type used by every simulated syscall.
+pub type SysResult<T> = Result<T, Errno>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ret_roundtrip() {
+        for e in [
+            Errno::EPERM,
+            Errno::ENOENT,
+            Errno::EACCES,
+            Errno::ELOOP,
+            Errno::ENOTEMPTY,
+            Errno::ECONNREFUSED,
+        ] {
+            assert_eq!(Errno::from_ret(e.as_ret()), Some(e));
+            assert_eq!(Errno::from_code(e.code()), Some(e));
+        }
+    }
+
+    #[test]
+    fn success_is_not_an_error() {
+        assert_eq!(Errno::from_ret(0), None);
+        assert_eq!(Errno::from_ret(42), None);
+    }
+
+    #[test]
+    fn unknown_code_is_none() {
+        assert_eq!(Errno::from_code(9999), None);
+        assert_eq!(Errno::from_ret(-9999), None);
+    }
+
+    #[test]
+    fn linux_numbers() {
+        assert_eq!(Errno::EACCES.code(), 13);
+        assert_eq!(Errno::ENOENT.code(), 2);
+        assert_eq!(Errno::EACCES.as_ret(), -13);
+    }
+
+    #[test]
+    fn display_mentions_description() {
+        let s = Errno::EACCES.to_string();
+        assert!(s.contains("EACCES"));
+        assert!(s.contains("permission denied"));
+    }
+}

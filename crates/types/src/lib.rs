@@ -1,0 +1,31 @@
+//! Common types for the identity-boxing system.
+//!
+//! This crate holds the vocabulary shared by every other crate in the
+//! workspace: free-form global [`Identity`] strings, authenticated
+//! [`Principal`] names (`method:name`), the simulated-kernel error space
+//! [`Errno`], and the [`CostModel`] that makes the user-level interposition
+//! agent pay a realistic, calibrated price per trapped system call.
+//!
+//! The paper's central observation is that a *high-level name* — an
+//! arbitrary string such as `globus:/O=UnivNowhere/CN=Fred` — can replace
+//! the integer UID as the subject of every privilege check. Everything in
+//! this crate is therefore string-first: identities are opaque,
+//! reference-counted strings, never integers.
+
+pub mod cost;
+pub mod errno;
+pub mod identity;
+pub mod principal;
+
+pub use cost::{CostModel, SwitchEngine, TrapCostReport};
+pub use errno::{Errno, SysResult};
+pub use identity::Identity;
+pub use principal::{AuthMethod, Principal};
+
+/// The canonical name given to a visiting user in a directory that carries
+/// no ACL: the box falls back to Unix permission checks *as if* the visitor
+/// were this untrusted account (paper, Section 3).
+pub const NOBODY: &str = "nobody";
+
+/// Default name of the per-directory access control file.
+pub const ACL_FILE_NAME: &str = ".__acl";

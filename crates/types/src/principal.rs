@@ -1,0 +1,180 @@
+//! Authenticated principal names.
+//!
+//! A Chirp server knows a connected client by a *principal name*
+//! constructed from the negotiated authentication method and the proven
+//! identity, e.g. `globus:/O=UnivNowhere/CN=Fred`,
+//! `kerberos:fred@nowhere.edu`, or `hostname:laptop.cs.nowhere.edu`
+//! (paper, Section 4). A principal converts losslessly into the
+//! [`Identity`] attached to the visitor's identity box.
+
+use crate::Identity;
+use std::fmt;
+use std::str::FromStr;
+
+/// Authentication methods supported by the Chirp negotiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AuthMethod {
+    /// Simulated GSI public-key certificates (subject names like
+    /// `/O=UnivNowhere/CN=Fred`).
+    Globus,
+    /// Simulated Kerberos tickets (`user@REALM` names).
+    Kerberos,
+    /// Reverse-lookup hostname identification.
+    Hostname,
+    /// The local Unix account name, proven via a filesystem challenge.
+    Unix,
+}
+
+impl AuthMethod {
+    /// The lowercase wire name used in negotiation and principal names.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            AuthMethod::Globus => "globus",
+            AuthMethod::Kerberos => "kerberos",
+            AuthMethod::Hostname => "hostname",
+            AuthMethod::Unix => "unix",
+        }
+    }
+
+    /// All methods, in default negotiation preference order (strongest
+    /// first).
+    pub fn all() -> [AuthMethod; 4] {
+        [
+            AuthMethod::Globus,
+            AuthMethod::Kerberos,
+            AuthMethod::Hostname,
+            AuthMethod::Unix,
+        ]
+    }
+}
+
+impl FromStr for AuthMethod {
+    type Err = UnknownAuthMethod;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "globus" => Ok(AuthMethod::Globus),
+            "kerberos" => Ok(AuthMethod::Kerberos),
+            "hostname" => Ok(AuthMethod::Hostname),
+            "unix" => Ok(AuthMethod::Unix),
+            _ => Err(UnknownAuthMethod(s.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for AuthMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
+/// Error returned when parsing an unrecognized method name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownAuthMethod(pub String);
+
+impl fmt::Display for UnknownAuthMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown authentication method: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownAuthMethod {}
+
+/// An authenticated principal: the pair of *how* a user proved themselves
+/// and *who* they proved to be.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Principal {
+    /// The negotiated authentication method.
+    pub method: AuthMethod,
+    /// The proven subject name (certificate subject, Kerberos principal,
+    /// hostname, or Unix account).
+    pub name: String,
+}
+
+impl Principal {
+    /// Build a principal from a method and a proven name.
+    pub fn new(method: AuthMethod, name: impl Into<String>) -> Self {
+        Principal {
+            method,
+            name: name.into(),
+        }
+    }
+
+    /// The full `method:name` string used in ACLs and identity boxes.
+    pub fn qualified(&self) -> String {
+        format!("{}:{}", self.method.wire_name(), self.name)
+    }
+
+    /// Convert into the identity attached to the visitor's box.
+    pub fn to_identity(&self) -> Identity {
+        Identity::new(self.qualified())
+    }
+
+    /// Parse a `method:name` string.
+    pub fn parse(s: &str) -> Result<Principal, UnknownAuthMethod> {
+        let (method, name) = s
+            .split_once(':')
+            .ok_or_else(|| UnknownAuthMethod(s.to_string()))?;
+        Ok(Principal::new(method.parse::<AuthMethod>()?, name))
+    }
+}
+
+impl fmt::Display for Principal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.method.wire_name(), self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualified_names_match_paper() {
+        let p = Principal::new(AuthMethod::Globus, "/O=UnivNowhere/CN=Fred");
+        assert_eq!(p.qualified(), "globus:/O=UnivNowhere/CN=Fred");
+        let p = Principal::new(AuthMethod::Kerberos, "fred@nowhere.edu");
+        assert_eq!(p.qualified(), "kerberos:fred@nowhere.edu");
+        let p = Principal::new(AuthMethod::Hostname, "laptop.cs.nowhere.edu");
+        assert_eq!(p.qualified(), "hostname:laptop.cs.nowhere.edu");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in [
+            "globus:/O=UnivNowhere/CN=Fred",
+            "kerberos:fred@nowhere.edu",
+            "hostname:laptop.cs.nowhere.edu",
+            "unix:dthain",
+        ] {
+            let p = Principal::parse(s).unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_preserves_colons_in_name() {
+        // Only the first colon separates method from name.
+        let p = Principal::parse("globus:/O=A/CN=x:y").unwrap();
+        assert_eq!(p.name, "/O=A/CN=x:y");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Principal::parse("no-colon-here").is_err());
+        assert!(Principal::parse("ftp:someone").is_err());
+    }
+
+    #[test]
+    fn to_identity_is_qualified() {
+        let p = Principal::new(AuthMethod::Unix, "dthain");
+        assert_eq!(p.to_identity().as_str(), "unix:dthain");
+    }
+
+    #[test]
+    fn method_wire_names_parse_back() {
+        for m in AuthMethod::all() {
+            assert_eq!(m.wire_name().parse::<AuthMethod>().unwrap(), m);
+        }
+    }
+}

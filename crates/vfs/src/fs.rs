@@ -1,0 +1,1190 @@
+//! The filesystem proper.
+
+use crate::inode::{Inode, Payload};
+use crate::path::{self, NAME_MAX, PATH_MAX};
+use crate::{Access, FileKind, Ino, StatBuf};
+use idbox_types::{Errno, SysResult};
+use std::collections::BTreeMap;
+
+/// Credentials used for Unix permission checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cred {
+    /// User id. Uid 0 is the superuser and bypasses permission checks.
+    pub uid: u32,
+    /// Primary group id.
+    pub gid: u32,
+}
+
+impl Cred {
+    /// The superuser.
+    pub const ROOT: Cred = Cred { uid: 0, gid: 0 };
+
+    /// An ordinary credential.
+    pub fn new(uid: u32, gid: u32) -> Self {
+        Cred { uid, gid }
+    }
+}
+
+/// One entry returned by `readdir`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Entry name (`.` and `..` included, as in a real kernel).
+    pub name: String,
+    /// Inode the entry refers to.
+    pub ino: Ino,
+    /// Kind of the referenced inode.
+    pub kind: FileKind,
+}
+
+/// Maximum symlink traversals in one resolution (Linux uses 40).
+const SYMLOOP_MAX: u32 = 40;
+
+/// The in-memory filesystem.
+///
+/// All operations take a *start directory* (the caller's cwd) and a path;
+/// absolute paths ignore the start. Permission checks follow Unix rules
+/// against the supplied [`Cred`]; uid 0 bypasses them.
+#[derive(Debug, Clone)]
+pub struct Vfs {
+    inodes: Vec<Option<Inode>>,
+    free: Vec<u64>,
+    clock: u64,
+    root: Ino,
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Vfs::new()
+    }
+}
+
+impl Vfs {
+    /// A fresh filesystem containing only a root directory owned by root
+    /// with mode `0o755`.
+    pub fn new() -> Self {
+        let mut vfs = Vfs {
+            inodes: vec![None],
+            free: Vec::new(),
+            clock: 0,
+            root: Ino(1),
+        };
+        let mut entries = BTreeMap::new();
+        entries.insert(".".to_string(), Ino(1));
+        entries.insert("..".to_string(), Ino(1));
+        vfs.inodes.push(Some(Inode {
+            payload: Payload::Dir(entries),
+            mode: 0o755,
+            uid: 0,
+            gid: 0,
+            nlink: 2,
+            pins: 0,
+            atime: 0,
+            mtime: 0,
+            ctime: 0,
+        }));
+        vfs
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> Ino {
+        self.root
+    }
+
+    /// Advance and return the logical clock.
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Number of live inodes (for tests and invariant checks).
+    pub fn live_inodes(&self) -> usize {
+        self.inodes.iter().filter(|i| i.is_some()).count()
+    }
+
+    // ------------------------------------------------------------------
+    // Inode plumbing
+    // ------------------------------------------------------------------
+
+    fn get(&self, ino: Ino) -> SysResult<&Inode> {
+        self.inodes
+            .get(ino.0 as usize)
+            .and_then(|i| i.as_ref())
+            .ok_or(Errno::ENOENT)
+    }
+
+    fn get_mut(&mut self, ino: Ino) -> SysResult<&mut Inode> {
+        self.inodes
+            .get_mut(ino.0 as usize)
+            .and_then(|i| i.as_mut())
+            .ok_or(Errno::ENOENT)
+    }
+
+    fn alloc(&mut self, inode: Inode) -> Ino {
+        if let Some(idx) = self.free.pop() {
+            self.inodes[idx as usize] = Some(inode);
+            Ino(idx)
+        } else {
+            self.inodes.push(Some(inode));
+            Ino(self.inodes.len() as u64 - 1)
+        }
+    }
+
+    /// Free the inode's storage if it has no links and no pins.
+    fn maybe_free(&mut self, ino: Ino) {
+        if let Ok(inode) = self.get(ino) {
+            if inode.nlink == 0 && inode.pins == 0 {
+                self.inodes[ino.0 as usize] = None;
+                self.free.push(ino.0);
+            }
+        }
+    }
+
+    /// Pin an inode (an open file descriptor references it); pinned
+    /// inodes survive `unlink` until unpinned.
+    pub fn pin(&mut self, ino: Ino) -> SysResult<()> {
+        self.get_mut(ino)?.pins += 1;
+        Ok(())
+    }
+
+    /// Drop a pin; frees the inode if it is fully unlinked.
+    pub fn unpin(&mut self, ino: Ino) -> SysResult<()> {
+        let inode = self.get_mut(ino)?;
+        inode.pins = inode.pins.saturating_sub(1);
+        self.maybe_free(ino);
+        Ok(())
+    }
+
+    fn dir_entries(&self, ino: Ino) -> SysResult<&BTreeMap<String, Ino>> {
+        match &self.get(ino)?.payload {
+            Payload::Dir(entries) => Ok(entries),
+            _ => Err(Errno::ENOTDIR),
+        }
+    }
+
+    fn dir_entries_mut(&mut self, ino: Ino) -> SysResult<&mut BTreeMap<String, Ino>> {
+        match &mut self.get_mut(ino)?.payload {
+            Payload::Dir(entries) => Ok(entries),
+            _ => Err(Errno::ENOTDIR),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Permission checks
+    // ------------------------------------------------------------------
+
+    /// Unix permission check on one inode.
+    pub fn check_access(&self, ino: Ino, cred: &Cred, want: Access) -> SysResult<()> {
+        let inode = self.get(ino)?;
+        if cred.uid == 0 {
+            return Ok(());
+        }
+        let triad = if cred.uid == inode.uid {
+            (inode.mode >> 6) & 7
+        } else if cred.gid == inode.gid {
+            (inode.mode >> 3) & 7
+        } else {
+            inode.mode & 7
+        };
+        if triad as u8 & want.0 == want.0 {
+            Ok(())
+        } else {
+            Err(Errno::EACCES)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Path resolution
+    // ------------------------------------------------------------------
+
+    fn check_path(path: &str) -> SysResult<()> {
+        if path.len() > PATH_MAX {
+            return Err(Errno::ENAMETOOLONG);
+        }
+        Ok(())
+    }
+
+    /// Resolve a path to an inode, following symlinks (including the final
+    /// component when `follow_last`). `start` is the directory for
+    /// relative paths. Traversal requires search (`x`) permission on every
+    /// directory walked.
+    pub fn resolve(
+        &self,
+        start: Ino,
+        p: &str,
+        follow_last: bool,
+        cred: &Cred,
+    ) -> SysResult<Ino> {
+        Self::check_path(p)?;
+        let mut budget = SYMLOOP_MAX;
+        self.resolve_inner(start, p, follow_last, cred, &mut budget)
+    }
+
+    fn resolve_inner(
+        &self,
+        start: Ino,
+        p: &str,
+        follow_last: bool,
+        cred: &Cred,
+        budget: &mut u32,
+    ) -> SysResult<Ino> {
+        let mut cur = if path::is_absolute(p) { self.root } else { start };
+        // Worklist of components still to walk, in order.
+        let mut work: Vec<String> = path::components(p).map(str::to_string).collect();
+        let mut i = 0;
+        while i < work.len() {
+            let comp = work[i].clone();
+            i += 1;
+            if comp.len() > NAME_MAX {
+                return Err(Errno::ENAMETOOLONG);
+            }
+            // Traversal requires the current node to be a searchable dir.
+            if self.get(cur)?.payload.kind() != FileKind::Dir {
+                return Err(Errno::ENOTDIR);
+            }
+            self.check_access(cur, cred, Access::X)?;
+            let next = *self.dir_entries(cur)?.get(&comp).ok_or(Errno::ENOENT)?;
+            let is_last = i == work.len();
+            if let Payload::Symlink(target) = &self.get(next)?.payload {
+                if !is_last || follow_last {
+                    if *budget == 0 {
+                        return Err(Errno::ELOOP);
+                    }
+                    *budget -= 1;
+                    let target = target.clone();
+                    // Splice the target's components in place of the link.
+                    let mut rest: Vec<String> =
+                        path::components(&target).map(str::to_string).collect();
+                    rest.extend(work.drain(i..));
+                    work = rest;
+                    i = 0;
+                    if path::is_absolute(&target) {
+                        cur = self.root;
+                    }
+                    continue;
+                }
+            }
+            cur = next;
+        }
+        Ok(cur)
+    }
+
+    /// Resolve everything but the final component (following symlinks),
+    /// returning the parent directory and the final name. Fails with
+    /// `EINVAL` when the path names the root.
+    pub fn resolve_parent(
+        &self,
+        start: Ino,
+        p: &str,
+        cred: &Cred,
+    ) -> SysResult<(Ino, String)> {
+        Self::check_path(p)?;
+        let (parent, name) = path::split_parent(p).ok_or(Errno::EINVAL)?;
+        if name.len() > NAME_MAX {
+            return Err(Errno::ENAMETOOLONG);
+        }
+        let dir = self.resolve(start, parent, true, cred)?;
+        if self.get(dir)?.payload.kind() != FileKind::Dir {
+            return Err(Errno::ENOTDIR);
+        }
+        Ok((dir, name.to_string()))
+    }
+
+    /// Resolve a path to the directory that *really* contains the final
+    /// object, following any chain of symlinks on the final component.
+    ///
+    /// This is the primitive the identity box uses against the "indirect
+    /// paths" pitfall: the ACL consulted must be the one in the directory
+    /// where the target actually lives, not where the link does. Returns
+    /// `(containing_dir, entry_name, Some(target_ino))`, or `None` as the
+    /// third element when the entry does not exist (creation case).
+    pub fn resolve_entry(
+        &self,
+        start: Ino,
+        p: &str,
+        cred: &Cred,
+    ) -> SysResult<(Ino, String, Option<Ino>)> {
+        Self::check_path(p)?;
+        let mut budget = SYMLOOP_MAX;
+        let mut cur_start = start;
+        let mut cur_path = p.to_string();
+        loop {
+            let (dir, name) = self.resolve_parent(cur_start, &cur_path, cred)?;
+            // Looking up the final entry is a search of `dir`: the caller
+            // needs execute permission on it, same as mid-path traversal.
+            self.check_access(dir, cred, Access::X)?;
+            if name == "." || name == ".." {
+                // Resolve fully; the entry certainly exists.
+                let ino = self.resolve(cur_start, &cur_path, true, cred)?;
+                return Ok((dir, name, Some(ino)));
+            }
+            match self.dir_entries(dir)?.get(&name) {
+                None => return Ok((dir, name, None)),
+                Some(&ino) => {
+                    if let Payload::Symlink(target) = &self.get(ino)?.payload {
+                        if budget == 0 {
+                            return Err(Errno::ELOOP);
+                        }
+                        budget -= 1;
+                        cur_path = target.clone();
+                        cur_start = dir;
+                        continue;
+                    }
+                    return Ok((dir, name, Some(ino)));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // File operations
+    // ------------------------------------------------------------------
+
+    /// Create a regular file. Fails with `EEXIST` when the name is taken.
+    pub fn create(
+        &mut self,
+        start: Ino,
+        p: &str,
+        mode: u16,
+        cred: &Cred,
+    ) -> SysResult<Ino> {
+        let (dir, name) = self.resolve_parent(start, p, cred)?;
+        if name == "." || name == ".." {
+            return Err(Errno::EEXIST);
+        }
+        self.check_access(dir, cred, Access::W.and(Access::X))?;
+        if self.dir_entries(dir)?.contains_key(&name) {
+            return Err(Errno::EEXIST);
+        }
+        let now = self.tick();
+        let ino = self.alloc(Inode {
+            payload: Payload::File(Vec::new()),
+            mode: mode & 0o7777,
+            uid: cred.uid,
+            gid: cred.gid,
+            nlink: 1,
+            pins: 0,
+            atime: now,
+            mtime: now,
+            ctime: now,
+        });
+        self.dir_entries_mut(dir)?.insert(name, ino);
+        let dir_inode = self.get_mut(dir)?;
+        dir_inode.mtime = now;
+        Ok(ino)
+    }
+
+    /// Read up to `out.len()` bytes at `off`; returns bytes read (0 at or
+    /// past EOF).
+    pub fn read_into(&mut self, ino: Ino, off: u64, out: &mut [u8]) -> SysResult<usize> {
+        let now = self.tick();
+        let inode = self.get_mut(ino)?;
+        let data = match &inode.payload {
+            Payload::File(data) => data,
+            Payload::Dir(_) => return Err(Errno::EISDIR),
+            Payload::Symlink(_) => return Err(Errno::EINVAL),
+        };
+        let off = off as usize;
+        if off >= data.len() {
+            return Ok(0);
+        }
+        let n = out.len().min(data.len() - off);
+        out[..n].copy_from_slice(&data[off..off + n]);
+        inode.atime = now;
+        Ok(n)
+    }
+
+    /// Borrow a file's full contents.
+    pub fn file_data(&self, ino: Ino) -> SysResult<&[u8]> {
+        match &self.get(ino)?.payload {
+            Payload::File(data) => Ok(data),
+            Payload::Dir(_) => Err(Errno::EISDIR),
+            Payload::Symlink(_) => Err(Errno::EINVAL),
+        }
+    }
+
+    /// Write `data` at `off`, growing the file (zero-filling any gap).
+    /// Returns bytes written.
+    pub fn write_at(&mut self, ino: Ino, off: u64, data: &[u8]) -> SysResult<usize> {
+        let now = self.tick();
+        let inode = self.get_mut(ino)?;
+        let file = match &mut inode.payload {
+            Payload::File(file) => file,
+            Payload::Dir(_) => return Err(Errno::EISDIR),
+            Payload::Symlink(_) => return Err(Errno::EINVAL),
+        };
+        let off = off as usize;
+        let end = off.checked_add(data.len()).ok_or(Errno::EFBIG)?;
+        if end > file.len() {
+            file.resize(end, 0);
+        }
+        file[off..end].copy_from_slice(data);
+        inode.mtime = now;
+        Ok(data.len())
+    }
+
+    /// Truncate (or extend with zeros) a file to `len`.
+    pub fn truncate(&mut self, ino: Ino, len: u64) -> SysResult<()> {
+        let now = self.tick();
+        let inode = self.get_mut(ino)?;
+        match &mut inode.payload {
+            Payload::File(file) => {
+                file.resize(len as usize, 0);
+                inode.mtime = now;
+                Ok(())
+            }
+            Payload::Dir(_) => Err(Errno::EISDIR),
+            Payload::Symlink(_) => Err(Errno::EINVAL),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Directory operations
+    // ------------------------------------------------------------------
+
+    /// Create a directory.
+    pub fn mkdir(
+        &mut self,
+        start: Ino,
+        p: &str,
+        mode: u16,
+        cred: &Cred,
+    ) -> SysResult<Ino> {
+        let (dir, name) = self.resolve_parent(start, p, cred)?;
+        if name == "." || name == ".." {
+            return Err(Errno::EEXIST);
+        }
+        self.check_access(dir, cred, Access::W.and(Access::X))?;
+        if self.dir_entries(dir)?.contains_key(&name) {
+            return Err(Errno::EEXIST);
+        }
+        let now = self.tick();
+        let mut entries = BTreeMap::new();
+        let ino = self.alloc(Inode {
+            payload: Payload::Dir(BTreeMap::new()),
+            mode: mode & 0o7777,
+            uid: cred.uid,
+            gid: cred.gid,
+            nlink: 2,
+            pins: 0,
+            atime: now,
+            mtime: now,
+            ctime: now,
+        });
+        entries.insert(".".to_string(), ino);
+        entries.insert("..".to_string(), dir);
+        *self.dir_entries_mut(ino)? = entries;
+        self.dir_entries_mut(dir)?.insert(name, ino);
+        let parent = self.get_mut(dir)?;
+        parent.nlink += 1; // the new child's ".."
+        parent.mtime = now;
+        Ok(ino)
+    }
+
+    /// Remove an empty directory.
+    pub fn rmdir(&mut self, start: Ino, p: &str, cred: &Cred) -> SysResult<()> {
+        let (dir, name) = self.resolve_parent(start, p, cred)?;
+        if name == "." || name == ".." {
+            return Err(Errno::EINVAL);
+        }
+        self.check_access(dir, cred, Access::W.and(Access::X))?;
+        let target = *self.dir_entries(dir)?.get(&name).ok_or(Errno::ENOENT)?;
+        let entries = self.dir_entries(target)?;
+        if entries.keys().any(|k| k != "." && k != "..") {
+            return Err(Errno::ENOTEMPTY);
+        }
+        let now = self.tick();
+        self.dir_entries_mut(dir)?.remove(&name);
+        let parent = self.get_mut(dir)?;
+        parent.nlink -= 1;
+        parent.mtime = now;
+        let t = self.get_mut(target)?;
+        t.nlink = 0;
+        self.maybe_free(target);
+        Ok(())
+    }
+
+    /// Remove a non-directory entry. The inode survives while pinned.
+    pub fn unlink(&mut self, start: Ino, p: &str, cred: &Cred) -> SysResult<()> {
+        let (dir, name) = self.resolve_parent(start, p, cred)?;
+        if name == "." || name == ".." {
+            return Err(Errno::EINVAL);
+        }
+        self.check_access(dir, cred, Access::W.and(Access::X))?;
+        let target = *self.dir_entries(dir)?.get(&name).ok_or(Errno::ENOENT)?;
+        if self.get(target)?.payload.kind() == FileKind::Dir {
+            return Err(Errno::EISDIR);
+        }
+        let now = self.tick();
+        self.dir_entries_mut(dir)?.remove(&name);
+        self.get_mut(dir)?.mtime = now;
+        let t = self.get_mut(target)?;
+        t.nlink -= 1;
+        t.ctime = now;
+        self.maybe_free(target);
+        Ok(())
+    }
+
+    /// Create a hard link `newp` to the object at `oldp`. Directories
+    /// cannot be hard-linked.
+    pub fn link(&mut self, start: Ino, oldp: &str, newp: &str, cred: &Cred) -> SysResult<()> {
+        let target = self.resolve(start, oldp, false, cred)?;
+        if self.get(target)?.payload.kind() == FileKind::Dir {
+            return Err(Errno::EPERM);
+        }
+        let (dir, name) = self.resolve_parent(start, newp, cred)?;
+        if name == "." || name == ".." {
+            return Err(Errno::EEXIST);
+        }
+        self.check_access(dir, cred, Access::W.and(Access::X))?;
+        if self.dir_entries(dir)?.contains_key(&name) {
+            return Err(Errno::EEXIST);
+        }
+        let now = self.tick();
+        self.dir_entries_mut(dir)?.insert(name, target);
+        self.get_mut(dir)?.mtime = now;
+        let t = self.get_mut(target)?;
+        t.nlink += 1;
+        t.ctime = now;
+        Ok(())
+    }
+
+    /// Create a symbolic link at `linkp` pointing to `target` (an
+    /// arbitrary, possibly dangling, string).
+    pub fn symlink(
+        &mut self,
+        start: Ino,
+        target: &str,
+        linkp: &str,
+        cred: &Cred,
+    ) -> SysResult<Ino> {
+        if target.len() > PATH_MAX {
+            return Err(Errno::ENAMETOOLONG);
+        }
+        let (dir, name) = self.resolve_parent(start, linkp, cred)?;
+        if name == "." || name == ".." {
+            return Err(Errno::EEXIST);
+        }
+        self.check_access(dir, cred, Access::W.and(Access::X))?;
+        if self.dir_entries(dir)?.contains_key(&name) {
+            return Err(Errno::EEXIST);
+        }
+        let now = self.tick();
+        let ino = self.alloc(Inode {
+            payload: Payload::Symlink(target.to_string()),
+            mode: 0o777,
+            uid: cred.uid,
+            gid: cred.gid,
+            nlink: 1,
+            pins: 0,
+            atime: now,
+            mtime: now,
+            ctime: now,
+        });
+        self.dir_entries_mut(dir)?.insert(name, ino);
+        self.get_mut(dir)?.mtime = now;
+        Ok(ino)
+    }
+
+    /// Read a symlink's target.
+    pub fn readlink(&self, start: Ino, p: &str, cred: &Cred) -> SysResult<String> {
+        let ino = self.resolve(start, p, false, cred)?;
+        match &self.get(ino)?.payload {
+            Payload::Symlink(target) => Ok(target.clone()),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// Rename `oldp` to `newp`. Replaces an existing target when the
+    /// kinds are compatible (a directory target must be empty). Refuses
+    /// to move a directory into its own subtree.
+    pub fn rename(&mut self, start: Ino, oldp: &str, newp: &str, cred: &Cred) -> SysResult<()> {
+        let (odir, oname) = self.resolve_parent(start, oldp, cred)?;
+        let (ndir, nname) = self.resolve_parent(start, newp, cred)?;
+        if oname == "." || oname == ".." || nname == "." || nname == ".." {
+            return Err(Errno::EINVAL);
+        }
+        self.check_access(odir, cred, Access::W.and(Access::X))?;
+        self.check_access(ndir, cred, Access::W.and(Access::X))?;
+        let src = *self.dir_entries(odir)?.get(&oname).ok_or(Errno::ENOENT)?;
+        let src_is_dir = self.get(src)?.payload.kind() == FileKind::Dir;
+        if src_is_dir && self.is_same_or_ancestor(src, ndir)? {
+            return Err(Errno::EINVAL);
+        }
+        // Handle an existing destination.
+        if let Some(&dst) = self.dir_entries(ndir)?.get(&nname) {
+            if dst == src {
+                return Ok(()); // rename to itself is a no-op
+            }
+            let dst_is_dir = self.get(dst)?.payload.kind() == FileKind::Dir;
+            match (src_is_dir, dst_is_dir) {
+                (true, false) => return Err(Errno::ENOTDIR),
+                (false, true) => return Err(Errno::EISDIR),
+                (true, true) => {
+                    let entries = self.dir_entries(dst)?;
+                    if entries.keys().any(|k| k != "." && k != "..") {
+                        return Err(Errno::ENOTEMPTY);
+                    }
+                    self.dir_entries_mut(ndir)?.remove(&nname);
+                    self.get_mut(ndir)?.nlink -= 1;
+                    let d = self.get_mut(dst)?;
+                    d.nlink = 0;
+                    self.maybe_free(dst);
+                }
+                (false, false) => {
+                    self.dir_entries_mut(ndir)?.remove(&nname);
+                    let d = self.get_mut(dst)?;
+                    d.nlink -= 1;
+                    self.maybe_free(dst);
+                }
+            }
+        }
+        let now = self.tick();
+        self.dir_entries_mut(odir)?.remove(&oname);
+        self.dir_entries_mut(ndir)?.insert(nname, src);
+        if src_is_dir && odir != ndir {
+            // Fix the moved directory's ".." and the parents' link counts.
+            self.dir_entries_mut(src)?.insert("..".to_string(), ndir);
+            self.get_mut(odir)?.nlink -= 1;
+            self.get_mut(ndir)?.nlink += 1;
+        }
+        self.get_mut(odir)?.mtime = now;
+        self.get_mut(ndir)?.mtime = now;
+        Ok(())
+    }
+
+    /// True when `anc` is `node` or an ancestor of `node`.
+    fn is_same_or_ancestor(&self, anc: Ino, node: Ino) -> SysResult<bool> {
+        let mut cur = node;
+        loop {
+            if cur == anc {
+                return Ok(true);
+            }
+            let parent = *self
+                .dir_entries(cur)?
+                .get("..")
+                .ok_or(Errno::EIO)?;
+            if parent == cur {
+                return Ok(false); // reached root
+            }
+            cur = parent;
+        }
+    }
+
+    /// List a directory (requires read permission on it).
+    pub fn readdir(&mut self, start: Ino, p: &str, cred: &Cred) -> SysResult<Vec<DirEntry>> {
+        let dir = self.resolve(start, p, true, cred)?;
+        self.check_access(dir, cred, Access::R)?;
+        let now = self.tick();
+        let entries = self.dir_entries(dir)?;
+        let mut out = Vec::with_capacity(entries.len());
+        for (name, &ino) in entries {
+            out.push(DirEntry {
+                name: name.clone(),
+                ino,
+                kind: self.get(ino)?.payload.kind(),
+            });
+        }
+        self.get_mut(dir)?.atime = now;
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Metadata operations
+    // ------------------------------------------------------------------
+
+    /// `stat` / `lstat` depending on `follow`.
+    pub fn stat(&self, start: Ino, p: &str, follow: bool, cred: &Cred) -> SysResult<StatBuf> {
+        let ino = self.resolve(start, p, follow, cred)?;
+        Ok(self.get(ino)?.stat(ino))
+    }
+
+    /// `fstat` by inode.
+    pub fn fstat(&self, ino: Ino) -> SysResult<StatBuf> {
+        Ok(self.get(ino)?.stat(ino))
+    }
+
+    /// Change permission bits; only the owner or root may.
+    pub fn chmod(&mut self, start: Ino, p: &str, mode: u16, cred: &Cred) -> SysResult<()> {
+        let ino = self.resolve(start, p, true, cred)?;
+        let now = self.tick();
+        let uid = cred.uid;
+        let inode = self.get_mut(ino)?;
+        if uid != 0 && uid != inode.uid {
+            return Err(Errno::EPERM);
+        }
+        inode.mode = mode & 0o7777;
+        inode.ctime = now;
+        Ok(())
+    }
+
+    /// Change ownership; only root may change the uid, the owner may
+    /// change the gid to their own group.
+    pub fn chown(
+        &mut self,
+        start: Ino,
+        p: &str,
+        uid: u32,
+        gid: u32,
+        cred: &Cred,
+    ) -> SysResult<()> {
+        let ino = self.resolve(start, p, true, cred)?;
+        let now = self.tick();
+        let caller = *cred;
+        let inode = self.get_mut(ino)?;
+        if caller.uid != 0 {
+            let owner_chgrp =
+                caller.uid == inode.uid && uid == inode.uid && gid == caller.gid;
+            if !owner_chgrp {
+                return Err(Errno::EPERM);
+            }
+        }
+        inode.uid = uid;
+        inode.gid = gid;
+        inode.ctime = now;
+        Ok(())
+    }
+
+    /// `access(2)`: does `cred` hold `want` on the object at `p`?
+    pub fn access(&self, start: Ino, p: &str, want: Access, cred: &Cred) -> SysResult<()> {
+        let ino = self.resolve(start, p, true, cred)?;
+        self.check_access(ino, cred, want)
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience helpers (used heavily by the kernel and tests)
+    // ------------------------------------------------------------------
+
+    /// Create or replace a file at `p` with the given contents.
+    pub fn write_file(&mut self, start: Ino, p: &str, data: &[u8], cred: &Cred) -> SysResult<Ino> {
+        let ino = match self.resolve(start, p, true, cred) {
+            Ok(ino) => {
+                self.check_access(ino, cred, Access::W)?;
+                self.truncate(ino, 0)?;
+                ino
+            }
+            Err(Errno::ENOENT) => self.create(start, p, 0o644, cred)?,
+            Err(e) => return Err(e),
+        };
+        self.write_at(ino, 0, data)?;
+        Ok(ino)
+    }
+
+    /// Read a whole file.
+    pub fn read_file(&mut self, start: Ino, p: &str, cred: &Cred) -> SysResult<Vec<u8>> {
+        let ino = self.resolve(start, p, true, cred)?;
+        self.check_access(ino, cred, Access::R)?;
+        Ok(self.file_data(ino)?.to_vec())
+    }
+
+    /// `mkdir -p`: create every missing directory along `p`.
+    pub fn mkdir_all(&mut self, start: Ino, p: &str, mode: u16, cred: &Cred) -> SysResult<Ino> {
+        let mut cur = if path::is_absolute(p) { self.root } else { start };
+        for comp in path::components(p) {
+            let next = match self.dir_entries(cur)?.get(comp) {
+                Some(&ino) => ino,
+                None => self.mkdir(cur, comp, mode, cred)?,
+            };
+            cur = next;
+        }
+        Ok(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> Vfs {
+        Vfs::new()
+    }
+
+    const ROOT: Cred = Cred::ROOT;
+
+    #[test]
+    fn create_and_read_back() {
+        let mut v = fs();
+        let ino = v.create(v.root(), "/hello", 0o644, &ROOT).unwrap();
+        v.write_at(ino, 0, b"world").unwrap();
+        let mut buf = [0u8; 16];
+        let n = v.read_into(ino, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"world");
+    }
+
+    #[test]
+    fn read_at_offset_and_eof() {
+        let mut v = fs();
+        let ino = v.create(v.root(), "/f", 0o644, &ROOT).unwrap();
+        v.write_at(ino, 0, b"abcdef").unwrap();
+        let mut buf = [0u8; 3];
+        assert_eq!(v.read_into(ino, 2, &mut buf).unwrap(), 3);
+        assert_eq!(&buf, b"cde");
+        assert_eq!(v.read_into(ino, 100, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let mut v = fs();
+        let ino = v.create(v.root(), "/f", 0o644, &ROOT).unwrap();
+        v.write_at(ino, 4, b"x").unwrap();
+        assert_eq!(v.file_data(ino).unwrap(), &[0, 0, 0, 0, b'x']);
+    }
+
+    #[test]
+    fn mkdir_and_nested_create() {
+        let mut v = fs();
+        v.mkdir(v.root(), "/home", 0o755, &ROOT).unwrap();
+        v.mkdir(v.root(), "/home/fred", 0o700, &ROOT).unwrap();
+        v.create(v.root(), "/home/fred/data", 0o644, &ROOT).unwrap();
+        let st = v.stat(v.root(), "/home/fred/data", true, &ROOT).unwrap();
+        assert!(st.is_file());
+    }
+
+    #[test]
+    fn mkdir_all_idempotent() {
+        let mut v = fs();
+        let a = v.mkdir_all(v.root(), "/a/b/c", 0o755, &ROOT).unwrap();
+        let b = v.mkdir_all(v.root(), "/a/b/c", 0o755, &ROOT).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn enoent_and_eexist() {
+        let mut v = fs();
+        assert_eq!(
+            v.stat(v.root(), "/missing", true, &ROOT),
+            Err(Errno::ENOENT)
+        );
+        v.create(v.root(), "/f", 0o644, &ROOT).unwrap();
+        assert_eq!(v.create(v.root(), "/f", 0o644, &ROOT), Err(Errno::EEXIST));
+        assert_eq!(v.mkdir(v.root(), "/f", 0o755, &ROOT), Err(Errno::EEXIST));
+    }
+
+    #[test]
+    fn relative_paths_resolve_from_start() {
+        let mut v = fs();
+        let home = v.mkdir(v.root(), "/home", 0o755, &ROOT).unwrap();
+        v.create(home, "notes.txt", 0o644, &ROOT).unwrap();
+        assert!(v.stat(home, "notes.txt", true, &ROOT).unwrap().is_file());
+        assert!(v
+            .stat(home, "../home/notes.txt", true, &ROOT)
+            .unwrap()
+            .is_file());
+        assert!(v.stat(home, "./notes.txt", true, &ROOT).unwrap().is_file());
+    }
+
+    #[test]
+    fn dotdot_at_root_stays_at_root() {
+        let v = fs();
+        let r = v.resolve(v.root(), "/../../..", true, &ROOT).unwrap();
+        assert_eq!(r, v.root());
+    }
+
+    #[test]
+    fn unix_permissions_enforced() {
+        let mut v = fs();
+        let alice = Cred::new(100, 100);
+        let bob = Cred::new(200, 200);
+        v.mkdir(v.root(), "/home", 0o755, &ROOT).unwrap();
+        v.mkdir(v.root(), "/home/alice", 0o700, &ROOT).unwrap();
+        v.chown(v.root(), "/home/alice", 100, 100, &ROOT).unwrap();
+        let f = v.create(v.root(), "/home/alice/secret", 0o600, &alice).unwrap();
+        v.write_at(f, 0, b"shh").unwrap();
+        // Bob cannot traverse alice's 0700 home.
+        assert_eq!(
+            v.stat(v.root(), "/home/alice/secret", true, &bob),
+            Err(Errno::EACCES)
+        );
+        // Alice can.
+        assert!(v.stat(v.root(), "/home/alice/secret", true, &alice).is_ok());
+        // Root always can.
+        assert!(v.stat(v.root(), "/home/alice/secret", true, &ROOT).is_ok());
+    }
+
+    #[test]
+    fn group_and_other_triads() {
+        let mut v = fs();
+        v.create(v.root(), "/f", 0o640, &ROOT).unwrap();
+        v.chown(v.root(), "/f", 100, 50, &ROOT).unwrap();
+        let groupmate = Cred::new(200, 50);
+        let stranger = Cred::new(300, 300);
+        let f = v.resolve(v.root(), "/f", true, &ROOT).unwrap();
+        assert!(v.check_access(f, &groupmate, Access::R).is_ok());
+        assert_eq!(v.check_access(f, &groupmate, Access::W), Err(Errno::EACCES));
+        assert_eq!(v.check_access(f, &stranger, Access::R), Err(Errno::EACCES));
+    }
+
+    #[test]
+    fn symlink_follow_and_nofollow() {
+        let mut v = fs();
+        v.create(v.root(), "/target", 0o644, &ROOT).unwrap();
+        v.symlink(v.root(), "/target", "/link", &ROOT).unwrap();
+        let followed = v.stat(v.root(), "/link", true, &ROOT).unwrap();
+        assert!(followed.is_file());
+        let nofollow = v.stat(v.root(), "/link", false, &ROOT).unwrap();
+        assert!(nofollow.is_symlink());
+        assert_eq!(v.readlink(v.root(), "/link", &ROOT).unwrap(), "/target");
+    }
+
+    #[test]
+    fn symlink_chain_and_relative_targets() {
+        let mut v = fs();
+        v.mkdir(v.root(), "/a", 0o755, &ROOT).unwrap();
+        v.create(v.root(), "/a/real", 0o644, &ROOT).unwrap();
+        v.symlink(v.root(), "real", "/a/l1", &ROOT).unwrap();
+        v.symlink(v.root(), "/a/l1", "/l2", &ROOT).unwrap();
+        let st = v.stat(v.root(), "/l2", true, &ROOT).unwrap();
+        assert!(st.is_file());
+    }
+
+    #[test]
+    fn symlink_loop_detected() {
+        let mut v = fs();
+        v.symlink(v.root(), "/b", "/a", &ROOT).unwrap();
+        v.symlink(v.root(), "/a", "/b", &ROOT).unwrap();
+        assert_eq!(v.stat(v.root(), "/a", true, &ROOT), Err(Errno::ELOOP));
+    }
+
+    #[test]
+    fn symlink_in_middle_of_path() {
+        let mut v = fs();
+        v.mkdir_all(v.root(), "/real/dir", 0o755, &ROOT).unwrap();
+        v.create(v.root(), "/real/dir/f", 0o644, &ROOT).unwrap();
+        v.symlink(v.root(), "/real", "/alias", &ROOT).unwrap();
+        assert!(v.stat(v.root(), "/alias/dir/f", true, &ROOT).unwrap().is_file());
+    }
+
+    #[test]
+    fn dangling_symlink() {
+        let mut v = fs();
+        v.symlink(v.root(), "/nowhere", "/dangle", &ROOT).unwrap();
+        assert_eq!(v.stat(v.root(), "/dangle", true, &ROOT), Err(Errno::ENOENT));
+        assert!(v.stat(v.root(), "/dangle", false, &ROOT).unwrap().is_symlink());
+    }
+
+    #[test]
+    fn hard_link_shares_inode() {
+        let mut v = fs();
+        let ino = v.create(v.root(), "/f", 0o644, &ROOT).unwrap();
+        v.write_at(ino, 0, b"data").unwrap();
+        v.link(v.root(), "/f", "/g", &ROOT).unwrap();
+        let sf = v.stat(v.root(), "/f", true, &ROOT).unwrap();
+        let sg = v.stat(v.root(), "/g", true, &ROOT).unwrap();
+        assert_eq!(sf.ino, sg.ino);
+        assert_eq!(sf.nlink, 2);
+        v.unlink(v.root(), "/f", &ROOT).unwrap();
+        let sg = v.stat(v.root(), "/g", true, &ROOT).unwrap();
+        assert_eq!(sg.nlink, 1);
+        assert_eq!(v.read_file(v.root(), "/g", &ROOT).unwrap(), b"data");
+    }
+
+    #[test]
+    fn hard_link_to_dir_refused() {
+        let mut v = fs();
+        v.mkdir(v.root(), "/d", 0o755, &ROOT).unwrap();
+        assert_eq!(v.link(v.root(), "/d", "/d2", &ROOT), Err(Errno::EPERM));
+    }
+
+    #[test]
+    fn unlink_while_pinned_keeps_data() {
+        let mut v = fs();
+        let ino = v.create(v.root(), "/f", 0o644, &ROOT).unwrap();
+        v.write_at(ino, 0, b"still here").unwrap();
+        v.pin(ino).unwrap();
+        v.unlink(v.root(), "/f", &ROOT).unwrap();
+        // Name is gone but data is readable through the pin.
+        assert_eq!(v.stat(v.root(), "/f", true, &ROOT), Err(Errno::ENOENT));
+        assert_eq!(v.file_data(ino).unwrap(), b"still here");
+        v.unpin(ino).unwrap();
+        assert_eq!(v.file_data(ino), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn rmdir_semantics() {
+        let mut v = fs();
+        v.mkdir_all(v.root(), "/d/sub", 0o755, &ROOT).unwrap();
+        assert_eq!(v.rmdir(v.root(), "/d", &ROOT), Err(Errno::ENOTEMPTY));
+        v.rmdir(v.root(), "/d/sub", &ROOT).unwrap();
+        v.rmdir(v.root(), "/d", &ROOT).unwrap();
+        assert_eq!(v.stat(v.root(), "/d", true, &ROOT), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn unlink_dir_is_eisdir() {
+        let mut v = fs();
+        v.mkdir(v.root(), "/d", 0o755, &ROOT).unwrap();
+        assert_eq!(v.unlink(v.root(), "/d", &ROOT), Err(Errno::EISDIR));
+    }
+
+    #[test]
+    fn rename_file() {
+        let mut v = fs();
+        let ino = v.create(v.root(), "/f", 0o644, &ROOT).unwrap();
+        v.write_at(ino, 0, b"x").unwrap();
+        v.mkdir(v.root(), "/d", 0o755, &ROOT).unwrap();
+        v.rename(v.root(), "/f", "/d/g", &ROOT).unwrap();
+        assert_eq!(v.stat(v.root(), "/f", true, &ROOT), Err(Errno::ENOENT));
+        assert_eq!(v.read_file(v.root(), "/d/g", &ROOT).unwrap(), b"x");
+    }
+
+    #[test]
+    fn rename_replaces_file() {
+        let mut v = fs();
+        v.write_file(v.root(), "/a", b"aaa", &ROOT).unwrap();
+        v.write_file(v.root(), "/b", b"bbb", &ROOT).unwrap();
+        v.rename(v.root(), "/a", "/b", &ROOT).unwrap();
+        assert_eq!(v.read_file(v.root(), "/b", &ROOT).unwrap(), b"aaa");
+    }
+
+    #[test]
+    fn rename_dir_updates_dotdot() {
+        let mut v = fs();
+        v.mkdir_all(v.root(), "/x/inner", 0o755, &ROOT).unwrap();
+        v.mkdir(v.root(), "/y", 0o755, &ROOT).unwrap();
+        v.rename(v.root(), "/x/inner", "/y/inner", &ROOT).unwrap();
+        let y = v.resolve(v.root(), "/y", true, &ROOT).unwrap();
+        let via_dotdot = v.resolve(v.root(), "/y/inner/..", true, &ROOT).unwrap();
+        assert_eq!(via_dotdot, y);
+    }
+
+    #[test]
+    fn rename_into_own_subtree_refused() {
+        let mut v = fs();
+        v.mkdir_all(v.root(), "/d/sub", 0o755, &ROOT).unwrap();
+        assert_eq!(
+            v.rename(v.root(), "/d", "/d/sub/d2", &ROOT),
+            Err(Errno::EINVAL)
+        );
+    }
+
+    #[test]
+    fn readdir_lists_dot_entries() {
+        let mut v = fs();
+        v.mkdir(v.root(), "/d", 0o755, &ROOT).unwrap();
+        v.create(v.root(), "/d/f", 0o644, &ROOT).unwrap();
+        let names: Vec<_> = v
+            .readdir(v.root(), "/d", &ROOT)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names, [".", "..", "f"]);
+    }
+
+    #[test]
+    fn chmod_chown_rules() {
+        let mut v = fs();
+        let alice = Cred::new(100, 100);
+        let bob = Cred::new(200, 200);
+        v.mkdir(v.root(), "/pub", 0o777, &ROOT).unwrap();
+        v.create(v.root(), "/pub/f", 0o644, &alice).unwrap();
+        // Non-owner cannot chmod.
+        assert_eq!(v.chmod(v.root(), "/pub/f", 0o600, &bob), Err(Errno::EPERM));
+        v.chmod(v.root(), "/pub/f", 0o600, &alice).unwrap();
+        assert_eq!(v.stat(v.root(), "/pub/f", true, &ROOT).unwrap().mode, 0o600);
+        // Non-root cannot chown to another uid.
+        assert_eq!(
+            v.chown(v.root(), "/pub/f", 200, 200, &alice),
+            Err(Errno::EPERM)
+        );
+        v.chown(v.root(), "/pub/f", 200, 200, &ROOT).unwrap();
+    }
+
+    #[test]
+    fn nlink_accounting_for_dirs() {
+        let mut v = fs();
+        let d = v.mkdir(v.root(), "/d", 0o755, &ROOT).unwrap();
+        assert_eq!(v.fstat(d).unwrap().nlink, 2);
+        v.mkdir(v.root(), "/d/s1", 0o755, &ROOT).unwrap();
+        v.mkdir(v.root(), "/d/s2", 0o755, &ROOT).unwrap();
+        assert_eq!(v.fstat(d).unwrap().nlink, 4);
+        v.rmdir(v.root(), "/d/s1", &ROOT).unwrap();
+        assert_eq!(v.fstat(d).unwrap().nlink, 3);
+    }
+
+    #[test]
+    fn inode_recycling() {
+        let mut v = fs();
+        let before = v.live_inodes();
+        let ino = v.create(v.root(), "/tmp1", 0o644, &ROOT).unwrap();
+        v.unlink(v.root(), "/tmp1", &ROOT).unwrap();
+        assert_eq!(v.live_inodes(), before);
+        let ino2 = v.create(v.root(), "/tmp2", 0o644, &ROOT).unwrap();
+        assert_eq!(ino, ino2, "freed inode number should be recycled");
+    }
+
+    #[test]
+    fn resolve_entry_follows_final_symlink_to_real_dir() {
+        let mut v = fs();
+        v.mkdir_all(v.root(), "/private", 0o755, &ROOT).unwrap();
+        v.create(v.root(), "/private/real", 0o644, &ROOT).unwrap();
+        v.mkdir(v.root(), "/public", 0o755, &ROOT).unwrap();
+        v.symlink(v.root(), "/private/real", "/public/alias", &ROOT)
+            .unwrap();
+        let (dir, name, ino) = v
+            .resolve_entry(v.root(), "/public/alias", &ROOT)
+            .unwrap();
+        let private = v.resolve(v.root(), "/private", true, &ROOT).unwrap();
+        assert_eq!(dir, private, "must land in the target's directory");
+        assert_eq!(name, "real");
+        assert!(ino.is_some());
+    }
+
+    #[test]
+    fn resolve_entry_missing_final() {
+        let mut v = fs();
+        v.mkdir(v.root(), "/d", 0o755, &ROOT).unwrap();
+        let (dir, name, ino) = v.resolve_entry(v.root(), "/d/newfile", &ROOT).unwrap();
+        assert_eq!(dir, v.resolve(v.root(), "/d", true, &ROOT).unwrap());
+        assert_eq!(name, "newfile");
+        assert!(ino.is_none());
+    }
+
+    #[test]
+    fn resolve_entry_dangling_symlink_points_at_creation_site() {
+        let mut v = fs();
+        v.mkdir(v.root(), "/d", 0o755, &ROOT).unwrap();
+        v.symlink(v.root(), "/d/missing", "/lnk", &ROOT).unwrap();
+        let (dir, name, ino) = v.resolve_entry(v.root(), "/lnk", &ROOT).unwrap();
+        assert_eq!(dir, v.resolve(v.root(), "/d", true, &ROOT).unwrap());
+        assert_eq!(name, "missing");
+        assert!(ino.is_none());
+    }
+
+    #[test]
+    fn path_too_long() {
+        let v = fs();
+        let long = format!("/{}", "a".repeat(5000));
+        assert_eq!(
+            v.resolve(v.root(), &long, true, &ROOT),
+            Err(Errno::ENAMETOOLONG)
+        );
+    }
+
+    #[test]
+    fn name_too_long() {
+        let mut v = fs();
+        let name = format!("/{}", "a".repeat(300));
+        assert_eq!(
+            v.create(v.root(), &name, 0o644, &ROOT),
+            Err(Errno::ENAMETOOLONG)
+        );
+    }
+
+    #[test]
+    fn write_file_overwrites() {
+        let mut v = fs();
+        v.write_file(v.root(), "/f", b"first", &ROOT).unwrap();
+        v.write_file(v.root(), "/f", b"2nd", &ROOT).unwrap();
+        assert_eq!(v.read_file(v.root(), "/f", &ROOT).unwrap(), b"2nd");
+    }
+
+    #[test]
+    fn times_advance() {
+        let mut v = fs();
+        let ino = v.create(v.root(), "/f", 0o644, &ROOT).unwrap();
+        let t0 = v.fstat(ino).unwrap().mtime;
+        v.write_at(ino, 0, b"x").unwrap();
+        let t1 = v.fstat(ino).unwrap().mtime;
+        assert!(t1 > t0);
+    }
+}

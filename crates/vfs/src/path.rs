@@ -1,0 +1,135 @@
+//! Textual path utilities.
+//!
+//! Paths in the simulated system are plain UTF-8 strings with `/` as the
+//! separator, exactly as they cross the (simulated) syscall boundary.
+//! Resolution of `.`/`..`/symlinks happens structurally in
+//! [`crate::Vfs`]; the helpers here are purely lexical.
+
+/// Maximum length of a path accepted by the filesystem.
+pub const PATH_MAX: usize = 4096;
+
+/// Maximum length of one path component.
+pub const NAME_MAX: usize = 255;
+
+/// True when the path begins with `/`.
+pub fn is_absolute(path: &str) -> bool {
+    path.starts_with('/')
+}
+
+/// Split a path into its non-empty components. `"/a//b/"` yields
+/// `["a", "b"]`; `"."` and `".."` are kept (they are resolved
+/// structurally, not lexically).
+pub fn components(path: &str) -> impl Iterator<Item = &str> {
+    path.split('/').filter(|c| !c.is_empty())
+}
+
+/// Join `base` (absolute) with `rel`; when `rel` is absolute it wins.
+/// Purely textual: no `.`/`..` collapsing.
+pub fn join(base: &str, rel: &str) -> String {
+    if is_absolute(rel) {
+        rel.to_string()
+    } else if base.ends_with('/') {
+        format!("{base}{rel}")
+    } else {
+        format!("{base}/{rel}")
+    }
+}
+
+/// The parent directory and final component of a path, lexically.
+/// `"/a/b/c"` yields `("/a/b", "c")`; `"/x"` yields `("/", "x")`;
+/// a trailing slash is ignored. Returns `None` for the root itself or an
+/// empty path.
+pub fn split_parent(path: &str) -> Option<(&str, &str)> {
+    let trimmed = path.trim_end_matches('/');
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.rfind('/') {
+        Some(0) => Some(("/", &trimmed[1..])),
+        Some(i) => Some((&trimmed[..i], &trimmed[i + 1..])),
+        None => Some((".", trimmed)),
+    }
+}
+
+/// The final component of a path (`basename`), or `None` for the root.
+pub fn basename(path: &str) -> Option<&str> {
+    split_parent(path).map(|(_, name)| name)
+}
+
+/// Lexically normalize an absolute path: collapse `//`, `.` and `..`
+/// (without consulting the filesystem — only safe for display purposes,
+/// e.g. `getcwd`).
+pub fn normalize_lexical(path: &str) -> String {
+    let mut stack: Vec<&str> = Vec::new();
+    for c in components(path) {
+        match c {
+            "." => {}
+            ".." => {
+                stack.pop();
+            }
+            name => stack.push(name),
+        }
+    }
+    if stack.is_empty() {
+        "/".to_string()
+    } else {
+        let mut s = String::new();
+        for c in &stack {
+            s.push('/');
+            s.push_str(c);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_detection() {
+        assert!(is_absolute("/a/b"));
+        assert!(!is_absolute("a/b"));
+        assert!(!is_absolute(""));
+    }
+
+    #[test]
+    fn components_skip_empties() {
+        let v: Vec<_> = components("/a//b/c/").collect();
+        assert_eq!(v, ["a", "b", "c"]);
+        let v: Vec<_> = components("/").collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn join_behaviour() {
+        assert_eq!(join("/home", "fred"), "/home/fred");
+        assert_eq!(join("/home/", "fred"), "/home/fred");
+        assert_eq!(join("/home", "/etc/passwd"), "/etc/passwd");
+    }
+
+    #[test]
+    fn split_parent_cases() {
+        assert_eq!(split_parent("/a/b/c"), Some(("/a/b", "c")));
+        assert_eq!(split_parent("/x"), Some(("/", "x")));
+        assert_eq!(split_parent("/x/"), Some(("/", "x")));
+        assert_eq!(split_parent("rel"), Some((".", "rel")));
+        assert_eq!(split_parent("a/b"), Some(("a", "b")));
+        assert_eq!(split_parent("/"), None);
+        assert_eq!(split_parent(""), None);
+    }
+
+    #[test]
+    fn basename_cases() {
+        assert_eq!(basename("/work/sim.exe"), Some("sim.exe"));
+        assert_eq!(basename("/"), None);
+    }
+
+    #[test]
+    fn lexical_normalization() {
+        assert_eq!(normalize_lexical("/a/./b/../c"), "/a/c");
+        assert_eq!(normalize_lexical("/../.."), "/");
+        assert_eq!(normalize_lexical("//x///y"), "/x/y");
+        assert_eq!(normalize_lexical("/"), "/");
+    }
+}

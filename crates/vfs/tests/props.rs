@@ -1,0 +1,191 @@
+//! Property-based invariants of the filesystem under random operation
+//! sequences: resolution never escapes the root, link counts stay
+//! consistent, and inode storage is neither leaked nor double-freed.
+
+use idbox_types::Errno;
+use idbox_vfs::{Cred, FileKind, Vfs};
+use proptest::prelude::*;
+
+const ROOT: Cred = Cred::ROOT;
+
+/// A random filesystem operation over a small namespace.
+#[derive(Debug, Clone)]
+enum Op {
+    Create(String),
+    Mkdir(String),
+    Unlink(String),
+    Rmdir(String),
+    Link(String, String),
+    Symlink(String, String),
+    Rename(String, String),
+    Write(String, Vec<u8>),
+}
+
+fn small_path() -> impl Strategy<Value = String> {
+    // Paths over a tiny alphabet so collisions (EEXIST, ENOENT...) happen.
+    proptest::collection::vec("[abc]", 1..4)
+        .prop_map(|parts| format!("/{}", parts.join("/")))
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        small_path().prop_map(Op::Create),
+        small_path().prop_map(Op::Mkdir),
+        small_path().prop_map(Op::Unlink),
+        small_path().prop_map(Op::Rmdir),
+        (small_path(), small_path()).prop_map(|(a, b)| Op::Link(a, b)),
+        (small_path(), small_path()).prop_map(|(a, b)| Op::Symlink(a, b)),
+        (small_path(), small_path()).prop_map(|(a, b)| Op::Rename(a, b)),
+        (small_path(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(p, d)| Op::Write(p, d)),
+    ]
+}
+
+fn apply(v: &mut Vfs, op: &Op) {
+    let root = v.root();
+    // Every op may legitimately fail; what matters is that failures are
+    // clean Errno values and the invariants below keep holding.
+    let _ = match op {
+        Op::Create(p) => v.create(root, p, 0o644, &ROOT).map(|_| ()),
+        Op::Mkdir(p) => v.mkdir(root, p, 0o755, &ROOT).map(|_| ()),
+        Op::Unlink(p) => v.unlink(root, p, &ROOT),
+        Op::Rmdir(p) => v.rmdir(root, p, &ROOT),
+        Op::Link(a, b) => v.link(root, a, b, &ROOT),
+        Op::Symlink(a, b) => v.symlink(root, a, b, &ROOT).map(|_| ()),
+        Op::Rename(a, b) => v.rename(root, a, b, &ROOT),
+        Op::Write(p, d) => v.write_file(root, p, d, &ROOT).map(|_| ()),
+    };
+}
+
+/// Walk the whole tree and verify structural invariants.
+fn check_invariants(v: &mut Vfs) {
+    let root = v.root();
+    let mut stack = vec!["/".to_string()];
+    // Hard links may alias files — and symlinks — so the exact statement
+    // is about *distinct inodes*: everything live is reachable and vice
+    // versa.
+    let mut distinct = std::collections::BTreeSet::new();
+    while let Some(dir) = stack.pop() {
+        let dir_ino = v.stat(root, &dir, true, &ROOT).unwrap().ino;
+        distinct.insert(dir_ino);
+        let entries = v.readdir(root, &dir, &ROOT).expect("readdir of live dir");
+        // "." must point at the dir itself, ".." at a live dir.
+        let dot = entries.iter().find(|e| e.name == ".").expect("has .");
+        let self_ino = v.stat(root, &dir, true, &ROOT).unwrap().ino;
+        assert_eq!(dot.ino, self_ino, "dot entry of {dir} is wrong");
+        assert!(entries.iter().any(|e| e.name == ".."), "{dir} lacks ..");
+        for e in entries {
+            if e.name == "." || e.name == ".." {
+                continue;
+            }
+            let child = format!(
+                "{}/{}",
+                if dir == "/" { "" } else { &dir },
+                e.name
+            );
+            match e.kind {
+                FileKind::Dir => stack.push(child),
+                FileKind::File => {
+                    distinct.insert(e.ino);
+                    let st = v.stat(root, &child, false, &ROOT).unwrap();
+                    assert!(st.nlink >= 1, "file {child} with zero nlink");
+                }
+                FileKind::Symlink => {
+                    distinct.insert(e.ino);
+                    // Resolution of the link never panics; it cleanly
+                    // succeeds or fails with an Errno.
+                    match v.stat(root, &child, true, &ROOT) {
+                        Ok(_) | Err(Errno::ENOENT) | Err(Errno::ELOOP)
+                        | Err(Errno::ENOTDIR) | Err(Errno::EACCES) => {}
+                        Err(e) => panic!("unexpected errno {e} resolving {child}"),
+                    }
+                }
+            }
+        }
+    }
+    // Exact accounting: the live inode count equals the number of
+    // distinct reachable inodes — nothing leaked, nothing lost.
+    assert_eq!(
+        v.live_inodes(),
+        distinct.len(),
+        "live inodes != distinct reachable inodes"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_ops_preserve_invariants(ops in proptest::collection::vec(op(), 1..60)) {
+        let mut v = Vfs::new();
+        for op in &ops {
+            apply(&mut v, op);
+        }
+        check_invariants(&mut v);
+    }
+
+    #[test]
+    fn resolution_never_escapes_root(
+        ops in proptest::collection::vec(op(), 1..30),
+        probe in proptest::collection::vec("[abc.]{1,4}", 1..6),
+    ) {
+        let mut v = Vfs::new();
+        for op in &ops {
+            apply(&mut v, op);
+        }
+        // A path with arbitrary ".." runs must never produce an inode
+        // outside the tree (it either resolves to something reachable or
+        // fails cleanly).
+        let wild = format!("/{}", probe.join("/.."));
+        match v.resolve(v.root(), &wild, true, &Cred::ROOT) {
+            Ok(ino) => {
+                // The ino must be reachable from the root by construction;
+                // at minimum fstat works and the kind is sane.
+                let st = v.fstat(ino).unwrap();
+                prop_assert!(matches!(
+                    st.kind,
+                    FileKind::Dir | FileKind::File | FileKind::Symlink
+                ));
+            }
+            Err(e) => {
+                prop_assert!(matches!(
+                    e,
+                    Errno::ENOENT | Errno::ENOTDIR | Errno::ELOOP | Errno::EACCES
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        off in 0u64..1024,
+    ) {
+        let mut v = Vfs::new();
+        let ino = v.create(v.root(), "/f", 0o644, &Cred::ROOT).unwrap();
+        v.write_at(ino, off, &data).unwrap();
+        let mut buf = vec![0u8; data.len()];
+        let n = v.read_into(ino, off, &mut buf).unwrap();
+        prop_assert_eq!(n, data.len());
+        prop_assert_eq!(&buf, &data);
+        // Gap is zero-filled.
+        let st = v.fstat(ino).unwrap();
+        prop_assert_eq!(st.size, off + data.len() as u64);
+    }
+
+    #[test]
+    fn unlink_frees_exactly_when_last_link_dies(n_links in 1usize..6) {
+        let mut v = Vfs::new();
+        let before = v.live_inodes();
+        v.create(v.root(), "/f0", 0o644, &Cred::ROOT).unwrap();
+        for i in 1..n_links {
+            v.link(v.root(), "/f0", &format!("/f{i}"), &Cred::ROOT).unwrap();
+        }
+        prop_assert_eq!(v.live_inodes(), before + 1);
+        for i in 0..n_links {
+            v.unlink(v.root(), &format!("/f{i}"), &Cred::ROOT).unwrap();
+            let expect = if i + 1 == n_links { before } else { before + 1 };
+            prop_assert_eq!(v.live_inodes(), expect);
+        }
+    }
+}

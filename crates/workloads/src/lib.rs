@@ -1,0 +1,28 @@
+//! Guest programs: the paper's application suite, synthesized.
+//!
+//! Section 7 measures identity boxing on five scientific applications —
+//! AMANDA (gamma-ray telescope simulation), BLAST (genomic search), CMS
+//! (high-energy physics apparatus simulation), HF (nucleic/electronic
+//! interaction simulation), IBIS (climate simulation) — plus `make`, a
+//! build of Parrot itself.
+//!
+//! **Substitution note (see DESIGN.md):** the original binaries and
+//! their inputs are not available, so each application is a *trace-
+//! driven synthetic*: a guest program issuing the same I/O **shape** the
+//! paper (and its workload-characterization companion, reference 39) describes —
+//! large-block sequential I/O for the scientific codes, with per-app
+//! compute/IO ratios; and for `make`, a metadata storm of `stat`, small
+//! reads, `fork`/`exec` pairs. Overheads are *measured* by running the
+//! same guest in direct and interposed modes over the same simulated
+//! kernel; nothing about Figure 5(b)'s percentages is hard-coded.
+
+pub mod apps;
+pub mod compute;
+pub mod harness;
+pub mod micro;
+pub mod script;
+
+pub use apps::{all_apps, AppSpec, Scale};
+pub use compute::compute;
+pub use harness::{measure_app, time_direct_and_boxed, AppMeasurement};
+pub use script::{is_script, run_script, ScriptError, ScriptResult};

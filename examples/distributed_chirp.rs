@@ -1,0 +1,105 @@
+//! Figure 3 — identity boxing in a distributed system, over real TCP.
+//!
+//! Fred, holding GSI credentials, discovers a Chirp server, reserves
+//! /work with the V right, stages in sim.exe and its input, runs it
+//! remotely inside an identity box named by his credentials, and
+//! retrieves the output — no account on the server, no administrator,
+//! no root.
+//!
+//! ```text
+//! cargo run --example distributed_chirp
+//! ```
+
+use idbox::acl::{Acl, Rights};
+use idbox::auth::{CertificateAuthority, ClientCredential, ServerVerifier};
+use idbox::chirp::{catalog, ChirpClient, ChirpServer, ServerConfig};
+use idbox::types::AuthMethod;
+
+fn main() {
+    // --- Grid infrastructure: a CA everyone trusts.
+    let ca = CertificateAuthority::new("/O=UnivNowhere CA", 0xCA11AB1E);
+
+    // --- The server operator (an ordinary user) deploys a Chirp server
+    // whose root ACL is exactly the paper's:
+    //     hostname:*.nowhere.edu   rlx
+    //     globus:/O=UnivNowhere/*  v(rwlax)
+    let mut root_acl = Acl::empty();
+    root_acl.set(
+        "hostname:*.nowhere.edu",
+        Rights::READ | Rights::LIST | Rights::EXECUTE,
+    );
+    root_acl.set_reserve("globus:/O=UnivNowhere/*", Rights::LIST, Rights::RWLAX);
+
+    let mut verifier = ServerVerifier::new();
+    verifier.accept = vec![AuthMethod::Globus, AuthMethod::Hostname];
+    verifier.cas.trust(ca.clone());
+
+    let mut server = ChirpServer::new(ServerConfig {
+        name: "storage.nowhere.edu".to_string(),
+        verifier,
+        root_acl,
+        ..Default::default()
+    });
+    // The physics simulation the site offers (staged executables name it).
+    server.register_program("sim", |ctx, args| {
+        let particles: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(1000);
+        let input = ctx.read_file("input.dat").unwrap_or_default();
+        let mut energy = 0u64;
+        for (i, b) in input.iter().enumerate() {
+            energy = energy.wrapping_mul(31).wrapping_add(*b as u64 + i as u64);
+        }
+        let out = format!("particles={particles} energy={energy:#x}\n");
+        match ctx.write_file("out.dat", out.as_bytes()) {
+            Ok(()) => 0,
+            Err(_) => 1,
+        }
+    });
+    let handle = server.spawn().unwrap();
+    println!("chirp server listening on {}", handle.addr());
+
+    // --- The catalog publishes it.
+    let cat = catalog::Catalog::spawn().unwrap();
+    catalog::register(cat.addr(), &handle.addr().to_string(), "storage.nowhere.edu")
+        .unwrap();
+    let discovered = catalog::list(cat.addr()).unwrap();
+    println!("catalog lists {} server(s): {}", discovered.len(), discovered[0].name);
+
+    // --- Fred connects with his GSI credential.
+    let creds = vec![ClientCredential::Globus(ca.issue("/O=UnivNowhere/CN=Fred"))];
+    let addr: std::net::SocketAddr = discovered[0].addr.parse().unwrap();
+    let mut client = ChirpClient::connect(addr, &creds).unwrap();
+    println!("authenticated as: {}", client.whoami().unwrap());
+
+    // 1. mkdir /work — granted through the reserve right; the fresh ACL
+    //    names Fred with rwlax.
+    client.mkdir("/work", 0o755).unwrap();
+    let acl = client.getacl("/work").unwrap();
+    println!("1. mkdir /work        -> ACL: {}", acl.to_text().trim_end());
+
+    // 2-3. stage in the executable and input.
+    client
+        .put_mode("/work/sim.exe", b"#!guest sim\n(simulated executable image)\n", 0o755)
+        .unwrap();
+    client.put("/work/input.dat", b"collision data 2005").unwrap();
+    println!("2. put sim.exe        -> staged");
+    println!("3. put input.dat      -> staged");
+
+    // 4. exec — runs on the server inside an identity box named
+    //    globus:/O=UnivNowhere/CN=Fred.
+    let code = client.exec("/work/sim.exe", &["50000"]).unwrap();
+    println!("4. exec sim.exe 50000 -> exit code {code}");
+    assert_eq!(code, 0);
+
+    // 5. retrieve the output and clean up.
+    let out = client.get("/work/out.dat").unwrap();
+    println!("5. get out.dat        -> {}", String::from_utf8_lossy(&out).trim_end());
+    client.unlink("/work/out.dat").unwrap();
+    client.unlink("/work/input.dat").unwrap();
+    client.unlink("/work/sim.exe").unwrap();
+    client.rmdir("/work").unwrap();
+    println!("   cleanup            -> done");
+
+    client.quit().unwrap();
+    handle.shutdown();
+    println!("\nNo account was created before or during any of this.");
+}

@@ -1,0 +1,64 @@
+//! Figure 6 — a tour of the hierarchical identity namespace the paper
+//! proposes for future operating systems.
+//!
+//! ```text
+//! cargo run --example hierarchy_tour
+//! ```
+
+use idbox::hier::{DomainTree, HierId};
+use idbox::kernel::Pid;
+use idbox::types::Errno;
+
+fn show(t: &DomainTree, d: &HierId, depth: usize) {
+    println!("{}{}", "   ".repeat(depth), d.leaf());
+    for c in t.children(d) {
+        show(t, &c, depth + 1);
+    }
+}
+
+fn main() {
+    let mut t = DomainTree::new();
+    let root = HierId::root();
+
+    // Ordinary users create protection domains as needed — no account
+    // database, no superuser.
+    let dthain = t.create(&root, &root, "dthain").unwrap();
+    let httpd = t.create(&root, &root, "httpd").unwrap();
+    let grid = t.create(&root, &root, "grid").unwrap();
+    t.create(&dthain, &dthain, "visitor").unwrap();
+    t.create(&httpd, &httpd, "webapp").unwrap();
+    t.create(&grid, &grid, "anon2").unwrap();
+    let anon5 = t.create(&grid, &grid, "anon5").unwrap();
+
+    println!("The Figure 6 identity tree:");
+    show(&t, &root, 0);
+
+    // Grid identities hang off the anonymous domains exactly as in the
+    // figure's caption.
+    let freddy = t
+        .create(&grid, &anon5, "O=UnivNowhere_CN=Freddy")
+        .unwrap();
+    println!("\ngrid server attached a visitor: {freddy}");
+
+    // Management is subtree-scoped.
+    let visitor = HierId::parse("root:dthain:visitor").unwrap();
+    t.assign(Pid(100), visitor.clone()).unwrap();
+    t.assign(Pid(101), dthain.clone()).unwrap();
+    println!("\ndthain manages {:?}", t.processes_under(&dthain));
+    println!("visitor manages {:?}", t.processes_under(&visitor));
+
+    // The visitor cannot dissolve its own sandbox; dthain can.
+    assert_eq!(t.destroy(&visitor, &visitor), Err(Errno::EPERM));
+    let orphans = t.destroy(&dthain, &visitor).unwrap();
+    println!("\ndthain destroyed {visitor}; orphaned processes: {orphans:?}");
+    assert_eq!(orphans, vec![Pid(100)]);
+
+    // Names convert directly into flat identities for ACLs, so the same
+    // wildcard machinery applies: "root:grid:*" matches every grid guest.
+    let pattern = idbox::acl::SubjectPattern::new("root:grid:*");
+    assert!(pattern.matches(&anon5.to_identity()));
+    assert!(pattern.matches(&freddy.to_identity()));
+    assert!(!pattern.matches(&dthain.to_identity()));
+    println!("\nACL subject 'root:grid:*' matches every grid guest — sharing and");
+    println!("delegation work across the tree with the ordinary ACL machinery.");
+}

@@ -1,0 +1,61 @@
+//! Quickstart: create an identity box and run a program in it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use idbox::core::IdentityBox;
+use idbox::interpose::share;
+use idbox::kernel::{Account, Kernel};
+use idbox::vfs::Cred;
+
+fn main() {
+    // A simulated machine: kernel, filesystem, accounts. The supervising
+    // user is an ordinary account — no root anywhere.
+    let mut kernel = Kernel::new();
+    kernel
+        .accounts_mut()
+        .add(Account::new("dthain", 1000, 1000))
+        .unwrap();
+    let kernel = share(kernel);
+    let supervisor = Cred::new(1000, 1000);
+
+    // An identity box for a visitor known only by a high-level name.
+    // No local account is created; the name can be anything.
+    let visitor = IdentityBox::create(
+        kernel,
+        "globus:/O=UnivNowhere/CN=Fred",
+        supervisor,
+    )
+    .unwrap();
+    println!("created identity box for {}", visitor.identity());
+    println!("fresh home directory:    {}", visitor.home());
+
+    // Run a guest program inside the box. Every system call it makes is
+    // trapped and checked against ACLs keyed by the global identity.
+    let (code, report) = visitor
+        .run("demo", |ctx| {
+            // The new get_user_name() syscall reports the global name.
+            let me = ctx.get_user_name().unwrap();
+            println!("inside the box, I am:    {me}");
+
+            // The visitor's home has an ACL granting them full control.
+            ctx.write_file("/home/boxes/globus__O_UnivNowhere_CN_Fred/data.txt",
+                           b"hello from inside the box").unwrap();
+
+            // But the rest of the system falls back to `nobody` rules:
+            // the supervising user's private files are unreachable.
+            match ctx.read_file("/root/.profile") {
+                Err(e) => println!("reading /root/.profile:  denied ({e})"),
+                Ok(_) => unreachable!("the box must protect the owner"),
+            }
+            0
+        })
+        .unwrap();
+
+    println!("guest exited with code {code}");
+    println!(
+        "interposition cost: {} traps, {} context switches, {} peeks, {} pokes",
+        report.traps, report.switches, report.peeks, report.pokes
+    );
+}

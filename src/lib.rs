@@ -1,0 +1,34 @@
+//! # idbox — Identity Boxing in Rust
+//!
+//! A reproduction of *"Identity Boxing: A New Technique for Consistent
+//! Global Identity"* (Douglas Thain, SC 2005).
+//!
+//! This facade crate re-exports the workspace crates under stable module
+//! names. See the individual crates for the full documentation:
+//!
+//! * [`types`] — identities, principals, errno, trap cost model
+//! * [`acl`] — per-directory access control lists with wildcard subjects
+//!   and the reserve (`v`) right
+//! * [`vfs`] — the in-memory Unix filesystem substrate
+//! * [`kernel`] — the simulated kernel (processes, fds, signals, accounts)
+//! * [`interpose`] — the Parrot-style system-call trapping supervisor
+//! * [`core`] — the identity box itself
+//! * [`mapping`] — the six baseline identity-mapping methods of Figure 1
+//! * [`auth`] — simulated GSI/Kerberos/hostname/unix authentication
+//! * [`chirp`] — the Chirp distributed storage and execution system
+//! * [`workloads`] — guest programs and the paper's six applications
+//! * [`hier`] — the hierarchical identity namespace of Figure 6
+
+pub mod shell;
+
+pub use idbox_acl as acl;
+pub use idbox_auth as auth;
+pub use idbox_chirp as chirp;
+pub use idbox_core as core;
+pub use idbox_hier as hier;
+pub use idbox_interpose as interpose;
+pub use idbox_kernel as kernel;
+pub use idbox_mapping as mapping;
+pub use idbox_types as types;
+pub use idbox_vfs as vfs;
+pub use idbox_workloads as workloads;

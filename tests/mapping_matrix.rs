@@ -1,0 +1,48 @@
+//! Figure 1, end to end: the measured property matrix must reproduce the
+//! paper's table.
+
+use idbox::mapping::probe::probe_all;
+use idbox::mapping::Tri;
+
+#[test]
+fn figure1_property_matrix() {
+    let rows = probe_all();
+    // (method, privilege, protect, privacy, sharing, return)
+    let expected: &[(&str, bool, bool, Tri, Tri, bool)] = &[
+        ("single", false, false, Tri::No, Tri::Yes, true),
+        ("untrusted", true, true, Tri::No, Tri::Yes, true),
+        ("private", true, true, Tri::Yes, Tri::No, true),
+        ("group", true, true, Tri::Fixed, Tri::Fixed, true),
+        ("anonymous", true, true, Tri::Yes, Tri::No, false),
+        ("pool", true, true, Tri::Yes, Tri::No, false),
+        ("identity box", false, true, Tri::Yes, Tri::Yes, true),
+    ];
+    assert_eq!(rows.len(), expected.len());
+    for (method, privilege, protect, privacy, sharing, ret) in expected {
+        let row = rows
+            .iter()
+            .find(|r| r.method == *method)
+            .unwrap_or_else(|| panic!("missing method {method}"));
+        assert_eq!(row.requires_privilege, *privilege, "{method}: privilege");
+        assert_eq!(row.protects_owner, *protect, "{method}: protect owner");
+        assert_eq!(row.allows_privacy, *privacy, "{method}: privacy");
+        assert_eq!(row.allows_sharing, *sharing, "{method}: sharing");
+        assert_eq!(row.allows_return, *ret, "{method}: return");
+    }
+}
+
+#[test]
+fn burden_scales_as_the_paper_describes() {
+    let rows = probe_all();
+    let by_name = |n: &str| rows.iter().find(|r| r.method == n).unwrap();
+    // Private accounts: a root intervention for every one of the 3 users.
+    assert_eq!(by_name("private").interventions, 3);
+    // Group accounts: one per group (2 groups), regardless of user count.
+    assert_eq!(by_name("group").interventions, 2);
+    // Pool: one batch to create the pool.
+    assert_eq!(by_name("pool").interventions, 1);
+    // Identity boxing: no administrator, ever.
+    assert_eq!(by_name("identity box").interventions, 0);
+    assert_eq!(by_name("single").interventions, 0);
+    assert_eq!(by_name("anonymous").interventions, 0);
+}

@@ -1,0 +1,135 @@
+//! Cross-crate behaviours the paper's introduction promises: consistent
+//! naming everywhere, controlled sharing via ACLs, and return to stored
+//! data — across box sessions and across the Chirp wire.
+
+use idbox::acl::{Acl, Rights};
+use idbox::auth::{CertificateAuthority, ClientCredential, ServerVerifier};
+use idbox::chirp::{ChirpClient, ChirpServer, ServerConfig};
+use idbox::core::IdentityBox;
+use idbox::interpose::share;
+use idbox::kernel::{Account, Kernel};
+use idbox::types::{AuthMethod, Errno, Identity};
+use idbox::vfs::Cred;
+
+#[test]
+fn same_name_local_and_remote() {
+    // One grid identity used (1) in a local identity box and (2) against
+    // a Chirp server — the name is identical in both places, which is
+    // the paper's titular property.
+    let fred_name = "globus:/O=UnivNowhere/CN=Fred";
+
+    // Local box.
+    let mut k = Kernel::new();
+    k.accounts_mut().add(Account::new("op", 1000, 1000)).unwrap();
+    let kernel = share(k);
+    let b = IdentityBox::create(kernel, fred_name, Cred::new(1000, 1000)).unwrap();
+    b.run("local", |ctx| {
+        assert_eq!(
+            ctx.get_user_name().unwrap().as_str(),
+            "globus:/O=UnivNowhere/CN=Fred"
+        );
+        0
+    })
+    .unwrap();
+
+    // Remote server.
+    let ca = CertificateAuthority::new("/O=UnivNowhere CA", 99);
+    let mut verifier = ServerVerifier::new();
+    verifier.accept = vec![AuthMethod::Globus];
+    verifier.cas.trust(ca.clone());
+    let mut acl = Acl::empty();
+    acl.set_reserve("globus:/O=UnivNowhere/*", Rights::LIST, Rights::RWLAX);
+    let handle = ChirpServer::new(ServerConfig {
+        name: "s".into(),
+        verifier,
+        root_acl: acl,
+        ..Default::default()
+    })
+    .spawn()
+    .unwrap();
+    let creds = vec![ClientCredential::Globus(ca.issue("/O=UnivNowhere/CN=Fred"))];
+    let mut c = ChirpClient::connect(handle.addr(), &creds).unwrap();
+    assert_eq!(c.whoami().unwrap().to_string(), fred_name);
+    handle.shutdown();
+}
+
+#[test]
+fn acl_sharing_between_boxes_is_first_class() {
+    let mut k = Kernel::new();
+    k.accounts_mut().add(Account::new("op", 1000, 1000)).unwrap();
+    let kernel = share(k);
+    let sup = Cred::new(1000, 1000);
+    let fred = IdentityBox::create(kernel.clone(), "kerberos:fred@nowhere.edu", sup).unwrap();
+    let george =
+        IdentityBox::create(kernel.clone(), "kerberos:george@nowhere.edu", sup).unwrap();
+    let anyone_at_nowhere =
+        IdentityBox::create(kernel.clone(), "kerberos:alice@nowhere.edu", sup).unwrap();
+
+    // Fred shares with a *wildcard*: everyone in his realm may read.
+    let dir = fred.home().to_string();
+    let acl_path = format!("{dir}/.__acl");
+    let data_path = format!("{dir}/results.dat");
+    let (dp, ap) = (data_path.clone(), acl_path.clone());
+    fred.run("share", move |ctx| {
+        ctx.write_file(&dp, b"findings").unwrap();
+        let mut acl = String::from_utf8(ctx.read_file(&ap).unwrap()).unwrap();
+        acl.push_str("kerberos:*@nowhere.edu rl\n");
+        ctx.write_file(&ap, acl.as_bytes()).unwrap();
+        0
+    })
+    .unwrap();
+
+    for reader in [&george, &anyone_at_nowhere] {
+        let dp = data_path.clone();
+        reader
+            .run("read", move |ctx| {
+                assert_eq!(ctx.read_file(&dp).unwrap(), b"findings");
+                0
+            })
+            .unwrap();
+    }
+    // But wildcard readers hold only rl — no writes, no ACL edits.
+    let (dp, ap) = (data_path.clone(), acl_path.clone());
+    george
+        .run("try-write", move |ctx| {
+            assert_eq!(ctx.write_file(&dp, b"overwrite"), Err(Errno::EACCES));
+            assert_eq!(ctx.write_file(&ap, b"george rwldax\n"), Err(Errno::EACCES));
+            0
+        })
+        .unwrap();
+}
+
+#[test]
+fn return_across_sessions_and_supervisors() {
+    // A visitor stores data, the box is dropped entirely, a new box for
+    // the same identity (even by a different supervisor instance) finds
+    // the same home and data — Figure 1's "allow return".
+    let mut k = Kernel::new();
+    k.accounts_mut().add(Account::new("op", 1000, 1000)).unwrap();
+    let kernel = share(k);
+    let sup = Cred::new(1000, 1000);
+    let id = Identity::new("globus:/O=UnivNowhere/CN=Fred");
+    let home = {
+        let b = IdentityBox::create(kernel.clone(), id.clone(), sup).unwrap();
+        let home = b.home().to_string();
+        let h = home.clone();
+        b.run("day1", move |ctx| {
+            ctx.write_file(&format!("{h}/persistent.txt"), b"day 1 state")
+                .unwrap();
+            0
+        })
+        .unwrap();
+        home
+    }; // box dropped
+    let b2 = IdentityBox::create(kernel, id, sup).unwrap();
+    assert_eq!(b2.home(), home);
+    let h = home.clone();
+    b2.run("day2", move |ctx| {
+        assert_eq!(
+            ctx.read_file(&format!("{h}/persistent.txt")).unwrap(),
+            b"day 1 state"
+        );
+        0
+    })
+    .unwrap();
+}
