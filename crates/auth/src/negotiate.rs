@@ -14,6 +14,23 @@ use crate::transport::AuthTransport;
 use idbox_types::{AuthMethod, Principal};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A process-unique challenge nonce: wall-clock entropy mixed with a
+/// monotonic counter, whitened through splitmix64. Unpredictable enough
+/// for the simulated challenge/response; never repeats within a process.
+fn fresh_nonce() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut z = t
+        .wrapping_add(COUNTER.fetch_add(1, Ordering::Relaxed).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Authentication failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -190,8 +207,7 @@ pub fn authenticate_server(
                 let Some(name) = line.strip_prefix("unix ") else {
                     return Err(AuthError::Protocol(line));
                 };
-                let nonce: u64 = rand::random();
-                let nonce = format!("{nonce:016x}");
+                let nonce = format!("{:016x}", fresh_nonce());
                 io(t.send_line(&format!("nonce {nonce}")))?;
                 let resp = io(t.recv_line())?;
                 let answered = resp

@@ -16,6 +16,11 @@ use idbox_vfs::Cred;
 fn bench_aclcache(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_aclcache");
     group.sample_size(30);
+    // Invariant: the cache is a pure optimization — the probe battery
+    // below must observe identical outcomes in both modes (the full
+    // decision-level property lives in
+    // crates/core/tests/cache_equivalence.rs).
+    let mut traces: Vec<Vec<Result<u64, idbox_types::Errno>>> = Vec::new();
     for cache in [false, true] {
         let mut k = Kernel::new();
         k.accounts_mut().add(Account::new("dthain", 1000, 1000)).unwrap();
@@ -46,6 +51,13 @@ fn bench_aclcache(c: &mut Criterion) {
         ctx.write_file(&format!("{}/.__acl", b.home()), &acl_text)
             .unwrap();
         let paths: Vec<String> = (0..20).map(|i| format!("{}/f{i}", b.home())).collect();
+        let mut trace = Vec::new();
+        for p in &paths {
+            trace.push(ctx.stat(p).map(|st| st.size));
+        }
+        trace.push(ctx.stat(&format!("{}/missing", b.home())).map(|st| st.size));
+        trace.push(ctx.stat("/etc/shadow-like").map(|st| st.size));
+        traces.push(trace);
         let label = if cache { "cached" } else { "reparse-every-call" };
         group.bench_function(BenchmarkId::new("stat20", label), |b| {
             b.iter(|| {
@@ -55,6 +67,10 @@ fn bench_aclcache(c: &mut Criterion) {
             });
         });
     }
+    assert_eq!(
+        traces[0], traces[1],
+        "cached and uncached ACL evaluation observed different outcomes"
+    );
     group.finish();
 }
 

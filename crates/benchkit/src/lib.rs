@@ -1,0 +1,226 @@
+//! In-tree micro-benchmark harness with a `criterion`-compatible API.
+//!
+//! The build environment is fully offline, so the external `criterion`
+//! crate cannot be fetched; the workspace aliases `criterion` to this
+//! crate (see the root `Cargo.toml`) and the `benches/` files compile
+//! unchanged. Timing is a plain sample-of-batches loop: per benchmark
+//! it warms up, sizes a batch to roughly a few milliseconds, takes
+//! `sample_size` samples, and reports the median ns/iter on stdout.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target time for one measured batch.
+const BATCH_TARGET: Duration = Duration::from_millis(3);
+/// Warmup budget per benchmark.
+const WARMUP: Duration = Duration::from_millis(20);
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Logical elements per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `function` at parameter point `parameter`.
+    pub fn new(function: impl ToString, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.parameter.is_empty() {
+            write!(f, "{}", self.function)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            ns_per_iter: None,
+        };
+        f(&mut b);
+        self.report(&id, b.ns_per_iter);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            ns_per_iter: None,
+        };
+        f(&mut b, input);
+        self.report(&id, b.ns_per_iter);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, ns: Option<f64>) {
+        let Some(ns) = ns else {
+            println!("{}/{id}: no measurement (b.iter never called)", self.name);
+            return;
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                format!("  ({:.1} MiB/s)", n as f64 / ns * 1e9 / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 / ns * 1e9)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {:.0} ns/iter{rate}", self.name, ns);
+    }
+}
+
+/// Runs the measured closure and records timing.
+pub struct Bencher {
+    sample_size: usize,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, called many times per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + batch sizing.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let batch = ((BATCH_TARGET.as_nanos() as f64 / per_iter.max(1.0)) as u64).clamp(1, 1 << 22);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Bundle benchmark functions, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; accept
+            // and ignore them.
+            let _ = std::env::args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_example(c: &mut Criterion) {
+        let mut group = c.benchmark_group("example");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(64));
+        group.bench_function(BenchmarkId::new("add", 1), |b| {
+            b.iter(|| black_box(2u64) + black_box(3u64))
+        });
+        group.bench_with_input(BenchmarkId::new("mul", 4), &4u64, |b, &x| {
+            b.iter(|| black_box(x) * 7)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_example);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

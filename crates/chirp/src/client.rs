@@ -41,6 +41,9 @@ impl ChirpClient {
     /// Connect and authenticate, offering `creds` in preference order.
     pub fn connect(addr: SocketAddr, creds: &[ClientCredential]) -> SysResult<Self> {
         let stream = TcpStream::connect(addr).map_err(|_| Errno::ECONNREFUSED)?;
+        // The protocol is strict request/response on small lines; Nagle
+        // plus delayed ACKs would stall every round trip by ~40ms.
+        let _ = stream.set_nodelay(true);
         let mut reader = BufReader::new(stream.try_clone().map_err(|_| Errno::EIO)?);
         let mut writer = stream;
         let principal = {

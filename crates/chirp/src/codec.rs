@@ -56,15 +56,23 @@ pub fn decode_word(s: &str) -> SysResult<String> {
 }
 
 /// Read one `\n`-terminated line (without the terminator).
+///
+/// Bounded: at most `LINE_MAX + 1` bytes are ever buffered. A peer
+/// streaming an endless newline-less line is rejected with `EPROTO`
+/// after that bound instead of growing the buffer without limit.
 pub fn read_line(r: &mut impl BufRead) -> SysResult<String> {
-    let mut line = String::new();
-    let n = r.read_line(&mut line).map_err(|_| Errno::EIO)?;
+    let mut line = Vec::new();
+    let n = r
+        .take(LINE_MAX as u64 + 1)
+        .read_until(b'\n', &mut line)
+        .map_err(|_| Errno::EIO)?;
     if n == 0 {
         return Err(Errno::EPIPE);
     }
-    if line.len() > LINE_MAX {
+    if n > LINE_MAX {
         return Err(Errno::EPROTO);
     }
+    let mut line = String::from_utf8(line).map_err(|_| Errno::EPROTO)?;
     while line.ends_with('\n') || line.ends_with('\r') {
         line.pop();
     }
@@ -156,6 +164,49 @@ mod tests {
         let mut r = std::io::BufReader::new(&buf[..]);
         assert_eq!(read_line(&mut r).unwrap(), "hello world");
         assert_eq!(read_line(&mut r), Err(Errno::EPIPE));
+    }
+
+    #[test]
+    fn oversized_line_rejected_with_bounded_consumption() {
+        /// An endless stream of `a` bytes with no newline in sight,
+        /// counting how much is ever pulled off the wire.
+        struct Endless {
+            served: usize,
+        }
+        impl std::io::Read for Endless {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                for b in buf.iter_mut() {
+                    *b = b'a';
+                }
+                self.served += buf.len();
+                Ok(buf.len())
+            }
+        }
+        let mut r = std::io::BufReader::new(Endless { served: 0 });
+        assert_eq!(read_line(&mut r), Err(Errno::EPROTO));
+        // The reader stops at LINE_MAX + 1 bytes; the BufReader beneath
+        // may have read ahead by at most its own buffer. Nothing close
+        // to "the whole stream" is ever consumed or held.
+        assert!(
+            r.get_ref().served <= 3 * LINE_MAX,
+            "consumed {} bytes",
+            r.get_ref().served
+        );
+    }
+
+    #[test]
+    fn line_at_the_limit_still_accepted() {
+        // Content + '\n' totalling exactly LINE_MAX passes; one byte
+        // more is EPROTO.
+        let ok_line = vec![b'x'; LINE_MAX - 1];
+        let mut buf = ok_line.clone();
+        buf.push(b'\n');
+        let mut r = std::io::BufReader::new(&buf[..]);
+        assert_eq!(read_line(&mut r).unwrap().len(), LINE_MAX - 1);
+        let mut buf = vec![b'x'; LINE_MAX];
+        buf.push(b'\n');
+        let mut r = std::io::BufReader::new(&buf[..]);
+        assert_eq!(read_line(&mut r), Err(Errno::EPROTO));
     }
 
     #[test]

@@ -39,6 +39,13 @@ pub struct ServerConfig {
     pub catalog: Option<SocketAddr>,
     /// Heartbeat period for catalog re-registration.
     pub heartbeat: Duration,
+    /// Per-socket read/write timeout. An idle connection whose client
+    /// neither sends nor receives within this window is disconnected
+    /// (slowloris mitigation). `None` waits forever.
+    pub io_timeout: Option<Duration>,
+    /// Maximum concurrently served connections. Clients over the cap are
+    /// refused with a protocol `error` line instead of being accepted.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -56,9 +63,17 @@ impl Default for ServerConfig {
             host_db,
             catalog: None,
             heartbeat: Duration::from_secs(60),
+            io_timeout: None,
+            max_connections: 1024,
         }
     }
 }
+
+/// Live-connection registry: duplicated stream handles keyed by a
+/// connection id, used both to gate admission (`len()` against
+/// `max_connections`) and to signal lingering sessions on shutdown
+/// (`TcpStream::shutdown` unblocks their reads).
+type ConnRegistry = Arc<std::sync::Mutex<std::collections::HashMap<u64, TcpStream>>>;
 
 /// A Chirp server ready to be spawned.
 pub struct ChirpServer {
@@ -126,6 +141,10 @@ impl ChirpServer {
         let host_db = Arc::new(self.config.host_db);
         let cost_model = self.config.cost_model;
         let sup_cred = self.sup_cred;
+        let io_timeout = self.config.io_timeout;
+        let max_connections = self.config.max_connections;
+        let conns: ConnRegistry = Arc::default();
+        let conns2 = Arc::clone(&conns);
         // Catalog heartbeat: register now and on every period until
         // shutdown.
         if let Some(catalog) = self.config.catalog {
@@ -147,21 +166,49 @@ impl ChirpServer {
             });
         }
         let join = std::thread::spawn(move || {
+            let mut next_id: u64 = 0;
             while !stop2.load(Ordering::Relaxed) {
                 match listener.accept() {
-                    Ok((stream, peer)) => {
+                    Ok((mut stream, peer)) => {
+                        // Admission gate: over the cap, the client gets
+                        // a protocol error line, never a session.
+                        let mut registry = conns2.lock().unwrap_or_else(|e| e.into_inner());
+                        if registry.len() >= max_connections {
+                            drop(registry);
+                            let _ = stream
+                                .write_all(error_line(Errno::EAGAIN).as_bytes())
+                                .and_then(|_| stream.write_all(b"\n"));
+                            continue;
+                        }
+                        let id = next_id;
+                        next_id += 1;
+                        if let Ok(dup) = stream.try_clone() {
+                            registry.insert(id, dup);
+                        }
+                        drop(registry);
+                        // Small request/response lines: without nodelay
+                        // every reply stalls on Nagle + delayed ACK.
+                        let _ = stream.set_nodelay(true);
+                        let _ = stream.set_read_timeout(io_timeout);
+                        let _ = stream.set_write_timeout(io_timeout);
                         let kernel = Arc::clone(&kernel);
                         let programs = Arc::clone(&programs);
+                        let conns = Arc::clone(&conns2);
                         let mut verifier = (*verifier).clone();
                         verifier.peer_hostname = host_db.get(&peer.ip()).cloned();
                         // Detached: a connection lives as long as its
-                        // client keeps the socket open. Shutdown stops
-                        // the accept loop; lingering sessions end when
-                        // their peers hang up.
+                        // client keeps the socket open (or until the
+                        // io_timeout disconnects an idle one). Shutdown
+                        // stops the accept loop and then signals
+                        // lingering sessions through the registry.
                         std::thread::spawn(move || {
                             let _ = serve_connection(
                                 stream, kernel, &verifier, &programs, cost_model, sup_cred,
                             );
+                            conns
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .remove(&id);
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -176,6 +223,7 @@ impl ChirpServer {
             stop,
             join: Some(join),
             kernel: Arc::clone(&self.kernel),
+            conns,
         })
     }
 }
@@ -186,6 +234,7 @@ pub struct ChirpServerHandle {
     stop: Arc<AtomicBool>,
     join: Option<std::thread::JoinHandle<()>>,
     kernel: SharedKernel,
+    conns: ConnRegistry,
 }
 
 impl ChirpServerHandle {
@@ -199,22 +248,36 @@ impl ChirpServerHandle {
         &self.kernel
     }
 
-    /// Stop accepting and wait for the accept loop (in-flight
-    /// connections end when their clients disconnect).
+    /// Number of connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.conns.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Stop accepting, wait for the accept loop, and signal every
+    /// lingering connection: their sockets are shut down, so blocked
+    /// reads return immediately and the session threads exit instead of
+    /// waiting for their peers to hang up.
     pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(j) = self.join.take() {
             let _ = j.join();
+        }
+        let registry = std::mem::take(
+            &mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()),
+        );
+        for stream in registry.values() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
         }
     }
 }
 
 impl Drop for ChirpServerHandle {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(j) = self.join.take() {
-            let _ = j.join();
-        }
+        self.shutdown_inner();
     }
 }
 

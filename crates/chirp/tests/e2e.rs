@@ -444,3 +444,117 @@ fn reserved_directory_cleanup_over_the_wire() {
     fred.mkdir("/work", 0o755).unwrap();
     handle.shutdown();
 }
+
+/// A client streaming an endless newline-less "command" is cut off by
+/// the bounded line reader instead of growing a buffer without limit —
+/// and the server keeps serving everyone else afterwards.
+#[test]
+fn oversized_line_client_is_disconnected() {
+    use std::io::Write;
+    let (handle, ca) = spawn_figure3_server();
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    raw.set_write_timeout(Some(std::time::Duration::from_secs(2)))
+        .unwrap();
+    // Pump far more than LINE_MAX without ever sending '\n'. The server
+    // must close the connection once its bound trips; our writes then
+    // fail as soon as the socket buffers drain into a dead peer.
+    let chunk = vec![b'a'; 64 * 1024];
+    let mut sent = 0usize;
+    let cut_off = loop {
+        match raw.write_all(&chunk) {
+            Ok(()) => {
+                sent += chunk.len();
+                // 64 MiB without a rejection would mean the server is
+                // swallowing the stream.
+                if sent > 64 << 20 {
+                    break false;
+                }
+            }
+            Err(_) => break true,
+        }
+    };
+    assert!(cut_off, "server accepted {sent} newline-less bytes");
+    drop(raw);
+    // Liveness: the server still serves a well-behaved client.
+    let mut c = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    assert!(c.whoami().is_ok());
+    // And the rejecting session really went away.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while handle.active_connections() > 1 {
+        assert!(std::time::Instant::now() < deadline, "rogue session lingers");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    handle.shutdown();
+}
+
+/// With `io_timeout` set, a connection that goes silent is disconnected
+/// and drains out of the server's registry.
+#[test]
+fn idle_connection_times_out() {
+    let (ca, verifier) = gsi_setup();
+    let server = ChirpServer::new(ServerConfig {
+        name: "impatient".to_string(),
+        verifier,
+        root_acl: figure3_root_acl(),
+        io_timeout: Some(std::time::Duration::from_millis(150)),
+        ..Default::default()
+    });
+    let handle = server.spawn().unwrap();
+    let mut c = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    assert!(c.whoami().is_ok());
+    // Go idle past the timeout: the server hangs up on us.
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    assert!(c.whoami().is_err(), "idle connection was not dropped");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while handle.active_connections() > 0 {
+        assert!(std::time::Instant::now() < deadline, "session never drained");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    handle.shutdown();
+}
+
+/// Clients over `max_connections` are refused with an `error` line
+/// up front; a slot freed by a departing client is reusable.
+#[test]
+fn connection_cap_refuses_excess_clients() {
+    let (ca, verifier) = gsi_setup();
+    let server = ChirpServer::new(ServerConfig {
+        name: "tiny".to_string(),
+        verifier,
+        root_acl: figure3_root_acl(),
+        max_connections: 1,
+        ..Default::default()
+    });
+    let handle = server.spawn().unwrap();
+    let mut first = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    assert!(first.whoami().is_ok());
+    // The second client is turned away before authentication.
+    assert!(
+        ChirpClient::connect(handle.addr(), &fred_creds(&ca)).is_err(),
+        "cap of 1 admitted a second client"
+    );
+    // Departure frees the slot.
+    first.quit().unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while handle.active_connections() > 0 {
+        assert!(std::time::Instant::now() < deadline, "slot never freed");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let mut next = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    assert!(next.whoami().is_ok());
+    handle.shutdown();
+}
+
+/// `shutdown()` must not wait forever on sessions whose clients never
+/// hang up: it signals them and returns.
+#[test]
+fn shutdown_signals_lingering_connections() {
+    let (handle, ca) = spawn_figure3_server();
+    let mut c = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    assert!(c.whoami().is_ok());
+    // Client stays connected and idle — shutdown still completes (the
+    // test would hang here otherwise) because the server shuts the
+    // socket down under the lingering session.
+    handle.shutdown();
+    assert!(c.whoami().is_err(), "connection survived server shutdown");
+}

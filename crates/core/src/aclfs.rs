@@ -23,7 +23,11 @@ pub enum EffectiveRights {
 /// Read the ACL of a directory, if present. The supervisor reads with its
 /// own credential — it owns the box areas — so visitors' rights never
 /// gate the *lookup* of the policy that governs them.
-pub fn read_acl(vfs: &mut Vfs, dir: Ino, sup: &Cred) -> SysResult<Option<Acl>> {
+///
+/// Only `ENOENT` means "this directory has no ACL"; any other failure
+/// (I/O error, loop, lookup refusal) propagates so callers fail closed
+/// instead of quietly dropping to Unix-as-nobody semantics.
+pub fn read_acl(vfs: &Vfs, dir: Ino, sup: &Cred) -> SysResult<Option<Acl>> {
     let acl_ino = match vfs.resolve(dir, ACL_FILE_NAME, false, sup) {
         Ok(ino) => ino,
         Err(Errno::ENOENT) => return Ok(None),
@@ -44,7 +48,7 @@ pub fn write_acl(vfs: &mut Vfs, dir: Ino, acl: &Acl, sup: &Cred) -> SysResult<()
 
 /// Compute what governs `identity`'s access to the directory `dir`.
 pub fn effective_rights(
-    vfs: &mut Vfs,
+    vfs: &Vfs,
     dir: Ino,
     identity: &Identity,
     sup: &Cred,
@@ -100,10 +104,10 @@ mod tests {
 
     #[test]
     fn missing_acl_is_none() {
-        let (mut v, d) = setup();
-        assert_eq!(read_acl(&mut v, d, &Cred::ROOT).unwrap(), None);
+        let (v, d) = setup();
+        assert_eq!(read_acl(&v, d, &Cred::ROOT).unwrap(), None);
         assert_eq!(
-            effective_rights(&mut v, d, &Identity::new("fred"), &Cred::ROOT).unwrap(),
+            effective_rights(&v, d, &Identity::new("fred"), &Cred::ROOT).unwrap(),
             EffectiveRights::UnixAsNobody
         );
     }
@@ -113,7 +117,7 @@ mod tests {
         let (mut v, d) = setup();
         let acl = Acl::from_entries([AclEntry::new("fred", Rights::RWLAX)]);
         write_acl(&mut v, d, &acl, &Cred::ROOT).unwrap();
-        assert_eq!(read_acl(&mut v, d, &Cred::ROOT).unwrap(), Some(acl));
+        assert_eq!(read_acl(&v, d, &Cred::ROOT).unwrap(), Some(acl));
     }
 
     #[test]
@@ -123,7 +127,7 @@ mod tests {
         acl.set("f*", Rights::READ | Rights::LIST);
         acl.set_reserve("globus:*", Rights::NONE, Rights::RWLAX);
         write_acl(&mut v, d, &acl, &Cred::ROOT).unwrap();
-        match effective_rights(&mut v, d, &Identity::new("fred"), &Cred::ROOT).unwrap() {
+        match effective_rights(&v, d, &Identity::new("fred"), &Cred::ROOT).unwrap() {
             EffectiveRights::Acl(r, grant) => {
                 assert!(r.contains(Rights::READ | Rights::LIST));
                 assert_eq!(grant, None);
@@ -131,7 +135,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         match effective_rights(
-            &mut v,
+            &v,
             d,
             &Identity::new("globus:/O=X/CN=Y"),
             &Cred::ROOT,
@@ -151,7 +155,7 @@ mod tests {
         let (mut v, d) = setup();
         v.write_file(d, ACL_FILE_NAME, b"not a valid acl line", &Cred::ROOT)
             .unwrap();
-        match effective_rights(&mut v, d, &Identity::new("fred"), &Cred::ROOT).unwrap() {
+        match effective_rights(&v, d, &Identity::new("fred"), &Cred::ROOT).unwrap() {
             EffectiveRights::Acl(r, grant) => {
                 assert!(r.is_empty());
                 assert_eq!(grant, None);
@@ -166,7 +170,7 @@ mod tests {
         // ACL case.
         let acl = Acl::from_entries([AclEntry::new("fred", Rights::READ)]);
         write_acl(&mut v, d, &acl, &Cred::ROOT).unwrap();
-        let er = effective_rights(&mut v, d, &Identity::new("fred"), &Cred::ROOT).unwrap();
+        let er = effective_rights(&v, d, &Identity::new("fred"), &Cred::ROOT).unwrap();
         assert!(er.permits(&v, Rights::READ, None, Access::R));
         assert!(!er.permits(&v, Rights::WRITE, None, Access::W));
         // Unix-as-nobody case: a world-readable file is visible, a

@@ -6,9 +6,17 @@ use idbox_interpose::{PolicyDecision, SyscallPolicy};
 use idbox_kernel::{Kernel, Pid, Syscall, SysRet};
 use idbox_types::{Errno, Identity, SysResult, ACL_FILE_NAME};
 use idbox_vfs::{Access, Cred, Ino};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Upper bound on cached ACLs. The cache is keyed by ACL-file inode, and
+/// inodes of deleted files can be recycled, so the map must not grow
+/// without limit on a long-lived server; past the cap an arbitrary entry
+/// is evicted (dropping a cache entry is always safe — the next check
+/// re-reads the ACL from the filesystem).
+const ACL_CACHE_CAP: usize = 1024;
 
 /// Counters describing the box's policy activity.
 #[derive(Debug, Default)]
@@ -58,8 +66,12 @@ pub struct IdentityBoxPolicy {
     passwd_copy: String,
     cache_acls: bool,
     /// ACL cache keyed by the ACL file's inode; entries are validated by
-    /// mtime, so a `setacl` (rewrite) invalidates naturally.
-    acl_cache: HashMap<Ino, (u64, Acl)>,
+    /// mtime, so a `setacl` (rewrite) invalidates naturally. Behind its
+    /// own small mutex so lookups work through `&self` — the concurrent
+    /// read path rules under a *shared* kernel borrow. Bounded by
+    /// [`ACL_CACHE_CAP`], with observed `unlink`/`rename` of an ACL file
+    /// evicting the affected entry eagerly.
+    acl_cache: Mutex<HashMap<Ino, (u64, Acl)>>,
     pending_mkdir: Option<(String, PendingMkdir)>,
     stats: Arc<PolicyStats>,
 }
@@ -78,7 +90,7 @@ impl IdentityBoxPolicy {
             sup_cred,
             passwd_copy: passwd_copy.into(),
             cache_acls,
-            acl_cache: HashMap::new(),
+            acl_cache: Mutex::new(HashMap::new()),
             pending_mkdir: None,
             stats: Arc::new(PolicyStats::default()),
         }
@@ -108,36 +120,72 @@ impl IdentityBoxPolicy {
 
     /// Effective rights of the boxed identity in directory `dir`, using
     /// the mtime-validated cache when enabled.
-    fn rights_in(&mut self, kernel: &mut Kernel, dir: Ino) -> SysResult<EffectiveRights> {
-        let vfs = kernel.vfs_mut();
-        if self.cache_acls {
-            if let Ok(acl_ino) = vfs.resolve(dir, ACL_FILE_NAME, false, &self.sup_cred) {
-                let mtime = vfs.fstat(acl_ino)?.mtime;
-                if let Some((cached_mtime, acl)) = self.acl_cache.get(&acl_ino) {
-                    if *cached_mtime == mtime {
-                        PolicyStats::bump(&self.stats.cache_hits);
-                        return Ok(EffectiveRights::Acl(
-                            acl.rights_for(&self.identity),
-                            acl.reserve_grant_for(&self.identity),
-                        ));
-                    }
-                }
-                let er = aclfs::effective_rights(vfs, dir, &self.identity, &self.sup_cred)?;
-                if let Some(acl) = aclfs::read_acl(vfs, dir, &self.sup_cred)? {
-                    self.acl_cache.insert(acl_ino, (mtime, acl));
-                }
-                return Ok(er);
-            }
-            return Ok(EffectiveRights::UnixAsNobody);
+    ///
+    /// Cached and uncached modes must be indistinguishable to the guest,
+    /// so the cached path mirrors [`aclfs::read_acl`]'s error semantics
+    /// exactly: only `ENOENT` means "no ACL here" (Unix-as-nobody
+    /// fallback); any other resolve failure propagates, and the caller
+    /// denies — failing *closed* rather than open.
+    fn rights_in(&self, kernel: &Kernel, dir: Ino) -> SysResult<EffectiveRights> {
+        let vfs = kernel.vfs();
+        if !self.cache_acls {
+            return aclfs::effective_rights(vfs, dir, &self.identity, &self.sup_cred);
         }
-        aclfs::effective_rights(vfs, dir, &self.identity, &self.sup_cred)
+        let acl_ino = match vfs.resolve(dir, ACL_FILE_NAME, false, &self.sup_cred) {
+            Ok(ino) => ino,
+            Err(Errno::ENOENT) => return Ok(EffectiveRights::UnixAsNobody),
+            Err(e) => return Err(e),
+        };
+        let mtime = vfs.fstat(acl_ino)?.mtime;
+        if let Some((cached_mtime, acl)) = self.acl_cache.lock().get(&acl_ino) {
+            if *cached_mtime == mtime {
+                PolicyStats::bump(&self.stats.cache_hits);
+                return Ok(EffectiveRights::Acl(
+                    acl.rights_for(&self.identity),
+                    acl.reserve_grant_for(&self.identity),
+                ));
+            }
+        }
+        let er = aclfs::effective_rights(vfs, dir, &self.identity, &self.sup_cred)?;
+        if let Some(acl) = aclfs::read_acl(vfs, dir, &self.sup_cred)? {
+            let mut cache = self.acl_cache.lock();
+            if cache.len() >= ACL_CACHE_CAP && !cache.contains_key(&acl_ino) {
+                let victim = cache.keys().next().copied();
+                if let Some(victim) = victim {
+                    cache.remove(&victim);
+                }
+            }
+            cache.insert(acl_ino, (mtime, acl));
+        }
+        Ok(er)
+    }
+
+    /// Eagerly drop the cache entry for `path` when it names an ACL file
+    /// about to be unlinked or renamed away. Inode numbers can be
+    /// recycled after deletion; without eviction a recycled inode with a
+    /// colliding mtime could revive a dead ACL. Dropping an entry is
+    /// always safe — the next check re-reads from the filesystem.
+    fn evict_acl_path(&self, kernel: &Kernel, pid: Pid, path: &str) {
+        if !self.cache_acls || !path.ends_with(ACL_FILE_NAME) {
+            return;
+        }
+        let is_acl_name = path == ACL_FILE_NAME
+            || path
+                .strip_suffix(ACL_FILE_NAME)
+                .is_some_and(|prefix| prefix.ends_with('/'));
+        if !is_acl_name {
+            return;
+        }
+        if let Ok((_, _, Some(ino))) = self.locate(kernel, pid, path) {
+            self.acl_cache.lock().remove(&ino);
+        }
     }
 
     /// Resolve a path to (containing dir, final name, target inode),
     /// following symlinks to where the object really lives.
     fn locate(
         &self,
-        kernel: &mut Kernel,
+        kernel: &Kernel,
         pid: Pid,
         path: &str,
     ) -> SysResult<(Ino, String, Option<Ino>)> {
@@ -152,7 +200,7 @@ impl IdentityBoxPolicy {
     /// with `unix_dir_want`).
     fn permit(
         &mut self,
-        kernel: &mut Kernel,
+        kernel: &Kernel,
         pid: Pid,
         path: &str,
         needed: Rights,
@@ -232,7 +280,7 @@ impl IdentityBoxPolicy {
     #[allow(clippy::too_many_arguments)] // mirrors permit() plus the alternative right
     fn permit_either(
         &mut self,
-        kernel: &mut Kernel,
+        kernel: &Kernel,
         pid: Pid,
         path: &str,
         a: Rights,
@@ -255,7 +303,7 @@ impl IdentityBoxPolicy {
     /// name a directory (the kernel will report the real error).
     fn permit_dir_itself(
         &mut self,
-        kernel: &mut Kernel,
+        kernel: &Kernel,
         pid: Pid,
         path: &str,
         unix_want: Access,
@@ -298,7 +346,7 @@ impl IdentityBoxPolicy {
     /// parent. `deny` is returned unchanged when that does not hold.
     fn permit_own_removal(
         &mut self,
-        kernel: &mut Kernel,
+        kernel: &Kernel,
         pid: Pid,
         path: &str,
         deny: PolicyDecision,
@@ -341,7 +389,7 @@ impl IdentityBoxPolicy {
 
     /// The mkdir special case: ordinary `w` creates with ACL inheritance;
     /// the reserve right alone creates with a fresh, amplified ACL.
-    fn check_mkdir(&mut self, kernel: &mut Kernel, pid: Pid, path: &str) -> PolicyDecision {
+    fn check_mkdir(&mut self, kernel: &Kernel, pid: Pid, path: &str) -> PolicyDecision {
         PolicyStats::bump(&self.stats.checks);
         let (dir, _name, _target) = match self.locate(kernel, pid, path) {
             Ok(x) => x,
@@ -354,7 +402,7 @@ impl IdentityBoxPolicy {
         match er {
             EffectiveRights::Acl(rights, grant) => {
                 if rights.contains(Rights::WRITE) {
-                    let parent = aclfs::read_acl(kernel.vfs_mut(), dir, &self.sup_cred)
+                    let parent = aclfs::read_acl(kernel.vfs(), dir, &self.sup_cred)
                         .ok()
                         .flatten();
                     self.pending_mkdir =
@@ -390,7 +438,7 @@ impl IdentityBoxPolicy {
     /// ACL can be checked through the new name afterwards).
     fn check_link(
         &mut self,
-        kernel: &mut Kernel,
+        kernel: &Kernel,
         pid: Pid,
         old: &str,
         new: &str,
@@ -410,12 +458,12 @@ impl IdentityBoxPolicy {
     }
 }
 
-impl SyscallPolicy for IdentityBoxPolicy {
-    fn name(&self) -> &str {
-        "identity-box"
-    }
-
-    fn check(&mut self, kernel: &mut Kernel, pid: Pid, call: &Syscall) -> PolicyDecision {
+impl IdentityBoxPolicy {
+    /// The single decision procedure behind both [`SyscallPolicy::check`]
+    /// and [`SyscallPolicy::check_read`]. Every rule reads the kernel
+    /// through a shared borrow, so the concurrent fast path and the
+    /// exclusive path run byte-identical logic by construction.
+    fn decide(&mut self, kernel: &Kernel, pid: Pid, call: &Syscall) -> PolicyDecision {
         use Syscall::*;
         self.pending_mkdir = None;
 
@@ -424,7 +472,7 @@ impl SyscallPolicy for IdentityBoxPolicy {
         // visitor can read).
         if let Some(rewritten) = self.rewrite_passwd(call) {
             PolicyStats::bump(&self.stats.rewrites);
-            return match self.check(kernel, pid, &rewritten) {
+            return match self.decide(kernel, pid, &rewritten) {
                 PolicyDecision::Allow => PolicyDecision::Rewrite(rewritten),
                 PolicyDecision::Rewrite(_) => PolicyDecision::Rewrite(rewritten),
                 deny => deny,
@@ -575,6 +623,44 @@ impl SyscallPolicy for IdentityBoxPolicy {
             }
         }
     }
+}
+
+impl SyscallPolicy for IdentityBoxPolicy {
+    fn name(&self) -> &str {
+        "identity-box"
+    }
+
+    fn check(&mut self, kernel: &mut Kernel, pid: Pid, call: &Syscall) -> PolicyDecision {
+        let decision = self.decide(kernel, pid, call);
+        // An ACL file about to be unlinked or renamed away loses its
+        // cache entry now — after the permission verdict (which may have
+        // re-read it), but before its inode can die and be recycled.
+        // Mutating calls only ever arrive on this exclusive path.
+        match call {
+            Syscall::Unlink(p) => self.evict_acl_path(kernel, pid, p),
+            Syscall::Rename(old, new) => {
+                self.evict_acl_path(kernel, pid, old);
+                self.evict_acl_path(kernel, pid, new);
+            }
+            _ => {}
+        }
+        decision
+    }
+
+    /// Rule on read-only calls under a shared kernel borrow. The ruling
+    /// comes from the same [`IdentityBoxPolicy::decide`] procedure that
+    /// [`SyscallPolicy::check`] runs, so both lock modes decide
+    /// identically by construction; read-only calls never schedule
+    /// post-processing, so skipping [`SyscallPolicy::post`] on this path
+    /// is sound.
+    fn check_read(
+        &mut self,
+        kernel: &Kernel,
+        pid: Pid,
+        call: &Syscall,
+    ) -> Option<PolicyDecision> {
+        call.is_read_only().then(|| self.decide(kernel, pid, call))
+    }
 
     fn post(
         &mut self,
@@ -597,6 +683,11 @@ impl SyscallPolicy for IdentityBoxPolicy {
                     })
                     .unwrap_or(false);
                 if only_acl {
+                    if let Ok(acl_ino) =
+                        vfs.resolve(dir, ACL_FILE_NAME, false, &self.sup_cred)
+                    {
+                        self.acl_cache.lock().remove(&acl_ino);
+                    }
                     let _ = vfs.unlink(dir, ACL_FILE_NAME, &self.sup_cred);
                     *result = kernel.syscall(pid, call.clone());
                 }
@@ -994,6 +1085,126 @@ mod tests {
         assert!(checks >= 2);
         assert_eq!(denials, 1);
         assert_eq!(rewrites, 1);
+    }
+
+    #[test]
+    fn cached_mode_fails_closed_like_uncached() {
+        let (mut k, pid, _) = setup();
+        let root = k.vfs().root();
+        // A directory the supervisor itself cannot search (group 1000
+        // gets no bits) but `nobody` could (world rwx): the supervisor's
+        // ACL lookup fails with EACCES, not ENOENT. Falling back to the
+        // Unix-as-nobody rule here would *grant* access on a lookup
+        // error — both cache modes must deny instead.
+        k.vfs_mut()
+            .mkdir(root, "/box/odd", 0o707, &Cred::ROOT)
+            .unwrap();
+        k.vfs_mut()
+            .chown(root, "/box/odd", 0, 1000, &Cred::ROOT)
+            .unwrap();
+        let sup = Cred::new(1000, 1000);
+        let fred = Identity::new("globus:/O=UnivNowhere/CN=Fred");
+        for cache in [false, true] {
+            let mut pol =
+                IdentityBoxPolicy::new(fred.clone(), sup, "/box/.passwd", cache);
+            assert_eq!(
+                pol.check(&mut k, pid, &Syscall::Readdir("/box/odd".into())),
+                PolicyDecision::Deny(Errno::EACCES),
+                "cache={cache}: non-ENOENT ACL lookup errors must fail closed"
+            );
+        }
+    }
+
+    #[test]
+    fn unlinking_acl_file_evicts_cache_entry() {
+        let (mut k, pid, _) = setup();
+        let sup = Cred::new(1000, 1000);
+        let fred = Identity::new("globus:/O=UnivNowhere/CN=Fred");
+        let mut pol = IdentityBoxPolicy::new(fred, sup, "/box/.passwd", true);
+        assert_eq!(pol.check(&mut k, pid, &open_r("/box/a")), PolicyDecision::Allow);
+        assert_eq!(pol.acl_cache.lock().len(), 1, "first check populates the cache");
+        // Fred holds ADMIN, so unlinking the ACL file is permitted — and
+        // checking the call must drop the entry before the inode can die
+        // and be recycled.
+        assert_eq!(
+            pol.check(&mut k, pid, &Syscall::Unlink("/box/.__acl".into())),
+            PolicyDecision::Allow
+        );
+        assert!(pol.acl_cache.lock().is_empty(), "eviction on observed unlink");
+        // Rename of an ACL file evicts too.
+        assert_eq!(pol.check(&mut k, pid, &open_r("/box/a")), PolicyDecision::Allow);
+        assert_eq!(pol.acl_cache.lock().len(), 1);
+        let _ = pol.check(
+            &mut k,
+            pid,
+            &Syscall::Rename("/box/.__acl".into(), "/box/plain".into()),
+        );
+        assert!(pol.acl_cache.lock().is_empty(), "eviction on observed rename");
+    }
+
+    #[test]
+    fn acl_cache_is_bounded() {
+        let (mut k, pid, _) = setup();
+        let sup = Cred::new(1000, 1000);
+        let root = k.vfs().root();
+        let fred = Identity::new("globus:/O=UnivNowhere/CN=Fred");
+        let acl = Acl::from_entries([AclEntry::new(fred.as_str(), Rights::FULL)]);
+        let n = super::ACL_CACHE_CAP + 32;
+        for i in 0..n {
+            let d = k
+                .vfs_mut()
+                .mkdir(root, &format!("/box/d{i}"), 0o755, &sup)
+                .unwrap();
+            aclfs::write_acl(k.vfs_mut(), d, &acl, &sup).unwrap();
+        }
+        let mut pol = IdentityBoxPolicy::new(fred, sup, "/box/.passwd", true);
+        for i in 0..n {
+            assert_eq!(
+                pol.check(&mut k, pid, &Syscall::Stat(format!("/box/d{i}/x"))),
+                PolicyDecision::Allow
+            );
+        }
+        assert!(
+            pol.acl_cache.lock().len() <= super::ACL_CACHE_CAP,
+            "cache must not grow past the cap"
+        );
+    }
+
+    #[test]
+    fn check_read_rules_exactly_like_check() {
+        let (mut k, pid, _) = setup();
+        let sup = Cred::new(1000, 1000);
+        let fred = Identity::new("globus:/O=UnivNowhere/CN=Fred");
+        let calls = [
+            Syscall::Stat("/box/.passwd".into()),
+            Syscall::Lstat("/box/nope".into()),
+            Syscall::Readdir("/box".into()),
+            Syscall::AccessCheck("/box/.passwd".into(), Access::R),
+            Syscall::Stat("/etc/passwd".into()), // rewrite path
+            Syscall::Stat("/home".into()),       // nobody fallback
+            Syscall::Readlink("/box/.passwd".into()),
+            Syscall::Read(3, 16),
+            Syscall::Getpid,
+            Syscall::GetUserName,
+        ];
+        for cache in [false, true] {
+            for call in &calls {
+                let mut a =
+                    IdentityBoxPolicy::new(fred.clone(), sup, "/box/.passwd", cache);
+                let fast = a.check_read(&k, pid, call);
+                let mut b =
+                    IdentityBoxPolicy::new(fred.clone(), sup, "/box/.passwd", cache);
+                let slow = b.check(&mut k, pid, call);
+                assert_eq!(fast, Some(slow), "cache={cache} call={call:?}");
+            }
+        }
+        // Mutating calls are never ruled under the shared borrow.
+        let mut pol = IdentityBoxPolicy::new(fred, sup, "/box/.passwd", true);
+        assert_eq!(
+            pol.check_read(&k, pid, &Syscall::Unlink("/box/a".into())),
+            None
+        );
+        assert_eq!(pol.check_read(&k, pid, &Syscall::Fork), None);
     }
 
     #[test]

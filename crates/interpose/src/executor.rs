@@ -159,20 +159,10 @@ impl Supervisor {
                 return;
             }
         };
-        let result = {
-            let mut kernel = self.kernel.lock();
-            if with_policy {
-                let decision = self.policy.check(&mut kernel, pid, &call);
-                let mut result = match decision {
-                    PolicyDecision::Allow => kernel.syscall(pid, call.clone()),
-                    PolicyDecision::Rewrite(replacement) => kernel.syscall(pid, replacement),
-                    PolicyDecision::Deny(errno) => Err(errno),
-                };
-                self.policy.post(&mut kernel, pid, &call, &mut result);
-                result
-            } else {
-                kernel.syscall(pid, call.clone())
-            }
+        let result = if with_policy {
+            self.dispatch_policed(pid, &call, false)
+        } else {
+            self.dispatch_plain(pid, &call)
         };
         if let Some(trace) = &self.trace {
             trace.record(pid, &call, &result);
@@ -180,6 +170,80 @@ impl Supervisor {
         if let Err(e) = write_reply(vm, result, out, &mut DirectData) {
             vm.set_ret(e.as_ret());
         }
+    }
+
+    /// Kernel dispatch without a policy: read-only calls go down the
+    /// shared-lock fast path, everything else takes the exclusive lock.
+    fn dispatch_plain(&mut self, pid: Pid, call: &Syscall) -> SysResult<SysRet> {
+        if call.is_read_only() {
+            if let Some(result) = self.kernel.read().syscall_read(pid, call) {
+                return result;
+            }
+        }
+        self.kernel.lock().syscall(pid, call.clone())
+    }
+
+    /// Policy ruling plus kernel dispatch.
+    ///
+    /// Read-only calls are first offered to the policy under the
+    /// *shared* kernel lock ([`SyscallPolicy::check_read`]); when it
+    /// rules, the kernel also runs under the shared lock, so concurrent
+    /// supervisors do not serialize on reads. Either side may decline —
+    /// the policy by returning `None`, the kernel by declining the call
+    /// in [`idbox_kernel::Kernel::syscall_read`] (mount-routed paths,
+    /// driver fds, pipe reads) — and the call drops to the classic
+    /// exclusive path. With `nullify`, the nullified `getpid` really
+    /// enters the kernel before the lock is released (Figure 4(a),
+    /// steps 4-5).
+    fn dispatch_policed(&mut self, pid: Pid, call: &Syscall, nullify: bool) -> SysResult<SysRet> {
+        if call.is_read_only() {
+            let kernel = self.kernel.read();
+            if let Some(decision) = self.policy.check_read(&kernel, pid, call) {
+                let fast = match &decision {
+                    PolicyDecision::Allow => kernel.syscall_read(pid, call),
+                    PolicyDecision::Deny(errno) => Some(Err(*errno)),
+                    PolicyDecision::Rewrite(replacement) if replacement.is_read_only() => {
+                        kernel.syscall_read(pid, replacement)
+                    }
+                    PolicyDecision::Rewrite(_) => None,
+                };
+                if let Some(result) = fast {
+                    if nullify {
+                        let _ = kernel.null_syscall(pid);
+                    }
+                    return result;
+                }
+                drop(kernel);
+                // The ruling stands; only the kernel itself needs the
+                // exclusive lock (mount-routed path, driver fd, or a
+                // mutating rewrite).
+                let mut kernel = self.kernel.lock();
+                let result = match decision {
+                    PolicyDecision::Allow => kernel.syscall(pid, call.clone()),
+                    PolicyDecision::Rewrite(replacement) => kernel.syscall(pid, replacement),
+                    PolicyDecision::Deny(_) => unreachable!("deny completed on the fast path"),
+                };
+                if nullify {
+                    let _ = kernel.null_syscall(pid);
+                }
+                return result;
+            }
+            drop(kernel);
+        }
+        // Exclusive path: the policy rules under the write lock and may
+        // post-process the result.
+        let mut kernel = self.kernel.lock();
+        let decision = self.policy.check(&mut kernel, pid, call);
+        let mut result = match decision {
+            PolicyDecision::Allow => kernel.syscall(pid, call.clone()),
+            PolicyDecision::Rewrite(replacement) => kernel.syscall(pid, replacement),
+            PolicyDecision::Deny(errno) => Err(errno),
+        };
+        self.policy.post(&mut kernel, pid, call, &mut result);
+        if nullify {
+            let _ = kernel.null_syscall(pid);
+        }
+        result
     }
 
     /// The Figure 4(a) control flow, step by step.
@@ -208,23 +272,14 @@ impl Supervisor {
         };
 
         // Step 3: the supervisor implements the action itself, after the
-        // policy (the identity box) has ruled on it.
-        let mut kernel = self.kernel.lock();
-        let decision = self.policy.check(&mut kernel, pid, &call);
-        let mut result = match decision {
-            PolicyDecision::Allow => kernel.syscall(pid, call.clone()),
-            PolicyDecision::Rewrite(replacement) => kernel.syscall(pid, replacement),
-            PolicyDecision::Deny(errno) => Err(errno),
-        };
-        self.policy.post(&mut kernel, pid, &call, &mut result);
+        // policy (the identity box) has ruled on it. Steps 4-5 happen
+        // inside the dispatcher: the original call is nullified into a
+        // getpid() that really enters the kernel — under whichever side
+        // of the kernel lock the call was served on.
+        let result = self.dispatch_policed(pid, &call, true);
         if let Some(trace) = &self.trace {
             trace.record(pid, &call, &result);
         }
-
-        // Steps 4-5: the original call is nullified into a getpid() that
-        // really enters the kernel and returns.
-        let _ = kernel.null_syscall(pid);
-        drop(kernel);
 
         // Step 6: the supervisor modifies the result into the child:
         // registers and small payloads by poke, bulk payloads through the

@@ -46,16 +46,23 @@ pub use trace::{TraceRecord, TraceSink};
 pub use vm::TraceeVm;
 
 use idbox_kernel::Kernel;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use std::sync::Arc;
 
 /// The kernel handle shared between supervisors (and, in the distributed
 /// system, server threads).
-pub type SharedKernel = Arc<Mutex<Kernel>>;
+///
+/// A reader/writer lock, not a mutex: read-only system calls (classified
+/// by [`idbox_kernel::Syscall::is_read_only`]) are dispatched under the
+/// *shared* side through [`Kernel::syscall_read`], so concurrent
+/// supervisors — one per Chirp connection in the distributed system — no
+/// longer serialize on metadata and data reads. Mutating calls take the
+/// exclusive side via the `lock()` alias (which is `write()`).
+pub type SharedKernel = Arc<RwLock<Kernel>>;
 
 /// Wrap a kernel for sharing.
 pub fn share(kernel: Kernel) -> SharedKernel {
-    Arc::new(Mutex::new(kernel))
+    Arc::new(RwLock::new(kernel))
 }
 
 /// Payloads at or below this size move word-by-word through peek/poke;

@@ -30,6 +30,21 @@ pub trait SyscallPolicy: Send {
     /// Decide what to do with `call` before it reaches the kernel.
     fn check(&mut self, kernel: &mut Kernel, pid: Pid, call: &Syscall) -> PolicyDecision;
 
+    /// Decide what to do with a *read-only* call under a **shared**
+    /// kernel borrow — the concurrent fast path. Returning `None`
+    /// declines to rule, sending the call down the exclusive path where
+    /// [`SyscallPolicy::check`] runs as usual.
+    ///
+    /// Contract for implementors: a `Some` ruling must be identical to
+    /// what `check` would have decided for the same call and kernel
+    /// state, and [`SyscallPolicy::post`] is **not** invoked for calls
+    /// ruled here (read-only calls must not rely on post-processing).
+    /// The default declines everything, which is always safe.
+    fn check_read(&mut self, kernel: &Kernel, pid: Pid, call: &Syscall) -> Option<PolicyDecision> {
+        let _ = (kernel, pid, call);
+        None
+    }
+
     /// Post-process a result (e.g. initialize the ACL of a directory
     /// created under the reserve right). May replace the result.
     fn post(
@@ -57,6 +72,10 @@ impl SyscallPolicy for AllowAll {
     fn check(&mut self, _: &mut Kernel, _: Pid, _: &Syscall) -> PolicyDecision {
         PolicyDecision::Allow
     }
+
+    fn check_read(&mut self, _: &Kernel, _: Pid, _: &Syscall) -> Option<PolicyDecision> {
+        Some(PolicyDecision::Allow)
+    }
 }
 
 /// A policy denying every path-naming call with `EACCES` (non-path calls
@@ -76,6 +95,14 @@ impl SyscallPolicy for DenyAll {
         } else {
             PolicyDecision::Allow
         }
+    }
+
+    fn check_read(&mut self, _: &Kernel, _: Pid, call: &Syscall) -> Option<PolicyDecision> {
+        Some(if call.is_path_call() {
+            PolicyDecision::Deny(Errno::EACCES)
+        } else {
+            PolicyDecision::Allow
+        })
     }
 }
 
@@ -111,5 +138,24 @@ mod tests {
             p.check(&mut k, Pid(1), &Syscall::Getpid),
             PolicyDecision::Allow
         );
+    }
+
+    #[test]
+    fn check_read_agrees_with_check() {
+        let mut k = Kernel::new();
+        let calls = [
+            Syscall::Getpid,
+            Syscall::Stat("/etc".into()),
+            Syscall::Readdir("/".into()),
+            Syscall::Read(0, 4),
+        ];
+        for call in &calls {
+            let mut a = AllowAll;
+            let fast = a.check_read(&k, Pid(1), call);
+            assert_eq!(fast, Some(a.check(&mut k, Pid(1), call)));
+            let mut d = DenyAll;
+            let fast = d.check_read(&k, Pid(1), call);
+            assert_eq!(fast, Some(d.check(&mut k, Pid(1), call)));
+        }
     }
 }

@@ -21,7 +21,7 @@ pub type DriverFd = u64;
 /// beginning with `/`). The `identity` argument is the caller's global
 /// identity — drivers for remote services present it for access control
 /// on the far side.
-pub trait FsDriver: Send {
+pub trait FsDriver: Send + Sync {
     /// Human-readable driver name (`chirp`, `null`, ...).
     fn name(&self) -> &str;
 

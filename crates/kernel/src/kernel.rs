@@ -5,6 +5,7 @@ use crate::driver::{FsDriver, MountTable};
 use crate::process::{
     FileBacking, OpenFile, OpenFlags, Pid, PipeEnd, ProcState, Process, Signal,
 };
+use crate::stats::SyscallStats;
 use crate::syscall::{SysRet, Syscall, Whence};
 use idbox_types::{Errno, Identity, SysResult};
 use idbox_vfs::{path as vpath, Access, Cred, FileKind, Ino, Vfs};
@@ -28,7 +29,9 @@ pub struct Kernel {
     accounts: AccountDb,
     pipes: Vec<Option<PipeBuf>>,
     /// Per-syscall-name invocation counters (workload characterization).
-    pub stats: BTreeMap<&'static str, u64>,
+    /// Atomic so both dispatch paths — exclusive *and* shared-lock — can
+    /// record calls; see [`SyscallStats`].
+    pub stats: SyscallStats,
 }
 
 /// An in-kernel pipe: a byte queue plus end reference counts.
@@ -105,7 +108,7 @@ impl Kernel {
             next_pid: 2,
             accounts,
             pipes: Vec::new(),
-            stats: BTreeMap::new(),
+            stats: SyscallStats::new(),
         }
     }
 
@@ -195,14 +198,14 @@ impl Kernel {
 
     /// Total number of syscalls dispatched.
     pub fn total_syscalls(&self) -> u64 {
-        self.stats.values().sum()
+        self.stats.total()
     }
 
     /// The null system call: what a nullified (trapped-and-replaced) call
     /// becomes. Does the same work as `getpid` — a real kernel entry with
     /// a process-table lookup — but is not recorded in the per-name stats,
     /// so workload characterization counts only the guest's own calls.
-    pub fn null_syscall(&mut self, pid: Pid) -> i64 {
+    pub fn null_syscall(&self, pid: Pid) -> i64 {
         match self.procs.get(&pid.0) {
             Some(p) => p.pid.0 as i64,
             None => Errno::ESRCH.as_ret(),
@@ -264,7 +267,227 @@ impl Kernel {
 
     /// Dispatch one system call on behalf of `pid`.
     pub fn syscall(&mut self, pid: Pid, call: Syscall) -> SysResult<SysRet> {
-        *self.stats.entry(call.name()).or_insert(0) += 1;
+        self.stats.bump(&call);
+        // Route through the shared-path implementation first so both
+        // lock modes run byte-identical code for read-only calls.
+        if let Some(result) = self.dispatch_read(pid, &call) {
+            return result;
+        }
+        self.dispatch_mut(pid, call)
+    }
+
+    /// Dispatch a read-only call through a **shared** borrow.
+    ///
+    /// This is the concurrent fast path: supervisors holding only the
+    /// read side of the kernel lock call this for calls classified by
+    /// [`Syscall::is_read_only`]. Returns `None` when the call must take
+    /// the exclusive [`Kernel::syscall`] path after all — it is not
+    /// read-only, the path routes to a mounted driver, the fd is
+    /// driver-backed, or it is a consuming pipe read. A `Some(Err(..))`
+    /// is a final answer, identical to what the exclusive path would
+    /// have produced.
+    pub fn syscall_read(&self, pid: Pid, call: &Syscall) -> Option<SysResult<SysRet>> {
+        let result = self.dispatch_read(pid, call)?;
+        self.stats.bump(call);
+        Some(result)
+    }
+
+    /// The shared-borrow dispatcher: `Some` for calls fully served here,
+    /// `None` for anything needing `&mut self`.
+    fn dispatch_read(&self, pid: Pid, call: &Syscall) -> Option<SysResult<SysRet>> {
+        use Syscall::*;
+        match call {
+            Getpid => Some(Ok(SysRet::Num(pid.0 as i64))),
+            Getppid => Some(self.process(pid).map(|p| SysRet::Num(p.ppid.0 as i64))),
+            Getuid => Some(self.process(pid).map(|p| SysRet::Num(p.cred.uid as i64))),
+            Getcwd => Some(self.process(pid).map(|p| SysRet::Text(p.cwd_path.clone()))),
+            GetUserName => Some(self.read_user_name(pid)),
+            Stat(p) => self.read_path_local(pid, p, |k, cred, cwd| {
+                Ok(SysRet::Stat(k.vfs.stat(cwd, p, true, &cred)?))
+            }),
+            Lstat(p) => self.read_path_local(pid, p, |k, cred, cwd| {
+                Ok(SysRet::Stat(k.vfs.stat(cwd, p, false, &cred)?))
+            }),
+            Readlink(p) => self.read_readlink(pid, p),
+            AccessCheck(p, want) => self.read_path_local(pid, p, |k, cred, cwd| {
+                k.vfs.access(cwd, p, *want, &cred)?;
+                Ok(SysRet::Unit)
+            }),
+            Readdir(p) => self.read_path_local(pid, p, |k, cred, cwd| {
+                Ok(SysRet::Entries(k.vfs.readdir(cwd, p, &cred)?))
+            }),
+            Fstat(fd) => self.read_fstat(pid, *fd),
+            Read(fd, len) => self.read_data(pid, *fd, *len, None),
+            Pread(fd, len, off) => self.read_data(pid, *fd, *len, Some(*off)),
+            Lseek(fd, off, whence) => self.read_lseek(pid, *fd, *off, *whence),
+            _ => None,
+        }
+    }
+
+    /// Run a path-naming read against the local VFS; `None` when the
+    /// path routes to a mount (drivers require the exclusive path).
+    fn read_path_local(
+        &self,
+        pid: Pid,
+        p: &str,
+        f: impl FnOnce(&Self, Cred, Ino) -> SysResult<SysRet>,
+    ) -> Option<SysResult<SysRet>> {
+        match self.route(pid, p) {
+            Err(e) => Some(Err(e)),
+            Ok(Some(_)) => None,
+            Ok(None) => Some(match self.live_cred(pid) {
+                Err(e) => Err(e),
+                Ok((cred, cwd)) => f(self, cred, cwd),
+            }),
+        }
+    }
+
+    /// `readlink` never routes to drivers (mount paths answer `EINVAL`),
+    /// so the whole call is servable under the shared lock.
+    fn read_readlink(&self, pid: Pid, p: &str) -> Option<SysResult<SysRet>> {
+        Some((|| {
+            if self.route(pid, p)?.is_some() {
+                return Err(Errno::EINVAL);
+            }
+            let (cred, cwd) = self.live_cred(pid)?;
+            Ok(SysRet::Text(self.vfs.readlink(cwd, p, &cred)?))
+        })())
+    }
+
+    fn read_user_name(&self, pid: Pid) -> SysResult<SysRet> {
+        let p = self.process(pid)?;
+        let id = match &p.identity {
+            Some(id) => id.clone(),
+            None => {
+                let name = self
+                    .accounts
+                    .lookup_uid(p.cred.uid)
+                    .map(|a| a.name.clone())
+                    .unwrap_or_else(|| format!("uid{}", p.cred.uid));
+                Identity::new(name)
+            }
+        };
+        Ok(SysRet::Name(id))
+    }
+
+    /// `fstat` under the shared lock; `None` for driver-backed fds.
+    fn read_fstat(&self, pid: Pid, fd: usize) -> Option<SysResult<SysRet>> {
+        let proc = match self.process(pid) {
+            Ok(p) => p,
+            Err(e) => return Some(Err(e)),
+        };
+        let file = match proc.file(fd) {
+            Some(f) => f,
+            None => return Some(Err(Errno::EBADF)),
+        };
+        match file.backing {
+            FileBacking::Local(ino) => Some(self.vfs.fstat(ino).map(SysRet::Stat)),
+            FileBacking::Pipe { id, .. } => Some(self.pipe_fstat(pid, id)),
+            FileBacking::Driver { .. } => None,
+        }
+    }
+
+    fn pipe_fstat(&self, pid: Pid, id: usize) -> SysResult<SysRet> {
+        let buffered = match self.pipes.get(id) {
+            Some(Some(p)) => p.data.len() as u64,
+            _ => 0,
+        };
+        let cred = self.process(pid)?.cred;
+        Ok(SysRet::Stat(idbox_vfs::StatBuf {
+            ino: Ino(0),
+            kind: FileKind::File,
+            mode: 0o600,
+            uid: cred.uid,
+            gid: cred.gid,
+            nlink: 1,
+            size: buffered,
+            atime: 0,
+            mtime: 0,
+            ctime: 0,
+        }))
+    }
+
+    /// `read`/`pread` on a local file under the shared lock: the only
+    /// state change is the caller's private fd offset, which is atomic.
+    /// `None` for driver fds and pipes (consuming a pipe mutates the
+    /// shared queue).
+    fn read_data(
+        &self,
+        pid: Pid,
+        fd: usize,
+        len: usize,
+        at: Option<u64>,
+    ) -> Option<SysResult<SysRet>> {
+        let proc = match self.process(pid) {
+            Ok(p) => p,
+            Err(e) => return Some(Err(e)),
+        };
+        let file = match proc.file(fd) {
+            Some(f) => f,
+            None => return Some(Err(Errno::EBADF)),
+        };
+        if !file.flags.read {
+            return Some(Err(Errno::EBADF));
+        }
+        match file.backing {
+            FileBacking::Local(ino) => {
+                let off = at.unwrap_or(file.offset());
+                let mut buf = vec![0u8; len];
+                let n = match self.vfs.read_into(ino, off, &mut buf) {
+                    Ok(n) => n,
+                    Err(e) => return Some(Err(e)),
+                };
+                buf.truncate(n);
+                if at.is_none() {
+                    file.set_offset(off + n as u64);
+                }
+                Some(Ok(SysRet::Data(buf)))
+            }
+            FileBacking::Driver { .. } | FileBacking::Pipe { .. } => None,
+        }
+    }
+
+    /// `lseek` under the shared lock: local fds only (`None` defers
+    /// driver fds; pipes answer `ESPIPE` either way).
+    fn read_lseek(
+        &self,
+        pid: Pid,
+        fd: usize,
+        off: i64,
+        whence: Whence,
+    ) -> Option<SysResult<SysRet>> {
+        let proc = match self.process(pid) {
+            Ok(p) => p,
+            Err(e) => return Some(Err(e)),
+        };
+        let file = match proc.file(fd) {
+            Some(f) => f,
+            None => return Some(Err(Errno::EBADF)),
+        };
+        let size = match file.backing {
+            FileBacking::Local(ino) => match self.vfs.fstat(ino) {
+                Ok(st) => st.size,
+                Err(e) => return Some(Err(e)),
+            },
+            FileBacking::Pipe { .. } => return Some(Err(Errno::ESPIPE)),
+            FileBacking::Driver { .. } => return None,
+        };
+        let base = match whence {
+            Whence::Set => 0i64,
+            Whence::Cur => file.offset() as i64,
+            Whence::End => size as i64,
+        };
+        let new = match base.checked_add(off) {
+            Some(n) if n >= 0 => n,
+            _ => return Some(Err(Errno::EINVAL)),
+        };
+        file.set_offset(new as u64);
+        Some(Ok(SysRet::Num(new)))
+    }
+
+    /// The exclusive-path dispatcher (everything `dispatch_read` does
+    /// not serve).
+    fn dispatch_mut(&mut self, pid: Pid, call: Syscall) -> SysResult<SysRet> {
         use Syscall::*;
         match call {
             Getpid => Ok(SysRet::Num(pid.0 as i64)),
@@ -311,21 +534,7 @@ impl Kernel {
                 Ok(SysRet::Signals(std::mem::take(&mut p.pending)))
             }
             Pipe => self.do_pipe(pid),
-            GetUserName => {
-                let p = self.process(pid)?;
-                let id = match &p.identity {
-                    Some(id) => id.clone(),
-                    None => {
-                        let name = self
-                            .accounts
-                            .lookup_uid(p.cred.uid)
-                            .map(|a| a.name.clone())
-                            .unwrap_or_else(|| format!("uid{}", p.cred.uid));
-                        Identity::new(name)
-                    }
-                };
-                Ok(SysRet::Name(id))
-            }
+            GetUserName => self.read_user_name(pid),
         }
     }
 
@@ -387,27 +596,25 @@ impl Kernel {
         let proc = self.proc_mut(pid)?;
         let (rfd, wfd) = match (proc.alloc_fd(), ()) {
             (Some(rfd), ()) => {
-                proc.fds[rfd] = Some(OpenFile {
-                    backing: FileBacking::Pipe {
+                proc.fds[rfd] = Some(OpenFile::new(
+                    FileBacking::Pipe {
                         id,
                         end: PipeEnd::Read,
                     },
-                    offset: 0,
-                    flags: OpenFlags::rdonly(),
-                });
+                    OpenFlags::rdonly(),
+                ));
                 match proc.alloc_fd() {
                     Some(wfd) => {
-                        proc.fds[wfd] = Some(OpenFile {
-                            backing: FileBacking::Pipe {
+                        proc.fds[wfd] = Some(OpenFile::new(
+                            FileBacking::Pipe {
                                 id,
                                 end: PipeEnd::Write,
                             },
-                            offset: 0,
-                            flags: OpenFlags {
+                            OpenFlags {
                                 write: true,
                                 ..Default::default()
                             },
-                        });
+                        ));
                         (rfd, wfd)
                     }
                     None => {
@@ -426,6 +633,9 @@ impl Kernel {
     }
 
     fn do_fstat(&mut self, pid: Pid, fd: usize) -> SysResult<SysRet> {
+        if let Some(result) = self.read_fstat(pid, fd) {
+            return result; // local and pipe fds: shared-path implementation
+        }
         let backing = self
             .process(pid)?
             .file(fd)
@@ -433,29 +643,11 @@ impl Kernel {
             .backing
             .clone();
         match backing {
-            FileBacking::Local(ino) => Ok(SysRet::Stat(self.vfs.fstat(ino)?)),
             FileBacking::Driver { mount, dfd } => {
                 let d = self.mounts.driver_mut(mount).ok_or(Errno::EIO)?;
                 Ok(SysRet::Stat(d.fstat(dfd)?))
             }
-            FileBacking::Pipe { id, .. } => {
-                let buffered = match self.pipes.get(id) {
-                    Some(Some(p)) => p.data.len() as u64,
-                    _ => 0,
-                };
-                Ok(SysRet::Stat(idbox_vfs::StatBuf {
-                    ino: Ino(0),
-                    kind: FileKind::File,
-                    mode: 0o600,
-                    uid: self.process(pid)?.cred.uid,
-                    gid: self.process(pid)?.cred.gid,
-                    nlink: 1,
-                    size: buffered,
-                    atime: 0,
-                    mtime: 0,
-                    ctime: 0,
-                }))
-            }
+            _ => unreachable!("read_fstat serves local and pipe fds"),
         }
     }
 
@@ -469,11 +661,7 @@ impl Kernel {
             let dfd = d.open(&rel, flags, mode, &id)?;
             let proc = self.proc_mut(pid)?;
             let fd = proc.alloc_fd().ok_or(Errno::EMFILE)?;
-            proc.fds[fd] = Some(OpenFile {
-                backing: FileBacking::Driver { mount: m, dfd },
-                offset: 0,
-                flags,
-            });
+            proc.fds[fd] = Some(OpenFile::new(FileBacking::Driver { mount: m, dfd }, flags));
             return Ok(SysRet::Num(fd as i64));
         }
         let (cred, cwd) = self.live_cred(pid)?;
@@ -515,11 +703,7 @@ impl Kernel {
                 return Err(Errno::EMFILE);
             }
         };
-        proc.fds[fd] = Some(OpenFile {
-            backing: FileBacking::Local(ino),
-            offset: 0,
-            flags,
-        });
+        proc.fds[fd] = Some(OpenFile::new(FileBacking::Local(ino), flags));
         Ok(SysRet::Num(fd as i64))
     }
 
@@ -548,18 +732,16 @@ impl Kernel {
         len: usize,
         at: Option<u64>,
     ) -> SysResult<SysRet> {
+        if let Some(result) = self.read_data(pid, fd, len, at) {
+            return result; // local files: shared-path implementation
+        }
         let file = self.process(pid)?.file(fd).ok_or(Errno::EBADF)?.clone();
         if !file.flags.read {
             return Err(Errno::EBADF);
         }
-        let off = at.unwrap_or(file.offset);
+        let off = at.unwrap_or(file.offset());
         let data = match file.backing {
-            FileBacking::Local(ino) => {
-                let mut buf = vec![0u8; len];
-                let n = self.vfs.read_into(ino, off, &mut buf)?;
-                buf.truncate(n);
-                buf
-            }
+            FileBacking::Local(_) => unreachable!("read_data serves local fds"),
             FileBacking::Driver { mount, dfd } => {
                 let d = self.mounts.driver_mut(mount).ok_or(Errno::EIO)?;
                 d.pread(dfd, len, off)?
@@ -585,8 +767,10 @@ impl Kernel {
             }
         };
         if at.is_none() {
-            self.proc_mut(pid)?.file_mut(fd).ok_or(Errno::EBADF)?.offset =
-                off + data.len() as u64;
+            self.process(pid)?
+                .file(fd)
+                .ok_or(Errno::EBADF)?
+                .set_offset(off + data.len() as u64);
         }
         Ok(SysRet::Data(data))
     }
@@ -630,7 +814,7 @@ impl Kernel {
                 }
                 FileBacking::Pipe { .. } => unreachable!("handled above"),
             },
-            (None, false) => file.offset,
+            (None, false) => file.offset(),
         };
         let n = match file.backing {
             FileBacking::Local(ino) => self.vfs.write_at(ino, off, data)?,
@@ -641,31 +825,39 @@ impl Kernel {
             FileBacking::Pipe { .. } => unreachable!("handled above"),
         };
         if at.is_none() {
-            self.proc_mut(pid)?.file_mut(fd).ok_or(Errno::EBADF)?.offset = off + n as u64;
+            self.process(pid)?
+                .file(fd)
+                .ok_or(Errno::EBADF)?
+                .set_offset(off + n as u64);
         }
         Ok(SysRet::Num(n as i64))
     }
 
     fn do_lseek(&mut self, pid: Pid, fd: usize, off: i64, whence: Whence) -> SysResult<SysRet> {
+        if let Some(result) = self.read_lseek(pid, fd, off, whence) {
+            return result; // local fds and pipes: shared-path implementation
+        }
         let file = self.process(pid)?.file(fd).ok_or(Errno::EBADF)?.clone();
         let size = match file.backing {
-            FileBacking::Local(ino) => self.vfs.fstat(ino)?.size,
             FileBacking::Driver { mount, dfd } => {
                 let d = self.mounts.driver_mut(mount).ok_or(Errno::EIO)?;
                 d.fstat(dfd)?.size
             }
-            FileBacking::Pipe { .. } => return Err(Errno::ESPIPE),
+            _ => unreachable!("read_lseek serves local fds and pipes"),
         };
         let base = match whence {
             Whence::Set => 0i64,
-            Whence::Cur => file.offset as i64,
+            Whence::Cur => file.offset() as i64,
             Whence::End => size as i64,
         };
         let new = base.checked_add(off).ok_or(Errno::EINVAL)?;
         if new < 0 {
             return Err(Errno::EINVAL);
         }
-        self.proc_mut(pid)?.file_mut(fd).ok_or(Errno::EBADF)?.offset = new as u64;
+        self.process(pid)?
+            .file(fd)
+            .ok_or(Errno::EBADF)?
+            .set_offset(new as u64);
         Ok(SysRet::Num(new))
     }
 
@@ -1294,9 +1486,123 @@ mod tests {
         k.syscall(pid, Syscall::Getpid).unwrap();
         k.syscall(pid, Syscall::Getpid).unwrap();
         let _ = k.syscall(pid, Syscall::Stat("/none".into()));
-        assert_eq!(k.stats["getpid"], 2);
-        assert_eq!(k.stats["stat"], 1);
+        assert_eq!(k.stats.count("getpid"), 2);
+        assert_eq!(k.stats.count("stat"), 1);
         assert_eq!(k.total_syscalls(), 3);
+    }
+
+    #[test]
+    fn read_path_matches_exclusive_path() {
+        // Every classified read-only call must produce the same result
+        // through `syscall_read` (shared borrow) as through `syscall`
+        // (exclusive borrow) against identical kernel state.
+        let build = || {
+            let (mut k, pid, _) = kernel_with_user("u");
+            let root = k.vfs().root();
+            k.vfs_mut()
+                .write_file(root, "/tmp/f", b"hello world", &Cred::ROOT)
+                .unwrap();
+            k.vfs_mut()
+                .symlink(root, "/tmp/f", "/tmp/ln", &Cred::ROOT)
+                .unwrap();
+            let fd = k
+                .syscall(pid, Syscall::Open("/tmp/f".into(), OpenFlags::rdonly(), 0))
+                .unwrap()
+                .num() as usize;
+            (k, pid, fd)
+        };
+        let calls = |fd: usize| {
+            vec![
+                Syscall::Getpid,
+                Syscall::Getppid,
+                Syscall::Getuid,
+                Syscall::Getcwd,
+                Syscall::GetUserName,
+                Syscall::Stat("/tmp/f".into()),
+                Syscall::Stat("/none".into()),
+                Syscall::Lstat("/tmp/ln".into()),
+                Syscall::Fstat(fd),
+                Syscall::Fstat(99),
+                Syscall::Readlink("/tmp/ln".into()),
+                Syscall::Readlink("/tmp/f".into()),
+                Syscall::AccessCheck("/tmp/f".into(), Access::R),
+                Syscall::Readdir("/tmp".into()),
+                Syscall::Pread(fd, 5, 6),
+                Syscall::Read(fd, 4),
+                Syscall::Lseek(fd, 2, Whence::Set),
+                Syscall::Read(fd, 4),
+                Syscall::Lseek(fd, -1, Whence::End),
+                Syscall::Lseek(fd, -100, Whence::Cur),
+            ]
+        };
+        let (mut k_mut, pid_a, fd_a) = build();
+        let (k_shared, pid_b, fd_b) = build();
+        for (a, b) in calls(fd_a).into_iter().zip(calls(fd_b)) {
+            let via_mut = k_mut.syscall(pid_a, a.clone());
+            let via_read = k_shared
+                .syscall_read(pid_b, &b)
+                .expect("classified read-only call must be served on the shared path");
+            assert_eq!(via_mut, via_read, "diverged on {}", a.name());
+        }
+        assert_eq!(k_mut.total_syscalls(), k_shared.total_syscalls());
+    }
+
+    #[test]
+    fn read_path_declines_what_it_cannot_serve() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        // Mutating calls are never served on the shared path.
+        assert!(k.syscall_read(pid, &Syscall::Fork).is_none());
+        assert!(k
+            .syscall_read(pid, &Syscall::Open("/tmp/x".into(), OpenFlags::rdwr_create(), 0o644))
+            .is_none());
+        assert!(k.syscall_read(pid, &Syscall::SigPending).is_none());
+        assert!(k.syscall_read(pid, &Syscall::Umask(0)).is_none());
+        // A consuming pipe read falls back, but pipe lseek answers ESPIPE.
+        let (rfd, wfd) = match k.syscall(pid, Syscall::Pipe).unwrap() {
+            SysRet::PipeFds(r, w) => (r, w),
+            other => panic!("expected PipeFds, got {other:?}"),
+        };
+        k.syscall(pid, Syscall::Write(wfd, b"x".to_vec())).unwrap();
+        assert!(k.syscall_read(pid, &Syscall::Read(rfd, 1)).is_none());
+        assert_eq!(
+            k.syscall_read(pid, &Syscall::Lseek(rfd, 0, Whence::Cur)),
+            Some(Err(Errno::ESPIPE))
+        );
+        // Declined calls must not be counted twice once they fall back.
+        let before = k.total_syscalls();
+        assert!(k.syscall_read(pid, &Syscall::Read(rfd, 1)).is_none());
+        assert_eq!(k.total_syscalls(), before);
+        k.syscall(pid, Syscall::Read(rfd, 1)).unwrap();
+        assert_eq!(k.total_syscalls(), before + 1);
+    }
+
+    #[test]
+    fn shared_readers_run_concurrently_across_threads() {
+        use std::sync::{Arc, RwLock};
+        let (mut k, pid, _) = kernel_with_user("u");
+        let root = k.vfs().root();
+        k.vfs_mut()
+            .write_file(root, "/tmp/f", b"shared data", &Cred::ROOT)
+            .unwrap();
+        let k = Arc::new(RwLock::new(k));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let k = Arc::clone(&k);
+                std::thread::spawn(move || {
+                    for _ in 0..250 {
+                        let g = k.read().unwrap();
+                        let r = g
+                            .syscall_read(pid, &Syscall::Stat("/tmp/f".into()))
+                            .expect("stat is shared-servable");
+                        assert!(r.is_ok());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(k.read().unwrap().stats.count("stat"), 1000);
     }
 
     #[test]

@@ -20,11 +20,13 @@ mod accounts;
 mod driver;
 mod kernel;
 mod process;
+mod stats;
 mod syscall;
 
 pub use accounts::{Account, AccountDb};
 pub use driver::{DriverFd, FsDriver, MountTable};
 pub use kernel::Kernel;
+pub use stats::SyscallStats;
 pub use process::{
     FileBacking, OpenFile, OpenFlags, Pid, PipeEnd, ProcState, Process, Signal, MAX_FDS,
 };

@@ -2,6 +2,7 @@
 
 use idbox_types::Identity;
 use idbox_vfs::{Cred, Ino};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A process id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -175,15 +176,65 @@ pub enum FileBacking {
 }
 
 /// One open-file table entry.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct OpenFile {
     /// Backing store.
     pub backing: FileBacking,
-    /// Current offset.
-    pub offset: u64,
+    /// Current offset. Atomic so the kernel's shared-lock read path can
+    /// advance it through `&self`: an fd is private to one process, so
+    /// this is per-fd interior mutability, not cross-thread contention,
+    /// and `Relaxed` ordering suffices (the kernel lock orders everything
+    /// else).
+    offset: AtomicU64,
     /// Flags the file was opened with.
     pub flags: OpenFlags,
 }
+
+impl OpenFile {
+    /// A fresh entry at offset zero.
+    pub fn new(backing: FileBacking, flags: OpenFlags) -> Self {
+        OpenFile {
+            backing,
+            offset: AtomicU64::new(0),
+            flags,
+        }
+    }
+
+    /// The current file offset.
+    pub fn offset(&self) -> u64 {
+        self.offset.load(Ordering::Relaxed)
+    }
+
+    /// Set the file offset (callable through a shared borrow; see the
+    /// field comment).
+    pub fn set_offset(&self, off: u64) {
+        self.offset.store(off, Ordering::Relaxed)
+    }
+}
+
+impl Clone for OpenFile {
+    fn clone(&self) -> Self {
+        OpenFile {
+            backing: self.backing.clone(),
+            // Snapshot semantics: the copy starts at the source's current
+            // offset but does not share it afterwards (dup/fork in this
+            // kernel copy offsets rather than sharing the file table
+            // entry, as documented in DESIGN.md).
+            offset: AtomicU64::new(self.offset()),
+            flags: self.flags,
+        }
+    }
+}
+
+impl PartialEq for OpenFile {
+    fn eq(&self, other: &Self) -> bool {
+        self.backing == other.backing
+            && self.offset() == other.offset()
+            && self.flags == other.flags
+    }
+}
+
+impl Eq for OpenFile {}
 
 /// Process lifecycle state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -301,18 +352,29 @@ mod tests {
             comm: "init".into(),
         };
         assert_eq!(p.alloc_fd(), Some(0));
-        p.fds[0] = Some(OpenFile {
-            backing: FileBacking::Local(Ino(2)),
-            offset: 0,
-            flags: OpenFlags::rdonly(),
-        });
+        p.fds[0] = Some(OpenFile::new(
+            FileBacking::Local(Ino(2)),
+            OpenFlags::rdonly(),
+        ));
         assert_eq!(p.alloc_fd(), Some(1));
-        p.fds[1] = Some(OpenFile {
-            backing: FileBacking::Local(Ino(3)),
-            offset: 0,
-            flags: OpenFlags::rdonly(),
-        });
+        p.fds[1] = Some(OpenFile::new(
+            FileBacking::Local(Ino(3)),
+            OpenFlags::rdonly(),
+        ));
         p.fds[0] = None;
         assert_eq!(p.alloc_fd(), Some(0));
+    }
+
+    #[test]
+    fn open_file_offset_is_shared_borrow_mutable_but_clone_snapshots() {
+        let f = OpenFile::new(FileBacking::Local(Ino(2)), OpenFlags::rdonly());
+        assert_eq!(f.offset(), 0);
+        f.set_offset(42); // through &f
+        assert_eq!(f.offset(), 42);
+        let g = f.clone();
+        assert_eq!(g.offset(), 42);
+        f.set_offset(7);
+        assert_eq!(g.offset(), 42, "clone must not share the offset cell");
+        assert_ne!(f, g);
     }
 }

@@ -1,0 +1,118 @@
+//! Per-syscall dispatch counters.
+//!
+//! The kernel sits behind a reader/writer lock shared by every
+//! supervisor and server thread, and read-only calls are dispatched
+//! under the *shared* side of that lock. The statistics table therefore
+//! cannot be a plain map bumped through `&mut self`: it is a fixed array
+//! of atomics, indexed by [`Syscall::slot`], that both dispatch paths
+//! update through `&self`.
+
+use crate::syscall::Syscall;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One counter per syscall name, updatable through a shared borrow.
+#[derive(Debug)]
+pub struct SyscallStats {
+    counts: [AtomicU64; Syscall::NAMES.len()],
+}
+
+impl Default for SyscallStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SyscallStats {
+    /// All counters at zero.
+    pub fn new() -> Self {
+        SyscallStats {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one dispatch of `call`.
+    pub fn bump(&self, call: &Syscall) {
+        self.counts[call.slot()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// How many times the named call was dispatched (0 for an unknown
+    /// name, matching the old map's `get(..).unwrap_or(0)` idiom).
+    pub fn count(&self, name: &str) -> u64 {
+        match Syscall::NAMES.iter().position(|&n| n == name) {
+            Some(slot) => self.counts[slot].load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Total dispatches across all calls.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time copy of the non-zero counters, for reports.
+    pub fn snapshot(&self) -> BTreeMap<&'static str, u64> {
+        Syscall::NAMES
+            .iter()
+            .zip(&self.counts)
+            .filter_map(|(&name, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then_some((name, n))
+            })
+            .collect()
+    }
+}
+
+impl Clone for SyscallStats {
+    fn clone(&self) -> Self {
+        let counts =
+            std::array::from_fn(|i| AtomicU64::new(self.counts[i].load(Ordering::Relaxed)));
+        SyscallStats { counts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_count_total() {
+        let s = SyscallStats::new();
+        s.bump(&Syscall::Getpid);
+        s.bump(&Syscall::Getpid);
+        s.bump(&Syscall::Stat("/x".into()));
+        assert_eq!(s.count("getpid"), 2);
+        assert_eq!(s.count("stat"), 1);
+        assert_eq!(s.count("write"), 0);
+        assert_eq!(s.count("no-such-call"), 0);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn snapshot_skips_zeros() {
+        let s = SyscallStats::new();
+        s.bump(&Syscall::Fork);
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap["fork"], 1);
+    }
+
+    #[test]
+    fn bumps_through_shared_borrow_from_threads() {
+        let s = std::sync::Arc::new(SyscallStats::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.bump(&Syscall::Read(0, 1));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(s.count("read"), 4000);
+    }
+}

@@ -104,46 +104,136 @@ pub enum Syscall {
 impl Syscall {
     /// A short name for traces and statistics.
     pub fn name(&self) -> &'static str {
+        Self::NAMES[self.slot()]
+    }
+
+    /// All syscall names, one per variant, in declaration order. The
+    /// kernel's statistics table is indexed by [`Syscall::slot`], which
+    /// must agree with this array (checked by a test below).
+    pub const NAMES: [&'static str; 37] = [
+        "getpid",
+        "getppid",
+        "getuid",
+        "stat",
+        "lstat",
+        "fstat",
+        "open",
+        "close",
+        "read",
+        "write",
+        "pread",
+        "pwrite",
+        "lseek",
+        "dup",
+        "mkdir",
+        "rmdir",
+        "unlink",
+        "link",
+        "symlink",
+        "readlink",
+        "rename",
+        "truncate",
+        "access",
+        "readdir",
+        "chmod",
+        "chown",
+        "chdir",
+        "getcwd",
+        "umask",
+        "fork",
+        "exec",
+        "exit",
+        "wait",
+        "kill",
+        "sigpending",
+        "pipe",
+        "get_user_name",
+    ];
+
+    /// This call's index into [`Syscall::NAMES`] (and into the kernel's
+    /// fixed statistics table).
+    pub fn slot(&self) -> usize {
         use Syscall::*;
         match self {
-            Getpid => "getpid",
-            Getppid => "getppid",
-            Getuid => "getuid",
-            Stat(_) => "stat",
-            Lstat(_) => "lstat",
-            Fstat(_) => "fstat",
-            Open(..) => "open",
-            Close(_) => "close",
-            Read(..) => "read",
-            Write(..) => "write",
-            Pread(..) => "pread",
-            Pwrite(..) => "pwrite",
-            Lseek(..) => "lseek",
-            Dup(_) => "dup",
-            Mkdir(..) => "mkdir",
-            Rmdir(_) => "rmdir",
-            Unlink(_) => "unlink",
-            Link(..) => "link",
-            Symlink(..) => "symlink",
-            Readlink(_) => "readlink",
-            Rename(..) => "rename",
-            Truncate(..) => "truncate",
-            AccessCheck(..) => "access",
-            Readdir(_) => "readdir",
-            Chmod(..) => "chmod",
-            Chown(..) => "chown",
-            Chdir(_) => "chdir",
-            Getcwd => "getcwd",
-            Umask(_) => "umask",
-            Fork => "fork",
-            Exec(_) => "exec",
-            Exit(_) => "exit",
-            Wait => "wait",
-            Kill(..) => "kill",
-            SigPending => "sigpending",
-            Pipe => "pipe",
-            GetUserName => "get_user_name",
+            Getpid => 0,
+            Getppid => 1,
+            Getuid => 2,
+            Stat(_) => 3,
+            Lstat(_) => 4,
+            Fstat(_) => 5,
+            Open(..) => 6,
+            Close(_) => 7,
+            Read(..) => 8,
+            Write(..) => 9,
+            Pread(..) => 10,
+            Pwrite(..) => 11,
+            Lseek(..) => 12,
+            Dup(_) => 13,
+            Mkdir(..) => 14,
+            Rmdir(_) => 15,
+            Unlink(_) => 16,
+            Link(..) => 17,
+            Symlink(..) => 18,
+            Readlink(_) => 19,
+            Rename(..) => 20,
+            Truncate(..) => 21,
+            AccessCheck(..) => 22,
+            Readdir(_) => 23,
+            Chmod(..) => 24,
+            Chown(..) => 25,
+            Chdir(_) => 26,
+            Getcwd => 27,
+            Umask(_) => 28,
+            Fork => 29,
+            Exec(_) => 30,
+            Exit(_) => 31,
+            Wait => 32,
+            Kill(..) => 33,
+            SigPending => 34,
+            Pipe => 35,
+            GetUserName => 36,
         }
+    }
+
+    /// True for calls that observe kernel state without changing it
+    /// (beyond a private fd offset), so concurrent supervisors may
+    /// dispatch them under a *shared* kernel lock.
+    ///
+    /// The classification is deliberately conservative:
+    ///
+    /// * identity reads (`getpid`, `getppid`, `getuid`, `getcwd`,
+    ///   `get_user_name`) only look at the process table;
+    /// * metadata reads (`stat`, `lstat`, `fstat`, `readlink`, `access`,
+    ///   `readdir`) only look at the VFS (reads are "noatime", so no
+    ///   inode is touched);
+    /// * data reads (`read`, `pread`) and `lseek` mutate nothing but the
+    ///   calling process's own fd offset, which the kernel keeps in an
+    ///   atomic so it can advance under the shared lock.
+    ///
+    /// Everything else — including `sigpending` (drains the queue),
+    /// `umask` (swaps the mask), and pipe reads (consume bytes) — takes
+    /// the exclusive path. Note that a *classified* call can still fall
+    /// back to the exclusive path at dispatch time, e.g. when the path
+    /// routes to a mounted driver; see `Kernel::syscall_read`.
+    pub fn is_read_only(&self) -> bool {
+        use Syscall::*;
+        matches!(
+            self,
+            Getpid
+                | Getppid
+                | Getuid
+                | Getcwd
+                | GetUserName
+                | Stat(_)
+                | Lstat(_)
+                | Fstat(_)
+                | Readlink(_)
+                | AccessCheck(..)
+                | Readdir(_)
+                | Read(..)
+                | Pread(..)
+                | Lseek(..)
+        )
     }
 
     /// True for calls that name a path (the ones the identity box must
@@ -234,6 +324,80 @@ mod tests {
         assert!(!Syscall::Getpid.is_path_call());
         assert!(!Syscall::Read(0, 10).is_path_call());
         assert!(!Syscall::GetUserName.is_path_call());
+    }
+
+    #[test]
+    fn read_only_classification() {
+        // The shared-lock class.
+        assert!(Syscall::Getpid.is_read_only());
+        assert!(Syscall::Getcwd.is_read_only());
+        assert!(Syscall::GetUserName.is_read_only());
+        assert!(Syscall::Stat("/x".into()).is_read_only());
+        assert!(Syscall::Lstat("/x".into()).is_read_only());
+        assert!(Syscall::Fstat(3).is_read_only());
+        assert!(Syscall::Readlink("/x".into()).is_read_only());
+        assert!(Syscall::AccessCheck("/x".into(), Access::R).is_read_only());
+        assert!(Syscall::Readdir("/".into()).is_read_only());
+        assert!(Syscall::Read(0, 16).is_read_only());
+        assert!(Syscall::Pread(0, 16, 0).is_read_only());
+        assert!(Syscall::Lseek(0, 0, Whence::Set).is_read_only());
+        // Mutators must never be classified read-only.
+        assert!(!Syscall::Open("/f".into(), OpenFlags::rdonly(), 0).is_read_only());
+        assert!(!Syscall::Write(0, vec![1]).is_read_only());
+        assert!(!Syscall::Close(0).is_read_only());
+        assert!(!Syscall::Umask(0o022).is_read_only());
+        assert!(!Syscall::SigPending.is_read_only());
+        assert!(!Syscall::Fork.is_read_only());
+        assert!(!Syscall::Pipe.is_read_only());
+    }
+
+    #[test]
+    fn slots_and_names_agree() {
+        use Syscall::*;
+        let samples: Vec<Syscall> = vec![
+            Getpid,
+            Getppid,
+            Getuid,
+            Stat("/".into()),
+            Lstat("/".into()),
+            Fstat(0),
+            Open("/".into(), OpenFlags::rdonly(), 0),
+            Close(0),
+            Read(0, 0),
+            Write(0, vec![]),
+            Pread(0, 0, 0),
+            Pwrite(0, vec![], 0),
+            Lseek(0, 0, Whence::Set),
+            Dup(0),
+            Mkdir("/".into(), 0),
+            Rmdir("/".into()),
+            Unlink("/".into()),
+            Link("/".into(), "/".into()),
+            Symlink("/".into(), "/".into()),
+            Readlink("/".into()),
+            Rename("/".into(), "/".into()),
+            Truncate("/".into(), 0),
+            AccessCheck("/".into(), Access::R),
+            Readdir("/".into()),
+            Chmod("/".into(), 0),
+            Chown("/".into(), 0, 0),
+            Chdir("/".into()),
+            Getcwd,
+            Umask(0),
+            Fork,
+            Exec("/".into()),
+            Exit(0),
+            Wait,
+            Kill(Pid(1), Signal::Term),
+            SigPending,
+            Pipe,
+            GetUserName,
+        ];
+        assert_eq!(samples.len(), Syscall::NAMES.len());
+        for (i, call) in samples.iter().enumerate() {
+            assert_eq!(call.slot(), i, "{} out of order", call.name());
+            assert_eq!(call.name(), Syscall::NAMES[i]);
+        }
     }
 
     #[test]

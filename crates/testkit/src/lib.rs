@@ -1,0 +1,983 @@
+//! In-tree property-testing kit with a `proptest`-compatible surface.
+//!
+//! The build environment is fully offline, so the external `proptest`
+//! crate cannot be fetched; the workspace aliases `proptest` to this
+//! crate (see the root `Cargo.toml`), and the existing property tests
+//! compile unchanged. The subset implemented is exactly what the test
+//! suite uses: `Strategy` + `prop_map`, integer ranges, tuples,
+//! `collection::vec`, `string::string_regex` (a generator for a small
+//! regex dialect), `bits::u8::ANY`, `any::<T>()`, `prop_oneof!`,
+//! and the `proptest!` / `prop_assert*!` / `prop_assume!` macros.
+//!
+//! Differences from real proptest: no shrinking (a failure reports the
+//! case seed instead — rerun with `IDBOX_PROP_SEED=<seed>` to
+//! reproduce), and generation is a simple splitmix64 stream, fully
+//! deterministic per test name.
+
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator handed to strategies (splitmix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed a new stream.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Multiply-shift reduction; bias is negligible for test data.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform value in the half-open range.
+    pub fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `bool`.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors, config, runner
+// ---------------------------------------------------------------------------
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum PropError {
+    /// An assertion failed; the message carries the details.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject,
+}
+
+impl PropError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        PropError::Fail(msg.into())
+    }
+}
+
+/// Runner configuration (`proptest!` reads it from
+/// `#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 96 }
+    }
+}
+
+/// Drive one property: generate inputs and evaluate until `cfg.cases`
+/// cases pass, a case fails, or too many cases are rejected.
+pub fn run_cases(
+    cfg: ProptestConfig,
+    name: &str,
+    body: impl Fn(&mut TestRng) -> Result<(), PropError>,
+) {
+    let base = match std::env::var("IDBOX_PROP_SEED") {
+        Ok(v) => parse_seed(&v).expect("IDBOX_PROP_SEED must be decimal or 0x-hex"),
+        Err(_) => {
+            // Stable per test name so failures reproduce across runs.
+            let mut h = 0xCBF2_9CE4_8422_2325u64;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01B3);
+            }
+            h
+        }
+    };
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    while accepted < cfg.cases {
+        let seed = base.wrapping_add(attempts.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        attempts += 1;
+        if attempts > cfg.cases as u64 * 64 + 1024 {
+            panic!("property {name}: too many rejected cases ({attempts} attempts)");
+        }
+        let mut rng = TestRng::new(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        match outcome {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(PropError::Reject)) => {}
+            Ok(Err(PropError::Fail(msg))) => {
+                panic!(
+                    "property {name} failed at case {accepted} \
+                     (rerun with IDBOX_PROP_SEED={seed:#x}):\n{msg}"
+                );
+            }
+            Err(payload) => {
+                eprintln!(
+                    "property {name} panicked at case {accepted} \
+                     (rerun with IDBOX_PROP_SEED={seed:#x})"
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-process generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )+};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+
+/// A `&str` is a regex-shaped string strategy, as in proptest.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let ast = regex_gen::parse(self)
+            .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"));
+        regex_gen::generate(&ast, rng)
+    }
+}
+
+/// A boxed generator arm of a [`Union`].
+pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// One of several alternative strategies (see `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<UnionArm<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from boxed generator arms.
+    pub fn new(arms: Vec<UnionArm<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+
+    /// Box one strategy into an arm.
+    pub fn arm<S>(s: S) -> Box<dyn Fn(&mut TestRng) -> T>
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        Box::new(move |rng| s.generate(rng))
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[i])(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>() / bits
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<T>()` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// Build that strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Whole-domain strategy for primitive `T`.
+pub struct AnyPrim<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_prim {
+    ($($t:ty),+) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrim(std::marker::PhantomData)
+            }
+        }
+    )+};
+}
+arbitrary_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrim<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+impl Arbitrary for bool {
+    type Strategy = AnyPrim<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrim(std::marker::PhantomData)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Bit-pattern strategies (`proptest::bits::u8::ANY`).
+pub mod bits {
+    /// Strategies over `u8` bit patterns.
+    #[allow(non_snake_case)]
+    pub mod u8 {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy yielding any `u8` bit pattern.
+        #[derive(Clone, Copy)]
+        pub struct AnyBits;
+
+        impl Strategy for AnyBits {
+            type Value = u8;
+            fn generate(&self, rng: &mut TestRng) -> u8 {
+                rng.next_u64() as u8
+            }
+        }
+
+        /// Any `u8`, uniformly.
+        pub const ANY: AnyBits = AnyBits;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// collection
+// ---------------------------------------------------------------------------
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::{Strategy, TestRng};
+
+    /// Accepted size specifications for [`vec`].
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    /// Strategy for vectors of `elem` values.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.in_range(self.size.lo as u64, self.size.hi as u64 + 1) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// string (regex generation)
+// ---------------------------------------------------------------------------
+
+/// String strategies (`proptest::string::string_regex`).
+pub mod string {
+    use crate::{regex_gen, Strategy, TestRng};
+
+    /// Strategy yielding strings matching a regex subset.
+    pub struct RegexStrategy {
+        ast: regex_gen::Node,
+    }
+
+    /// Compile `pattern` into a generator. Supports literals, classes
+    /// (`[A-Za-z0-9._-]`), escapes (`\s`, `\d`, `\w`, `\PC`), `.`,
+    /// groups, alternation, and `*`/`+`/`?`/`{m,n}` quantifiers.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, String> {
+        Ok(RegexStrategy {
+            ast: regex_gen::parse(pattern)?,
+        })
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            regex_gen::generate(&self.ast, rng)
+        }
+    }
+}
+
+mod regex_gen {
+    use crate::TestRng;
+
+    /// Inclusive codepoint ranges a class can draw from.
+    type Ranges = Vec<(u32, u32)>;
+
+    pub enum Atom {
+        Chars(Ranges),
+        Group(Box<Node>),
+    }
+
+    pub struct Piece {
+        pub atom: Atom,
+        pub min: u32,
+        pub max: u32,
+    }
+
+    /// Alternation of sequences.
+    pub struct Node {
+        pub branches: Vec<Vec<Piece>>,
+    }
+
+    /// How many repetitions an open-ended quantifier may produce.
+    const OPEN_REP_SPAN: u32 = 7;
+
+    fn printable() -> Ranges {
+        // ASCII printable plus a slice of Latin-1 and kana so UTF-8
+        // multibyte handling gets exercised.
+        vec![(0x20, 0x7E), (0xA1, 0x1FF), (0x3041, 0x30FE)]
+    }
+
+    fn whitespace() -> Ranges {
+        vec![(0x09, 0x0A), (0x0D, 0x0D), (0x20, 0x20)]
+    }
+
+    pub fn parse(pattern: &str) -> Result<Node, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0usize;
+        let node = parse_alt(&chars, &mut pos)?;
+        if pos != chars.len() {
+            return Err(format!("unexpected `{}` at {}", chars[pos], pos));
+        }
+        Ok(node)
+    }
+
+    fn parse_alt(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        let mut branches = vec![parse_seq(chars, pos)?];
+        while *pos < chars.len() && chars[*pos] == '|' {
+            *pos += 1;
+            branches.push(parse_seq(chars, pos)?);
+        }
+        Ok(Node { branches })
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize) -> Result<Vec<Piece>, String> {
+        let mut pieces = Vec::new();
+        while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+            let atom = parse_atom(chars, pos)?;
+            let (mut min, mut max) = (1, 1);
+            // Stacked quantifiers (e.g. `.*{0,200}`): the last one wins.
+            while *pos < chars.len() {
+                match chars[*pos] {
+                    '*' => {
+                        *pos += 1;
+                        (min, max) = (0, OPEN_REP_SPAN);
+                    }
+                    '+' => {
+                        *pos += 1;
+                        (min, max) = (1, 1 + OPEN_REP_SPAN);
+                    }
+                    '?' => {
+                        *pos += 1;
+                        (min, max) = (0, 1);
+                    }
+                    '{' => {
+                        *pos += 1;
+                        (min, max) = parse_braces(chars, pos)?;
+                    }
+                    _ => break,
+                }
+            }
+            pieces.push(Piece { atom, min, max });
+        }
+        Ok(pieces)
+    }
+
+    fn parse_braces(chars: &[char], pos: &mut usize) -> Result<(u32, u32), String> {
+        let read_num = |pos: &mut usize| -> Option<u32> {
+            let start = *pos;
+            while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            if *pos == start {
+                return None;
+            }
+            chars[start..*pos].iter().collect::<String>().parse().ok()
+        };
+        let min = read_num(pos).ok_or("expected number in {…}")?;
+        let max = if *pos < chars.len() && chars[*pos] == ',' {
+            *pos += 1;
+            match read_num(pos) {
+                Some(n) => n,
+                None => min + OPEN_REP_SPAN, // `{m,}`
+            }
+        } else {
+            min
+        };
+        if *pos >= chars.len() || chars[*pos] != '}' {
+            return Err("unterminated {…} quantifier".into());
+        }
+        *pos += 1;
+        if min > max {
+            return Err("inverted {m,n} quantifier".into());
+        }
+        Ok((min, max))
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Atom, String> {
+        match chars[*pos] {
+            '[' => {
+                *pos += 1;
+                parse_class(chars, pos)
+            }
+            '(' => {
+                *pos += 1;
+                // Tolerate the non-capturing marker.
+                if chars[*pos..].starts_with(&['?', ':']) {
+                    *pos += 2;
+                }
+                let inner = parse_alt(chars, pos)?;
+                if *pos >= chars.len() || chars[*pos] != ')' {
+                    return Err("unterminated group".into());
+                }
+                *pos += 1;
+                Ok(Atom::Group(Box::new(inner)))
+            }
+            '\\' => {
+                *pos += 1;
+                let set = parse_escape(chars, pos)?;
+                Ok(Atom::Chars(set))
+            }
+            '.' => {
+                *pos += 1;
+                Ok(Atom::Chars(printable()))
+            }
+            c => {
+                *pos += 1;
+                Ok(Atom::Chars(vec![(c as u32, c as u32)]))
+            }
+        }
+    }
+
+    fn parse_escape(chars: &[char], pos: &mut usize) -> Result<Ranges, String> {
+        if *pos >= chars.len() {
+            return Err("dangling backslash".into());
+        }
+        let c = chars[*pos];
+        *pos += 1;
+        Ok(match c {
+            's' => whitespace(),
+            'S' => vec![(0x21, 0x7E)],
+            'd' => vec![(0x30, 0x39)],
+            'w' => vec![(0x30, 0x39), (0x41, 0x5A), (0x5F, 0x5F), (0x61, 0x7A)],
+            'n' => vec![(0x0A, 0x0A)],
+            't' => vec![(0x09, 0x09)],
+            'r' => vec![(0x0D, 0x0D)],
+            'P' | 'p' => {
+                // `\PC` (not-control) is the only category the tests
+                // use; accept the `\P{C}` spelling too.
+                let braced = *pos < chars.len() && chars[*pos] == '{';
+                if braced {
+                    *pos += 1;
+                }
+                if *pos >= chars.len() {
+                    return Err("dangling \\P".into());
+                }
+                let cat = chars[*pos];
+                *pos += 1;
+                if braced {
+                    if *pos >= chars.len() || chars[*pos] != '}' {
+                        return Err("unterminated \\P{…}".into());
+                    }
+                    *pos += 1;
+                }
+                if c == 'P' && cat == 'C' {
+                    printable()
+                } else {
+                    return Err(format!("unsupported category \\{c}{cat}"));
+                }
+            }
+            other => vec![(other as u32, other as u32)],
+        })
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize) -> Result<Atom, String> {
+        let mut negated = false;
+        if *pos < chars.len() && chars[*pos] == '^' {
+            negated = true;
+            *pos += 1;
+        }
+        let mut ranges: Ranges = Vec::new();
+        while *pos < chars.len() && chars[*pos] != ']' {
+            let lo_set = if chars[*pos] == '\\' {
+                *pos += 1;
+                parse_escape(chars, pos)?
+            } else {
+                let c = chars[*pos];
+                *pos += 1;
+                vec![(c as u32, c as u32)]
+            };
+            // A `-` between two single chars forms a range; elsewhere
+            // it is a literal.
+            let single = lo_set.len() == 1 && lo_set[0].0 == lo_set[0].1;
+            if single
+                && *pos + 1 < chars.len()
+                && chars[*pos] == '-'
+                && chars[*pos + 1] != ']'
+            {
+                *pos += 1;
+                let hi = if chars[*pos] == '\\' {
+                    *pos += 1;
+                    let set = parse_escape(chars, pos)?;
+                    if set.len() != 1 || set[0].0 != set[0].1 {
+                        return Err("bad class range endpoint".into());
+                    }
+                    set[0].0
+                } else {
+                    let c = chars[*pos];
+                    *pos += 1;
+                    c as u32
+                };
+                let lo = lo_set[0].0;
+                if lo > hi {
+                    return Err("inverted class range".into());
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.extend(lo_set);
+            }
+        }
+        if *pos >= chars.len() {
+            return Err("unterminated character class".into());
+        }
+        *pos += 1; // consume ']'
+        if negated {
+            ranges = complement(&ranges);
+        }
+        if ranges.is_empty() {
+            return Err("empty character class".into());
+        }
+        Ok(Atom::Chars(ranges))
+    }
+
+    /// Complement within the printable universe.
+    fn complement(ranges: &Ranges) -> Ranges {
+        let mut out = Vec::new();
+        for &(ulo, uhi) in &printable() {
+            let mut cur = ulo;
+            let mut sorted: Vec<_> = ranges
+                .iter()
+                .filter(|&&(lo, hi)| hi >= ulo && lo <= uhi)
+                .collect();
+            sorted.sort();
+            for &&(lo, hi) in &sorted {
+                if lo.max(ulo) > cur {
+                    out.push((cur, lo.max(ulo) - 1));
+                }
+                cur = cur.max(hi.saturating_add(1));
+            }
+            if cur <= uhi {
+                out.push((cur, uhi));
+            }
+        }
+        out
+    }
+
+    pub fn generate(node: &Node, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        gen_node(node, rng, &mut out);
+        out
+    }
+
+    fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+        let branch = &node.branches[rng.below(node.branches.len() as u64) as usize];
+        for piece in branch {
+            let n = rng.in_range(piece.min as u64, piece.max as u64 + 1);
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Group(inner) => gen_node(inner, rng, out),
+                    Atom::Chars(ranges) => out.push(pick_char(ranges, rng)),
+                }
+            }
+        }
+    }
+
+    fn pick_char(ranges: &Ranges, rng: &mut TestRng) -> char {
+        let total: u64 = ranges.iter().map(|&(lo, hi)| (hi - lo + 1) as u64).sum();
+        let mut k = rng.below(total);
+        for &(lo, hi) in ranges {
+            let span = (hi - lo + 1) as u64;
+            if k < span {
+                return char::from_u32(lo + k as u32).unwrap_or('?');
+            }
+            k -= span;
+        }
+        unreachable!("pick_char ran past its ranges")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests: each `fn name(arg in strategy, ...)` body runs
+/// over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $(
+        $(#[$attr:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])+
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(__cfg, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Choose uniformly between alternative strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Union::arm($arm)),+])
+    };
+}
+
+/// Assert within a property body; failures report the generating seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::PropError::fail(format!(
+                "prop_assert!({}) failed at {}:{}",
+                stringify!($cond), file!(), line!(),
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::PropError::fail(format!(
+                "prop_assert!({}) failed at {}:{}: {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)+),
+            )));
+        }
+    };
+}
+
+/// Equality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = &$a;
+        let __b = &$b;
+        if !(*__a == *__b) {
+            return ::core::result::Result::Err($crate::PropError::fail(format!(
+                "prop_assert_eq!({}, {}) failed at {}:{}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), file!(), line!(), __a, __b,
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __a = &$a;
+        let __b = &$b;
+        if !(*__a == *__b) {
+            return ::core::result::Result::Err($crate::PropError::fail(format!(
+                "prop_assert_eq! failed at {}:{}: {}\n  left: {:?}\n right: {:?}",
+                file!(), line!(), format!($($fmt)+), __a, __b,
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = &$a;
+        let __b = &$b;
+        if *__a == *__b {
+            return ::core::result::Result::Err($crate::PropError::fail(format!(
+                "prop_assert_ne!({}, {}) failed at {}:{}\n  both: {:?}",
+                stringify!($a), stringify!($b), file!(), line!(), __a,
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __a = &$a;
+        let __b = &$b;
+        if *__a == *__b {
+            return ::core::result::Result::Err($crate::PropError::fail(format!(
+                "prop_assert_ne! failed at {}:{}: {}\n  both: {:?}",
+                file!(), line!(), format!($($fmt)+), __a,
+            )));
+        }
+    }};
+}
+
+/// Discard the current case when its inputs don't fit the property.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::PropError::Reject);
+        }
+    };
+}
+
+/// Everything a property-test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, PropError, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(42)
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..2000 {
+            let v = (3usize..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            let s = (-5i32..7).generate(&mut r);
+            assert!((-5..7).contains(&s));
+        }
+    }
+
+    #[test]
+    fn regex_class_and_quantifier() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = "[A-Za-z0-9/=:@.*?_-]{1,40}".generate(&mut r);
+            assert!(!s.is_empty() && s.len() <= 40);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()
+                || "/=:@.*?_-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn regex_literals_and_alternation() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "/O=[A-Za-z]{1,12}/CN=[A-Za-z0-9 ._-]{1,20}".generate(&mut r);
+            assert!(s.starts_with("/O="), "{s}");
+            assert!(s.contains("/CN="), "{s}");
+            let t = "[%\\s]|[a-z]".generate(&mut r);
+            let c = t.chars().next().unwrap();
+            assert!(c == '%' || c.is_whitespace() || c.is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn regex_stacked_quantifier_caps_length() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = ".*{0,50}".generate(&mut r);
+            assert!(s.chars().count() <= 50);
+        }
+    }
+
+    #[test]
+    fn vec_and_oneof_strategies() {
+        let mut r = rng();
+        let v = collection::vec(any::<u8>(), 0..64).generate(&mut r);
+        assert!(v.len() < 64);
+        let exact = collection::vec(any::<u64>(), 6).generate(&mut r);
+        assert_eq!(exact.len(), 6);
+        let u = prop_oneof![Just(1u8), Just(2u8), (5u8..9).prop_map(|x| x)];
+        for _ in 0..100 {
+            let x = u.generate(&mut r);
+            assert!(x == 1 || x == 2 || (5..9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn runner_reports_failures() {
+        let result = std::panic::catch_unwind(|| {
+            run_cases(ProptestConfig::with_cases(8), "always_fails", |_| {
+                Err(PropError::fail("nope"))
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro front-end itself works end to end.
+        #[test]
+        fn macro_roundtrip(x in 0u32..100, ys in collection::vec(any::<u8>(), 0..8)) {
+            prop_assume!(x != 99);
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.len(), ys.iter().map(|_| 1usize).sum::<usize>());
+            prop_assert_ne!(x, 100);
+        }
+    }
+}

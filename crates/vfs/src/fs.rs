@@ -375,9 +375,12 @@ impl Vfs {
 
     /// Read up to `out.len()` bytes at `off`; returns bytes read (0 at or
     /// past EOF).
-    pub fn read_into(&mut self, ino: Ino, off: u64, out: &mut [u8]) -> SysResult<usize> {
-        let now = self.tick();
-        let inode = self.get_mut(ino)?;
+    ///
+    /// Reads are "noatime": they take `&self` and leave the inode
+    /// untouched, so concurrent readers can share the filesystem borrow
+    /// (the kernel dispatches read-only syscalls under a shared lock).
+    pub fn read_into(&self, ino: Ino, off: u64, out: &mut [u8]) -> SysResult<usize> {
+        let inode = self.get(ino)?;
         let data = match &inode.payload {
             Payload::File(data) => data,
             Payload::Dir(_) => return Err(Errno::EISDIR),
@@ -389,7 +392,6 @@ impl Vfs {
         }
         let n = out.len().min(data.len() - off);
         out[..n].copy_from_slice(&data[off..off + n]);
-        inode.atime = now;
         Ok(n)
     }
 
@@ -670,11 +672,11 @@ impl Vfs {
         }
     }
 
-    /// List a directory (requires read permission on it).
-    pub fn readdir(&mut self, start: Ino, p: &str, cred: &Cred) -> SysResult<Vec<DirEntry>> {
+    /// List a directory (requires read permission on it). Like
+    /// [`Vfs::read_into`], listing is "noatime" and shares the borrow.
+    pub fn readdir(&self, start: Ino, p: &str, cred: &Cred) -> SysResult<Vec<DirEntry>> {
         let dir = self.resolve(start, p, true, cred)?;
         self.check_access(dir, cred, Access::R)?;
-        let now = self.tick();
         let entries = self.dir_entries(dir)?;
         let mut out = Vec::with_capacity(entries.len());
         for (name, &ino) in entries {
@@ -684,7 +686,6 @@ impl Vfs {
                 kind: self.get(ino)?.payload.kind(),
             });
         }
-        self.get_mut(dir)?.atime = now;
         Ok(out)
     }
 
@@ -770,7 +771,7 @@ impl Vfs {
     }
 
     /// Read a whole file.
-    pub fn read_file(&mut self, start: Ino, p: &str, cred: &Cred) -> SysResult<Vec<u8>> {
+    pub fn read_file(&self, start: Ino, p: &str, cred: &Cred) -> SysResult<Vec<u8>> {
         let ino = self.resolve(start, p, true, cred)?;
         self.check_access(ino, cred, Access::R)?;
         Ok(self.file_data(ino)?.to_vec())

@@ -102,6 +102,6 @@ mod tests {
         assert!(!hits.is_empty());
         // The read mix should dominate the syscall profile.
         let k = kernel.lock();
-        assert!(k.stats["read"] >= Scale::test().steps(DB_BLOCKS));
+        assert!(k.stats.count("read") >= Scale::test().steps(DB_BLOCKS));
     }
 }

@@ -91,7 +91,7 @@ mod tests {
         assert!(String::from_utf8(ckpt).unwrap().starts_with("iter="));
         // The mix is pread/pwrite-heavy.
         let k = kernel.lock();
-        assert!(k.stats["pwrite"] >= Scale::test().steps(ITERATIONS));
-        assert!(k.stats["pread"] >= Scale::test().steps(ITERATIONS));
+        assert!(k.stats.count("pwrite") >= Scale::test().steps(ITERATIONS));
+        assert!(k.stats.count("pread") >= Scale::test().steps(ITERATIONS));
     }
 }

@@ -169,13 +169,13 @@ mod tests {
         }
         // The defining property: stats dominate the profile.
         let k = kernel.lock();
-        let stats = k.stats["stat"];
-        let writes = k.stats.get("write").copied().unwrap_or(0);
+        let stats = k.stats.count("stat");
+        let writes = k.stats.count("write");
         assert!(
             stats > writes,
             "make must be metadata-bound: {stats} stats vs {writes} writes"
         );
-        assert!(k.stats["fork"] >= n);
+        assert!(k.stats.count("fork") >= n);
     }
 
     #[test]
@@ -186,9 +186,9 @@ mod tests {
         let mut ctx = GuestCtx::new(&mut sup, pid);
         prepare(&mut ctx, Scale::test());
         assert_eq!(run(&mut ctx, Scale::test()), 0);
-        let forks_after_first = kernel.lock().stats["fork"];
+        let forks_after_first = kernel.lock().stats.count("fork");
         assert_eq!(run(&mut ctx, Scale::test()), 0);
-        let forks_after_second = kernel.lock().stats["fork"];
+        let forks_after_second = kernel.lock().stats.count("fork");
         assert_eq!(
             forks_after_first, forks_after_second,
             "up-to-date objects must not be recompiled"

@@ -29,7 +29,7 @@ fn make_is_metadata_bound_the_others_are_io_bound() {
         (app.prepare)(&mut ctx, Scale::test());
         assert_eq!((app.run)(&mut ctx, Scale::test()), 0, "{}", app.name);
         let k = kernel.lock();
-        let count = |name: &str| k.stats.get(name).copied().unwrap_or(0);
+        let count = |name: &str| k.stats.count(name);
         // Metadata calls vs. data-moving calls: the distinction Section 7
         // draws between make and the scientific codes.
         let metadata = count("stat")
