@@ -5,4 +5,11 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
+# Observability subsystem: histogram/audit-ring units plus the e2e
+# stats/audit RPC and oversized-put tests.
+cargo test -q -p idbox-kernel -p idbox-core
+cargo test -q -p idbox-chirp --test e2e
 cargo clippy -- -D warnings
+# Crates touched by the observability work lint clean across all
+# targets (tests, benches, bins).
+cargo clippy -p idbox-kernel -p idbox-interpose -p idbox-core -p idbox-chirp -p idbox-bench --all-targets -- -D warnings

@@ -5,7 +5,8 @@
 //! clients added no throughput. This bench spawns one server and drives
 //! it with 1/2/4/8 concurrent authenticated clients running a
 //! read-heavy stat/open/pread/close loop, and reports aggregate
-//! requests per second at each level.
+//! requests per second at each level, plus per-level p50/p99 dispatch
+//! latency from the kernel's histograms (bucket ceilings, ns).
 //!
 //! ```text
 //! cargo run --release -p idbox-bench --bin server_throughput
@@ -40,7 +41,8 @@ fn server() -> (idbox_chirp::ChirpServerHandle, CertificateAuthority) {
         verifier,
         root_acl,
         ..Default::default()
-    });
+    })
+    .unwrap();
     (s.spawn().unwrap(), ca)
 }
 
@@ -98,15 +100,26 @@ fn main() {
     let addr = handle.addr();
     let mut rows = Vec::new();
     let mut single_rate = 0.0f64;
+    // Snapshot the kernel's latency histograms around each level: the
+    // diff isolates that level's dispatches.
+    let mut level_start = handle.kernel().read().latency().snapshot();
     for n in [1usize, 2, 4, 8] {
         let (reqs, elapsed) = run_level(addr, &ca, n);
+        let level_end = handle.kernel().read().latency().snapshot();
+        let window = level_end.diff(&level_start);
+        level_start = level_end;
+        let p50 = window.overall_percentile(50.0).unwrap_or(0);
+        let p99 = window.overall_percentile(99.0).unwrap_or(0);
         let rate = reqs as f64 / elapsed.as_secs_f64();
         if n == 1 {
             single_rate = rate;
         }
         let speedup = rate / single_rate;
-        println!("{n} clients: {rate:>10.0} req/s  ({speedup:.2}x of single-client)");
-        rows.push(format!("{n}\t{rate:.0}\t{speedup:.2}\t{cores}"));
+        println!(
+            "{n} clients: {rate:>10.0} req/s  ({speedup:.2}x of single-client)  \
+             p50 {p50} ns, p99 {p99} ns"
+        );
+        rows.push(format!("{n}\t{rate:.0}\t{speedup:.2}\t{p50}\t{p99}\t{cores}"));
     }
     if cores < 2 {
         // Clients and server share one hardware thread here, so
@@ -117,7 +130,7 @@ fn main() {
     }
     idbox_bench::write_tsv(
         "server_throughput.tsv",
-        "clients\treqs_per_sec\tspeedup_vs_1\thost_cores",
+        "clients\treqs_per_sec\tspeedup_vs_1\tp50_ns\tp99_ns\thost_cores",
         &rows,
     );
     handle.shutdown();

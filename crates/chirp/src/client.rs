@@ -261,9 +261,92 @@ impl ChirpClient {
         Ok(Self::one_num(&words)? as i32)
     }
 
+    /// Per-syscall latency statistics from the server's histograms.
+    /// Admin principals only — everyone else gets `EACCES`.
+    pub fn stats(&mut self) -> SysResult<Vec<StatRow>> {
+        self.send("stats")?;
+        let data = self.recv_payload()?;
+        let text = String::from_utf8(data).map_err(|_| Errno::EPROTO)?;
+        text.lines()
+            .map(|line| {
+                let mut f = line.split_whitespace();
+                let row = (|| {
+                    Some(StatRow {
+                        name: f.next()?.to_string(),
+                        count: f.next()?.parse().ok()?,
+                        p50_ns: f.next()?.parse().ok()?,
+                        p99_ns: f.next()?.parse().ok()?,
+                    })
+                })();
+                row.ok_or(Errno::EPROTO)
+            })
+            .collect()
+    }
+
+    /// The server's recent policy decisions, oldest first. Admin
+    /// principals only — everyone else gets `EACCES`.
+    pub fn audit(&mut self) -> SysResult<Vec<AuditRow>> {
+        self.send("audit")?;
+        let data = self.recv_payload()?;
+        let text = String::from_utf8(data).map_err(|_| Errno::EPROTO)?;
+        text.lines()
+            .map(|line| {
+                let mut f = line.split_whitespace();
+                let row = (|| {
+                    Some(AuditRow {
+                        seq: f.next()?.parse().ok()?,
+                        identity: codec::decode_word(f.next()?).ok()?,
+                        syscall: f.next()?.to_string(),
+                        path: match f.next()? {
+                            "-" => None,
+                            w => Some(codec::decode_word(w).ok()?),
+                        },
+                        verdict: f.next()?.to_string(),
+                        errno: match f.next()? {
+                            "-" => None,
+                            w => Some(Errno::from_code(w.parse().ok()?)?),
+                        },
+                    })
+                })();
+                row.ok_or(Errno::EPROTO)
+            })
+            .collect()
+    }
+
     /// Polite disconnect.
     pub fn quit(mut self) -> SysResult<()> {
         self.round_trip("quit")?;
         Ok(())
     }
+}
+
+/// One line of the `stats` RPC: a syscall's dispatch count and latency
+/// percentiles (bucket ceilings, nanoseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatRow {
+    /// Syscall name.
+    pub name: String,
+    /// Dispatches recorded.
+    pub count: u64,
+    /// Median latency (ns).
+    pub p50_ns: u64,
+    /// 99th-percentile latency (ns).
+    pub p99_ns: u64,
+}
+
+/// One line of the `audit` RPC: a policy decision the server recorded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRow {
+    /// Monotonic sequence number (gaps = dropped history).
+    pub seq: u64,
+    /// The boxed identity the ruling was made for.
+    pub identity: String,
+    /// Syscall name.
+    pub syscall: String,
+    /// The path(s) the call named, if any.
+    pub path: Option<String>,
+    /// `allow`, `deny`, or `reserve-amplified`.
+    pub verdict: String,
+    /// The errno a denial carried.
+    pub errno: Option<Errno>,
 }

@@ -4,10 +4,10 @@ use crate::codec::{self, error_line, ok_num};
 use crate::export_path;
 use idbox_acl::Acl;
 use idbox_auth::{authenticate_server, AuthTransport, ServerVerifier};
-use idbox_core::{BoxOptions, IdentityBox};
+use idbox_core::{AuditRing, BoxOptions, IdentityBox};
 use idbox_interpose::abi;
 use idbox_interpose::{share, GuestCtx, SharedKernel};
-use idbox_kernel::{Account, Kernel, OpenFlags};
+use idbox_kernel::{Account, Kernel, OpenFlags, Pid};
 use idbox_types::{CostModel, Errno, SysResult};
 use idbox_vfs::Cred;
 use std::collections::BTreeMap;
@@ -46,6 +46,11 @@ pub struct ServerConfig {
     /// Maximum concurrently served connections. Clients over the cap are
     /// refused with a protocol `error` line instead of being accepted.
     pub max_connections: usize,
+    /// Qualified principals (`method:name`, e.g.
+    /// `globus:/O=UnivNowhere/CN=Admin`) allowed to call the `stats` and
+    /// `audit` RPCs. Everyone else gets `EACCES`; the default is empty,
+    /// so observability is off the wire unless explicitly granted.
+    pub admins: Vec<String>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +70,7 @@ impl Default for ServerConfig {
             heartbeat: Duration::from_secs(60),
             io_timeout: None,
             max_connections: 1024,
+            admins: Vec::new(),
         }
     }
 }
@@ -81,6 +87,7 @@ pub struct ChirpServer {
     kernel: SharedKernel,
     programs: BTreeMap<String, GuestFn>,
     sup_cred: Cred,
+    audit: Arc<AuditRing>,
 }
 
 impl ChirpServer {
@@ -88,28 +95,28 @@ impl ChirpServer {
     /// lives at [`crate::EXPORT_ROOT`] and carries `config.root_acl`.
     /// The server runs as an ordinary user (`chirp`, uid 1000) — no
     /// privileges anywhere.
-    pub fn new(config: ServerConfig) -> Self {
+    ///
+    /// Setup failures (account clash, export-root creation, a root ACL
+    /// that cannot be installed) come back as errors so a bad config
+    /// cannot kill the embedding process.
+    pub fn new(config: ServerConfig) -> SysResult<Self> {
         let mut k = Kernel::new();
-        k.accounts_mut()
-            .add(Account::new("chirp", 1000, 1000))
-            .expect("fresh kernel");
+        k.accounts_mut().add(Account::new("chirp", 1000, 1000))?;
         let sup_cred = Cred::new(1000, 1000);
         let root = k.vfs().root();
         let export = k
             .vfs_mut()
-            .mkdir_all(root, crate::EXPORT_ROOT, 0o755, &Cred::ROOT)
-            .expect("create export root");
+            .mkdir_all(root, crate::EXPORT_ROOT, 0o755, &Cred::ROOT)?;
         k.vfs_mut()
-            .chown(root, crate::EXPORT_ROOT, 1000, 1000, &Cred::ROOT)
-            .expect("chown export root");
-        idbox_core::write_acl(k.vfs_mut(), export, &config.root_acl, &sup_cred)
-            .expect("install root ACL");
-        ChirpServer {
+            .chown(root, crate::EXPORT_ROOT, 1000, 1000, &Cred::ROOT)?;
+        idbox_core::write_acl(k.vfs_mut(), export, &config.root_acl, &sup_cred)?;
+        Ok(ChirpServer {
             config,
             kernel: share(k),
             programs: BTreeMap::new(),
             sup_cred,
-        }
+            audit: Arc::new(AuditRing::default()),
+        })
     }
 
     /// Register a guest program for `exec` (resolved from staged
@@ -143,6 +150,8 @@ impl ChirpServer {
         let sup_cred = self.sup_cred;
         let io_timeout = self.config.io_timeout;
         let max_connections = self.config.max_connections;
+        let admins = Arc::new(self.config.admins);
+        let audit = Arc::clone(&self.audit);
         let conns: ConnRegistry = Arc::default();
         let conns2 = Arc::clone(&conns);
         // Catalog heartbeat: register now and on every period until
@@ -194,6 +203,8 @@ impl ChirpServer {
                         let kernel = Arc::clone(&kernel);
                         let programs = Arc::clone(&programs);
                         let conns = Arc::clone(&conns2);
+                        let admins = Arc::clone(&admins);
+                        let audit = Arc::clone(&audit);
                         let mut verifier = (*verifier).clone();
                         verifier.peer_hostname = host_db.get(&peer.ip()).cloned();
                         // Detached: a connection lives as long as its
@@ -202,8 +213,14 @@ impl ChirpServer {
                         // stops the accept loop and then signals
                         // lingering sessions through the registry.
                         std::thread::spawn(move || {
+                            let ctl = SessionCtl {
+                                kernel: Arc::clone(&kernel),
+                                admins,
+                                audit,
+                            };
                             let _ = serve_connection(
                                 stream, kernel, &verifier, &programs, cost_model, sup_cred,
+                                &ctl,
                             );
                             conns
                                 .lock()
@@ -224,6 +241,7 @@ impl ChirpServer {
             join: Some(join),
             kernel: Arc::clone(&self.kernel),
             conns,
+            audit: Arc::clone(&self.audit),
         })
     }
 }
@@ -235,6 +253,7 @@ pub struct ChirpServerHandle {
     join: Option<std::thread::JoinHandle<()>>,
     kernel: SharedKernel,
     conns: ConnRegistry,
+    audit: Arc<AuditRing>,
 }
 
 impl ChirpServerHandle {
@@ -246,6 +265,11 @@ impl ChirpServerHandle {
     /// The server's kernel.
     pub fn kernel(&self) -> &SharedKernel {
         &self.kernel
+    }
+
+    /// The server-wide policy-decision audit ring.
+    pub fn audit_ring(&self) -> &Arc<AuditRing> {
+        &self.audit
     }
 
     /// Number of connections currently being served.
@@ -301,6 +325,27 @@ impl AuthTransport for TcpLineTransport {
     }
 }
 
+/// Server-wide observability state a session can reach from `dispatch`:
+/// the shared kernel (latency histograms live inside it), the admin
+/// list, and the audit ring.
+struct SessionCtl {
+    kernel: SharedKernel,
+    admins: Arc<Vec<String>>,
+    audit: Arc<AuditRing>,
+}
+
+impl SessionCtl {
+    /// `Ok` when `principal` may call the observability RPCs.
+    fn require_admin(&self, principal: &idbox_types::Principal) -> SysResult<()> {
+        let who = principal.to_string();
+        if self.admins.iter().any(|a| a == &who) {
+            Ok(())
+        } else {
+            Err(Errno::EACCES)
+        }
+    }
+}
+
 /// Serve one authenticated connection inside an identity box.
 fn serve_connection(
     stream: TcpStream,
@@ -309,6 +354,7 @@ fn serve_connection(
     programs: &BTreeMap<String, GuestFn>,
     cost_model: CostModel,
     sup_cred: Cred,
+    ctl: &SessionCtl,
 ) -> SysResult<()> {
     let reader = BufReader::new(stream.try_clone().map_err(|_| Errno::EIO)?);
     let mut transport = TcpLineTransport {
@@ -324,6 +370,7 @@ fn serve_connection(
     // an identity box carrying the authenticated principal.
     let options = BoxOptions {
         cost_model,
+        audit_ring: Some(Arc::clone(&ctl.audit)),
         ..Default::default()
     };
     let b = IdentityBox::with_options(kernel, principal.to_identity(), sup_cred, options)?;
@@ -348,7 +395,7 @@ fn serve_connection(
             codec::write_line(&mut writer, "ok")?;
             break;
         }
-        match dispatch(&words, &mut reader, &mut ctx, &principal, programs) {
+        match dispatch(&words, &mut reader, &mut ctx, &principal, programs, ctl) {
             Ok(Reply::Line(l)) => codec::write_line(&mut writer, &l)?,
             Ok(Reply::Payload(head, data)) => {
                 codec::write_line(&mut writer, &head)?;
@@ -377,6 +424,7 @@ fn dispatch(
     ctx: &mut GuestCtx<'_>,
     principal: &idbox_types::Principal,
     programs: &BTreeMap<String, GuestFn>,
+    ctl: &SessionCtl,
 ) -> SysResult<Reply> {
     let cmd = words[0].as_str();
     let arg = |i: usize| -> SysResult<&String> { words.get(i).ok_or(Errno::EPROTO) };
@@ -484,6 +532,14 @@ fn dispatch(
         "put" => {
             let path = export_path(arg(1)?);
             let len: u64 = parse_num(words.get(2))?;
+            // Refuse an oversized announce before any allocation or
+            // payload read. `read_payload` enforces the same cap
+            // (EPROTO), but checking here keeps the guarantee local:
+            // no `put` line can make the server reserve more than
+            // PAYLOAD_MAX, whatever the payload reader does.
+            if len > codec::PAYLOAD_MAX {
+                return Err(Errno::EINVAL);
+            }
             let mode: u16 = match words.get(3) {
                 Some(w) => w.parse().map_err(|_| Errno::EPROTO)?,
                 None => 0o644,
@@ -502,58 +558,122 @@ fn dispatch(
             let code = run_exec(ctx, &path, &args, programs)?;
             Ok(Reply::Line(ok_num(code as i64)))
         }
+        // Observability RPCs: restricted to configured admin
+        // principals; everyone else is refused before any state is
+        // touched.
+        "stats" => {
+            ctl.require_admin(principal)?;
+            let snap = ctl.kernel.read().latency().snapshot();
+            let mut text = String::new();
+            for (name, count, p50, p99) in snap.rows() {
+                text.push_str(&format!("{name} {count} {p50} {p99}\n"));
+            }
+            Ok(Reply::Payload(ok_num(text.len() as i64), text.into_bytes()))
+        }
+        "audit" => {
+            ctl.require_admin(principal)?;
+            let mut text = String::new();
+            for e in ctl.audit.snapshot() {
+                let path = match &e.path {
+                    Some(p) => codec::encode_word(p),
+                    None => "-".to_string(),
+                };
+                let errno = match e.errno {
+                    Some(err) => err.code().to_string(),
+                    None => "-".to_string(),
+                };
+                text.push_str(&format!(
+                    "{} {} {} {} {} {}\n",
+                    e.seq,
+                    codec::encode_word(&e.identity),
+                    e.syscall,
+                    path,
+                    e.verdict.as_str(),
+                    errno
+                ));
+            }
+            Ok(Reply::Payload(ok_num(text.len() as i64), text.into_bytes()))
+        }
         _ => Err(Errno::ENOSYS),
+    }
+}
+
+/// Reap the specific child `pid`. The kernel's `wait` returns *any*
+/// zombie, so a leftover from an earlier `exec` on this connection could
+/// otherwise be mistaken for the child just spawned; statuses of
+/// strangers are discarded until ours arrives.
+fn reap_exactly(ctx: &mut GuestCtx<'_>, pid: Pid) -> SysResult<i32> {
+    loop {
+        let (reaped, code) = ctx.wait()?;
+        if reaped == pid {
+            return Ok(code);
+        }
     }
 }
 
 /// The paper's `exec` call: the staged program runs in a child process
 /// of this connection's identity box, in the staged file's directory.
+///
+/// Supervisor-side failures inside the child (cannot enter the work
+/// directory, cannot write the captured output) propagate as real
+/// errnos through a side channel — the child's exit code is reserved
+/// for the guest program itself.
 fn run_exec(
     ctx: &mut GuestCtx<'_>,
     path: &str,
     args: &[String],
     programs: &BTreeMap<String, GuestFn>,
 ) -> SysResult<i32> {
+    use std::cell::Cell;
+    use std::rc::Rc;
+
     // The x (and r) rights are enforced by the box policy here.
     ctx.exec(path)?;
     let image = ctx.read_file(path)?;
     let workdir = idbox_vfs::path::split_parent(path)
         .map(|(d, _)| d.to_string())
         .ok_or(Errno::EINVAL)?;
+    let fault: Rc<Cell<Option<Errno>>> = Rc::new(Cell::new(None));
 
     // A staged GuestScript program: the code itself travelled over the
     // wire; interpret it in a child of the box, capturing `echo` output
     // into `script.out` next to the program.
-    if idbox_workloads::is_script(&image) {
+    let child = if idbox_workloads::is_script(&image) {
+        let fault = Rc::clone(&fault);
         ctx.run_child(move |c| {
-            if c.chdir(&workdir).is_err() {
-                return 111;
+            if let Err(e) = c.chdir(&workdir) {
+                fault.set(Some(e));
+                return 0;
             }
             let result = idbox_workloads::run_script(c, &image);
-            if c.write_file("script.out", result.output.as_bytes()).is_err() {
-                return 112;
+            if let Err(e) = c.write_file("script.out", result.output.as_bytes()) {
+                fault.set(Some(e));
+                return 0;
             }
             result.code
-        })?;
-        let (_, code) = ctx.wait()?;
-        return Ok(code);
+        })?
+    } else {
+        // Otherwise: a registered compiled program named by the shebang.
+        let text = String::from_utf8_lossy(&image);
+        let first = text.lines().next().unwrap_or("");
+        let prog_name = first
+            .strip_prefix("#!guest ")
+            .map(str::trim)
+            .ok_or(Errno::ENOSYS)?;
+        let prog = programs.get(prog_name).cloned().ok_or(Errno::ENOSYS)?;
+        let args = args.to_vec();
+        let fault = Rc::clone(&fault);
+        ctx.run_child(move |c| {
+            if let Err(e) = c.chdir(&workdir) {
+                fault.set(Some(e));
+                return 0;
+            }
+            prog(c, &args)
+        })?
+    };
+    let code = reap_exactly(ctx, child)?;
+    if let Some(e) = fault.take() {
+        return Err(e);
     }
-
-    // Otherwise: a registered compiled program named by the shebang.
-    let text = String::from_utf8_lossy(&image);
-    let first = text.lines().next().unwrap_or("");
-    let prog_name = first
-        .strip_prefix("#!guest ")
-        .map(str::trim)
-        .ok_or(Errno::ENOSYS)?;
-    let prog = programs.get(prog_name).cloned().ok_or(Errno::ENOSYS)?;
-    let args = args.to_vec();
-    ctx.run_child(move |c| {
-        if c.chdir(&workdir).is_err() {
-            return 111;
-        }
-        prog(c, &args)
-    })?;
-    let (_, code) = ctx.wait()?;
     Ok(code)
 }

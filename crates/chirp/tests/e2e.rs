@@ -43,7 +43,8 @@ fn spawn_figure3_server() -> (idbox_chirp::ChirpServerHandle, CertificateAuthori
         verifier,
         root_acl: figure3_root_acl(),
         ..Default::default()
-    });
+    })
+    .unwrap();
     // The "sim.exe" program: reads its staged input, computes, writes
     // out.dat in its working directory.
     server.register_program("sim", |ctx, args| {
@@ -179,7 +180,7 @@ fn hostname_clients_can_run_but_not_stage() {
     config
         .host_db
         .insert([127, 0, 0, 1].into(), "laptop.cs.nowhere.edu".to_string());
-    let mut server = ChirpServer::new(config);
+    let mut server = ChirpServer::new(config).unwrap();
     server.register_program("hello", |ctx, _| {
         ctx.write_file("/tmp/hello-ran", b"yes").map(|_| 0).unwrap_or(1)
     });
@@ -397,7 +398,8 @@ fn server_heartbeats_to_catalog() {
         catalog: Some(cat.addr()),
         heartbeat: std::time::Duration::from_millis(50),
         ..Default::default()
-    });
+    })
+    .unwrap();
     let handle = server.spawn().unwrap();
     // Wait for at least two heartbeats: the seq must advance.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
@@ -498,7 +500,8 @@ fn idle_connection_times_out() {
         root_acl: figure3_root_acl(),
         io_timeout: Some(std::time::Duration::from_millis(150)),
         ..Default::default()
-    });
+    })
+    .unwrap();
     let handle = server.spawn().unwrap();
     let mut c = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
     assert!(c.whoami().is_ok());
@@ -524,7 +527,8 @@ fn connection_cap_refuses_excess_clients() {
         root_acl: figure3_root_acl(),
         max_connections: 1,
         ..Default::default()
-    });
+    })
+    .unwrap();
     let handle = server.spawn().unwrap();
     let mut first = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
     assert!(first.whoami().is_ok());
@@ -557,4 +561,157 @@ fn shutdown_signals_lingering_connections() {
     // socket down under the lingering session.
     handle.shutdown();
     assert!(c.whoami().is_err(), "connection survived server shutdown");
+}
+
+/// A server whose config names an admin principal, for the
+/// observability RPC tests.
+fn spawn_observable_server() -> (idbox_chirp::ChirpServerHandle, CertificateAuthority) {
+    let (ca, verifier) = gsi_setup();
+    let server = ChirpServer::new(ServerConfig {
+        name: "observable".to_string(),
+        verifier,
+        root_acl: figure3_root_acl(),
+        admins: vec!["globus:/O=UnivNowhere/CN=Admin".to_string()],
+        ..Default::default()
+    })
+    .unwrap();
+    (server.spawn().unwrap(), ca)
+}
+
+/// The tentpole acceptance scenario: after real traffic, an admin can
+/// pull non-zero latency histograms over the wire, and a scripted
+/// denied access shows up in the audit ring with the denied identity
+/// and errno.
+#[test]
+fn stats_and_audit_rpcs_expose_latency_and_denials() {
+    let (handle, ca) = spawn_observable_server();
+
+    // Fred generates allowed traffic.
+    let mut fred = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    fred.mkdir("/work", 0o755).unwrap();
+    fred.put("/work/data", b"private bytes").unwrap();
+    assert_eq!(fred.get("/work/data").unwrap(), b"private bytes");
+
+    // George is denied: his certificate gives him no rights in Fred's
+    // reserved directory.
+    let george_creds = vec![ClientCredential::Globus(
+        ca.issue("/O=UnivNowhere/CN=George"),
+    )];
+    let mut george = ChirpClient::connect(handle.addr(), &george_creds).unwrap();
+    assert_eq!(george.get("/work/data"), Err(Errno::EACCES));
+
+    // The admin reads both snapshots over the wire.
+    let admin_creds = vec![ClientCredential::Globus(
+        ca.issue("/O=UnivNowhere/CN=Admin"),
+    )];
+    let mut admin = ChirpClient::connect(handle.addr(), &admin_creds).unwrap();
+
+    let stats = admin.stats().unwrap();
+    assert!(!stats.is_empty(), "no latency rows after real traffic");
+    let total: u64 = stats.iter().map(|r| r.count).sum();
+    assert!(total > 0);
+    for row in &stats {
+        assert!(row.count > 0, "zero-count row {row:?} should be omitted");
+        assert!(row.p50_ns > 0, "histogram bucket ceilings start at 1ns");
+        assert!(row.p50_ns <= row.p99_ns, "p50 > p99 in {row:?}");
+    }
+    // The traffic above certainly opened files.
+    assert!(stats.iter().any(|r| r.name == "open"), "{stats:?}");
+
+    let audit = admin.audit().unwrap();
+    let deny = audit
+        .iter()
+        .find(|e| e.verdict == "deny" && e.identity == "globus:/O=UnivNowhere/CN=George")
+        .unwrap_or_else(|| panic!("George's denial not in audit: {audit:?}"));
+    assert_eq!(deny.errno, Some(Errno::EACCES));
+    assert!(
+        deny.path.as_deref().unwrap_or("").contains("/work/data"),
+        "denied path missing: {deny:?}"
+    );
+    // Fred's allowed operations are audited too, and sequence numbers
+    // are strictly increasing.
+    assert!(audit
+        .iter()
+        .any(|e| e.verdict == "allow" && e.identity == "globus:/O=UnivNowhere/CN=Fred"));
+    // Fred's mkdir in the reserved export root is the amplification case.
+    assert!(audit
+        .iter()
+        .any(|e| e.verdict == "reserve-amplified" && e.syscall == "mkdir"));
+    assert!(audit.windows(2).all(|w| w[0].seq < w[1].seq));
+
+    handle.shutdown();
+}
+
+/// Non-admin principals get `EACCES` from both observability RPCs —
+/// even ones that can otherwise use the server.
+#[test]
+fn stats_and_audit_require_admin() {
+    let (handle, ca) = spawn_observable_server();
+    let mut fred = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    assert!(fred.whoami().is_ok());
+    assert_eq!(fred.stats().unwrap_err(), Errno::EACCES);
+    assert_eq!(fred.audit().unwrap_err(), Errno::EACCES);
+    // The session is still healthy afterwards.
+    assert!(fred.whoami().is_ok());
+    handle.shutdown();
+
+    // On a default-config server, *nobody* is an admin.
+    let (handle, ca) = spawn_figure3_server();
+    let mut fred = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    assert_eq!(fred.stats().unwrap_err(), Errno::EACCES);
+    handle.shutdown();
+}
+
+/// A `put` whose announced length exceeds PAYLOAD_MAX is refused up
+/// front — before the server allocates or reads anything — and the
+/// session survives in protocol sync.
+#[test]
+fn oversized_put_announce_is_rejected_before_allocation() {
+    use idbox_auth::AuthTransport;
+    use std::io::{BufRead, Write};
+
+    struct RawTransport {
+        reader: std::io::BufReader<std::net::TcpStream>,
+        writer: std::net::TcpStream,
+    }
+    impl AuthTransport for RawTransport {
+        fn send_line(&mut self, line: &str) -> Result<(), String> {
+            self.writer
+                .write_all(line.as_bytes())
+                .and_then(|_| self.writer.write_all(b"\n"))
+                .and_then(|_| self.writer.flush())
+                .map_err(|e| e.to_string())
+        }
+        fn recv_line(&mut self) -> Result<String, String> {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).map_err(|e| e.to_string())?;
+            Ok(line.trim_end_matches(['\r', '\n']).to_string())
+        }
+    }
+
+    let (handle, ca) = spawn_figure3_server();
+    let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    let mut t = RawTransport {
+        reader: std::io::BufReader::new(stream.try_clone().unwrap()),
+        writer: stream,
+    };
+    idbox_auth::authenticate_client(&mut t, &fred_creds(&ca)).unwrap();
+
+    // Announce a payload no honest client could send (PAYLOAD_MAX is
+    // 64 MiB) and transmit no payload bytes at all. A server that
+    // tried to read the payload first would block on the read timeout
+    // instead of answering.
+    t.send_line(&format!("put /huge {} 420", (64u64 << 20) + 1)).unwrap();
+    let resp = t.recv_line().unwrap();
+    assert_eq!(resp, format!("error {}", Errno::EINVAL.code()), "{resp}");
+
+    // Protocol sync: the very next command still round-trips.
+    t.send_line("whoami").unwrap();
+    let resp = t.recv_line().unwrap();
+    assert!(resp.starts_with("ok "), "session out of sync: {resp}");
+
+    handle.shutdown();
 }

@@ -1,0 +1,216 @@
+//! Bounded audit ring for policy decisions.
+//!
+//! The paper's security argument — and McNab's grid ACL work — rest on
+//! every access decision being made in terms of the *global* identity.
+//! This module makes those decisions observable: the policy appends one
+//! [`AuditEvent`] per ruling (identity, syscall, path, verdict, errno)
+//! into a fixed-capacity ring that drops its oldest entry on overflow,
+//! so a long-lived server can always answer "who was denied what,
+//! recently" without unbounded memory.
+//!
+//! Recording goes through `&self` (the ring keeps its own small mutex),
+//! because rulings on read-only calls happen under the *shared* side of
+//! the kernel lock.
+
+use idbox_kernel::Syscall;
+use idbox_types::Errno;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default ring capacity: enough for a burst of recent history, small
+/// enough to be harmless on a long-lived server.
+pub const AUDIT_RING_DEFAULT_CAP: usize = 1024;
+
+/// How a policy ruled on one system call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The call was allowed (including allowed-after-rewrite, e.g. the
+    /// passwd redirection).
+    Allow,
+    /// The call was refused with an errno.
+    Deny,
+    /// A `mkdir` allowed *only* because the identity holds the reserve
+    /// right in the parent — Section 4's amplification.
+    ReserveAmplified,
+}
+
+impl Verdict {
+    /// Stable wire/report spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Verdict::Allow => "allow",
+            Verdict::Deny => "deny",
+            Verdict::ReserveAmplified => "reserve-amplified",
+        }
+    }
+}
+
+/// One recorded policy decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEvent {
+    /// Monotonic sequence number (survives ring overflow, so gaps in a
+    /// snapshot reveal how much history was dropped).
+    pub seq: u64,
+    /// The boxed identity the decision was made for.
+    pub identity: String,
+    /// Syscall name, as in [`Syscall::name`].
+    pub syscall: &'static str,
+    /// The path(s) the call named, when it named any.
+    pub path: Option<String>,
+    /// The ruling.
+    pub verdict: Verdict,
+    /// The errno a denial carried.
+    pub errno: Option<Errno>,
+}
+
+/// A fixed-capacity, oldest-out ring of [`AuditEvent`]s.
+#[derive(Debug)]
+pub struct AuditRing {
+    cap: usize,
+    seq: AtomicU64,
+    events: Mutex<VecDeque<AuditEvent>>,
+}
+
+impl Default for AuditRing {
+    fn default() -> Self {
+        AuditRing::new(AUDIT_RING_DEFAULT_CAP)
+    }
+}
+
+impl AuditRing {
+    /// An empty ring holding at most `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        AuditRing {
+            cap: cap.max(1),
+            seq: AtomicU64::new(0),
+            events: Mutex::new(VecDeque::with_capacity(cap.clamp(1, 1024))),
+        }
+    }
+
+    /// Append one decision, evicting the oldest event when full.
+    pub fn record(
+        &self,
+        identity: &str,
+        call: &Syscall,
+        verdict: Verdict,
+        errno: Option<Errno>,
+    ) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let event = AuditEvent {
+            seq,
+            identity: identity.to_string(),
+            syscall: call.name(),
+            path: call_path(call),
+            verdict,
+            errno,
+        };
+        let mut ring = self.events.lock();
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// Oldest-first copy of the retained events.
+    pub fn snapshot(&self) -> Vec<AuditEvent> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total decisions ever recorded, including evicted ones.
+    pub fn total_recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+/// The path(s) a call names, for the audit record. Two-path calls keep
+/// both names, arrow-joined, since either side can be what a reviewer
+/// is looking for.
+fn call_path(call: &Syscall) -> Option<String> {
+    use Syscall::*;
+    match call {
+        Stat(p) | Lstat(p) | Open(p, ..) | Mkdir(p, _) | Rmdir(p) | Unlink(p)
+        | Readlink(p) | Truncate(p, _) | AccessCheck(p, _) | Readdir(p) | Chmod(p, _)
+        | Chown(p, ..) | Chdir(p) | Exec(p) => Some(p.clone()),
+        Link(old, new) | Symlink(old, new) | Rename(old, new) => {
+            Some(format!("{old} -> {new}"))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_stays_bounded_and_seq_is_monotonic() {
+        let ring = AuditRing::new(8);
+        for i in 0..100u64 {
+            ring.record(
+                "globus:/O=UnivNowhere/CN=Fred",
+                &Syscall::Stat(format!("/f{i}")),
+                Verdict::Allow,
+                None,
+            );
+        }
+        assert_eq!(ring.len(), 8);
+        assert_eq!(ring.capacity(), 8);
+        assert_eq!(ring.total_recorded(), 100);
+        let snap = ring.snapshot();
+        // The newest 8 events survive, in order.
+        let seqs: Vec<u64> = snap.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (92..100).collect::<Vec<_>>());
+        assert_eq!(snap.last().unwrap().path.as_deref(), Some("/f99"));
+    }
+
+    #[test]
+    fn events_carry_identity_verdict_and_errno() {
+        let ring = AuditRing::default();
+        ring.record(
+            "kerberos:fred@nd.edu",
+            &Syscall::Open("/box/secret".into(), idbox_kernel::OpenFlags::rdonly(), 0),
+            Verdict::Deny,
+            Some(Errno::EACCES),
+        );
+        ring.record(
+            "kerberos:fred@nd.edu",
+            &Syscall::Mkdir("/box/fred".into(), 0o755),
+            Verdict::ReserveAmplified,
+            None,
+        );
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].identity, "kerberos:fred@nd.edu");
+        assert_eq!(snap[0].syscall, "open");
+        assert_eq!(snap[0].path.as_deref(), Some("/box/secret"));
+        assert_eq!(snap[0].verdict, Verdict::Deny);
+        assert_eq!(snap[0].errno, Some(Errno::EACCES));
+        assert_eq!(snap[1].verdict.as_str(), "reserve-amplified");
+        assert_eq!(snap[1].errno, None);
+    }
+
+    #[test]
+    fn two_path_calls_keep_both_names() {
+        assert_eq!(
+            call_path(&Syscall::Rename("/a".into(), "/b".into())).as_deref(),
+            Some("/a -> /b")
+        );
+        assert_eq!(call_path(&Syscall::Getpid), None);
+    }
+}

@@ -1,6 +1,7 @@
 //! Creating and running identity boxes.
 
 use crate::aclfs;
+use crate::audit::AuditRing;
 use crate::policy::{IdentityBoxPolicy, PolicyStats};
 use idbox_acl::Acl;
 use idbox_interpose::{GuestCtx, SharedKernel, Supervisor, TraceSink};
@@ -22,6 +23,10 @@ pub struct BoxOptions {
     /// Record every trapped call for forensic review (Section 9's
     /// "recording the objects accessed and the activities taken").
     pub audit: bool,
+    /// A (typically server-wide) ring receiving every policy decision —
+    /// identity, syscall, path, verdict, errno. Unlike the forensic
+    /// trace this is bounded, so it is safe to leave attached forever.
+    pub audit_ring: Option<Arc<AuditRing>>,
 }
 
 impl Default for BoxOptions {
@@ -31,6 +36,7 @@ impl Default for BoxOptions {
             cache_acls: true,
             cost_model: CostModel::calibrated(),
             audit: false,
+            audit_ring: None,
         }
     }
 }
@@ -161,6 +167,12 @@ impl IdentityBox {
         self.audit.as_ref()
     }
 
+    /// The policy-decision audit ring, when one was attached through
+    /// [`BoxOptions::audit_ring`].
+    pub fn audit_ring(&self) -> Option<&Arc<AuditRing>> {
+        self.options.audit_ring.as_ref()
+    }
+
     /// Build an interposed supervisor enforcing this box.
     pub fn supervisor(&self) -> Supervisor {
         let mut policy = IdentityBoxPolicy::new(
@@ -170,6 +182,9 @@ impl IdentityBox {
             self.options.cache_acls,
         );
         policy.use_stats(Arc::clone(&self.stats));
+        if let Some(ring) = &self.options.audit_ring {
+            policy.use_audit(Arc::clone(ring));
+        }
         let mut sup = Supervisor::interposed(
             Arc::clone(&self.kernel),
             Box::new(policy),

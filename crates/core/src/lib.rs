@@ -31,9 +31,11 @@
 //! ordinary uid, and with respect to visitors they are effectively root.
 
 mod aclfs;
+mod audit;
 mod boxer;
 mod policy;
 
 pub use aclfs::{effective_rights, read_acl, write_acl, EffectiveRights};
+pub use audit::{AuditEvent, AuditRing, Verdict, AUDIT_RING_DEFAULT_CAP};
 pub use boxer::{BoxOptions, IdentityBox};
 pub use policy::IdentityBoxPolicy;

@@ -1,6 +1,7 @@
 //! The identity box as a syscall policy.
 
 use crate::aclfs::{self, EffectiveRights};
+use crate::audit::{AuditRing, Verdict};
 use idbox_acl::{Acl, Rights};
 use idbox_interpose::{PolicyDecision, SyscallPolicy};
 use idbox_kernel::{Kernel, Pid, Syscall, SysRet};
@@ -74,6 +75,10 @@ pub struct IdentityBoxPolicy {
     acl_cache: Mutex<HashMap<Ino, (u64, Acl)>>,
     pending_mkdir: Option<(String, PendingMkdir)>,
     stats: Arc<PolicyStats>,
+    /// Optional audit ring: when attached, every ruling made through
+    /// [`SyscallPolicy::check`]/[`SyscallPolicy::check_read`] is
+    /// recorded with identity, syscall, path, verdict, and errno.
+    audit: Option<Arc<AuditRing>>,
 }
 
 impl IdentityBoxPolicy {
@@ -93,6 +98,7 @@ impl IdentityBoxPolicy {
             acl_cache: Mutex::new(HashMap::new()),
             pending_mkdir: None,
             stats: Arc::new(PolicyStats::default()),
+            audit: None,
         }
     }
 
@@ -107,6 +113,37 @@ impl IdentityBoxPolicy {
     /// supervisors it spawns).
     pub fn use_stats(&mut self, stats: Arc<PolicyStats>) {
         self.stats = stats;
+    }
+
+    /// Attach an audit ring (typically shared server-wide) that will
+    /// receive every ruling this policy makes.
+    pub fn use_audit(&mut self, ring: Arc<AuditRing>) {
+        self.audit = Some(ring);
+    }
+
+    /// Record one ruling into the attached ring, if any. Called from the
+    /// `check`/`check_read` trait entry points — *not* from the
+    /// (recursive) decision procedure — so one guest call yields exactly
+    /// one event.
+    fn record_audit(&self, call: &Syscall, decision: &PolicyDecision) {
+        let Some(ring) = &self.audit else { return };
+        let (verdict, errno) = match decision {
+            PolicyDecision::Deny(e) => (Verdict::Deny, Some(*e)),
+            PolicyDecision::Allow | PolicyDecision::Rewrite(_) => {
+                // A mkdir allowed purely through the reserve right has
+                // just scheduled a reserved ACL stamp; surface the
+                // amplification in the audit trail.
+                if matches!(
+                    self.pending_mkdir,
+                    Some((_, PendingMkdir::Reserved(_)))
+                ) {
+                    (Verdict::ReserveAmplified, None)
+                } else {
+                    (Verdict::Allow, None)
+                }
+            }
+        };
+        ring.record(self.identity.as_str(), call, verdict, errno);
     }
 
     /// The boxed identity.
@@ -632,6 +669,7 @@ impl SyscallPolicy for IdentityBoxPolicy {
 
     fn check(&mut self, kernel: &mut Kernel, pid: Pid, call: &Syscall) -> PolicyDecision {
         let decision = self.decide(kernel, pid, call);
+        self.record_audit(call, &decision);
         // An ACL file about to be unlinked or renamed away loses its
         // cache entry now — after the permission verdict (which may have
         // re-read it), but before its inode can die and be recycled.
@@ -659,7 +697,11 @@ impl SyscallPolicy for IdentityBoxPolicy {
         pid: Pid,
         call: &Syscall,
     ) -> Option<PolicyDecision> {
-        call.is_read_only().then(|| self.decide(kernel, pid, call))
+        call.is_read_only().then(|| {
+            let decision = self.decide(kernel, pid, call);
+            self.record_audit(call, &decision);
+            decision
+        })
     }
 
     fn post(
@@ -1227,5 +1269,94 @@ mod tests {
             pol.check(&mut k, pid, &open_r("/box/c")),
             PolicyDecision::Deny(Errno::EACCES)
         );
+    }
+
+    #[test]
+    fn audit_ring_records_denials_with_identity_and_errno() {
+        let (mut k, pid, _) = setup();
+        let george = Identity::new("globus:/O=UnivNowhere/CN=George");
+        let sup = Cred::new(1000, 1000);
+        let mut pol = IdentityBoxPolicy::new(george, sup, "/box/.passwd", false);
+        let ring = Arc::new(AuditRing::default());
+        pol.use_audit(Arc::clone(&ring));
+        assert_eq!(
+            pol.check(&mut k, pid, &open_r("/box/secret")),
+            PolicyDecision::Deny(Errno::EACCES)
+        );
+        // A wrong-identity kill denies with EPERM, not EACCES.
+        assert_eq!(
+            pol.check(&mut k, pid, &Syscall::Chown("/box/secret".into(), 0, 0)),
+            PolicyDecision::Deny(Errno::EPERM)
+        );
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].identity, "globus:/O=UnivNowhere/CN=George");
+        assert_eq!(snap[0].syscall, "open");
+        assert_eq!(snap[0].path.as_deref(), Some("/box/secret"));
+        assert_eq!(snap[0].verdict, Verdict::Deny);
+        assert_eq!(snap[0].errno, Some(Errno::EACCES));
+        assert_eq!(snap[1].verdict, Verdict::Deny);
+        assert_eq!(snap[1].errno, Some(Errno::EPERM));
+    }
+
+    #[test]
+    fn audit_ring_records_allow_and_reserve_amplification() {
+        let (mut k, pid, mut pol) = setup();
+        let ring = Arc::new(AuditRing::default());
+        pol.use_audit(Arc::clone(&ring));
+        assert_eq!(pol.check(&mut k, pid, &open_r("/box/x")), PolicyDecision::Allow);
+        // Switch the box ACL to reserve-only: mkdir amplifies.
+        let sup = Cred::new(1000, 1000);
+        let root = k.vfs().root();
+        let dir = k.vfs().resolve(root, "/box", true, &sup).unwrap();
+        let mut acl = Acl::empty();
+        acl.set_reserve("globus:/O=UnivNowhere/*", Rights::NONE, Rights::RWLAX);
+        aclfs::write_acl(k.vfs_mut(), dir, &acl, &sup).unwrap();
+        assert_eq!(
+            pol.check(&mut k, pid, &Syscall::Mkdir("/box/mine".into(), 0o755)),
+            PolicyDecision::Allow
+        );
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].verdict, Verdict::Allow);
+        assert_eq!(snap[1].syscall, "mkdir");
+        assert_eq!(snap[1].verdict, Verdict::ReserveAmplified);
+        assert_eq!(snap[1].errno, None);
+    }
+
+    #[test]
+    fn audit_ring_records_shared_lock_rulings_too() {
+        let (k, pid, _) = setup();
+        let george = Identity::new("globus:/O=UnivNowhere/CN=George");
+        let sup = Cred::new(1000, 1000);
+        let mut pol = IdentityBoxPolicy::new(george, sup, "/box/.passwd", false);
+        let ring = Arc::new(AuditRing::default());
+        pol.use_audit(Arc::clone(&ring));
+        assert_eq!(
+            pol.check_read(&k, pid, &Syscall::Stat("/box/secret".into())),
+            Some(PolicyDecision::Deny(Errno::EACCES))
+        );
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].syscall, "stat");
+        assert_eq!(snap[0].verdict, Verdict::Deny);
+        assert_eq!(snap[0].errno, Some(Errno::EACCES));
+    }
+
+    #[test]
+    fn audit_ring_stays_bounded_under_policy_churn() {
+        let (mut k, pid, mut pol) = setup();
+        let ring = Arc::new(AuditRing::new(16));
+        pol.use_audit(Arc::clone(&ring));
+        for i in 0..200 {
+            let _ = pol.check(&mut k, pid, &open_r(&format!("/box/f{i}")));
+        }
+        assert_eq!(ring.len(), 16);
+        assert_eq!(ring.total_recorded(), 200);
+        // The retained window is the newest decisions, in order.
+        let snap = ring.snapshot();
+        assert_eq!(snap.first().unwrap().seq, 184);
+        assert_eq!(snap.last().unwrap().seq, 199);
+        assert_eq!(snap.last().unwrap().path.as_deref(), Some("/box/f199"));
     }
 }

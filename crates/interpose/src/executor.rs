@@ -6,9 +6,11 @@ use crate::policy::{AllowAll, PolicyDecision, SyscallPolicy};
 use crate::trace::TraceSink;
 use crate::vm::{reg, TraceeVm};
 use crate::{SharedKernel, SMALL_IO_MAX};
-use idbox_kernel::{OpenFlags, Pid, Signal, Syscall, SysRet};
+use idbox_kernel::{LatencyStats, OpenFlags, Pid, Signal, Syscall, SysRet};
 use idbox_types::{CostModel, Errno, SwitchEngine, SysResult, TrapCostReport};
 use idbox_vfs::Access;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// How the supervisor reaches the kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,11 +57,16 @@ pub struct Supervisor {
     engine: SwitchEngine,
     channel: IoChannel,
     trace: Option<TraceSink>,
+    /// Latency-histogram handle cloned out of the kernel at
+    /// construction, so dispatch timings are recorded without taking
+    /// either side of the kernel lock.
+    latency: Arc<LatencyStats>,
 }
 
 impl Supervisor {
     /// A baseline supervisor: system calls go straight to the kernel.
     pub fn direct(kernel: SharedKernel) -> Self {
+        let latency = Arc::clone(kernel.read().latency());
         Supervisor {
             kernel,
             mode: ExecMode::Direct,
@@ -67,6 +74,7 @@ impl Supervisor {
             engine: SwitchEngine::new(CostModel::free_switches()),
             channel: IoChannel::new(),
             trace: None,
+            latency,
         }
     }
 
@@ -74,6 +82,7 @@ impl Supervisor {
     /// call, but at native cost — what Section 9 argues future operating
     /// systems should provide.
     pub fn in_kernel(kernel: SharedKernel, policy: Box<dyn SyscallPolicy>) -> Self {
+        let latency = Arc::clone(kernel.read().latency());
         Supervisor {
             kernel,
             mode: ExecMode::InKernel,
@@ -81,6 +90,7 @@ impl Supervisor {
             engine: SwitchEngine::new(CostModel::free_switches()),
             channel: IoChannel::new(),
             trace: None,
+            latency,
         }
     }
 
@@ -90,6 +100,7 @@ impl Supervisor {
         policy: Box<dyn SyscallPolicy>,
         model: CostModel,
     ) -> Self {
+        let latency = Arc::clone(kernel.read().latency());
         Supervisor {
             kernel,
             mode: ExecMode::Interposed,
@@ -97,6 +108,7 @@ impl Supervisor {
             engine: SwitchEngine::new(model),
             channel: IoChannel::new(),
             trace: None,
+            latency,
         }
     }
 
@@ -175,6 +187,13 @@ impl Supervisor {
     /// Kernel dispatch without a policy: read-only calls go down the
     /// shared-lock fast path, everything else takes the exclusive lock.
     fn dispatch_plain(&mut self, pid: Pid, call: &Syscall) -> SysResult<SysRet> {
+        let t0 = Instant::now();
+        let result = self.dispatch_plain_inner(pid, call);
+        self.latency.record(call, t0.elapsed().as_nanos() as u64);
+        result
+    }
+
+    fn dispatch_plain_inner(&mut self, pid: Pid, call: &Syscall) -> SysResult<SysRet> {
         if call.is_read_only() {
             if let Some(result) = self.kernel.read().syscall_read(pid, call) {
                 return result;
@@ -195,7 +214,23 @@ impl Supervisor {
     /// exclusive path. With `nullify`, the nullified `getpid` really
     /// enters the kernel before the lock is released (Figure 4(a),
     /// steps 4-5).
+    ///
+    /// Both lock paths are timed into the kernel's latency histograms:
+    /// the clock covers the policy ruling plus the kernel entry, i.e.
+    /// what the guest experiences for the call.
     fn dispatch_policed(&mut self, pid: Pid, call: &Syscall, nullify: bool) -> SysResult<SysRet> {
+        let t0 = Instant::now();
+        let result = self.dispatch_policed_inner(pid, call, nullify);
+        self.latency.record(call, t0.elapsed().as_nanos() as u64);
+        result
+    }
+
+    fn dispatch_policed_inner(
+        &mut self,
+        pid: Pid,
+        call: &Syscall,
+        nullify: bool,
+    ) -> SysResult<SysRet> {
         if call.is_read_only() {
             let kernel = self.kernel.read();
             if let Some(decision) = self.policy.check_read(&kernel, pid, call) {

@@ -5,7 +5,7 @@ use crate::driver::{FsDriver, MountTable};
 use crate::process::{
     FileBacking, OpenFile, OpenFlags, Pid, PipeEnd, ProcState, Process, Signal,
 };
-use crate::stats::SyscallStats;
+use crate::stats::{LatencyStats, SyscallStats};
 use crate::syscall::{SysRet, Syscall, Whence};
 use idbox_types::{Errno, Identity, SysResult};
 use idbox_vfs::{path as vpath, Access, Cred, FileKind, Ino, Vfs};
@@ -32,6 +32,10 @@ pub struct Kernel {
     /// Atomic so both dispatch paths — exclusive *and* shared-lock — can
     /// record calls; see [`SyscallStats`].
     pub stats: SyscallStats,
+    /// Per-syscall latency histograms. Behind an `Arc` so supervisors
+    /// can clone the handle once at construction and record timings
+    /// without holding either side of the kernel lock.
+    latency: std::sync::Arc<LatencyStats>,
 }
 
 /// An in-kernel pipe: a byte queue plus end reference counts.
@@ -109,7 +113,13 @@ impl Kernel {
             accounts,
             pipes: Vec::new(),
             stats: SyscallStats::new(),
+            latency: std::sync::Arc::new(LatencyStats::new()),
         }
+    }
+
+    /// The shared latency-histogram handle for this kernel.
+    pub fn latency(&self) -> &std::sync::Arc<LatencyStats> {
+        &self.latency
     }
 
     // ------------------------------------------------------------------

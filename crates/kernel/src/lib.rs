@@ -26,7 +26,7 @@ mod syscall;
 pub use accounts::{Account, AccountDb};
 pub use driver::{DriverFd, FsDriver, MountTable};
 pub use kernel::Kernel;
-pub use stats::SyscallStats;
+pub use stats::{LatencySnapshot, LatencyStats, SyscallStats, LATENCY_BUCKETS};
 pub use process::{
     FileBacking, OpenFile, OpenFlags, Pid, PipeEnd, ProcState, Process, Signal, MAX_FDS,
 };

@@ -71,6 +71,160 @@ impl Clone for SyscallStats {
     }
 }
 
+/// Number of log-scale latency buckets. Bucket `i` covers durations in
+/// `[2^i, 2^(i+1))` nanoseconds (bucket 0 also absorbs 0ns), so 32
+/// buckets span 1ns up to ~4.3 seconds — wider than any simulated
+/// syscall.
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Per-syscall latency histograms with fixed log-scale buckets.
+///
+/// Same discipline as [`SyscallStats`]: the kernel lives behind a
+/// reader/writer lock and read-only calls are dispatched under the
+/// shared side, so every cell is an atomic and recording goes through
+/// `&self`. Supervisors time each dispatch and record here without
+/// holding either side of the kernel lock.
+#[derive(Debug)]
+pub struct LatencyStats {
+    buckets: [[AtomicU64; LATENCY_BUCKETS]; Syscall::NAMES.len()],
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The log2 bucket index for a duration in nanoseconds.
+fn bucket_of(nanos: u64) -> usize {
+    if nanos == 0 {
+        return 0;
+    }
+    ((63 - nanos.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// The inclusive upper bound (ns) reported for bucket `i`.
+fn bucket_ceiling(i: usize) -> u64 {
+    (1u64 << (i + 1)) - 1
+}
+
+impl LatencyStats {
+    /// All buckets at zero.
+    pub fn new() -> Self {
+        LatencyStats {
+            buckets: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+        }
+    }
+
+    /// Record one dispatch of `call` that took `nanos` nanoseconds.
+    pub fn record(&self, call: &Syscall, nanos: u64) {
+        self.buckets[call.slot()][bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time, non-atomic copy for percentile math and diffs.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|row| std::array::from_fn(|i| row[i].load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen copy of [`LatencyStats`], one bucket row per syscall name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    buckets: Vec<[u64; LATENCY_BUCKETS]>,
+}
+
+impl LatencySnapshot {
+    /// Dispatches recorded for the named call (0 for unknown names).
+    pub fn count(&self, name: &str) -> u64 {
+        match Syscall::NAMES.iter().position(|&n| n == name) {
+            Some(slot) => self.buckets[slot].iter().sum(),
+            None => 0,
+        }
+    }
+
+    /// Total dispatches recorded across all calls.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().flatten().sum()
+    }
+
+    /// The latency (ns, bucket ceiling) at percentile `p` (0-100] for
+    /// the named call, or `None` when nothing was recorded.
+    pub fn percentile(&self, name: &str, p: f64) -> Option<u64> {
+        let slot = Syscall::NAMES.iter().position(|&n| n == name)?;
+        percentile_of(&self.buckets[slot], p)
+    }
+
+    /// The latency at percentile `p` merged across every syscall.
+    pub fn overall_percentile(&self, p: f64) -> Option<u64> {
+        let mut merged = [0u64; LATENCY_BUCKETS];
+        for row in &self.buckets {
+            for (m, b) in merged.iter_mut().zip(row) {
+                *m += b;
+            }
+        }
+        percentile_of(&merged, p)
+    }
+
+    /// The events recorded between `earlier` and `self` (saturating, so
+    /// a fresh snapshot diffed against a stale one never underflows).
+    pub fn diff(&self, earlier: &LatencySnapshot) -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(now, then)| {
+                    std::array::from_fn(|i| now[i].saturating_sub(then[i]))
+                })
+                .collect(),
+        }
+    }
+
+    /// `(name, count, p50 ns, p99 ns)` for every call with data,
+    /// in [`Syscall::NAMES`] order.
+    pub fn rows(&self) -> Vec<(&'static str, u64, u64, u64)> {
+        Syscall::NAMES
+            .iter()
+            .zip(&self.buckets)
+            .filter_map(|(&name, row)| {
+                let n: u64 = row.iter().sum();
+                (n > 0).then(|| {
+                    (
+                        name,
+                        n,
+                        percentile_of(row, 50.0).unwrap_or(0),
+                        percentile_of(row, 99.0).unwrap_or(0),
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
+/// Percentile over one bucket row: walk buckets until the cumulative
+/// count reaches `ceil(p% of total)`, report that bucket's ceiling.
+fn percentile_of(row: &[u64; LATENCY_BUCKETS], p: f64) -> Option<u64> {
+    let total: u64 = row.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &n) in row.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return Some(bucket_ceiling(i));
+        }
+    }
+    Some(bucket_ceiling(LATENCY_BUCKETS - 1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +268,73 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(s.count("read"), 4000);
+    }
+
+    #[test]
+    fn latency_buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(1024), 10);
+        // Everything past the top bucket clamps into it.
+        assert_eq!(bucket_of(u64::MAX), LATENCY_BUCKETS - 1);
+        assert_eq!(bucket_ceiling(0), 1);
+        assert_eq!(bucket_ceiling(10), 2047);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let l = LatencyStats::new();
+        let snap = l.snapshot();
+        assert_eq!(snap.percentile("getpid", 50.0), None);
+        assert_eq!(snap.overall_percentile(99.0), None);
+        for _ in 0..99 {
+            l.record(&Syscall::Getpid, 1_000); // bucket 9, ceiling 1023
+        }
+        l.record(&Syscall::Getpid, 1_000_000); // bucket 19
+        let snap = l.snapshot();
+        assert_eq!(snap.count("getpid"), 100);
+        assert_eq!(snap.percentile("getpid", 50.0), Some(1023));
+        assert_eq!(snap.percentile("getpid", 99.0), Some(1023));
+        assert_eq!(snap.percentile("getpid", 100.0), Some((1 << 20) - 1));
+        assert!(snap.percentile("getpid", 50.0) <= snap.percentile("getpid", 99.0));
+        assert_eq!(snap.percentile("no-such-call", 50.0), None);
+    }
+
+    #[test]
+    fn latency_diff_and_rows() {
+        let l = LatencyStats::new();
+        l.record(&Syscall::Getpid, 10);
+        let before = l.snapshot();
+        l.record(&Syscall::Stat("/x".into()), 100);
+        l.record(&Syscall::Stat("/x".into()), 100);
+        let delta = l.snapshot().diff(&before);
+        assert_eq!(delta.count("getpid"), 0);
+        assert_eq!(delta.count("stat"), 2);
+        assert_eq!(delta.total(), 2);
+        let rows = delta.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, "stat");
+        assert_eq!(rows[0].1, 2);
+    }
+
+    #[test]
+    fn latency_records_through_shared_borrow_from_threads() {
+        let l = std::sync::Arc::new(LatencyStats::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let l = std::sync::Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        l.record(&Syscall::Read(0, 1), i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(l.snapshot().count("read"), 4000);
     }
 }

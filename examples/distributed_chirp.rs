@@ -39,7 +39,8 @@ fn main() {
         verifier,
         root_acl,
         ..Default::default()
-    });
+    })
+    .expect("server setup");
     // The physics simulation the site offers (staged executables name it).
     server.register_program("sim", |ctx, args| {
         let particles: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(1000);

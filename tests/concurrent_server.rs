@@ -26,7 +26,8 @@ fn server() -> (idbox::chirp::ChirpServerHandle, CertificateAuthority) {
         verifier,
         root_acl,
         ..Default::default()
-    });
+    })
+    .unwrap();
     (s.spawn().unwrap(), ca)
 }
 

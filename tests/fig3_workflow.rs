@@ -23,7 +23,8 @@ fn server() -> (idbox::chirp::ChirpServerHandle, CertificateAuthority) {
         verifier,
         root_acl,
         ..Default::default()
-    });
+    })
+    .unwrap();
     s.register_program("sim", |ctx, _| {
         let input = match ctx.read_file("input.dat") {
             Ok(i) => i,

@@ -45,6 +45,7 @@ fn same_name_local_and_remote() {
         root_acl: acl,
         ..Default::default()
     })
+    .unwrap()
     .spawn()
     .unwrap();
     let creds = vec![ClientCredential::Globus(ca.issue("/O=UnivNowhere/CN=Fred"))];
