@@ -5,11 +5,11 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
-# Observability subsystem: histogram/audit-ring units plus the e2e
-# stats/audit RPC and oversized-put tests.
-cargo test -q -p idbox-kernel -p idbox-core
+# Observability subsystem: tracing/metrics units (idbox-obs),
+# histogram/audit-ring units, and the e2e suite covering the
+# stats/audit/metrics/slowops RPCs and the trace-id join.
+cargo test -q -p idbox-obs -p idbox-kernel -p idbox-core
 cargo test -q -p idbox-chirp --test e2e
-cargo clippy -- -D warnings
-# Crates touched by the observability work lint clean across all
-# targets (tests, benches, bins).
-cargo clippy -p idbox-kernel -p idbox-interpose -p idbox-core -p idbox-chirp -p idbox-bench --all-targets -- -D warnings
+# The whole workspace lints clean across all targets (tests, benches,
+# bins).
+cargo clippy --workspace --all-targets -- -D warnings

@@ -8,6 +8,11 @@
 //! requests per second at each level, plus per-level p50/p99 dispatch
 //! latency from the kernel's histograms (bucket ceilings, ns).
 //!
+//! After the levels finish, an admin client pulls the `metrics` RPC and
+//! the Prometheus exposition is snapshotted into
+//! `results/server_throughput_metrics.prom`, so each bench run leaves
+//! the per-identity accounting it generated next to its TSV.
+//!
 //! ```text
 //! cargo run --release -p idbox-bench --bin server_throughput
 //! ```
@@ -40,11 +45,14 @@ fn server() -> (idbox_chirp::ChirpServerHandle, CertificateAuthority) {
         name: "throughput".into(),
         verifier,
         root_acl,
+        admins: vec![format!("globus:{ADMIN}")],
         ..Default::default()
     })
     .unwrap();
     (s.spawn().unwrap(), ca)
 }
+
+const ADMIN: &str = "/O=UnivNowhere/CN=Admin";
 
 /// Run `n` clients against `addr` for [`WINDOW`]; return total requests
 /// served across all of them.
@@ -133,5 +141,20 @@ fn main() {
         "clients\treqs_per_sec\tspeedup_vs_1\tp50_ns\tp99_ns\thost_cores",
         &rows,
     );
+    // Snapshot the per-identity accounting the run produced.
+    let admin_creds = vec![ClientCredential::Globus(ca.issue(ADMIN))];
+    let mut admin = ChirpClient::connect(addr, &admin_creds).unwrap();
+    let exposition = admin.metrics().unwrap();
+    let path = idbox_bench::results_path("server_throughput_metrics.prom");
+    std::fs::write(&path, &exposition).unwrap();
+    let identities = exposition
+        .lines()
+        .filter(|l| l.starts_with("idbox_syscalls_total{"))
+        .count();
+    println!(
+        "metrics: {identities} per-identity syscall samples -> {}",
+        path.display()
+    );
+    let _ = admin.quit();
     handle.shutdown();
 }

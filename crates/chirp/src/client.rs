@@ -5,6 +5,7 @@ use idbox_acl::Acl;
 use idbox_auth::{authenticate_client, AuthTransport, ClientCredential};
 use idbox_interpose::abi;
 use idbox_kernel::OpenFlags;
+use idbox_obs::{next_trace_id, TraceId};
 use idbox_types::{Errno, Principal, SysResult};
 use idbox_vfs::{DirEntry, StatBuf};
 use std::io::{BufReader, Write};
@@ -16,6 +17,10 @@ pub struct ChirpClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     principal: Principal,
+    /// The trace id stamped on the most recently sent request — what a
+    /// caller quotes to join server-side audit rows and slow-op spans
+    /// to its own operation.
+    last_trace: Option<TraceId>,
 }
 
 struct ClientTransport<'a> {
@@ -57,6 +62,7 @@ impl ChirpClient {
             reader,
             writer,
             principal,
+            last_trace: None,
         })
     }
 
@@ -65,12 +71,27 @@ impl ChirpClient {
         &self.principal
     }
 
+    /// The trace id carried by the most recently sent request, if any
+    /// request has been sent yet.
+    pub fn last_trace(&self) -> Option<TraceId> {
+        self.last_trace
+    }
+
+    /// Mint a fresh trace id for one request and remember it.
+    fn stamp(&mut self) -> TraceId {
+        let id = next_trace_id();
+        self.last_trace = Some(id);
+        id
+    }
+
     fn send(&mut self, line: &str) -> SysResult<()> {
-        codec::write_line(&mut self.writer, line)
+        let id = self.stamp();
+        codec::write_line(&mut self.writer, &codec::with_trace(line, id))
     }
 
     fn send_with_payload(&mut self, line: &str, data: &[u8]) -> SysResult<()> {
-        codec::write_line(&mut self.writer, line)?;
+        let id = self.stamp();
+        codec::write_line(&mut self.writer, &codec::with_trace(line, id))?;
         self.writer.write_all(data).map_err(|_| Errno::EPIPE)?;
         self.writer.flush().map_err(|_| Errno::EPIPE)
     }
@@ -267,20 +288,7 @@ impl ChirpClient {
         self.send("stats")?;
         let data = self.recv_payload()?;
         let text = String::from_utf8(data).map_err(|_| Errno::EPROTO)?;
-        text.lines()
-            .map(|line| {
-                let mut f = line.split_whitespace();
-                let row = (|| {
-                    Some(StatRow {
-                        name: f.next()?.to_string(),
-                        count: f.next()?.parse().ok()?,
-                        p50_ns: f.next()?.parse().ok()?,
-                        p99_ns: f.next()?.parse().ok()?,
-                    })
-                })();
-                row.ok_or(Errno::EPROTO)
-            })
-            .collect()
+        parse_stat_rows(&text)
     }
 
     /// The server's recent policy decisions, oldest first. Admin
@@ -289,28 +297,44 @@ impl ChirpClient {
         self.send("audit")?;
         let data = self.recv_payload()?;
         let text = String::from_utf8(data).map_err(|_| Errno::EPROTO)?;
-        text.lines()
-            .map(|line| {
-                let mut f = line.split_whitespace();
-                let row = (|| {
-                    Some(AuditRow {
-                        seq: f.next()?.parse().ok()?,
-                        identity: codec::decode_word(f.next()?).ok()?,
-                        syscall: f.next()?.to_string(),
-                        path: match f.next()? {
-                            "-" => None,
-                            w => Some(codec::decode_word(w).ok()?),
-                        },
-                        verdict: f.next()?.to_string(),
-                        errno: match f.next()? {
-                            "-" => None,
-                            w => Some(Errno::from_code(w.parse().ok()?)?),
-                        },
-                    })
-                })();
-                row.ok_or(Errno::EPROTO)
-            })
-            .collect()
+        parse_audit_rows(&text)
+    }
+
+    /// Incremental tail of the server's policy decisions: events with
+    /// `seq >= since`, plus the cursor to pass next time (the server's
+    /// write head). A gap between `since` and the first returned seq
+    /// means the ring dropped that much history. Admin principals only.
+    pub fn audit_since(&mut self, since: u64) -> SysResult<(Vec<AuditRow>, u64)> {
+        self.send(&format!("audit {since}"))?;
+        let words = self.recv()?;
+        let len: u64 = words
+            .first()
+            .and_then(|w| w.parse().ok())
+            .ok_or(Errno::EPROTO)?;
+        let cursor: u64 = words
+            .get(1)
+            .and_then(|w| w.parse().ok())
+            .ok_or(Errno::EPROTO)?;
+        let data = codec::read_payload(&mut self.reader, len)?;
+        let text = String::from_utf8(data).map_err(|_| Errno::EPROTO)?;
+        Ok((parse_audit_rows(&text)?, cursor))
+    }
+
+    /// The server's per-identity counters in Prometheus text exposition
+    /// format. Admin principals only — everyone else gets `EACCES`.
+    pub fn metrics(&mut self) -> SysResult<String> {
+        self.send("metrics")?;
+        let data = self.recv_payload()?;
+        String::from_utf8(data).map_err(|_| Errno::EPROTO)
+    }
+
+    /// The server's recent slow operations, oldest first. Admin
+    /// principals only — everyone else gets `EACCES`.
+    pub fn slowops(&mut self) -> SysResult<Vec<SlowOpRow>> {
+        self.send("slowops")?;
+        let data = self.recv_payload()?;
+        let text = String::from_utf8(data).map_err(|_| Errno::EPROTO)?;
+        parse_slowop_rows(&text)
     }
 
     /// Polite disconnect.
@@ -349,4 +373,147 @@ pub struct AuditRow {
     pub verdict: String,
     /// The errno a denial carried.
     pub errno: Option<Errno>,
+    /// The trace id of the request that triggered the ruling, when the
+    /// client sent one (and the server is new enough to report it).
+    pub trace: Option<TraceId>,
+}
+
+/// One line of the `slowops` RPC: a span that crossed the server's
+/// slow-op threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowOpRow {
+    /// The trace id of the request, when the client sent one.
+    pub trace: Option<TraceId>,
+    /// Which phase was timed: `rpc`, `policy`, `dispatch`, or `exec`.
+    pub phase: String,
+    /// What ran: the RPC verb, syscall name, or program path.
+    pub name: String,
+    /// The principal the work was done for.
+    pub identity: String,
+    /// Wall-clock start, nanoseconds since the Unix epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Parse `stats` payload lines. Trailing columns beyond the known four
+/// are ignored, so a newer server can append more without breaking old
+/// clients.
+fn parse_stat_rows(text: &str) -> SysResult<Vec<StatRow>> {
+    text.lines()
+        .map(|line| {
+            let mut f = line.split_whitespace();
+            let row = (|| {
+                Some(StatRow {
+                    name: f.next()?.to_string(),
+                    count: f.next()?.parse().ok()?,
+                    p50_ns: f.next()?.parse().ok()?,
+                    p99_ns: f.next()?.parse().ok()?,
+                })
+            })();
+            row.ok_or(Errno::EPROTO)
+        })
+        .collect()
+}
+
+/// Parse `audit` payload lines. The trace column was appended after
+/// the first release, so it is optional; columns beyond it are
+/// ignored, preserving the same forward compatibility for the future.
+fn parse_audit_rows(text: &str) -> SysResult<Vec<AuditRow>> {
+    text.lines()
+        .map(|line| {
+            let mut f = line.split_whitespace();
+            let row = (|| {
+                Some(AuditRow {
+                    seq: f.next()?.parse().ok()?,
+                    identity: codec::decode_word(f.next()?).ok()?,
+                    syscall: f.next()?.to_string(),
+                    path: match f.next()? {
+                        "-" => None,
+                        w => Some(codec::decode_word(w).ok()?),
+                    },
+                    verdict: f.next()?.to_string(),
+                    errno: match f.next()? {
+                        "-" => None,
+                        w => Some(Errno::from_code(w.parse().ok()?)?),
+                    },
+                    trace: match f.next() {
+                        None | Some("-") => None,
+                        Some(w) => Some(w.parse().ok()?),
+                    },
+                })
+            })();
+            row.ok_or(Errno::EPROTO)
+        })
+        .collect()
+}
+
+/// Parse `slowops` payload lines; trailing unknown columns are ignored.
+fn parse_slowop_rows(text: &str) -> SysResult<Vec<SlowOpRow>> {
+    text.lines()
+        .map(|line| {
+            let mut f = line.split_whitespace();
+            let row = (|| {
+                Some(SlowOpRow {
+                    trace: match f.next()? {
+                        "-" => None,
+                        w => Some(w.parse().ok()?),
+                    },
+                    phase: f.next()?.to_string(),
+                    name: codec::decode_word(f.next()?).ok()?,
+                    identity: codec::decode_word(f.next()?).ok()?,
+                    start_ns: f.next()?.parse().ok()?,
+                    dur_ns: f.next()?.parse().ok()?,
+                })
+            })();
+            row.ok_or(Errno::EPROTO)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_rows_ignore_unknown_trailing_columns() {
+        let known = parse_stat_rows("stat 10 100 900\n").unwrap();
+        // A newer server appending a p999 column must parse identically.
+        let newer = parse_stat_rows("stat 10 100 900 9999 extra\n").unwrap();
+        assert_eq!(known, newer);
+        assert_eq!(known[0].name, "stat");
+        assert_eq!((known[0].count, known[0].p50_ns, known[0].p99_ns), (10, 100, 900));
+        assert!(parse_stat_rows("stat 10 100\n").is_err(), "short row is EPROTO");
+    }
+
+    #[test]
+    fn audit_rows_parse_with_and_without_trace_column() {
+        // A pre-trace server emits six columns...
+        let old = parse_audit_rows("5 fred open /a deny 13\n").unwrap();
+        assert_eq!(old[0].trace, None);
+        assert_eq!(old[0].errno, Some(Errno::EACCES));
+        // ...the current one seven ("-" = request carried no id)...
+        let now = parse_audit_rows("5 fred open /a deny 13 00000000000000ab\n").unwrap();
+        assert_eq!(now[0].trace.unwrap().raw(), 0xab);
+        let none = parse_audit_rows("5 fred open - allow - -\n").unwrap();
+        assert_eq!(none[0].trace, None);
+        assert_eq!(none[0].path, None);
+        // ...and a future one may append more columns still.
+        let future =
+            parse_audit_rows("5 fred open /a deny 13 00000000000000ab whatever 9\n").unwrap();
+        assert_eq!(now, future);
+        assert!(parse_audit_rows("5 fred open /a deny 13 nothex\n").is_err());
+    }
+
+    #[test]
+    fn slowop_rows_parse_and_tolerate_extras() {
+        let text = "00000000000000ab exec /export/job%20dir fred 1000 2000\n\
+                    - dispatch stat fred 1500 10 future-column\n";
+        let rows = parse_slowop_rows(text).unwrap();
+        assert_eq!(rows[0].trace.unwrap().raw(), 0xab);
+        assert_eq!(rows[0].name, "/export/job dir");
+        assert_eq!(rows[1].trace, None);
+        assert_eq!(rows[1].phase, "dispatch");
+        assert_eq!((rows[1].start_ns, rows[1].dur_ns), (1500, 10));
+    }
 }

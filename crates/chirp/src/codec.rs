@@ -5,6 +5,7 @@
 //! Words that may contain arbitrary bytes (paths, principals) are
 //! percent-encoded. Bulk data follows a line announcing its length.
 
+use idbox_obs::TraceId;
 use idbox_types::{Errno, SysResult};
 use std::io::{BufRead, Read, Write};
 
@@ -94,6 +95,37 @@ pub fn read_payload(r: &mut impl Read, len: u64) -> SysResult<Vec<u8>> {
     let mut buf = vec![0u8; len as usize];
     r.read_exact(&mut buf).map_err(|_| Errno::EPIPE)?;
     Ok(buf)
+}
+
+/// The spelling of the optional trace token a client may append as the
+/// final word of any command line: `trace=` followed by exactly 16
+/// lowercase hex digits.
+pub const TRACE_PREFIX: &str = "trace=";
+
+/// Append a trace token to a command line.
+pub fn with_trace(line: &str, id: TraceId) -> String {
+    format!("{line} {TRACE_PREFIX}{id}")
+}
+
+/// Split a trailing trace token off a raw (still percent-encoded)
+/// command line. Returns the line without the token, and the id when
+/// one was present and well-formed.
+///
+/// Peers that predate tracing never emit the token and are unaffected;
+/// conversely a server that predates tracing sees the token as one
+/// extra trailing word, which the fixed-arity commands ignore. The
+/// token is only recognized after a preceding word (a command line is
+/// never empty) and only with the exact 16-hex spelling, so an
+/// ordinary final argument is never eaten by accident.
+pub fn strip_trace(line: &str) -> (&str, Option<TraceId>) {
+    if let Some(idx) = line.rfind(' ') {
+        if let Some(hex) = line[idx + 1..].strip_prefix(TRACE_PREFIX) {
+            if let Ok(id) = hex.parse::<TraceId>() {
+                return (&line[..idx], Some(id));
+            }
+        }
+    }
+    (line, None)
 }
 
 /// Split a command line into decoded words.
@@ -231,5 +263,35 @@ mod tests {
     fn split_words_decodes() {
         let words = split_words("open /a%20b 3").unwrap();
         assert_eq!(words, ["open", "/a b", "3"]);
+    }
+
+    #[test]
+    fn trace_token_round_trips() {
+        let id = idbox_obs::next_trace_id();
+        let line = with_trace("stat /a", id);
+        assert_eq!(line, format!("stat /a trace={id}"));
+        assert_eq!(strip_trace(&line), ("stat /a", Some(id)));
+    }
+
+    #[test]
+    fn strip_trace_leaves_ordinary_lines_alone() {
+        // No token at all.
+        assert_eq!(strip_trace("stat /a"), ("stat /a", None));
+        // A lone token with no preceding command is not stripped.
+        assert_eq!(
+            strip_trace("trace=00000000000000ab"),
+            ("trace=00000000000000ab", None)
+        );
+        // Malformed ids (wrong length, uppercase, zero) stay in place.
+        for bad in [
+            "stat /a trace=123",
+            "stat /a trace=00000000000000AB",
+            "stat /a trace=0000000000000000",
+            "stat /a trace=000000000000000g",
+        ] {
+            assert_eq!(strip_trace(bad), (bad, None));
+        }
+        // A final argument that merely resembles the prefix survives.
+        assert_eq!(strip_trace("put trace=x 3"), ("put trace=x 3", None));
     }
 }

@@ -7,7 +7,11 @@ use idbox_auth::{authenticate_server, AuthTransport, ServerVerifier};
 use idbox_core::{AuditRing, BoxOptions, IdentityBox};
 use idbox_interpose::abi;
 use idbox_interpose::{share, GuestCtx, SharedKernel};
-use idbox_kernel::{Account, Kernel, OpenFlags, Pid};
+use idbox_kernel::{Account, Kernel, OpenFlags, Pid, Syscall};
+use idbox_obs::{
+    now_unix_ns, IdentityCounters, IdentityMetrics, Phase, SlowOpLog, Span, TraceCell,
+    IDENTITY_METRICS_DEFAULT_CAP, SLOW_OP_DEFAULT_CAP,
+};
 use idbox_types::{CostModel, Errno, SysResult};
 use idbox_vfs::Cred;
 use std::collections::BTreeMap;
@@ -47,10 +51,14 @@ pub struct ServerConfig {
     /// refused with a protocol `error` line instead of being accepted.
     pub max_connections: usize,
     /// Qualified principals (`method:name`, e.g.
-    /// `globus:/O=UnivNowhere/CN=Admin`) allowed to call the `stats` and
-    /// `audit` RPCs. Everyone else gets `EACCES`; the default is empty,
-    /// so observability is off the wire unless explicitly granted.
+    /// `globus:/O=UnivNowhere/CN=Admin`) allowed to call the `stats`,
+    /// `audit`, `metrics`, and `slowops` RPCs. Everyone else gets
+    /// `EACCES`; the default is empty, so observability is off the wire
+    /// unless explicitly granted.
     pub admins: Vec<String>,
+    /// Operations at least this long are kept as spans in the slow-op
+    /// ring (the `slowops` RPC). `Duration::ZERO` keeps everything.
+    pub slow_op_threshold: Duration,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +79,7 @@ impl Default for ServerConfig {
             io_timeout: None,
             max_connections: 1024,
             admins: Vec::new(),
+            slow_op_threshold: Duration::from_millis(1),
         }
     }
 }
@@ -88,7 +97,13 @@ pub struct ChirpServer {
     programs: BTreeMap<String, GuestFn>,
     sup_cred: Cred,
     audit: Arc<AuditRing>,
+    metrics: Arc<IdentityMetrics>,
+    slow_ops: Arc<SlowOpLog>,
 }
+
+/// The kernel's syscall name table, as the `'static` slice the metrics
+/// registry sizes and labels its per-syscall counters with.
+const SYSCALL_NAMES: &[&str] = &Syscall::NAMES;
 
 impl ChirpServer {
     /// Build a server with its own simulated kernel: the export space
@@ -110,12 +125,21 @@ impl ChirpServer {
         k.vfs_mut()
             .chown(root, crate::EXPORT_ROOT, 1000, 1000, &Cred::ROOT)?;
         idbox_core::write_acl(k.vfs_mut(), export, &config.root_acl, &sup_cred)?;
+        let slow_ops = Arc::new(SlowOpLog::new(
+            SLOW_OP_DEFAULT_CAP,
+            config.slow_op_threshold.as_nanos().min(u128::from(u64::MAX)) as u64,
+        ));
         Ok(ChirpServer {
             config,
             kernel: share(k),
             programs: BTreeMap::new(),
             sup_cred,
             audit: Arc::new(AuditRing::default()),
+            metrics: Arc::new(IdentityMetrics::new(
+                SYSCALL_NAMES,
+                IDENTITY_METRICS_DEFAULT_CAP,
+            )),
+            slow_ops,
         })
     }
 
@@ -152,6 +176,8 @@ impl ChirpServer {
         let max_connections = self.config.max_connections;
         let admins = Arc::new(self.config.admins);
         let audit = Arc::clone(&self.audit);
+        let metrics = Arc::clone(&self.metrics);
+        let slow_ops = Arc::clone(&self.slow_ops);
         let conns: ConnRegistry = Arc::default();
         let conns2 = Arc::clone(&conns);
         // Catalog heartbeat: register now and on every period until
@@ -205,6 +231,8 @@ impl ChirpServer {
                         let conns = Arc::clone(&conns2);
                         let admins = Arc::clone(&admins);
                         let audit = Arc::clone(&audit);
+                        let metrics = Arc::clone(&metrics);
+                        let slow_ops = Arc::clone(&slow_ops);
                         let mut verifier = (*verifier).clone();
                         verifier.peer_hostname = host_db.get(&peer.ip()).cloned();
                         // Detached: a connection lives as long as its
@@ -217,6 +245,8 @@ impl ChirpServer {
                                 kernel: Arc::clone(&kernel),
                                 admins,
                                 audit,
+                                metrics,
+                                slow_ops,
                             };
                             let _ = serve_connection(
                                 stream, kernel, &verifier, &programs, cost_model, sup_cred,
@@ -242,6 +272,8 @@ impl ChirpServer {
             kernel: Arc::clone(&self.kernel),
             conns,
             audit: Arc::clone(&self.audit),
+            metrics: Arc::clone(&self.metrics),
+            slow_ops: Arc::clone(&self.slow_ops),
         })
     }
 }
@@ -254,6 +286,8 @@ pub struct ChirpServerHandle {
     kernel: SharedKernel,
     conns: ConnRegistry,
     audit: Arc<AuditRing>,
+    metrics: Arc<IdentityMetrics>,
+    slow_ops: Arc<SlowOpLog>,
 }
 
 impl ChirpServerHandle {
@@ -270,6 +304,16 @@ impl ChirpServerHandle {
     /// The server-wide policy-decision audit ring.
     pub fn audit_ring(&self) -> &Arc<AuditRing> {
         &self.audit
+    }
+
+    /// The server-wide per-identity metrics registry.
+    pub fn metrics(&self) -> &Arc<IdentityMetrics> {
+        &self.metrics
+    }
+
+    /// The server-wide slow-operation span ring.
+    pub fn slow_ops(&self) -> &Arc<SlowOpLog> {
+        &self.slow_ops
     }
 
     /// Number of connections currently being served.
@@ -332,6 +376,8 @@ struct SessionCtl {
     kernel: SharedKernel,
     admins: Arc<Vec<String>>,
     audit: Arc<AuditRing>,
+    metrics: Arc<IdentityMetrics>,
+    slow_ops: Arc<SlowOpLog>,
 }
 
 impl SessionCtl {
@@ -343,6 +389,24 @@ impl SessionCtl {
         } else {
             Err(Errno::EACCES)
         }
+    }
+}
+
+/// Per-session observability state threaded into `dispatch`: the cell
+/// holding the current request's trace id and the identity string spans
+/// are labeled with.
+struct SessionObs {
+    trace: Arc<TraceCell>,
+    identity: String,
+}
+
+/// Decrements an identity's active-session gauge when the session ends,
+/// on every exit path.
+struct SessionGauge(Arc<IdentityCounters>);
+
+impl Drop for SessionGauge {
+    fn drop(&mut self) {
+        self.0.session_ended();
     }
 }
 
@@ -367,13 +431,26 @@ fn serve_connection(
     };
 
     // The heart of the design: this connection's operations run inside
-    // an identity box carrying the authenticated principal.
+    // an identity box carrying the authenticated principal. The same
+    // identity keys the session's metrics, and the session's trace cell
+    // joins each request's id to the rulings and spans it causes.
+    let identity = principal.to_identity();
+    let counters = ctl.metrics.handle(identity.as_str());
+    counters.session_started();
+    let _gauge = SessionGauge(Arc::clone(&counters));
+    let obs = SessionObs {
+        trace: Arc::new(TraceCell::new()),
+        identity: identity.as_str().to_string(),
+    };
     let options = BoxOptions {
         cost_model,
         audit_ring: Some(Arc::clone(&ctl.audit)),
+        trace: Some(Arc::clone(&obs.trace)),
+        metrics: Some(Arc::clone(&ctl.metrics)),
+        slow_ops: Some(Arc::clone(&ctl.slow_ops)),
         ..Default::default()
     };
-    let b = IdentityBox::with_options(kernel, principal.to_identity(), sup_cred, options)?;
+    let b = IdentityBox::with_options(kernel, identity, sup_cred, options)?;
     let pid = b.spawn_process("chirp-session")?;
     let mut sup = b.supervisor();
     let mut ctx = GuestCtx::new(&mut sup, pid);
@@ -383,8 +460,10 @@ fn serve_connection(
         mut writer,
     } = transport;
 
-    while let Ok(line) = codec::read_line(&mut reader) {
-        let words = match codec::split_words(&line) {
+    while let Ok(raw) = codec::read_line(&mut reader) {
+        let (line, trace_id) = codec::strip_trace(&raw);
+        obs.trace.set(trace_id);
+        let words = match codec::split_words(line) {
             Ok(w) if !w.is_empty() => w,
             _ => {
                 codec::write_line(&mut writer, &error_line(Errno::EPROTO))?;
@@ -395,7 +474,10 @@ fn serve_connection(
             codec::write_line(&mut writer, "ok")?;
             break;
         }
-        match dispatch(&words, &mut reader, &mut ctx, &principal, programs, ctl) {
+        let t0 = std::time::Instant::now();
+        let result = dispatch(&words, &mut reader, &mut ctx, &principal, programs, ctl, &obs);
+        record_span(ctl, &obs, Phase::Rpc, &words[0], t0.elapsed());
+        match result {
             Ok(Reply::Line(l)) => codec::write_line(&mut writer, &l)?,
             Ok(Reply::Payload(head, data)) => {
                 codec::write_line(&mut writer, &head)?;
@@ -407,6 +489,20 @@ fn serve_connection(
     }
     ctx.exit(0);
     Ok(())
+}
+
+/// Offer one timed phase of the current request to the slow-op ring
+/// (which applies its threshold).
+fn record_span(ctl: &SessionCtl, obs: &SessionObs, phase: Phase, name: &str, dur: Duration) {
+    let dur_ns = dur.as_nanos().min(u128::from(u64::MAX)) as u64;
+    ctl.slow_ops.record(Span {
+        trace: obs.trace.get(),
+        phase,
+        name: name.to_string(),
+        identity: obs.identity.clone(),
+        start_ns: now_unix_ns().saturating_sub(dur_ns),
+        dur_ns,
+    });
 }
 
 enum Reply {
@@ -425,6 +521,7 @@ fn dispatch(
     principal: &idbox_types::Principal,
     programs: &BTreeMap<String, GuestFn>,
     ctl: &SessionCtl,
+    obs: &SessionObs,
 ) -> SysResult<Reply> {
     let cmd = words[0].as_str();
     let arg = |i: usize| -> SysResult<&String> { words.get(i).ok_or(Errno::EPROTO) };
@@ -555,8 +652,18 @@ fn dispatch(
         "exec" => {
             let path = export_path(arg(1)?);
             let args: Vec<String> = words[2..].to_vec();
-            let code = run_exec(ctx, &path, &args, programs)?;
-            Ok(Reply::Line(ok_num(code as i64)))
+            // The boxed child inherits the session's environment across
+            // fork, so the request's trace id follows the visitor into
+            // the program it runs — the third plane of the join.
+            if let Some(id) = obs.trace.get() {
+                ctl.kernel
+                    .write()
+                    .set_env(ctx.pid(), abi::TRACE_ENV, id.to_string())?;
+            }
+            let t0 = std::time::Instant::now();
+            let result = run_exec(ctx, &path, &args, programs);
+            record_span(ctl, obs, Phase::Exec, &path, t0.elapsed());
+            Ok(Reply::Line(ok_num(result? as i64)))
         }
         // Observability RPCs: restricted to configured admin
         // principals; everyone else is refused before any state is
@@ -572,8 +679,16 @@ fn dispatch(
         }
         "audit" => {
             ctl.require_admin(principal)?;
+            // Optional cursor: only events with seq >= since. The reply
+            // head carries the next cursor (the ring's write head) as a
+            // second word, which pre-cursor clients never read.
+            let since: u64 = match words.get(1) {
+                Some(w) => w.parse().map_err(|_| Errno::EPROTO)?,
+                None => 0,
+            };
+            let next = ctl.audit.total_recorded();
             let mut text = String::new();
-            for e in ctl.audit.snapshot() {
+            for e in ctl.audit.snapshot_since(since) {
                 let path = match &e.path {
                     Some(p) => codec::encode_word(p),
                     None => "-".to_string(),
@@ -582,14 +697,47 @@ fn dispatch(
                     Some(err) => err.code().to_string(),
                     None => "-".to_string(),
                 };
+                let trace = match e.trace {
+                    Some(t) => t.to_string(),
+                    None => "-".to_string(),
+                };
                 text.push_str(&format!(
-                    "{} {} {} {} {} {}\n",
+                    "{} {} {} {} {} {} {}\n",
                     e.seq,
                     codec::encode_word(&e.identity),
                     e.syscall,
                     path,
                     e.verdict.as_str(),
-                    errno
+                    errno,
+                    trace
+                ));
+            }
+            Ok(Reply::Payload(
+                format!("ok {} {}", text.len(), next),
+                text.into_bytes(),
+            ))
+        }
+        "metrics" => {
+            ctl.require_admin(principal)?;
+            let text = ctl.metrics.render_prometheus();
+            Ok(Reply::Payload(ok_num(text.len() as i64), text.into_bytes()))
+        }
+        "slowops" => {
+            ctl.require_admin(principal)?;
+            let mut text = String::new();
+            for s in ctl.slow_ops.snapshot() {
+                let trace = match s.trace {
+                    Some(t) => t.to_string(),
+                    None => "-".to_string(),
+                };
+                text.push_str(&format!(
+                    "{} {} {} {} {} {}\n",
+                    trace,
+                    s.phase.as_str(),
+                    codec::encode_word(&s.name),
+                    codec::encode_word(&s.identity),
+                    s.start_ns,
+                    s.dur_ns
                 ));
             }
             Ok(Reply::Payload(ok_num(text.len() as i64), text.into_bytes()))

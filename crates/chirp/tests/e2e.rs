@@ -662,6 +662,228 @@ fn stats_and_audit_require_admin() {
     handle.shutdown();
 }
 
+/// A server wired for the tracing acceptance scenario: an admin
+/// principal, a zero slow-op threshold (every span is kept), and a
+/// guest program that reports the trace id it finds in its box
+/// environment.
+fn spawn_traced_server() -> (idbox_chirp::ChirpServerHandle, CertificateAuthority) {
+    let (ca, verifier) = gsi_setup();
+    let mut server = ChirpServer::new(ServerConfig {
+        name: "traced".to_string(),
+        verifier,
+        root_acl: figure3_root_acl(),
+        admins: vec!["globus:/O=UnivNowhere/CN=Admin".to_string()],
+        slow_op_threshold: std::time::Duration::ZERO,
+        ..Default::default()
+    })
+    .unwrap();
+    server.register_program("trace-probe", |ctx, _| {
+        match ctx.getenv(idbox_interpose::abi::TRACE_ENV) {
+            Ok(v) => ctx.write_file("trace.out", v.as_bytes()).map(|_| 0).unwrap_or(1),
+            Err(_) => 2,
+        }
+    });
+    (server.spawn().unwrap(), ca)
+}
+
+/// The value of the first sample line starting with `head`, if any.
+fn prometheus_sample(text: &str, head: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.starts_with(head))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+/// Minimal structural validation of Prometheus text exposition: every
+/// sample is `name{labels} value` with a numeric value, and every
+/// sample's family has a preceding `# TYPE` header.
+fn assert_prometheus_shape(text: &str) {
+    let mut families = std::collections::HashSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            families.insert(rest.split(' ').next().unwrap().to_string());
+        } else if !line.starts_with('#') && !line.is_empty() {
+            let (head, value) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("sample without value: {line:?}"));
+            assert!(value.parse::<f64>().is_ok(), "bad value: {line:?}");
+            let name = head.split('{').next().unwrap();
+            assert!(families.contains(name), "sample {name} without TYPE header");
+        }
+    }
+}
+
+/// The tentpole acceptance scenario: one client request's trace id is
+/// visible (1) in the audit ring rows its policy rulings produced,
+/// (2) in the environment of the boxed child the `exec` RPC spawned,
+/// and (3) in the slow-op spans the request left behind — and the
+/// `metrics` RPC renders valid Prometheus text whose per-identity
+/// counters match the workload that just ran.
+#[test]
+fn one_trace_id_joins_rpc_audit_and_exec() {
+    let (handle, ca) = spawn_traced_server();
+
+    // Fred's workload: reserve a directory, stage the probe, run it.
+    let mut fred = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    fred.mkdir("/work", 0o755).unwrap();
+    fred.put_mode("/work/probe.exe", b"#!guest trace-probe\n", 0o755)
+        .unwrap();
+    assert_eq!(fred.exec("/work/probe.exe", &[]).unwrap(), 0);
+    let exec_trace = fred.last_trace().expect("client stamps every request");
+
+    // Plane 2 first: the boxed child saw the exec request's id in its
+    // environment and wrote it next to itself.
+    let reported = String::from_utf8(fred.get("/work/trace.out").unwrap()).unwrap();
+    assert_eq!(reported, exec_trace.to_string());
+
+    // George's denial gives the metrics a nonzero denial counter.
+    let george_creds = vec![ClientCredential::Globus(
+        ca.issue("/O=UnivNowhere/CN=George"),
+    )];
+    let mut george = ChirpClient::connect(handle.addr(), &george_creds).unwrap();
+    assert_eq!(george.get("/work/probe.exe"), Err(Errno::EACCES));
+
+    let admin_creds = vec![ClientCredential::Globus(
+        ca.issue("/O=UnivNowhere/CN=Admin"),
+    )];
+    let mut admin = ChirpClient::connect(handle.addr(), &admin_creds).unwrap();
+
+    // Plane 1: the exec request's policy rulings carry its trace id —
+    // including the ruling on the exec syscall itself.
+    let audit = admin.audit().unwrap();
+    let stamped: Vec<_> = audit
+        .iter()
+        .filter(|e| e.trace == Some(exec_trace))
+        .collect();
+    assert!(
+        stamped.iter().any(|e| e.syscall == "exec"
+            && e.identity == "globus:/O=UnivNowhere/CN=Fred"
+            && e.verdict == "allow"),
+        "exec ruling not joined to its trace: {stamped:?}"
+    );
+    // Other requests' rulings carry *different* ids: the join is
+    // per-request, not per-session.
+    assert!(audit
+        .iter()
+        .any(|e| e.trace.is_some() && e.trace != Some(exec_trace)));
+
+    // Plane 3: the spans. With threshold zero, the exec request left an
+    // rpc span, an exec span, and dispatch spans, all under its id.
+    let spans = admin.slowops().unwrap();
+    let mine: Vec<_> = spans
+        .iter()
+        .filter(|s| s.trace == Some(exec_trace))
+        .collect();
+    for phase in ["rpc", "exec", "dispatch", "policy"] {
+        assert!(
+            mine.iter().any(|s| s.phase == phase),
+            "no {phase} span for the exec request: {mine:?}"
+        );
+    }
+    let rpc = mine.iter().find(|s| s.phase == "rpc").unwrap();
+    assert_eq!(rpc.name, "exec");
+    assert_eq!(rpc.identity, "globus:/O=UnivNowhere/CN=Fred");
+    // The whole-RPC span contains its exec phase.
+    let exec_span = mine.iter().find(|s| s.phase == "exec").unwrap();
+    assert!(rpc.dur_ns >= exec_span.dur_ns);
+
+    // The metrics exposition is valid Prometheus and matches the
+    // workload: Fred opened files, wrote bytes, and triggered the
+    // reserve amplification; George was denied; all three sessions are
+    // still open.
+    let text = admin.metrics().unwrap();
+    assert_prometheus_shape(&text);
+    let fred_id = "identity=\"globus:/O=UnivNowhere/CN=Fred\"";
+    let george_id = "identity=\"globus:/O=UnivNowhere/CN=George\"";
+    assert!(
+        prometheus_sample(&text, &format!("idbox_syscalls_total{{{fred_id},syscall=\"open\"}}"))
+            .unwrap()
+            >= 1.0
+    );
+    assert!(
+        prometheus_sample(&text, &format!("idbox_bytes_written_total{{{fred_id}}}")).unwrap()
+            >= b"#!guest trace-probe\n".len() as f64
+    );
+    assert!(
+        prometheus_sample(&text, &format!("idbox_reserve_amplifications_total{{{fred_id}}}"))
+            .unwrap()
+            >= 1.0
+    );
+    assert!(
+        prometheus_sample(&text, &format!("idbox_denials_total{{{george_id}}}")).unwrap() >= 1.0
+    );
+    assert_eq!(
+        prometheus_sample(&text, &format!("idbox_active_sessions{{{fred_id}}}")),
+        Some(1.0)
+    );
+
+    // Sessions drain out of the gauge when clients leave.
+    fred.quit().unwrap();
+    george.quit().unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let text = admin.metrics().unwrap();
+        let open = prometheus_sample(&text, &format!("idbox_active_sessions{{{fred_id}}}"));
+        if open == Some(0.0) {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "gauge never drained");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    handle.shutdown();
+}
+
+/// The `audit <since>` cursor pages incrementally: the returned cursor
+/// resumes exactly where the previous fetch ended, and a cursor at the
+/// write head returns nothing.
+#[test]
+fn audit_cursor_pages_incrementally() {
+    let (handle, ca) = spawn_traced_server();
+    let mut fred = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    fred.mkdir("/work", 0o755).unwrap();
+    fred.put("/work/a", b"one").unwrap();
+
+    let admin_creds = vec![ClientCredential::Globus(
+        ca.issue("/O=UnivNowhere/CN=Admin"),
+    )];
+    let mut admin = ChirpClient::connect(handle.addr(), &admin_creds).unwrap();
+    let (first, cursor) = admin.audit_since(0).unwrap();
+    assert!(!first.is_empty());
+    assert!(first.windows(2).all(|w| w[0].seq < w[1].seq));
+    assert_eq!(cursor, first.last().unwrap().seq + 1, "cursor is the write head");
+
+    // New traffic lands beyond the cursor...
+    fred.put("/work/b", b"two").unwrap();
+    let (tail, cursor2) = admin.audit_since(cursor).unwrap();
+    assert!(!tail.is_empty());
+    assert!(tail.iter().all(|e| e.seq >= cursor));
+    assert!(cursor2 > cursor);
+    // ...and no event is reported twice across the two pages.
+    let firsts: std::collections::HashSet<u64> = first.iter().map(|e| e.seq).collect();
+    assert!(tail.iter().all(|e| !firsts.contains(&e.seq)));
+
+    // A cursor at the head is an empty (but successful) fetch. The
+    // admin's own audit RPC may add rulings between the two calls, so
+    // re-read the head first.
+    let (_, head) = admin.audit_since(cursor2).unwrap();
+    let (empty, _) = admin.audit_since(head + 1).unwrap();
+    assert!(empty.is_empty(), "{empty:?}");
+    handle.shutdown();
+}
+
+/// The new observability RPCs are admin-gated like `stats`/`audit`.
+#[test]
+fn metrics_and_slowops_require_admin() {
+    let (handle, ca) = spawn_traced_server();
+    let mut fred = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    assert_eq!(fred.metrics().unwrap_err(), Errno::EACCES);
+    assert_eq!(fred.slowops().unwrap_err(), Errno::EACCES);
+    assert_eq!(fred.audit_since(0).unwrap_err(), Errno::EACCES);
+    // The session is still healthy afterwards.
+    assert!(fred.whoami().is_ok());
+    handle.shutdown();
+}
+
 /// A `put` whose announced length exceeds PAYLOAD_MAX is refused up
 /// front — before the server allocates or reads anything — and the
 /// session survives in protocol sync.

@@ -13,6 +13,7 @@
 //! the kernel lock.
 
 use idbox_kernel::Syscall;
+use idbox_obs::TraceId;
 use idbox_types::Errno;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -62,6 +63,10 @@ pub struct AuditEvent {
     pub verdict: Verdict,
     /// The errno a denial carried.
     pub errno: Option<Errno>,
+    /// The trace id of the RPC being served when the ruling was made,
+    /// when the client sent one — what joins audit rows to request
+    /// spans and to exec'd children.
+    pub trace: Option<TraceId>,
 }
 
 /// A fixed-capacity, oldest-out ring of [`AuditEvent`]s.
@@ -89,12 +94,14 @@ impl AuditRing {
     }
 
     /// Append one decision, evicting the oldest event when full.
+    /// `trace` is the id of the RPC being served, when known.
     pub fn record(
         &self,
         identity: &str,
         call: &Syscall,
         verdict: Verdict,
         errno: Option<Errno>,
+        trace: Option<TraceId>,
     ) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let event = AuditEvent {
@@ -104,6 +111,7 @@ impl AuditRing {
             path: call_path(call),
             verdict,
             errno,
+            trace,
         };
         let mut ring = self.events.lock();
         if ring.len() == self.cap {
@@ -115,6 +123,21 @@ impl AuditRing {
     /// Oldest-first copy of the retained events.
     pub fn snapshot(&self) -> Vec<AuditEvent> {
         self.events.lock().iter().cloned().collect()
+    }
+
+    /// Oldest-first copy of the retained events with `seq >= since`.
+    /// The incremental-tailing primitive behind the `audit <since>`
+    /// RPC cursor: a client that remembers the last cursor it was
+    /// handed fetches only what it has not seen, and a gap between its
+    /// cursor and the first returned seq tells it exactly how much
+    /// history the ring dropped.
+    pub fn snapshot_since(&self, since: u64) -> Vec<AuditEvent> {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.seq >= since)
+            .cloned()
+            .collect()
     }
 
     /// Events currently retained.
@@ -167,6 +190,7 @@ mod tests {
                 &Syscall::Stat(format!("/f{i}")),
                 Verdict::Allow,
                 None,
+                None,
             );
         }
         assert_eq!(ring.len(), 8);
@@ -182,16 +206,19 @@ mod tests {
     #[test]
     fn events_carry_identity_verdict_and_errno() {
         let ring = AuditRing::default();
+        let trace = idbox_obs::next_trace_id();
         ring.record(
             "kerberos:fred@nd.edu",
             &Syscall::Open("/box/secret".into(), idbox_kernel::OpenFlags::rdonly(), 0),
             Verdict::Deny,
             Some(Errno::EACCES),
+            Some(trace),
         );
         ring.record(
             "kerberos:fred@nd.edu",
             &Syscall::Mkdir("/box/fred".into(), 0o755),
             Verdict::ReserveAmplified,
+            None,
             None,
         );
         let snap = ring.snapshot();
@@ -201,8 +228,34 @@ mod tests {
         assert_eq!(snap[0].path.as_deref(), Some("/box/secret"));
         assert_eq!(snap[0].verdict, Verdict::Deny);
         assert_eq!(snap[0].errno, Some(Errno::EACCES));
+        assert_eq!(snap[0].trace, Some(trace));
         assert_eq!(snap[1].verdict.as_str(), "reserve-amplified");
         assert_eq!(snap[1].errno, None);
+        assert_eq!(snap[1].trace, None);
+    }
+
+    #[test]
+    fn snapshot_since_tails_incrementally() {
+        let ring = AuditRing::new(8);
+        for i in 0..12u64 {
+            ring.record(
+                "fred",
+                &Syscall::Stat(format!("/f{i}")),
+                Verdict::Allow,
+                None,
+                None,
+            );
+        }
+        // The ring holds seqs 4..12. A cursor inside the window tails
+        // only the unseen suffix...
+        let tail = ring.snapshot_since(9);
+        assert_eq!(tail.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![9, 10, 11]);
+        // ...a cursor older than the window reveals the gap (first seq
+        // returned > cursor) instead of silently resuming...
+        let all = ring.snapshot_since(0);
+        assert_eq!(all.first().unwrap().seq, 4);
+        // ...and a cursor at the write head returns nothing.
+        assert!(ring.snapshot_since(ring.total_recorded()).is_empty());
     }
 
     #[test]

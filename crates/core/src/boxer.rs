@@ -27,6 +27,18 @@ pub struct BoxOptions {
     /// identity, syscall, path, verdict, errno. Unlike the forensic
     /// trace this is bounded, so it is safe to leave attached forever.
     pub audit_ring: Option<Arc<AuditRing>>,
+    /// The current-trace cell of the serving session. When attached,
+    /// audit events and slow-op spans carry the trace id of the RPC
+    /// being served.
+    pub trace: Option<Arc<idbox_obs::TraceCell>>,
+    /// A (typically server-wide) per-identity metrics registry. When
+    /// attached, this box's supervisors count syscalls, bytes moved,
+    /// denials, and reserve amplifications under the boxed identity.
+    pub metrics: Option<Arc<idbox_obs::IdentityMetrics>>,
+    /// A (typically server-wide) ring receiving dispatch/policy spans
+    /// that crossed the slow-op threshold. Only consulted when
+    /// `metrics` is also attached.
+    pub slow_ops: Option<Arc<idbox_obs::SlowOpLog>>,
 }
 
 impl Default for BoxOptions {
@@ -37,6 +49,9 @@ impl Default for BoxOptions {
             cost_model: CostModel::calibrated(),
             audit: false,
             audit_ring: None,
+            trace: None,
+            metrics: None,
+            slow_ops: None,
         }
     }
 }
@@ -185,6 +200,29 @@ impl IdentityBox {
         if let Some(ring) = &self.options.audit_ring {
             policy.use_audit(Arc::clone(ring));
         }
+        if let Some(cell) = &self.options.trace {
+            policy.use_trace(Arc::clone(cell));
+        }
+        let obs = self.options.metrics.as_ref().map(|registry| {
+            let counters = registry.handle(self.identity.as_str());
+            policy.use_metrics(Arc::clone(&counters));
+            idbox_interpose::ObsHooks {
+                identity: self.identity.as_str().to_string(),
+                counters,
+                // Without a slow-op ring, spans have nowhere to go: use
+                // a never-recording stub so counters still accumulate.
+                slow_ops: self
+                    .options
+                    .slow_ops
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(idbox_obs::SlowOpLog::new(1, u64::MAX))),
+                trace: self
+                    .options
+                    .trace
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(idbox_obs::TraceCell::new())),
+            }
+        });
         let mut sup = Supervisor::interposed(
             Arc::clone(&self.kernel),
             Box::new(policy),
@@ -192,6 +230,9 @@ impl IdentityBox {
         );
         if let Some(sink) = &self.audit {
             sup.attach_trace(sink.clone());
+        }
+        if let Some(hooks) = obs {
+            sup.attach_obs(hooks);
         }
         sup
     }

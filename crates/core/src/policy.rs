@@ -79,6 +79,13 @@ pub struct IdentityBoxPolicy {
     /// [`SyscallPolicy::check`]/[`SyscallPolicy::check_read`] is
     /// recorded with identity, syscall, path, verdict, and errno.
     audit: Option<Arc<AuditRing>>,
+    /// Optional current-trace cell (shared with the serving session):
+    /// when attached, every audit event is stamped with the trace id of
+    /// the RPC being served, making rulings joinable to requests.
+    trace: Option<Arc<idbox_obs::TraceCell>>,
+    /// Optional per-identity counters: denials and reserve
+    /// amplifications are bumped as they are ruled.
+    metrics: Option<Arc<idbox_obs::IdentityCounters>>,
 }
 
 impl IdentityBoxPolicy {
@@ -99,6 +106,8 @@ impl IdentityBoxPolicy {
             pending_mkdir: None,
             stats: Arc::new(PolicyStats::default()),
             audit: None,
+            trace: None,
+            metrics: None,
         }
     }
 
@@ -121,12 +130,23 @@ impl IdentityBoxPolicy {
         self.audit = Some(ring);
     }
 
+    /// Attach a current-trace cell (shared with the serving session);
+    /// audit events are thereafter stamped with the RPC's trace id.
+    pub fn use_trace(&mut self, cell: Arc<idbox_obs::TraceCell>) {
+        self.trace = Some(cell);
+    }
+
+    /// Attach this identity's counters; denials and reserve
+    /// amplifications are counted as they are ruled.
+    pub fn use_metrics(&mut self, counters: Arc<idbox_obs::IdentityCounters>) {
+        self.metrics = Some(counters);
+    }
+
     /// Record one ruling into the attached ring, if any. Called from the
     /// `check`/`check_read` trait entry points — *not* from the
     /// (recursive) decision procedure — so one guest call yields exactly
     /// one event.
     fn record_audit(&self, call: &Syscall, decision: &PolicyDecision) {
-        let Some(ring) = &self.audit else { return };
         let (verdict, errno) = match decision {
             PolicyDecision::Deny(e) => (Verdict::Deny, Some(*e)),
             PolicyDecision::Allow | PolicyDecision::Rewrite(_) => {
@@ -143,7 +163,16 @@ impl IdentityBoxPolicy {
                 }
             }
         };
-        ring.record(self.identity.as_str(), call, verdict, errno);
+        if let Some(counters) = &self.metrics {
+            match verdict {
+                Verdict::Deny => counters.bump_denial(),
+                Verdict::ReserveAmplified => counters.bump_reserve_amplification(),
+                Verdict::Allow => {}
+            }
+        }
+        let Some(ring) = &self.audit else { return };
+        let trace = self.trace.as_ref().and_then(|cell| cell.get());
+        ring.record(self.identity.as_str(), call, verdict, errno, trace);
     }
 
     /// The boxed identity.
@@ -522,7 +551,7 @@ impl IdentityBoxPolicy {
             // (Pipes are anonymous, process-private objects: creating one
             // names nothing.)
             Getpid | Getppid | Getuid | Getcwd | Umask(_) | Fork | Exit(_) | Wait
-            | SigPending | Pipe | GetUserName => PolicyDecision::Allow,
+            | SigPending | Pipe | GetUserName | Getenv(_) => PolicyDecision::Allow,
 
             // fd-based calls were authorized at open time.
             Close(_) | Read(..) | Write(..) | Pread(..) | Pwrite(..) | Lseek(..)

@@ -86,7 +86,13 @@ pub mod nr {
     pub const GET_USER_NAME: u64 = 1001;
     /// sigpending(buf, cap_words)
     pub const SIGPENDING: u64 = 1002;
+    /// getenv(name, namelen, buf, cap) — read one environment variable
+    pub const GETENV: u64 = 1003;
 }
+
+/// The environment variable a boxed child spawned by the `exec` RPC
+/// finds its request's trace id in (via `getenv`).
+pub const TRACE_ENV: &str = "IDBOX_TRACE_ID";
 
 /// Encoded size of a stat buffer: ten 64-bit words.
 pub const STAT_WORDS: usize = 10;

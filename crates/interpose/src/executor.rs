@@ -7,10 +7,29 @@ use crate::trace::TraceSink;
 use crate::vm::{reg, TraceeVm};
 use crate::{SharedKernel, SMALL_IO_MAX};
 use idbox_kernel::{LatencyStats, OpenFlags, Pid, Signal, Syscall, SysRet};
+use idbox_obs::{IdentityCounters, Phase, SlowOpLog, Span, TraceCell};
 use idbox_types::{CostModel, Errno, SwitchEngine, SysResult, TrapCostReport};
 use idbox_vfs::Access;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Per-identity observability hooks an identity box attaches to its
+/// supervisor ([`Supervisor::attach_obs`]).
+///
+/// The counters are this identity's row in a server-wide
+/// [`idbox_obs::IdentityMetrics`] registry; the slow-op ring and trace
+/// cell are shared with the serving session, so dispatch and policy
+/// spans recorded here carry the trace id of the RPC being served.
+pub struct ObsHooks {
+    /// The boxed identity, stamped into spans.
+    pub identity: String,
+    /// This identity's counters (syscalls, bytes, denials...).
+    pub counters: Arc<IdentityCounters>,
+    /// Ring of spans that crossed the slow-op threshold.
+    pub slow_ops: Arc<SlowOpLog>,
+    /// The trace id of the request currently being served, if any.
+    pub trace: Arc<TraceCell>,
+}
 
 /// How the supervisor reaches the kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +80,10 @@ pub struct Supervisor {
     /// construction, so dispatch timings are recorded without taking
     /// either side of the kernel lock.
     latency: Arc<LatencyStats>,
+    /// Per-identity accounting + slow-op spans, when a box attached
+    /// them. All hooks are atomics bumped through `&self` — nothing
+    /// here adds a lock to the dispatch path.
+    obs: Option<ObsHooks>,
 }
 
 impl Supervisor {
@@ -74,6 +97,7 @@ impl Supervisor {
             engine: SwitchEngine::new(CostModel::free_switches()),
             channel: IoChannel::new(),
             trace: None,
+            obs: None,
             latency,
         }
     }
@@ -90,6 +114,7 @@ impl Supervisor {
             engine: SwitchEngine::new(CostModel::free_switches()),
             channel: IoChannel::new(),
             trace: None,
+            obs: None,
             latency,
         }
     }
@@ -108,6 +133,7 @@ impl Supervisor {
             engine: SwitchEngine::new(model),
             channel: IoChannel::new(),
             trace: None,
+            obs: None,
             latency,
         }
     }
@@ -116,6 +142,12 @@ impl Supervisor {
     /// outcome) is recorded (paper, Section 9's forensic use).
     pub fn attach_trace(&mut self, sink: TraceSink) {
         self.trace = Some(sink);
+    }
+
+    /// Attach per-identity accounting and slow-op span hooks (what an
+    /// identity box does when the server runs with a metrics registry).
+    pub fn attach_obs(&mut self, hooks: ObsHooks) {
+        self.obs = Some(hooks);
     }
 
     /// The shared kernel handle.
@@ -189,7 +221,9 @@ impl Supervisor {
     fn dispatch_plain(&mut self, pid: Pid, call: &Syscall) -> SysResult<SysRet> {
         let t0 = Instant::now();
         let result = self.dispatch_plain_inner(pid, call);
-        self.latency.record(call, t0.elapsed().as_nanos() as u64);
+        let nanos = t0.elapsed().as_nanos() as u64;
+        self.latency.record(call, nanos);
+        self.observe_dispatch(call, &result, nanos);
         result
     }
 
@@ -221,8 +255,45 @@ impl Supervisor {
     fn dispatch_policed(&mut self, pid: Pid, call: &Syscall, nullify: bool) -> SysResult<SysRet> {
         let t0 = Instant::now();
         let result = self.dispatch_policed_inner(pid, call, nullify);
-        self.latency.record(call, t0.elapsed().as_nanos() as u64);
+        let nanos = t0.elapsed().as_nanos() as u64;
+        self.latency.record(call, nanos);
+        self.observe_dispatch(call, &result, nanos);
         result
+    }
+
+    /// Per-identity accounting for one dispatched call: the syscall
+    /// counter, byte counters for the data-moving calls, and — when the
+    /// dispatch crossed the slow-op threshold — a `dispatch` span
+    /// stamped with the current trace id.
+    fn observe_dispatch(&self, call: &Syscall, result: &SysResult<SysRet>, nanos: u64) {
+        let Some(obs) = &self.obs else { return };
+        obs.counters.bump_syscall(call.slot());
+        if let Ok(ret) = result {
+            match (call, ret) {
+                (Syscall::Read(..) | Syscall::Pread(..), SysRet::Data(data)) => {
+                    obs.counters.add_bytes_read(data.len() as u64);
+                }
+                (Syscall::Write(..) | Syscall::Pwrite(..), SysRet::Num(n)) if *n > 0 => {
+                    obs.counters.add_bytes_written(*n as u64);
+                }
+                _ => {}
+            }
+        }
+        Self::observe_span(obs, Phase::Dispatch, call.name(), nanos);
+    }
+
+    /// Record one phase span into the slow-op ring if it is slow enough.
+    fn observe_span(obs: &ObsHooks, phase: Phase, name: &str, nanos: u64) {
+        if nanos >= obs.slow_ops.threshold_ns() {
+            obs.slow_ops.record(Span {
+                trace: obs.trace.get(),
+                phase,
+                name: name.to_string(),
+                identity: obs.identity.clone(),
+                start_ns: idbox_obs::now_unix_ns().saturating_sub(nanos),
+                dur_ns: nanos,
+            });
+        }
     }
 
     fn dispatch_policed_inner(
@@ -233,7 +304,13 @@ impl Supervisor {
     ) -> SysResult<SysRet> {
         if call.is_read_only() {
             let kernel = self.kernel.read();
-            if let Some(decision) = self.policy.check_read(&kernel, pid, call) {
+            let p0 = Instant::now();
+            let ruling = self.policy.check_read(&kernel, pid, call);
+            let policy_ns = p0.elapsed().as_nanos() as u64;
+            if let Some(decision) = ruling {
+                if let Some(obs) = &self.obs {
+                    Self::observe_span(obs, Phase::Policy, call.name(), policy_ns);
+                }
                 let fast = match &decision {
                     PolicyDecision::Allow => kernel.syscall_read(pid, call),
                     PolicyDecision::Deny(errno) => Some(Err(*errno)),
@@ -268,7 +345,11 @@ impl Supervisor {
         // Exclusive path: the policy rules under the write lock and may
         // post-process the result.
         let mut kernel = self.kernel.lock();
+        let p0 = Instant::now();
         let decision = self.policy.check(&mut kernel, pid, call);
+        if let Some(obs) = &self.obs {
+            Self::observe_span(obs, Phase::Policy, call.name(), p0.elapsed().as_nanos() as u64);
+        }
         let mut result = match decision {
             PolicyDecision::Allow => kernel.syscall(pid, call.clone()),
             PolicyDecision::Rewrite(replacement) => kernel.syscall(pid, replacement),
@@ -610,6 +691,13 @@ fn decode_call(vm: &TraceeVm, reader: &mut dyn ArgReader) -> SysResult<(Syscall,
             OutSpec::Buf {
                 addr: a0,
                 cap: a1 as usize,
+            },
+        ),
+        nr::GETENV => (
+            Syscall::Getenv(read_str(reader, vm, a0, a1)?),
+            OutSpec::Buf {
+                addr: a2,
+                cap: a3 as usize,
             },
         ),
         _ => return Err(Errno::ENOSYS),

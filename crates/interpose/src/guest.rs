@@ -180,6 +180,15 @@ impl<'a> GuestCtx<'a> {
         Ok(Identity::new(self.read_out(n)?))
     }
 
+    /// `getenv(name)` — read one variable from the process environment
+    /// (seeded by the supervisor, inherited across `fork`). `ENOENT`
+    /// when the name is unset.
+    pub fn getenv(&mut self, name: &str) -> SysResult<String> {
+        let (p, l) = self.put_str(STR_A, name)?;
+        let n = self.call_checked(nr::GETENV, &[p, l, OUT, OUT_CAP as u64])? as usize;
+        self.read_out(n)
+    }
+
     /// Fork, run `child` to completion in the child process, and return
     /// the child's pid (already exited; reap it with [`GuestCtx::wait`]).
     pub fn run_child(

@@ -39,7 +39,7 @@ mod vm;
 pub mod calibrate;
 
 pub use channel::IoChannel;
-pub use executor::{ExecMode, Supervisor};
+pub use executor::{ExecMode, ObsHooks, Supervisor};
 pub use guest::GuestCtx;
 pub use policy::{AllowAll, DenyAll, PolicyDecision, SyscallPolicy};
 pub use trace::{TraceRecord, TraceSink};

@@ -127,6 +127,7 @@ fn call_detail(call: &Syscall) -> String {
         Close(fd) | Dup(fd) | Fstat(fd) => format!("fd{fd}"),
         Lseek(fd, off, _) => format!("fd{fd}, {off}"),
         Kill(pid, sig) => format!("{pid}, {sig:?}"),
+        Getenv(name) => name.clone(),
         Exit(code) => format!("{code}"),
         Umask(m) => format!("{m:o}"),
         Getpid | Getppid | Getuid | Getcwd | Fork | Wait | SigPending | Pipe

@@ -103,6 +103,7 @@ impl Kernel {
                 pending: Vec::new(),
                 umask: 0o022,
                 comm: "init".to_string(),
+                env: Default::default(),
             },
         );
         Kernel {
@@ -183,6 +184,7 @@ impl Kernel {
                 pending: Vec::new(),
                 umask: 0o022,
                 comm: comm.to_string(),
+                env: Default::default(),
             },
         );
         Ok(pid)
@@ -193,6 +195,20 @@ impl Kernel {
     /// no trapped syscall for this.
     pub fn set_identity(&mut self, pid: Pid, identity: Identity) -> SysResult<()> {
         self.proc_mut(pid)?.identity = Some(identity);
+        Ok(())
+    }
+
+    /// Set one environment variable on a process. Supervisor-only, like
+    /// [`Kernel::set_identity`]: guests can only *read* the table (via
+    /// `getenv`), and children inherit it across `fork` — how a boxed
+    /// child learns the trace id of the request that spawned it.
+    pub fn set_env(
+        &mut self,
+        pid: Pid,
+        key: impl Into<String>,
+        value: impl Into<String>,
+    ) -> SysResult<()> {
+        self.proc_mut(pid)?.env.insert(key.into(), value.into());
         Ok(())
     }
 
@@ -312,6 +328,7 @@ impl Kernel {
             Getuid => Some(self.process(pid).map(|p| SysRet::Num(p.cred.uid as i64))),
             Getcwd => Some(self.process(pid).map(|p| SysRet::Text(p.cwd_path.clone()))),
             GetUserName => Some(self.read_user_name(pid)),
+            Getenv(name) => Some(self.read_env(pid, name)),
             Stat(p) => self.read_path_local(pid, p, |k, cred, cwd| {
                 Ok(SysRet::Stat(k.vfs.stat(cwd, p, true, &cred)?))
             }),
@@ -378,6 +395,16 @@ impl Kernel {
             }
         };
         Ok(SysRet::Name(id))
+    }
+
+    /// `getenv`: a process-table read, servable under the shared lock.
+    /// Unset names answer `ENOENT` (distinct from an empty value).
+    fn read_env(&self, pid: Pid, name: &str) -> SysResult<SysRet> {
+        let p = self.process(pid)?;
+        match p.env.get(name) {
+            Some(v) => Ok(SysRet::Text(v.clone())),
+            None => Err(Errno::ENOENT),
+        }
     }
 
     /// `fstat` under the shared lock; `None` for driver-backed fds.
@@ -545,6 +572,7 @@ impl Kernel {
             }
             Pipe => self.do_pipe(pid),
             GetUserName => self.read_user_name(pid),
+            Getenv(name) => self.read_env(pid, &name),
         }
     }
 

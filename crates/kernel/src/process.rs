@@ -272,6 +272,11 @@ pub struct Process {
     pub umask: u16,
     /// The program name last `exec`ed (for diagnostics / ps).
     pub comm: String,
+    /// Environment variables. Seeded by the supervisor (`set_env`),
+    /// inherited across `fork`, readable by the guest via `getenv` —
+    /// how a boxed child learns e.g. the trace id of the request that
+    /// spawned it.
+    pub env: std::collections::BTreeMap<String, String>,
 }
 
 impl Process {
@@ -350,6 +355,7 @@ mod tests {
             pending: vec![],
             umask: 0o022,
             comm: "init".into(),
+            env: Default::default(),
         };
         assert_eq!(p.alloc_fd(), Some(0));
         p.fds[0] = Some(OpenFile::new(

@@ -154,13 +154,20 @@ impl LatencySnapshot {
     }
 
     /// The latency (ns, bucket ceiling) at percentile `p` (0-100] for
-    /// the named call, or `None` when nothing was recorded.
+    /// the named call.
+    ///
+    /// Returns `None` — never a fabricated number — when the histogram
+    /// holds no samples for the call, or when the name is unknown. An
+    /// empty histogram has no percentile; callers that need a scalar
+    /// must choose their own default (the benches use `unwrap_or(0)`).
     pub fn percentile(&self, name: &str, p: f64) -> Option<u64> {
         let slot = Syscall::NAMES.iter().position(|&n| n == name)?;
         percentile_of(&self.buckets[slot], p)
     }
 
     /// The latency at percentile `p` merged across every syscall.
+    /// `None` when no call recorded any sample (same contract as
+    /// [`LatencySnapshot::percentile`]).
     pub fn overall_percentile(&self, p: f64) -> Option<u64> {
         let mut merged = [0u64; LATENCY_BUCKETS];
         for row in &self.buckets {
@@ -171,8 +178,16 @@ impl LatencySnapshot {
         percentile_of(&merged, p)
     }
 
-    /// The events recorded between `earlier` and `self` (saturating, so
-    /// a fresh snapshot diffed against a stale one never underflows).
+    /// The events recorded between `earlier` and `self`.
+    ///
+    /// Each bucket is subtracted with `saturating_sub`: when a counter
+    /// in `self` reads *lower* than in `earlier` — the snapshots were
+    /// taken out of order, compare unrelated histograms, or a bucket's
+    /// `u64` wrapped in between — that bucket clamps to 0 instead of
+    /// underflowing to ~2^64. A wrapped bucket therefore *undercounts*
+    /// the window (its real delta is lost), which is the documented
+    /// trade: monitoring windows may read low after ~10^19 events, but
+    /// they can never explode.
     pub fn diff(&self, earlier: &LatencySnapshot) -> LatencySnapshot {
         LatencySnapshot {
             buckets: self
@@ -317,6 +332,46 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].0, "stat");
         assert_eq!(rows[0].1, 2);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentile() {
+        let snap = LatencyStats::new().snapshot();
+        // No samples anywhere: every percentile form answers None.
+        for p in [0.1, 50.0, 99.0, 100.0] {
+            assert_eq!(snap.percentile("getpid", p), None);
+            assert_eq!(snap.overall_percentile(p), None);
+        }
+        assert!(snap.rows().is_empty());
+        // A call with samples answers; its empty neighbors still don't.
+        let l = LatencyStats::new();
+        l.record(&Syscall::Getpid, 5);
+        let snap = l.snapshot();
+        assert!(snap.percentile("getpid", 50.0).is_some());
+        assert_eq!(snap.percentile("stat", 50.0), None);
+    }
+
+    #[test]
+    fn diff_saturates_after_counter_wrap() {
+        // Simulate a bucket wrapping between snapshots: "earlier" holds
+        // a near-max count, "now" holds a small post-wrap count. The
+        // per-bucket delta clamps to 0 (undercounting the window)
+        // rather than underflowing to ~2^64.
+        let l = LatencyStats::new();
+        l.record(&Syscall::Getpid, 1);
+        l.record(&Syscall::Getpid, 1);
+        l.record(&Syscall::Getpid, 1);
+        let earlier = l.snapshot(); // getpid bucket0 = 3
+        let now = LatencyStats::new();
+        now.record(&Syscall::Getpid, 1); // "wrapped" back down to 1
+        now.record(&Syscall::Stat("/x".into()), 100);
+        let delta = now.snapshot().diff(&earlier);
+        assert_eq!(delta.count("getpid"), 0, "wrapped bucket clamps to 0");
+        assert_eq!(delta.count("stat"), 1, "healthy buckets still diff");
+        assert_eq!(delta.total(), 1);
+        // And the clamped window still has a sane percentile contract.
+        assert_eq!(delta.percentile("getpid", 50.0), None);
+        assert!(delta.percentile("stat", 50.0).is_some());
     }
 
     #[test]

@@ -99,6 +99,9 @@ pub enum Syscall {
     /// The new call the identity box adds: the caller's high-level name
     /// (paper, Section 3). Outside a box it reports the Unix account.
     GetUserName,
+    /// Read one variable from the process's environment (simulated:
+    /// the supervisor seeds the table, children inherit it on fork).
+    Getenv(String),
 }
 
 impl Syscall {
@@ -110,7 +113,7 @@ impl Syscall {
     /// All syscall names, one per variant, in declaration order. The
     /// kernel's statistics table is indexed by [`Syscall::slot`], which
     /// must agree with this array (checked by a test below).
-    pub const NAMES: [&'static str; 37] = [
+    pub const NAMES: [&'static str; 38] = [
         "getpid",
         "getppid",
         "getuid",
@@ -148,6 +151,7 @@ impl Syscall {
         "sigpending",
         "pipe",
         "get_user_name",
+        "getenv",
     ];
 
     /// This call's index into [`Syscall::NAMES`] (and into the kernel's
@@ -192,6 +196,7 @@ impl Syscall {
             SigPending => 34,
             Pipe => 35,
             GetUserName => 36,
+            Getenv(_) => 37,
         }
     }
 
@@ -202,7 +207,7 @@ impl Syscall {
     /// The classification is deliberately conservative:
     ///
     /// * identity reads (`getpid`, `getppid`, `getuid`, `getcwd`,
-    ///   `get_user_name`) only look at the process table;
+    ///   `get_user_name`, `getenv`) only look at the process table;
     /// * metadata reads (`stat`, `lstat`, `fstat`, `readlink`, `access`,
     ///   `readdir`) only look at the VFS (reads are "noatime", so no
     ///   inode is touched);
@@ -224,6 +229,7 @@ impl Syscall {
                 | Getuid
                 | Getcwd
                 | GetUserName
+                | Getenv(_)
                 | Stat(_)
                 | Lstat(_)
                 | Fstat(_)
@@ -324,6 +330,7 @@ mod tests {
         assert!(!Syscall::Getpid.is_path_call());
         assert!(!Syscall::Read(0, 10).is_path_call());
         assert!(!Syscall::GetUserName.is_path_call());
+        assert!(!Syscall::Getenv("PATH".into()).is_path_call());
     }
 
     #[test]
@@ -332,6 +339,7 @@ mod tests {
         assert!(Syscall::Getpid.is_read_only());
         assert!(Syscall::Getcwd.is_read_only());
         assert!(Syscall::GetUserName.is_read_only());
+        assert!(Syscall::Getenv("PATH".into()).is_read_only());
         assert!(Syscall::Stat("/x".into()).is_read_only());
         assert!(Syscall::Lstat("/x".into()).is_read_only());
         assert!(Syscall::Fstat(3).is_read_only());
@@ -392,6 +400,7 @@ mod tests {
             SigPending,
             Pipe,
             GetUserName,
+            Getenv(String::new()),
         ];
         assert_eq!(samples.len(), Syscall::NAMES.len());
         for (i, call) in samples.iter().enumerate() {
