@@ -10,6 +10,17 @@ cargo test -q
 # stats/audit/metrics/slowops RPCs and the trace-id join.
 cargo test -q -p idbox-obs -p idbox-kernel -p idbox-core
 cargo test -q -p idbox-chirp --test e2e
+# Fast-path cache equivalence: the dentry cache and the ACL verdict
+# cache must be pure optimizations (cached and uncached resolution /
+# rulings agree under random mutation interleavings).
+cargo test -q -p idbox-vfs --test props
+cargo test -q -p idbox-core --test cache_equivalence
+# Bench smoke (~2 s): the fig5a ablation harness and the server
+# throughput harness must run end to end and emit their results files
+# (including results/BENCH_syscall.json), on tiny iteration counts.
+IDBOX_BENCH_FAST=1 cargo run --release -q -p idbox-bench --bin fig5a_table 300
+IDBOX_BENCH_WINDOW_MS=150 IDBOX_BENCH_LEVELS=1,2 \
+  cargo run --release -q -p idbox-bench --bin server_throughput
 # The whole workspace lints clean across all targets (tests, benches,
 # bins).
 cargo clippy --workspace --all-targets -- -D warnings

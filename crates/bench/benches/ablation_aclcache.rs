@@ -1,10 +1,13 @@
-//! Ablation: ACL caching in the identity box.
+//! Ablation: the fast-path caches in the identity box.
 //!
 //! The box consults the containing directory's `.__acl` on every path
-//! call. Re-reading and re-parsing it each time is the simple, obviously
-//! correct implementation; an mtime-validated cache trades a stat for
-//! the parse. This bench measures a stat-heavy loop (make's profile)
-//! with the cache on and off.
+//! call, and the kernel walks the path component by component.
+//! Re-resolving and re-parsing each time is the simple, obviously
+//! correct implementation; the generation-keyed caches (the VFS dentry
+//! cache plus the box's ACL verdict cache) trade all of that for two
+//! hash probes validated against the filesystem change generation.
+//! This bench measures a stat-heavy loop (make's profile) with the
+//! whole fast path on and off.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use idbox_core::{BoxOptions, IdentityBox};
@@ -24,6 +27,9 @@ fn bench_aclcache(c: &mut Criterion) {
     for cache in [false, true] {
         let mut k = Kernel::new();
         k.accounts_mut().add(Account::new("dthain", 1000, 1000)).unwrap();
+        // One switch ablates the whole fast path: the kernel-side dentry
+        // cache together with the box-side ACL verdict cache.
+        k.vfs_mut().set_dentry_cache(cache);
         let kernel = share(k);
         let b = IdentityBox::with_options(
             kernel,

@@ -8,6 +8,12 @@
 //! requests per second at each level, plus per-level p50/p99 dispatch
 //! latency from the kernel's histograms (bucket ceilings, ns).
 //!
+//! Every level runs an untimed warm-up pass first, so `speedup_vs_1`
+//! compares warm runs against a warm single-client baseline instead of
+//! folding cold-cache startup into whichever level happened to run
+//! first. Each row also reports the dentry- and verdict-cache hit rates
+//! observed during its timed window.
+//!
 //! After the levels finish, an admin client pulls the `metrics` RPC and
 //! the Prometheus exposition is snapshotted into
 //! `results/server_throughput_metrics.prom`, so each bench run leaves
@@ -16,6 +22,9 @@
 //! ```text
 //! cargo run --release -p idbox-bench --bin server_throughput
 //! ```
+//!
+//! `IDBOX_BENCH_WINDOW_MS` and `IDBOX_BENCH_LEVELS` (comma-separated
+//! client counts) shrink the run for CI smoke tests.
 
 use idbox_acl::{Acl, Rights};
 use idbox_auth::{CertificateAuthority, ClientCredential, ServerVerifier};
@@ -31,8 +40,8 @@ use std::time::{Duration, Instant};
 const PREADS: u64 = 8;
 const REQS_PER_ROUND: u64 = 3 + PREADS;
 
-/// Measurement window per concurrency level.
-const WINDOW: Duration = Duration::from_millis(1500);
+/// Default measurement window per concurrency level.
+const WINDOW_MS: u64 = 1500;
 
 fn server() -> (idbox_chirp::ChirpServerHandle, CertificateAuthority) {
     let ca = CertificateAuthority::new("/O=UnivNowhere CA", 0xBE7C4);
@@ -54,9 +63,14 @@ fn server() -> (idbox_chirp::ChirpServerHandle, CertificateAuthority) {
 
 const ADMIN: &str = "/O=UnivNowhere/CN=Admin";
 
-/// Run `n` clients against `addr` for [`WINDOW`]; return total requests
+/// Run `n` clients against `addr` for `window`; return total requests
 /// served across all of them.
-fn run_level(addr: std::net::SocketAddr, ca: &CertificateAuthority, n: usize) -> (u64, Duration) {
+fn run_level(
+    addr: std::net::SocketAddr,
+    ca: &CertificateAuthority,
+    n: usize,
+    window: Duration,
+) -> (u64, Duration) {
     let start_line = Arc::new(Barrier::new(n + 1));
     let stop = Arc::new(AtomicBool::new(false));
     let workers: Vec<_> = (0..n)
@@ -96,38 +110,92 @@ fn run_level(addr: std::net::SocketAddr, ca: &CertificateAuthority, n: usize) ->
         .collect();
     start_line.wait();
     let t0 = Instant::now();
-    std::thread::sleep(WINDOW);
+    std::thread::sleep(window);
     stop.store(true, Ordering::Relaxed);
     let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
     (total, t0.elapsed())
 }
 
+/// Sum a per-identity counter family out of a Prometheus exposition.
+fn family_sum(exposition: &str, family: &str) -> u64 {
+    exposition
+        .lines()
+        .filter(|l| l.starts_with(family))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+        .sum()
+}
+
+/// Verdict-cache (hits, misses) across all identities on the server.
+fn verdict_counts(exposition: &str) -> (u64, u64) {
+    (
+        family_sum(exposition, "idbox_verdict_cache_hits_total{"),
+        family_sum(exposition, "idbox_verdict_cache_misses_total{"),
+    )
+}
+
+fn hit_pct(hits: u64, misses: u64) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        100.0 * hits as f64 / (hits + misses) as f64
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let window = Duration::from_millis(env_u64("IDBOX_BENCH_WINDOW_MS", WINDOW_MS));
+    let warmup = (window / 4).max(Duration::from_millis(50));
+    let levels: Vec<usize> = std::env::var("IDBOX_BENCH_LEVELS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
     let (handle, ca) = server();
     let addr = handle.addr();
+    let admin_creds = vec![ClientCredential::Globus(ca.issue(ADMIN))];
+    let mut admin = ChirpClient::connect(addr, &admin_creds).unwrap();
     let mut rows = Vec::new();
     let mut single_rate = 0.0f64;
-    // Snapshot the kernel's latency histograms around each level: the
-    // diff isolates that level's dispatches.
-    let mut level_start = handle.kernel().read().latency().snapshot();
-    for n in [1usize, 2, 4, 8] {
-        let (reqs, elapsed) = run_level(addr, &ca, n);
+    for n in &levels {
+        let n = *n;
+        // Untimed warm-up: connections, directories, and the dentry +
+        // verdict caches are all hot before the clock starts, at every
+        // level — so speedup_vs_1 compares warm against warm.
+        run_level(addr, &ca, n, warmup);
+        // Snapshot the kernel's latency histograms and the cache
+        // counters around the timed window: the diffs isolate this
+        // level's dispatches.
+        let level_start = handle.kernel().read().latency().snapshot();
+        let (d_hits0, d_misses0) = handle.kernel().read().vfs().dentry_stats();
+        let (v_hits0, v_misses0) = verdict_counts(&admin.metrics().unwrap());
+        let (reqs, elapsed) = run_level(addr, &ca, n, window);
         let level_end = handle.kernel().read().latency().snapshot();
-        let window = level_end.diff(&level_start);
-        level_start = level_end;
-        let p50 = window.overall_percentile(50.0).unwrap_or(0);
-        let p99 = window.overall_percentile(99.0).unwrap_or(0);
+        let (d_hits1, d_misses1) = handle.kernel().read().vfs().dentry_stats();
+        let (v_hits1, v_misses1) = verdict_counts(&admin.metrics().unwrap());
+        let w = level_end.diff(&level_start);
+        let p50 = w.overall_percentile(50.0).unwrap_or(0);
+        let p99 = w.overall_percentile(99.0).unwrap_or(0);
+        let dentry_pct = hit_pct(d_hits1 - d_hits0, d_misses1 - d_misses0);
+        let verdict_pct = hit_pct(v_hits1 - v_hits0, v_misses1 - v_misses0);
         let rate = reqs as f64 / elapsed.as_secs_f64();
-        if n == 1 {
+        if single_rate == 0.0 {
             single_rate = rate;
         }
         let speedup = rate / single_rate;
         println!(
-            "{n} clients: {rate:>10.0} req/s  ({speedup:.2}x of single-client)  \
-             p50 {p50} ns, p99 {p99} ns"
+            "{n} clients: {rate:>10.0} req/s  ({speedup:.2}x of warm single-client)  \
+             p50 {p50} ns, p99 {p99} ns, dentry {dentry_pct:.1}% hit, verdict {verdict_pct:.1}% hit"
         );
-        rows.push(format!("{n}\t{rate:.0}\t{speedup:.2}\t{p50}\t{p99}\t{cores}"));
+        rows.push(format!(
+            "{n}\t{rate:.0}\t{speedup:.2}\t{p50}\t{p99}\t{dentry_pct:.1}\t{verdict_pct:.1}\t{cores}"
+        ));
     }
     if cores < 2 {
         // Clients and server share one hardware thread here, so
@@ -138,12 +206,10 @@ fn main() {
     }
     idbox_bench::write_tsv(
         "server_throughput.tsv",
-        "clients\treqs_per_sec\tspeedup_vs_1\tp50_ns\tp99_ns\thost_cores",
+        "clients\treqs_per_sec\tspeedup_vs_1\tp50_ns\tp99_ns\tdentry_hit_pct\tverdict_hit_pct\thost_cores",
         &rows,
     );
     // Snapshot the per-identity accounting the run produced.
-    let admin_creds = vec![ClientCredential::Globus(ca.issue(ADMIN))];
-    let mut admin = ChirpClient::connect(addr, &admin_creds).unwrap();
     let exposition = admin.metrics().unwrap();
     let path = idbox_bench::results_path("server_throughput_metrics.prom");
     std::fs::write(&path, &exposition).unwrap();

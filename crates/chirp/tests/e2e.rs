@@ -135,6 +135,70 @@ fn visitors_cannot_touch_without_rights() {
 }
 
 #[test]
+fn mid_session_acl_revocation_is_observed_immediately() {
+    // The server caches ACL verdicts keyed by the filesystem change
+    // generation. A revocation — rewriting the `.__acl`, or renaming it
+    // away entirely — must be observed by an *already connected* client
+    // on its very next request: a stale cached allow is a security hole.
+    let (handle, ca) = spawn_figure3_server();
+    let creds = vec![ClientCredential::Globus(
+        ca.issue("/O=UnivNowhere/CN=George"),
+    )];
+    let mut fred = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    let mut george = ChirpClient::connect(handle.addr(), &creds).unwrap();
+    // 0o700: once the ACL is gone the unix-as-nobody fallback must deny,
+    // so the rename leg below distinguishes "revoked" from "stale allow".
+    fred.mkdir("/work", 0o700).unwrap();
+    fred.put("/work/data", b"private").unwrap();
+    let mut shared = fred.getacl("/work").unwrap();
+    shared.set(
+        "globus:/O=UnivNowhere/CN=George",
+        Rights::READ | Rights::LIST,
+    );
+    fred.setacl("/work", &shared).unwrap();
+
+    // Warm George's verdict cache with repeated allowed reads.
+    for _ in 0..5 {
+        assert_eq!(george.get("/work/data").unwrap(), b"private");
+    }
+
+    // Revocation 1: setacl rewrites the `.__acl` mid-session.
+    let mut fred_only = Acl::empty();
+    fred_only.set("globus:/O=UnivNowhere/CN=Fred", Rights::RWLAX);
+    fred.setacl("/work", &fred_only).unwrap();
+    assert_eq!(george.get("/work/data"), Err(Errno::EACCES));
+    assert_eq!(george.stat("/work/data").map(|_| ()), Err(Errno::EACCES));
+
+    // Re-grant: the invalidation must not stick either.
+    fred.setacl("/work", &shared).unwrap();
+    assert_eq!(george.get("/work/data").unwrap(), b"private");
+
+    // Revocation 2: rename the ACL file away (revoking without
+    // unlinking). The directory falls back to unix-as-nobody, and 0o700
+    // gives nobody nothing.
+    fred.rename(
+        &format!("/work/{}", idbox_types::ACL_FILE_NAME),
+        "/work/shelved_acl",
+    )
+    .unwrap();
+    assert_eq!(george.get("/work/data"), Err(Errno::EACCES));
+
+    // Fred's own warm verdicts are just as dead: with the ACL shelved
+    // and 0o700 unix bits, the fallback locks out even the owner — no
+    // identity keeps a stale allow.
+    assert_eq!(fred.get("/work/data"), Err(Errno::EACCES));
+    assert_eq!(
+        fred.rename(
+            "/work/shelved_acl",
+            &format!("/work/{}", idbox_types::ACL_FILE_NAME),
+        ),
+        Err(Errno::EACCES)
+    );
+
+    handle.shutdown();
+}
+
+#[test]
 fn exec_requires_the_x_right() {
     let (handle, ca) = spawn_figure3_server();
     let mut fred = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();

@@ -12,12 +12,23 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Upper bound on cached ACLs. The cache is keyed by ACL-file inode, and
-/// inodes of deleted files can be recycled, so the map must not grow
-/// without limit on a long-lived server; past the cap an arbitrary entry
-/// is evicted (dropping a cache entry is always safe — the next check
-/// re-reads the ACL from the filesystem).
+/// Upper bound on each policy cache (ACL contents and verdicts). Both
+/// are keyed by directory inode, and inodes of removed directories can
+/// be recycled, so the maps must not grow without limit on a long-lived
+/// server; past the cap an arbitrary entry is evicted (dropping a cache
+/// entry is always safe — the next check re-reads from the filesystem).
 const ACL_CACHE_CAP: usize = 1024;
+
+/// Evict-then-insert keeping `cache` at or under [`ACL_CACHE_CAP`].
+fn bounded_insert<V>(cache: &mut HashMap<Ino, V>, key: Ino, value: V) {
+    if cache.len() >= ACL_CACHE_CAP && !cache.contains_key(&key) {
+        let victim = cache.keys().next().copied();
+        if let Some(victim) = victim {
+            cache.remove(&victim);
+        }
+    }
+    cache.insert(key, value);
+}
 
 /// Counters describing the box's policy activity.
 #[derive(Debug, Default)]
@@ -28,8 +39,16 @@ pub struct PolicyStats {
     pub denials: AtomicU64,
     /// Calls rewritten (passwd redirection).
     pub rewrites: AtomicU64,
-    /// ACL cache hits (when caching is enabled).
+    /// Cache hits across both policy caches (when caching is enabled):
+    /// a verdict served without re-deriving it, or an ACL text served
+    /// without re-parsing it.
     pub cache_hits: AtomicU64,
+    /// Effective-rights verdicts served straight from the
+    /// generation-keyed verdict cache.
+    pub verdict_hits: AtomicU64,
+    /// Effective-rights verdicts that had to re-read the directory's
+    /// ACL (cold, evicted, or invalidated by a filesystem change).
+    pub verdict_misses: AtomicU64,
 }
 
 impl PolicyStats {
@@ -44,6 +63,14 @@ impl PolicyStats {
             self.denials.load(Ordering::Relaxed),
             self.rewrites.load(Ordering::Relaxed),
             self.cache_hits.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Snapshot of the verdict cache alone: (hits, misses).
+    pub fn verdict_snapshot(&self) -> (u64, u64) {
+        (
+            self.verdict_hits.load(Ordering::Relaxed),
+            self.verdict_misses.load(Ordering::Relaxed),
         )
     }
 }
@@ -66,13 +93,28 @@ pub struct IdentityBoxPolicy {
     /// Absolute path of the private passwd copy.
     passwd_copy: String,
     cache_acls: bool,
-    /// ACL cache keyed by the ACL file's inode; entries are validated by
-    /// mtime, so a `setacl` (rewrite) invalidates naturally. Behind its
-    /// own small mutex so lookups work through `&self` — the concurrent
-    /// read path rules under a *shared* kernel borrow. Bounded by
-    /// [`ACL_CACHE_CAP`], with observed `unlink`/`rename` of an ACL file
-    /// evicting the affected entry eagerly.
-    acl_cache: Mutex<HashMap<Ino, (u64, Acl)>>,
+    /// ACL *content* cache: directory inode → (vfs change generation,
+    /// parsed ACL — `None` for "no ACL file here"). An entry is valid
+    /// only while the filesystem's change generation is unchanged, so
+    /// any mutation (including a `setacl` rewrite, an `unlink`, or a
+    /// `rename` of the ACL file itself) invalidates it wholesale — no
+    /// mtime-tick collisions, no eager eviction bookkeeping, and
+    /// recycled inodes can never revive a dead ACL (the recycling
+    /// mutation bumped the generation). Behind its own small mutex so
+    /// lookups work through `&self` — the concurrent read path rules
+    /// under a *shared* kernel borrow. Bounded by [`ACL_CACHE_CAP`].
+    acl_cache: Mutex<HashMap<Ino, (u64, Option<Acl>)>>,
+    /// Verdict cache: directory inode → (vfs change generation, this
+    /// identity's [`EffectiveRights`] there). Sits in front of the
+    /// content cache: a hit skips the `.__acl` resolution *and* the
+    /// rights derivation. The full decision for any rights mask is a
+    /// pure function of the cached value (`rights.contains(needed)`),
+    /// so caching per-directory effective rights caches every
+    /// `(identity, dir, mask)` verdict at once — while the
+    /// Unix-as-nobody fallback, whose answer also depends on the
+    /// *target* file's mode, keeps running live. Same generation
+    /// keying, same mutex discipline, same bound.
+    verdict_cache: Mutex<HashMap<Ino, (u64, EffectiveRights)>>,
     pending_mkdir: Option<(String, PendingMkdir)>,
     stats: Arc<PolicyStats>,
     /// Optional audit ring: when attached, every ruling made through
@@ -103,6 +145,7 @@ impl IdentityBoxPolicy {
             passwd_copy: passwd_copy.into(),
             cache_acls,
             acl_cache: Mutex::new(HashMap::new()),
+            verdict_cache: Mutex::new(HashMap::new()),
             pending_mkdir: None,
             stats: Arc::new(PolicyStats::default()),
             audit: None,
@@ -185,66 +228,66 @@ impl IdentityBoxPolicy {
     // ------------------------------------------------------------------
 
     /// Effective rights of the boxed identity in directory `dir`, using
-    /// the mtime-validated cache when enabled.
+    /// the generation-keyed verdict cache when enabled.
     ///
-    /// Cached and uncached modes must be indistinguishable to the guest,
-    /// so the cached path mirrors [`aclfs::read_acl`]'s error semantics
-    /// exactly: only `ENOENT` means "no ACL here" (Unix-as-nobody
-    /// fallback); any other resolve failure propagates, and the caller
-    /// denies — failing *closed* rather than open.
+    /// Cached and uncached modes must be indistinguishable to the guest:
+    /// the cached path derives its answer from [`Self::cached_acl`],
+    /// which mirrors [`aclfs::read_acl`]'s error semantics exactly —
+    /// only `ENOENT` means "no ACL here" (Unix-as-nobody fallback); any
+    /// other resolve failure propagates (and is never cached), and the
+    /// caller denies — failing *closed* rather than open. Both caches
+    /// validate against [`idbox_vfs::Vfs::change_generation`], which
+    /// every mutating operation bumps, so no filesystem change — ACL
+    /// rewrite, unlink, rename, or an inode recycle after any of those —
+    /// can be served stale.
     fn rights_in(&self, kernel: &Kernel, dir: Ino) -> SysResult<EffectiveRights> {
         let vfs = kernel.vfs();
         if !self.cache_acls {
             return aclfs::effective_rights(vfs, dir, &self.identity, &self.sup_cred);
         }
-        let acl_ino = match vfs.resolve(dir, ACL_FILE_NAME, false, &self.sup_cred) {
-            Ok(ino) => ino,
-            Err(Errno::ENOENT) => return Ok(EffectiveRights::UnixAsNobody),
-            Err(e) => return Err(e),
-        };
-        let mtime = vfs.fstat(acl_ino)?.mtime;
-        if let Some((cached_mtime, acl)) = self.acl_cache.lock().get(&acl_ino) {
-            if *cached_mtime == mtime {
+        let generation = vfs.change_generation();
+        if let Some((cached_gen, er)) = self.verdict_cache.lock().get(&dir) {
+            if *cached_gen == generation {
                 PolicyStats::bump(&self.stats.cache_hits);
-                return Ok(EffectiveRights::Acl(
-                    acl.rights_for(&self.identity),
-                    acl.reserve_grant_for(&self.identity),
-                ));
-            }
-        }
-        let er = aclfs::effective_rights(vfs, dir, &self.identity, &self.sup_cred)?;
-        if let Some(acl) = aclfs::read_acl(vfs, dir, &self.sup_cred)? {
-            let mut cache = self.acl_cache.lock();
-            if cache.len() >= ACL_CACHE_CAP && !cache.contains_key(&acl_ino) {
-                let victim = cache.keys().next().copied();
-                if let Some(victim) = victim {
-                    cache.remove(&victim);
+                PolicyStats::bump(&self.stats.verdict_hits);
+                if let Some(counters) = &self.metrics {
+                    counters.bump_verdict_hit();
                 }
+                return Ok(er.clone());
             }
-            cache.insert(acl_ino, (mtime, acl));
         }
+        PolicyStats::bump(&self.stats.verdict_misses);
+        if let Some(counters) = &self.metrics {
+            counters.bump_verdict_miss();
+        }
+        let er = match self.cached_acl(vfs, dir, generation)? {
+            Some(acl) => EffectiveRights::Acl(
+                acl.rights_for(&self.identity),
+                acl.reserve_grant_for(&self.identity),
+            ),
+            None => EffectiveRights::UnixAsNobody,
+        };
+        bounded_insert(&mut self.verdict_cache.lock(), dir, (generation, er.clone()));
         Ok(er)
     }
 
-    /// Eagerly drop the cache entry for `path` when it names an ACL file
-    /// about to be unlinked or renamed away. Inode numbers can be
-    /// recycled after deletion; without eviction a recycled inode with a
-    /// colliding mtime could revive a dead ACL. Dropping an entry is
-    /// always safe — the next check re-reads from the filesystem.
-    fn evict_acl_path(&self, kernel: &Kernel, pid: Pid, path: &str) {
-        if !self.cache_acls || !path.ends_with(ACL_FILE_NAME) {
-            return;
+    /// The directory's parsed ACL (or `None` when it has no ACL file)
+    /// through the generation-keyed content cache. Lookup failures are
+    /// propagated and never cached, so an error path re-checks the
+    /// filesystem every time, exactly like the uncached read.
+    fn cached_acl(&self, vfs: &idbox_vfs::Vfs, dir: Ino, generation: u64) -> SysResult<Option<Acl>> {
+        if !self.cache_acls {
+            return aclfs::read_acl(vfs, dir, &self.sup_cred);
         }
-        let is_acl_name = path == ACL_FILE_NAME
-            || path
-                .strip_suffix(ACL_FILE_NAME)
-                .is_some_and(|prefix| prefix.ends_with('/'));
-        if !is_acl_name {
-            return;
+        if let Some((cached_gen, acl)) = self.acl_cache.lock().get(&dir) {
+            if *cached_gen == generation {
+                PolicyStats::bump(&self.stats.cache_hits);
+                return Ok(acl.clone());
+            }
         }
-        if let Ok((_, _, Some(ino))) = self.locate(kernel, pid, path) {
-            self.acl_cache.lock().remove(&ino);
-        }
+        let acl = aclfs::read_acl(vfs, dir, &self.sup_cred)?;
+        bounded_insert(&mut self.acl_cache.lock(), dir, (generation, acl.clone()));
+        Ok(acl)
     }
 
     /// Resolve a path to (containing dir, final name, target inode),
@@ -468,7 +511,9 @@ impl IdentityBoxPolicy {
         match er {
             EffectiveRights::Acl(rights, grant) => {
                 if rights.contains(Rights::WRITE) {
-                    let parent = aclfs::read_acl(kernel.vfs(), dir, &self.sup_cred)
+                    let generation = kernel.vfs().change_generation();
+                    let parent = self
+                        .cached_acl(kernel.vfs(), dir, generation)
                         .ok()
                         .flatten();
                     self.pending_mkdir =
@@ -697,20 +742,12 @@ impl SyscallPolicy for IdentityBoxPolicy {
     }
 
     fn check(&mut self, kernel: &mut Kernel, pid: Pid, call: &Syscall) -> PolicyDecision {
+        // No eager eviction is needed for an unlink/rename of an ACL
+        // file: executing the call bumps the filesystem's change
+        // generation, which invalidates every cached verdict and ACL
+        // before the dead inode can be recycled.
         let decision = self.decide(kernel, pid, call);
         self.record_audit(call, &decision);
-        // An ACL file about to be unlinked or renamed away loses its
-        // cache entry now — after the permission verdict (which may have
-        // re-read it), but before its inode can die and be recycled.
-        // Mutating calls only ever arrive on this exclusive path.
-        match call {
-            Syscall::Unlink(p) => self.evict_acl_path(kernel, pid, p),
-            Syscall::Rename(old, new) => {
-                self.evict_acl_path(kernel, pid, old);
-                self.evict_acl_path(kernel, pid, new);
-            }
-            _ => {}
-        }
         decision
     }
 
@@ -754,11 +791,8 @@ impl SyscallPolicy for IdentityBoxPolicy {
                     })
                     .unwrap_or(false);
                 if only_acl {
-                    if let Ok(acl_ino) =
-                        vfs.resolve(dir, ACL_FILE_NAME, false, &self.sup_cred)
-                    {
-                        self.acl_cache.lock().remove(&acl_ino);
-                    }
+                    // The unlink bumps the change generation, so the
+                    // caches drop the directory's ACL on their own.
                     let _ = vfs.unlink(dir, ACL_FILE_NAME, &self.sup_cred);
                     *result = kernel.syscall(pid, call.clone());
                 }
@@ -1187,30 +1221,59 @@ mod tests {
     }
 
     #[test]
-    fn unlinking_acl_file_evicts_cache_entry() {
+    fn unlinking_acl_file_invalidates_cached_verdict() {
+        let (mut k, pid, _) = setup();
+        let sup = Cred::new(1000, 1000);
+        let fred = Identity::new("globus:/O=UnivNowhere/CN=Fred");
+        let mut pol = IdentityBoxPolicy::new(fred, sup, "/box/.passwd", true);
+        // Warm both caches with an allow under the FULL-rights ACL.
+        assert_eq!(pol.check(&mut k, pid, &open_r("/box/a")), PolicyDecision::Allow);
+        assert_eq!(pol.check(&mut k, pid, &open_r("/box/a")), PolicyDecision::Allow);
+        assert!(pol.stats().verdict_snapshot().0 > 0, "warm check hit the cache");
+        // Fred holds ADMIN, so unlinking the ACL file is permitted.
+        assert_eq!(
+            pol.check(&mut k, pid, &Syscall::Unlink("/box/.__acl".into())),
+            PolicyDecision::Allow
+        );
+        k.syscall(pid, Syscall::Unlink("/box/.__acl".into())).unwrap();
+        // The unlink bumped the change generation: the cached ACL
+        // verdict is dead, and /box now rules as Unix-as-nobody — the
+        // missing file is no longer readable by grace of a stale FULL.
+        assert_eq!(
+            pol.check(&mut k, pid, &open_r("/box/a")),
+            PolicyDecision::Deny(Errno::EACCES),
+            "stale allow served after the ACL file was unlinked"
+        );
+        // A fresh ACL naming only someone else must rule immediately,
+        // even though its file may recycle the dead ACL's inode.
+        let root = k.vfs().root();
+        let dir = k.vfs().resolve(root, "/box", true, &sup).unwrap();
+        let acl = Acl::from_entries([AclEntry::new("someone-else", Rights::FULL)]);
+        aclfs::write_acl(k.vfs_mut(), dir, &acl, &sup).unwrap();
+        assert_eq!(
+            pol.check(&mut k, pid, &open_r("/box/a")),
+            PolicyDecision::Deny(Errno::EACCES),
+            "revoked identity allowed through a stale cache entry"
+        );
+    }
+
+    #[test]
+    fn renaming_acl_file_invalidates_cached_verdict() {
         let (mut k, pid, _) = setup();
         let sup = Cred::new(1000, 1000);
         let fred = Identity::new("globus:/O=UnivNowhere/CN=Fred");
         let mut pol = IdentityBoxPolicy::new(fred, sup, "/box/.passwd", true);
         assert_eq!(pol.check(&mut k, pid, &open_r("/box/a")), PolicyDecision::Allow);
-        assert_eq!(pol.acl_cache.lock().len(), 1, "first check populates the cache");
-        // Fred holds ADMIN, so unlinking the ACL file is permitted — and
-        // checking the call must drop the entry before the inode can die
-        // and be recycled.
+        // Renaming the ACL file away (allowed: Fred holds ADMIN) must
+        // not leave the old verdict behind.
+        let mv = Syscall::Rename("/box/.__acl".into(), "/box/plain".into());
+        assert_eq!(pol.check(&mut k, pid, &mv), PolicyDecision::Allow);
+        k.syscall(pid, mv).unwrap();
         assert_eq!(
-            pol.check(&mut k, pid, &Syscall::Unlink("/box/.__acl".into())),
-            PolicyDecision::Allow
+            pol.check(&mut k, pid, &open_r("/box/a")),
+            PolicyDecision::Deny(Errno::EACCES),
+            "stale allow served after the ACL file was renamed away"
         );
-        assert!(pol.acl_cache.lock().is_empty(), "eviction on observed unlink");
-        // Rename of an ACL file evicts too.
-        assert_eq!(pol.check(&mut k, pid, &open_r("/box/a")), PolicyDecision::Allow);
-        assert_eq!(pol.acl_cache.lock().len(), 1);
-        let _ = pol.check(
-            &mut k,
-            pid,
-            &Syscall::Rename("/box/.__acl".into(), "/box/plain".into()),
-        );
-        assert!(pol.acl_cache.lock().is_empty(), "eviction on observed rename");
     }
 
     #[test]
@@ -1237,7 +1300,11 @@ mod tests {
         }
         assert!(
             pol.acl_cache.lock().len() <= super::ACL_CACHE_CAP,
-            "cache must not grow past the cap"
+            "ACL content cache must not grow past the cap"
+        );
+        assert!(
+            pol.verdict_cache.lock().len() <= super::ACL_CACHE_CAP,
+            "verdict cache must not grow past the cap"
         );
     }
 
@@ -1289,7 +1356,10 @@ mod tests {
         assert_eq!(pol.check(&mut k, pid, &open_r("/box/b")), PolicyDecision::Allow);
         let (_, _, _, hits) = stats.snapshot();
         assert_eq!(hits, 1, "second lookup must hit the cache");
-        // Rewriting the ACL invalidates via mtime.
+        let (vhits, vmisses) = stats.verdict_snapshot();
+        assert_eq!((vhits, vmisses), (1, 1), "one cold verdict, one cached");
+        // Rewriting the ACL bumps the change generation, invalidating
+        // the cached verdict.
         let root = k.vfs().root();
         let dir = k.vfs().resolve(root, "/box", true, &sup).unwrap();
         let acl = Acl::from_entries([AclEntry::new("someone-else", Rights::FULL)]);

@@ -1,11 +1,15 @@
-//! Property test: the ACL cache is a pure optimization.
+//! Property test: the policy caches are a pure optimization.
 //!
 //! A cached identity-box policy and an uncached one, asked about the
 //! same call against the same kernel state, must produce identical
-//! `PolicyDecision`s — across ACL rewrites (mtime invalidation), ACL
-//! removal (ENOENT fallback), permission flips on the containing
-//! directory (non-ENOENT lookup errors, which must fail closed in both
-//! modes), and the shared-borrow fast path (`check_read`).
+//! `PolicyDecision`s — across ACL rewrites (change-generation
+//! invalidation), ACL removal (ENOENT fallback), renames of the ACL
+//! file itself, symlinks pointing across directories, subdirectory
+//! creation and removal (inode recycling), permission flips on the
+//! containing directory (non-ENOENT lookup errors, which must fail
+//! closed in both modes), and the shared-borrow fast path
+//! (`check_read`). Every check is asked twice of the cached policy so
+//! the warm verdict-cache path is exercised explicitly.
 
 use idbox_acl::{Acl, AclEntry, Rights};
 use idbox_core::{write_acl, IdentityBoxPolicy};
@@ -29,11 +33,20 @@ enum Op {
     /// supervisor locked out by group bits, `nobody` allowed by world
     /// bits — the non-ENOENT lookup-error scenario).
     Chmod(usize, u16),
+    /// Rename directory `d`'s ACL file to a plain name (revoking the
+    /// ACL without unlinking it) — or back, restoring it.
+    RenameAcl(usize, bool),
+    /// Create (`true`) or remove (`false`) subdirectory `d`/sub —
+    /// churns inodes so recycled numbers land in live cache keys.
+    Subdir(usize, bool),
+    /// Plant (`true`) or unlink (`false`) a symlink at `a`/ln pointing
+    /// into `b`'s namespace (the target's directory governs access).
+    SymlinkAt(usize, usize, bool),
 }
 
 fn op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        ((0usize..NDIRS), (0usize..8)).prop_map(|(d, k)| Op::Check(d, k)),
+        ((0usize..NDIRS), (0usize..10)).prop_map(|(d, k)| Op::Check(d, k)),
         ((0usize..NDIRS), (0usize..6)).prop_map(|(d, v)| Op::SetAcl(d, v)),
         (0usize..NDIRS).prop_map(Op::DropAcl),
         (
@@ -47,6 +60,10 @@ fn op() -> impl Strategy<Value = Op> {
             ]
         )
             .prop_map(|(d, m)| Op::Chmod(d, m)),
+        ((0usize..NDIRS), any::<bool>()).prop_map(|(d, away)| Op::RenameAcl(d, away)),
+        ((0usize..NDIRS), any::<bool>()).prop_map(|(d, mk)| Op::Subdir(d, mk)),
+        ((0usize..NDIRS), (0usize..NDIRS), any::<bool>())
+            .prop_map(|(a, b, mk)| Op::SymlinkAt(a, b, mk)),
     ]
 }
 
@@ -81,6 +98,8 @@ fn call_kind(d: usize, k: usize) -> Syscall {
         4 => Syscall::Unlink(format!("{dir}/file")),
         5 => Syscall::Mkdir(format!("{dir}/sub"), 0o755),
         6 => Syscall::AccessCheck(format!("{dir}/file"), Access::R),
+        7 => Syscall::Stat(format!("{dir}/ln")), // through a symlink
+        8 => Syscall::Open(format!("{dir}/ln"), OpenFlags::rdonly(), 0),
         _ => Syscall::Stat("/etc/passwd".to_string()), // rewrite path
     }
 }
@@ -118,6 +137,10 @@ proptest! {
                     let a = cached.check(&mut k, pid, &call);
                     let b = uncached.check(&mut k, pid, &call);
                     prop_assert_eq!(&a, &b, "cached vs uncached on {:?}", call);
+                    // Ask again: the verdict cache is warm now, and the
+                    // answer must not change.
+                    let warm = cached.check(&mut k, pid, &call);
+                    prop_assert_eq!(&warm, &b, "warm cache changed ruling on {:?}", call);
                     // The shared-borrow fast path must agree with both.
                     if call.is_read_only() {
                         let fast = cached.check_read(&k, pid, &call);
@@ -145,6 +168,31 @@ proptest! {
                     let (uid, gid) = if mode == 0o707 { (0, 1000) } else { (1000, 1000) };
                     k.vfs_mut().chown(root, &path, uid, gid, &Cred::ROOT).unwrap();
                     k.vfs_mut().chmod(root, &path, mode, &Cred::ROOT).unwrap();
+                }
+                Op::RenameAcl(d, away) => {
+                    let dir = dir_path(d);
+                    let acl = format!("{dir}/{}", idbox_types::ACL_FILE_NAME);
+                    let plain = format!("{dir}/was_acl");
+                    let (from, to) = if away { (acl, plain) } else { (plain, acl) };
+                    // Fails cleanly when the source is absent.
+                    let _ = k.vfs_mut().rename(root, &from, &to, &Cred::ROOT);
+                }
+                Op::Subdir(d, mk) => {
+                    let sub = format!("{}/sub", dir_path(d));
+                    if mk {
+                        let _ = k.vfs_mut().mkdir(root, &sub, 0o755, &Cred::ROOT);
+                    } else {
+                        let _ = k.vfs_mut().rmdir(root, &sub, &Cred::ROOT);
+                    }
+                }
+                Op::SymlinkAt(a, b, mk) => {
+                    let ln = format!("{}/ln", dir_path(a));
+                    if mk {
+                        let target = format!("{}/file", dir_path(b));
+                        let _ = k.vfs_mut().symlink(root, &target, &ln, &Cred::ROOT);
+                    } else {
+                        let _ = k.vfs_mut().unlink(root, &ln, &Cred::ROOT);
+                    }
                 }
             }
         }

@@ -430,8 +430,11 @@ impl ArgReader for NoCount {
     }
 }
 
-/// The interposed argument path: word-at-a-time peeks for small
-/// arguments, the I/O channel for bulk write payloads.
+/// The interposed argument path: one ranged peek for small arguments,
+/// the I/O channel for bulk write payloads. The ranged transfer is
+/// charged its words-equivalent peek count, so the Figure 4 accounting
+/// is identical to the word-at-a-time loop it replaces — only the host
+/// copy got cheaper.
 struct PeekOrChannel<'a> {
     engine: &'a mut SwitchEngine,
     channel: &'a mut IoChannel,
@@ -448,16 +451,8 @@ impl ArgReader for PeekOrChannel<'_> {
             self.engine.count_channel(len as u64);
             return Ok(self.channel.staged_bytes().to_vec());
         }
-        let mut out = Vec::with_capacity(len);
-        let mut i = 0;
-        while i < len {
-            let word = vm.peek_word(addr + i as u64)?;
-            self.engine.count_peek();
-            let bytes = word.to_le_bytes();
-            let take = (len - i).min(8);
-            out.extend_from_slice(&bytes[..take]);
-            i += 8;
-        }
+        let out = vm.peek_bytes(addr, len)?;
+        self.engine.count_peeks(len.div_ceil(8) as u64);
         Ok(out)
     }
 }
@@ -486,8 +481,10 @@ impl ReplyWriter for DirectData {
     }
 }
 
-/// The interposed write-back: pokes for small payloads, the I/O channel
-/// (with its extra copy) for bulk ones.
+/// The interposed write-back: one ranged poke for small payloads, the
+/// I/O channel (with its extra copy) for bulk ones. Charged
+/// words-equivalent, including the extra read-modify-write peek the
+/// word loop paid for a trailing partial word.
 struct ChannelOrPoke<'a> {
     engine: &'a mut SwitchEngine,
     channel: &'a mut IoChannel,
@@ -496,22 +493,12 @@ struct ChannelOrPoke<'a> {
 impl ReplyWriter for ChannelOrPoke<'_> {
     fn write_bytes(&mut self, vm: &mut TraceeVm, addr: u64, data: &[u8]) -> SysResult<()> {
         if data.len() <= SMALL_IO_MAX {
-            // Word-at-a-time pokes.
-            let mut i = 0;
-            while i < data.len() {
-                let take = (data.len() - i).min(8);
-                let mut bytes = if take < 8 {
-                    // Partial word: read-modify-write, like real ptrace.
-                    let existing = vm.peek_word(addr + i as u64)?;
-                    self.engine.count_peek();
-                    existing.to_le_bytes()
-                } else {
-                    [0u8; 8]
-                };
-                bytes[..take].copy_from_slice(&data[i..i + take]);
-                vm.poke_word(addr + i as u64, u64::from_le_bytes(bytes))?;
-                self.engine.count_poke();
-                i += 8;
+            vm.poke_bytes(addr, data)?;
+            self.engine.count_pokes(data.len().div_ceil(8) as u64);
+            if !data.len().is_multiple_of(8) {
+                // The trailing partial word is a read-modify-write,
+                // like real ptrace: one peek's worth of cost.
+                self.engine.count_peek();
             }
             Ok(())
         } else {
@@ -528,10 +515,12 @@ impl ReplyWriter for ChannelOrPoke<'_> {
     }
 
     fn write_words(&mut self, vm: &mut TraceeVm, addr: u64, words: &[u64]) -> SysResult<()> {
-        for (i, &w) in words.iter().enumerate() {
-            vm.poke_word(addr + (i * 8) as u64, w)?;
-            self.engine.count_poke();
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
         }
+        vm.poke_bytes(addr, &bytes)?;
+        self.engine.count_pokes(words.len() as u64);
         Ok(())
     }
 }

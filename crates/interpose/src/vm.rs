@@ -98,6 +98,48 @@ impl TraceeVm {
         Ok(())
     }
 
+    /// The word-granular span a ranged transfer of `len` bytes covers:
+    /// a `peek_word`/`poke_word` loop always moves whole words, so the
+    /// trailing partial word must lie fully inside the address space.
+    fn word_span(&self, addr: u64, len: usize) -> SysResult<usize> {
+        let a = addr as usize;
+        let span = len.div_ceil(8).checked_mul(8).ok_or(Errno::EFAULT)?;
+        let end = a.checked_add(span).ok_or(Errno::EFAULT)?;
+        if end > self.mem.len() {
+            return Err(Errno::EFAULT);
+        }
+        Ok(a)
+    }
+
+    /// Supervisor-side: read `len` bytes of tracee memory in one ranged
+    /// transfer (the `process_vm_readv` upgrade over a `PTRACE_PEEKDATA`
+    /// loop). Faults exactly where the word loop it replaces would:
+    /// bounds are word-granular, so a read whose trailing partial word
+    /// pokes past the address space is `EFAULT` even if the requested
+    /// bytes themselves would fit.
+    pub fn peek_bytes(&self, addr: u64, len: usize) -> SysResult<Vec<u8>> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let a = self.word_span(addr, len)?;
+        Ok(self.mem[a..a + len].to_vec())
+    }
+
+    /// Supervisor-side: write `data` into tracee memory in one ranged
+    /// transfer (the `process_vm_writev` upgrade over a
+    /// `PTRACE_POKEDATA` loop). Word-granular bounds, like
+    /// [`TraceeVm::peek_bytes`]; bytes beyond `data` in the trailing
+    /// partial word are preserved, matching the word loop's
+    /// read-modify-write.
+    pub fn poke_bytes(&mut self, addr: u64, data: &[u8]) -> SysResult<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let a = self.word_span(addr, data.len())?;
+        self.mem[a..a + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
     /// Guest-side: borrow a memory range (the application touching its
     /// own address space — no supervisor involved, no per-word cost).
     pub fn guest_slice(&self, addr: u64, len: usize) -> SysResult<&[u8]> {
@@ -172,6 +214,56 @@ mod tests {
     fn poke_out_of_bounds_is_efault() {
         let mut vm = TraceeVm::with_memory(16);
         assert_eq!(vm.poke_word(16, 1), Err(Errno::EFAULT));
+    }
+
+    #[test]
+    fn peek_bytes_matches_word_loop() {
+        let mut vm = TraceeVm::with_memory(64);
+        vm.guest_write(3, b"ranged transfer!").unwrap();
+        for len in 0..=16usize {
+            let ranged = vm.peek_bytes(3, len).unwrap();
+            // The loop peek_bytes replaces: whole words, truncated.
+            let mut word_loop = Vec::new();
+            let mut i = 0;
+            while i < len {
+                let bytes = vm.peek_word(3 + i as u64).unwrap().to_le_bytes();
+                let take = (len - i).min(8);
+                word_loop.extend_from_slice(&bytes[..take]);
+                i += 8;
+            }
+            assert_eq!(ranged, word_loop, "len={len}");
+        }
+    }
+
+    #[test]
+    fn poke_bytes_roundtrips_and_preserves_partial_word_tail() {
+        let mut vm = TraceeVm::with_memory(64);
+        vm.guest_write(0, &[0xEE; 32]).unwrap();
+        vm.poke_bytes(5, b"hello world").unwrap();
+        assert_eq!(vm.guest_slice(5, 11).unwrap(), b"hello world");
+        // RMW semantics: bytes beyond the payload in the trailing
+        // partial word are untouched.
+        assert_eq!(vm.guest_slice(16, 8).unwrap(), &[0xEE; 8]);
+        assert_eq!(vm.guest_slice(0, 5).unwrap(), &[0xEE; 5]);
+    }
+
+    #[test]
+    fn ranged_transfers_use_word_granular_bounds() {
+        let mut vm = TraceeVm::with_memory(16);
+        // 7 bytes at addr 9 fit byte-wise (9+7=16) but the word loop
+        // would peek the word at 9..17 — EFAULT, and the ranged
+        // transfer must fault identically.
+        assert_eq!(vm.peek_bytes(9, 7), Err(Errno::EFAULT));
+        assert_eq!(vm.poke_bytes(9, &[1; 7]), Err(Errno::EFAULT));
+        // Word-aligned spans inside the space are fine.
+        assert!(vm.peek_bytes(8, 8).is_ok());
+        assert!(vm.poke_bytes(8, &[1; 8]).is_ok());
+        // Zero-length transfers never fault, wherever they point.
+        assert_eq!(vm.peek_bytes(u64::MAX, 0).unwrap(), Vec::<u8>::new());
+        assert!(vm.poke_bytes(u64::MAX, &[]).is_ok());
+        // Overflowing spans fault instead of wrapping.
+        assert_eq!(vm.peek_bytes(u64::MAX, 9), Err(Errno::EFAULT));
+        assert_eq!(vm.peek_bytes(0, usize::MAX), Err(Errno::EFAULT));
     }
 
     #[test]

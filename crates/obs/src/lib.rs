@@ -263,6 +263,8 @@ pub struct IdentityCounters {
     bytes_written: AtomicU64,
     denials: AtomicU64,
     reserve_amplifications: AtomicU64,
+    verdict_cache_hits: AtomicU64,
+    verdict_cache_misses: AtomicU64,
     active_sessions: AtomicU64,
     /// Logical tick of the last registry touch — the eviction key.
     last_active: AtomicU64,
@@ -276,6 +278,8 @@ impl IdentityCounters {
             bytes_written: AtomicU64::new(0),
             denials: AtomicU64::new(0),
             reserve_amplifications: AtomicU64::new(0),
+            verdict_cache_hits: AtomicU64::new(0),
+            verdict_cache_misses: AtomicU64::new(0),
             active_sessions: AtomicU64::new(0),
             last_active: AtomicU64::new(0),
         }
@@ -307,6 +311,16 @@ impl IdentityCounters {
     /// Count one reserve-right amplification (Section 4's mkdir).
     pub fn bump_reserve_amplification(&self) {
         self.reserve_amplifications.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one ACL verdict served from the generation-keyed cache.
+    pub fn bump_verdict_hit(&self) {
+        self.verdict_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one ACL verdict that had to re-read the directory's ACL.
+    pub fn bump_verdict_miss(&self) {
+        self.verdict_cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A session for this identity opened.
@@ -350,6 +364,16 @@ impl IdentityCounters {
     /// Reserve amplifications recorded.
     pub fn reserve_amplifications(&self) -> u64 {
         self.reserve_amplifications.load(Ordering::Relaxed)
+    }
+
+    /// ACL verdicts served from the generation-keyed cache.
+    pub fn verdict_cache_hits(&self) -> u64 {
+        self.verdict_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// ACL verdicts that re-read the directory's ACL.
+    pub fn verdict_cache_misses(&self) -> u64 {
+        self.verdict_cache_misses.load(Ordering::Relaxed)
     }
 
     /// Sessions currently open for this identity.
@@ -479,7 +503,7 @@ impl IdentityMetrics {
         }
 
         type SimpleFamily = (&'static str, &'static str, &'static str, fn(&IdentityCounters) -> u64);
-        let simple: [SimpleFamily; 5] = [
+        let simple: [SimpleFamily; 7] = [
             (
                 "idbox_bytes_read_total",
                 "Payload bytes returned by read-family syscalls, by identity.",
@@ -503,6 +527,18 @@ impl IdentityMetrics {
                 "Mkdirs allowed only via the reserve right, by identity.",
                 "counter",
                 IdentityCounters::reserve_amplifications,
+            ),
+            (
+                "idbox_verdict_cache_hits_total",
+                "ACL verdicts served from the generation-keyed cache, by identity.",
+                "counter",
+                IdentityCounters::verdict_cache_hits,
+            ),
+            (
+                "idbox_verdict_cache_misses_total",
+                "ACL verdicts that re-read the directory's ACL, by identity.",
+                "counter",
+                IdentityCounters::verdict_cache_misses,
             ),
             (
                 "idbox_active_sessions",
@@ -695,6 +731,8 @@ mod tests {
         ));
         assert!(text.contains("# TYPE idbox_active_sessions gauge\n"));
         assert!(text.contains("# TYPE idbox_syscalls_total counter\n"));
+        assert!(text.contains("# TYPE idbox_verdict_cache_hits_total counter\n"));
+        assert!(text.contains("# TYPE idbox_verdict_cache_misses_total counter\n"));
         // Zero-count syscalls are not emitted.
         assert!(!text.contains("syscall=\"getpid\""));
         // Every sample line is `name{labels} value`.

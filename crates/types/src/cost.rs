@@ -146,10 +146,24 @@ impl SwitchEngine {
         self.report.peeks += 1;
     }
 
+    /// Record `n` peeked words at once — a ranged transfer charged at
+    /// its words-equivalent cost, so bulk reads keep the same Figure 4
+    /// accounting as the word loop they replace.
+    #[inline]
+    pub fn count_peeks(&mut self, n: u64) {
+        self.report.peeks += n;
+    }
+
     /// Record one poked word.
     #[inline]
     pub fn count_poke(&mut self) {
         self.report.pokes += 1;
+    }
+
+    /// Record `n` poked words at once (ranged transfer, words-equivalent).
+    #[inline]
+    pub fn count_pokes(&mut self, n: u64) {
+        self.report.pokes += n;
     }
 
     /// Record bytes moved through the I/O channel.

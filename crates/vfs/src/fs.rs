@@ -4,7 +4,9 @@ use crate::inode::{Inode, Payload};
 use crate::path::{self, NAME_MAX, PATH_MAX};
 use crate::{Access, FileKind, Ino, StatBuf};
 use idbox_types::{Errno, SysResult};
-use std::collections::BTreeMap;
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Credentials used for Unix permission checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +41,130 @@ pub struct DirEntry {
 /// Maximum symlink traversals in one resolution (Linux uses 40).
 const SYMLOOP_MAX: u32 = 40;
 
+/// Bound on cached dentries. On overflow the whole cache is dropped and
+/// rebuilt — stale-generation leftovers go with it, so the map never
+/// grows past this many entries.
+const DENTRY_CACHE_CAP: usize = 8192;
+
+/// A bounded positive+negative directory-entry cache.
+///
+/// One entry memoizes `dir_entries(dir).get(name)`: the inode a name
+/// binds to in a directory, or the fact that the name is absent
+/// (`None`, a negative entry). Every entry is stamped with the
+/// filesystem change generation current at insert time and honoured
+/// only while that generation still is: every mutating operation bumps
+/// the generation through [`Vfs::tick`], so no hit can survive a
+/// rename/unlink/link/symlink/mkdir/create — or any other change —
+/// that could alter the answer. Only the map lookup itself is
+/// short-circuited; directory-kind checks, permission checks, and
+/// symlink traversal still run on every resolution, which is what keeps
+/// the cached walk provably identical to the uncached one (property
+/// tested in `tests/props.rs`).
+///
+/// The cache sits behind its own small `RwLock`: resolution takes
+/// `&self` (the kernel dispatches read-only syscalls under a shared
+/// lock), so hits are a read-lock plus two `HashMap` probes and fills
+/// are a short write-lock. Entries are keyed per directory so hit-path
+/// probes borrow the component name instead of allocating a `String`.
+#[derive(Debug)]
+struct DentryCache {
+    /// Change generation: bumped by every mutating vfs operation. Also
+    /// the validity key for caches *outside* the vfs (the identity
+    /// box's ACL caches), exposed via [`Vfs::change_generation`].
+    generation: AtomicU64,
+    map: RwLock<DentryMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct DentryMap {
+    by_dir: HashMap<Ino, HashMap<String, (u64, Option<Ino>)>>,
+    len: usize,
+}
+
+impl DentryCache {
+    fn new() -> Self {
+        DentryCache {
+            generation: AtomicU64::new(0),
+            map: RwLock::new(DentryMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Invalidate every cached entry by advancing the generation.
+    /// Mutations run under `&mut Vfs` (the kernel's exclusive lock), so
+    /// readers are ordered against this bump by the outer lock; the
+    /// atomic only needs to be a shared counter, not a fence.
+    fn bump(&self) {
+        self.generation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Cached lookup; `None` means "not cached", `Some(slot)` is the
+    /// memoized answer (which may itself be a negative `None`).
+    fn lookup(&self, dir: Ino, name: &str) -> Option<Option<Ino>> {
+        let gen = self.generation();
+        let hit = self
+            .map
+            .read()
+            .by_dir
+            .get(&dir)
+            .and_then(|m| m.get(name))
+            .and_then(|&(g, slot)| (g == gen).then_some(slot));
+        match hit {
+            Some(slot) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(slot)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, dir: Ino, name: &str, slot: Option<Ino>) {
+        let gen = self.generation();
+        let mut map = self.map.write();
+        if map.len >= DENTRY_CACHE_CAP {
+            map.by_dir.clear();
+            map.len = 0;
+        }
+        let prev = map
+            .by_dir
+            .entry(dir)
+            .or_default()
+            .insert(name.to_string(), (gen, slot));
+        if prev.is_none() {
+            map.len += 1;
+        }
+    }
+
+    fn clear(&self) {
+        let mut map = self.map.write();
+        map.by_dir.clear();
+        map.len = 0;
+    }
+}
+
+/// A clone starts cold: the cache is a pure accelerator, so a cloned
+/// filesystem gets a fresh one (same generation, no entries).
+impl Clone for DentryCache {
+    fn clone(&self) -> Self {
+        DentryCache {
+            generation: AtomicU64::new(self.generation()),
+            map: RwLock::new(DentryMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
 /// The in-memory filesystem.
 ///
 /// All operations take a *start directory* (the caller's cwd) and a path;
@@ -50,6 +176,8 @@ pub struct Vfs {
     free: Vec<u64>,
     clock: u64,
     root: Ino,
+    dcache: DentryCache,
+    dcache_enabled: bool,
 }
 
 impl Default for Vfs {
@@ -67,6 +195,8 @@ impl Vfs {
             free: Vec::new(),
             clock: 0,
             root: Ino(1),
+            dcache: DentryCache::new(),
+            dcache_enabled: true,
         };
         let mut entries = BTreeMap::new();
         entries.insert(".".to_string(), Ino(1));
@@ -90,10 +220,44 @@ impl Vfs {
         self.root
     }
 
-    /// Advance and return the logical clock.
+    /// Advance and return the logical clock. Every mutating operation
+    /// passes through here, so this is also where the change generation
+    /// is bumped: after any write — namespace or content — every cached
+    /// dentry (and every generation-keyed cache outside the vfs) is
+    /// stale. Content writes over-invalidate the dentry cache, but they
+    /// are exactly what the ACL caches must observe (`.__acl` bytes
+    /// change without any namespace event), and one coarse generation
+    /// keeps both provably safe.
     fn tick(&mut self) -> u64 {
+        self.dcache.bump();
         self.clock += 1;
         self.clock
+    }
+
+    /// The filesystem change generation: a counter bumped by every
+    /// mutating operation. Caches keyed by `(generation, ...)` — the
+    /// dentry cache here, the identity box's ACL caches above — are
+    /// automatically invalidated by any change that could affect them.
+    pub fn change_generation(&self) -> u64 {
+        self.dcache.generation()
+    }
+
+    /// Dentry-cache counters: `(hits, misses)` since creation.
+    pub fn dentry_stats(&self) -> (u64, u64) {
+        (
+            self.dcache.hits.load(Ordering::Relaxed),
+            self.dcache.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Enable or disable the dentry cache (on by default; the ablation
+    /// benches turn it off to measure the uncached walk). Disabling
+    /// drops all cached entries.
+    pub fn set_dentry_cache(&mut self, enabled: bool) {
+        self.dcache_enabled = enabled;
+        if !enabled {
+            self.dcache.clear();
+        }
     }
 
     /// Number of live inodes (for tests and invariant checks).
@@ -166,6 +330,23 @@ impl Vfs {
             Payload::Dir(entries) => Ok(entries),
             _ => Err(Errno::ENOTDIR),
         }
+    }
+
+    /// One directory-entry lookup, through the dentry cache: exactly
+    /// `self.dir_entries(dir)?.get(name).copied()`, memoized. `None`
+    /// means the name is absent (negative entries are cached too). The
+    /// answer is credential-independent — callers perform their own
+    /// kind and permission checks, cached or not.
+    fn lookup_entry(&self, dir: Ino, name: &str) -> SysResult<Option<Ino>> {
+        if !self.dcache_enabled {
+            return Ok(self.dir_entries(dir)?.get(name).copied());
+        }
+        if let Some(slot) = self.dcache.lookup(dir, name) {
+            return Ok(slot);
+        }
+        let slot = self.dir_entries(dir)?.get(name).copied();
+        self.dcache.insert(dir, name, slot);
+        Ok(slot)
     }
 
     // ------------------------------------------------------------------
@@ -242,7 +423,7 @@ impl Vfs {
                 return Err(Errno::ENOTDIR);
             }
             self.check_access(cur, cred, Access::X)?;
-            let next = *self.dir_entries(cur)?.get(&comp).ok_or(Errno::ENOENT)?;
+            let next = self.lookup_entry(cur, &comp)?.ok_or(Errno::ENOENT)?;
             let is_last = i == work.len();
             if let Payload::Symlink(target) = &self.get(next)?.payload {
                 if !is_last || follow_last {
@@ -317,9 +498,9 @@ impl Vfs {
                 let ino = self.resolve(cur_start, &cur_path, true, cred)?;
                 return Ok((dir, name, Some(ino)));
             }
-            match self.dir_entries(dir)?.get(&name) {
+            match self.lookup_entry(dir, &name)? {
                 None => return Ok((dir, name, None)),
-                Some(&ino) => {
+                Some(ino) => {
                     if let Payload::Symlink(target) = &self.get(ino)?.payload {
                         if budget == 0 {
                             return Err(Errno::ELOOP);
@@ -1187,5 +1368,122 @@ mod tests {
         v.write_at(ino, 0, b"x").unwrap();
         let t1 = v.fstat(ino).unwrap().mtime;
         assert!(t1 > t0);
+    }
+
+    #[test]
+    fn dentry_cache_hits_on_repeat_resolution() {
+        let mut v = fs();
+        v.mkdir_all(v.root(), "/a/b", 0o755, &ROOT).unwrap();
+        v.create(v.root(), "/a/b/f", 0o644, &ROOT).unwrap();
+        let (h0, _) = v.dentry_stats();
+        v.resolve(v.root(), "/a/b/f", true, &ROOT).unwrap();
+        v.resolve(v.root(), "/a/b/f", true, &ROOT).unwrap();
+        let (h1, _) = v.dentry_stats();
+        assert!(h1 > h0, "second walk must hit the cache ({h0} -> {h1})");
+    }
+
+    #[test]
+    fn every_mutation_bumps_the_generation() {
+        let mut v = fs();
+        let mut last = v.change_generation();
+        let mut expect_bump = |v: &Vfs, what: &str| {
+            let g = v.change_generation();
+            assert!(g > last, "{what} must bump the generation");
+            last = g;
+        };
+        let f = v.create(v.root(), "/f", 0o644, &ROOT).unwrap();
+        expect_bump(&v, "create");
+        v.write_at(f, 0, b"x").unwrap();
+        expect_bump(&v, "write_at");
+        v.truncate(f, 0).unwrap();
+        expect_bump(&v, "truncate");
+        v.mkdir(v.root(), "/d", 0o755, &ROOT).unwrap();
+        expect_bump(&v, "mkdir");
+        v.link(v.root(), "/f", "/g", &ROOT).unwrap();
+        expect_bump(&v, "link");
+        v.symlink(v.root(), "/f", "/l", &ROOT).unwrap();
+        expect_bump(&v, "symlink");
+        v.rename(v.root(), "/g", "/h", &ROOT).unwrap();
+        expect_bump(&v, "rename");
+        v.chmod(v.root(), "/f", 0o600, &ROOT).unwrap();
+        expect_bump(&v, "chmod");
+        v.chown(v.root(), "/f", 1, 1, &ROOT).unwrap();
+        expect_bump(&v, "chown");
+        v.unlink(v.root(), "/h", &ROOT).unwrap();
+        expect_bump(&v, "unlink");
+        v.rmdir(v.root(), "/d", &ROOT).unwrap();
+        expect_bump(&v, "rmdir");
+    }
+
+    #[test]
+    fn cached_resolution_sees_rename_immediately() {
+        let mut v = fs();
+        v.mkdir(v.root(), "/d", 0o755, &ROOT).unwrap();
+        v.write_file(v.root(), "/d/a", b"1", &ROOT).unwrap();
+        // Warm the cache on both the hit and the miss.
+        assert!(v.resolve(v.root(), "/d/a", true, &ROOT).is_ok());
+        assert_eq!(v.resolve(v.root(), "/d/b", true, &ROOT), Err(Errno::ENOENT));
+        v.rename(v.root(), "/d/a", "/d/b", &ROOT).unwrap();
+        assert_eq!(v.resolve(v.root(), "/d/a", true, &ROOT), Err(Errno::ENOENT));
+        assert_eq!(v.read_file(v.root(), "/d/b", &ROOT).unwrap(), b"1");
+    }
+
+    #[test]
+    fn negative_entry_invalidated_by_create() {
+        let mut v = fs();
+        assert_eq!(v.resolve(v.root(), "/new", true, &ROOT), Err(Errno::ENOENT));
+        v.write_file(v.root(), "/new", b"now", &ROOT).unwrap();
+        assert_eq!(v.read_file(v.root(), "/new", &ROOT).unwrap(), b"now");
+    }
+
+    #[test]
+    fn stale_entry_never_served_across_inode_recycle() {
+        let mut v = fs();
+        v.mkdir(v.root(), "/d", 0o755, &ROOT).unwrap();
+        let a = v.create(v.root(), "/d/a", 0o644, &ROOT).unwrap();
+        // Cache "/d/a" -> a.
+        assert_eq!(v.resolve(v.root(), "/d/a", true, &ROOT).unwrap(), a);
+        v.unlink(v.root(), "/d/a", &ROOT).unwrap();
+        // The recycled inode now lives under a different name.
+        let b = v.create(v.root(), "/d/b", 0o644, &ROOT).unwrap();
+        assert_eq!(a, b, "inode must be recycled for this test to bite");
+        assert_eq!(v.resolve(v.root(), "/d/a", true, &ROOT), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn disabled_cache_records_no_hits() {
+        let mut v = fs();
+        v.set_dentry_cache(false);
+        v.write_file(v.root(), "/f", b"x", &ROOT).unwrap();
+        v.resolve(v.root(), "/f", true, &ROOT).unwrap();
+        v.resolve(v.root(), "/f", true, &ROOT).unwrap();
+        assert_eq!(v.dentry_stats(), (0, 0));
+    }
+
+    #[test]
+    fn cloned_vfs_starts_with_cold_cache() {
+        let mut v = fs();
+        v.write_file(v.root(), "/f", b"x", &ROOT).unwrap();
+        v.resolve(v.root(), "/f", true, &ROOT).unwrap();
+        v.resolve(v.root(), "/f", true, &ROOT).unwrap();
+        let c = v.clone();
+        assert_eq!(c.dentry_stats(), (0, 0));
+        assert_eq!(c.change_generation(), v.change_generation());
+        assert_eq!(c.read_file(c.root(), "/f", &ROOT).unwrap(), b"x");
+    }
+
+    #[test]
+    fn dentry_cache_stays_bounded() {
+        let mut v = fs();
+        for i in 0..DENTRY_CACHE_CAP + 64 {
+            v.write_file(v.root(), &format!("/f{i}"), b"", &ROOT).unwrap();
+        }
+        for i in 0..DENTRY_CACHE_CAP + 64 {
+            v.resolve(v.root(), &format!("/f{i}"), true, &ROOT).unwrap();
+        }
+        let map = v.dcache.map.read();
+        assert!(map.len <= DENTRY_CACHE_CAP);
+        let total: usize = map.by_dir.values().map(|m| m.len()).sum();
+        assert_eq!(total, map.len, "len accounting must match the map");
     }
 }

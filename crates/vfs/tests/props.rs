@@ -173,6 +173,68 @@ proptest! {
         prop_assert_eq!(st.size, off + data.len() as u64);
     }
 
+    /// The dentry cache is invisible: a cached filesystem and an
+    /// uncached one driven through the same random interleaving of
+    /// rename/unlink/link/symlink/mkdir/create answer every resolution
+    /// probe identically — including symlink loops (the fixed prelude
+    /// plants one), dangling symlinks, and negative lookups — and the
+    /// cached instance answers the same twice in a row (the second
+    /// probe is the warm-cache path).
+    #[test]
+    fn cached_and_uncached_resolution_agree(
+        ops in proptest::collection::vec(op(), 1..30),
+        probes in proptest::collection::vec("[abc.]{1,4}(/[abc.]{1,4}){0,2}", 1..5),
+    ) {
+        let mut cached = Vfs::new();
+        let mut uncached = Vfs::new();
+        uncached.set_dentry_cache(false);
+        for v in [&mut cached, &mut uncached] {
+            let root = v.root();
+            // Symlink loop and dangling link, guaranteed present.
+            v.symlink(root, "/loopb", "/loopa", &ROOT).unwrap();
+            v.symlink(root, "/loopa", "/loopb", &ROOT).unwrap();
+            v.symlink(root, "/nowhere/x", "/dangle", &ROOT).unwrap();
+        }
+        let mut all_probes: Vec<String> =
+            probes.iter().map(|p| format!("/{p}")).collect();
+        all_probes.push("/loopa".into());
+        all_probes.push("/dangle".into());
+        let visitor = Cred::new(1000, 1000);
+        for op in &ops {
+            apply(&mut cached, op);
+            apply(&mut uncached, op);
+            for p in &all_probes {
+                for cred in [&ROOT, &visitor] {
+                    for follow in [true, false] {
+                        let want = uncached.resolve(uncached.root(), p, follow, cred);
+                        // Twice: the first fill may warm the cache, the
+                        // second must hit it — both must agree.
+                        prop_assert_eq!(
+                            cached.resolve(cached.root(), p, follow, cred),
+                            want, "resolve({}, follow={})", p, follow
+                        );
+                        prop_assert_eq!(
+                            cached.resolve(cached.root(), p, follow, cred),
+                            want, "warm resolve({}, follow={})", p, follow
+                        );
+                    }
+                    let want = uncached.resolve_entry(uncached.root(), p, cred);
+                    prop_assert_eq!(
+                        cached.resolve_entry(cached.root(), p, cred),
+                        want.clone(), "resolve_entry({})", p
+                    );
+                    prop_assert_eq!(
+                        cached.resolve_entry(cached.root(), p, cred),
+                        want, "warm resolve_entry({})", p
+                    );
+                }
+            }
+        }
+        // The probing above must actually have exercised the cache.
+        let (hits, _) = cached.dentry_stats();
+        prop_assert!(hits > 0, "probes never hit the dentry cache");
+    }
+
     #[test]
     fn unlink_frees_exactly_when_last_link_dies(n_links in 1usize..6) {
         let mut v = Vfs::new();
