@@ -15,12 +15,22 @@ cargo test -q -p idbox-chirp --test e2e
 # rulings agree under random mutation interleavings).
 cargo test -q -p idbox-vfs --test props
 cargo test -q -p idbox-core --test cache_equivalence
+# Robustness: seeded fault injection (wire + vfs) against the real
+# stack, retry/reconnect masking, load shedding, bounded drain. The
+# pinned seed makes a CI failure reproduce exactly.
+IDBOX_PROP_SEED=0x1DB0F cargo test -q -p idbox-testkit
+IDBOX_PROP_SEED=0x1DB0F cargo test -q -p idbox-chirp --test robustness
 # Bench smoke (~2 s): the fig5a ablation harness and the server
 # throughput harness must run end to end and emit their results files
 # (including results/BENCH_syscall.json), on tiny iteration counts.
 IDBOX_BENCH_FAST=1 cargo run --release -q -p idbox-bench --bin fig5a_table 300
 IDBOX_BENCH_WINDOW_MS=150 IDBOX_BENCH_LEVELS=1,2 \
   cargo run --release -q -p idbox-bench --bin server_throughput
+# Degradation smoke (~2 s): the fault sweep must run end to end and
+# emit results/BENCH_faults.json.
+IDBOX_BENCH_WINDOW_MS=150 \
+  cargo run --release -q -p idbox-bench --bin server_throughput -- --faults
 # The whole workspace lints clean across all targets (tests, benches,
-# bins).
+# bins), and the API docs build without warnings.
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

@@ -23,14 +23,24 @@
 //! cargo run --release -p idbox-bench --bin server_throughput
 //! ```
 //!
+//! `--faults` switches to the degradation-under-faults experiment: a
+//! seeded [`FaultProxy`] between clients and server drops a growing
+//! fraction of request connections while the server's filesystem
+//! reports EIO at the same rate, and retrying clients drive an
+//! idempotent workload through the storm. The sweep reports goodput,
+//! failures, and retry/reconnect work per fault rate, and writes
+//! `results/BENCH_faults.json`.
+//!
 //! `IDBOX_BENCH_WINDOW_MS` and `IDBOX_BENCH_LEVELS` (comma-separated
 //! client counts) shrink the run for CI smoke tests.
 
 use idbox_acl::{Acl, Rights};
 use idbox_auth::{CertificateAuthority, ClientCredential, ServerVerifier};
-use idbox_chirp::{ChirpClient, ChirpServer, ServerConfig};
+use idbox_chirp::{ChirpClient, ChirpServer, RetryPolicy, ServerConfig};
 use idbox_kernel::OpenFlags;
+use idbox_testkit::fault::{FaultPlan, FaultProxy};
 use idbox_types::AuthMethod;
+use idbox_vfs::FaultHook;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -148,7 +158,211 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// One row of the degradation-under-faults sweep.
+struct FaultRow {
+    fault_pct: u32,
+    reqs_per_sec: f64,
+    ok: u64,
+    failed: u64,
+    retries: u64,
+    reconnects: u64,
+    wire_faults: u64,
+    vfs_faults: u64,
+}
+
+/// Drive `clients` retrying clients through a fault proxy at
+/// `fault_pct` (% of request lines dropping their connection, % of
+/// filesystem data ops reporting EIO) for `window`.
+fn run_fault_level(
+    ca: &CertificateAuthority,
+    fault_pct: u32,
+    clients: usize,
+    window: Duration,
+    seed: u64,
+) -> FaultRow {
+    let (handle, _) = {
+        // Fresh server per rate, so histograms and counters are not
+        // polluted across levels; reuse the caller's CA for clients.
+        let mut verifier = ServerVerifier::new();
+        verifier.accept = vec![AuthMethod::Globus];
+        verifier.cas.trust(ca.clone());
+        let mut root_acl = Acl::empty();
+        root_acl.set_reserve("globus:/O=UnivNowhere/*", Rights::LIST, Rights::RWLAX);
+        let s = ChirpServer::new(ServerConfig {
+            name: format!("faults-{fault_pct}"),
+            verifier,
+            root_acl,
+            ..Default::default()
+        })
+        .unwrap();
+        (s.spawn().unwrap(), ())
+    };
+    let ppm = fault_pct * 10_000; // 1 % = 10_000 ppm
+    let plan = FaultPlan::with_rates(seed, ppm, ppm);
+    let proxy = FaultProxy::spawn(handle.addr(), plan.clone()).unwrap();
+
+    // Stage each client's file over the clean, direct path — before the
+    // filesystem hook arms, so staging cannot eat an injected EIO.
+    for i in 0..clients {
+        let creds = vec![ClientCredential::Globus(
+            ca.issue(format!("/O=UnivNowhere/CN=User{i}")),
+        )];
+        let mut c = ChirpClient::connect(handle.addr(), &creds).unwrap();
+        c.mkdir(&format!("/u{i}"), 0o755).unwrap();
+        c.put(&format!("/u{i}/data.dat"), &vec![7u8; 4096]).unwrap();
+        let _ = c.quit();
+    }
+    {
+        let plan = plan.clone();
+        handle
+            .kernel()
+            .write()
+            .vfs_mut()
+            .set_fault_hook(Some(FaultHook::new(move |op, _| plan.vfs_fault(op))));
+    }
+
+    let start_line = Arc::new(Barrier::new(clients + 1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let addr = proxy.addr();
+    let workers: Vec<_> = (0..clients)
+        .map(|i| {
+            let ca = ca.clone();
+            let start_line = Arc::clone(&start_line);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let creds = vec![ClientCredential::Globus(
+                    ca.issue(format!("/O=UnivNowhere/CN=User{i}")),
+                )];
+                // Deep attempt budget: a retry's *reconnect* re-runs
+                // the multi-line auth handshake, where every line draws
+                // at the drop rate — so per-attempt failure odds are
+                // several times the per-line rate.
+                let policy = RetryPolicy {
+                    max_attempts: 16,
+                    base_delay: Duration::from_millis(1),
+                    max_delay: Duration::from_millis(20),
+                    budget: Duration::from_secs(10),
+                    jitter_seed: seed ^ i as u64,
+                    io_timeout: Some(Duration::from_secs(2)),
+                    ..Default::default()
+                };
+                let mut c = ChirpClient::connect_with(addr, &creds, policy).unwrap();
+                let file = format!("/u{i}/data.dat");
+                let dir = format!("/u{i}");
+                start_line.wait();
+                let (mut ok, mut failed) = (0u64, 0u64);
+                while !stop.load(Ordering::Relaxed) {
+                    // Idempotent-only mix: everything here is safe to
+                    // retry, so under the policy the storm should cost
+                    // latency, not correctness.
+                    let results = [
+                        c.stat(&file).map(|_| ()),
+                        c.get(&file).map(|_| ()),
+                        c.readdir(&dir).map(|_| ()),
+                    ];
+                    for r in results {
+                        match r {
+                            Ok(()) => ok += 1,
+                            Err(_) => failed += 1,
+                        }
+                    }
+                }
+                (ok, failed, c.retries(), c.reconnects())
+            })
+        })
+        .collect();
+    start_line.wait();
+    let t0 = Instant::now();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let mut row = FaultRow {
+        fault_pct,
+        reqs_per_sec: 0.0,
+        ok: 0,
+        failed: 0,
+        retries: 0,
+        reconnects: 0,
+        wire_faults: 0,
+        vfs_faults: 0,
+    };
+    for w in workers {
+        let (ok, failed, retries, reconnects) = w.join().unwrap();
+        row.ok += ok;
+        row.failed += failed;
+        row.retries += retries;
+        row.reconnects += reconnects;
+    }
+    row.reqs_per_sec = row.ok as f64 / t0.elapsed().as_secs_f64();
+    row.wire_faults = plan.wire_injected();
+    row.vfs_faults = plan.vfs_injected();
+    drop(proxy);
+    handle.shutdown();
+    row
+}
+
+/// The `--faults` experiment: sweep injected-fault rates and report how
+/// goodput degrades while the retry layer keeps the failure count at
+/// (ideally) zero.
+fn run_faults() {
+    let ca = CertificateAuthority::new("/O=UnivNowhere CA", 0xBE7C4);
+    let window = Duration::from_millis(env_u64("IDBOX_BENCH_WINDOW_MS", WINDOW_MS));
+    let clients = env_u64("IDBOX_BENCH_FAULT_CLIENTS", 4) as usize;
+    let seed = env_u64("IDBOX_BENCH_FAULT_SEED", 0x1DB0F);
+    let mut rows = Vec::new();
+    for fault_pct in [0u32, 5, 10, 20] {
+        let row = run_fault_level(&ca, fault_pct, clients, window, seed);
+        println!(
+            "{:>2}% faults: {:>9.0} req/s  ok {} failed {}  retries {} reconnects {}  \
+             injected wire {} vfs {}",
+            row.fault_pct,
+            row.reqs_per_sec,
+            row.ok,
+            row.failed,
+            row.retries,
+            row.reconnects,
+            row.wire_faults,
+            row.vfs_faults
+        );
+        rows.push(row);
+    }
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"server_throughput_faults\",\n");
+    json.push_str(&format!("  \"window_ms\": {},\n", window.as_millis()));
+    json.push_str(&format!("  \"clients\": {clients},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"fault_pct\": {}, \"reqs_per_sec\": {:.1}, \"ok\": {}, \"failed\": {}, \
+             \"retries\": {}, \"reconnects\": {}, \"wire_faults\": {}, \"vfs_faults\": {}}}{}\n",
+            r.fault_pct,
+            r.reqs_per_sec,
+            r.ok,
+            r.failed,
+            r.retries,
+            r.reconnects,
+            r.wire_faults,
+            r.vfs_faults,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    idbox_bench::write_text("BENCH_faults.json", &json);
+    if let Some(worst) = rows.iter().find(|r| r.failed > 0) {
+        println!(
+            "note: {} operations failed at {}% faults (retry budget exhausted)",
+            worst.failed, worst.fault_pct
+        );
+    } else {
+        println!("all operations succeeded at every fault rate (faults fully masked)");
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--faults") {
+        run_faults();
+        return;
+    }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let window = Duration::from_millis(env_u64("IDBOX_BENCH_WINDOW_MS", WINDOW_MS));
     let warmup = (window / 4).max(Duration::from_millis(50));

@@ -1,6 +1,32 @@
 //! The Chirp client library.
+//!
+//! Besides speaking the protocol, the client owns the robustness story
+//! for the WAN deployments the paper targets: every RPC runs under a
+//! [`RetryPolicy`] (capped exponential backoff, seeded jitter, a
+//! wall-clock budget), any transport fault **poisons** the connection
+//! so a half-read reply can never be mistaken for the next call's
+//! answer, and the next attempt transparently reconnects — re-running
+//! auth negotiation and re-stamping the *same* trace id, so a retried
+//! request remains one logical operation in the server's audit ring.
+//!
+//! What retries is decided per verb, not per policy alone:
+//!
+//! * read-only verbs (`stat`, `get`, `whoami`, …) retry on anything
+//!   transient — connection loss, server `EAGAIN` (shed), server `EIO`;
+//! * idempotent writes (`put`, `setacl`, `truncate`, non-`O_EXCL`
+//!   `open`) retry on connection loss and shed, where re-execution is
+//!   harmless;
+//! * fd-based verbs (`pread`, `pwrite`, `fstat`, `close`) never retry
+//!   across a reconnect — the server-side descriptor died with the
+//!   session — but still retry a shed reply, which arrives on a live
+//!   connection;
+//! * non-idempotent verbs (`mkdir`, `rename`, `exec`, …) surface
+//!   connection loss immediately unless the caller opts into
+//!   at-least-once semantics with [`RetryPolicy::retry_mutating`].
+//!   A shed (`EAGAIN`) reply is still retried: the server refuses
+//!   *before* executing, so no double-apply is possible.
 
-use crate::codec::{self, encode_word, parse_response};
+use crate::codec::{self, encode_word};
 use idbox_acl::Acl;
 use idbox_auth::{authenticate_client, AuthTransport, ClientCredential};
 use idbox_interpose::abi;
@@ -10,17 +36,128 @@ use idbox_types::{Errno, Principal, SysResult};
 use idbox_vfs::{DirEntry, StatBuf};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
 
-/// An authenticated connection to a Chirp server.
+/// How a client reacts to transient failures: bounded attempts with
+/// capped exponential backoff and seeded jitter, all under one
+/// wall-clock budget. The policy sets *how much* to retry; *what* is
+/// safe to retry is decided per verb (see the module docs).
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per RPC, first try included (1 = never retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_delay: Duration,
+    /// Wall-clock budget per RPC across all attempts; once spent, the
+    /// last error surfaces even if attempts remain.
+    pub budget: Duration,
+    /// Seed for the jitter stream, so a test run's sleep schedule is
+    /// reproducible.
+    pub jitter_seed: u64,
+    /// Opt-in at-least-once: also retry non-idempotent verbs (`mkdir`,
+    /// `exec`, …) after connection loss. Off by default — a lost reply
+    /// does not reveal whether the server executed the request.
+    pub retry_mutating: bool,
+    /// Socket read/write timeout, so a stalled server becomes a
+    /// retryable transport fault instead of a hang. `None` = block
+    /// forever (the pre-retry behavior).
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    /// A sane WAN-client default: 5 attempts, 2 ms base backoff capped
+    /// at 100 ms, a 5 s budget, idempotent-only.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(100),
+            budget: Duration::from_secs(5),
+            jitter_seed: 0x1DB0_751D_B075,
+            retry_mutating: false,
+            io_timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Never retry anything — the policy [`ChirpClient::connect`] uses,
+    /// preserving strict fail-fast semantics for callers that manage
+    /// failures themselves.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// Retry classification of a verb (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verb {
+    /// Harmless to re-run any number of times.
+    ReadOnly,
+    /// A write whose re-execution converges to the same state.
+    IdemWrite,
+    /// Reads a server-side fd: dies with the session.
+    FdRead,
+    /// Writes through a server-side fd: dies with the session.
+    FdWrite,
+    /// Re-execution may double-apply (`mkdir`, `rename`, `exec`, …).
+    Mutating,
+}
+
+/// Why one attempt failed — the split [`codec::parse_response`]
+/// conflates: a transport fault poisons the connection, an application
+/// error (`error <errno>` reply) arrives on a healthy one.
 #[derive(Debug)]
-pub struct ChirpClient {
+enum Fail {
+    /// Could not establish a connection; nothing was ever sent.
+    Dial(Errno),
+    /// The connection failed mid-RPC (I/O error, EOF, framing
+    /// violation): the session state is undefined and the server may or
+    /// may not have executed the request.
+    Transport(Errno),
+    /// The server replied `error <errno>`: the connection is healthy.
+    App(Errno),
+}
+
+impl Fail {
+    fn errno(&self) -> Errno {
+        match self {
+            Fail::Dial(e) | Fail::Transport(e) | Fail::App(e) => *e,
+        }
+    }
+}
+
+/// Parse a reply line, keeping transport and application errors apart.
+fn parse_reply(line: &str) -> Result<Vec<String>, Fail> {
+    let words: Vec<&str> = line.split(' ').filter(|w| !w.is_empty()).collect();
+    match words.first() {
+        Some(&"ok") => words[1..]
+            .iter()
+            .map(|w| codec::decode_word(w))
+            .collect::<SysResult<Vec<String>>>()
+            .map_err(Fail::Transport),
+        Some(&"error") => {
+            let code: i32 = words
+                .get(1)
+                .and_then(|w| w.parse().ok())
+                .ok_or(Fail::Transport(Errno::EPROTO))?;
+            Err(Fail::App(Errno::from_code(code).unwrap_or(Errno::EIO)))
+        }
+        _ => Err(Fail::Transport(Errno::EPROTO)),
+    }
+}
+
+/// One live connection: a buffered read half and the write half of the
+/// same socket.
+#[derive(Debug)]
+struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
-    principal: Principal,
-    /// The trace id stamped on the most recently sent request — what a
-    /// caller quotes to join server-side audit rows and slow-op spans
-    /// to its own operation.
-    last_trace: Option<TraceId>,
 }
 
 struct ClientTransport<'a> {
@@ -42,27 +179,125 @@ impl AuthTransport for ClientTransport<'_> {
     }
 }
 
+/// Open one connection and run auth negotiation over it.
+fn dial(
+    addr: SocketAddr,
+    creds: &[ClientCredential],
+    policy: &RetryPolicy,
+) -> SysResult<(Conn, Principal)> {
+    let stream = TcpStream::connect(addr).map_err(|_| Errno::ECONNREFUSED)?;
+    // The protocol is strict request/response on small lines; Nagle
+    // plus delayed ACKs would stall every round trip by ~40ms.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(policy.io_timeout);
+    let _ = stream.set_write_timeout(policy.io_timeout);
+    let mut reader = BufReader::new(stream.try_clone().map_err(|_| Errno::EIO)?);
+    let mut writer = stream;
+    let principal = {
+        let mut t = ClientTransport {
+            reader: &mut reader,
+            writer: &mut writer,
+        };
+        authenticate_client(&mut t, creds).map_err(|_| Errno::EACCES)?
+    };
+    Ok((Conn { reader, writer }, principal))
+}
+
+/// Advance a splitmix64 jitter stream.
+fn next_jitter(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The sleep before the retry after `failed_attempts` failures:
+/// `base · 2^(failures-1)` capped at `max_delay`, jittered uniformly
+/// into `[half, full]` so a thundering herd of retrying clients
+/// decorrelates.
+fn backoff_delay(policy: &RetryPolicy, failed_attempts: u32, jitter: &mut u64) -> Duration {
+    let shift = failed_attempts.saturating_sub(1).min(16);
+    let exp = policy
+        .base_delay
+        .saturating_mul(1u32 << shift)
+        .min(policy.max_delay);
+    let nanos = exp.as_nanos() as u64;
+    if nanos == 0 {
+        return Duration::ZERO;
+    }
+    let lo = nanos / 2;
+    Duration::from_nanos(lo + next_jitter(jitter) % (nanos - lo + 1))
+}
+
+/// An authenticated connection to a Chirp server, with transparent
+/// retry and reconnect under a [`RetryPolicy`].
+#[derive(Debug)]
+pub struct ChirpClient {
+    addr: SocketAddr,
+    creds: Vec<ClientCredential>,
+    policy: RetryPolicy,
+    /// The live connection; `None` after a transport fault poisons it,
+    /// until the next RPC redials. Poisoning is what guarantees a
+    /// half-read reply can never satisfy the next call.
+    conn: Option<Conn>,
+    principal: Principal,
+    /// The trace id stamped on the most recently sent request — what a
+    /// caller quotes to join server-side audit rows and slow-op spans
+    /// to its own operation. Stable across retries of one RPC.
+    last_trace: Option<TraceId>,
+    /// Bumped on every (re)connect; remote fds minted on an older
+    /// generation are dead (see [`crate::driver::ChirpDriver`]).
+    generation: u64,
+    retries: u64,
+    reconnects: u64,
+    jitter: u64,
+}
+
 impl ChirpClient {
     /// Connect and authenticate, offering `creds` in preference order.
+    /// Uses [`RetryPolicy::none`]: failures surface immediately, but a
+    /// later RPC on a poisoned connection still redials once.
     pub fn connect(addr: SocketAddr, creds: &[ClientCredential]) -> SysResult<Self> {
-        let stream = TcpStream::connect(addr).map_err(|_| Errno::ECONNREFUSED)?;
-        // The protocol is strict request/response on small lines; Nagle
-        // plus delayed ACKs would stall every round trip by ~40ms.
-        let _ = stream.set_nodelay(true);
-        let mut reader = BufReader::new(stream.try_clone().map_err(|_| Errno::EIO)?);
-        let mut writer = stream;
-        let principal = {
-            let mut t = ClientTransport {
-                reader: &mut reader,
-                writer: &mut writer,
-            };
-            authenticate_client(&mut t, creds).map_err(|_| Errno::EACCES)?
+        Self::connect_with(addr, creds, RetryPolicy::none())
+    }
+
+    /// Connect and authenticate under `policy`; the initial dial itself
+    /// retries with the policy's backoff.
+    pub fn connect_with(
+        addr: SocketAddr,
+        creds: &[ClientCredential],
+        policy: RetryPolicy,
+    ) -> SysResult<Self> {
+        let mut jitter = policy.jitter_seed;
+        let start = Instant::now();
+        let mut attempt = 1u32;
+        let (conn, principal) = loop {
+            match dial(addr, creds, &policy) {
+                Ok(ok) => break ok,
+                Err(e) => {
+                    if attempt >= policy.max_attempts || start.elapsed() >= policy.budget {
+                        return Err(e);
+                    }
+                    let d = backoff_delay(&policy, attempt, &mut jitter);
+                    if !d.is_zero() {
+                        std::thread::sleep(d);
+                    }
+                    attempt += 1;
+                }
+            }
         };
         Ok(ChirpClient {
-            reader,
-            writer,
+            addr,
+            creds: creds.to_vec(),
+            policy,
+            conn: Some(conn),
             principal,
             last_trace: None,
+            generation: 1,
+            retries: 0,
+            reconnects: 0,
+            jitter,
         })
     }
 
@@ -72,9 +307,26 @@ impl ChirpClient {
     }
 
     /// The trace id carried by the most recently sent request, if any
-    /// request has been sent yet.
+    /// request has been sent yet. All attempts of one retried RPC carry
+    /// the same id.
     pub fn last_trace(&self) -> Option<TraceId> {
         self.last_trace
+    }
+
+    /// The connection generation: 1 after connect, +1 per reconnect.
+    /// Remote fds are only valid within the generation that opened them.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Retry attempts performed so far (beyond each RPC's first try).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Transparent reconnects performed so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
     }
 
     /// Mint a fresh trace id for one request and remember it.
@@ -84,35 +336,96 @@ impl ChirpClient {
         id
     }
 
-    fn send(&mut self, line: &str) -> SysResult<()> {
-        let id = self.stamp();
-        codec::write_line(&mut self.writer, &codec::with_trace(line, id))
+    /// The retry engine every RPC runs through: stamp one trace id,
+    /// then attempt until success, a non-retryable failure, or the
+    /// policy (attempts or budget) is exhausted.
+    fn rpc<T>(
+        &mut self,
+        class: Verb,
+        line: &str,
+        payload: Option<&[u8]>,
+        mut parse: impl FnMut(&mut BufReader<TcpStream>, &[String]) -> SysResult<T>,
+    ) -> SysResult<T> {
+        let trace = self.stamp();
+        let start = Instant::now();
+        let mut attempt = 1u32;
+        loop {
+            match self.try_once(line, payload, trace, attempt, &mut parse) {
+                Ok(v) => return Ok(v),
+                Err(fail) => {
+                    if !self.should_retry(class, &fail, attempt, start) {
+                        return Err(fail.errno());
+                    }
+                    self.retries += 1;
+                    let d = backoff_delay(&self.policy, attempt, &mut self.jitter);
+                    if !d.is_zero() {
+                        std::thread::sleep(d);
+                    }
+                    attempt += 1;
+                }
+            }
+        }
     }
 
-    fn send_with_payload(&mut self, line: &str, data: &[u8]) -> SysResult<()> {
-        let id = self.stamp();
-        codec::write_line(&mut self.writer, &codec::with_trace(line, id))?;
-        self.writer.write_all(data).map_err(|_| Errno::EPIPE)?;
-        self.writer.flush().map_err(|_| Errno::EPIPE)
+    /// One attempt: reconnect if poisoned, send (re-stamping the same
+    /// trace id, plus a `retry=<n>` token past the first attempt so the
+    /// server can count retried requests), read and parse the reply.
+    /// Any transport fault drops the connection on the floor — poisoned.
+    fn try_once<T>(
+        &mut self,
+        line: &str,
+        payload: Option<&[u8]>,
+        trace: TraceId,
+        attempt: u32,
+        parse: &mut impl FnMut(&mut BufReader<TcpStream>, &[String]) -> SysResult<T>,
+    ) -> Result<T, Fail> {
+        if self.conn.is_none() {
+            let (conn, principal) =
+                dial(self.addr, &self.creds, &self.policy).map_err(Fail::Dial)?;
+            self.conn = Some(conn);
+            self.principal = principal;
+            self.generation += 1;
+            self.reconnects += 1;
+        }
+        let mut conn = self.conn.take().expect("just ensured a connection");
+        let stamped = if attempt > 1 {
+            codec::with_trace(&codec::with_retry(line, attempt - 1), trace)
+        } else {
+            codec::with_trace(line, trace)
+        };
+        let res = run_attempt(&mut conn, &stamped, payload, parse);
+        // An application error leaves the wire in a known state — keep
+        // the connection. A transport fault leaves it undefined — drop.
+        if !matches!(res, Err(Fail::Transport(_))) {
+            self.conn = Some(conn);
+        }
+        res
     }
 
-    fn recv(&mut self) -> SysResult<Vec<String>> {
-        let line = codec::read_line(&mut self.reader)?;
-        parse_response(&line)
-    }
-
-    fn recv_payload(&mut self) -> SysResult<Vec<u8>> {
-        let words = self.recv()?;
-        let len: u64 = words
-            .first()
-            .and_then(|w| w.parse().ok())
-            .ok_or(Errno::EPROTO)?;
-        codec::read_payload(&mut self.reader, len)
-    }
-
-    fn round_trip(&mut self, line: &str) -> SysResult<Vec<String>> {
-        self.send(line)?;
-        self.recv()
+    /// Retry ruling for one failed attempt.
+    fn should_retry(&self, class: Verb, fail: &Fail, attempt: u32, start: Instant) -> bool {
+        if attempt >= self.policy.max_attempts || start.elapsed() >= self.policy.budget {
+            return false;
+        }
+        match fail {
+            // Nothing was ever sent: safe for every class.
+            Fail::Dial(_) => true,
+            // The connection died mid-RPC: the server may or may not
+            // have executed the request, and any server-side fd died
+            // with the session.
+            Fail::Transport(_) => match class {
+                Verb::ReadOnly | Verb::IdemWrite => true,
+                Verb::Mutating => self.policy.retry_mutating,
+                Verb::FdRead | Verb::FdWrite => false,
+            },
+            // A shed/busy reply: the server refused *before* executing,
+            // on a healthy connection. Safe for every class.
+            Fail::App(Errno::EAGAIN) => true,
+            // Server-side I/O error: only re-reads are harmless.
+            Fail::App(Errno::EIO) => class == Verb::ReadOnly,
+            // Real answers (ENOENT, EACCES, …) are not failures to mask.
+            Fail::App(_) => false,
+        }
     }
 
     fn one_num(words: &[String]) -> SysResult<i64> {
@@ -139,100 +452,108 @@ impl ChirpClient {
 
     /// Who does the server think we are?
     pub fn whoami(&mut self) -> SysResult<Principal> {
-        let words = self.round_trip("whoami")?;
-        let s = words.first().ok_or(Errno::EPROTO)?;
-        Principal::parse(s).map_err(|_| Errno::EPROTO)
+        self.rpc(Verb::ReadOnly, "whoami", None, |_, words| {
+            let s = words.first().ok_or(Errno::EPROTO)?;
+            Principal::parse(s).map_err(|_| Errno::EPROTO)
+        })
     }
 
     /// Remote `stat`.
     pub fn stat(&mut self, path: &str) -> SysResult<StatBuf> {
-        let words = self.round_trip(&format!("stat {}", encode_word(path)))?;
-        Self::stat_words(&words)
+        let line = format!("stat {}", encode_word(path));
+        self.rpc(Verb::ReadOnly, &line, None, |_, words| {
+            Self::stat_words(words)
+        })
     }
 
-    /// Remote `open`; returns a server-side descriptor.
+    /// Remote `open`; returns a server-side descriptor valid for the
+    /// current [`ChirpClient::generation`] only.
     pub fn open(&mut self, path: &str, flags: OpenFlags, mode: u16) -> SysResult<i64> {
-        let words = self.round_trip(&format!(
-            "open {} {} {}",
-            encode_word(path),
-            flags.to_bits(),
-            mode
-        ))?;
-        Self::one_num(&words)
+        // O_EXCL makes re-execution observable (the retry finds the
+        // file the first attempt created and fails EEXIST); everything
+        // else converges.
+        let class = if flags.excl {
+            Verb::Mutating
+        } else if flags.write || flags.create || flags.trunc {
+            Verb::IdemWrite
+        } else {
+            Verb::ReadOnly
+        };
+        let line = format!("open {} {} {}", encode_word(path), flags.to_bits(), mode);
+        self.rpc(class, &line, None, |_, words| Self::one_num(words))
     }
 
     /// Remote `close`.
     pub fn close(&mut self, fd: i64) -> SysResult<()> {
-        self.round_trip(&format!("close {fd}"))?;
-        Ok(())
+        let line = format!("close {fd}");
+        self.rpc(Verb::FdWrite, &line, None, |_, _| Ok(()))
     }
 
     /// Remote positioned read.
     pub fn pread(&mut self, fd: i64, len: usize, off: u64) -> SysResult<Vec<u8>> {
-        self.send(&format!("pread {fd} {len} {off}"))?;
-        self.recv_payload()
+        let line = format!("pread {fd} {len} {off}");
+        self.rpc(Verb::FdRead, &line, None, read_reply_payload)
     }
 
     /// Remote positioned write.
     pub fn pwrite(&mut self, fd: i64, data: &[u8], off: u64) -> SysResult<usize> {
-        self.send_with_payload(&format!("pwrite {fd} {off} {}", data.len()), data)?;
-        let words = self.recv()?;
-        Ok(Self::one_num(&words)? as usize)
+        let line = format!("pwrite {fd} {off} {}", data.len());
+        self.rpc(Verb::FdWrite, &line, Some(data), |_, words| {
+            Ok(Self::one_num(words)? as usize)
+        })
     }
 
     /// Remote `fstat`.
     pub fn fstat(&mut self, fd: i64) -> SysResult<StatBuf> {
-        let words = self.round_trip(&format!("fstat {fd}"))?;
-        Self::stat_words(&words)
+        let line = format!("fstat {fd}");
+        self.rpc(Verb::FdRead, &line, None, |_, words| {
+            Self::stat_words(words)
+        })
     }
 
     /// Remote `mkdir` — subject to the reserve right exactly as local
     /// mkdir inside a box.
     pub fn mkdir(&mut self, path: &str, mode: u16) -> SysResult<()> {
-        self.round_trip(&format!("mkdir {} {}", encode_word(path), mode))?;
-        Ok(())
+        let line = format!("mkdir {} {}", encode_word(path), mode);
+        self.rpc(Verb::Mutating, &line, None, |_, _| Ok(()))
     }
 
     /// Remote `rmdir`.
     pub fn rmdir(&mut self, path: &str) -> SysResult<()> {
-        self.round_trip(&format!("rmdir {}", encode_word(path)))?;
-        Ok(())
+        let line = format!("rmdir {}", encode_word(path));
+        self.rpc(Verb::Mutating, &line, None, |_, _| Ok(()))
     }
 
     /// Remote `unlink`.
     pub fn unlink(&mut self, path: &str) -> SysResult<()> {
-        self.round_trip(&format!("unlink {}", encode_word(path)))?;
-        Ok(())
+        let line = format!("unlink {}", encode_word(path));
+        self.rpc(Verb::Mutating, &line, None, |_, _| Ok(()))
     }
 
     /// Remote `rename`.
     pub fn rename(&mut self, old: &str, new: &str) -> SysResult<()> {
-        self.round_trip(&format!(
-            "rename {} {}",
-            encode_word(old),
-            encode_word(new)
-        ))?;
-        Ok(())
+        let line = format!("rename {} {}", encode_word(old), encode_word(new));
+        self.rpc(Verb::Mutating, &line, None, |_, _| Ok(()))
     }
 
     /// Remote `truncate`.
     pub fn truncate(&mut self, path: &str, len: u64) -> SysResult<()> {
-        self.round_trip(&format!("truncate {} {len}", encode_word(path)))?;
-        Ok(())
+        let line = format!("truncate {} {len}", encode_word(path));
+        self.rpc(Verb::IdemWrite, &line, None, |_, _| Ok(()))
     }
 
     /// Remote directory listing.
     pub fn readdir(&mut self, path: &str) -> SysResult<Vec<DirEntry>> {
-        self.send(&format!("readdir {}", encode_word(path)))?;
-        let data = self.recv_payload()?;
+        let line = format!("readdir {}", encode_word(path));
+        let data = self.rpc(Verb::ReadOnly, &line, None, read_reply_payload)?;
         let text = String::from_utf8(data).map_err(|_| Errno::EPROTO)?;
         abi::decode_entries(&text)
     }
 
     /// Fetch a directory's ACL.
     pub fn getacl(&mut self, path: &str) -> SysResult<Acl> {
-        self.send(&format!("getacl {}", encode_word(path)))?;
-        let data = self.recv_payload()?;
+        let line = format!("getacl {}", encode_word(path));
+        let data = self.rpc(Verb::ReadOnly, &line, None, read_reply_payload)?;
         let text = String::from_utf8(data).map_err(|_| Errno::EPROTO)?;
         Acl::parse(&text).map_err(|_| Errno::EPROTO)
     }
@@ -240,12 +561,8 @@ impl ChirpClient {
     /// Install a directory's ACL (requires the A right).
     pub fn setacl(&mut self, path: &str, acl: &Acl) -> SysResult<()> {
         let text = acl.to_text();
-        self.send_with_payload(
-            &format!("setacl {} {}", encode_word(path), text.len()),
-            text.as_bytes(),
-        )?;
-        self.recv()?;
-        Ok(())
+        let line = format!("setacl {} {}", encode_word(path), text.len());
+        self.rpc(Verb::IdemWrite, &line, Some(text.as_bytes()), |_, _| Ok(()))
     }
 
     /// Stage a whole file onto the server (mode 0644).
@@ -256,18 +573,14 @@ impl ChirpClient {
     /// Stage a whole file with an explicit creation mode (0755 for
     /// executables, as `chirp_put -m` would).
     pub fn put_mode(&mut self, path: &str, data: &[u8], mode: u16) -> SysResult<()> {
-        self.send_with_payload(
-            &format!("put {} {} {}", encode_word(path), data.len(), mode),
-            data,
-        )?;
-        self.recv()?;
-        Ok(())
+        let line = format!("put {} {} {}", encode_word(path), data.len(), mode);
+        self.rpc(Verb::IdemWrite, &line, Some(data), |_, _| Ok(()))
     }
 
     /// Retrieve a whole file from the server.
     pub fn get(&mut self, path: &str) -> SysResult<Vec<u8>> {
-        self.send(&format!("get {}", encode_word(path)))?;
-        self.recv_payload()
+        let line = format!("get {}", encode_word(path));
+        self.rpc(Verb::ReadOnly, &line, None, read_reply_payload)
     }
 
     /// The paper's new call: run a staged program remotely, inside an
@@ -278,15 +591,16 @@ impl ChirpClient {
             line.push(' ');
             line.push_str(&encode_word(a));
         }
-        let words = self.round_trip(&line)?;
+        let words = self.rpc(Verb::Mutating, &line, None, |_, words| {
+            Ok(words.to_vec())
+        })?;
         Ok(Self::one_num(&words)? as i32)
     }
 
     /// Per-syscall latency statistics from the server's histograms.
     /// Admin principals only — everyone else gets `EACCES`.
     pub fn stats(&mut self) -> SysResult<Vec<StatRow>> {
-        self.send("stats")?;
-        let data = self.recv_payload()?;
+        let data = self.rpc(Verb::ReadOnly, "stats", None, read_reply_payload)?;
         let text = String::from_utf8(data).map_err(|_| Errno::EPROTO)?;
         parse_stat_rows(&text)
     }
@@ -294,8 +608,7 @@ impl ChirpClient {
     /// The server's recent policy decisions, oldest first. Admin
     /// principals only — everyone else gets `EACCES`.
     pub fn audit(&mut self) -> SysResult<Vec<AuditRow>> {
-        self.send("audit")?;
-        let data = self.recv_payload()?;
+        let data = self.rpc(Verb::ReadOnly, "audit", None, read_reply_payload)?;
         let text = String::from_utf8(data).map_err(|_| Errno::EPROTO)?;
         parse_audit_rows(&text)
     }
@@ -305,43 +618,76 @@ impl ChirpClient {
     /// write head). A gap between `since` and the first returned seq
     /// means the ring dropped that much history. Admin principals only.
     pub fn audit_since(&mut self, since: u64) -> SysResult<(Vec<AuditRow>, u64)> {
-        self.send(&format!("audit {since}"))?;
-        let words = self.recv()?;
-        let len: u64 = words
-            .first()
-            .and_then(|w| w.parse().ok())
-            .ok_or(Errno::EPROTO)?;
-        let cursor: u64 = words
-            .get(1)
-            .and_then(|w| w.parse().ok())
-            .ok_or(Errno::EPROTO)?;
-        let data = codec::read_payload(&mut self.reader, len)?;
-        let text = String::from_utf8(data).map_err(|_| Errno::EPROTO)?;
-        Ok((parse_audit_rows(&text)?, cursor))
+        let line = format!("audit {since}");
+        self.rpc(Verb::ReadOnly, &line, None, |r, words| {
+            let len: u64 = words
+                .first()
+                .and_then(|w| w.parse().ok())
+                .ok_or(Errno::EPROTO)?;
+            let cursor: u64 = words
+                .get(1)
+                .and_then(|w| w.parse().ok())
+                .ok_or(Errno::EPROTO)?;
+            let data = codec::read_payload(r, len)?;
+            let text = String::from_utf8(data).map_err(|_| Errno::EPROTO)?;
+            Ok((parse_audit_rows(&text)?, cursor))
+        })
     }
 
     /// The server's per-identity counters in Prometheus text exposition
     /// format. Admin principals only — everyone else gets `EACCES`.
     pub fn metrics(&mut self) -> SysResult<String> {
-        self.send("metrics")?;
-        let data = self.recv_payload()?;
+        let data = self.rpc(Verb::ReadOnly, "metrics", None, read_reply_payload)?;
         String::from_utf8(data).map_err(|_| Errno::EPROTO)
     }
 
     /// The server's recent slow operations, oldest first. Admin
     /// principals only — everyone else gets `EACCES`.
     pub fn slowops(&mut self) -> SysResult<Vec<SlowOpRow>> {
-        self.send("slowops")?;
-        let data = self.recv_payload()?;
+        let data = self.rpc(Verb::ReadOnly, "slowops", None, read_reply_payload)?;
         let text = String::from_utf8(data).map_err(|_| Errno::EPROTO)?;
         parse_slowop_rows(&text)
     }
 
-    /// Polite disconnect.
+    /// Polite disconnect. A no-op on an already-poisoned connection —
+    /// there is nothing left to be polite to.
     pub fn quit(mut self) -> SysResult<()> {
-        self.round_trip("quit")?;
-        Ok(())
+        if self.conn.is_none() {
+            return Ok(());
+        }
+        self.rpc(Verb::FdWrite, "quit", None, |_, _| Ok(()))
     }
+}
+
+/// Send one stamped request and read its reply on one connection.
+fn run_attempt<T>(
+    conn: &mut Conn,
+    line: &str,
+    payload: Option<&[u8]>,
+    parse: &mut impl FnMut(&mut BufReader<TcpStream>, &[String]) -> SysResult<T>,
+) -> Result<T, Fail> {
+    codec::write_line(&mut conn.writer, line).map_err(Fail::Transport)?;
+    if let Some(data) = payload {
+        conn.writer
+            .write_all(data)
+            .map_err(|_| Fail::Transport(Errno::EPIPE))?;
+        conn.writer.flush().map_err(|_| Fail::Transport(Errno::EPIPE))?;
+    }
+    let reply = codec::read_line(&mut conn.reader).map_err(Fail::Transport)?;
+    let words = parse_reply(&reply)?;
+    // Reply-body errors (short payload, malformed words) leave the
+    // stream position undefined: transport faults, poisoning the
+    // connection.
+    parse(&mut conn.reader, &words).map_err(Fail::Transport)
+}
+
+/// Reply parser for `ok <len>` + payload responses.
+fn read_reply_payload(r: &mut BufReader<TcpStream>, words: &[String]) -> SysResult<Vec<u8>> {
+    let len: u64 = words
+        .first()
+        .and_then(|w| w.parse().ok())
+        .ok_or(Errno::EPROTO)?;
+    codec::read_payload(r, len)
 }
 
 /// One line of the `stats` RPC: a syscall's dispatch count and latency
@@ -503,6 +849,61 @@ mod tests {
             parse_audit_rows("5 fred open /a deny 13 00000000000000ab whatever 9\n").unwrap();
         assert_eq!(now, future);
         assert!(parse_audit_rows("5 fred open /a deny 13 nothex\n").is_err());
+    }
+
+    #[test]
+    fn parse_reply_splits_transport_from_app() {
+        assert_eq!(parse_reply("ok 42").unwrap(), ["42"]);
+        assert!(matches!(
+            parse_reply("error 13"),
+            Err(Fail::App(Errno::EACCES))
+        ));
+        assert!(matches!(
+            parse_reply("gibberish"),
+            Err(Fail::Transport(Errno::EPROTO))
+        ));
+        assert!(matches!(
+            parse_reply("error notanumber"),
+            Err(Fail::Transport(Errno::EPROTO))
+        ));
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_within_bounds() {
+        let policy = RetryPolicy {
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(100),
+            ..RetryPolicy::default()
+        };
+        let mut jitter = 7u64;
+        for failures in 1..12u32 {
+            let exp = policy
+                .base_delay
+                .saturating_mul(1 << (failures - 1).min(16))
+                .min(policy.max_delay);
+            for _ in 0..32 {
+                let d = backoff_delay(&policy, failures, &mut jitter);
+                assert!(d >= exp / 2 && d <= exp, "failures={failures}: {d:?} vs {exp:?}");
+            }
+        }
+        // A zero base never sleeps.
+        let zero = RetryPolicy {
+            base_delay: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(backoff_delay(&zero, 3, &mut jitter), Duration::ZERO);
+    }
+
+    #[test]
+    fn same_seed_same_backoff_schedule() {
+        let policy = RetryPolicy::default();
+        let (mut a, mut b) = (99u64, 99u64);
+        for failures in 1..8 {
+            assert_eq!(
+                backoff_delay(&policy, failures, &mut a),
+                backoff_delay(&policy, failures, &mut b)
+            );
+        }
     }
 
     #[test]

@@ -128,6 +128,48 @@ pub fn strip_trace(line: &str) -> (&str, Option<TraceId>) {
     (line, None)
 }
 
+/// The spelling of the optional retry token a client appends (before
+/// the trace token is stripped, after it in line order) when a request
+/// is a re-send of an earlier attempt: `retry=` followed by the attempt
+/// number (1 = first retry).
+pub const RETRY_PREFIX: &str = "retry=";
+
+/// Append a retry token to a command line. `n` is the retry ordinal
+/// (how many attempts preceded this one); zero is never emitted — a
+/// first attempt carries no token.
+pub fn with_retry(line: &str, n: u32) -> String {
+    debug_assert!(n > 0, "first attempts carry no retry token");
+    format!("{line} {RETRY_PREFIX}{n}")
+}
+
+/// Split a trailing retry token off a raw command line (after
+/// [`strip_trace`] has removed the trace token, since the trace token
+/// is always last). Returns the line without the token and the retry
+/// ordinal when one was present and well-formed.
+///
+/// Same forward/backward-compatibility posture as [`strip_trace`]: the
+/// token is only recognized after a preceding word and only with a
+/// nonzero all-digit value of sane length, so an ordinary final
+/// argument is never eaten, and servers that predate the token see one
+/// ignorable trailing word.
+pub fn strip_retry(line: &str) -> (&str, Option<u32>) {
+    if let Some(idx) = line.rfind(' ') {
+        if let Some(digits) = line[idx + 1..].strip_prefix(RETRY_PREFIX) {
+            if !digits.is_empty()
+                && digits.len() <= 9
+                && digits.bytes().all(|b| b.is_ascii_digit())
+            {
+                if let Ok(n) = digits.parse::<u32>() {
+                    if n > 0 {
+                        return (&line[..idx], Some(n));
+                    }
+                }
+            }
+        }
+    }
+    (line, None)
+}
+
 /// Split a command line into decoded words.
 pub fn split_words(line: &str) -> SysResult<Vec<String>> {
     line.split(' ')
@@ -271,6 +313,38 @@ mod tests {
         let line = with_trace("stat /a", id);
         assert_eq!(line, format!("stat /a trace={id}"));
         assert_eq!(strip_trace(&line), ("stat /a", Some(id)));
+    }
+
+    #[test]
+    fn retry_token_round_trips() {
+        let line = with_retry("stat /a", 2);
+        assert_eq!(line, "stat /a retry=2");
+        assert_eq!(strip_retry(&line), ("stat /a", Some(2)));
+        // Stacked with a trace token: trace strips first, retry second.
+        let id = idbox_obs::next_trace_id();
+        let full = with_trace(&with_retry("stat /a", 1), id);
+        let (rest, got_id) = strip_trace(&full);
+        assert_eq!(got_id, Some(id));
+        assert_eq!(strip_retry(rest), ("stat /a", Some(1)));
+    }
+
+    #[test]
+    fn strip_retry_leaves_ordinary_lines_alone() {
+        assert_eq!(strip_retry("stat /a"), ("stat /a", None));
+        // A lone token with no preceding command is not stripped.
+        assert_eq!(strip_retry("retry=1"), ("retry=1", None));
+        // Zero, non-digits, and absurd lengths stay in place.
+        for bad in [
+            "stat /a retry=0",
+            "stat /a retry=",
+            "stat /a retry=x",
+            "stat /a retry=1x",
+            "stat /a retry=1234567890",
+        ] {
+            assert_eq!(strip_retry(bad), (bad, None));
+        }
+        // A final argument that merely resembles the prefix survives.
+        assert_eq!(strip_retry("put retry=x 3"), ("put retry=x 3", None));
     }
 
     #[test]

@@ -17,8 +17,11 @@ use std::collections::BTreeMap;
 /// ride someone else's authenticated channel, which is refused.
 pub struct ChirpDriver {
     client: ChirpClient,
-    /// Remote fd (server-side) per driver fd.
-    handles: BTreeMap<DriverFd, i64>,
+    /// Per driver fd: the client connection generation that minted the
+    /// remote fd, and the remote (server-side) fd itself. Server fds
+    /// die with their session, so after a transparent reconnect every
+    /// fd from an older generation is stale.
+    handles: BTreeMap<DriverFd, (u64, i64)>,
     next: DriverFd,
 }
 
@@ -40,8 +43,17 @@ impl ChirpDriver {
         }
     }
 
+    /// Resolve a driver fd to its remote fd, refusing (and forgetting)
+    /// fds minted before the client's last reconnect: their server-side
+    /// descriptors no longer exist, and a fresh session might even hand
+    /// the same number to a different file.
     fn remote(&mut self, dfd: DriverFd) -> SysResult<i64> {
-        self.handles.get(&dfd).copied().ok_or(Errno::EBADF)
+        let (generation, rfd) = *self.handles.get(&dfd).ok_or(Errno::EBADF)?;
+        if generation != self.client.generation() {
+            self.handles.remove(&dfd);
+            return Err(Errno::EBADF);
+        }
+        Ok(rfd)
     }
 }
 
@@ -61,12 +73,17 @@ impl FsDriver for ChirpDriver {
         let rfd = self.client.open(path, flags, mode)?;
         let dfd = self.next;
         self.next += 1;
-        self.handles.insert(dfd, rfd);
+        self.handles.insert(dfd, (self.client.generation(), rfd));
         Ok(dfd)
     }
 
     fn close(&mut self, dfd: DriverFd) -> SysResult<()> {
-        let rfd = self.handles.remove(&dfd).ok_or(Errno::EBADF)?;
+        let (generation, rfd) = self.handles.remove(&dfd).ok_or(Errno::EBADF)?;
+        if generation != self.client.generation() {
+            // The session that owned this fd is gone, and it closed all
+            // its fds with it — nothing left to close.
+            return Ok(());
+        }
         self.client.close(rfd)
     }
 

@@ -28,7 +28,7 @@ mod codec;
 mod driver;
 mod server;
 
-pub use client::{AuditRow, ChirpClient, SlowOpRow, StatRow};
+pub use client::{AuditRow, ChirpClient, RetryPolicy, SlowOpRow, StatRow};
 pub use codec::{decode_word, encode_word};
 pub use driver::ChirpDriver;
 pub use server::{ChirpServer, ChirpServerHandle, GuestFn, ServerConfig};

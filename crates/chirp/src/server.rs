@@ -4,7 +4,7 @@ use crate::codec::{self, error_line, ok_num};
 use crate::export_path;
 use idbox_acl::Acl;
 use idbox_auth::{authenticate_server, AuthTransport, ServerVerifier};
-use idbox_core::{AuditRing, BoxOptions, IdentityBox};
+use idbox_core::{AuditRing, BoxOptions, IdentityBox, Verdict};
 use idbox_interpose::abi;
 use idbox_interpose::{share, GuestCtx, SharedKernel};
 use idbox_kernel::{Account, Kernel, OpenFlags, Pid, Syscall};
@@ -17,7 +17,7 @@ use idbox_vfs::Cred;
 use std::collections::BTreeMap;
 use std::io::{BufReader, Write};
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use std::time::Duration;
@@ -59,6 +59,21 @@ pub struct ServerConfig {
     /// Operations at least this long are kept as spans in the slow-op
     /// ring (the `slowops` RPC). `Duration::ZERO` keeps everything.
     pub slow_op_threshold: Duration,
+    /// Load-shedding watermark: when this many RPCs are already in
+    /// dispatch server-wide, new requests are refused with a fast
+    /// `error EAGAIN` instead of queueing behind the backlog. The
+    /// session stays connected; a retrying client simply backs off.
+    /// `None` disables shedding.
+    pub busy_watermark: Option<usize>,
+    /// Per-identity concurrency cap: an identity already running this
+    /// many RPCs has further requests shed with `error EAGAIN`, so one
+    /// noisy principal cannot monopolize dispatch. `None` means
+    /// unlimited.
+    pub max_inflight_per_identity: Option<usize>,
+    /// How long shutdown waits for in-flight RPCs to finish before
+    /// force-closing their sockets. Bounded so a stuck guest program
+    /// cannot hang the embedding process (or CI) forever.
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +95,9 @@ impl Default for ServerConfig {
             max_connections: 1024,
             admins: Vec::new(),
             slow_op_threshold: Duration::from_millis(1),
+            busy_watermark: None,
+            max_inflight_per_identity: None,
+            drain_deadline: Duration::from_secs(1),
         }
     }
 }
@@ -178,6 +196,13 @@ impl ChirpServer {
         let audit = Arc::clone(&self.audit);
         let metrics = Arc::clone(&self.metrics);
         let slow_ops = Arc::clone(&self.slow_ops);
+        let busy_watermark = self.config.busy_watermark;
+        let max_inflight_per_identity = self.config.max_inflight_per_identity;
+        let drain_deadline = self.config.drain_deadline;
+        let draining = Arc::new(AtomicBool::new(false));
+        let draining2 = Arc::clone(&draining);
+        let inflight = Arc::new(AtomicU64::new(0));
+        let inflight2 = Arc::clone(&inflight);
         let conns: ConnRegistry = Arc::default();
         let conns2 = Arc::clone(&conns);
         // Catalog heartbeat: register now and on every period until
@@ -206,10 +231,23 @@ impl ChirpServer {
                 match listener.accept() {
                     Ok((mut stream, peer)) => {
                         // Admission gate: over the cap, the client gets
-                        // a protocol error line, never a session.
+                        // a protocol error line, never a session. The
+                        // refusal happens before authentication, so it
+                        // is counted against the server (the label-less
+                        // `idbox_admission_shed_total` sample), not an
+                        // identity, and audited under a placeholder.
                         let mut registry = conns2.lock().unwrap_or_else(|e| e.into_inner());
                         if registry.len() >= max_connections {
                             drop(registry);
+                            metrics.bump_admission_shed();
+                            audit.record_named(
+                                "(unauthenticated)",
+                                "admission-shed",
+                                None,
+                                Verdict::Deny,
+                                Some(Errno::EAGAIN),
+                                None,
+                            );
                             let _ = stream
                                 .write_all(error_line(Errno::EAGAIN).as_bytes())
                                 .and_then(|_| stream.write_all(b"\n"));
@@ -240,6 +278,8 @@ impl ChirpServer {
                         // io_timeout disconnects an idle one). Shutdown
                         // stops the accept loop and then signals
                         // lingering sessions through the registry.
+                        let draining = Arc::clone(&draining2);
+                        let inflight = Arc::clone(&inflight2);
                         std::thread::spawn(move || {
                             let ctl = SessionCtl {
                                 kernel: Arc::clone(&kernel),
@@ -247,6 +287,10 @@ impl ChirpServer {
                                 audit,
                                 metrics,
                                 slow_ops,
+                                draining,
+                                inflight,
+                                busy_watermark,
+                                max_inflight_per_identity,
                             };
                             let _ = serve_connection(
                                 stream, kernel, &verifier, &programs, cost_model, sup_cred,
@@ -274,6 +318,9 @@ impl ChirpServer {
             audit: Arc::clone(&self.audit),
             metrics: Arc::clone(&self.metrics),
             slow_ops: Arc::clone(&self.slow_ops),
+            draining,
+            inflight,
+            drain_deadline,
         })
     }
 }
@@ -288,6 +335,9 @@ pub struct ChirpServerHandle {
     audit: Arc<AuditRing>,
     metrics: Arc<IdentityMetrics>,
     slow_ops: Arc<SlowOpLog>,
+    draining: Arc<AtomicBool>,
+    inflight: Arc<AtomicU64>,
+    drain_deadline: Duration,
 }
 
 impl ChirpServerHandle {
@@ -321,18 +371,64 @@ impl ChirpServerHandle {
         self.conns.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
-    /// Stop accepting, wait for the accept loop, and signal every
-    /// lingering connection: their sockets are shut down, so blocked
-    /// reads return immediately and the session threads exit instead of
-    /// waiting for their peers to hang up.
+    /// RPCs currently in dispatch, server-wide.
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Put the server into drain mode without shutting it down: every
+    /// subsequent request on every session is shed with `error EAGAIN`
+    /// while in-flight RPCs run to completion.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Graceful shutdown: enter drain mode, stop accepting, let
+    /// in-flight RPCs finish (bounded by the configured
+    /// `drain_deadline`), then signal every lingering connection —
+    /// their sockets are shut down, so blocked reads return immediately
+    /// and the session threads exit instead of waiting for their peers
+    /// to hang up.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
+        if self.join.is_none() {
+            return; // already shut down (explicit shutdown, then drop)
+        }
+        // Drain first: sessions shed new work while in-flight RPCs run
+        // to completion (or the deadline passes — a stuck guest program
+        // must not be able to hang the embedding process).
+        self.draining.store(true, Ordering::Relaxed);
         self.stop.store(true, Ordering::Relaxed);
         if let Some(j) = self.join.take() {
             let _ = j.join();
+        }
+        let deadline = std::time::Instant::now() + self.drain_deadline;
+        let mut clean = true;
+        while self.inflight.load(Ordering::Relaxed) > 0 {
+            if std::time::Instant::now() >= deadline {
+                clean = false;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // The drain outcome lands in the same audit ring as every other
+        // policy decision: Allow when all in-flight work finished, Deny
+        // + EBUSY when the deadline force-closed stragglers.
+        if clean {
+            self.audit
+                .record_named("server", "drain", None, Verdict::Allow, None, None);
+        } else {
+            self.audit.record_named(
+                "server",
+                "drain",
+                None,
+                Verdict::Deny,
+                Some(Errno::EBUSY),
+                None,
+            );
         }
         let registry = std::mem::take(
             &mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()),
@@ -378,6 +474,14 @@ struct SessionCtl {
     audit: Arc<AuditRing>,
     metrics: Arc<IdentityMetrics>,
     slow_ops: Arc<SlowOpLog>,
+    /// Set when the server is draining: every request is shed so
+    /// in-flight work can finish and sessions wind down.
+    draining: Arc<AtomicBool>,
+    /// Server-wide count of RPCs currently in dispatch, shared with the
+    /// handle (shutdown polls it) and checked against `busy_watermark`.
+    inflight: Arc<AtomicU64>,
+    busy_watermark: Option<usize>,
+    max_inflight_per_identity: Option<usize>,
 }
 
 impl SessionCtl {
@@ -408,6 +512,47 @@ impl Drop for SessionGauge {
     fn drop(&mut self) {
         self.0.session_ended();
     }
+}
+
+/// Marks one RPC in dispatch, in both the server-wide counter (the
+/// load-shedding watermark and the drain poll read it) and the
+/// identity's gauge. Dropped on every exit path, so a panicking dispatch
+/// cannot leak an in-flight slot and wedge shutdown.
+struct InflightGuard {
+    global: Arc<AtomicU64>,
+    counters: Arc<IdentityCounters>,
+}
+
+impl InflightGuard {
+    fn new(global: &Arc<AtomicU64>, counters: &Arc<IdentityCounters>) -> Self {
+        global.fetch_add(1, Ordering::Relaxed);
+        counters.rpc_started();
+        InflightGuard {
+            global: Arc::clone(global),
+            counters: Arc::clone(counters),
+        }
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        let _ = self
+            .global
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+        self.counters.rpc_finished();
+    }
+}
+
+/// Payload length announced by a request line, for the verbs that stream
+/// a payload after it. A shed reply must still consume that payload, or
+/// the next `read_line` would parse payload bytes as a request.
+fn request_payload_len(words: &[String]) -> Option<u64> {
+    let idx = match words[0].as_str() {
+        "pwrite" => 3,
+        "put" | "setacl" => 2,
+        _ => return None,
+    };
+    words.get(idx).and_then(|w| w.parse().ok())
 }
 
 /// Serve one authenticated connection inside an identity box.
@@ -463,6 +608,13 @@ fn serve_connection(
     while let Ok(raw) = codec::read_line(&mut reader) {
         let (line, trace_id) = codec::strip_trace(&raw);
         obs.trace.set(trace_id);
+        let (line, retry) = codec::strip_retry(line);
+        if retry.is_some() {
+            // The client re-sent an earlier attempt (possibly over a
+            // fresh connection); count it so retry pressure is visible
+            // per identity.
+            counters.bump_rpc_retried();
+        }
         let words = match codec::split_words(line) {
             Ok(w) if !w.is_empty() => w,
             _ => {
@@ -474,8 +626,44 @@ fn serve_connection(
             codec::write_line(&mut writer, "ok")?;
             break;
         }
+        // Graceful degradation: refuse work we cannot (drain) or should
+        // not (overload) take on, with a fast EAGAIN the retry policy
+        // understands, instead of queueing or failing mid-operation.
+        let shed_reason = if ctl.draining.load(Ordering::Relaxed) {
+            Some("drain")
+        } else if ctl
+            .busy_watermark
+            .is_some_and(|w| ctl.inflight.load(Ordering::Relaxed) >= w as u64)
+        {
+            Some("busy")
+        } else if ctl
+            .max_inflight_per_identity
+            .is_some_and(|m| counters.inflight() >= m as u64)
+        {
+            Some("identity-limit")
+        } else {
+            None
+        };
+        if let Some(reason) = shed_reason {
+            if let Some(len) = request_payload_len(&words) {
+                let _ = codec::read_payload(&mut reader, len);
+            }
+            counters.bump_rpc_shed();
+            ctl.audit.record_named(
+                &obs.identity,
+                "rpc-shed",
+                Some(format!("{} {reason}", words[0])),
+                Verdict::Deny,
+                Some(Errno::EAGAIN),
+                obs.trace.get(),
+            );
+            codec::write_line(&mut writer, &error_line(Errno::EAGAIN))?;
+            continue;
+        }
         let t0 = std::time::Instant::now();
+        let inflight = InflightGuard::new(&ctl.inflight, &counters);
         let result = dispatch(&words, &mut reader, &mut ctx, &principal, programs, ctl, &obs);
+        drop(inflight);
         record_span(ctl, &obs, Phase::Rpc, &words[0], t0.elapsed());
         match result {
             Ok(Reply::Line(l)) => codec::write_line(&mut writer, &l)?,

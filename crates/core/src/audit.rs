@@ -103,12 +103,29 @@ impl AuditRing {
         errno: Option<Errno>,
         trace: Option<TraceId>,
     ) {
+        self.record_named(identity, call.name(), call_path(call), verdict, errno, trace);
+    }
+
+    /// Append one decision that is not a syscall ruling — degradation
+    /// events from the server (`"rpc-shed"`, `"admission-shed"`,
+    /// `"drain"`) use this so every shed/drain decision lands in the
+    /// same ring, with the same cursor, as the policy verdicts it sits
+    /// between. `op` becomes the event's `syscall` column.
+    pub fn record_named(
+        &self,
+        identity: &str,
+        op: &'static str,
+        path: Option<String>,
+        verdict: Verdict,
+        errno: Option<Errno>,
+        trace: Option<TraceId>,
+    ) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let event = AuditEvent {
             seq,
             identity: identity.to_string(),
-            syscall: call.name(),
-            path: call_path(call),
+            syscall: op,
+            path,
             verdict,
             errno,
             trace,

@@ -752,7 +752,7 @@ impl SyscallPolicy for IdentityBoxPolicy {
     }
 
     /// Rule on read-only calls under a shared kernel borrow. The ruling
-    /// comes from the same [`IdentityBoxPolicy::decide`] procedure that
+    /// comes from the same `IdentityBoxPolicy::decide` procedure that
     /// [`SyscallPolicy::check`] runs, so both lock modes decide
     /// identically by construction; read-only calls never schedule
     /// post-processing, so skipping [`SyscallPolicy::post`] on this path

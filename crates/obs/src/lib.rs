@@ -266,6 +266,9 @@ pub struct IdentityCounters {
     verdict_cache_hits: AtomicU64,
     verdict_cache_misses: AtomicU64,
     active_sessions: AtomicU64,
+    rpcs_shed: AtomicU64,
+    rpcs_retried: AtomicU64,
+    inflight: AtomicU64,
     /// Logical tick of the last registry touch — the eviction key.
     last_active: AtomicU64,
 }
@@ -281,6 +284,9 @@ impl IdentityCounters {
             verdict_cache_hits: AtomicU64::new(0),
             verdict_cache_misses: AtomicU64::new(0),
             active_sessions: AtomicU64::new(0),
+            rpcs_shed: AtomicU64::new(0),
+            rpcs_retried: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
             last_active: AtomicU64::new(0),
         }
     }
@@ -321,6 +327,31 @@ impl IdentityCounters {
     /// Count one ACL verdict that had to re-read the directory's ACL.
     pub fn bump_verdict_miss(&self) {
         self.verdict_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one RPC refused by a load-shedding gate (drain mode or an
+    /// inflight watermark) with a fast `EAGAIN` busy reply.
+    pub fn bump_rpc_shed(&self) {
+        self.rpcs_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one RPC the client marked as a retry of an earlier attempt
+    /// (the `retry=<n>` request token).
+    pub fn bump_rpc_retried(&self) {
+        self.rpcs_retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An RPC for this identity entered dispatch.
+    pub fn rpc_started(&self) {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An RPC for this identity left dispatch.
+    pub fn rpc_finished(&self) {
+        // Saturating: a stray extra call must not wrap to u64::MAX.
+        let _ = self
+            .inflight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
     }
 
     /// A session for this identity opened.
@@ -380,6 +411,21 @@ impl IdentityCounters {
     pub fn active_sessions(&self) -> u64 {
         self.active_sessions.load(Ordering::Relaxed)
     }
+
+    /// RPCs refused by a load-shedding gate.
+    pub fn rpcs_shed(&self) -> u64 {
+        self.rpcs_shed.load(Ordering::Relaxed)
+    }
+
+    /// RPCs that arrived marked as retries.
+    pub fn rpcs_retried(&self) -> u64 {
+        self.rpcs_retried.load(Ordering::Relaxed)
+    }
+
+    /// RPCs currently in dispatch for this identity.
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
 }
 
 /// Default bound on how many identities the registry tracks at once.
@@ -402,6 +448,10 @@ pub struct IdentityMetrics {
     cap: usize,
     tick: AtomicU64,
     map: Mutex<HashMap<String, Arc<IdentityCounters>>>,
+    /// Connections refused at the accept loop, before any identity is
+    /// known — a registry-level (label-less) counter, since there is no
+    /// principal to charge it to.
+    admission_shed: AtomicU64,
 }
 
 impl IdentityMetrics {
@@ -413,7 +463,19 @@ impl IdentityMetrics {
             cap: cap.max(1),
             tick: AtomicU64::new(0),
             map: Mutex::new(HashMap::new()),
+            admission_shed: AtomicU64::new(0),
         }
+    }
+
+    /// Count one connection refused at the accept loop (over the
+    /// `max_connections` cap), before authentication names an identity.
+    pub fn bump_admission_shed(&self) {
+        self.admission_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections refused at the accept loop so far.
+    pub fn admission_shed(&self) -> u64 {
+        self.admission_shed.load(Ordering::Relaxed)
     }
 
     /// The syscall name table this registry labels with.
@@ -503,7 +565,7 @@ impl IdentityMetrics {
         }
 
         type SimpleFamily = (&'static str, &'static str, &'static str, fn(&IdentityCounters) -> u64);
-        let simple: [SimpleFamily; 7] = [
+        let simple: [SimpleFamily; 10] = [
             (
                 "idbox_bytes_read_total",
                 "Payload bytes returned by read-family syscalls, by identity.",
@@ -541,10 +603,28 @@ impl IdentityMetrics {
                 IdentityCounters::verdict_cache_misses,
             ),
             (
+                "idbox_rpcs_shed_total",
+                "RPCs refused by a load-shedding gate with a busy reply, by identity.",
+                "counter",
+                IdentityCounters::rpcs_shed,
+            ),
+            (
+                "idbox_rpcs_retried_total",
+                "RPCs that arrived marked as client retries, by identity.",
+                "counter",
+                IdentityCounters::rpcs_retried,
+            ),
+            (
                 "idbox_active_sessions",
                 "Sessions currently open, by identity.",
                 "gauge",
                 IdentityCounters::active_sessions,
+            ),
+            (
+                "idbox_inflight_requests",
+                "RPCs currently in dispatch, by identity.",
+                "gauge",
+                IdentityCounters::inflight,
             ),
         ];
         for (name, help, kind, get) in simple {
@@ -557,6 +637,17 @@ impl IdentityMetrics {
                 ));
             }
         }
+
+        // The admission gate fires before authentication, so its count
+        // has no identity label: one global sample.
+        out.push_str(
+            "# HELP idbox_admission_shed_total Connections refused at the accept loop \
+             (over max_connections).\n# TYPE idbox_admission_shed_total counter\n",
+        );
+        out.push_str(&format!(
+            "idbox_admission_shed_total {}\n",
+            self.admission_shed()
+        ));
         out
     }
 }
@@ -733,15 +824,49 @@ mod tests {
         assert!(text.contains("# TYPE idbox_syscalls_total counter\n"));
         assert!(text.contains("# TYPE idbox_verdict_cache_hits_total counter\n"));
         assert!(text.contains("# TYPE idbox_verdict_cache_misses_total counter\n"));
+        assert!(text.contains("# TYPE idbox_rpcs_shed_total counter\n"));
+        assert!(text.contains("# TYPE idbox_rpcs_retried_total counter\n"));
+        assert!(text.contains("# TYPE idbox_inflight_requests gauge\n"));
+        // The admission counter is global (fires pre-auth): label-less.
+        assert!(text.contains("idbox_admission_shed_total 0\n"));
         // Zero-count syscalls are not emitted.
         assert!(!text.contains("syscall=\"getpid\""));
-        // Every sample line is `name{labels} value`.
+        // Every sample line is `name{labels} value` — except the global
+        // admission sample, which carries no labels.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let (head, value) = line.rsplit_once(' ').expect("sample has a value");
             assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
             assert!(head.starts_with("idbox_"), "bad family in {line:?}");
-            assert!(head.ends_with('}') && head.contains("{identity=\""));
+            if head != "idbox_admission_shed_total" {
+                assert!(head.ends_with('}') && head.contains("{identity=\""));
+            }
         }
+    }
+
+    #[test]
+    fn degradation_counters_round_trip() {
+        let reg = IdentityMetrics::new(NAMES, 8);
+        let c = reg.handle("fred");
+        c.bump_rpc_shed();
+        c.bump_rpc_shed();
+        c.bump_rpc_retried();
+        c.rpc_started();
+        c.rpc_started();
+        c.rpc_finished();
+        reg.bump_admission_shed();
+        assert_eq!(c.rpcs_shed(), 2);
+        assert_eq!(c.rpcs_retried(), 1);
+        assert_eq!(c.inflight(), 1);
+        assert_eq!(reg.admission_shed(), 1);
+        // rpc_finished saturates instead of wrapping.
+        c.rpc_finished();
+        c.rpc_finished();
+        assert_eq!(c.inflight(), 0);
+        let text = reg.render_prometheus();
+        assert!(text.contains("idbox_rpcs_shed_total{identity=\"fred\"} 2\n"));
+        assert!(text.contains("idbox_rpcs_retried_total{identity=\"fred\"} 1\n"));
+        assert!(text.contains("idbox_inflight_requests{identity=\"fred\"} 0\n"));
+        assert!(text.contains("idbox_admission_shed_total 1\n"));
     }
 
     #[test]

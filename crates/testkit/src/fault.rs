@@ -1,0 +1,528 @@
+//! Deterministic fault injection for the robustness test suite.
+//!
+//! Every failure mode the Chirp stack must survive — dropped
+//! connections, truncated replies, wire delays, slow readers, and I/O
+//! errors inside the filesystem — is driven from one seeded
+//! [`FaultPlan`], so a CI failure reproduces exactly from the seed
+//! instead of depending on the weather of the host network stack.
+//!
+//! Two injection surfaces share the plan:
+//!
+//! * **Wire** — [`FaultyStream`] wraps any `Read + Write` transport and
+//!   consults the plan on each operation (unit-level: codec tests),
+//!   and [`FaultProxy`] forwards real TCP between a client and a
+//!   server, injecting the same faults mid-connection (e2e-level: a
+//!   `ChirpClient` dials the proxy and the proxy dials the server, so
+//!   neither side needs test hooks).
+//! * **Vfs** — [`FaultPlan::vfs_fault`] is what a filesystem
+//!   errno-injection hook calls per data operation; armed errnos pop
+//!   first, then the seeded `vfs_eio_ppm` rate draws.
+//!
+//! Faults come in two flavours, usable together: **armed** faults are
+//! an explicit FIFO per direction (`arm`) consumed one per operation —
+//! the deterministic scalpel for "truncate exactly the next reply" —
+//! and **rate** faults are seeded random draws (`drop_ppm` per
+//! request line on the wire, `vfs_eio_ppm` per filesystem data op) for
+//! sustained-degradation runs.
+
+use crate::TestRng;
+use idbox_types::Errno;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One injectable failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Close the connection (reads see EOF, writes see a broken pipe).
+    Drop,
+    /// Fail the operation with an I/O error without closing anything.
+    Eio,
+    /// Sleep this long, then perform the operation normally.
+    Delay(Duration),
+    /// Deliver at most this many bytes of the next transfer, then
+    /// behave like [`Fault::Drop`].
+    Truncate(usize),
+    /// Deliver the next transfer one byte at a time (a slow peer; with
+    /// an `io_timeout` on the other side this becomes a timeout fault).
+    SlowRead,
+}
+
+/// Which direction of a connection a wire fault applies to, from the
+/// client's point of view: `Tx` is client→server (requests), `Rx` is
+/// server→client (replies). For a bare [`FaultyStream`], `Tx` guards
+/// writes and `Rx` guards reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Client→server / the write side.
+    Tx,
+    /// Server→client / the read side.
+    Rx,
+}
+
+#[derive(Debug)]
+struct PlanInner {
+    rng: Mutex<TestRng>,
+    tx: Mutex<VecDeque<Fault>>,
+    rx: Mutex<VecDeque<Fault>>,
+    vfs: Mutex<VecDeque<Errno>>,
+    /// Per-request probability (parts per million) that the wire drops
+    /// the connection at that request boundary.
+    drop_ppm: u32,
+    /// Per-data-op probability (ppm) that the filesystem reports EIO.
+    vfs_eio_ppm: u32,
+    wire_injected: AtomicU64,
+    vfs_injected: AtomicU64,
+}
+
+/// A seeded, shareable (`Clone` = same plan) fault schedule.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    inner: Arc<PlanInner>,
+}
+
+impl FaultPlan {
+    /// A plan with no random faults: only what [`FaultPlan::arm`] /
+    /// [`FaultPlan::arm_vfs`] queue up will fire.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan::with_rates(seed, 0, 0)
+    }
+
+    /// A plan that also draws seeded random faults: `drop_ppm` per
+    /// request line on the wire (connection drop), `vfs_eio_ppm` per
+    /// filesystem data operation (EIO). 100_000 ppm = 10 %.
+    pub fn with_rates(seed: u64, drop_ppm: u32, vfs_eio_ppm: u32) -> FaultPlan {
+        FaultPlan {
+            inner: Arc::new(PlanInner {
+                rng: Mutex::new(TestRng::new(seed)),
+                tx: Mutex::new(VecDeque::new()),
+                rx: Mutex::new(VecDeque::new()),
+                vfs: Mutex::new(VecDeque::new()),
+                drop_ppm,
+                vfs_eio_ppm,
+                wire_injected: AtomicU64::new(0),
+                vfs_injected: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn queue(&self, dir: Dir) -> &Mutex<VecDeque<Fault>> {
+        match dir {
+            Dir::Tx => &self.inner.tx,
+            Dir::Rx => &self.inner.rx,
+        }
+    }
+
+    /// Queue one wire fault for `dir`; armed faults fire in FIFO order,
+    /// one per wire operation, before any rate draw.
+    pub fn arm(&self, dir: Dir, fault: Fault) {
+        self.queue(dir).lock().unwrap().push_back(fault);
+    }
+
+    /// Queue one filesystem errno; popped by the next hooked data op.
+    pub fn arm_vfs(&self, errno: Errno) {
+        self.inner.vfs.lock().unwrap().push_back(errno);
+    }
+
+    /// Pop the next armed wire fault for `dir`, if any.
+    pub fn take(&self, dir: Dir) -> Option<Fault> {
+        let f = self.queue(dir).lock().unwrap().pop_front();
+        if f.is_some() {
+            self.inner.wire_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        f
+    }
+
+    /// One seeded draw at the configured per-request drop rate; `true`
+    /// means "drop the connection here".
+    pub fn draw_drop(&self) -> bool {
+        if self.inner.drop_ppm == 0 {
+            return false;
+        }
+        let hit = self.inner.rng.lock().unwrap().below(1_000_000) < u64::from(self.inner.drop_ppm);
+        if hit {
+            self.inner.wire_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// What a Vfs errno-injection hook calls once per data operation:
+    /// armed errnos pop first, then the seeded EIO rate draws. The
+    /// `_op` name ("read"/"write") is accepted so a hook closure can
+    /// filter before consulting the plan.
+    pub fn vfs_fault(&self, _op: &str) -> Option<Errno> {
+        if let Some(e) = self.inner.vfs.lock().unwrap().pop_front() {
+            self.inner.vfs_injected.fetch_add(1, Ordering::Relaxed);
+            return Some(e);
+        }
+        if self.inner.vfs_eio_ppm > 0
+            && self.inner.rng.lock().unwrap().below(1_000_000) < u64::from(self.inner.vfs_eio_ppm)
+        {
+            self.inner.vfs_injected.fetch_add(1, Ordering::Relaxed);
+            return Some(Errno::EIO);
+        }
+        None
+    }
+
+    /// Wire faults injected so far (armed pops + rate drops).
+    pub fn wire_injected(&self) -> u64 {
+        self.inner.wire_injected.load(Ordering::Relaxed)
+    }
+
+    /// Filesystem faults injected so far.
+    pub fn vfs_injected(&self) -> u64 {
+        self.inner.vfs_injected.load(Ordering::Relaxed)
+    }
+}
+
+fn injected_eio() -> std::io::Error {
+    std::io::Error::other("injected EIO")
+}
+
+/// A `Read + Write` wrapper that consults a [`FaultPlan`] on every
+/// operation: reads pop `Rx` faults, writes pop `Tx` faults. Once a
+/// `Drop`/`Truncate` fault fires the stream is dead — reads return EOF
+/// and writes a broken pipe — exactly like a closed socket.
+#[derive(Debug)]
+pub struct FaultyStream<S> {
+    inner: S,
+    plan: FaultPlan,
+    dead: bool,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wrap `inner` under `plan`.
+    pub fn new(inner: S, plan: FaultPlan) -> FaultyStream<S> {
+        FaultyStream {
+            inner,
+            plan,
+            dead: false,
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// Whether a fault has closed the stream.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.dead || buf.is_empty() {
+            return Ok(0);
+        }
+        match self.plan.take(Dir::Rx) {
+            Some(Fault::Drop) => {
+                self.dead = true;
+                Ok(0)
+            }
+            Some(Fault::Eio) => Err(injected_eio()),
+            Some(Fault::Delay(d)) => {
+                std::thread::sleep(d);
+                self.inner.read(buf)
+            }
+            Some(Fault::Truncate(n)) => {
+                self.dead = true;
+                let cap = n.min(buf.len());
+                if cap == 0 {
+                    return Ok(0);
+                }
+                self.inner.read(&mut buf[..cap])
+            }
+            Some(Fault::SlowRead) => self.inner.read(&mut buf[..1]),
+            None => self.inner.read(buf),
+        }
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.dead {
+            return Err(std::io::Error::from(std::io::ErrorKind::BrokenPipe));
+        }
+        match self.plan.take(Dir::Tx) {
+            Some(Fault::Drop) => {
+                self.dead = true;
+                Err(std::io::Error::from(std::io::ErrorKind::BrokenPipe))
+            }
+            Some(Fault::Eio) => Err(injected_eio()),
+            Some(Fault::Delay(d)) => {
+                std::thread::sleep(d);
+                self.inner.write(buf)
+            }
+            Some(Fault::Truncate(n)) => {
+                self.dead = true;
+                let cap = n.min(buf.len());
+                self.inner.write(&buf[..cap])
+            }
+            Some(Fault::SlowRead) => self.inner.write(&buf[..1.min(buf.len())]),
+            None => self.inner.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.dead {
+            return Err(std::io::Error::from(std::io::ErrorKind::BrokenPipe));
+        }
+        self.inner.flush()
+    }
+}
+
+/// A TCP forwarder that sits between a real client and a real server
+/// and injects the plan's wire faults mid-connection.
+///
+/// Clients dial [`FaultProxy::addr`]; each accepted connection opens
+/// its own upstream connection, and two pump threads forward bytes.
+/// Armed faults pop one per forwarded chunk in their direction; the
+/// seeded drop rate draws once per complete request line (newline) in
+/// the `Tx` direction, so `drop_ppm` reads as "fraction of requests
+/// that lose their connection". A drop closes both sides, which is
+/// exactly what the retrying client must recover from.
+#[derive(Debug)]
+pub struct FaultProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Listen on an ephemeral localhost port and forward to `upstream`
+    /// under `plan`.
+    pub fn spawn(upstream: SocketAddr, plan: FaultPlan) -> std::io::Result<FaultProxy> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let join = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        let Ok(server) = TcpStream::connect(upstream) else {
+                            let _ = client.shutdown(Shutdown::Both);
+                            continue;
+                        };
+                        let _ = client.set_nodelay(true);
+                        let _ = server.set_nodelay(true);
+                        let (Ok(c2), Ok(s2)) = (client.try_clone(), server.try_clone()) else {
+                            continue;
+                        };
+                        let plan_tx = plan.clone();
+                        let plan_rx = plan.clone();
+                        std::thread::spawn(move || pump(client, server, Dir::Tx, plan_tx));
+                        std::thread::spawn(move || pump(s2, c2, Dir::Rx, plan_rx));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(FaultProxy {
+            addr,
+            stop,
+            join: Some(join),
+        })
+    }
+
+    /// The address clients should dial instead of the server's.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Close both halves of a proxied connection.
+fn kill(a: &TcpStream, b: &TcpStream) {
+    let _ = a.shutdown(Shutdown::Both);
+    let _ = b.shutdown(Shutdown::Both);
+}
+
+/// Forward `src` → `dst` until EOF, error, or an injected fault ends
+/// the connection.
+///
+/// The chunk is read *first* and the fault queue consulted after, so a
+/// fault armed while the pump is blocked waiting for traffic applies to
+/// the very next chunk — which is what makes "arm, then issue one RPC"
+/// deterministic from a test.
+fn pump(mut src: TcpStream, mut dst: TcpStream, dir: Dir, plan: FaultPlan) {
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match src.read(&mut buf) {
+            Ok(0) | Err(_) => {
+                kill(&src, &dst);
+                return;
+            }
+            Ok(n) => n,
+        };
+        match plan.take(dir) {
+            Some(Fault::Drop) | Some(Fault::Eio) => {
+                // On a real wire an I/O error and a hangup look the
+                // same to the peers: the connection is gone and the
+                // chunk with it.
+                kill(&src, &dst);
+                return;
+            }
+            Some(Fault::Delay(d)) => std::thread::sleep(d),
+            Some(Fault::Truncate(cap)) => {
+                let forwarded = n.min(cap);
+                if forwarded > 0 {
+                    let _ = dst.write_all(&buf[..forwarded]);
+                    let _ = dst.flush();
+                }
+                kill(&src, &dst);
+                return;
+            }
+            Some(Fault::SlowRead) => {
+                // Trickle this chunk one byte at a time.
+                for b in &buf[..n] {
+                    if dst.write_all(std::slice::from_ref(b)).is_err() {
+                        kill(&src, &dst);
+                        return;
+                    }
+                    let _ = dst.flush();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                continue;
+            }
+            None => {}
+        }
+        if dir == Dir::Tx {
+            // One drop draw per complete request line, so the rate
+            // reads per-request regardless of how TCP chunks them.
+            for _ in buf[..n].iter().filter(|b| **b == b'\n') {
+                if plan.draw_drop() {
+                    kill(&src, &dst);
+                    return;
+                }
+            }
+        }
+        if dst.write_all(&buf[..n]).is_err() {
+            kill(&src, &dst);
+            return;
+        }
+        let _ = dst.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_faults_fire_in_order_then_stream_is_normal() {
+        let plan = FaultPlan::new(42);
+        plan.arm(Dir::Rx, Fault::SlowRead);
+        plan.arm(Dir::Rx, Fault::Eio);
+        let data = b"hello world".to_vec();
+        let mut s = FaultyStream::new(std::io::Cursor::new(data), plan.clone());
+        let mut buf = [0u8; 8];
+        // SlowRead: one byte.
+        assert_eq!(s.read(&mut buf).unwrap(), 1);
+        assert_eq!(buf[0], b'h');
+        // Eio: an error, stream still alive.
+        assert!(s.read(&mut buf).is_err());
+        assert!(!s.is_dead());
+        // Queue empty: normal reads resume.
+        assert_eq!(s.read(&mut buf).unwrap(), 8);
+        assert_eq!(plan.wire_injected(), 2);
+    }
+
+    #[test]
+    fn drop_and_truncate_kill_the_stream() {
+        let plan = FaultPlan::new(7);
+        plan.arm(Dir::Rx, Fault::Truncate(3));
+        let mut s = FaultyStream::new(std::io::Cursor::new(b"abcdefgh".to_vec()), plan);
+        let mut buf = [0u8; 8];
+        assert_eq!(s.read(&mut buf).unwrap(), 3);
+        assert!(s.is_dead());
+        assert_eq!(s.read(&mut buf).unwrap(), 0, "dead stream reads EOF");
+        assert!(s.write(b"x").is_err(), "dead stream writes break");
+    }
+
+    #[test]
+    fn write_faults_guard_the_tx_direction() {
+        let plan = FaultPlan::new(7);
+        plan.arm(Dir::Tx, Fault::Drop);
+        let mut s = FaultyStream::new(std::io::Cursor::new(Vec::new()), plan);
+        assert!(s.write(b"x").is_err());
+        assert!(s.is_dead());
+    }
+
+    #[test]
+    fn vfs_faults_pop_armed_then_draw_rate() {
+        let plan = FaultPlan::with_rates(1234, 0, 500_000); // 50 % EIO
+        plan.arm_vfs(Errno::ENOSPC);
+        assert_eq!(plan.vfs_fault("write"), Some(Errno::ENOSPC));
+        let hits = (0..1000).filter(|_| plan.vfs_fault("read").is_some()).count();
+        assert!((300..700).contains(&hits), "rate draw wildly off: {hits}/1000");
+        assert_eq!(plan.vfs_injected(), 1 + hits as u64);
+    }
+
+    #[test]
+    fn same_seed_same_draws() {
+        let a = FaultPlan::with_rates(99, 100_000, 0);
+        let b = FaultPlan::with_rates(99, 100_000, 0);
+        let da: Vec<bool> = (0..256).map(|_| a.draw_drop()).collect();
+        let db: Vec<bool> = (0..256).map(|_| b.draw_drop()).collect();
+        assert_eq!(da, db);
+        assert!(da.iter().any(|x| *x) && !da.iter().all(|x| *x));
+    }
+
+    #[test]
+    fn proxy_forwards_and_injected_drop_cuts_the_connection() {
+        // An echo server that upcases one line per connection.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let upstream = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut conn) = conn else { break };
+                std::thread::spawn(move || loop {
+                    use std::io::BufRead;
+                    let mut r = std::io::BufReader::new(conn.try_clone().unwrap());
+                    let mut line = String::new();
+                    if r.read_line(&mut line).unwrap_or(0) == 0 {
+                        return;
+                    }
+                    let _ = conn.write_all(line.to_uppercase().as_bytes());
+                });
+            }
+        });
+        let plan = FaultPlan::new(5);
+        let proxy = FaultProxy::spawn(upstream, plan.clone()).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"hi\n").unwrap();
+        let mut buf = [0u8; 3];
+        c.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"HI\n");
+        // Arm a drop on the reply path: the next request's reply never
+        // arrives and the connection dies.
+        plan.arm(Dir::Rx, Fault::Drop);
+        c.write_all(b"again\n").unwrap();
+        let n = c.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "connection should be cut");
+        // A fresh connection through the same proxy works again.
+        let mut c2 = TcpStream::connect(proxy.addr()).unwrap();
+        c2.write_all(b"ok\n").unwrap();
+        let mut buf = [0u8; 3];
+        c2.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"OK\n");
+    }
+}

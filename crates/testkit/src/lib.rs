@@ -16,11 +16,14 @@
 
 use std::ops::Range;
 
+pub mod fault;
+
 // ---------------------------------------------------------------------------
 // RNG
 // ---------------------------------------------------------------------------
 
 /// Deterministic generator handed to strategies (splitmix64).
+#[derive(Debug)]
 pub struct TestRng {
     state: u64,
 }
@@ -365,7 +368,7 @@ pub mod bits {
 pub mod collection {
     use crate::{Strategy, TestRng};
 
-    /// Accepted size specifications for [`vec`].
+    /// Accepted size specifications for [`vec()`].
     pub struct SizeRange {
         lo: usize,
         hi: usize, // inclusive

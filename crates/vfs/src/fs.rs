@@ -7,6 +7,7 @@ use idbox_types::{Errno, SysResult};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Credentials used for Unix permission checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,6 +166,35 @@ impl Clone for DentryCache {
     }
 }
 
+/// An errno-injection hook for fault testing: called once per data
+/// operation with the operation name (`"read"` / `"write"`) and the
+/// target inode; returning `Some(errno)` fails that operation instead
+/// of performing it. Installed via [`Vfs::set_fault_hook`]; production
+/// filesystems never carry one. The robustness suite drives it from a
+/// seeded `FaultPlan` so "the disk returned EIO" is reproducible.
+#[derive(Clone)]
+pub struct FaultHook(Arc<dyn Fn(&'static str, Ino) -> Option<Errno> + Send + Sync>);
+
+impl FaultHook {
+    /// Wrap an injection function.
+    pub fn new(f: impl Fn(&'static str, Ino) -> Option<Errno> + Send + Sync + 'static) -> Self {
+        FaultHook(Arc::new(f))
+    }
+
+    fn check(&self, op: &'static str, ino: Ino) -> SysResult<()> {
+        match (self.0)(op, ino) {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Debug for FaultHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FaultHook(..)")
+    }
+}
+
 /// The in-memory filesystem.
 ///
 /// All operations take a *start directory* (the caller's cwd) and a path;
@@ -178,6 +208,7 @@ pub struct Vfs {
     root: Ino,
     dcache: DentryCache,
     dcache_enabled: bool,
+    fault_hook: Option<FaultHook>,
 }
 
 impl Default for Vfs {
@@ -197,6 +228,7 @@ impl Vfs {
             root: Ino(1),
             dcache: DentryCache::new(),
             dcache_enabled: true,
+            fault_hook: None,
         };
         let mut entries = BTreeMap::new();
         entries.insert(".".to_string(), Ino(1));
@@ -258,6 +290,12 @@ impl Vfs {
         if !enabled {
             self.dcache.clear();
         }
+    }
+
+    /// Install (or clear, with `None`) the errno-injection hook consulted
+    /// by data operations ([`Vfs::read_into`], [`Vfs::write_at`]).
+    pub fn set_fault_hook(&mut self, hook: Option<FaultHook>) {
+        self.fault_hook = hook;
     }
 
     /// Number of live inodes (for tests and invariant checks).
@@ -561,6 +599,9 @@ impl Vfs {
     /// untouched, so concurrent readers can share the filesystem borrow
     /// (the kernel dispatches read-only syscalls under a shared lock).
     pub fn read_into(&self, ino: Ino, off: u64, out: &mut [u8]) -> SysResult<usize> {
+        if let Some(hook) = &self.fault_hook {
+            hook.check("read", ino)?;
+        }
         let inode = self.get(ino)?;
         let data = match &inode.payload {
             Payload::File(data) => data,
@@ -588,6 +629,9 @@ impl Vfs {
     /// Write `data` at `off`, growing the file (zero-filling any gap).
     /// Returns bytes written.
     pub fn write_at(&mut self, ino: Ino, off: u64, data: &[u8]) -> SysResult<usize> {
+        if let Some(hook) = &self.fault_hook {
+            hook.check("write", ino)?;
+        }
         let now = self.tick();
         let inode = self.get_mut(ino)?;
         let file = match &mut inode.payload {

@@ -21,7 +21,7 @@ mod fs;
 mod inode;
 pub mod path;
 
-pub use fs::{Cred, DirEntry, Vfs};
+pub use fs::{Cred, DirEntry, FaultHook, Vfs};
 pub use inode::{FileKind, Ino, StatBuf};
 
 /// Access request bits used by permission checks (same encoding as the
