@@ -20,6 +20,11 @@ cargo test -q -p idbox-core --test cache_equivalence
 # pinned seed makes a CI failure reproduce exactly.
 IDBOX_PROP_SEED=0x1DB0F cargo test -q -p idbox-testkit
 IDBOX_PROP_SEED=0x1DB0F cargo test -q -p idbox-chirp --test robustness
+# Sharded-kernel correctness: the transcript-equivalence proptest
+# (shards=1 vs shards=5 must agree on every syscall, pinned seed) and
+# the threaded cross-shard stress test for lock-ordering deadlocks.
+IDBOX_PROP_SEED=0x1DB0F cargo test -q -p idbox-kernel --test shard_equivalence
+cargo test -q -p idbox-kernel --release concurrent_syscalls_across_shards_do_not_deadlock
 # Bench smoke (~2 s): the fig5a ablation harness and the server
 # throughput harness must run end to end and emit their results files
 # (including results/BENCH_syscall.json), on tiny iteration counts.
@@ -30,6 +35,11 @@ IDBOX_BENCH_WINDOW_MS=150 IDBOX_BENCH_LEVELS=1,2 \
 # emit results/BENCH_faults.json.
 IDBOX_BENCH_WINDOW_MS=150 \
   cargo run --release -q -p idbox-bench --bin server_throughput -- --faults
+# Contention smoke (~2 s): the disjoint-subtree contention bench must
+# run end to end and emit results/BENCH_contention.tsv. The >=1.5x
+# scaling assertion self-skips on hosts with fewer than 4 cores.
+IDBOX_BENCH_WINDOW_MS=150 IDBOX_BENCH_ASSERT_SCALING=1 \
+  cargo run --release -q -p idbox-bench --bin contention
 # The whole workspace lints clean across all targets (tests, benches,
 # bins), and the API docs build without warnings.
 cargo clippy --workspace --all-targets -- -D warnings

@@ -38,7 +38,7 @@ fn policy(domain: &HierId, tree: &Arc<Mutex<DomainTree>>) -> Box<HierPolicy> {
 }
 
 fn spawn_in(kernel: &SharedKernel, tree: &Arc<Mutex<DomainTree>>, d: &HierId) -> Pid {
-    let mut k = kernel.lock();
+    let k = kernel.lock();
     let pid = k.spawn(Cred::new(1000, 1000), "/tmp", "proc").unwrap();
     k.set_identity(pid, d.to_identity()).unwrap();
     tree.lock().assign(pid, d.clone()).unwrap();

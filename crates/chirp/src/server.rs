@@ -845,7 +845,7 @@ fn dispatch(
             // the program it runs — the third plane of the join.
             if let Some(id) = obs.trace.get() {
                 ctl.kernel
-                    .write()
+                    .read()
                     .set_env(ctx.pid(), abi::TRACE_ENV, id.to_string())?;
             }
             let t0 = std::time::Instant::now();

@@ -41,7 +41,7 @@ pub fn read_acl(vfs: &Vfs, dir: Ino, sup: &Cred) -> SysResult<Option<Acl>> {
 }
 
 /// Write (create or replace) the ACL of a directory.
-pub fn write_acl(vfs: &mut Vfs, dir: Ino, acl: &Acl, sup: &Cred) -> SysResult<()> {
+pub fn write_acl(vfs: &Vfs, dir: Ino, acl: &Acl, sup: &Cred) -> SysResult<()> {
     vfs.write_file(dir, ACL_FILE_NAME, acl.to_text().as_bytes(), sup)?;
     Ok(())
 }
@@ -96,7 +96,7 @@ mod tests {
     use idbox_acl::AclEntry;
 
     fn setup() -> (Vfs, Ino) {
-        let mut v = Vfs::new();
+        let v = Vfs::new();
         let root = v.root();
         let d = v.mkdir(root, "/box", 0o755, &Cred::ROOT).unwrap();
         (v, d)
@@ -114,19 +114,19 @@ mod tests {
 
     #[test]
     fn write_then_read_acl() {
-        let (mut v, d) = setup();
+        let (v, d) = setup();
         let acl = Acl::from_entries([AclEntry::new("fred", Rights::RWLAX)]);
-        write_acl(&mut v, d, &acl, &Cred::ROOT).unwrap();
+        write_acl(&v, d, &acl, &Cred::ROOT).unwrap();
         assert_eq!(read_acl(&v, d, &Cred::ROOT).unwrap(), Some(acl));
     }
 
     #[test]
     fn effective_rights_reads_entries() {
-        let (mut v, d) = setup();
+        let (v, d) = setup();
         let mut acl = Acl::empty();
         acl.set("f*", Rights::READ | Rights::LIST);
         acl.set_reserve("globus:*", Rights::NONE, Rights::RWLAX);
-        write_acl(&mut v, d, &acl, &Cred::ROOT).unwrap();
+        write_acl(&v, d, &acl, &Cred::ROOT).unwrap();
         match effective_rights(&v, d, &Identity::new("fred"), &Cred::ROOT).unwrap() {
             EffectiveRights::Acl(r, grant) => {
                 assert!(r.contains(Rights::READ | Rights::LIST));
@@ -152,7 +152,7 @@ mod tests {
 
     #[test]
     fn malformed_acl_fails_closed() {
-        let (mut v, d) = setup();
+        let (v, d) = setup();
         v.write_file(d, ACL_FILE_NAME, b"not a valid acl line", &Cred::ROOT)
             .unwrap();
         match effective_rights(&v, d, &Identity::new("fred"), &Cred::ROOT).unwrap() {
@@ -166,10 +166,10 @@ mod tests {
 
     #[test]
     fn permits_acl_and_unix_paths() {
-        let (mut v, d) = setup();
+        let (v, d) = setup();
         // ACL case.
         let acl = Acl::from_entries([AclEntry::new("fred", Rights::READ)]);
-        write_acl(&mut v, d, &acl, &Cred::ROOT).unwrap();
+        write_acl(&v, d, &acl, &Cred::ROOT).unwrap();
         let er = effective_rights(&v, d, &Identity::new("fred"), &Cred::ROOT).unwrap();
         assert!(er.permits(&v, Rights::READ, None, Access::R));
         assert!(!er.permits(&v, Rights::WRITE, None, Access::W));

@@ -241,7 +241,7 @@ impl IdentityBox {
     /// supervising user's uid, starts in the visitor's home, and carries
     /// the visiting identity.
     pub fn spawn_process(&self, comm: &str) -> SysResult<Pid> {
-        let mut k = self.kernel.lock();
+        let k = self.kernel.lock();
         let pid = k.spawn(self.sup_cred, &self.home, comm)?;
         k.set_identity(pid, self.identity.clone())?;
         Ok(pid)

@@ -46,7 +46,7 @@ impl SyscallPolicy for HierPolicy {
         "hierarchical-identity-box"
     }
 
-    fn check(&mut self, kernel: &mut Kernel, pid: Pid, call: &Syscall) -> PolicyDecision {
+    fn check(&mut self, kernel: &Kernel, pid: Pid, call: &Syscall) -> PolicyDecision {
         if let Syscall::Kill(target, _) = call {
             let tree = self.tree.lock();
             return match tree.domain_of(*target) {
@@ -63,7 +63,7 @@ impl SyscallPolicy for HierPolicy {
 
     fn post(
         &mut self,
-        kernel: &mut Kernel,
+        kernel: &Kernel,
         pid: Pid,
         call: &Syscall,
         result: &mut SysResult<SysRet>,
@@ -110,7 +110,7 @@ mod tests {
         domain: &HierId,
         comm: &str,
     ) -> Pid {
-        let mut k = kernel.lock();
+        let k = kernel.lock();
         let pid = k.spawn(Cred::new(1000, 1000), "/tmp", comm).unwrap();
         k.set_identity(pid, domain.to_identity()).unwrap();
         tree.lock().assign(pid, domain.clone()).unwrap();
@@ -138,20 +138,20 @@ mod tests {
 
         let mut parent_pol = policy_for(&dthain, &tree);
         let mut child_pol = policy_for(&visitor, &tree);
-        let mut k = kernel.lock();
+        let k = kernel.lock();
         // dthain may signal down into the visitor domain.
         assert_eq!(
-            parent_pol.check(&mut k, dthain_pid, &Syscall::Kill(visitor_pid, Signal::Term)),
+            parent_pol.check(&k, dthain_pid, &Syscall::Kill(visitor_pid, Signal::Term)),
             PolicyDecision::Allow
         );
         // The visitor may not signal up.
         assert_eq!(
-            child_pol.check(&mut k, visitor_pid, &Syscall::Kill(dthain_pid, Signal::Term)),
+            child_pol.check(&k, visitor_pid, &Syscall::Kill(dthain_pid, Signal::Term)),
             PolicyDecision::Deny(Errno::EPERM)
         );
         // The visitor may signal within its own domain.
         assert_eq!(
-            child_pol.check(&mut k, visitor_pid, &Syscall::Kill(visitor_pid, Signal::Usr1)),
+            child_pol.check(&k, visitor_pid, &Syscall::Kill(visitor_pid, Signal::Usr1)),
             PolicyDecision::Allow
         );
     }
@@ -162,9 +162,9 @@ mod tests {
         let v_pid = spawn_in(&kernel, &tree, &visitor, "v");
         let s_pid = spawn_in(&kernel, &tree, &service, "s");
         let mut v_pol = policy_for(&visitor, &tree);
-        let mut k = kernel.lock();
+        let k = kernel.lock();
         assert_eq!(
-            v_pol.check(&mut k, v_pid, &Syscall::Kill(s_pid, Signal::Term)),
+            v_pol.check(&k, v_pid, &Syscall::Kill(s_pid, Signal::Term)),
             PolicyDecision::Deny(Errno::EPERM)
         );
     }

@@ -216,42 +216,30 @@ impl Supervisor {
         }
     }
 
-    /// Kernel dispatch without a policy: read-only calls go down the
-    /// shared-lock fast path, everything else takes the exclusive lock.
+    /// Kernel dispatch without a policy: every call — mutating ones
+    /// included — runs under the *shared* side of the structure lock;
+    /// the kernel's internal shard locks provide the mutual exclusion.
     fn dispatch_plain(&mut self, pid: Pid, call: &Syscall) -> SysResult<SysRet> {
         let t0 = Instant::now();
-        let result = self.dispatch_plain_inner(pid, call);
+        let result = self.kernel.read().syscall_shared(pid, call.clone());
         let nanos = t0.elapsed().as_nanos() as u64;
         self.latency.record(call, nanos);
         self.observe_dispatch(call, &result, nanos);
         result
     }
 
-    fn dispatch_plain_inner(&mut self, pid: Pid, call: &Syscall) -> SysResult<SysRet> {
-        if call.is_read_only() {
-            if let Some(result) = self.kernel.read().syscall_read(pid, call) {
-                return result;
-            }
-        }
-        self.kernel.lock().syscall(pid, call.clone())
-    }
-
     /// Policy ruling plus kernel dispatch.
     ///
-    /// Read-only calls are first offered to the policy under the
-    /// *shared* kernel lock ([`SyscallPolicy::check_read`]); when it
-    /// rules, the kernel also runs under the shared lock, so concurrent
-    /// supervisors do not serialize on reads. Either side may decline —
-    /// the policy by returning `None`, the kernel by declining the call
-    /// in [`idbox_kernel::Kernel::syscall_read`] (mount-routed paths,
-    /// driver fds, pipe reads) — and the call drops to the classic
-    /// exclusive path. With `nullify`, the nullified `getpid` really
-    /// enters the kernel before the lock is released (Figure 4(a),
-    /// steps 4-5).
+    /// The whole sequence — policy check, kernel entry, post-processing,
+    /// and (with `nullify`) the nullified `getpid` that really enters
+    /// the kernel (Figure 4(a), steps 4-5) — runs under one *shared*
+    /// guard of the structure lock. Concurrent supervisors therefore
+    /// never serialize here; any contention happens inside the kernel,
+    /// on the shard locks of the state the calls actually touch.
     ///
-    /// Both lock paths are timed into the kernel's latency histograms:
-    /// the clock covers the policy ruling plus the kernel entry, i.e.
-    /// what the guest experiences for the call.
+    /// Dispatch is timed into the kernel's latency histograms: the clock
+    /// covers the policy ruling plus the kernel entry, i.e. what the
+    /// guest experiences for the call.
     fn dispatch_policed(&mut self, pid: Pid, call: &Syscall, nullify: bool) -> SysResult<SysRet> {
         let t0 = Instant::now();
         let result = self.dispatch_policed_inner(pid, call, nullify);
@@ -302,60 +290,18 @@ impl Supervisor {
         call: &Syscall,
         nullify: bool,
     ) -> SysResult<SysRet> {
-        if call.is_read_only() {
-            let kernel = self.kernel.read();
-            let p0 = Instant::now();
-            let ruling = self.policy.check_read(&kernel, pid, call);
-            let policy_ns = p0.elapsed().as_nanos() as u64;
-            if let Some(decision) = ruling {
-                if let Some(obs) = &self.obs {
-                    Self::observe_span(obs, Phase::Policy, call.name(), policy_ns);
-                }
-                let fast = match &decision {
-                    PolicyDecision::Allow => kernel.syscall_read(pid, call),
-                    PolicyDecision::Deny(errno) => Some(Err(*errno)),
-                    PolicyDecision::Rewrite(replacement) if replacement.is_read_only() => {
-                        kernel.syscall_read(pid, replacement)
-                    }
-                    PolicyDecision::Rewrite(_) => None,
-                };
-                if let Some(result) = fast {
-                    if nullify {
-                        let _ = kernel.null_syscall(pid);
-                    }
-                    return result;
-                }
-                drop(kernel);
-                // The ruling stands; only the kernel itself needs the
-                // exclusive lock (mount-routed path, driver fd, or a
-                // mutating rewrite).
-                let mut kernel = self.kernel.lock();
-                let result = match decision {
-                    PolicyDecision::Allow => kernel.syscall(pid, call.clone()),
-                    PolicyDecision::Rewrite(replacement) => kernel.syscall(pid, replacement),
-                    PolicyDecision::Deny(_) => unreachable!("deny completed on the fast path"),
-                };
-                if nullify {
-                    let _ = kernel.null_syscall(pid);
-                }
-                return result;
-            }
-            drop(kernel);
-        }
-        // Exclusive path: the policy rules under the write lock and may
-        // post-process the result.
-        let mut kernel = self.kernel.lock();
+        let kernel = self.kernel.read();
         let p0 = Instant::now();
-        let decision = self.policy.check(&mut kernel, pid, call);
+        let decision = self.policy.check(&kernel, pid, call);
         if let Some(obs) = &self.obs {
             Self::observe_span(obs, Phase::Policy, call.name(), p0.elapsed().as_nanos() as u64);
         }
         let mut result = match decision {
-            PolicyDecision::Allow => kernel.syscall(pid, call.clone()),
-            PolicyDecision::Rewrite(replacement) => kernel.syscall(pid, replacement),
+            PolicyDecision::Allow => kernel.syscall_shared(pid, call.clone()),
+            PolicyDecision::Rewrite(replacement) => kernel.syscall_shared(pid, replacement),
             PolicyDecision::Deny(errno) => Err(errno),
         };
-        self.policy.post(&mut kernel, pid, call, &mut result);
+        self.policy.post(&kernel, pid, call, &mut result);
         if nullify {
             let _ = kernel.null_syscall(pid);
         }

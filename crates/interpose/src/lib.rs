@@ -52,12 +52,17 @@ use std::sync::Arc;
 /// The kernel handle shared between supervisors (and, in the distributed
 /// system, server threads).
 ///
-/// A reader/writer lock, not a mutex: read-only system calls (classified
-/// by [`idbox_kernel::Syscall::is_read_only`]) are dispatched under the
-/// *shared* side through [`Kernel::syscall_read`], so concurrent
-/// supervisors — one per Chirp connection in the distributed system — no
-/// longer serialize on metadata and data reads. Mutating calls take the
-/// exclusive side via the `lock()` alias (which is `write()`).
+/// Since the kernel became internally sharded, this outer lock is a
+/// rarely-written **structure lock**, not the syscall serialization
+/// point: *every* system call — mutating ones included — dispatches
+/// under the shared side via [`Kernel::syscall_shared`], and the
+/// kernel's own per-domain locks (vfs inode shards, process-table
+/// shards, the pipe and mount tables) provide mutual exclusion where
+/// state actually collides. The exclusive side (`write()`, or the
+/// `lock()` alias) is reserved for structural surgery that genuinely
+/// needs `&mut Kernel` — mounting drivers, installing fault hooks,
+/// swapping the dentry cache, editing accounts — which happens at
+/// setup/admin time, not per call.
 pub type SharedKernel = Arc<RwLock<Kernel>>;
 
 /// Wrap a kernel for sharing.

@@ -7,6 +7,13 @@
 //! Containment is achieved through access control, never by outlawing an
 //! interface (Garfinkel's "incorrect subsetting" pitfall), and denial is
 //! always a clean error return (his "side effects of denying" pitfall).
+//!
+//! Every policy entry point takes the kernel by **shared** borrow: since
+//! the kernel became internally sharded, all syscalls — mutating ones
+//! included — dispatch through `&Kernel`, and policies rule the same
+//! way. A policy that needs to mutate kernel state (e.g. stamping a
+//! fresh directory's ACL in [`SyscallPolicy::post`]) goes through the
+//! kernel's own interior-locked operations.
 
 use idbox_kernel::{Kernel, Pid, Syscall, SysRet};
 use idbox_types::{Errno, SysResult};
@@ -28,28 +35,13 @@ pub trait SyscallPolicy: Send {
     fn name(&self) -> &str;
 
     /// Decide what to do with `call` before it reaches the kernel.
-    fn check(&mut self, kernel: &mut Kernel, pid: Pid, call: &Syscall) -> PolicyDecision;
-
-    /// Decide what to do with a *read-only* call under a **shared**
-    /// kernel borrow — the concurrent fast path. Returning `None`
-    /// declines to rule, sending the call down the exclusive path where
-    /// [`SyscallPolicy::check`] runs as usual.
-    ///
-    /// Contract for implementors: a `Some` ruling must be identical to
-    /// what `check` would have decided for the same call and kernel
-    /// state, and [`SyscallPolicy::post`] is **not** invoked for calls
-    /// ruled here (read-only calls must not rely on post-processing).
-    /// The default declines everything, which is always safe.
-    fn check_read(&mut self, kernel: &Kernel, pid: Pid, call: &Syscall) -> Option<PolicyDecision> {
-        let _ = (kernel, pid, call);
-        None
-    }
+    fn check(&mut self, kernel: &Kernel, pid: Pid, call: &Syscall) -> PolicyDecision;
 
     /// Post-process a result (e.g. initialize the ACL of a directory
     /// created under the reserve right). May replace the result.
     fn post(
         &mut self,
-        kernel: &mut Kernel,
+        kernel: &Kernel,
         pid: Pid,
         call: &Syscall,
         result: &mut SysResult<SysRet>,
@@ -69,12 +61,8 @@ impl SyscallPolicy for AllowAll {
         "allow-all"
     }
 
-    fn check(&mut self, _: &mut Kernel, _: Pid, _: &Syscall) -> PolicyDecision {
+    fn check(&mut self, _: &Kernel, _: Pid, _: &Syscall) -> PolicyDecision {
         PolicyDecision::Allow
-    }
-
-    fn check_read(&mut self, _: &Kernel, _: Pid, _: &Syscall) -> Option<PolicyDecision> {
-        Some(PolicyDecision::Allow)
     }
 }
 
@@ -89,20 +77,12 @@ impl SyscallPolicy for DenyAll {
         "deny-all"
     }
 
-    fn check(&mut self, _: &mut Kernel, _: Pid, call: &Syscall) -> PolicyDecision {
+    fn check(&mut self, _: &Kernel, _: Pid, call: &Syscall) -> PolicyDecision {
         if call.is_path_call() {
             PolicyDecision::Deny(Errno::EACCES)
         } else {
             PolicyDecision::Allow
         }
-    }
-
-    fn check_read(&mut self, _: &Kernel, _: Pid, call: &Syscall) -> Option<PolicyDecision> {
-        Some(if call.is_path_call() {
-            PolicyDecision::Deny(Errno::EACCES)
-        } else {
-            PolicyDecision::Allow
-        })
     }
 }
 
@@ -113,49 +93,24 @@ mod tests {
 
     #[test]
     fn allow_all_allows() {
-        let mut k = Kernel::new();
+        let k = Kernel::new();
         let mut p = AllowAll;
-        assert_eq!(
-            p.check(&mut k, Pid(1), &Syscall::Getpid),
-            PolicyDecision::Allow
-        );
+        assert_eq!(p.check(&k, Pid(1), &Syscall::Getpid), PolicyDecision::Allow);
         assert_eq!(p.name(), "allow-all");
     }
 
     #[test]
     fn deny_all_denies_paths_only() {
-        let mut k = Kernel::new();
+        let k = Kernel::new();
         let mut p = DenyAll;
         assert_eq!(
             p.check(
-                &mut k,
+                &k,
                 Pid(1),
                 &Syscall::Open("/etc/passwd".into(), OpenFlags::rdonly(), 0)
             ),
             PolicyDecision::Deny(Errno::EACCES)
         );
-        assert_eq!(
-            p.check(&mut k, Pid(1), &Syscall::Getpid),
-            PolicyDecision::Allow
-        );
-    }
-
-    #[test]
-    fn check_read_agrees_with_check() {
-        let mut k = Kernel::new();
-        let calls = [
-            Syscall::Getpid,
-            Syscall::Stat("/etc".into()),
-            Syscall::Readdir("/".into()),
-            Syscall::Read(0, 4),
-        ];
-        for call in &calls {
-            let mut a = AllowAll;
-            let fast = a.check_read(&k, Pid(1), call);
-            assert_eq!(fast, Some(a.check(&mut k, Pid(1), call)));
-            let mut d = DenyAll;
-            let fast = d.check_read(&k, Pid(1), call);
-            assert_eq!(fast, Some(d.check(&mut k, Pid(1), call)));
-        }
+        assert_eq!(p.check(&k, Pid(1), &Syscall::Getpid), PolicyDecision::Allow);
     }
 }

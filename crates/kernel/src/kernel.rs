@@ -1,4 +1,47 @@
 //! The kernel proper: process table + syscall dispatch.
+//!
+//! # Concurrency model: sharded syscall domains
+//!
+//! The kernel used to be one monolithic struct behind a single
+//! `Arc<RwLock<Kernel>>`: every mutating syscall from every boxed
+//! connection serialized on that lock, which flat-lined server throughput
+//! as clients were added. The state is now split into independently
+//! locked **domains**, so two identities touching disjoint state never
+//! contend:
+//!
+//! * **vfs** — internally sharded by inode number (see `idbox_vfs::Vfs`);
+//!   every operation takes `&self` and locks only the shards it touches.
+//! * **procs** — a process table sharded by pid, plus a pid allocator
+//!   behind its own mutex. Each process entry *owns* its fd table, so fd
+//!   operations lock only that process's shard.
+//! * **pipes** — a slot table behind one mutex, with generation-tagged
+//!   slots (see [`FileBacking::Pipe`]).
+//! * **accounts** — an `RwLock` (reads vastly outnumber admin writes).
+//! * **mounts** — a mutex around the mount table; driver calls serialize
+//!   per-kernel (drivers model remote I/O and were serialized before).
+//!
+//! Dispatch goes through [`Kernel::syscall_shared`], which needs only
+//! `&self`: supervisors share one kernel behind an `Arc` (or the
+//! read-side of the legacy `RwLock`) and run syscalls concurrently.
+//!
+//! ## Lock ordering
+//!
+//! Deadlock freedom rests on a strict domain hierarchy:
+//!
+//! 1. A syscall locks **one process shard at a time**, except through
+//!    `ShardSet`'s ordered batch helpers (`write_pair` in `fork`,
+//!    ascending sweeps in `terminate`/`wait`), which always acquire in
+//!    ascending shard order.
+//! 2. While holding a process-shard guard, code may take **vfs**,
+//!    **pipe**, or **mount** locks (e.g. `fork` pins inherited fds).
+//!    Nothing in those domains ever takes a process lock, so the edge is
+//!    one-way: `procs → {vfs, pipes, mounts}`.
+//! 3. The pid-allocator mutex is a leaf: it is held only over its own
+//!    bookkeeping, never while acquiring any other lock. (Its liveness
+//!    probe reads a process shard *between* reservations, not under the
+//!    allocator lock.)
+//! 4. `vfs`, `pipes`, `mounts`, and `accounts` locks are never held
+//!    while acquiring one another; calls into each domain are sequenced.
 
 use crate::accounts::AccountDb;
 use crate::driver::{FsDriver, MountTable};
@@ -9,51 +52,123 @@ use crate::stats::{LatencyStats, SyscallStats};
 use crate::syscall::{SysRet, Syscall, Whence};
 use idbox_types::{Errno, Identity, SysResult};
 use idbox_vfs::{path as vpath, Access, Cred, FileKind, Ino, Vfs};
-use std::collections::BTreeMap;
+use parking_lot::{Mutex, RwLock, ShardSet};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::{Arc, OnceLock};
 
 /// The initial process (everything reparents to it).
 const INIT: Pid = Pid(1);
 
-/// The simulated kernel.
-///
-/// Owns the filesystem, the mount table, the process table, and the
-/// account database. All interaction happens through [`Kernel::syscall`]
-/// (the trapped interface) or through supervisor-only methods such as
-/// [`Kernel::spawn`] and [`Kernel::set_identity`], which model actions the
-/// supervisor performs directly rather than on behalf of a guest.
-pub struct Kernel {
-    vfs: Vfs,
-    mounts: MountTable,
-    procs: BTreeMap<u32, Process>,
-    next_pid: u32,
-    accounts: AccountDb,
-    pipes: Vec<Option<PipeBuf>>,
-    /// Per-syscall-name invocation counters (workload characterization).
-    /// Atomic so both dispatch paths — exclusive *and* shared-lock — can
-    /// record calls; see [`SyscallStats`].
-    pub stats: SyscallStats,
-    /// Per-syscall latency histograms. Behind an `Arc` so supervisors
-    /// can clone the handle once at construction and record timings
-    /// without holding either side of the kernel lock.
-    latency: std::sync::Arc<LatencyStats>,
+/// Process-table shard count: `IDBOX_PROC_SHARDS` (clamped to 1..=1024),
+/// default 8. Read once per process.
+fn default_proc_shards() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("IDBOX_PROC_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map_or(8, |n| n.clamp(1, 1024))
+    })
+}
+
+/// The pid allocator: a wrapping counter over `[2, max_pid]` plus a
+/// reservation set for pids handed out but not yet inserted into the
+/// table. Lives behind its own mutex (a leaf lock; see the module doc).
+#[derive(Debug)]
+struct PidAlloc {
+    /// Next candidate pid. Wraps to 2 past `max_pid` instead of
+    /// overflowing (the old `next_pid += 1` was an unchecked `u32`
+    /// increment: debug-panic / silent pid collision in release).
+    next: u32,
+    /// Upper bound of the pid space (inclusive). `u32::MAX` in
+    /// production; tests shrink it to exercise wrap and exhaustion.
+    max_pid: u32,
+    /// Pids allocated but not yet visible in a shard.
+    reserved: HashSet<u32>,
+}
+
+/// The sharded process table.
+struct ProcTable {
+    /// `pid % shard_count` → that pid's entry. Each entry owns its fd
+    /// table, so fd ops lock exactly one shard.
+    shards: ShardSet<BTreeMap<u32, Process>>,
+    alloc: Mutex<PidAlloc>,
+}
+
+impl ProcTable {
+    fn with_shards(n: usize) -> Self {
+        ProcTable {
+            shards: ShardSet::from_fn(n, |_| BTreeMap::new()),
+            alloc: Mutex::new(PidAlloc {
+                next: 2,
+                max_pid: u32::MAX,
+                reserved: HashSet::new(),
+            }),
+        }
+    }
+
+    fn shard_of(&self, pid: Pid) -> usize {
+        self.shards.shard_of(pid.0 as u64)
+    }
 }
 
 /// An in-kernel pipe: a byte queue plus end reference counts.
 #[derive(Debug, Default)]
 struct PipeBuf {
-    data: std::collections::VecDeque<u8>,
+    data: VecDeque<u8>,
     readers: u32,
     writers: u32,
 }
 
+/// One slot in the pipe table. Slots are recycled once both end counts
+/// reach zero; `gen` is bumped on every reuse so an fd minted against an
+/// earlier life of the slot can never alias the current pipe (it fails
+/// the generation check with `EBADF` instead).
+#[derive(Debug, Default)]
+struct PipeSlot {
+    gen: u64,
+    buf: Option<PipeBuf>,
+}
+
+/// The pipe domain: all slots behind one mutex (pipe traffic is tiny
+/// compared to vfs traffic; a single leaf lock suffices).
+struct PipeTable {
+    slots: Mutex<Vec<PipeSlot>>,
+}
+
+/// The simulated kernel.
+///
+/// Owns the filesystem, the mount table, the process table, and the
+/// account database, each behind its own locking domain (see the module
+/// doc). All interaction happens through [`Kernel::syscall_shared`] (the
+/// trapped interface, `&self`) or through supervisor-only methods such
+/// as [`Kernel::spawn`] and [`Kernel::set_identity`], which model actions
+/// the supervisor performs directly rather than on behalf of a guest.
+pub struct Kernel {
+    vfs: Vfs,
+    mounts: Mutex<MountTable>,
+    procs: ProcTable,
+    accounts: RwLock<AccountDb>,
+    pipes: PipeTable,
+    /// Per-syscall-name invocation counters (workload characterization).
+    /// Atomic, so every concurrent dispatch records calls; see
+    /// [`SyscallStats`].
+    pub stats: SyscallStats,
+    /// Per-syscall latency histograms. Behind an `Arc` so supervisors
+    /// can clone the handle once at construction and record timings
+    /// without touching any kernel lock.
+    latency: Arc<LatencyStats>,
+}
+
 impl std::fmt::Debug for Kernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let nprocs: usize = self.procs.shards.read_all().iter().map(|g| g.len()).sum();
         write!(
             f,
             "Kernel({} procs, {} inodes, {} mounts)",
-            self.procs.len(),
+            nprocs,
             self.vfs.live_inodes(),
-            self.mounts.len()
+            self.mounts.lock().len()
         )
     }
 }
@@ -69,7 +184,19 @@ impl Kernel {
     /// `/home`, `/tmp`, `/root`, `/bin`), system accounts, an
     /// `/etc/passwd` file, and an init process (pid 1) running as root.
     pub fn new() -> Self {
-        let mut vfs = Vfs::new();
+        Self::build(Vfs::new(), default_proc_shards())
+    }
+
+    /// A kernel with an explicit shard count for both the vfs and the
+    /// process table. `with_shards(1)` degenerates to one lock per
+    /// domain — the behavioral twin of the old single-lock kernel, used
+    /// by the equivalence suite as the reference implementation.
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.clamp(1, 1024);
+        Self::build(Vfs::with_shards(n), n)
+    }
+
+    fn build(vfs: Vfs, proc_shards: usize) -> Self {
         let root = vfs.root();
         let r = &Cred::ROOT;
         vfs.mkdir(root, "/etc", 0o755, r).unwrap();
@@ -88,8 +215,8 @@ impl Kernel {
         let accounts = AccountDb::with_system_accounts();
         vfs.write_file(root, "/etc/passwd", accounts.passwd_file().as_bytes(), r)
             .unwrap();
-        let mut procs = BTreeMap::new();
-        procs.insert(
+        let procs = ProcTable::with_shards(proc_shards);
+        procs.shards.write(procs.shard_of(INIT)).insert(
             INIT.0,
             Process {
                 pid: INIT,
@@ -108,48 +235,57 @@ impl Kernel {
         );
         Kernel {
             vfs,
-            mounts: MountTable::default(),
+            mounts: Mutex::new(MountTable::default()),
             procs,
-            next_pid: 2,
-            accounts,
-            pipes: Vec::new(),
+            accounts: RwLock::new(accounts),
+            pipes: PipeTable {
+                slots: Mutex::new(Vec::new()),
+            },
             stats: SyscallStats::new(),
-            latency: std::sync::Arc::new(LatencyStats::new()),
+            latency: Arc::new(LatencyStats::new()),
         }
     }
 
     /// The shared latency-histogram handle for this kernel.
-    pub fn latency(&self) -> &std::sync::Arc<LatencyStats> {
+    pub fn latency(&self) -> &Arc<LatencyStats> {
         &self.latency
+    }
+
+    /// Number of process-table shards (diagnostics).
+    pub fn proc_shard_count(&self) -> usize {
+        self.procs.shards.len()
     }
 
     // ------------------------------------------------------------------
     // Supervisor-side (non-trapped) interface
     // ------------------------------------------------------------------
 
-    /// Borrow the filesystem.
+    /// Borrow the filesystem. All `Vfs` operations take `&self`, so this
+    /// is the working handle for supervisors too.
     pub fn vfs(&self) -> &Vfs {
         &self.vfs
     }
 
-    /// Mutably borrow the filesystem (supervisor acts with full power).
+    /// Mutably borrow the filesystem (needed only for structural knobs
+    /// such as `set_dentry_cache` / `set_fault_hook`).
     pub fn vfs_mut(&mut self) -> &mut Vfs {
         &mut self.vfs
     }
 
-    /// Borrow the account database.
-    pub fn accounts(&self) -> &AccountDb {
-        &self.accounts
+    /// Read-lock the account database. Drop the guard before calling
+    /// anything that might write accounts.
+    pub fn accounts(&self) -> parking_lot::RwLockReadGuard<'_, AccountDb> {
+        self.accounts.read()
     }
 
     /// Mutably borrow the account database (administrative action).
     pub fn accounts_mut(&mut self) -> &mut AccountDb {
-        &mut self.accounts
+        self.accounts.get_mut()
     }
 
     /// Rewrite `/etc/passwd` from the account database.
-    pub fn sync_passwd_file(&mut self) {
-        let text = self.accounts.passwd_file();
+    pub fn sync_passwd_file(&self) {
+        let text = self.accounts.read().passwd_file();
         let root = self.vfs.root();
         self.vfs
             .write_file(root, "/etc/passwd", text.as_bytes(), &Cred::ROOT)
@@ -159,18 +295,70 @@ impl Kernel {
     /// Mount a filesystem driver under a path prefix. Returns the mount
     /// index.
     pub fn mount(&mut self, prefix: impl Into<String>, driver: Box<dyn FsDriver>) -> usize {
-        self.mounts.mount(prefix, driver)
+        self.mounts.get_mut().mount(prefix, driver)
+    }
+
+    /// Shrink the pid space to `[2, max]` (testing knob: makes wrap and
+    /// exhaustion reachable without four billion spawns).
+    pub fn set_max_pid(&self, max: u32) {
+        let mut a = self.procs.alloc.lock();
+        a.max_pid = max.max(2);
+        if a.next > a.max_pid {
+            a.next = 2;
+        }
+    }
+
+    /// Allocate a fresh pid: a checked, wrapping increment that skips
+    /// live and reserved pids and answers `EAGAIN` once the whole pid
+    /// space is in use.
+    fn alloc_pid(&self) -> SysResult<Pid> {
+        let mut attempts: u64 = 0;
+        loop {
+            let cand = {
+                let mut a = self.procs.alloc.lock();
+                let span = a.max_pid as u64;
+                loop {
+                    if attempts >= span {
+                        return Err(Errno::EAGAIN);
+                    }
+                    attempts += 1;
+                    let c = a.next;
+                    a.next = if c >= a.max_pid { 2 } else { c + 1 };
+                    if c >= 2 && !a.reserved.contains(&c) {
+                        a.reserved.insert(c);
+                        break c;
+                    }
+                }
+            };
+            // Liveness probe *outside* the allocator lock (lock order:
+            // the allocator mutex is a leaf and never wraps a shard
+            // acquisition).
+            let live = self
+                .procs
+                .shards
+                .read(self.procs.shards.shard_of(cand as u64))
+                .contains_key(&cand);
+            if !live {
+                return Ok(Pid(cand));
+            }
+            self.procs.alloc.lock().reserved.remove(&cand);
+        }
+    }
+
+    /// Drop the reservation made by [`Kernel::alloc_pid`] (called after
+    /// the pid is inserted into its shard, or on an abandoned spawn).
+    fn release_pid(&self, pid: Pid) {
+        self.procs.alloc.lock().reserved.remove(&pid.0);
     }
 
     /// Create a new process as a child of init.
-    pub fn spawn(&mut self, cred: Cred, cwd_path: &str, comm: &str) -> SysResult<Pid> {
+    pub fn spawn(&self, cred: Cred, cwd_path: &str, comm: &str) -> SysResult<Pid> {
         let cwd = self.vfs.resolve(self.vfs.root(), cwd_path, true, &cred)?;
         if self.vfs.fstat(cwd)?.kind != FileKind::Dir {
             return Err(Errno::ENOTDIR);
         }
-        let pid = Pid(self.next_pid);
-        self.next_pid += 1;
-        self.procs.insert(
+        let pid = self.alloc_pid()?;
+        self.procs.shards.write(self.procs.shard_of(pid)).insert(
             pid.0,
             Process {
                 pid,
@@ -187,15 +375,15 @@ impl Kernel {
                 env: Default::default(),
             },
         );
+        self.release_pid(pid);
         Ok(pid)
     }
 
     /// Attach a global identity to a process (what the identity box does
     /// when it admits a visitor). Supervisor-only: there is deliberately
     /// no trapped syscall for this.
-    pub fn set_identity(&mut self, pid: Pid, identity: Identity) -> SysResult<()> {
-        self.proc_mut(pid)?.identity = Some(identity);
-        Ok(())
+    pub fn set_identity(&self, pid: Pid, identity: Identity) -> SysResult<()> {
+        self.with_proc_mut(pid, |p| p.identity = Some(identity))
     }
 
     /// Set one environment variable on a process. Supervisor-only, like
@@ -203,23 +391,33 @@ impl Kernel {
     /// `getenv`), and children inherit it across `fork` — how a boxed
     /// child learns the trace id of the request that spawned it.
     pub fn set_env(
-        &mut self,
+        &self,
         pid: Pid,
         key: impl Into<String>,
         value: impl Into<String>,
     ) -> SysResult<()> {
-        self.proc_mut(pid)?.env.insert(key.into(), value.into());
-        Ok(())
+        let (key, value) = (key.into(), value.into());
+        self.with_proc_mut(pid, |p| {
+            p.env.insert(key, value);
+        })
     }
 
-    /// Borrow a process entry.
-    pub fn process(&self, pid: Pid) -> SysResult<&Process> {
-        self.procs.get(&pid.0).ok_or(Errno::ESRCH)
+    /// A snapshot of a process entry.
+    pub fn process(&self, pid: Pid) -> SysResult<Process> {
+        self.with_proc(pid, |p| p.clone())
     }
 
-    /// All live pids.
+    /// All live pids, ascending.
     pub fn pids(&self) -> Vec<Pid> {
-        self.procs.values().map(|p| p.pid).collect()
+        let mut out: Vec<Pid> = self
+            .procs
+            .shards
+            .read_all()
+            .iter()
+            .flat_map(|g| g.values().map(|p| p.pid))
+            .collect();
+        out.sort();
+        out
     }
 
     /// Total number of syscalls dispatched.
@@ -232,304 +430,116 @@ impl Kernel {
     /// a process-table lookup — but is not recorded in the per-name stats,
     /// so workload characterization counts only the guest's own calls.
     pub fn null_syscall(&self, pid: Pid) -> i64 {
-        match self.procs.get(&pid.0) {
-            Some(p) => p.pid.0 as i64,
-            None => Errno::ESRCH.as_ret(),
+        match self.with_proc(pid, |p| p.pid.0 as i64) {
+            Ok(n) => n,
+            Err(e) => e.as_ret(),
         }
     }
 
-    fn proc_mut(&mut self, pid: Pid) -> SysResult<&mut Process> {
-        self.procs.get_mut(&pid.0).ok_or(Errno::ESRCH)
+    /// Run `f` against a process entry under its shard's read lock.
+    fn with_proc<T>(&self, pid: Pid, f: impl FnOnce(&Process) -> T) -> SysResult<T> {
+        let g = self.procs.shards.read(self.procs.shard_of(pid));
+        g.get(&pid.0).map(f).ok_or(Errno::ESRCH)
+    }
+
+    /// Run `f` against a process entry under its shard's write lock.
+    fn with_proc_mut<T>(&self, pid: Pid, f: impl FnOnce(&mut Process) -> T) -> SysResult<T> {
+        let mut g = self.procs.shards.write(self.procs.shard_of(pid));
+        g.get_mut(&pid.0).map(f).ok_or(Errno::ESRCH)
     }
 
     /// Caller's cred; error if the process is gone or a zombie.
     fn live_cred(&self, pid: Pid) -> SysResult<(Cred, Ino)> {
-        let p = self.process(pid)?;
-        if !p.is_alive() {
-            return Err(Errno::ESRCH);
-        }
-        Ok((p.cred, p.cwd))
+        self.with_proc(pid, |p| {
+            if p.is_alive() {
+                Ok((p.cred, p.cwd))
+            } else {
+                Err(Errno::ESRCH)
+            }
+        })?
     }
 
     /// The identity presented to mounted drivers for this process: the
     /// box identity when present, otherwise `unix:<account>`.
     fn driver_identity(&self, pid: Pid) -> SysResult<Identity> {
-        let p = self.process(pid)?;
-        if let Some(id) = &p.identity {
-            return Ok(id.clone());
+        let (identity, uid) = self.with_proc(pid, |p| (p.identity.clone(), p.cred.uid))?;
+        if let Some(id) = identity {
+            return Ok(id);
         }
         let name = self
             .accounts
-            .lookup_uid(p.cred.uid)
+            .read()
+            .lookup_uid(uid)
             .map(|a| a.name.clone())
-            .unwrap_or_else(|| format!("uid{}", p.cred.uid));
+            .unwrap_or_else(|| format!("uid{uid}"));
         Ok(Identity::new(format!("unix:{name}")))
     }
 
     /// Make a path absolute with respect to the process cwd (textually;
     /// structural resolution happens later in the VFS).
     fn absolutize(&self, pid: Pid, p: &str) -> SysResult<String> {
-        let proc = self.process(pid)?;
-        Ok(if vpath::is_absolute(p) {
-            p.to_string()
-        } else {
-            vpath::join(&proc.cwd_path, p)
+        self.with_proc(pid, |proc| {
+            if vpath::is_absolute(p) {
+                p.to_string()
+            } else {
+                vpath::join(&proc.cwd_path, p)
+            }
         })
     }
 
     /// Route a path: `Some((mount, rel))` for mounted prefixes, `None`
     /// for the local filesystem.
     fn route(&self, pid: Pid, p: &str) -> SysResult<Option<(usize, String)>> {
-        if self.mounts.is_empty() {
+        if self.mounts.lock().is_empty() {
             return Ok(None);
         }
         let abs = vpath::normalize_lexical(&self.absolutize(pid, p)?);
-        Ok(self.mounts.route(&abs))
+        Ok(self.mounts.lock().route(&abs))
     }
 
     // ------------------------------------------------------------------
     // The trapped interface
     // ------------------------------------------------------------------
 
-    /// Dispatch one system call on behalf of `pid`.
-    pub fn syscall(&mut self, pid: Pid, call: Syscall) -> SysResult<SysRet> {
-        self.stats.bump(&call);
-        // Route through the shared-path implementation first so both
-        // lock modes run byte-identical code for read-only calls.
-        if let Some(result) = self.dispatch_read(pid, &call) {
-            return result;
-        }
-        self.dispatch_mut(pid, call)
-    }
-
-    /// Dispatch a read-only call through a **shared** borrow.
+    /// Dispatch one system call on behalf of `pid` (exclusive borrow).
     ///
-    /// This is the concurrent fast path: supervisors holding only the
-    /// read side of the kernel lock call this for calls classified by
-    /// [`Syscall::is_read_only`]. Returns `None` when the call must take
-    /// the exclusive [`Kernel::syscall`] path after all — it is not
-    /// read-only, the path routes to a mounted driver, the fd is
-    /// driver-backed, or it is a consuming pipe read. A `Some(Err(..))`
-    /// is a final answer, identical to what the exclusive path would
-    /// have produced.
+    /// A compatibility shim over [`Kernel::syscall_shared`]: every call
+    /// is dispatched through the shared-borrow path, so the two entry
+    /// points are byte-identical in behavior.
+    pub fn syscall(&mut self, pid: Pid, call: Syscall) -> SysResult<SysRet> {
+        self.syscall_shared(pid, call)
+    }
+
+    /// Dispatch one system call on behalf of `pid` through a **shared**
+    /// borrow. This is the concurrent path: each syscall locks only the
+    /// domains (and shards) it touches, so supervisors on different
+    /// threads proceed in parallel whenever their state is disjoint.
+    pub fn syscall_shared(&self, pid: Pid, call: Syscall) -> SysResult<SysRet> {
+        self.stats.bump(&call);
+        self.dispatch(pid, call)
+    }
+
+    /// Dispatch a call through a shared borrow, by reference.
+    ///
+    /// Always `Some`: since the kernel went sharded, *every* call —
+    /// mutating ones included — is servable without `&mut self`. The
+    /// `Option` return survives for callers written against the old
+    /// read-path contract (where `None` meant "take the exclusive
+    /// path").
     pub fn syscall_read(&self, pid: Pid, call: &Syscall) -> Option<SysResult<SysRet>> {
-        let result = self.dispatch_read(pid, call)?;
-        self.stats.bump(call);
-        Some(result)
+        Some(self.syscall_shared(pid, call.clone()))
     }
 
-    /// The shared-borrow dispatcher: `Some` for calls fully served here,
-    /// `None` for anything needing `&mut self`.
-    fn dispatch_read(&self, pid: Pid, call: &Syscall) -> Option<SysResult<SysRet>> {
-        use Syscall::*;
-        match call {
-            Getpid => Some(Ok(SysRet::Num(pid.0 as i64))),
-            Getppid => Some(self.process(pid).map(|p| SysRet::Num(p.ppid.0 as i64))),
-            Getuid => Some(self.process(pid).map(|p| SysRet::Num(p.cred.uid as i64))),
-            Getcwd => Some(self.process(pid).map(|p| SysRet::Text(p.cwd_path.clone()))),
-            GetUserName => Some(self.read_user_name(pid)),
-            Getenv(name) => Some(self.read_env(pid, name)),
-            Stat(p) => self.read_path_local(pid, p, |k, cred, cwd| {
-                Ok(SysRet::Stat(k.vfs.stat(cwd, p, true, &cred)?))
-            }),
-            Lstat(p) => self.read_path_local(pid, p, |k, cred, cwd| {
-                Ok(SysRet::Stat(k.vfs.stat(cwd, p, false, &cred)?))
-            }),
-            Readlink(p) => self.read_readlink(pid, p),
-            AccessCheck(p, want) => self.read_path_local(pid, p, |k, cred, cwd| {
-                k.vfs.access(cwd, p, *want, &cred)?;
-                Ok(SysRet::Unit)
-            }),
-            Readdir(p) => self.read_path_local(pid, p, |k, cred, cwd| {
-                Ok(SysRet::Entries(k.vfs.readdir(cwd, p, &cred)?))
-            }),
-            Fstat(fd) => self.read_fstat(pid, *fd),
-            Read(fd, len) => self.read_data(pid, *fd, *len, None),
-            Pread(fd, len, off) => self.read_data(pid, *fd, *len, Some(*off)),
-            Lseek(fd, off, whence) => self.read_lseek(pid, *fd, *off, *whence),
-            _ => None,
-        }
-    }
-
-    /// Run a path-naming read against the local VFS; `None` when the
-    /// path routes to a mount (drivers require the exclusive path).
-    fn read_path_local(
-        &self,
-        pid: Pid,
-        p: &str,
-        f: impl FnOnce(&Self, Cred, Ino) -> SysResult<SysRet>,
-    ) -> Option<SysResult<SysRet>> {
-        match self.route(pid, p) {
-            Err(e) => Some(Err(e)),
-            Ok(Some(_)) => None,
-            Ok(None) => Some(match self.live_cred(pid) {
-                Err(e) => Err(e),
-                Ok((cred, cwd)) => f(self, cred, cwd),
-            }),
-        }
-    }
-
-    /// `readlink` never routes to drivers (mount paths answer `EINVAL`),
-    /// so the whole call is servable under the shared lock.
-    fn read_readlink(&self, pid: Pid, p: &str) -> Option<SysResult<SysRet>> {
-        Some((|| {
-            if self.route(pid, p)?.is_some() {
-                return Err(Errno::EINVAL);
-            }
-            let (cred, cwd) = self.live_cred(pid)?;
-            Ok(SysRet::Text(self.vfs.readlink(cwd, p, &cred)?))
-        })())
-    }
-
-    fn read_user_name(&self, pid: Pid) -> SysResult<SysRet> {
-        let p = self.process(pid)?;
-        let id = match &p.identity {
-            Some(id) => id.clone(),
-            None => {
-                let name = self
-                    .accounts
-                    .lookup_uid(p.cred.uid)
-                    .map(|a| a.name.clone())
-                    .unwrap_or_else(|| format!("uid{}", p.cred.uid));
-                Identity::new(name)
-            }
-        };
-        Ok(SysRet::Name(id))
-    }
-
-    /// `getenv`: a process-table read, servable under the shared lock.
-    /// Unset names answer `ENOENT` (distinct from an empty value).
-    fn read_env(&self, pid: Pid, name: &str) -> SysResult<SysRet> {
-        let p = self.process(pid)?;
-        match p.env.get(name) {
-            Some(v) => Ok(SysRet::Text(v.clone())),
-            None => Err(Errno::ENOENT),
-        }
-    }
-
-    /// `fstat` under the shared lock; `None` for driver-backed fds.
-    fn read_fstat(&self, pid: Pid, fd: usize) -> Option<SysResult<SysRet>> {
-        let proc = match self.process(pid) {
-            Ok(p) => p,
-            Err(e) => return Some(Err(e)),
-        };
-        let file = match proc.file(fd) {
-            Some(f) => f,
-            None => return Some(Err(Errno::EBADF)),
-        };
-        match file.backing {
-            FileBacking::Local(ino) => Some(self.vfs.fstat(ino).map(SysRet::Stat)),
-            FileBacking::Pipe { id, .. } => Some(self.pipe_fstat(pid, id)),
-            FileBacking::Driver { .. } => None,
-        }
-    }
-
-    fn pipe_fstat(&self, pid: Pid, id: usize) -> SysResult<SysRet> {
-        let buffered = match self.pipes.get(id) {
-            Some(Some(p)) => p.data.len() as u64,
-            _ => 0,
-        };
-        let cred = self.process(pid)?.cred;
-        Ok(SysRet::Stat(idbox_vfs::StatBuf {
-            ino: Ino(0),
-            kind: FileKind::File,
-            mode: 0o600,
-            uid: cred.uid,
-            gid: cred.gid,
-            nlink: 1,
-            size: buffered,
-            atime: 0,
-            mtime: 0,
-            ctime: 0,
-        }))
-    }
-
-    /// `read`/`pread` on a local file under the shared lock: the only
-    /// state change is the caller's private fd offset, which is atomic.
-    /// `None` for driver fds and pipes (consuming a pipe mutates the
-    /// shared queue).
-    fn read_data(
-        &self,
-        pid: Pid,
-        fd: usize,
-        len: usize,
-        at: Option<u64>,
-    ) -> Option<SysResult<SysRet>> {
-        let proc = match self.process(pid) {
-            Ok(p) => p,
-            Err(e) => return Some(Err(e)),
-        };
-        let file = match proc.file(fd) {
-            Some(f) => f,
-            None => return Some(Err(Errno::EBADF)),
-        };
-        if !file.flags.read {
-            return Some(Err(Errno::EBADF));
-        }
-        match file.backing {
-            FileBacking::Local(ino) => {
-                let off = at.unwrap_or(file.offset());
-                let mut buf = vec![0u8; len];
-                let n = match self.vfs.read_into(ino, off, &mut buf) {
-                    Ok(n) => n,
-                    Err(e) => return Some(Err(e)),
-                };
-                buf.truncate(n);
-                if at.is_none() {
-                    file.set_offset(off + n as u64);
-                }
-                Some(Ok(SysRet::Data(buf)))
-            }
-            FileBacking::Driver { .. } | FileBacking::Pipe { .. } => None,
-        }
-    }
-
-    /// `lseek` under the shared lock: local fds only (`None` defers
-    /// driver fds; pipes answer `ESPIPE` either way).
-    fn read_lseek(
-        &self,
-        pid: Pid,
-        fd: usize,
-        off: i64,
-        whence: Whence,
-    ) -> Option<SysResult<SysRet>> {
-        let proc = match self.process(pid) {
-            Ok(p) => p,
-            Err(e) => return Some(Err(e)),
-        };
-        let file = match proc.file(fd) {
-            Some(f) => f,
-            None => return Some(Err(Errno::EBADF)),
-        };
-        let size = match file.backing {
-            FileBacking::Local(ino) => match self.vfs.fstat(ino) {
-                Ok(st) => st.size,
-                Err(e) => return Some(Err(e)),
-            },
-            FileBacking::Pipe { .. } => return Some(Err(Errno::ESPIPE)),
-            FileBacking::Driver { .. } => return None,
-        };
-        let base = match whence {
-            Whence::Set => 0i64,
-            Whence::Cur => file.offset() as i64,
-            Whence::End => size as i64,
-        };
-        let new = match base.checked_add(off) {
-            Some(n) if n >= 0 => n,
-            _ => return Some(Err(Errno::EINVAL)),
-        };
-        file.set_offset(new as u64);
-        Some(Ok(SysRet::Num(new)))
-    }
-
-    /// The exclusive-path dispatcher (everything `dispatch_read` does
-    /// not serve).
-    fn dispatch_mut(&mut self, pid: Pid, call: Syscall) -> SysResult<SysRet> {
+    /// The single dispatcher: all 38 calls through `&self`.
+    fn dispatch(&self, pid: Pid, call: Syscall) -> SysResult<SysRet> {
         use Syscall::*;
         match call {
             Getpid => Ok(SysRet::Num(pid.0 as i64)),
-            Getppid => Ok(SysRet::Num(self.process(pid)?.ppid.0 as i64)),
-            Getuid => Ok(SysRet::Num(self.process(pid)?.cred.uid as i64)),
+            Getppid => self.with_proc(pid, |p| SysRet::Num(p.ppid.0 as i64)),
+            Getuid => self.with_proc(pid, |p| SysRet::Num(p.cred.uid as i64)),
+            Getcwd => self.with_proc(pid, |p| SysRet::Text(p.cwd_path.clone())),
+            GetUserName => self.read_user_name(pid),
+            Getenv(name) => self.read_env(pid, &name),
             Stat(p) => self.do_stat(pid, &p, true),
             Lstat(p) => self.do_stat(pid, &p, false),
             Fstat(fd) => self.do_fstat(pid, fd),
@@ -554,36 +564,57 @@ impl Kernel {
             Chmod(p, mode) => self.do_chmod(pid, &p, mode),
             Chown(p, uid, gid) => self.do_chown(pid, &p, uid, gid),
             Chdir(p) => self.do_chdir(pid, &p),
-            Getcwd => Ok(SysRet::Text(self.process(pid)?.cwd_path.clone())),
-            Umask(mask) => {
-                let p = self.proc_mut(pid)?;
+            Umask(mask) => self.with_proc_mut(pid, |p| {
                 let old = p.umask;
                 p.umask = mask & 0o777;
-                Ok(SysRet::Num(old as i64))
-            }
+                SysRet::Num(old as i64)
+            }),
             Fork => self.do_fork(pid),
             Exec(name) => self.do_exec(pid, name),
             Exit(code) => self.do_exit(pid, code),
             Wait => self.do_wait(pid),
             Kill(target, sig) => self.do_kill(pid, target, sig),
-            SigPending => {
-                let p = self.proc_mut(pid)?;
-                Ok(SysRet::Signals(std::mem::take(&mut p.pending)))
-            }
+            SigPending => self.with_proc_mut(pid, |p| {
+                SysRet::Signals(std::mem::take(&mut p.pending))
+            }),
             Pipe => self.do_pipe(pid),
-            GetUserName => self.read_user_name(pid),
-            Getenv(name) => self.read_env(pid, &name),
         }
+    }
+
+    fn read_user_name(&self, pid: Pid) -> SysResult<SysRet> {
+        let (identity, uid) = self.with_proc(pid, |p| (p.identity.clone(), p.cred.uid))?;
+        let id = match identity {
+            Some(id) => id,
+            None => {
+                let name = self
+                    .accounts
+                    .read()
+                    .lookup_uid(uid)
+                    .map(|a| a.name.clone())
+                    .unwrap_or_else(|| format!("uid{uid}"));
+                Identity::new(name)
+            }
+        };
+        Ok(SysRet::Name(id))
+    }
+
+    /// `getenv`: a process-table read. Unset names answer `ENOENT`
+    /// (distinct from an empty value).
+    fn read_env(&self, pid: Pid, name: &str) -> SysResult<SysRet> {
+        self.with_proc(pid, |p| p.env.get(name).cloned())?
+            .map(SysRet::Text)
+            .ok_or(Errno::ENOENT)
     }
 
     // ------------------------------------------------------------------
     // File operations
     // ------------------------------------------------------------------
 
-    fn do_stat(&mut self, pid: Pid, p: &str, follow: bool) -> SysResult<SysRet> {
+    fn do_stat(&self, pid: Pid, p: &str, follow: bool) -> SysResult<SysRet> {
         if let Some((m, rel)) = self.route(pid, p)? {
             let id = self.driver_identity(pid)?;
-            let d = self.mounts.driver_mut(m).ok_or(Errno::EIO)?;
+            let mut mounts = self.mounts.lock();
+            let d = mounts.driver_mut(m).ok_or(Errno::EIO)?;
             return Ok(SysRet::Stat(d.stat(&rel, &id)?));
         }
         let (cred, cwd) = self.live_cred(pid)?;
@@ -591,119 +622,179 @@ impl Kernel {
     }
 
     /// Adjust a pipe's end counts; frees the slot when both reach zero.
-    fn pipe_release(&mut self, id: usize, end: PipeEnd) {
-        if let Some(Some(p)) = self.pipes.get_mut(id) {
-            match end {
-                PipeEnd::Read => p.readers = p.readers.saturating_sub(1),
-                PipeEnd::Write => p.writers = p.writers.saturating_sub(1),
+    /// Generation-checked: a stale reference is a silent no-op.
+    fn pipe_release(&self, id: usize, gen: u64, end: PipeEnd) {
+        let mut slots = self.pipes.slots.lock();
+        if let Some(slot) = slots.get_mut(id) {
+            if slot.gen != gen {
+                return;
             }
-            if p.readers == 0 && p.writers == 0 {
-                self.pipes[id] = None;
-            }
-        }
-    }
-
-    fn pipe_retain(&mut self, id: usize, end: PipeEnd) {
-        if let Some(Some(p)) = self.pipes.get_mut(id) {
-            match end {
-                PipeEnd::Read => p.readers += 1,
-                PipeEnd::Write => p.writers += 1,
-            }
-        }
-    }
-
-    fn do_pipe(&mut self, pid: Pid) -> SysResult<SysRet> {
-        let id = match self.pipes.iter().position(Option::is_none) {
-            Some(i) => {
-                self.pipes[i] = Some(PipeBuf {
-                    readers: 1,
-                    writers: 1,
-                    ..Default::default()
-                });
-                i
-            }
-            None => {
-                self.pipes.push(Some(PipeBuf {
-                    readers: 1,
-                    writers: 1,
-                    ..Default::default()
-                }));
-                self.pipes.len() - 1
-            }
-        };
-        let proc = self.proc_mut(pid)?;
-        let (rfd, wfd) = match (proc.alloc_fd(), ()) {
-            (Some(rfd), ()) => {
-                proc.fds[rfd] = Some(OpenFile::new(
-                    FileBacking::Pipe {
-                        id,
-                        end: PipeEnd::Read,
-                    },
-                    OpenFlags::rdonly(),
-                ));
-                match proc.alloc_fd() {
-                    Some(wfd) => {
-                        proc.fds[wfd] = Some(OpenFile::new(
-                            FileBacking::Pipe {
-                                id,
-                                end: PipeEnd::Write,
-                            },
-                            OpenFlags {
-                                write: true,
-                                ..Default::default()
-                            },
-                        ));
-                        (rfd, wfd)
-                    }
-                    None => {
-                        proc.fds[rfd] = None;
-                        self.pipes[id] = None;
-                        return Err(Errno::EMFILE);
-                    }
+            if let Some(p) = &mut slot.buf {
+                match end {
+                    PipeEnd::Read => p.readers = p.readers.saturating_sub(1),
+                    PipeEnd::Write => p.writers = p.writers.saturating_sub(1),
+                }
+                if p.readers == 0 && p.writers == 0 {
+                    slot.buf = None;
                 }
             }
-            _ => {
-                self.pipes[id] = None;
-                return Err(Errno::EMFILE);
+        }
+    }
+
+    fn pipe_retain(&self, id: usize, gen: u64, end: PipeEnd) {
+        let mut slots = self.pipes.slots.lock();
+        if let Some(slot) = slots.get_mut(id) {
+            if slot.gen != gen {
+                return;
+            }
+            if let Some(p) = &mut slot.buf {
+                match end {
+                    PipeEnd::Read => p.readers += 1,
+                    PipeEnd::Write => p.writers += 1,
+                }
+            }
+        }
+    }
+
+    fn do_pipe(&self, pid: Pid) -> SysResult<SysRet> {
+        // Allocate a slot first; reused slots get a fresh generation so
+        // stale fds minted against the previous life answer EBADF.
+        let (id, gen) = {
+            let mut slots = self.pipes.slots.lock();
+            let fresh = PipeBuf {
+                readers: 1,
+                writers: 1,
+                ..Default::default()
+            };
+            match slots.iter().position(|s| s.buf.is_none()) {
+                Some(i) => {
+                    slots[i].gen += 1;
+                    slots[i].buf = Some(fresh);
+                    (i, slots[i].gen)
+                }
+                None => {
+                    slots.push(PipeSlot {
+                        gen: 1,
+                        buf: Some(fresh),
+                    });
+                    (slots.len() - 1, 1)
+                }
             }
         };
-        Ok(SysRet::PipeFds(rfd, wfd))
+        let planted = self.with_proc_mut(pid, |proc| {
+            let Some(rfd) = proc.alloc_fd() else {
+                return Err(Errno::EMFILE);
+            };
+            proc.fds[rfd] = Some(OpenFile::new(
+                FileBacking::Pipe {
+                    id,
+                    gen,
+                    end: PipeEnd::Read,
+                },
+                OpenFlags::rdonly(),
+            ));
+            match proc.alloc_fd() {
+                Some(wfd) => {
+                    proc.fds[wfd] = Some(OpenFile::new(
+                        FileBacking::Pipe {
+                            id,
+                            gen,
+                            end: PipeEnd::Write,
+                        },
+                        OpenFlags {
+                            write: true,
+                            ..Default::default()
+                        },
+                    ));
+                    Ok((rfd, wfd))
+                }
+                None => {
+                    proc.fds[rfd] = None;
+                    Err(Errno::EMFILE)
+                }
+            }
+        });
+        match planted {
+            Ok(Ok((rfd, wfd))) => Ok(SysRet::PipeFds(rfd, wfd)),
+            Ok(Err(e)) | Err(e) => {
+                // Roll the slot back; the generation stays burned.
+                let mut slots = self.pipes.slots.lock();
+                if let Some(slot) = slots.get_mut(id) {
+                    if slot.gen == gen {
+                        slot.buf = None;
+                    }
+                }
+                Err(e)
+            }
+        }
     }
 
-    fn do_fstat(&mut self, pid: Pid, fd: usize) -> SysResult<SysRet> {
-        if let Some(result) = self.read_fstat(pid, fd) {
-            return result; // local and pipe fds: shared-path implementation
-        }
+    fn pipe_fstat(&self, pid: Pid, id: usize, gen: u64) -> SysResult<SysRet> {
+        let buffered = {
+            let slots = self.pipes.slots.lock();
+            match slots.get(id) {
+                Some(s) if s.gen == gen => s.buf.as_ref().map_or(0, |p| p.data.len() as u64),
+                _ => return Err(Errno::EBADF),
+            }
+        };
+        let cred = self.with_proc(pid, |p| p.cred)?;
+        Ok(SysRet::Stat(idbox_vfs::StatBuf {
+            ino: Ino(0),
+            kind: FileKind::File,
+            mode: 0o600,
+            uid: cred.uid,
+            gid: cred.gid,
+            nlink: 1,
+            size: buffered,
+            atime: 0,
+            mtime: 0,
+            ctime: 0,
+        }))
+    }
+
+    fn do_fstat(&self, pid: Pid, fd: usize) -> SysResult<SysRet> {
         let backing = self
-            .process(pid)?
-            .file(fd)
-            .ok_or(Errno::EBADF)?
-            .backing
-            .clone();
+            .with_proc(pid, |p| p.file(fd).map(|f| f.backing.clone()))?
+            .ok_or(Errno::EBADF)?;
         match backing {
+            FileBacking::Local(ino) => Ok(SysRet::Stat(self.vfs.fstat(ino)?)),
+            FileBacking::Pipe { id, gen, .. } => self.pipe_fstat(pid, id, gen),
             FileBacking::Driver { mount, dfd } => {
-                let d = self.mounts.driver_mut(mount).ok_or(Errno::EIO)?;
+                let mut mounts = self.mounts.lock();
+                let d = mounts.driver_mut(mount).ok_or(Errno::EIO)?;
                 Ok(SysRet::Stat(d.fstat(dfd)?))
             }
-            _ => unreachable!("read_fstat serves local and pipe fds"),
         }
     }
 
-    fn do_open(&mut self, pid: Pid, p: &str, flags: OpenFlags, mode: u16) -> SysResult<SysRet> {
+    fn do_open(&self, pid: Pid, p: &str, flags: OpenFlags, mode: u16) -> SysResult<SysRet> {
         if !flags.read && !flags.write {
             return Err(Errno::EINVAL);
         }
         if let Some((m, rel)) = self.route(pid, p)? {
             let id = self.driver_identity(pid)?;
-            let d = self.mounts.driver_mut(m).ok_or(Errno::EIO)?;
-            let dfd = d.open(&rel, flags, mode, &id)?;
-            let proc = self.proc_mut(pid)?;
-            let fd = proc.alloc_fd().ok_or(Errno::EMFILE)?;
-            proc.fds[fd] = Some(OpenFile::new(FileBacking::Driver { mount: m, dfd }, flags));
+            let dfd = {
+                let mut mounts = self.mounts.lock();
+                let d = mounts.driver_mut(m).ok_or(Errno::EIO)?;
+                d.open(&rel, flags, mode, &id)?
+            };
+            let fd = self
+                .with_proc_mut(pid, |proc| {
+                    proc.alloc_fd().inspect(|&fd| {
+                        proc.fds[fd] =
+                            Some(OpenFile::new(FileBacking::Driver { mount: m, dfd }, flags));
+                    })
+                })?
+                .ok_or(Errno::EMFILE)?;
             return Ok(SysRet::Num(fd as i64));
         }
-        let (cred, cwd) = self.live_cred(pid)?;
-        let umask = self.process(pid)?.umask;
+        let (cred, cwd, umask) = self.with_proc(pid, |p| {
+            if p.is_alive() {
+                Ok((p.cred, p.cwd, p.umask))
+            } else {
+                Err(Errno::ESRCH)
+            }
+        })??;
         let (dir, name, existing) = self.vfs.resolve_entry(cwd, p, &cred)?;
         let ino = match existing {
             Some(ino) => {
@@ -733,63 +824,69 @@ impl Kernel {
             }
         };
         self.vfs.pin(ino)?;
-        let proc = self.proc_mut(pid)?;
-        let fd = match proc.alloc_fd() {
-            Some(fd) => fd,
+        let fd = self.with_proc_mut(pid, |proc| {
+            proc.alloc_fd().inspect(|&fd| {
+                proc.fds[fd] = Some(OpenFile::new(FileBacking::Local(ino), flags));
+            })
+        })?;
+        match fd {
+            Some(fd) => Ok(SysRet::Num(fd as i64)),
             None => {
                 self.vfs.unpin(ino)?;
-                return Err(Errno::EMFILE);
+                Err(Errno::EMFILE)
             }
-        };
-        proc.fds[fd] = Some(OpenFile::new(FileBacking::Local(ino), flags));
-        Ok(SysRet::Num(fd as i64))
+        }
     }
 
-    fn do_close(&mut self, pid: Pid, fd: usize) -> SysResult<SysRet> {
+    fn do_close(&self, pid: Pid, fd: usize) -> SysResult<SysRet> {
         let file = self
-            .proc_mut(pid)?
-            .fds
-            .get_mut(fd)
-            .and_then(Option::take)
+            .with_proc_mut(pid, |p| p.fds.get_mut(fd).and_then(Option::take))?
             .ok_or(Errno::EBADF)?;
         match file.backing {
             FileBacking::Local(ino) => self.vfs.unpin(ino)?,
             FileBacking::Driver { mount, dfd } => {
-                let d = self.mounts.driver_mut(mount).ok_or(Errno::EIO)?;
+                let mut mounts = self.mounts.lock();
+                let d = mounts.driver_mut(mount).ok_or(Errno::EIO)?;
                 d.close(dfd)?;
             }
-            FileBacking::Pipe { id, end } => self.pipe_release(id, end),
+            FileBacking::Pipe { id, gen, end } => self.pipe_release(id, gen, end),
         }
         Ok(SysRet::Unit)
     }
 
     fn do_read(
-        &mut self,
+        &self,
         pid: Pid,
         fd: usize,
         len: usize,
         at: Option<u64>,
     ) -> SysResult<SysRet> {
-        if let Some(result) = self.read_data(pid, fd, len, at) {
-            return result; // local files: shared-path implementation
-        }
-        let file = self.process(pid)?.file(fd).ok_or(Errno::EBADF)?.clone();
+        let file = self
+            .with_proc(pid, |p| p.file(fd).cloned())?
+            .ok_or(Errno::EBADF)?;
         if !file.flags.read {
             return Err(Errno::EBADF);
         }
         let off = at.unwrap_or(file.offset());
         let data = match file.backing {
-            FileBacking::Local(_) => unreachable!("read_data serves local fds"),
+            FileBacking::Local(ino) => {
+                let mut buf = vec![0u8; len];
+                let n = self.vfs.read_into(ino, off, &mut buf)?;
+                buf.truncate(n);
+                buf
+            }
             FileBacking::Driver { mount, dfd } => {
-                let d = self.mounts.driver_mut(mount).ok_or(Errno::EIO)?;
+                let mut mounts = self.mounts.lock();
+                let d = mounts.driver_mut(mount).ok_or(Errno::EIO)?;
                 d.pread(dfd, len, off)?
             }
-            FileBacking::Pipe { id, end } => {
+            FileBacking::Pipe { id, gen, end } => {
                 if end != PipeEnd::Read || at.is_some() {
                     return Err(if at.is_some() { Errno::ESPIPE } else { Errno::EBADF });
                 }
-                let p = match self.pipes.get_mut(id) {
-                    Some(Some(p)) => p,
+                let mut slots = self.pipes.slots.lock();
+                let p = match slots.get_mut(id) {
+                    Some(s) if s.gen == gen => s.buf.as_mut().ok_or(Errno::EBADF)?,
                     _ => return Err(Errno::EBADF),
                 };
                 if p.data.is_empty() {
@@ -805,49 +902,64 @@ impl Kernel {
             }
         };
         if at.is_none() {
-            self.process(pid)?
-                .file(fd)
-                .ok_or(Errno::EBADF)?
-                .set_offset(off + data.len() as u64);
+            self.with_proc(pid, |p| {
+                p.file(fd).map(|f| f.set_offset(off + data.len() as u64))
+            })?
+            .ok_or(Errno::EBADF)?;
         }
         Ok(SysRet::Data(data))
     }
 
     fn do_write(
-        &mut self,
+        &self,
         pid: Pid,
         fd: usize,
         data: &[u8],
         at: Option<u64>,
     ) -> SysResult<SysRet> {
-        let file = self.process(pid)?.file(fd).ok_or(Errno::EBADF)?.clone();
+        let file = self
+            .with_proc(pid, |p| p.file(fd).cloned())?
+            .ok_or(Errno::EBADF)?;
         if !file.flags.write {
             return Err(Errno::EBADF);
         }
-        if let FileBacking::Pipe { id, end } = file.backing {
+        if let FileBacking::Pipe { id, gen, end } = file.backing {
             if end != PipeEnd::Write || at.is_some() {
                 return Err(if at.is_some() { Errno::ESPIPE } else { Errno::EBADF });
             }
-            let has_readers = matches!(self.pipes.get(id), Some(Some(p)) if p.readers > 0);
-            if !has_readers {
-                // Writing with no reader: broken pipe (and a signal, as
-                // in a real kernel).
-                self.proc_mut(pid)?.pending.push(Signal::Term);
-                return Err(Errno::EPIPE);
-            }
-            let p = match self.pipes.get_mut(id) {
-                Some(Some(p)) => p,
-                _ => return Err(Errno::EBADF),
+            let written = {
+                let mut slots = self.pipes.slots.lock();
+                match slots.get_mut(id) {
+                    Some(s) if s.gen == gen => match &mut s.buf {
+                        Some(p) if p.readers > 0 => {
+                            p.data.extend(data.iter().copied());
+                            Ok(data.len())
+                        }
+                        // Live slot, no readers: broken pipe.
+                        Some(_) => Err(Errno::EPIPE),
+                        None => Err(Errno::EBADF),
+                    },
+                    _ => Err(Errno::EBADF),
+                }
             };
-            p.data.extend(data.iter().copied());
-            return Ok(SysRet::Num(data.len() as i64));
+            return match written {
+                Ok(n) => Ok(SysRet::Num(n as i64)),
+                Err(Errno::EPIPE) => {
+                    // Writing with no reader: broken pipe (and a signal,
+                    // as in a real kernel).
+                    self.with_proc_mut(pid, |p| p.pending.push(Signal::Term))?;
+                    Err(Errno::EPIPE)
+                }
+                Err(e) => Err(e),
+            };
         }
         let off = match (at, file.flags.append) {
             (Some(off), _) => off,
             (None, true) => match file.backing {
                 FileBacking::Local(ino) => self.vfs.fstat(ino)?.size,
                 FileBacking::Driver { mount, dfd } => {
-                    let d = self.mounts.driver_mut(mount).ok_or(Errno::EIO)?;
+                    let mut mounts = self.mounts.lock();
+                    let d = mounts.driver_mut(mount).ok_or(Errno::EIO)?;
                     d.fstat(dfd)?.size
                 }
                 FileBacking::Pipe { .. } => unreachable!("handled above"),
@@ -857,84 +969,103 @@ impl Kernel {
         let n = match file.backing {
             FileBacking::Local(ino) => self.vfs.write_at(ino, off, data)?,
             FileBacking::Driver { mount, dfd } => {
-                let d = self.mounts.driver_mut(mount).ok_or(Errno::EIO)?;
+                let mut mounts = self.mounts.lock();
+                let d = mounts.driver_mut(mount).ok_or(Errno::EIO)?;
                 d.pwrite(dfd, data, off)?
             }
             FileBacking::Pipe { .. } => unreachable!("handled above"),
         };
         if at.is_none() {
-            self.process(pid)?
-                .file(fd)
-                .ok_or(Errno::EBADF)?
-                .set_offset(off + n as u64);
+            self.with_proc(pid, |p| {
+                p.file(fd).map(|f| f.set_offset(off + n as u64))
+            })?
+            .ok_or(Errno::EBADF)?;
         }
         Ok(SysRet::Num(n as i64))
     }
 
-    fn do_lseek(&mut self, pid: Pid, fd: usize, off: i64, whence: Whence) -> SysResult<SysRet> {
-        if let Some(result) = self.read_lseek(pid, fd, off, whence) {
-            return result; // local fds and pipes: shared-path implementation
-        }
-        let file = self.process(pid)?.file(fd).ok_or(Errno::EBADF)?.clone();
+    fn do_lseek(&self, pid: Pid, fd: usize, off: i64, whence: Whence) -> SysResult<SysRet> {
+        let file = self
+            .with_proc(pid, |p| p.file(fd).cloned())?
+            .ok_or(Errno::EBADF)?;
         let size = match file.backing {
+            FileBacking::Local(ino) => self.vfs.fstat(ino)?.size,
+            FileBacking::Pipe { .. } => return Err(Errno::ESPIPE),
             FileBacking::Driver { mount, dfd } => {
-                let d = self.mounts.driver_mut(mount).ok_or(Errno::EIO)?;
+                let mut mounts = self.mounts.lock();
+                let d = mounts.driver_mut(mount).ok_or(Errno::EIO)?;
                 d.fstat(dfd)?.size
             }
-            _ => unreachable!("read_lseek serves local fds and pipes"),
         };
         let base = match whence {
             Whence::Set => 0i64,
             Whence::Cur => file.offset() as i64,
             Whence::End => size as i64,
         };
-        let new = base.checked_add(off).ok_or(Errno::EINVAL)?;
-        if new < 0 {
-            return Err(Errno::EINVAL);
-        }
-        self.process(pid)?
-            .file(fd)
-            .ok_or(Errno::EBADF)?
-            .set_offset(new as u64);
+        let new = match base.checked_add(off) {
+            Some(n) if n >= 0 => n,
+            _ => return Err(Errno::EINVAL),
+        };
+        self.with_proc(pid, |p| p.file(fd).map(|f| f.set_offset(new as u64)))?
+            .ok_or(Errno::EBADF)?;
         Ok(SysRet::Num(new))
     }
 
-    fn do_dup(&mut self, pid: Pid, fd: usize) -> SysResult<SysRet> {
-        let file = self.process(pid)?.file(fd).ok_or(Errno::EBADF)?.clone();
-        match file.backing {
+    fn do_dup(&self, pid: Pid, fd: usize) -> SysResult<SysRet> {
+        let file = self
+            .with_proc(pid, |p| p.file(fd).cloned())?
+            .ok_or(Errno::EBADF)?;
+        let backing = file.backing.clone();
+        match backing {
             FileBacking::Local(ino) => self.vfs.pin(ino)?,
-            FileBacking::Pipe { id, end } => self.pipe_retain(id, end),
+            FileBacking::Pipe { id, gen, end } => self.pipe_retain(id, gen, end),
             // Driver handles are not duplicable (the remote side owns
             // them); mirrors the fork limitation documented in DESIGN.md.
             FileBacking::Driver { .. } => return Err(Errno::EINVAL),
         }
-        let proc = self.proc_mut(pid)?;
-        let nfd = proc.alloc_fd().ok_or(Errno::EMFILE)?;
-        proc.fds[nfd] = Some(file);
-        Ok(SysRet::Num(nfd as i64))
+        let nfd = self.with_proc_mut(pid, move |proc| {
+            proc.alloc_fd().inspect(|&nfd| {
+                proc.fds[nfd] = Some(file);
+            })
+        })?;
+        match nfd {
+            Some(nfd) => Ok(SysRet::Num(nfd as i64)),
+            None => {
+                match backing {
+                    FileBacking::Local(ino) => {
+                        let _ = self.vfs.unpin(ino);
+                    }
+                    FileBacking::Pipe { id, gen, end } => self.pipe_release(id, gen, end),
+                    FileBacking::Driver { .. } => {}
+                }
+                Err(Errno::EMFILE)
+            }
+        }
     }
 
     // ------------------------------------------------------------------
     // Namespace operations
     // ------------------------------------------------------------------
 
-    fn do_mkdir(&mut self, pid: Pid, p: &str, mode: u16) -> SysResult<SysRet> {
+    fn do_mkdir(&self, pid: Pid, p: &str, mode: u16) -> SysResult<SysRet> {
         if let Some((m, rel)) = self.route(pid, p)? {
             let id = self.driver_identity(pid)?;
-            let d = self.mounts.driver_mut(m).ok_or(Errno::EIO)?;
+            let mut mounts = self.mounts.lock();
+            let d = mounts.driver_mut(m).ok_or(Errno::EIO)?;
             d.mkdir(&rel, mode, &id)?;
             return Ok(SysRet::Unit);
         }
         let (cred, cwd) = self.live_cred(pid)?;
-        let umask = self.process(pid)?.umask;
+        let umask = self.with_proc(pid, |p| p.umask)?;
         self.vfs.mkdir(cwd, p, mode & !umask, &cred)?;
         Ok(SysRet::Unit)
     }
 
-    fn do_rmdir(&mut self, pid: Pid, p: &str) -> SysResult<SysRet> {
+    fn do_rmdir(&self, pid: Pid, p: &str) -> SysResult<SysRet> {
         if let Some((m, rel)) = self.route(pid, p)? {
             let id = self.driver_identity(pid)?;
-            let d = self.mounts.driver_mut(m).ok_or(Errno::EIO)?;
+            let mut mounts = self.mounts.lock();
+            let d = mounts.driver_mut(m).ok_or(Errno::EIO)?;
             d.rmdir(&rel, &id)?;
             return Ok(SysRet::Unit);
         }
@@ -943,10 +1074,11 @@ impl Kernel {
         Ok(SysRet::Unit)
     }
 
-    fn do_unlink(&mut self, pid: Pid, p: &str) -> SysResult<SysRet> {
+    fn do_unlink(&self, pid: Pid, p: &str) -> SysResult<SysRet> {
         if let Some((m, rel)) = self.route(pid, p)? {
             let id = self.driver_identity(pid)?;
-            let d = self.mounts.driver_mut(m).ok_or(Errno::EIO)?;
+            let mut mounts = self.mounts.lock();
+            let d = mounts.driver_mut(m).ok_or(Errno::EIO)?;
             d.unlink(&rel, &id)?;
             return Ok(SysRet::Unit);
         }
@@ -955,7 +1087,7 @@ impl Kernel {
         Ok(SysRet::Unit)
     }
 
-    fn do_link(&mut self, pid: Pid, old: &str, new: &str) -> SysResult<SysRet> {
+    fn do_link(&self, pid: Pid, old: &str, new: &str) -> SysResult<SysRet> {
         let ro = self.route(pid, old)?;
         let rn = self.route(pid, new)?;
         if ro.is_some() || rn.is_some() {
@@ -966,7 +1098,7 @@ impl Kernel {
         Ok(SysRet::Unit)
     }
 
-    fn do_symlink(&mut self, pid: Pid, target: &str, linkp: &str) -> SysResult<SysRet> {
+    fn do_symlink(&self, pid: Pid, target: &str, linkp: &str) -> SysResult<SysRet> {
         if self.route(pid, linkp)?.is_some() {
             return Err(Errno::EXDEV);
         }
@@ -975,7 +1107,7 @@ impl Kernel {
         Ok(SysRet::Unit)
     }
 
-    fn do_readlink(&mut self, pid: Pid, p: &str) -> SysResult<SysRet> {
+    fn do_readlink(&self, pid: Pid, p: &str) -> SysResult<SysRet> {
         if self.route(pid, p)?.is_some() {
             return Err(Errno::EINVAL);
         }
@@ -983,13 +1115,14 @@ impl Kernel {
         Ok(SysRet::Text(self.vfs.readlink(cwd, p, &cred)?))
     }
 
-    fn do_rename(&mut self, pid: Pid, old: &str, new: &str) -> SysResult<SysRet> {
+    fn do_rename(&self, pid: Pid, old: &str, new: &str) -> SysResult<SysRet> {
         let ro = self.route(pid, old)?;
         let rn = self.route(pid, new)?;
         match (ro, rn) {
             (Some((mo, relo)), Some((mn, reln))) if mo == mn => {
                 let id = self.driver_identity(pid)?;
-                let d = self.mounts.driver_mut(mo).ok_or(Errno::EIO)?;
+                let mut mounts = self.mounts.lock();
+                let d = mounts.driver_mut(mo).ok_or(Errno::EIO)?;
                 d.rename(&relo, &reln, &id)?;
                 Ok(SysRet::Unit)
             }
@@ -1002,10 +1135,11 @@ impl Kernel {
         }
     }
 
-    fn do_truncate(&mut self, pid: Pid, p: &str, len: u64) -> SysResult<SysRet> {
+    fn do_truncate(&self, pid: Pid, p: &str, len: u64) -> SysResult<SysRet> {
         if let Some((m, rel)) = self.route(pid, p)? {
             let id = self.driver_identity(pid)?;
-            let d = self.mounts.driver_mut(m).ok_or(Errno::EIO)?;
+            let mut mounts = self.mounts.lock();
+            let d = mounts.driver_mut(m).ok_or(Errno::EIO)?;
             d.truncate(&rel, len, &id)?;
             return Ok(SysRet::Unit);
         }
@@ -1016,10 +1150,11 @@ impl Kernel {
         Ok(SysRet::Unit)
     }
 
-    fn do_access(&mut self, pid: Pid, p: &str, want: Access) -> SysResult<SysRet> {
+    fn do_access(&self, pid: Pid, p: &str, want: Access) -> SysResult<SysRet> {
         if let Some((m, rel)) = self.route(pid, p)? {
             let id = self.driver_identity(pid)?;
-            let d = self.mounts.driver_mut(m).ok_or(Errno::EIO)?;
+            let mut mounts = self.mounts.lock();
+            let d = mounts.driver_mut(m).ok_or(Errno::EIO)?;
             d.stat(&rel, &id)?; // existence check only; rights are remote
             return Ok(SysRet::Unit);
         }
@@ -1028,17 +1163,18 @@ impl Kernel {
         Ok(SysRet::Unit)
     }
 
-    fn do_readdir(&mut self, pid: Pid, p: &str) -> SysResult<SysRet> {
+    fn do_readdir(&self, pid: Pid, p: &str) -> SysResult<SysRet> {
         if let Some((m, rel)) = self.route(pid, p)? {
             let id = self.driver_identity(pid)?;
-            let d = self.mounts.driver_mut(m).ok_or(Errno::EIO)?;
+            let mut mounts = self.mounts.lock();
+            let d = mounts.driver_mut(m).ok_or(Errno::EIO)?;
             return Ok(SysRet::Entries(d.readdir(&rel, &id)?));
         }
         let (cred, cwd) = self.live_cred(pid)?;
         Ok(SysRet::Entries(self.vfs.readdir(cwd, p, &cred)?))
     }
 
-    fn do_chmod(&mut self, pid: Pid, p: &str, mode: u16) -> SysResult<SysRet> {
+    fn do_chmod(&self, pid: Pid, p: &str, mode: u16) -> SysResult<SysRet> {
         if self.route(pid, p)?.is_some() {
             return Err(Errno::ENOSYS); // remote ACLs, not modes
         }
@@ -1047,7 +1183,7 @@ impl Kernel {
         Ok(SysRet::Unit)
     }
 
-    fn do_chown(&mut self, pid: Pid, p: &str, uid: u32, gid: u32) -> SysResult<SysRet> {
+    fn do_chown(&self, pid: Pid, p: &str, uid: u32, gid: u32) -> SysResult<SysRet> {
         if self.route(pid, p)?.is_some() {
             return Err(Errno::ENOSYS);
         }
@@ -1056,7 +1192,7 @@ impl Kernel {
         Ok(SysRet::Unit)
     }
 
-    fn do_chdir(&mut self, pid: Pid, p: &str) -> SysResult<SysRet> {
+    fn do_chdir(&self, pid: Pid, p: &str) -> SysResult<SysRet> {
         let abs = vpath::normalize_lexical(&self.absolutize(pid, p)?);
         if self.route(pid, p)?.is_some() {
             // cwd inside a mount is not supported; stay on the local fs.
@@ -1068,9 +1204,10 @@ impl Kernel {
             return Err(Errno::ENOTDIR);
         }
         self.vfs.check_access(ino, &cred, Access::X)?;
-        let proc = self.proc_mut(pid)?;
-        proc.cwd = ino;
-        proc.cwd_path = abs;
+        self.with_proc_mut(pid, |proc| {
+            proc.cwd = ino;
+            proc.cwd_path = abs;
+        })?;
         Ok(SysRet::Unit)
     }
 
@@ -1078,42 +1215,54 @@ impl Kernel {
     // Process operations
     // ------------------------------------------------------------------
 
-    fn do_fork(&mut self, pid: Pid) -> SysResult<SysRet> {
-        let parent = self.process(pid)?.clone();
-        if !parent.is_alive() {
-            return Err(Errno::ESRCH);
-        }
-        let child_pid = Pid(self.next_pid);
-        self.next_pid += 1;
-        let mut fds = Vec::with_capacity(parent.fds.len());
-        for slot in &parent.fds {
-            match slot {
-                Some(f) => match f.backing {
-                    FileBacking::Local(ino) => {
-                        self.vfs.pin(ino)?;
-                        fds.push(Some(f.clone()));
-                    }
-                    FileBacking::Pipe { id, end } => {
-                        self.pipe_retain(id, end);
-                        fds.push(Some(f.clone()));
-                    }
-                    // Driver handles are connection-private: not inherited.
-                    FileBacking::Driver { .. } => fds.push(None),
-                },
-                None => fds.push(None),
+    fn do_fork(&self, pid: Pid) -> SysResult<SysRet> {
+        let child_pid = self.alloc_pid()?;
+        let sp = self.procs.shard_of(pid);
+        let sc = self.procs.shard_of(child_pid);
+        let forked = (|| -> SysResult<()> {
+            // Parent and child shards, ascending (one guard if equal).
+            let (mut ga, mut gb) = self.procs.shards.write_pair(sp, sc);
+            let parent = ga.get(&pid.0).ok_or(Errno::ESRCH)?.clone();
+            if !parent.is_alive() {
+                return Err(Errno::ESRCH);
             }
-        }
-        self.procs.insert(
-            child_pid.0,
-            Process {
+            // Pin / retain inherited fds. vfs and pipe locks taken under
+            // the process-shard guards: allowed by the lock hierarchy
+            // (procs → {vfs, pipes}).
+            let mut fds = Vec::with_capacity(parent.fds.len());
+            for slot in &parent.fds {
+                match slot {
+                    Some(f) => match f.backing {
+                        FileBacking::Local(ino) => {
+                            self.vfs.pin(ino)?;
+                            fds.push(Some(f.clone()));
+                        }
+                        FileBacking::Pipe { id, gen, end } => {
+                            self.pipe_retain(id, gen, end);
+                            fds.push(Some(f.clone()));
+                        }
+                        // Driver handles are connection-private: not inherited.
+                        FileBacking::Driver { .. } => fds.push(None),
+                    },
+                    None => fds.push(None),
+                }
+            }
+            let child = Process {
                 pid: child_pid,
                 ppid: pid,
                 fds,
                 pending: Vec::new(),
                 state: ProcState::Running,
                 ..parent
-            },
-        );
+            };
+            match &mut gb {
+                Some(g) => g.insert(child_pid.0, child),
+                None => ga.insert(child_pid.0, child),
+            };
+            Ok(())
+        })();
+        self.release_pid(child_pid);
+        forked?;
         Ok(SysRet::Num(child_pid.0 as i64))
     }
 
@@ -1121,10 +1270,11 @@ impl Kernel {
     /// as the process's program. (The simulation does not load code —
     /// guest programs are host functions — but the permission semantics
     /// are real.)
-    fn do_exec(&mut self, pid: Pid, name: String) -> SysResult<SysRet> {
+    fn do_exec(&self, pid: Pid, name: String) -> SysResult<SysRet> {
         if let Some((m, rel)) = self.route(pid, &name)? {
             let id = self.driver_identity(pid)?;
-            let d = self.mounts.driver_mut(m).ok_or(Errno::EIO)?;
+            let mut mounts = self.mounts.lock();
+            let d = mounts.driver_mut(m).ok_or(Errno::EIO)?;
             d.stat(&rel, &id)?; // existence; rights are the remote's call
         } else {
             let (cred, cwd) = self.live_cred(pid)?;
@@ -1134,87 +1284,121 @@ impl Kernel {
             }
             self.vfs.check_access(ino, &cred, Access::X)?;
         }
-        self.proc_mut(pid)?.comm = name;
+        self.with_proc_mut(pid, |p| p.comm = name)?;
         Ok(SysRet::Unit)
     }
 
-    fn do_exit(&mut self, pid: Pid, code: i32) -> SysResult<SysRet> {
+    fn do_exit(&self, pid: Pid, code: i32) -> SysResult<SysRet> {
         self.terminate(pid, code)?;
         Ok(SysRet::Unit)
     }
 
     /// Shared by `exit` and lethal signals.
-    fn terminate(&mut self, pid: Pid, code: i32) -> SysResult<()> {
-        // Close all fds.
-        let fds = std::mem::take(&mut self.proc_mut(pid)?.fds);
+    fn terminate(&self, pid: Pid, code: i32) -> SysResult<()> {
+        // Close all fds (taken under the shard lock, released outside it).
+        let fds = self.with_proc_mut(pid, |p| std::mem::take(&mut p.fds))?;
         for f in fds.into_iter().flatten() {
             match f.backing {
                 FileBacking::Local(ino) => {
                     let _ = self.vfs.unpin(ino);
                 }
                 FileBacking::Driver { mount, dfd } => {
-                    if let Some(d) = self.mounts.driver_mut(mount) {
+                    if let Some(d) = self.mounts.lock().driver_mut(mount) {
                         let _ = d.close(dfd);
                     }
                 }
-                FileBacking::Pipe { id, end } => self.pipe_release(id, end),
+                FileBacking::Pipe { id, gen, end } => self.pipe_release(id, gen, end),
             }
         }
-        // Reparent children to init.
-        let children: Vec<u32> = self
-            .procs
-            .values()
-            .filter(|p| p.ppid == pid && p.pid != pid)
-            .map(|p| p.pid.0)
-            .collect();
-        for c in children {
-            if let Some(p) = self.procs.get_mut(&c) {
-                p.ppid = INIT;
-            }
-        }
-        self.proc_mut(pid)?.state = ProcState::Zombie(code);
-        Ok(())
-    }
-
-    fn do_wait(&mut self, pid: Pid) -> SysResult<SysRet> {
-        let mut have_child = false;
-        let mut reap: Option<(Pid, i32)> = None;
-        for p in self.procs.values() {
-            if p.ppid == pid && p.pid != pid {
-                have_child = true;
-                if let ProcState::Zombie(code) = p.state {
-                    reap = Some((p.pid, code));
-                    break;
+        // Reparent children to init: sweep the shards one at a time (no
+        // cross-shard atomicity needed — ppid edges are per-entry).
+        for i in 0..self.procs.shards.len() {
+            let mut g = self.procs.shards.write(i);
+            for p in g.values_mut() {
+                if p.ppid == pid && p.pid != pid {
+                    p.ppid = INIT;
                 }
             }
         }
-        match reap {
-            Some((cpid, code)) => {
-                self.procs.remove(&cpid.0);
-                Ok(SysRet::Reaped(cpid, code))
+        self.with_proc_mut(pid, |p| p.state = ProcState::Zombie(code))?;
+        Ok(())
+    }
+
+    fn do_wait(&self, pid: Pid) -> SysResult<SysRet> {
+        loop {
+            // Snapshot all shards (ascending acquisition) and pick the
+            // lowest-pid zombie child — the same child the single-lock
+            // kernel's ascending scan reaped.
+            let (have_child, candidate) = {
+                let guards = self.procs.shards.read_all();
+                let mut have_child = false;
+                let mut candidate: Option<Pid> = None;
+                for g in &guards {
+                    for p in g.values() {
+                        if p.ppid == pid && p.pid != pid {
+                            have_child = true;
+                            if matches!(p.state, ProcState::Zombie(_)) {
+                                candidate = Some(candidate.map_or(p.pid, |c| c.min(p.pid)));
+                            }
+                        }
+                    }
+                }
+                (have_child, candidate)
+            };
+            match candidate {
+                Some(cpid) => {
+                    let mut g = self.procs.shards.write(self.procs.shard_of(cpid));
+                    // Revalidate: another waiter may have reaped it
+                    // between the snapshot and this write lock.
+                    if let Some(p) = g.get(&cpid.0) {
+                        if p.ppid == pid {
+                            if let ProcState::Zombie(code) = p.state {
+                                g.remove(&cpid.0);
+                                return Ok(SysRet::Reaped(cpid, code));
+                            }
+                        }
+                    }
+                    continue;
+                }
+                None if have_child => return Err(Errno::EAGAIN),
+                None => return Err(Errno::ECHILD),
             }
-            None if have_child => Err(Errno::EAGAIN),
-            None => Err(Errno::ECHILD),
         }
     }
 
-    fn do_kill(&mut self, pid: Pid, target: Pid, sig: Signal) -> SysResult<SysRet> {
-        let sender_cred = self.process(pid)?.cred;
-        let t = self.process(target)?;
-        if !t.is_alive() {
-            return Err(Errno::ESRCH);
-        }
+    fn do_kill(&self, pid: Pid, target: Pid, sig: Signal) -> SysResult<SysRet> {
+        let sender_uid = self.with_proc(pid, |p| p.cred.uid)?;
+        let target_uid = self.with_proc(target, |t| {
+            if t.is_alive() {
+                Ok(t.cred.uid)
+            } else {
+                Err(Errno::ESRCH)
+            }
+        })??;
         // Unix rule: root, or matching uid. (The identity box adds the
         // stricter same-identity rule above this layer.)
-        if sender_cred.uid != 0 && sender_cred.uid != t.cred.uid {
+        if sender_uid != 0 && sender_uid != target_uid {
             return Err(Errno::EPERM);
         }
         if sig == Signal::Kill {
             self.terminate(target, 128 + sig.number() as i32)?;
         } else {
-            self.proc_mut(target)?.pending.push(sig);
+            self.with_proc_mut(target, |t| t.pending.push(sig))?;
         }
         Ok(SysRet::Unit)
+    }
+
+    /// Plant an arbitrary fd into a process table (regression-test rig:
+    /// lets tests manufacture a stale pipe fd that survived a full
+    /// close, the scenario the generation tag defends against).
+    #[cfg(test)]
+    fn plant_fd(&self, pid: Pid, backing: FileBacking, flags: OpenFlags) -> usize {
+        self.with_proc_mut(pid, |p| {
+            let fd = p.alloc_fd().expect("fd table full");
+            p.fds[fd] = Some(OpenFile::new(backing, flags));
+            fd
+        })
+        .expect("live process")
     }
 }
 
@@ -1231,10 +1415,10 @@ mod tests {
         k.sync_passwd_file();
         let cred = Cred::new(uid, uid);
         let root = k.vfs().root();
-        k.vfs_mut()
+        k.vfs()
             .mkdir(root, &format!("/home/{name}"), 0o755, &Cred::ROOT)
             .unwrap();
-        k.vfs_mut()
+        k.vfs()
             .chown(root, &format!("/home/{name}"), uid, uid, &Cred::ROOT)
             .unwrap();
         let pid = k.spawn(cred, &format!("/home/{name}"), "sh").unwrap();
@@ -1488,13 +1672,13 @@ mod tests {
         let (mut k, alice_pid, alice) = kernel_with_user("alice");
         let root = k.vfs().root();
         // Alice makes a private file.
-        k.vfs_mut()
+        k.vfs()
             .write_file(root, "/home/alice/secret", b"shh", &alice)
             .unwrap();
-        k.vfs_mut()
+        k.vfs()
             .chmod(root, "/home/alice/secret", 0o600, &alice)
             .unwrap();
-        k.vfs_mut()
+        k.vfs()
             .chmod(root, "/home/alice", 0o700, &alice)
             .unwrap();
         let bob_uid = k.accounts_mut().next_free_uid();
@@ -1531,16 +1715,16 @@ mod tests {
 
     #[test]
     fn read_path_matches_exclusive_path() {
-        // Every classified read-only call must produce the same result
-        // through `syscall_read` (shared borrow) as through `syscall`
-        // (exclusive borrow) against identical kernel state.
+        // Every call must produce the same result through `syscall_read`
+        // (shared borrow) as through `syscall` (exclusive borrow) against
+        // identical kernel state.
         let build = || {
             let (mut k, pid, _) = kernel_with_user("u");
             let root = k.vfs().root();
-            k.vfs_mut()
+            k.vfs()
                 .write_file(root, "/tmp/f", b"hello world", &Cred::ROOT)
                 .unwrap();
-            k.vfs_mut()
+            k.vfs()
                 .symlink(root, "/tmp/f", "/tmp/ln", &Cred::ROOT)
                 .unwrap();
             let fd = k
@@ -1579,47 +1763,65 @@ mod tests {
             let via_mut = k_mut.syscall(pid_a, a.clone());
             let via_read = k_shared
                 .syscall_read(pid_b, &b)
-                .expect("classified read-only call must be served on the shared path");
+                .expect("every call is served on the shared path");
             assert_eq!(via_mut, via_read, "diverged on {}", a.name());
         }
         assert_eq!(k_mut.total_syscalls(), k_shared.total_syscalls());
     }
 
     #[test]
-    fn read_path_declines_what_it_cannot_serve() {
+    fn shared_path_serves_every_call() {
+        // Since the kernel went sharded, the shared-borrow path serves
+        // everything — mutating calls included — and counts each exactly
+        // once. (Before the shard split, `syscall_read` declined mutating
+        // calls with `None` and callers fell back to the exclusive lock.)
         let (mut k, pid, _) = kernel_with_user("u");
-        // Mutating calls are never served on the shared path.
-        assert!(k.syscall_read(pid, &Syscall::Fork).is_none());
-        assert!(k
-            .syscall_read(pid, &Syscall::Open("/tmp/x".into(), OpenFlags::rdwr_create(), 0o644))
-            .is_none());
-        assert!(k.syscall_read(pid, &Syscall::SigPending).is_none());
-        assert!(k.syscall_read(pid, &Syscall::Umask(0)).is_none());
-        // A consuming pipe read falls back, but pipe lseek answers ESPIPE.
-        let (rfd, wfd) = match k.syscall(pid, Syscall::Pipe).unwrap() {
-            SysRet::PipeFds(r, w) => (r, w),
-            other => panic!("expected PipeFds, got {other:?}"),
-        };
-        k.syscall(pid, Syscall::Write(wfd, b"x".to_vec())).unwrap();
-        assert!(k.syscall_read(pid, &Syscall::Read(rfd, 1)).is_none());
-        assert_eq!(
-            k.syscall_read(pid, &Syscall::Lseek(rfd, 0, Whence::Cur)),
-            Some(Err(Errno::ESPIPE))
-        );
-        // Declined calls must not be counted twice once they fall back.
         let before = k.total_syscalls();
-        assert!(k.syscall_read(pid, &Syscall::Read(rfd, 1)).is_none());
-        assert_eq!(k.total_syscalls(), before);
-        k.syscall(pid, Syscall::Read(rfd, 1)).unwrap();
-        assert_eq!(k.total_syscalls(), before + 1);
+        let child = Pid(
+            k.syscall_read(pid, &Syscall::Fork)
+                .expect("served")
+                .unwrap()
+                .num() as u32,
+        );
+        let fd = k
+            .syscall_read(
+                pid,
+                &Syscall::Open("/tmp/x".into(), OpenFlags::rdwr_create(), 0o644),
+            )
+            .expect("served")
+            .unwrap()
+            .num() as usize;
+        k.syscall_read(pid, &Syscall::Write(fd, b"hi".to_vec()))
+            .expect("served")
+            .unwrap();
+        assert!(k.syscall_read(pid, &Syscall::Umask(0o022)).expect("served").is_ok());
+        assert!(k.syscall_read(pid, &Syscall::SigPending).expect("served").is_ok());
+        let (rfd, wfd) = match k.syscall_read(pid, &Syscall::Pipe).expect("served").unwrap() {
+            SysRet::PipeFds(r, w) => (r, w),
+            other => panic!("unexpected {other:?}"),
+        };
+        k.syscall_read(pid, &Syscall::Write(wfd, b"x".to_vec()))
+            .expect("served")
+            .unwrap();
+        assert_eq!(
+            k.syscall_read(pid, &Syscall::Read(rfd, 1))
+                .expect("served")
+                .unwrap()
+                .data(),
+            b"x"
+        );
+        // Shared and exclusive entry points feed the same counters.
+        k.syscall(child, Syscall::Exit(0)).unwrap();
+        k.syscall(pid, Syscall::Wait).unwrap();
+        assert_eq!(k.total_syscalls(), before + 10);
     }
 
     #[test]
     fn shared_readers_run_concurrently_across_threads() {
         use std::sync::{Arc, RwLock};
-        let (mut k, pid, _) = kernel_with_user("u");
+        let (k, pid, _) = kernel_with_user("u");
         let root = k.vfs().root();
-        k.vfs_mut()
+        k.vfs()
             .write_file(root, "/tmp/f", b"shared data", &Cred::ROOT)
             .unwrap();
         let k = Arc::new(RwLock::new(k));
@@ -1800,5 +2002,162 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn pid_allocation_wraps_and_skips_live_pids() {
+        let mut k = Kernel::new();
+        k.set_max_pid(6); // pid space is {2..=6}; pid 1 is init
+        let a = k.spawn(Cred::ROOT, "/", "a").unwrap();
+        let b = k.spawn(Cred::ROOT, "/", "b").unwrap();
+        let c = k.spawn(Cred::ROOT, "/", "c").unwrap();
+        let d = k.spawn(Cred::ROOT, "/", "d").unwrap();
+        let e = k.spawn(Cred::ROOT, "/", "e").unwrap();
+        assert_eq!((a, b, c, d, e), (Pid(2), Pid(3), Pid(4), Pid(5), Pid(6)));
+        // The space is exhausted: allocation reports EAGAIN instead of
+        // spinning forever or handing out a duplicate pid. (The old
+        // allocator was an unchecked `next_pid += 1`: overflow panic in
+        // debug, silent pid aliasing after wrap in release.)
+        assert_eq!(k.spawn(Cred::ROOT, "/", "f"), Err(Errno::EAGAIN));
+        // One pid frees up (exit, then reaped by init, the spawn parent)…
+        k.syscall(c, Syscall::Exit(0)).unwrap();
+        match k.syscall(Pid(1), Syscall::Wait).unwrap() {
+            SysRet::Reaped(cpid, _) => assert_eq!(cpid, c),
+            other => panic!("unexpected {other:?}"),
+        }
+        // …and the allocator wraps past the live pids to find it again.
+        assert_eq!(k.spawn(Cred::ROOT, "/", "g").unwrap(), c);
+    }
+
+    #[test]
+    fn pipe_slot_reuse_cannot_alias_stale_fds() {
+        let (mut k, pid, _) = kernel_with_user("u");
+        let (r1, w1) = match k.syscall(pid, Syscall::Pipe).unwrap() {
+            SysRet::PipeFds(r, w) => (r, w),
+            other => panic!("unexpected {other:?}"),
+        };
+        // Copy the first pipe's backings, as a leaked stale fd would hold
+        // them (historically a double-close plus slot reuse did exactly
+        // this: the old fd silently aliased the next pipe in the slot).
+        let stale_r = k.process(pid).unwrap().file(r1).unwrap().backing.clone();
+        let stale_w = k.process(pid).unwrap().file(w1).unwrap().backing.clone();
+        // Close both ends: the slot is freed for reuse.
+        k.syscall(pid, Syscall::Close(r1)).unwrap();
+        k.syscall(pid, Syscall::Close(w1)).unwrap();
+        // A new pipe reuses the slot id under a fresh generation.
+        let (r2, w2) = match k.syscall(pid, Syscall::Pipe).unwrap() {
+            SysRet::PipeFds(r, w) => (r, w),
+            other => panic!("unexpected {other:?}"),
+        };
+        let fresh_r = k.process(pid).unwrap().file(r2).unwrap().backing.clone();
+        let (
+            FileBacking::Pipe { id: old_id, gen: old_gen, .. },
+            FileBacking::Pipe { id: new_id, gen: new_gen, .. },
+        ) = (stale_r.clone(), fresh_r)
+        else {
+            panic!("expected pipe backings");
+        };
+        assert_eq!(old_id, new_id, "slot is reused");
+        assert!(new_gen > old_gen, "reuse bumps the generation");
+        // Plant the stale fds back into the process and verify every pipe
+        // op rejects them instead of touching the new pipe.
+        let sr = k.plant_fd(pid, stale_r, OpenFlags::rdonly());
+        let sw = k.plant_fd(
+            pid,
+            stale_w,
+            OpenFlags {
+                write: true,
+                ..Default::default()
+            },
+        );
+        k.syscall(pid, Syscall::Write(w2, b"fresh".to_vec())).unwrap();
+        assert_eq!(k.syscall(pid, Syscall::Read(sr, 5)), Err(Errno::EBADF));
+        assert_eq!(k.syscall(pid, Syscall::Fstat(sr)), Err(Errno::EBADF));
+        assert_eq!(
+            k.syscall(pid, Syscall::Write(sw, b"zzz".to_vec())),
+            Err(Errno::EBADF)
+        );
+        // A stale write is EBADF, not EPIPE: no termination signal.
+        match k.syscall(pid, Syscall::SigPending).unwrap() {
+            SysRet::Signals(sigs) => assert!(sigs.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The new pipe is untouched by all of the above.
+        let d = k.syscall(pid, Syscall::Read(r2, 100)).unwrap();
+        assert_eq!(d.data(), b"fresh");
+    }
+
+    #[test]
+    fn concurrent_syscalls_across_shards_do_not_deadlock() {
+        use std::sync::Arc;
+        // Mixed cross-shard traffic on every thread: fork/exec/exit/wait
+        // (parent and child usually land in different process shards),
+        // renames between directories on different vfs shards, pipes.
+        // A lock-ordering violation shows up here as a deadlock (the
+        // test hangs) rather than a failed assertion.
+        let k = Arc::new(Kernel::with_shards(4));
+        let workers = 8;
+        let mut pids = Vec::new();
+        for i in 0..workers {
+            let dir = format!("/tmp/w{i}");
+            k.vfs().mkdir(k.vfs().root(), &dir, 0o777, &Cred::ROOT).unwrap();
+            pids.push(k.spawn(Cred::ROOT, &dir, "sh").unwrap());
+        }
+        let threads: Vec<_> = pids
+            .into_iter()
+            .enumerate()
+            .map(|(i, pid)| {
+                let k = Arc::clone(&k);
+                std::thread::spawn(move || {
+                    for round in 0..100 {
+                        let child = Pid(
+                            k.syscall_shared(pid, Syscall::Fork).unwrap().num() as u32
+                        );
+                        k.syscall_shared(child, Syscall::Exec("/bin/sh".into()))
+                            .unwrap();
+                        let f = format!("f{round}");
+                        let fd = k
+                            .syscall_shared(
+                                child,
+                                Syscall::Open(f.clone(), OpenFlags::rdwr_create(), 0o644),
+                            )
+                            .unwrap()
+                            .num() as usize;
+                        k.syscall_shared(child, Syscall::Write(fd, vec![b'x'; 64]))
+                            .unwrap();
+                        k.syscall_shared(child, Syscall::Close(fd)).unwrap();
+                        // Rename into the *next* worker's directory: the
+                        // source and destination parents live on
+                        // different vfs shards.
+                        let other = format!("/tmp/w{}/g{round}-{i}", (i + 1) % workers);
+                        k.syscall_shared(child, Syscall::Rename(f, other.clone()))
+                            .unwrap();
+                        k.syscall_shared(pid, Syscall::Unlink(other)).unwrap();
+                        let (rfd, wfd) =
+                            match k.syscall_shared(pid, Syscall::Pipe).unwrap() {
+                                SysRet::PipeFds(r, w) => (r, w),
+                                other => panic!("unexpected {other:?}"),
+                            };
+                        k.syscall_shared(pid, Syscall::Write(wfd, b"ping".to_vec()))
+                            .unwrap();
+                        assert_eq!(
+                            k.syscall_shared(pid, Syscall::Read(rfd, 4)).unwrap().data(),
+                            b"ping"
+                        );
+                        k.syscall_shared(pid, Syscall::Close(rfd)).unwrap();
+                        k.syscall_shared(pid, Syscall::Close(wfd)).unwrap();
+                        k.syscall_shared(child, Syscall::Exit(0)).unwrap();
+                        match k.syscall_shared(pid, Syscall::Wait) {
+                            Ok(SysRet::Reaped(c, 0)) => assert_eq!(c, child),
+                            other => panic!("unexpected wait result {other:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(k.pids().len(), workers + 1, "init + workers survive");
     }
 }

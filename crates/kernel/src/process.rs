@@ -170,6 +170,11 @@ pub enum FileBacking {
     Pipe {
         /// Index into the kernel's pipe table.
         id: usize,
+        /// Generation of the slot at open time. Slots are recycled after
+        /// both ends close; the kernel rejects any fd whose generation no
+        /// longer matches the slot's with `EBADF`, so a stale fd can
+        /// never alias a newer pipe that happens to reuse the same id.
+        gen: u64,
         /// Which end this fd holds.
         end: PipeEnd,
     },

@@ -69,8 +69,8 @@ impl IdentityMapper for GroupAccounts {
             .ok_or(MapError::NeedsAdministrator)?
             .to_string();
         let k = kernel.lock();
-        let acct = k
-            .accounts()
+        let accounts = k.accounts();
+        let acct = accounts
             .lookup(&account)
             .ok_or(MapError::NeedsAdministrator)?;
         Ok(Session {

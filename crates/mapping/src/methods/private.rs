@@ -55,8 +55,8 @@ impl IdentityMapper for PrivateAccounts {
             .cloned()
             .ok_or(MapError::NeedsAdministrator)?;
         let k = kernel.lock();
-        let acct = k
-            .accounts()
+        let accounts = k.accounts();
+        let acct = accounts
             .lookup(&account)
             .ok_or(MapError::NeedsAdministrator)?;
         Ok(Session {

@@ -44,8 +44,8 @@ impl IdentityMapper for SingleAccount {
         principal: &Principal,
     ) -> Result<Session, MapError> {
         let k = kernel.lock();
-        let acct = k
-            .accounts()
+        let accounts = k.accounts();
+        let acct = accounts
             .lookup(&self.account)
             .ok_or(MapError::NeedsAdministrator)?;
         Ok(Session {

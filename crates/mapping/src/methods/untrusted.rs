@@ -48,8 +48,8 @@ impl IdentityMapper for UntrustedAccount {
         principal: &Principal,
     ) -> Result<Session, MapError> {
         let k = kernel.lock();
-        let acct = k
-            .accounts()
+        let accounts = k.accounts();
+        let acct = accounts
             .lookup("nobody")
             .ok_or(MapError::NeedsAdministrator)?;
         Ok(Session {

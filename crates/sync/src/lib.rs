@@ -143,6 +143,158 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
     }
 }
 
+/// A fixed array of independently locked shards: the building block for
+/// the kernel's sharded domains (inode space, process table).
+///
+/// Keys are mapped to shards by `key % len`, so two keys in different
+/// shards never contend. The danger in any sharded design is lock
+/// ordering, and `ShardSet` centralizes the discipline:
+///
+/// 1. **One shard → one lock.** Operations touching a single shard use
+///    [`ShardSet::read`] / [`ShardSet::write`] and hold nothing else.
+/// 2. **Multiple shards → ascending index order.** Operations that must
+///    hold several shards at once ([`ShardSet::write_pair`],
+///    [`ShardSet::write_many`], [`ShardSet::write_all`],
+///    [`ShardSet::read_all`]) always acquire in ascending shard index,
+///    which makes a deadlock cycle between them impossible.
+/// 3. **Never hold shard guards from two different `ShardSet`s** (or
+///    other domain locks) at once; cross-domain work is sequenced as
+///    acquire → release → acquire.
+///
+/// Violating rule 2 by hand (e.g. taking `write(5)` and then `write(2)`)
+/// can deadlock against any multi-shard writer; that is why the batch
+/// acquisition helpers exist.
+pub struct ShardSet<T> {
+    shards: Box<[RwLock<T>]>,
+}
+
+impl<T> ShardSet<T> {
+    /// Build `n` shards (at least 1), each initialized by `init(i)`.
+    pub fn from_fn(n: usize, mut init: impl FnMut(usize) -> T) -> Self {
+        let n = n.max(1);
+        let shards: Vec<RwLock<T>> = (0..n).map(|i| RwLock::new(init(i))).collect();
+        ShardSet {
+            shards: shards.into_boxed_slice(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Always false: a `ShardSet` has at least one shard.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The shard index a key hashes to.
+    pub fn shard_of(&self, key: u64) -> usize {
+        (key % self.shards.len() as u64) as usize
+    }
+
+    /// Shared guard for one shard (rule 1: hold nothing else).
+    pub fn read(&self, idx: usize) -> RwLockReadGuard<'_, T> {
+        self.shards[idx].read()
+    }
+
+    /// Exclusive guard for one shard (rule 1: hold nothing else).
+    pub fn write(&self, idx: usize) -> RwLockWriteGuard<'_, T> {
+        self.shards[idx].write()
+    }
+
+    /// Exclusive guards for two shards, acquired in ascending index
+    /// order regardless of argument order. Returns `(guard_for_a,
+    /// guard_for_b)`; `b`'s slot is `None` when both indices name the
+    /// same shard (use `a`'s guard for both roles).
+    pub fn write_pair(
+        &self,
+        a: usize,
+        b: usize,
+    ) -> (RwLockWriteGuard<'_, T>, Option<RwLockWriteGuard<'_, T>>) {
+        if a == b {
+            (self.shards[a].write(), None)
+        } else if a < b {
+            let ga = self.shards[a].write();
+            let gb = self.shards[b].write();
+            (ga, Some(gb))
+        } else {
+            let gb = self.shards[b].write();
+            let ga = self.shards[a].write();
+            (ga, Some(gb))
+        }
+    }
+
+    /// Exclusive guards for an arbitrary shard set, acquired in
+    /// ascending index order. Duplicates are collapsed; the result is
+    /// addressed by shard index via [`ShardMultiGuard::get_mut`].
+    pub fn write_many(&self, idxs: &[usize]) -> ShardMultiGuard<'_, T> {
+        let mut order: Vec<usize> = idxs.to_vec();
+        order.sort_unstable();
+        order.dedup();
+        let guards = order
+            .into_iter()
+            .map(|i| (i, self.shards[i].write()))
+            .collect();
+        ShardMultiGuard { guards }
+    }
+
+    /// Exclusive guards for every shard, ascending.
+    pub fn write_all(&self) -> Vec<RwLockWriteGuard<'_, T>> {
+        self.shards.iter().map(|s| s.write()).collect()
+    }
+
+    /// Shared guards for every shard, ascending. Used for consistent
+    /// whole-structure snapshots (e.g. `Clone`).
+    pub fn read_all(&self) -> Vec<RwLockReadGuard<'_, T>> {
+        self.shards.iter().map(|s| s.read()).collect()
+    }
+
+    /// Lock-free access to every shard (requires exclusive ownership).
+    pub fn get_mut_all(&mut self) -> Vec<&mut T> {
+        self.shards.iter_mut().map(|s| s.get_mut()).collect()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ShardSet<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ShardSet({} shards)", self.shards.len())
+    }
+}
+
+/// Guards held by [`ShardSet::write_many`], addressable by shard index.
+pub struct ShardMultiGuard<'a, T> {
+    guards: Vec<(usize, RwLockWriteGuard<'a, T>)>,
+}
+
+impl<T> ShardMultiGuard<'_, T> {
+    /// Exclusive access to the shard locked under `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` was not part of the `write_many` request.
+    pub fn get_mut(&mut self, idx: usize) -> &mut T {
+        let pos = self
+            .guards
+            .iter()
+            .position(|(i, _)| *i == idx)
+            .expect("shard index not covered by write_many");
+        &mut self.guards[pos].1
+    }
+
+    /// Shared access to the shard locked under `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` was not part of the `write_many` request.
+    pub fn get(&self, idx: usize) -> &T {
+        let pos = self
+            .guards
+            .iter()
+            .position(|(i, _)| *i == idx)
+            .expect("shard index not covered by write_many");
+        &self.guards[pos].1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,4 +336,75 @@ mod tests {
         assert_eq!(*m.lock(), 1);
     }
 
+    #[test]
+    fn shard_set_routes_keys() {
+        let s: ShardSet<u64> = ShardSet::from_fn(4, |i| i as u64);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.shard_of(0), 0);
+        assert_eq!(s.shard_of(7), 3);
+        assert_eq!(*s.read(s.shard_of(6)), 2);
+        *s.write(1) += 10;
+        assert_eq!(*s.read(1), 11);
+    }
+
+    #[test]
+    fn shard_set_clamps_to_one() {
+        let s: ShardSet<u32> = ShardSet::from_fn(0, |_| 9);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.shard_of(12345), 0);
+    }
+
+    #[test]
+    fn write_pair_handles_order_and_aliasing() {
+        let s: ShardSet<u32> = ShardSet::from_fn(4, |_| 0);
+        // Descending request still returns (guard_for_a, guard_for_b).
+        {
+            let (mut ga, gb) = s.write_pair(3, 1);
+            *ga = 3;
+            *gb.expect("distinct shards") = 1;
+        }
+        assert_eq!(*s.read(3), 3);
+        assert_eq!(*s.read(1), 1);
+        // Same shard twice: a single guard.
+        let (mut ga, gb) = s.write_pair(2, 2);
+        assert!(gb.is_none());
+        *ga = 2;
+    }
+
+    #[test]
+    fn write_many_dedups_and_addresses_by_index() {
+        let s: ShardSet<u32> = ShardSet::from_fn(8, |_| 0);
+        let mut g = s.write_many(&[5, 2, 5, 7]);
+        *g.get_mut(5) += 1;
+        *g.get_mut(2) += 2;
+        *g.get_mut(7) += 3;
+        assert_eq!(*g.get(5), 1);
+        drop(g);
+        assert_eq!(*s.read(2), 2);
+    }
+
+    #[test]
+    fn concurrent_pair_writers_do_not_deadlock() {
+        // Opposite-order pair requests from many threads: ascending
+        // acquisition must prevent the classic AB/BA deadlock.
+        let s: Arc<ShardSet<u64>> = Arc::new(ShardSet::from_fn(2, |_| 0));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let (a, b) = if t % 2 == 0 { (0, 1) } else { (1, 0) };
+                        let (mut ga, gb) = s.write_pair(a, b);
+                        *ga += 1;
+                        *gb.unwrap() += 1;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*s.read(0) + *s.read(1), 2 * 8 * 200);
+    }
 }

@@ -1,13 +1,53 @@
 //! The filesystem proper.
+//!
+//! The inode space is *sharded*: inodes are distributed over a fixed set
+//! of independently locked shards (`shard = ino % N`), so operations on
+//! unrelated files never contend. Every operation takes `&self`; the
+//! shard locks below, not an exclusive borrow of the whole filesystem,
+//! provide mutual exclusion. Mutating operations follow a uniform
+//! two-phase pattern:
+//!
+//! 1. **Phase 1 (no locks held):** resolve paths and run every check in
+//!    the same order as the original single-lock implementation, using
+//!    transient per-shard read locks. Errors produced here are
+//!    authoritative.
+//! 2. **Phase 2 (shard write locks, ascending):** lock the affected
+//!    shard(s), re-validate exactly the predicates phase 1 established,
+//!    and apply the mutation. If anything changed in between, drop the
+//!    locks and retry from phase 1.
+//!
+//! Single-threaded, re-validation can never fail, so the observable
+//! behaviour (results, errnos, timestamps, inode-number allocation
+//! order) is identical to the single-lock implementation — the
+//! equivalence property suite in the kernel crate checks this against
+//! generated operation sequences.
+//!
+//! Two invariants make the short re-validation sound:
+//!
+//! * **Kind stability:** a live inode (reachable from any directory
+//!   entry, hence `nlink >= 1`) never changes kind. A phase-1 kind check
+//!   survives to phase 2 as long as the *entry identity* (`name -> ino`)
+//!   still holds — unless the inode was freed and its number recycled,
+//!   which phase 2 re-checks explicitly.
+//! * **Deferred frees:** inode storage is freed only when `nlink == 0`
+//!   and no pins remain, so an inode referenced by a directory entry (or
+//!   an owed link-count decrement) cannot vanish mid-operation.
+//!
+//! Lock ordering follows the `ShardSet` discipline: one shard → one
+//! lock; multiple shards → ascending index via the batch helpers; the
+//! inode-number allocator is a leaf mutex that may be taken under shard
+//! locks but never the reverse; and `rename` additionally serializes
+//! against other renames with an outermost mutex so its ancestry check
+//! (`is_same_or_ancestor`) stays stable while it works.
 
 use crate::inode::{Inode, Payload};
 use crate::path::{self, NAME_MAX, PATH_MAX};
 use crate::{Access, FileKind, Ino, StatBuf};
 use idbox_types::{Errno, SysResult};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock, RwLockWriteGuard, ShardSet};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Credentials used for Unix permission checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,37 +82,54 @@ pub struct DirEntry {
 /// Maximum symlink traversals in one resolution (Linux uses 40).
 const SYMLOOP_MAX: u32 = 40;
 
-/// Bound on cached dentries. On overflow the whole cache is dropped and
-/// rebuilt — stale-generation leftovers go with it, so the map never
-/// grows past this many entries.
+/// Bound on cached dentries across the whole filesystem; each shard's
+/// cache gets an equal slice (at least 64 entries). On overflow a
+/// shard's cache is dropped and rebuilt — stale-generation leftovers go
+/// with it, so no per-shard map grows past its slice.
 const DENTRY_CACHE_CAP: usize = 8192;
 
-/// A bounded positive+negative directory-entry cache.
+/// Default shard count, overridable via `IDBOX_VFS_SHARDS` (clamped to
+/// 1..=1024). Read once; every `Vfs::new` in the process sees the same
+/// value.
+fn default_shard_count() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("IDBOX_VFS_SHARDS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .map_or(16, |n| n.clamp(1, 1024))
+    })
+}
+
+/// A bounded positive+negative directory-entry cache for one shard.
 ///
-/// One entry memoizes `dir_entries(dir).get(name)`: the inode a name
-/// binds to in a directory, or the fact that the name is absent
-/// (`None`, a negative entry). Every entry is stamped with the
-/// filesystem change generation current at insert time and honoured
-/// only while that generation still is: every mutating operation bumps
-/// the generation through [`Vfs::tick`], so no hit can survive a
-/// rename/unlink/link/symlink/mkdir/create — or any other change —
-/// that could alter the answer. Only the map lookup itself is
-/// short-circuited; directory-kind checks, permission checks, and
-/// symlink traversal still run on every resolution, which is what keeps
-/// the cached walk provably identical to the uncached one (property
-/// tested in `tests/props.rs`).
+/// One entry memoizes `entries(dir).get(name)`: the inode a name binds
+/// to in a directory, or the fact that the name is absent (`None`, a
+/// negative entry). Every entry is stamped with the shard's change
+/// generation, captured by the caller *while holding the shard's read
+/// lock*, and honoured only while that generation is still current.
+/// Writers mutate directory entries and bump the generation while
+/// holding the shard's write lock, so a captured stamp is consistent
+/// with the entries it was read from: any entry inserted with a stamp
+/// that a concurrent writer overtook is simply never served. Only the
+/// map lookup itself is short-circuited; directory-kind checks,
+/// permission checks, and symlink traversal still run on every
+/// resolution, which is what keeps the cached walk provably identical
+/// to the uncached one (property tested in `tests/props.rs`).
 ///
-/// The cache sits behind its own small `RwLock`: resolution takes
-/// `&self` (the kernel dispatches read-only syscalls under a shared
-/// lock), so hits are a read-lock plus two `HashMap` probes and fills
-/// are a short write-lock. Entries are keyed per directory so hit-path
-/// probes borrow the component name instead of allocating a `String`.
+/// Unlike the old whole-filesystem cache, content writes (`write_at`,
+/// `truncate`) and metadata changes (`chmod`, `chown`) do not
+/// invalidate dentries: name → inode bindings are credential- and
+/// content-independent, and permission checks always re-run against
+/// live inode metadata.
 #[derive(Debug)]
 struct DentryCache {
-    /// Change generation: bumped by every mutating vfs operation. Also
-    /// the validity key for caches *outside* the vfs (the identity
-    /// box's ACL caches), exposed via [`Vfs::change_generation`].
+    /// Per-shard change generation: bumped (under the shard's write
+    /// lock) by every operation that changes directory entries in this
+    /// shard or frees one of its inodes.
     generation: AtomicU64,
+    /// Entry bound for this shard's map.
+    cap: usize,
     map: RwLock<DentryMap>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -85,19 +142,19 @@ struct DentryMap {
 }
 
 impl DentryCache {
-    fn new() -> Self {
+    fn new(cap: usize) -> Self {
         DentryCache {
             generation: AtomicU64::new(0),
+            cap,
             map: RwLock::new(DentryMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    /// Invalidate every cached entry by advancing the generation.
-    /// Mutations run under `&mut Vfs` (the kernel's exclusive lock), so
-    /// readers are ordered against this bump by the outer lock; the
-    /// atomic only needs to be a shared counter, not a fence.
+    /// Invalidate every cached entry by advancing the generation. Called
+    /// while holding the owning shard's write lock, which orders the
+    /// bump against concurrent readers' generation captures.
     fn bump(&self) {
         self.generation.fetch_add(1, Ordering::Relaxed);
     }
@@ -129,10 +186,13 @@ impl DentryCache {
         }
     }
 
-    fn insert(&self, dir: Ino, name: &str, slot: Option<Ino>) {
-        let gen = self.generation();
+    /// Insert a memoized answer stamped with `gen` — the generation the
+    /// caller captured under the shard read lock when it read the
+    /// directory. Inserting with an overtaken stamp is harmless: the
+    /// entry is never served.
+    fn insert(&self, dir: Ino, name: &str, slot: Option<Ino>, gen: u64) {
         let mut map = self.map.write();
-        if map.len >= DENTRY_CACHE_CAP {
+        if map.len >= self.cap {
             map.by_dir.clear();
             map.len = 0;
         }
@@ -151,6 +211,10 @@ impl DentryCache {
         map.by_dir.clear();
         map.len = 0;
     }
+
+    fn len(&self) -> usize {
+        self.map.read().len
+    }
 }
 
 /// A clone starts cold: the cache is a pure accelerator, so a cloned
@@ -159,6 +223,7 @@ impl Clone for DentryCache {
     fn clone(&self) -> Self {
         DentryCache {
             generation: AtomicU64::new(self.generation()),
+            cap: self.cap,
             map: RwLock::new(DentryMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -195,18 +260,84 @@ impl std::fmt::Debug for FaultHook {
     }
 }
 
+/// One shard's inodes, keyed by raw inode number.
+type ShardMap = HashMap<u64, Inode>;
+
+/// Inode-number allocator state, behind a leaf mutex.
+#[derive(Debug, Clone)]
+struct AllocState {
+    /// Next never-used inode number (the root is 1, so files start at 2).
+    next: u64,
+    /// Freed numbers, reused LIFO — the same allocation order the
+    /// single-lock implementation had (`inode_recycling` relies on it).
+    free: Vec<u64>,
+}
+
+/// Write guards for one or two shards, addressable by shard index.
+/// Acquired through `ShardSet::write_pair`, so the underlying locks are
+/// always taken in ascending order.
+struct PairGuard<'a> {
+    sa: usize,
+    ga: RwLockWriteGuard<'a, ShardMap>,
+    gb: Option<RwLockWriteGuard<'a, ShardMap>>,
+}
+
+impl<'a> PairGuard<'a> {
+    fn lock(shards: &'a ShardSet<ShardMap>, sa: usize, sb: usize) -> Self {
+        let (ga, gb) = shards.write_pair(sa, sb);
+        PairGuard { sa, ga, gb }
+    }
+
+    fn map(&mut self, s: usize) -> &mut ShardMap {
+        if s == self.sa {
+            &mut self.ga
+        } else {
+            self.gb
+                .as_deref_mut()
+                .expect("shard index not locked by this pair")
+        }
+    }
+
+    fn map_ref(&self, s: usize) -> &ShardMap {
+        if s == self.sa {
+            &self.ga
+        } else {
+            self.gb
+                .as_deref()
+                .expect("shard index not locked by this pair")
+        }
+    }
+}
+
 /// The in-memory filesystem.
 ///
 /// All operations take a *start directory* (the caller's cwd) and a path;
 /// absolute paths ignore the start. Permission checks follow Unix rules
 /// against the supplied [`Cred`]; uid 0 bypasses them.
-#[derive(Debug, Clone)]
+///
+/// Internally the inode space is sharded (see the module docs): all
+/// operations, including mutations, take `&self` and synchronize on
+/// per-shard locks, so callers touching disjoint files proceed in
+/// parallel.
 pub struct Vfs {
-    inodes: Vec<Option<Inode>>,
-    free: Vec<u64>,
-    clock: u64,
+    /// Inodes, distributed by `ino % shard_count`.
+    shards: ShardSet<ShardMap>,
+    /// One dentry cache per shard, parallel to `shards`; the cache at
+    /// index `i` holds entries for directories living in shard `i`.
+    dcaches: Box<[DentryCache]>,
+    /// Inode-number allocator. Leaf lock: may be taken while holding
+    /// shard write locks, never the other way around.
+    alloc: Mutex<AllocState>,
+    /// Logical clock; every mutation advances it by one.
+    clock: AtomicU64,
+    /// Global change generation for caches *outside* the vfs (the
+    /// identity box's ACL caches); bumped by every mutation.
+    change_gen: AtomicU64,
     root: Ino,
-    dcache: DentryCache,
+    /// Outermost lock taken only by `rename`, keeping its ancestry walk
+    /// stable against concurrent renames. Ordered before all shard
+    /// locks.
+    rename_lock: Mutex<()>,
     dcache_enabled: bool,
     fault_hook: Option<FaultHook>,
 }
@@ -217,33 +348,88 @@ impl Default for Vfs {
     }
 }
 
+impl std::fmt::Debug for Vfs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Vfs({} shards, root {})", self.shards.len(), self.root)
+    }
+}
+
+/// A clone takes a consistent snapshot: every shard read lock
+/// (ascending) plus the allocator, so no mutation interleaves mid-copy.
+/// The dentry caches come back cold (same generations, no entries).
+impl Clone for Vfs {
+    fn clone(&self) -> Self {
+        let guards = self.shards.read_all();
+        let alloc = self.alloc.lock();
+        let mut maps: Vec<ShardMap> = guards.iter().map(|g| (**g).clone()).collect();
+        let shards = ShardSet::from_fn(maps.len(), |i| std::mem::take(&mut maps[i]));
+        Vfs {
+            shards,
+            dcaches: self
+                .dcaches
+                .iter()
+                .map(DentryCache::clone)
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            alloc: Mutex::new(alloc.clone()),
+            clock: AtomicU64::new(self.clock.load(Ordering::Relaxed)),
+            change_gen: AtomicU64::new(self.change_gen.load(Ordering::Relaxed)),
+            root: self.root,
+            rename_lock: Mutex::new(()),
+            dcache_enabled: self.dcache_enabled,
+            fault_hook: self.fault_hook.clone(),
+        }
+    }
+}
+
 impl Vfs {
     /// A fresh filesystem containing only a root directory owned by root
-    /// with mode `0o755`.
+    /// with mode `0o755`, with the default shard count (overridable via
+    /// the `IDBOX_VFS_SHARDS` environment variable).
     pub fn new() -> Self {
-        let mut vfs = Vfs {
-            inodes: vec![None],
-            free: Vec::new(),
-            clock: 0,
+        Vfs::with_shards(default_shard_count())
+    }
+
+    /// A fresh filesystem with an explicit shard count (clamped to
+    /// 1..=1024). A count of 1 degenerates to the old single-lock
+    /// behaviour and is what the equivalence suite compares against.
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.clamp(1, 1024);
+        let vfs = Vfs {
+            shards: ShardSet::from_fn(n, |_| ShardMap::new()),
+            dcaches: (0..n)
+                .map(|_| DentryCache::new((DENTRY_CACHE_CAP / n).max(64)))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            alloc: Mutex::new(AllocState {
+                next: 2,
+                free: Vec::new(),
+            }),
+            clock: AtomicU64::new(0),
+            change_gen: AtomicU64::new(0),
             root: Ino(1),
-            dcache: DentryCache::new(),
+            rename_lock: Mutex::new(()),
             dcache_enabled: true,
             fault_hook: None,
         };
         let mut entries = BTreeMap::new();
         entries.insert(".".to_string(), Ino(1));
         entries.insert("..".to_string(), Ino(1));
-        vfs.inodes.push(Some(Inode {
-            payload: Payload::Dir(entries),
-            mode: 0o755,
-            uid: 0,
-            gid: 0,
-            nlink: 2,
-            pins: 0,
-            atime: 0,
-            mtime: 0,
-            ctime: 0,
-        }));
+        let si = vfs.shards.shard_of(1);
+        vfs.shards.write(si).insert(
+            1,
+            Inode {
+                payload: Payload::Dir(entries),
+                mode: 0o755,
+                uid: 0,
+                gid: 0,
+                nlink: 2,
+                pins: 0,
+                atime: 0,
+                mtime: 0,
+                ctime: 0,
+            },
+        );
         vfs
     }
 
@@ -252,34 +438,48 @@ impl Vfs {
         self.root
     }
 
+    /// Number of inode shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Advance and return the logical clock. Every mutating operation
-    /// passes through here, so this is also where the change generation
-    /// is bumped: after any write — namespace or content — every cached
-    /// dentry (and every generation-keyed cache outside the vfs) is
-    /// stale. Content writes over-invalidate the dentry cache, but they
-    /// are exactly what the ACL caches must observe (`.__acl` bytes
-    /// change without any namespace event), and one coarse generation
-    /// keeps both provably safe.
-    fn tick(&mut self) -> u64 {
-        self.dcache.bump();
-        self.clock += 1;
-        self.clock
+    /// passes through here, so this is also where the global change
+    /// generation is bumped: after any write — namespace or content —
+    /// every generation-keyed cache outside the vfs is stale. The
+    /// per-shard dentry caches are *not* invalidated here; namespace
+    /// mutations bump their own shard's cache under that shard's write
+    /// lock, and content writes leave dentries alone (they cannot change
+    /// a name → inode binding).
+    fn tick(&self) -> u64 {
+        self.change_gen.fetch_add(1, Ordering::Relaxed);
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// The filesystem change generation: a counter bumped by every
     /// mutating operation. Caches keyed by `(generation, ...)` — the
-    /// dentry cache here, the identity box's ACL caches above — are
-    /// automatically invalidated by any change that could affect them.
+    /// identity box's ACL caches above — are automatically invalidated
+    /// by any change that could affect them.
     pub fn change_generation(&self) -> u64 {
-        self.dcache.generation()
+        self.change_gen.load(Ordering::Relaxed)
     }
 
-    /// Dentry-cache counters: `(hits, misses)` since creation.
+    /// Dentry-cache counters: `(hits, misses)` since creation, summed
+    /// over every shard.
     pub fn dentry_stats(&self) -> (u64, u64) {
-        (
-            self.dcache.hits.load(Ordering::Relaxed),
-            self.dcache.misses.load(Ordering::Relaxed),
-        )
+        let mut hits = 0;
+        let mut misses = 0;
+        for c in &*self.dcaches {
+            hits += c.hits.load(Ordering::Relaxed);
+            misses += c.misses.load(Ordering::Relaxed);
+        }
+        (hits, misses)
+    }
+
+    /// Total number of cached dentries across all shards (for tests and
+    /// invariant checks).
+    pub fn dcache_len(&self) -> usize {
+        self.dcaches.iter().map(DentryCache::len).sum()
     }
 
     /// Enable or disable the dentry cache (on by default; the ablation
@@ -288,7 +488,9 @@ impl Vfs {
     pub fn set_dentry_cache(&mut self, enabled: bool) {
         self.dcache_enabled = enabled;
         if !enabled {
-            self.dcache.clear();
+            for c in &*self.dcaches {
+                c.clear();
+            }
         }
     }
 
@@ -300,90 +502,135 @@ impl Vfs {
 
     /// Number of live inodes (for tests and invariant checks).
     pub fn live_inodes(&self) -> usize {
-        self.inodes.iter().filter(|i| i.is_some()).count()
+        (0..self.shards.len())
+            .map(|i| self.shards.read(i).len())
+            .sum()
     }
 
     // ------------------------------------------------------------------
     // Inode plumbing
     // ------------------------------------------------------------------
 
-    fn get(&self, ino: Ino) -> SysResult<&Inode> {
-        self.inodes
-            .get(ino.0 as usize)
-            .and_then(|i| i.as_ref())
-            .ok_or(Errno::ENOENT)
+    /// Run `f` against the inode under its shard's read lock. The caller
+    /// must not already hold that shard's lock.
+    fn with_inode<R>(&self, ino: Ino, f: impl FnOnce(&Inode) -> R) -> SysResult<R> {
+        let g = self.shards.read(self.shards.shard_of(ino.0));
+        g.get(&ino.0).map(f).ok_or(Errno::ENOENT)
     }
 
-    fn get_mut(&mut self, ino: Ino) -> SysResult<&mut Inode> {
-        self.inodes
-            .get_mut(ino.0 as usize)
-            .and_then(|i| i.as_mut())
-            .ok_or(Errno::ENOENT)
+    /// [`Vfs::with_inode`] for closures that themselves return a result.
+    fn try_with_inode<R>(&self, ino: Ino, f: impl FnOnce(&Inode) -> SysResult<R>) -> SysResult<R> {
+        self.with_inode(ino, f).and_then(|r| r)
     }
 
-    fn alloc(&mut self, inode: Inode) -> Ino {
-        if let Some(idx) = self.free.pop() {
-            self.inodes[idx as usize] = Some(inode);
-            Ino(idx)
-        } else {
-            self.inodes.push(Some(inode));
-            Ino(self.inodes.len() as u64 - 1)
+    fn kind(&self, ino: Ino) -> SysResult<FileKind> {
+        self.with_inode(ino, |i| i.payload.kind())
+    }
+
+    /// The symlink target, or `None` when the inode is not a symlink.
+    fn symlink_target(&self, ino: Ino) -> SysResult<Option<String>> {
+        self.with_inode(ino, |i| match &i.payload {
+            Payload::Symlink(t) => Some(t.clone()),
+            _ => None,
+        })
+    }
+
+    /// Uncached directory-entry probe: `entries(dir).get(name)`.
+    fn entry_get(&self, dir: Ino, name: &str) -> SysResult<Option<Ino>> {
+        self.try_with_inode(dir, |i| match &i.payload {
+            Payload::Dir(e) => Ok(e.get(name).copied()),
+            _ => Err(Errno::ENOTDIR),
+        })
+    }
+
+    /// Does the directory hold any entry besides `.` and `..`?
+    fn dir_has_real_entries(&self, dir: Ino) -> SysResult<bool> {
+        self.try_with_inode(dir, |i| match &i.payload {
+            Payload::Dir(e) => Ok(e.keys().any(|k| k != "." && k != "..")),
+            _ => Err(Errno::ENOTDIR),
+        })
+    }
+
+    /// Reserve an inode number. The number is not visible anywhere until
+    /// the caller installs an inode under it; on failure the caller must
+    /// return it via [`Vfs::unreserve_ino`].
+    fn reserve_ino(&self) -> Ino {
+        let mut a = self.alloc.lock();
+        match a.free.pop() {
+            Some(n) => Ino(n),
+            None => {
+                let n = a.next;
+                a.next += 1;
+                Ino(n)
+            }
         }
     }
 
-    /// Free the inode's storage if it has no links and no pins.
-    fn maybe_free(&mut self, ino: Ino) {
-        if let Ok(inode) = self.get(ino) {
+    /// Return a reserved-but-unused inode number to the free list.
+    fn unreserve_ino(&self, ino: Ino) {
+        self.alloc.lock().free.push(ino.0);
+    }
+
+    /// Free the inode's storage if it has no links and no pins. Runs
+    /// under the shard's write lock (`map` is that shard's map); bumps
+    /// the shard's dentry generation on an actual free so no stale
+    /// dentry can survive the number being recycled.
+    fn maybe_free_locked(&self, si: usize, map: &mut ShardMap, ino: Ino) {
+        if let Some(inode) = map.get(&ino.0) {
             if inode.nlink == 0 && inode.pins == 0 {
-                self.inodes[ino.0 as usize] = None;
-                self.free.push(ino.0);
+                map.remove(&ino.0);
+                self.alloc.lock().free.push(ino.0);
+                self.dcaches[si].bump();
             }
         }
     }
 
     /// Pin an inode (an open file descriptor references it); pinned
     /// inodes survive `unlink` until unpinned.
-    pub fn pin(&mut self, ino: Ino) -> SysResult<()> {
-        self.get_mut(ino)?.pins += 1;
+    pub fn pin(&self, ino: Ino) -> SysResult<()> {
+        let si = self.shards.shard_of(ino.0);
+        let mut g = self.shards.write(si);
+        g.get_mut(&ino.0).ok_or(Errno::ENOENT)?.pins += 1;
         Ok(())
     }
 
     /// Drop a pin; frees the inode if it is fully unlinked.
-    pub fn unpin(&mut self, ino: Ino) -> SysResult<()> {
-        let inode = self.get_mut(ino)?;
+    pub fn unpin(&self, ino: Ino) -> SysResult<()> {
+        let si = self.shards.shard_of(ino.0);
+        let mut g = self.shards.write(si);
+        let inode = g.get_mut(&ino.0).ok_or(Errno::ENOENT)?;
         inode.pins = inode.pins.saturating_sub(1);
-        self.maybe_free(ino);
+        self.maybe_free_locked(si, &mut g, ino);
         Ok(())
     }
 
-    fn dir_entries(&self, ino: Ino) -> SysResult<&BTreeMap<String, Ino>> {
-        match &self.get(ino)?.payload {
-            Payload::Dir(entries) => Ok(entries),
-            _ => Err(Errno::ENOTDIR),
-        }
-    }
-
-    fn dir_entries_mut(&mut self, ino: Ino) -> SysResult<&mut BTreeMap<String, Ino>> {
-        match &mut self.get_mut(ino)?.payload {
-            Payload::Dir(entries) => Ok(entries),
-            _ => Err(Errno::ENOTDIR),
-        }
-    }
-
     /// One directory-entry lookup, through the dentry cache: exactly
-    /// `self.dir_entries(dir)?.get(name).copied()`, memoized. `None`
-    /// means the name is absent (negative entries are cached too). The
-    /// answer is credential-independent — callers perform their own
-    /// kind and permission checks, cached or not.
+    /// `entries(dir).get(name)`, memoized. `None` means the name is
+    /// absent (negative entries are cached too). The answer is
+    /// credential-independent — callers perform their own kind and
+    /// permission checks, cached or not.
     fn lookup_entry(&self, dir: Ino, name: &str) -> SysResult<Option<Ino>> {
         if !self.dcache_enabled {
-            return Ok(self.dir_entries(dir)?.get(name).copied());
+            return self.entry_get(dir, name);
         }
-        if let Some(slot) = self.dcache.lookup(dir, name) {
+        let si = self.shards.shard_of(dir.0);
+        let dc = &self.dcaches[si];
+        if let Some(slot) = dc.lookup(dir, name) {
             return Ok(slot);
         }
-        let slot = self.dir_entries(dir)?.get(name).copied();
-        self.dcache.insert(dir, name, slot);
+        // Miss: read the directory and capture the shard generation
+        // under the same read lock, so the stamp is consistent with the
+        // answer (writers bump it only under the write lock).
+        let (gen, slot) = {
+            let g = self.shards.read(si);
+            let gen = dc.generation();
+            let slot = match &g.get(&dir.0).ok_or(Errno::ENOENT)?.payload {
+                Payload::Dir(e) => e.get(name).copied(),
+                _ => return Err(Errno::ENOTDIR),
+            };
+            (gen, slot)
+        };
+        dc.insert(dir, name, slot, gen);
         Ok(slot)
     }
 
@@ -391,9 +638,10 @@ impl Vfs {
     // Permission checks
     // ------------------------------------------------------------------
 
-    /// Unix permission check on one inode.
-    pub fn check_access(&self, ino: Ino, cred: &Cred, want: Access) -> SysResult<()> {
-        let inode = self.get(ino)?;
+    /// The Unix triad check against an already-fetched inode; used both
+    /// by the public [`Vfs::check_access`] and by phase-2 re-validation
+    /// that already holds a shard guard.
+    fn access_ok(inode: &Inode, cred: &Cred, want: Access) -> SysResult<()> {
         if cred.uid == 0 {
             return Ok(());
         }
@@ -408,6 +656,28 @@ impl Vfs {
             Ok(())
         } else {
             Err(Errno::EACCES)
+        }
+    }
+
+    /// Unix permission check on one inode.
+    pub fn check_access(&self, ino: Ino, cred: &Cred, want: Access) -> SysResult<()> {
+        self.try_with_inode(ino, |i| Self::access_ok(i, cred, want))
+    }
+
+    /// Phase-2 helper: under the shard write lock, is `dir` still a
+    /// directory the caller may write+search? Returns its entries.
+    fn revalidate_dir<'m>(
+        map: &'m ShardMap,
+        dir: Ino,
+        cred: &Cred,
+    ) -> Option<&'m BTreeMap<String, Ino>> {
+        let inode = map.get(&dir.0)?;
+        if Self::access_ok(inode, cred, Access::W.and(Access::X)).is_err() {
+            return None;
+        }
+        match &inode.payload {
+            Payload::Dir(entries) => Some(entries),
+            _ => None,
         }
     }
 
@@ -426,13 +696,7 @@ impl Vfs {
     /// component when `follow_last`). `start` is the directory for
     /// relative paths. Traversal requires search (`x`) permission on every
     /// directory walked.
-    pub fn resolve(
-        &self,
-        start: Ino,
-        p: &str,
-        follow_last: bool,
-        cred: &Cred,
-    ) -> SysResult<Ino> {
+    pub fn resolve(&self, start: Ino, p: &str, follow_last: bool, cred: &Cred) -> SysResult<Ino> {
         Self::check_path(p)?;
         let mut budget = SYMLOOP_MAX;
         self.resolve_inner(start, p, follow_last, cred, &mut budget)
@@ -457,19 +721,18 @@ impl Vfs {
                 return Err(Errno::ENAMETOOLONG);
             }
             // Traversal requires the current node to be a searchable dir.
-            if self.get(cur)?.payload.kind() != FileKind::Dir {
+            if self.kind(cur)? != FileKind::Dir {
                 return Err(Errno::ENOTDIR);
             }
             self.check_access(cur, cred, Access::X)?;
             let next = self.lookup_entry(cur, &comp)?.ok_or(Errno::ENOENT)?;
             let is_last = i == work.len();
-            if let Payload::Symlink(target) = &self.get(next)?.payload {
+            if let Some(target) = self.symlink_target(next)? {
                 if !is_last || follow_last {
                     if *budget == 0 {
                         return Err(Errno::ELOOP);
                     }
                     *budget -= 1;
-                    let target = target.clone();
                     // Splice the target's components in place of the link.
                     let mut rest: Vec<String> =
                         path::components(&target).map(str::to_string).collect();
@@ -490,19 +753,14 @@ impl Vfs {
     /// Resolve everything but the final component (following symlinks),
     /// returning the parent directory and the final name. Fails with
     /// `EINVAL` when the path names the root.
-    pub fn resolve_parent(
-        &self,
-        start: Ino,
-        p: &str,
-        cred: &Cred,
-    ) -> SysResult<(Ino, String)> {
+    pub fn resolve_parent(&self, start: Ino, p: &str, cred: &Cred) -> SysResult<(Ino, String)> {
         Self::check_path(p)?;
         let (parent, name) = path::split_parent(p).ok_or(Errno::EINVAL)?;
         if name.len() > NAME_MAX {
             return Err(Errno::ENAMETOOLONG);
         }
         let dir = self.resolve(start, parent, true, cred)?;
-        if self.get(dir)?.payload.kind() != FileKind::Dir {
+        if self.kind(dir)? != FileKind::Dir {
             return Err(Errno::ENOTDIR);
         }
         Ok((dir, name.to_string()))
@@ -539,12 +797,12 @@ impl Vfs {
             match self.lookup_entry(dir, &name)? {
                 None => return Ok((dir, name, None)),
                 Some(ino) => {
-                    if let Payload::Symlink(target) = &self.get(ino)?.payload {
+                    if let Some(target) = self.symlink_target(ino)? {
                         if budget == 0 {
                             return Err(Errno::ELOOP);
                         }
                         budget -= 1;
-                        cur_path = target.clone();
+                        cur_path = target;
                         cur_start = dir;
                         continue;
                     }
@@ -559,50 +817,64 @@ impl Vfs {
     // ------------------------------------------------------------------
 
     /// Create a regular file. Fails with `EEXIST` when the name is taken.
-    pub fn create(
-        &mut self,
-        start: Ino,
-        p: &str,
-        mode: u16,
-        cred: &Cred,
-    ) -> SysResult<Ino> {
-        let (dir, name) = self.resolve_parent(start, p, cred)?;
-        if name == "." || name == ".." {
-            return Err(Errno::EEXIST);
+    pub fn create(&self, start: Ino, p: &str, mode: u16, cred: &Cred) -> SysResult<Ino> {
+        loop {
+            let (dir, name) = self.resolve_parent(start, p, cred)?;
+            if name == "." || name == ".." {
+                return Err(Errno::EEXIST);
+            }
+            self.check_access(dir, cred, Access::W.and(Access::X))?;
+            if self.entry_get(dir, &name)?.is_some() {
+                return Err(Errno::EEXIST);
+            }
+            let ino = self.reserve_ino();
+            let sd = self.shards.shard_of(dir.0);
+            let sc = self.shards.shard_of(ino.0);
+            {
+                let mut pair = PairGuard::lock(&self.shards, sd, sc);
+                let ok = Self::revalidate_dir(pair.map_ref(sd), dir, cred)
+                    .is_some_and(|e| !e.contains_key(&name));
+                if ok {
+                    let now = self.tick();
+                    pair.map(sc).insert(
+                        ino.0,
+                        Inode {
+                            payload: Payload::File(Vec::new()),
+                            mode: mode & 0o7777,
+                            uid: cred.uid,
+                            gid: cred.gid,
+                            nlink: 1,
+                            pins: 0,
+                            atime: now,
+                            mtime: now,
+                            ctime: now,
+                        },
+                    );
+                    let dinode = pair.map(sd).get_mut(&dir.0).expect("revalidated");
+                    dinode.mtime = now;
+                    if let Payload::Dir(entries) = &mut dinode.payload {
+                        entries.insert(name, ino);
+                    }
+                    self.dcaches[sd].bump();
+                    return Ok(ino);
+                }
+            }
+            self.unreserve_ino(ino);
         }
-        self.check_access(dir, cred, Access::W.and(Access::X))?;
-        if self.dir_entries(dir)?.contains_key(&name) {
-            return Err(Errno::EEXIST);
-        }
-        let now = self.tick();
-        let ino = self.alloc(Inode {
-            payload: Payload::File(Vec::new()),
-            mode: mode & 0o7777,
-            uid: cred.uid,
-            gid: cred.gid,
-            nlink: 1,
-            pins: 0,
-            atime: now,
-            mtime: now,
-            ctime: now,
-        });
-        self.dir_entries_mut(dir)?.insert(name, ino);
-        let dir_inode = self.get_mut(dir)?;
-        dir_inode.mtime = now;
-        Ok(ino)
     }
 
     /// Read up to `out.len()` bytes at `off`; returns bytes read (0 at or
     /// past EOF).
     ///
-    /// Reads are "noatime": they take `&self` and leave the inode
-    /// untouched, so concurrent readers can share the filesystem borrow
-    /// (the kernel dispatches read-only syscalls under a shared lock).
+    /// Reads are "noatime": they leave the inode untouched and take only
+    /// the target's shard read lock, so concurrent readers — and writers
+    /// in other shards — proceed in parallel.
     pub fn read_into(&self, ino: Ino, off: u64, out: &mut [u8]) -> SysResult<usize> {
         if let Some(hook) = &self.fault_hook {
             hook.check("read", ino)?;
         }
-        let inode = self.get(ino)?;
+        let g = self.shards.read(self.shards.shard_of(ino.0));
+        let inode = g.get(&ino.0).ok_or(Errno::ENOENT)?;
         let data = match &inode.payload {
             Payload::File(data) => data,
             Payload::Dir(_) => return Err(Errno::EISDIR),
@@ -617,23 +889,25 @@ impl Vfs {
         Ok(n)
     }
 
-    /// Borrow a file's full contents.
-    pub fn file_data(&self, ino: Ino) -> SysResult<&[u8]> {
-        match &self.get(ino)?.payload {
-            Payload::File(data) => Ok(data),
+    /// A file's full contents, copied out (the shard lock cannot be held
+    /// across a return).
+    pub fn file_data(&self, ino: Ino) -> SysResult<Vec<u8>> {
+        self.try_with_inode(ino, |i| match &i.payload {
+            Payload::File(data) => Ok(data.clone()),
             Payload::Dir(_) => Err(Errno::EISDIR),
             Payload::Symlink(_) => Err(Errno::EINVAL),
-        }
+        })
     }
 
     /// Write `data` at `off`, growing the file (zero-filling any gap).
     /// Returns bytes written.
-    pub fn write_at(&mut self, ino: Ino, off: u64, data: &[u8]) -> SysResult<usize> {
+    pub fn write_at(&self, ino: Ino, off: u64, data: &[u8]) -> SysResult<usize> {
         if let Some(hook) = &self.fault_hook {
             hook.check("write", ino)?;
         }
         let now = self.tick();
-        let inode = self.get_mut(ino)?;
+        let mut g = self.shards.write(self.shards.shard_of(ino.0));
+        let inode = g.get_mut(&ino.0).ok_or(Errno::ENOENT)?;
         let file = match &mut inode.payload {
             Payload::File(file) => file,
             Payload::Dir(_) => return Err(Errno::EISDIR),
@@ -650,9 +924,10 @@ impl Vfs {
     }
 
     /// Truncate (or extend with zeros) a file to `len`.
-    pub fn truncate(&mut self, ino: Ino, len: u64) -> SysResult<()> {
+    pub fn truncate(&self, ino: Ino, len: u64) -> SysResult<()> {
         let now = self.tick();
-        let inode = self.get_mut(ino)?;
+        let mut g = self.shards.write(self.shards.shard_of(ino.0));
+        let inode = g.get_mut(&ino.0).ok_or(Errno::ENOENT)?;
         match &mut inode.payload {
             Payload::File(file) => {
                 file.resize(len as usize, 0);
@@ -669,214 +944,365 @@ impl Vfs {
     // ------------------------------------------------------------------
 
     /// Create a directory.
-    pub fn mkdir(
-        &mut self,
-        start: Ino,
-        p: &str,
-        mode: u16,
-        cred: &Cred,
-    ) -> SysResult<Ino> {
-        let (dir, name) = self.resolve_parent(start, p, cred)?;
-        if name == "." || name == ".." {
-            return Err(Errno::EEXIST);
+    pub fn mkdir(&self, start: Ino, p: &str, mode: u16, cred: &Cred) -> SysResult<Ino> {
+        loop {
+            let (dir, name) = self.resolve_parent(start, p, cred)?;
+            if name == "." || name == ".." {
+                return Err(Errno::EEXIST);
+            }
+            self.check_access(dir, cred, Access::W.and(Access::X))?;
+            if self.entry_get(dir, &name)?.is_some() {
+                return Err(Errno::EEXIST);
+            }
+            let ino = self.reserve_ino();
+            let sd = self.shards.shard_of(dir.0);
+            let sc = self.shards.shard_of(ino.0);
+            {
+                let mut pair = PairGuard::lock(&self.shards, sd, sc);
+                let ok = Self::revalidate_dir(pair.map_ref(sd), dir, cred)
+                    .is_some_and(|e| !e.contains_key(&name));
+                if ok {
+                    let now = self.tick();
+                    let mut entries = BTreeMap::new();
+                    entries.insert(".".to_string(), ino);
+                    entries.insert("..".to_string(), dir);
+                    pair.map(sc).insert(
+                        ino.0,
+                        Inode {
+                            payload: Payload::Dir(entries),
+                            mode: mode & 0o7777,
+                            uid: cred.uid,
+                            gid: cred.gid,
+                            nlink: 2,
+                            pins: 0,
+                            atime: now,
+                            mtime: now,
+                            ctime: now,
+                        },
+                    );
+                    let dinode = pair.map(sd).get_mut(&dir.0).expect("revalidated");
+                    dinode.nlink += 1; // the new child's ".."
+                    dinode.mtime = now;
+                    if let Payload::Dir(entries) = &mut dinode.payload {
+                        entries.insert(name, ino);
+                    }
+                    self.dcaches[sd].bump();
+                    return Ok(ino);
+                }
+            }
+            self.unreserve_ino(ino);
         }
-        self.check_access(dir, cred, Access::W.and(Access::X))?;
-        if self.dir_entries(dir)?.contains_key(&name) {
-            return Err(Errno::EEXIST);
-        }
-        let now = self.tick();
-        let mut entries = BTreeMap::new();
-        let ino = self.alloc(Inode {
-            payload: Payload::Dir(BTreeMap::new()),
-            mode: mode & 0o7777,
-            uid: cred.uid,
-            gid: cred.gid,
-            nlink: 2,
-            pins: 0,
-            atime: now,
-            mtime: now,
-            ctime: now,
-        });
-        entries.insert(".".to_string(), ino);
-        entries.insert("..".to_string(), dir);
-        *self.dir_entries_mut(ino)? = entries;
-        self.dir_entries_mut(dir)?.insert(name, ino);
-        let parent = self.get_mut(dir)?;
-        parent.nlink += 1; // the new child's ".."
-        parent.mtime = now;
-        Ok(ino)
     }
 
     /// Remove an empty directory.
-    pub fn rmdir(&mut self, start: Ino, p: &str, cred: &Cred) -> SysResult<()> {
-        let (dir, name) = self.resolve_parent(start, p, cred)?;
-        if name == "." || name == ".." {
-            return Err(Errno::EINVAL);
+    pub fn rmdir(&self, start: Ino, p: &str, cred: &Cred) -> SysResult<()> {
+        loop {
+            let (dir, name) = self.resolve_parent(start, p, cred)?;
+            if name == "." || name == ".." {
+                return Err(Errno::EINVAL);
+            }
+            self.check_access(dir, cred, Access::W.and(Access::X))?;
+            let target = self.entry_get(dir, &name)?.ok_or(Errno::ENOENT)?;
+            if self.dir_has_real_entries(target)? {
+                return Err(Errno::ENOTEMPTY);
+            }
+            let sd = self.shards.shard_of(dir.0);
+            let st = self.shards.shard_of(target.0);
+            let mut pair = PairGuard::lock(&self.shards, sd, st);
+            let dir_ok = Self::revalidate_dir(pair.map_ref(sd), dir, cred)
+                .is_some_and(|e| e.get(&name) == Some(&target));
+            let tgt_ok = pair
+                .map_ref(st)
+                .get(&target.0)
+                .is_some_and(|t| match &t.payload {
+                    Payload::Dir(e) => !e.keys().any(|k| k != "." && k != ".."),
+                    _ => false,
+                });
+            if dir_ok && tgt_ok {
+                let now = self.tick();
+                let dinode = pair.map(sd).get_mut(&dir.0).expect("revalidated");
+                if let Payload::Dir(entries) = &mut dinode.payload {
+                    entries.remove(&name);
+                }
+                dinode.nlink -= 1;
+                dinode.mtime = now;
+                let t = pair.map(st).get_mut(&target.0).expect("revalidated");
+                t.nlink = 0;
+                self.maybe_free_locked(st, pair.map(st), target);
+                self.dcaches[sd].bump();
+                return Ok(());
+            }
         }
-        self.check_access(dir, cred, Access::W.and(Access::X))?;
-        let target = *self.dir_entries(dir)?.get(&name).ok_or(Errno::ENOENT)?;
-        let entries = self.dir_entries(target)?;
-        if entries.keys().any(|k| k != "." && k != "..") {
-            return Err(Errno::ENOTEMPTY);
-        }
-        let now = self.tick();
-        self.dir_entries_mut(dir)?.remove(&name);
-        let parent = self.get_mut(dir)?;
-        parent.nlink -= 1;
-        parent.mtime = now;
-        let t = self.get_mut(target)?;
-        t.nlink = 0;
-        self.maybe_free(target);
-        Ok(())
     }
 
     /// Remove a non-directory entry. The inode survives while pinned.
-    pub fn unlink(&mut self, start: Ino, p: &str, cred: &Cred) -> SysResult<()> {
-        let (dir, name) = self.resolve_parent(start, p, cred)?;
-        if name == "." || name == ".." {
-            return Err(Errno::EINVAL);
+    pub fn unlink(&self, start: Ino, p: &str, cred: &Cred) -> SysResult<()> {
+        loop {
+            let (dir, name) = self.resolve_parent(start, p, cred)?;
+            if name == "." || name == ".." {
+                return Err(Errno::EINVAL);
+            }
+            self.check_access(dir, cred, Access::W.and(Access::X))?;
+            let target = self.entry_get(dir, &name)?.ok_or(Errno::ENOENT)?;
+            if self.kind(target)? == FileKind::Dir {
+                return Err(Errno::EISDIR);
+            }
+            let sd = self.shards.shard_of(dir.0);
+            let st = self.shards.shard_of(target.0);
+            let mut pair = PairGuard::lock(&self.shards, sd, st);
+            let dir_ok = Self::revalidate_dir(pair.map_ref(sd), dir, cred)
+                .is_some_and(|e| e.get(&name) == Some(&target));
+            let tgt_ok = pair
+                .map_ref(st)
+                .get(&target.0)
+                .is_some_and(|t| t.payload.kind() != FileKind::Dir);
+            if dir_ok && tgt_ok {
+                let now = self.tick();
+                let dinode = pair.map(sd).get_mut(&dir.0).expect("revalidated");
+                if let Payload::Dir(entries) = &mut dinode.payload {
+                    entries.remove(&name);
+                }
+                dinode.mtime = now;
+                let t = pair.map(st).get_mut(&target.0).expect("revalidated");
+                t.nlink -= 1;
+                t.ctime = now;
+                self.maybe_free_locked(st, pair.map(st), target);
+                self.dcaches[sd].bump();
+                return Ok(());
+            }
         }
-        self.check_access(dir, cred, Access::W.and(Access::X))?;
-        let target = *self.dir_entries(dir)?.get(&name).ok_or(Errno::ENOENT)?;
-        if self.get(target)?.payload.kind() == FileKind::Dir {
-            return Err(Errno::EISDIR);
-        }
-        let now = self.tick();
-        self.dir_entries_mut(dir)?.remove(&name);
-        self.get_mut(dir)?.mtime = now;
-        let t = self.get_mut(target)?;
-        t.nlink -= 1;
-        t.ctime = now;
-        self.maybe_free(target);
-        Ok(())
     }
 
     /// Create a hard link `newp` to the object at `oldp`. Directories
     /// cannot be hard-linked.
-    pub fn link(&mut self, start: Ino, oldp: &str, newp: &str, cred: &Cred) -> SysResult<()> {
-        let target = self.resolve(start, oldp, false, cred)?;
-        if self.get(target)?.payload.kind() == FileKind::Dir {
-            return Err(Errno::EPERM);
+    pub fn link(&self, start: Ino, oldp: &str, newp: &str, cred: &Cred) -> SysResult<()> {
+        loop {
+            let target = self.resolve(start, oldp, false, cred)?;
+            if self.kind(target)? == FileKind::Dir {
+                return Err(Errno::EPERM);
+            }
+            let (dir, name) = self.resolve_parent(start, newp, cred)?;
+            if name == "." || name == ".." {
+                return Err(Errno::EEXIST);
+            }
+            self.check_access(dir, cred, Access::W.and(Access::X))?;
+            if self.entry_get(dir, &name)?.is_some() {
+                return Err(Errno::EEXIST);
+            }
+            let sd = self.shards.shard_of(dir.0);
+            let st = self.shards.shard_of(target.0);
+            let mut pair = PairGuard::lock(&self.shards, sd, st);
+            let dir_ok = Self::revalidate_dir(pair.map_ref(sd), dir, cred)
+                .is_some_and(|e| !e.contains_key(&name));
+            let tgt_ok = pair
+                .map_ref(st)
+                .get(&target.0)
+                .is_some_and(|t| t.payload.kind() != FileKind::Dir);
+            if dir_ok && tgt_ok {
+                let now = self.tick();
+                let dinode = pair.map(sd).get_mut(&dir.0).expect("revalidated");
+                dinode.mtime = now;
+                if let Payload::Dir(entries) = &mut dinode.payload {
+                    entries.insert(name, target);
+                }
+                let t = pair.map(st).get_mut(&target.0).expect("revalidated");
+                t.nlink += 1;
+                t.ctime = now;
+                self.dcaches[sd].bump();
+                return Ok(());
+            }
         }
-        let (dir, name) = self.resolve_parent(start, newp, cred)?;
-        if name == "." || name == ".." {
-            return Err(Errno::EEXIST);
-        }
-        self.check_access(dir, cred, Access::W.and(Access::X))?;
-        if self.dir_entries(dir)?.contains_key(&name) {
-            return Err(Errno::EEXIST);
-        }
-        let now = self.tick();
-        self.dir_entries_mut(dir)?.insert(name, target);
-        self.get_mut(dir)?.mtime = now;
-        let t = self.get_mut(target)?;
-        t.nlink += 1;
-        t.ctime = now;
-        Ok(())
     }
 
     /// Create a symbolic link at `linkp` pointing to `target` (an
     /// arbitrary, possibly dangling, string).
-    pub fn symlink(
-        &mut self,
-        start: Ino,
-        target: &str,
-        linkp: &str,
-        cred: &Cred,
-    ) -> SysResult<Ino> {
+    pub fn symlink(&self, start: Ino, target: &str, linkp: &str, cred: &Cred) -> SysResult<Ino> {
         if target.len() > PATH_MAX {
             return Err(Errno::ENAMETOOLONG);
         }
-        let (dir, name) = self.resolve_parent(start, linkp, cred)?;
-        if name == "." || name == ".." {
-            return Err(Errno::EEXIST);
+        loop {
+            let (dir, name) = self.resolve_parent(start, linkp, cred)?;
+            if name == "." || name == ".." {
+                return Err(Errno::EEXIST);
+            }
+            self.check_access(dir, cred, Access::W.and(Access::X))?;
+            if self.entry_get(dir, &name)?.is_some() {
+                return Err(Errno::EEXIST);
+            }
+            let ino = self.reserve_ino();
+            let sd = self.shards.shard_of(dir.0);
+            let sc = self.shards.shard_of(ino.0);
+            {
+                let mut pair = PairGuard::lock(&self.shards, sd, sc);
+                let ok = Self::revalidate_dir(pair.map_ref(sd), dir, cred)
+                    .is_some_and(|e| !e.contains_key(&name));
+                if ok {
+                    let now = self.tick();
+                    pair.map(sc).insert(
+                        ino.0,
+                        Inode {
+                            payload: Payload::Symlink(target.to_string()),
+                            mode: 0o777,
+                            uid: cred.uid,
+                            gid: cred.gid,
+                            nlink: 1,
+                            pins: 0,
+                            atime: now,
+                            mtime: now,
+                            ctime: now,
+                        },
+                    );
+                    let dinode = pair.map(sd).get_mut(&dir.0).expect("revalidated");
+                    dinode.mtime = now;
+                    if let Payload::Dir(entries) = &mut dinode.payload {
+                        entries.insert(name, ino);
+                    }
+                    self.dcaches[sd].bump();
+                    return Ok(ino);
+                }
+            }
+            self.unreserve_ino(ino);
         }
-        self.check_access(dir, cred, Access::W.and(Access::X))?;
-        if self.dir_entries(dir)?.contains_key(&name) {
-            return Err(Errno::EEXIST);
-        }
-        let now = self.tick();
-        let ino = self.alloc(Inode {
-            payload: Payload::Symlink(target.to_string()),
-            mode: 0o777,
-            uid: cred.uid,
-            gid: cred.gid,
-            nlink: 1,
-            pins: 0,
-            atime: now,
-            mtime: now,
-            ctime: now,
-        });
-        self.dir_entries_mut(dir)?.insert(name, ino);
-        self.get_mut(dir)?.mtime = now;
-        Ok(ino)
     }
 
     /// Read a symlink's target.
     pub fn readlink(&self, start: Ino, p: &str, cred: &Cred) -> SysResult<String> {
         let ino = self.resolve(start, p, false, cred)?;
-        match &self.get(ino)?.payload {
+        self.try_with_inode(ino, |i| match &i.payload {
             Payload::Symlink(target) => Ok(target.clone()),
             _ => Err(Errno::EINVAL),
-        }
+        })
     }
 
     /// Rename `oldp` to `newp`. Replaces an existing target when the
     /// kinds are compatible (a directory target must be empty). Refuses
     /// to move a directory into its own subtree.
-    pub fn rename(&mut self, start: Ino, oldp: &str, newp: &str, cred: &Cred) -> SysResult<()> {
-        let (odir, oname) = self.resolve_parent(start, oldp, cred)?;
-        let (ndir, nname) = self.resolve_parent(start, newp, cred)?;
-        if oname == "." || oname == ".." || nname == "." || nname == ".." {
-            return Err(Errno::EINVAL);
-        }
-        self.check_access(odir, cred, Access::W.and(Access::X))?;
-        self.check_access(ndir, cred, Access::W.and(Access::X))?;
-        let src = *self.dir_entries(odir)?.get(&oname).ok_or(Errno::ENOENT)?;
-        let src_is_dir = self.get(src)?.payload.kind() == FileKind::Dir;
-        if src_is_dir && self.is_same_or_ancestor(src, ndir)? {
-            return Err(Errno::EINVAL);
-        }
-        // Handle an existing destination.
-        if let Some(&dst) = self.dir_entries(ndir)?.get(&nname) {
-            if dst == src {
+    ///
+    /// Cross-shard: locks every involved shard (old parent, new parent,
+    /// source, replaced destination) in ascending order, under an
+    /// outermost rename mutex that keeps the subtree-ancestry check
+    /// stable against concurrent renames (`mkdir`/`rmdir` only add or
+    /// remove leaves, so they cannot reparent an existing directory).
+    pub fn rename(&self, start: Ino, oldp: &str, newp: &str, cred: &Cred) -> SysResult<()> {
+        let _serialized = self.rename_lock.lock();
+        loop {
+            let (odir, oname) = self.resolve_parent(start, oldp, cred)?;
+            let (ndir, nname) = self.resolve_parent(start, newp, cred)?;
+            if oname == "." || oname == ".." || nname == "." || nname == ".." {
+                return Err(Errno::EINVAL);
+            }
+            self.check_access(odir, cred, Access::W.and(Access::X))?;
+            self.check_access(ndir, cred, Access::W.and(Access::X))?;
+            let src = self.entry_get(odir, &oname)?.ok_or(Errno::ENOENT)?;
+            let src_is_dir = self.kind(src)? == FileKind::Dir;
+            if src_is_dir && self.is_same_or_ancestor(src, ndir)? {
+                return Err(Errno::EINVAL);
+            }
+            // Phase-1 look at the destination slot.
+            let dst_slot = self.entry_get(ndir, &nname)?;
+            if dst_slot == Some(src) {
                 return Ok(()); // rename to itself is a no-op
             }
-            let dst_is_dir = self.get(dst)?.payload.kind() == FileKind::Dir;
-            match (src_is_dir, dst_is_dir) {
-                (true, false) => return Err(Errno::ENOTDIR),
-                (false, true) => return Err(Errno::EISDIR),
-                (true, true) => {
-                    let entries = self.dir_entries(dst)?;
-                    if entries.keys().any(|k| k != "." && k != "..") {
-                        return Err(Errno::ENOTEMPTY);
+            let mut dst_plan: Option<(Ino, bool)> = None;
+            if let Some(dst) = dst_slot {
+                let dst_is_dir = self.kind(dst)? == FileKind::Dir;
+                match (src_is_dir, dst_is_dir) {
+                    (true, false) => return Err(Errno::ENOTDIR),
+                    (false, true) => return Err(Errno::EISDIR),
+                    (true, true) => {
+                        if self.dir_has_real_entries(dst)? {
+                            return Err(Errno::ENOTEMPTY);
+                        }
                     }
-                    self.dir_entries_mut(ndir)?.remove(&nname);
-                    self.get_mut(ndir)?.nlink -= 1;
-                    let d = self.get_mut(dst)?;
-                    d.nlink = 0;
-                    self.maybe_free(dst);
+                    (false, false) => {}
                 }
-                (false, false) => {
-                    self.dir_entries_mut(ndir)?.remove(&nname);
-                    let d = self.get_mut(dst)?;
-                    d.nlink -= 1;
-                    self.maybe_free(dst);
-                }
+                dst_plan = Some((dst, dst_is_dir));
             }
+            // Phase 2: lock every involved shard, ascending.
+            let so = self.shards.shard_of(odir.0);
+            let sn = self.shards.shard_of(ndir.0);
+            let ss = self.shards.shard_of(src.0);
+            let mut idxs = vec![so, sn, ss];
+            if let Some((dst, _)) = dst_plan {
+                idxs.push(self.shards.shard_of(dst.0));
+            }
+            let mut mg = self.shards.write_many(&idxs);
+            // Re-validate everything phase 1 concluded.
+            let still_valid = (|| {
+                let oe = Self::revalidate_dir(mg.get(so), odir, cred)?;
+                if oe.get(&oname) != Some(&src) {
+                    return None;
+                }
+                let ne = Self::revalidate_dir(mg.get(sn), ndir, cred)?;
+                if ne.get(&nname).copied() != dst_slot {
+                    return None;
+                }
+                let sk = mg.get(ss).get(&src.0)?.payload.kind();
+                if (sk == FileKind::Dir) != src_is_dir {
+                    return None;
+                }
+                if let Some((dst, dst_is_dir)) = dst_plan {
+                    let d = mg.get(self.shards.shard_of(dst.0)).get(&dst.0)?;
+                    if (d.payload.kind() == FileKind::Dir) != dst_is_dir {
+                        return None;
+                    }
+                    if let Payload::Dir(e) = &d.payload {
+                        if e.keys().any(|k| k != "." && k != "..") {
+                            return None;
+                        }
+                    }
+                }
+                Some(())
+            })();
+            if still_valid.is_none() {
+                drop(mg);
+                continue;
+            }
+            // Replace an existing destination. These mutations precede
+            // the tick, matching the single-lock implementation.
+            if let Some((dst, dst_is_dir)) = dst_plan {
+                let sdst = self.shards.shard_of(dst.0);
+                let nd = mg.get_mut(sn).get_mut(&ndir.0).expect("revalidated");
+                if let Payload::Dir(entries) = &mut nd.payload {
+                    entries.remove(&nname);
+                }
+                if dst_is_dir {
+                    nd.nlink -= 1;
+                }
+                let d = mg.get_mut(sdst).get_mut(&dst.0).expect("revalidated");
+                if dst_is_dir {
+                    d.nlink = 0;
+                } else {
+                    d.nlink -= 1;
+                }
+                self.maybe_free_locked(sdst, mg.get_mut(sdst), dst);
+                self.dcaches[sn].bump();
+            }
+            let now = self.tick();
+            let od = mg.get_mut(so).get_mut(&odir.0).expect("revalidated");
+            if let Payload::Dir(entries) = &mut od.payload {
+                entries.remove(&oname);
+            }
+            let nd = mg.get_mut(sn).get_mut(&ndir.0).expect("revalidated");
+            if let Payload::Dir(entries) = &mut nd.payload {
+                entries.insert(nname, src);
+            }
+            if src_is_dir && odir != ndir {
+                // Fix the moved directory's ".." and the parents' link counts.
+                let s = mg.get_mut(ss).get_mut(&src.0).expect("revalidated");
+                if let Payload::Dir(entries) = &mut s.payload {
+                    entries.insert("..".to_string(), ndir);
+                }
+                mg.get_mut(so).get_mut(&odir.0).expect("revalidated").nlink -= 1;
+                mg.get_mut(sn).get_mut(&ndir.0).expect("revalidated").nlink += 1;
+                self.dcaches[ss].bump();
+            }
+            mg.get_mut(so).get_mut(&odir.0).expect("revalidated").mtime = now;
+            mg.get_mut(sn).get_mut(&ndir.0).expect("revalidated").mtime = now;
+            self.dcaches[so].bump();
+            self.dcaches[sn].bump();
+            return Ok(());
         }
-        let now = self.tick();
-        self.dir_entries_mut(odir)?.remove(&oname);
-        self.dir_entries_mut(ndir)?.insert(nname, src);
-        if src_is_dir && odir != ndir {
-            // Fix the moved directory's ".." and the parents' link counts.
-            self.dir_entries_mut(src)?.insert("..".to_string(), ndir);
-            self.get_mut(odir)?.nlink -= 1;
-            self.get_mut(ndir)?.nlink += 1;
-        }
-        self.get_mut(odir)?.mtime = now;
-        self.get_mut(ndir)?.mtime = now;
-        Ok(())
     }
 
     /// True when `anc` is `node` or an ancestor of `node`.
@@ -886,10 +1312,10 @@ impl Vfs {
             if cur == anc {
                 return Ok(true);
             }
-            let parent = *self
-                .dir_entries(cur)?
-                .get("..")
-                .ok_or(Errno::EIO)?;
+            let parent = self.try_with_inode(cur, |i| match &i.payload {
+                Payload::Dir(e) => e.get("..").copied().ok_or(Errno::EIO),
+                _ => Err(Errno::ENOTDIR),
+            })?;
             if parent == cur {
                 return Ok(false); // reached root
             }
@@ -897,19 +1323,23 @@ impl Vfs {
         }
     }
 
-    /// List a directory (requires read permission on it). Like
-    /// [`Vfs::read_into`], listing is "noatime" and shares the borrow.
+    /// List a directory (requires read permission on it). The listing is
+    /// a snapshot: entries are copied out under the directory's shard
+    /// lock, then each entry's kind is fetched from its own shard. An
+    /// entry unlinked by a concurrent thread between the two steps is
+    /// skipped rather than failing the listing.
     pub fn readdir(&self, start: Ino, p: &str, cred: &Cred) -> SysResult<Vec<DirEntry>> {
         let dir = self.resolve(start, p, true, cred)?;
         self.check_access(dir, cred, Access::R)?;
-        let entries = self.dir_entries(dir)?;
-        let mut out = Vec::with_capacity(entries.len());
-        for (name, &ino) in entries {
-            out.push(DirEntry {
-                name: name.clone(),
-                ino,
-                kind: self.get(ino)?.payload.kind(),
-            });
+        let snapshot: Vec<(String, Ino)> = self.try_with_inode(dir, |i| match &i.payload {
+            Payload::Dir(e) => Ok(e.iter().map(|(n, &ino)| (n.clone(), ino)).collect()),
+            _ => Err(Errno::ENOTDIR),
+        })?;
+        let mut out = Vec::with_capacity(snapshot.len());
+        for (name, ino) in snapshot {
+            if let Ok(kind) = self.kind(ino) {
+                out.push(DirEntry { name, ino, kind });
+            }
         }
         Ok(out)
     }
@@ -921,21 +1351,21 @@ impl Vfs {
     /// `stat` / `lstat` depending on `follow`.
     pub fn stat(&self, start: Ino, p: &str, follow: bool, cred: &Cred) -> SysResult<StatBuf> {
         let ino = self.resolve(start, p, follow, cred)?;
-        Ok(self.get(ino)?.stat(ino))
+        self.fstat(ino)
     }
 
     /// `fstat` by inode.
     pub fn fstat(&self, ino: Ino) -> SysResult<StatBuf> {
-        Ok(self.get(ino)?.stat(ino))
+        self.with_inode(ino, |i| i.stat(ino))
     }
 
     /// Change permission bits; only the owner or root may.
-    pub fn chmod(&mut self, start: Ino, p: &str, mode: u16, cred: &Cred) -> SysResult<()> {
+    pub fn chmod(&self, start: Ino, p: &str, mode: u16, cred: &Cred) -> SysResult<()> {
         let ino = self.resolve(start, p, true, cred)?;
         let now = self.tick();
-        let uid = cred.uid;
-        let inode = self.get_mut(ino)?;
-        if uid != 0 && uid != inode.uid {
+        let mut g = self.shards.write(self.shards.shard_of(ino.0));
+        let inode = g.get_mut(&ino.0).ok_or(Errno::ENOENT)?;
+        if cred.uid != 0 && cred.uid != inode.uid {
             return Err(Errno::EPERM);
         }
         inode.mode = mode & 0o7777;
@@ -945,21 +1375,13 @@ impl Vfs {
 
     /// Change ownership; only root may change the uid, the owner may
     /// change the gid to their own group.
-    pub fn chown(
-        &mut self,
-        start: Ino,
-        p: &str,
-        uid: u32,
-        gid: u32,
-        cred: &Cred,
-    ) -> SysResult<()> {
+    pub fn chown(&self, start: Ino, p: &str, uid: u32, gid: u32, cred: &Cred) -> SysResult<()> {
         let ino = self.resolve(start, p, true, cred)?;
         let now = self.tick();
-        let caller = *cred;
-        let inode = self.get_mut(ino)?;
-        if caller.uid != 0 {
-            let owner_chgrp =
-                caller.uid == inode.uid && uid == inode.uid && gid == caller.gid;
+        let mut g = self.shards.write(self.shards.shard_of(ino.0));
+        let inode = g.get_mut(&ino.0).ok_or(Errno::ENOENT)?;
+        if cred.uid != 0 {
+            let owner_chgrp = cred.uid == inode.uid && uid == inode.uid && gid == cred.gid;
             if !owner_chgrp {
                 return Err(Errno::EPERM);
             }
@@ -981,15 +1403,29 @@ impl Vfs {
     // ------------------------------------------------------------------
 
     /// Create or replace a file at `p` with the given contents.
-    pub fn write_file(&mut self, start: Ino, p: &str, data: &[u8], cred: &Cred) -> SysResult<Ino> {
-        let ino = match self.resolve(start, p, true, cred) {
-            Ok(ino) => {
-                self.check_access(ino, cred, Access::W)?;
-                self.truncate(ino, 0)?;
-                ino
+    pub fn write_file(&self, start: Ino, p: &str, data: &[u8], cred: &Cred) -> SysResult<Ino> {
+        // The retry is strictly for create races with other threads. It
+        // must be bounded: a dangling symlink at `p` makes `resolve` fail
+        // ENOENT while `create` fails EEXIST *deterministically*, and that
+        // case must surface EEXIST, not spin.
+        let mut retries = 0;
+        let ino = loop {
+            match self.resolve(start, p, true, cred) {
+                Ok(ino) => {
+                    self.check_access(ino, cred, Access::W)?;
+                    self.truncate(ino, 0)?;
+                    break ino;
+                }
+                Err(Errno::ENOENT) => match self.create(start, p, 0o644, cred) {
+                    Ok(ino) => break ino,
+                    Err(Errno::EEXIST) if retries < 2 => {
+                        retries += 1;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                },
+                Err(e) => return Err(e),
             }
-            Err(Errno::ENOENT) => self.create(start, p, 0o644, cred)?,
-            Err(e) => return Err(e),
         };
         self.write_at(ino, 0, data)?;
         Ok(ino)
@@ -999,18 +1435,35 @@ impl Vfs {
     pub fn read_file(&self, start: Ino, p: &str, cred: &Cred) -> SysResult<Vec<u8>> {
         let ino = self.resolve(start, p, true, cred)?;
         self.check_access(ino, cred, Access::R)?;
-        Ok(self.file_data(ino)?.to_vec())
+        self.file_data(ino)
     }
 
     /// `mkdir -p`: create every missing directory along `p`.
-    pub fn mkdir_all(&mut self, start: Ino, p: &str, mode: u16, cred: &Cred) -> SysResult<Ino> {
+    pub fn mkdir_all(&self, start: Ino, p: &str, mode: u16, cred: &Cred) -> SysResult<Ino> {
         let mut cur = if path::is_absolute(p) { self.root } else { start };
         for comp in path::components(p) {
-            let next = match self.dir_entries(cur)?.get(comp) {
-                Some(&ino) => ino,
-                None => self.mkdir(cur, comp, mode, cred)?,
-            };
-            cur = next;
+            // Bounded for the same reason as `write_file`: the retry only
+            // exists to absorb a create race, never to spin.
+            let mut retries = 0;
+            loop {
+                match self.entry_get(cur, comp)? {
+                    Some(ino) => {
+                        cur = ino;
+                        break;
+                    }
+                    None => match self.mkdir(cur, comp, mode, cred) {
+                        Ok(ino) => {
+                            cur = ino;
+                            break;
+                        }
+                        Err(Errno::EEXIST) if retries < 2 => {
+                            retries += 1;
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    },
+                }
+            }
         }
         Ok(cur)
     }
@@ -1019,6 +1472,7 @@ impl Vfs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::thread;
 
     fn fs() -> Vfs {
         Vfs::new()
@@ -1028,7 +1482,7 @@ mod tests {
 
     #[test]
     fn create_and_read_back() {
-        let mut v = fs();
+        let v = fs();
         let ino = v.create(v.root(), "/hello", 0o644, &ROOT).unwrap();
         v.write_at(ino, 0, b"world").unwrap();
         let mut buf = [0u8; 16];
@@ -1038,7 +1492,7 @@ mod tests {
 
     #[test]
     fn read_at_offset_and_eof() {
-        let mut v = fs();
+        let v = fs();
         let ino = v.create(v.root(), "/f", 0o644, &ROOT).unwrap();
         v.write_at(ino, 0, b"abcdef").unwrap();
         let mut buf = [0u8; 3];
@@ -1049,7 +1503,7 @@ mod tests {
 
     #[test]
     fn sparse_write_zero_fills() {
-        let mut v = fs();
+        let v = fs();
         let ino = v.create(v.root(), "/f", 0o644, &ROOT).unwrap();
         v.write_at(ino, 4, b"x").unwrap();
         assert_eq!(v.file_data(ino).unwrap(), &[0, 0, 0, 0, b'x']);
@@ -1057,7 +1511,7 @@ mod tests {
 
     #[test]
     fn mkdir_and_nested_create() {
-        let mut v = fs();
+        let v = fs();
         v.mkdir(v.root(), "/home", 0o755, &ROOT).unwrap();
         v.mkdir(v.root(), "/home/fred", 0o700, &ROOT).unwrap();
         v.create(v.root(), "/home/fred/data", 0o644, &ROOT).unwrap();
@@ -1067,7 +1521,7 @@ mod tests {
 
     #[test]
     fn mkdir_all_idempotent() {
-        let mut v = fs();
+        let v = fs();
         let a = v.mkdir_all(v.root(), "/a/b/c", 0o755, &ROOT).unwrap();
         let b = v.mkdir_all(v.root(), "/a/b/c", 0o755, &ROOT).unwrap();
         assert_eq!(a, b);
@@ -1075,7 +1529,7 @@ mod tests {
 
     #[test]
     fn enoent_and_eexist() {
-        let mut v = fs();
+        let v = fs();
         assert_eq!(
             v.stat(v.root(), "/missing", true, &ROOT),
             Err(Errno::ENOENT)
@@ -1087,7 +1541,7 @@ mod tests {
 
     #[test]
     fn relative_paths_resolve_from_start() {
-        let mut v = fs();
+        let v = fs();
         let home = v.mkdir(v.root(), "/home", 0o755, &ROOT).unwrap();
         v.create(home, "notes.txt", 0o644, &ROOT).unwrap();
         assert!(v.stat(home, "notes.txt", true, &ROOT).unwrap().is_file());
@@ -1107,13 +1561,15 @@ mod tests {
 
     #[test]
     fn unix_permissions_enforced() {
-        let mut v = fs();
+        let v = fs();
         let alice = Cred::new(100, 100);
         let bob = Cred::new(200, 200);
         v.mkdir(v.root(), "/home", 0o755, &ROOT).unwrap();
         v.mkdir(v.root(), "/home/alice", 0o700, &ROOT).unwrap();
         v.chown(v.root(), "/home/alice", 100, 100, &ROOT).unwrap();
-        let f = v.create(v.root(), "/home/alice/secret", 0o600, &alice).unwrap();
+        let f = v
+            .create(v.root(), "/home/alice/secret", 0o600, &alice)
+            .unwrap();
         v.write_at(f, 0, b"shh").unwrap();
         // Bob cannot traverse alice's 0700 home.
         assert_eq!(
@@ -1128,7 +1584,7 @@ mod tests {
 
     #[test]
     fn group_and_other_triads() {
-        let mut v = fs();
+        let v = fs();
         v.create(v.root(), "/f", 0o640, &ROOT).unwrap();
         v.chown(v.root(), "/f", 100, 50, &ROOT).unwrap();
         let groupmate = Cred::new(200, 50);
@@ -1141,7 +1597,7 @@ mod tests {
 
     #[test]
     fn symlink_follow_and_nofollow() {
-        let mut v = fs();
+        let v = fs();
         v.create(v.root(), "/target", 0o644, &ROOT).unwrap();
         v.symlink(v.root(), "/target", "/link", &ROOT).unwrap();
         let followed = v.stat(v.root(), "/link", true, &ROOT).unwrap();
@@ -1153,7 +1609,7 @@ mod tests {
 
     #[test]
     fn symlink_chain_and_relative_targets() {
-        let mut v = fs();
+        let v = fs();
         v.mkdir(v.root(), "/a", 0o755, &ROOT).unwrap();
         v.create(v.root(), "/a/real", 0o644, &ROOT).unwrap();
         v.symlink(v.root(), "real", "/a/l1", &ROOT).unwrap();
@@ -1164,7 +1620,7 @@ mod tests {
 
     #[test]
     fn symlink_loop_detected() {
-        let mut v = fs();
+        let v = fs();
         v.symlink(v.root(), "/b", "/a", &ROOT).unwrap();
         v.symlink(v.root(), "/a", "/b", &ROOT).unwrap();
         assert_eq!(v.stat(v.root(), "/a", true, &ROOT), Err(Errno::ELOOP));
@@ -1172,24 +1628,30 @@ mod tests {
 
     #[test]
     fn symlink_in_middle_of_path() {
-        let mut v = fs();
+        let v = fs();
         v.mkdir_all(v.root(), "/real/dir", 0o755, &ROOT).unwrap();
         v.create(v.root(), "/real/dir/f", 0o644, &ROOT).unwrap();
         v.symlink(v.root(), "/real", "/alias", &ROOT).unwrap();
-        assert!(v.stat(v.root(), "/alias/dir/f", true, &ROOT).unwrap().is_file());
+        assert!(v
+            .stat(v.root(), "/alias/dir/f", true, &ROOT)
+            .unwrap()
+            .is_file());
     }
 
     #[test]
     fn dangling_symlink() {
-        let mut v = fs();
+        let v = fs();
         v.symlink(v.root(), "/nowhere", "/dangle", &ROOT).unwrap();
         assert_eq!(v.stat(v.root(), "/dangle", true, &ROOT), Err(Errno::ENOENT));
-        assert!(v.stat(v.root(), "/dangle", false, &ROOT).unwrap().is_symlink());
+        assert!(v
+            .stat(v.root(), "/dangle", false, &ROOT)
+            .unwrap()
+            .is_symlink());
     }
 
     #[test]
     fn hard_link_shares_inode() {
-        let mut v = fs();
+        let v = fs();
         let ino = v.create(v.root(), "/f", 0o644, &ROOT).unwrap();
         v.write_at(ino, 0, b"data").unwrap();
         v.link(v.root(), "/f", "/g", &ROOT).unwrap();
@@ -1205,14 +1667,14 @@ mod tests {
 
     #[test]
     fn hard_link_to_dir_refused() {
-        let mut v = fs();
+        let v = fs();
         v.mkdir(v.root(), "/d", 0o755, &ROOT).unwrap();
         assert_eq!(v.link(v.root(), "/d", "/d2", &ROOT), Err(Errno::EPERM));
     }
 
     #[test]
     fn unlink_while_pinned_keeps_data() {
-        let mut v = fs();
+        let v = fs();
         let ino = v.create(v.root(), "/f", 0o644, &ROOT).unwrap();
         v.write_at(ino, 0, b"still here").unwrap();
         v.pin(ino).unwrap();
@@ -1226,7 +1688,7 @@ mod tests {
 
     #[test]
     fn rmdir_semantics() {
-        let mut v = fs();
+        let v = fs();
         v.mkdir_all(v.root(), "/d/sub", 0o755, &ROOT).unwrap();
         assert_eq!(v.rmdir(v.root(), "/d", &ROOT), Err(Errno::ENOTEMPTY));
         v.rmdir(v.root(), "/d/sub", &ROOT).unwrap();
@@ -1236,14 +1698,14 @@ mod tests {
 
     #[test]
     fn unlink_dir_is_eisdir() {
-        let mut v = fs();
+        let v = fs();
         v.mkdir(v.root(), "/d", 0o755, &ROOT).unwrap();
         assert_eq!(v.unlink(v.root(), "/d", &ROOT), Err(Errno::EISDIR));
     }
 
     #[test]
     fn rename_file() {
-        let mut v = fs();
+        let v = fs();
         let ino = v.create(v.root(), "/f", 0o644, &ROOT).unwrap();
         v.write_at(ino, 0, b"x").unwrap();
         v.mkdir(v.root(), "/d", 0o755, &ROOT).unwrap();
@@ -1254,7 +1716,7 @@ mod tests {
 
     #[test]
     fn rename_replaces_file() {
-        let mut v = fs();
+        let v = fs();
         v.write_file(v.root(), "/a", b"aaa", &ROOT).unwrap();
         v.write_file(v.root(), "/b", b"bbb", &ROOT).unwrap();
         v.rename(v.root(), "/a", "/b", &ROOT).unwrap();
@@ -1263,7 +1725,7 @@ mod tests {
 
     #[test]
     fn rename_dir_updates_dotdot() {
-        let mut v = fs();
+        let v = fs();
         v.mkdir_all(v.root(), "/x/inner", 0o755, &ROOT).unwrap();
         v.mkdir(v.root(), "/y", 0o755, &ROOT).unwrap();
         v.rename(v.root(), "/x/inner", "/y/inner", &ROOT).unwrap();
@@ -1274,7 +1736,7 @@ mod tests {
 
     #[test]
     fn rename_into_own_subtree_refused() {
-        let mut v = fs();
+        let v = fs();
         v.mkdir_all(v.root(), "/d/sub", 0o755, &ROOT).unwrap();
         assert_eq!(
             v.rename(v.root(), "/d", "/d/sub/d2", &ROOT),
@@ -1284,7 +1746,7 @@ mod tests {
 
     #[test]
     fn readdir_lists_dot_entries() {
-        let mut v = fs();
+        let v = fs();
         v.mkdir(v.root(), "/d", 0o755, &ROOT).unwrap();
         v.create(v.root(), "/d/f", 0o644, &ROOT).unwrap();
         let names: Vec<_> = v
@@ -1298,7 +1760,7 @@ mod tests {
 
     #[test]
     fn chmod_chown_rules() {
-        let mut v = fs();
+        let v = fs();
         let alice = Cred::new(100, 100);
         let bob = Cred::new(200, 200);
         v.mkdir(v.root(), "/pub", 0o777, &ROOT).unwrap();
@@ -1317,7 +1779,7 @@ mod tests {
 
     #[test]
     fn nlink_accounting_for_dirs() {
-        let mut v = fs();
+        let v = fs();
         let d = v.mkdir(v.root(), "/d", 0o755, &ROOT).unwrap();
         assert_eq!(v.fstat(d).unwrap().nlink, 2);
         v.mkdir(v.root(), "/d/s1", 0o755, &ROOT).unwrap();
@@ -1329,7 +1791,7 @@ mod tests {
 
     #[test]
     fn inode_recycling() {
-        let mut v = fs();
+        let v = fs();
         let before = v.live_inodes();
         let ino = v.create(v.root(), "/tmp1", 0o644, &ROOT).unwrap();
         v.unlink(v.root(), "/tmp1", &ROOT).unwrap();
@@ -1340,15 +1802,13 @@ mod tests {
 
     #[test]
     fn resolve_entry_follows_final_symlink_to_real_dir() {
-        let mut v = fs();
+        let v = fs();
         v.mkdir_all(v.root(), "/private", 0o755, &ROOT).unwrap();
         v.create(v.root(), "/private/real", 0o644, &ROOT).unwrap();
         v.mkdir(v.root(), "/public", 0o755, &ROOT).unwrap();
         v.symlink(v.root(), "/private/real", "/public/alias", &ROOT)
             .unwrap();
-        let (dir, name, ino) = v
-            .resolve_entry(v.root(), "/public/alias", &ROOT)
-            .unwrap();
+        let (dir, name, ino) = v.resolve_entry(v.root(), "/public/alias", &ROOT).unwrap();
         let private = v.resolve(v.root(), "/private", true, &ROOT).unwrap();
         assert_eq!(dir, private, "must land in the target's directory");
         assert_eq!(name, "real");
@@ -1357,7 +1817,7 @@ mod tests {
 
     #[test]
     fn resolve_entry_missing_final() {
-        let mut v = fs();
+        let v = fs();
         v.mkdir(v.root(), "/d", 0o755, &ROOT).unwrap();
         let (dir, name, ino) = v.resolve_entry(v.root(), "/d/newfile", &ROOT).unwrap();
         assert_eq!(dir, v.resolve(v.root(), "/d", true, &ROOT).unwrap());
@@ -1367,7 +1827,7 @@ mod tests {
 
     #[test]
     fn resolve_entry_dangling_symlink_points_at_creation_site() {
-        let mut v = fs();
+        let v = fs();
         v.mkdir(v.root(), "/d", 0o755, &ROOT).unwrap();
         v.symlink(v.root(), "/d/missing", "/lnk", &ROOT).unwrap();
         let (dir, name, ino) = v.resolve_entry(v.root(), "/lnk", &ROOT).unwrap();
@@ -1388,7 +1848,7 @@ mod tests {
 
     #[test]
     fn name_too_long() {
-        let mut v = fs();
+        let v = fs();
         let name = format!("/{}", "a".repeat(300));
         assert_eq!(
             v.create(v.root(), &name, 0o644, &ROOT),
@@ -1398,7 +1858,7 @@ mod tests {
 
     #[test]
     fn write_file_overwrites() {
-        let mut v = fs();
+        let v = fs();
         v.write_file(v.root(), "/f", b"first", &ROOT).unwrap();
         v.write_file(v.root(), "/f", b"2nd", &ROOT).unwrap();
         assert_eq!(v.read_file(v.root(), "/f", &ROOT).unwrap(), b"2nd");
@@ -1406,7 +1866,7 @@ mod tests {
 
     #[test]
     fn times_advance() {
-        let mut v = fs();
+        let v = fs();
         let ino = v.create(v.root(), "/f", 0o644, &ROOT).unwrap();
         let t0 = v.fstat(ino).unwrap().mtime;
         v.write_at(ino, 0, b"x").unwrap();
@@ -1416,7 +1876,7 @@ mod tests {
 
     #[test]
     fn dentry_cache_hits_on_repeat_resolution() {
-        let mut v = fs();
+        let v = fs();
         v.mkdir_all(v.root(), "/a/b", 0o755, &ROOT).unwrap();
         v.create(v.root(), "/a/b/f", 0o644, &ROOT).unwrap();
         let (h0, _) = v.dentry_stats();
@@ -1428,7 +1888,7 @@ mod tests {
 
     #[test]
     fn every_mutation_bumps_the_generation() {
-        let mut v = fs();
+        let v = fs();
         let mut last = v.change_generation();
         let mut expect_bump = |v: &Vfs, what: &str| {
             let g = v.change_generation();
@@ -1461,7 +1921,7 @@ mod tests {
 
     #[test]
     fn cached_resolution_sees_rename_immediately() {
-        let mut v = fs();
+        let v = fs();
         v.mkdir(v.root(), "/d", 0o755, &ROOT).unwrap();
         v.write_file(v.root(), "/d/a", b"1", &ROOT).unwrap();
         // Warm the cache on both the hit and the miss.
@@ -1474,7 +1934,7 @@ mod tests {
 
     #[test]
     fn negative_entry_invalidated_by_create() {
-        let mut v = fs();
+        let v = fs();
         assert_eq!(v.resolve(v.root(), "/new", true, &ROOT), Err(Errno::ENOENT));
         v.write_file(v.root(), "/new", b"now", &ROOT).unwrap();
         assert_eq!(v.read_file(v.root(), "/new", &ROOT).unwrap(), b"now");
@@ -1482,7 +1942,7 @@ mod tests {
 
     #[test]
     fn stale_entry_never_served_across_inode_recycle() {
-        let mut v = fs();
+        let v = fs();
         v.mkdir(v.root(), "/d", 0o755, &ROOT).unwrap();
         let a = v.create(v.root(), "/d/a", 0o644, &ROOT).unwrap();
         // Cache "/d/a" -> a.
@@ -1506,7 +1966,7 @@ mod tests {
 
     #[test]
     fn cloned_vfs_starts_with_cold_cache() {
-        let mut v = fs();
+        let v = fs();
         v.write_file(v.root(), "/f", b"x", &ROOT).unwrap();
         v.resolve(v.root(), "/f", true, &ROOT).unwrap();
         v.resolve(v.root(), "/f", true, &ROOT).unwrap();
@@ -1518,16 +1978,92 @@ mod tests {
 
     #[test]
     fn dentry_cache_stays_bounded() {
-        let mut v = fs();
+        let v = Vfs::with_shards(4);
         for i in 0..DENTRY_CACHE_CAP + 64 {
             v.write_file(v.root(), &format!("/f{i}"), b"", &ROOT).unwrap();
         }
         for i in 0..DENTRY_CACHE_CAP + 64 {
             v.resolve(v.root(), &format!("/f{i}"), true, &ROOT).unwrap();
         }
-        let map = v.dcache.map.read();
-        assert!(map.len <= DENTRY_CACHE_CAP);
-        let total: usize = map.by_dir.values().map(|m| m.len()).sum();
-        assert_eq!(total, map.len, "len accounting must match the map");
+        assert!(v.dcache_len() <= DENTRY_CACHE_CAP);
+        for c in &*v.dcaches {
+            let map = c.map.read();
+            let total: usize = map.by_dir.values().map(|m| m.len()).sum();
+            assert_eq!(total, map.len, "len accounting must match the map");
+            assert!(map.len <= c.cap, "per-shard cache exceeded its cap");
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_subtrees() {
+        let v = std::sync::Arc::new(Vfs::with_shards(8));
+        let baseline = v.live_inodes();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let v = std::sync::Arc::clone(&v);
+                thread::spawn(move || {
+                    let dir = format!("/w{t}");
+                    v.mkdir(v.root(), &dir, 0o755, &ROOT).unwrap();
+                    for i in 0..200 {
+                        let p = format!("{dir}/f{i}");
+                        v.write_file(v.root(), &p, b"payload", &ROOT).unwrap();
+                        assert_eq!(v.read_file(v.root(), &p, &ROOT).unwrap(), b"payload");
+                        v.unlink(v.root(), &p, &ROOT).unwrap();
+                    }
+                    v.rmdir(v.root(), &dir, &ROOT).unwrap();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(v.live_inodes(), baseline, "all inodes must be reclaimed");
+    }
+
+    #[test]
+    fn concurrent_cross_shard_renames_and_creates_do_not_deadlock() {
+        let v = std::sync::Arc::new(Vfs::with_shards(4));
+        v.mkdir(v.root(), "/a", 0o755, &ROOT).unwrap();
+        v.mkdir(v.root(), "/b", 0o755, &ROOT).unwrap();
+        for i in 0..8 {
+            v.write_file(v.root(), &format!("/a/f{i}"), b"x", &ROOT).unwrap();
+        }
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let v = std::sync::Arc::clone(&v);
+                thread::spawn(move || {
+                    for round in 0..100 {
+                        // Shuttle shared files between the two dirs; races
+                        // with other threads are expected and benign.
+                        let i = (t + round) % 8;
+                        let _ = v.rename(
+                            v.root(),
+                            &format!("/a/f{i}"),
+                            &format!("/b/f{i}"),
+                            &ROOT,
+                        );
+                        let _ = v.rename(
+                            v.root(),
+                            &format!("/b/f{i}"),
+                            &format!("/a/f{i}"),
+                            &ROOT,
+                        );
+                        // Churn private files to mix creates/unlinks in.
+                        let p = format!("/b/t{t}");
+                        let _ = v.write_file(v.root(), &p, b"y", &ROOT);
+                        let _ = v.unlink(v.root(), &p, &ROOT);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Every shared file must still exist in exactly one of the dirs.
+        for i in 0..8 {
+            let in_a = v.stat(v.root(), &format!("/a/f{i}"), true, &ROOT).is_ok();
+            let in_b = v.stat(v.root(), &format!("/b/f{i}"), true, &ROOT).is_ok();
+            assert!(in_a ^ in_b, "f{i} must live in exactly one directory");
+        }
     }
 }

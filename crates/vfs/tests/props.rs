@@ -161,7 +161,7 @@ proptest! {
         data in proptest::collection::vec(any::<u8>(), 0..4096),
         off in 0u64..1024,
     ) {
-        let mut v = Vfs::new();
+        let v = Vfs::new();
         let ino = v.create(v.root(), "/f", 0o644, &Cred::ROOT).unwrap();
         v.write_at(ino, off, &data).unwrap();
         let mut buf = vec![0u8; data.len()];
@@ -237,7 +237,7 @@ proptest! {
 
     #[test]
     fn unlink_frees_exactly_when_last_link_dies(n_links in 1usize..6) {
-        let mut v = Vfs::new();
+        let v = Vfs::new();
         let before = v.live_inodes();
         v.create(v.root(), "/f0", 0o644, &Cred::ROOT).unwrap();
         for i in 1..n_links {

@@ -84,7 +84,7 @@ fn figure3_workflow_and_mount() {
 
     // A different identity cannot ride Fred's mounted connection.
     {
-        let mut k = ctx.supervisor().kernel().lock();
+        let k = ctx.supervisor().kernel().lock();
         k.set_identity(pid, Identity::new("globus:/O=UnivNowhere/CN=Mallory"))
             .unwrap();
     }
