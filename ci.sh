@@ -20,6 +20,11 @@ cargo test -q -p idbox-core --test cache_equivalence
 # pinned seed makes a CI failure reproduce exactly.
 IDBOX_PROP_SEED=0x1DB0F cargo test -q -p idbox-testkit
 IDBOX_PROP_SEED=0x1DB0F cargo test -q -p idbox-chirp --test robustness
+# Wire protocol v2: the pipelining transcript-equivalence proptest (a
+# pipelined/batched run must reply byte-identically to the same ops run
+# serially on a twin server, under seeded vfs faults and a drain
+# window), plus the EPROTO-teardown and batch-whitelist suites.
+IDBOX_PROP_SEED=0x1DB0F cargo test -q -p idbox-chirp --test pipeline_props
 # Sharded-kernel correctness: the transcript-equivalence proptest
 # (shards=1 vs shards=5 must agree on every syscall, pinned seed) and
 # the threaded cross-shard stress test for lock-ordering deadlocks.
@@ -31,10 +36,16 @@ cargo test -q -p idbox-kernel --release concurrent_syscalls_across_shards_do_not
 IDBOX_BENCH_FAST=1 cargo run --release -q -p idbox-bench --bin fig5a_table 300
 IDBOX_BENCH_WINDOW_MS=150 IDBOX_BENCH_LEVELS=1,2 \
   cargo run --release -q -p idbox-bench --bin server_throughput
-# Degradation smoke (~2 s): the fault sweep must run end to end and
-# emit results/BENCH_faults.json.
+# Degradation smoke (~2 s): the fault sweep must run end to end, emit
+# results/BENCH_faults.json, and observe zero fail-open verdicts (the
+# forbidden-probe assertion is built into the harness, every run).
 IDBOX_BENCH_WINDOW_MS=150 \
   cargo run --release -q -p idbox-bench --bin server_throughput -- --faults
+# Pipeline smoke (~2 s): the wire-v2 single-connection bench must run
+# end to end and emit results/BENCH_pipeline.tsv. The >= 5x pipelining
+# assertion self-skips on single-core hosts.
+IDBOX_BENCH_WINDOW_MS=150 IDBOX_BENCH_ASSERT_PIPELINE=1 \
+  cargo run --release -q -p idbox-bench --bin pipeline
 # Contention smoke (~2 s): the disjoint-subtree contention bench must
 # run end to end and emit results/BENCH_contention.tsv. The >=1.5x
 # scaling assertion self-skips on hosts with fewer than 4 cores.

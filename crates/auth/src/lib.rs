@@ -23,7 +23,8 @@ mod transport;
 pub use ca::{CaStore, Certificate, CertificateAuthority};
 pub use kdc::{Kdc, Ticket};
 pub use negotiate::{
-    authenticate_client, authenticate_server, AuthError, ClientCredential, ServerVerifier,
+    authenticate_client, authenticate_server, AuthError, AuthOutcome, ClientCredential,
+    ServerAuthMachine, ServerVerifier,
 };
 pub use transport::{duplex_pair, AuthTransport, ChannelTransport};
 

@@ -159,77 +159,181 @@ pub fn authenticate_client(
     Err(AuthError::Refused)
 }
 
+/// What a [`ServerAuthMachine::step`] concluded about the negotiation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthOutcome {
+    /// More client lines are needed.
+    Continue,
+    /// The client proved this principal; the `welcome` reply has been
+    /// queued and the negotiation is over.
+    Authenticated(Principal),
+    /// The client gave up; no further lines will be exchanged.
+    Refused,
+}
+
+/// Where the server-side negotiation currently stands.
+#[derive(Debug)]
+enum AuthState {
+    /// Expecting `method <name>` or `giveup`.
+    AwaitMethod,
+    /// Method accepted; expecting the proof line for it.
+    AwaitProof(AuthMethod),
+    /// Unix challenge issued; expecting `response <hex>`.
+    AwaitUnixResponse {
+        name: String,
+        nonce: String,
+    },
+    /// Terminal: authenticated, refused, or protocol error.
+    Done,
+}
+
+/// The server side of the negotiation as an incremental state machine:
+/// feed it one received line at a time and it queues the reply lines to
+/// send. This is the single source of truth for the server protocol —
+/// the blocking [`authenticate_server`] drives it over an
+/// [`AuthTransport`], and nonblocking event-loop servers drive it
+/// directly from their read buffers.
+#[derive(Debug)]
+pub struct ServerAuthMachine {
+    v: ServerVerifier,
+    state: AuthState,
+}
+
+impl ServerAuthMachine {
+    /// Start a negotiation for one connection. The machine owns its
+    /// verifier so per-connection state (e.g. `peer_hostname`) travels
+    /// with it.
+    pub fn new(v: ServerVerifier) -> Self {
+        ServerAuthMachine {
+            v,
+            state: AuthState::AwaitMethod,
+        }
+    }
+
+    /// Advance the machine with one client line. Reply lines to send —
+    /// zero or more, in order — are appended to `replies` before the
+    /// outcome (or error) is reported, mirroring the wire order of the
+    /// blocking implementation. After anything other than
+    /// `Ok(AuthOutcome::Continue)`, the machine is finished and must not
+    /// be stepped again.
+    pub fn step(
+        &mut self,
+        line: &str,
+        replies: &mut Vec<String>,
+    ) -> Result<AuthOutcome, AuthError> {
+        let state = std::mem::replace(&mut self.state, AuthState::Done);
+        match state {
+            AuthState::AwaitMethod => {
+                if line == "giveup" {
+                    return Ok(AuthOutcome::Refused);
+                }
+                let Some(method_name) = line.strip_prefix("method ") else {
+                    return Err(AuthError::Protocol(line.to_string()));
+                };
+                match method_name.parse::<AuthMethod>() {
+                    Ok(method) if self.v.accept.contains(&method) => {
+                        replies.push("ok".to_string());
+                        self.state = AuthState::AwaitProof(method);
+                    }
+                    _ => {
+                        replies.push("no".to_string());
+                        self.state = AuthState::AwaitMethod;
+                    }
+                }
+                Ok(AuthOutcome::Continue)
+            }
+            AuthState::AwaitProof(method) => {
+                let proven: Option<String> = match method {
+                    AuthMethod::Globus => line
+                        .strip_prefix("cert ")
+                        .and_then(Certificate::from_wire)
+                        .filter(|c| self.v.cas.verify(c))
+                        .map(|c| c.subject),
+                    AuthMethod::Kerberos => line
+                        .strip_prefix("ticket ")
+                        .and_then(Ticket::from_wire)
+                        .filter(|tk| self.v.kdc.as_ref().is_some_and(|k| k.verify(tk)))
+                        .map(|tk| tk.principal),
+                    AuthMethod::Hostname => line
+                        .strip_prefix("host ")
+                        .filter(|claimed| self.v.peer_hostname.as_deref() == Some(*claimed))
+                        .map(str::to_string),
+                    AuthMethod::Unix => {
+                        let Some(name) = line.strip_prefix("unix ") else {
+                            return Err(AuthError::Protocol(line.to_string()));
+                        };
+                        let nonce = format!("{:016x}", fresh_nonce());
+                        replies.push(format!("nonce {nonce}"));
+                        self.state = AuthState::AwaitUnixResponse {
+                            name: name.to_string(),
+                            nonce,
+                        };
+                        return Ok(AuthOutcome::Continue);
+                    }
+                };
+                self.conclude(method, proven, replies)
+            }
+            AuthState::AwaitUnixResponse { name, nonce } => {
+                let answered = line
+                    .strip_prefix("response ")
+                    .and_then(|h| u64::from_str_radix(h, 16).ok());
+                let proven = match (self.v.unix_secrets.get(&name), answered) {
+                    (Some(&secret), Some(answer))
+                        if answer == keyed_digest(secret, &[nonce.as_str()]) =>
+                    {
+                        Some(name)
+                    }
+                    _ => None,
+                };
+                self.conclude(AuthMethod::Unix, proven, replies)
+            }
+            AuthState::Done => Err(AuthError::Protocol(
+                "negotiation already finished".to_string(),
+            )),
+        }
+    }
+
+    /// A proof attempt finished: `welcome` on success, `fail` and back
+    /// to method negotiation otherwise.
+    fn conclude(
+        &mut self,
+        method: AuthMethod,
+        proven: Option<String>,
+        replies: &mut Vec<String>,
+    ) -> Result<AuthOutcome, AuthError> {
+        match proven {
+            Some(name) => {
+                let principal = Principal::new(method, name);
+                replies.push(format!("welcome {principal}"));
+                Ok(AuthOutcome::Authenticated(principal))
+            }
+            None => {
+                replies.push("fail".to_string());
+                self.state = AuthState::AwaitMethod;
+                Ok(AuthOutcome::Continue)
+            }
+        }
+    }
+}
+
 /// Run the server side of the negotiation.
 pub fn authenticate_server(
     t: &mut dyn AuthTransport,
     v: &ServerVerifier,
 ) -> Result<Principal, AuthError> {
+    let mut machine = ServerAuthMachine::new(v.clone());
+    let mut replies = Vec::new();
     loop {
         let line = io(t.recv_line())?;
-        if line == "giveup" {
-            return Err(AuthError::Refused);
+        replies.clear();
+        let outcome = machine.step(&line, &mut replies);
+        for reply in &replies {
+            io(t.send_line(reply))?;
         }
-        let Some(method_name) = line.strip_prefix("method ") else {
-            return Err(AuthError::Protocol(line));
-        };
-        let Ok(method) = method_name.parse::<AuthMethod>() else {
-            io(t.send_line("no"))?;
-            continue;
-        };
-        if !v.accept.contains(&method) {
-            io(t.send_line("no"))?;
-            continue;
-        }
-        io(t.send_line("ok"))?;
-        let proven: Option<String> = match method {
-            AuthMethod::Globus => {
-                let line = io(t.recv_line())?;
-                line.strip_prefix("cert ")
-                    .and_then(Certificate::from_wire)
-                    .filter(|c| v.cas.verify(c))
-                    .map(|c| c.subject)
-            }
-            AuthMethod::Kerberos => {
-                let line = io(t.recv_line())?;
-                line.strip_prefix("ticket ")
-                    .and_then(Ticket::from_wire)
-                    .filter(|tk| v.kdc.as_ref().is_some_and(|k| k.verify(tk)))
-                    .map(|tk| tk.principal)
-            }
-            AuthMethod::Hostname => {
-                let line = io(t.recv_line())?;
-                line.strip_prefix("host ")
-                    .filter(|claimed| v.peer_hostname.as_deref() == Some(*claimed))
-                    .map(str::to_string)
-            }
-            AuthMethod::Unix => {
-                let line = io(t.recv_line())?;
-                let Some(name) = line.strip_prefix("unix ") else {
-                    return Err(AuthError::Protocol(line));
-                };
-                let nonce = format!("{:016x}", fresh_nonce());
-                io(t.send_line(&format!("nonce {nonce}")))?;
-                let resp = io(t.recv_line())?;
-                let answered = resp
-                    .strip_prefix("response ")
-                    .and_then(|h| u64::from_str_radix(h, 16).ok());
-                match (v.unix_secrets.get(name), answered) {
-                    (Some(&secret), Some(answer))
-                        if answer == keyed_digest(secret, &[nonce.as_str()]) =>
-                    {
-                        Some(name.to_string())
-                    }
-                    _ => None,
-                }
-            }
-        };
-        match proven {
-            Some(name) => {
-                let principal = Principal::new(method, name);
-                io(t.send_line(&format!("welcome {principal}")))?;
-                return Ok(principal);
-            }
-            None => io(t.send_line("fail"))?,
+        match outcome? {
+            AuthOutcome::Continue => {}
+            AuthOutcome::Authenticated(p) => return Ok(p),
+            AuthOutcome::Refused => return Err(AuthError::Refused),
         }
     }
 }
@@ -372,5 +476,69 @@ mod tests {
         let (c, s) = run(vec![], v);
         assert_eq!(c, Err(AuthError::Refused));
         assert_eq!(s, Err(AuthError::Refused));
+    }
+
+    fn step(m: &mut ServerAuthMachine, line: &str) -> (Vec<String>, Result<AuthOutcome, AuthError>) {
+        let mut replies = Vec::new();
+        let out = m.step(line, &mut replies);
+        (replies, out)
+    }
+
+    #[test]
+    fn machine_walks_unix_challenge() {
+        let mut v = ServerVerifier::new();
+        v.accept = vec![AuthMethod::Unix];
+        v.unix_secrets.insert("dthain".into(), 0x5EED);
+        let mut m = ServerAuthMachine::new(v);
+        let (replies, out) = step(&mut m, "method unix");
+        assert_eq!(replies, ["ok"]);
+        assert_eq!(out, Ok(AuthOutcome::Continue));
+        let (replies, out) = step(&mut m, "unix dthain");
+        assert_eq!(out, Ok(AuthOutcome::Continue));
+        let nonce = replies[0].strip_prefix("nonce ").unwrap().to_string();
+        let answer = keyed_digest(0x5EED, &[nonce.as_str()]);
+        let (replies, out) = step(&mut m, &format!("response {answer:016x}"));
+        assert_eq!(replies, ["welcome unix:dthain"]);
+        assert!(matches!(out, Ok(AuthOutcome::Authenticated(p)) if p.to_string() == "unix:dthain"));
+    }
+
+    #[test]
+    fn machine_fail_returns_to_method_negotiation() {
+        let mut v = ServerVerifier::new();
+        v.accept = vec![AuthMethod::Hostname];
+        v.peer_hostname = Some("real.edu".to_string());
+        let mut m = ServerAuthMachine::new(v);
+        assert_eq!(step(&mut m, "method hostname").0, ["ok"]);
+        // Spoofed claim fails but the negotiation continues.
+        assert_eq!(step(&mut m, "host fake.edu").0, ["fail"]);
+        assert_eq!(step(&mut m, "method hostname").0, ["ok"]);
+        let (replies, out) = step(&mut m, "host real.edu");
+        assert_eq!(replies, ["welcome hostname:real.edu"]);
+        assert!(matches!(out, Ok(AuthOutcome::Authenticated(_))));
+    }
+
+    #[test]
+    fn machine_rejects_unknown_methods_and_garbage() {
+        let mut v = ServerVerifier::new();
+        v.accept = vec![AuthMethod::Unix];
+        let mut m = ServerAuthMachine::new(v);
+        // Unknown method name: polite "no", negotiation continues.
+        assert_eq!(step(&mut m, "method carrier-pigeon").0, ["no"]);
+        // Accepted-list miss: also "no".
+        assert_eq!(step(&mut m, "method globus").0, ["no"]);
+        // Giving up refuses without a reply line.
+        let (replies, out) = step(&mut m, "giveup");
+        assert!(replies.is_empty());
+        assert_eq!(out, Ok(AuthOutcome::Refused));
+    }
+
+    #[test]
+    fn machine_protocol_errors_are_terminal() {
+        let mut m = ServerAuthMachine::new(ServerVerifier::new());
+        let (replies, out) = step(&mut m, "what even is this");
+        assert!(replies.is_empty());
+        assert!(matches!(out, Err(AuthError::Protocol(_))));
+        // Stepping a finished machine is itself a protocol error.
+        assert!(matches!(step(&mut m, "method unix").1, Err(AuthError::Protocol(_))));
     }
 }

@@ -1,0 +1,168 @@
+//! Single-connection metadata throughput: serial vs pipelined vs batch.
+//!
+//! Wire protocol v1 was strict request/response, so one connection's
+//! metadata rate was capped at one round trip per operation no matter
+//! how fast the server got. Protocol gen 2 breaks the cap two ways:
+//! pipelining (many in-flight frames, `id=`-correlated replies) and the
+//! `batch` RPC (many sub-operations in one frame). This bench drives
+//! one authenticated connection with a pure `stat` workload in each
+//! mode and reports operations per second, plus the speedup over the
+//! serial baseline, into `results/BENCH_pipeline.tsv`.
+//!
+//! ```text
+//! cargo run --release -p idbox-bench --bin pipeline
+//! ```
+//!
+//! Knobs: `IDBOX_BENCH_WINDOW_MS` shrinks the per-mode measurement
+//! window (CI smoke); `IDBOX_PIPELINE_DEPTH` (comma-separated) picks
+//! the pipeline depths to sweep, default `4,16,64`. With
+//! `IDBOX_BENCH_ASSERT_PIPELINE` set, the run fails unless pipelining
+//! at depth >= 16 clears 5x serial — skipped on single-core hosts,
+//! where client and server contend for one hardware thread.
+
+use idbox_acl::{Acl, Rights};
+use idbox_auth::{CertificateAuthority, ClientCredential, ServerVerifier};
+use idbox_chirp::{BatchOp, ChirpClient, ChirpServer, ServerConfig};
+use idbox_types::AuthMethod;
+use std::time::{Duration, Instant};
+
+const WINDOW_MS: u64 = 1500;
+const FILE: &str = "/bench/data.dat";
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn server() -> (idbox_chirp::ChirpServerHandle, CertificateAuthority) {
+    let ca = CertificateAuthority::new("/O=UnivNowhere CA", 0xBE7C4);
+    let mut verifier = ServerVerifier::new();
+    verifier.accept = vec![AuthMethod::Globus];
+    verifier.cas.trust(ca.clone());
+    let mut root_acl = Acl::empty();
+    root_acl.set_reserve("globus:/O=UnivNowhere/*", Rights::LIST, Rights::RWLAX);
+    let s = ChirpServer::new(ServerConfig {
+        name: "pipeline".into(),
+        verifier,
+        root_acl,
+        ..Default::default()
+    })
+    .unwrap();
+    (s.spawn().unwrap(), ca)
+}
+
+/// Serial baseline: one `stat` per round trip, v1 style.
+fn run_serial(c: &mut ChirpClient, window: Duration) -> f64 {
+    let t0 = Instant::now();
+    let mut ops = 0u64;
+    while t0.elapsed() < window {
+        c.stat(FILE).unwrap();
+        ops += 1;
+    }
+    ops as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Pipelined: bursts of `depth` stats per round trip.
+fn run_pipelined(c: &mut ChirpClient, depth: usize, window: Duration) -> f64 {
+    let t0 = Instant::now();
+    let mut ops = 0u64;
+    while t0.elapsed() < window {
+        let mut p = c.pipeline();
+        for _ in 0..depth {
+            p.stat(FILE);
+        }
+        for r in p.run().unwrap() {
+            r.result.unwrap();
+            ops += 1;
+        }
+    }
+    ops as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Batched: `depth` stat sub-operations per single `batch` frame.
+fn run_batched(c: &mut ChirpClient, depth: usize, window: Duration) -> f64 {
+    let ops_tmpl: Vec<BatchOp> = (0..depth)
+        .map(|_| BatchOp::Stat(FILE.to_string()))
+        .collect();
+    let t0 = Instant::now();
+    let mut ops = 0u64;
+    while t0.elapsed() < window {
+        for r in c.batch(&ops_tmpl).unwrap() {
+            r.stat().unwrap();
+            ops += 1;
+        }
+    }
+    ops as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let window = Duration::from_millis(env_u64("IDBOX_BENCH_WINDOW_MS", WINDOW_MS));
+    let warmup = (window / 4).max(Duration::from_millis(50));
+    let depths: Vec<usize> = std::env::var("IDBOX_PIPELINE_DEPTH")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![4, 16, 64]);
+
+    let (handle, ca) = server();
+    let creds = vec![ClientCredential::Globus(ca.issue("/O=UnivNowhere/CN=Fred"))];
+    let mut c = ChirpClient::connect(handle.addr(), &creds).unwrap();
+    c.mkdir("/bench", 0o755).unwrap();
+    c.put(FILE, &vec![7u8; 4096]).unwrap();
+
+    let mut rows = Vec::new();
+    // Warm the caches and the session before the serial baseline so
+    // every mode is compared warm-on-warm.
+    run_serial(&mut c, warmup);
+    let serial = run_serial(&mut c, window);
+    println!("serial        : {serial:>10.0} ops/s  (baseline)");
+    rows.push(format!("serial\t1\t{serial:.0}\t1.00\t{cores}"));
+
+    let mut deep_speedup = 0.0f64;
+    for &depth in &depths {
+        run_pipelined(&mut c, depth, warmup);
+        let rate = run_pipelined(&mut c, depth, window);
+        let speedup = rate / serial;
+        if depth >= 16 {
+            deep_speedup = deep_speedup.max(speedup);
+        }
+        println!("pipeline d={depth:<3}: {rate:>10.0} ops/s  ({speedup:.2}x serial)");
+        rows.push(format!("pipeline\t{depth}\t{rate:.0}\t{speedup:.2}\t{cores}"));
+    }
+
+    let batch_depth = 64;
+    run_batched(&mut c, batch_depth, warmup);
+    let rate = run_batched(&mut c, batch_depth, window);
+    let speedup = rate / serial;
+    println!("batch    n={batch_depth:<2}: {rate:>10.0} ops/s  ({speedup:.2}x serial)");
+    rows.push(format!("batch\t{batch_depth}\t{rate:.0}\t{speedup:.2}\t{cores}"));
+
+    if cores < 2 {
+        println!("note: only {cores} core(s) available; client and server are core-bound");
+    }
+    // Optional regression gate: pipelining must actually beat the
+    // round-trip cap. Skipped — not weakened — on single-core hosts.
+    if std::env::var("IDBOX_BENCH_ASSERT_PIPELINE").is_ok() {
+        if cores < 2 {
+            println!("pipeline assertion skipped: requires >= 2 cores, host has {cores}");
+        } else {
+            assert!(
+                deep_speedup >= 5.0,
+                "pipelining failed to clear the round-trip cap: best deep-pipeline \
+                 speedup {deep_speedup:.2}x < 5x serial on a {cores}-core host"
+            );
+            println!("pipeline assertion passed: {deep_speedup:.2}x serial at depth >= 16");
+        }
+    }
+
+    idbox_bench::write_tsv(
+        "BENCH_pipeline.tsv",
+        "mode\tdepth\tops_per_sec\tspeedup_vs_serial\thost_cores",
+        &rows,
+    );
+    let _ = c.quit();
+    handle.shutdown();
+}

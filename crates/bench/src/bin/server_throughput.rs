@@ -29,7 +29,9 @@
 //! reports EIO at the same rate, and retrying clients drive an
 //! idempotent workload through the storm. The sweep reports goodput,
 //! failures, and retry/reconnect work per fault rate, and writes
-//! `results/BENCH_faults.json`.
+//! `results/BENCH_faults.json`. Each client also periodically probes a
+//! tree it has no rights to; the run aborts if any probe ever succeeds
+//! (a fail-open verdict — faults must never become allows).
 //!
 //! `IDBOX_BENCH_WINDOW_MS` and `IDBOX_BENCH_LEVELS` (comma-separated
 //! client counts) shrink the run for CI smoke tests.
@@ -164,6 +166,7 @@ struct FaultRow {
     reqs_per_sec: f64,
     ok: u64,
     failed: u64,
+    fail_open: u64,
     retries: u64,
     reconnects: u64,
     wire_faults: u64,
@@ -212,6 +215,19 @@ fn run_fault_level(
         c.put(&format!("/u{i}/data.dat"), &vec![7u8; 4096]).unwrap();
         let _ = c.quit();
     }
+    // A directory no bench client may touch: reserve-created under an
+    // identity that never runs a workload. The clients probe it during
+    // the storm — a success there would be a fail-open verdict (a fault
+    // turned into an allow), which is a bug at any fault rate.
+    {
+        let creds = vec![ClientCredential::Globus(
+            ca.issue("/O=UnivNowhere/CN=Warden"),
+        )];
+        let mut c = ChirpClient::connect(handle.addr(), &creds).unwrap();
+        c.mkdir("/private", 0o700).unwrap();
+        c.put("/private/secret", b"keep out").unwrap();
+        let _ = c.quit();
+    }
     {
         let plan = plan.clone();
         handle
@@ -250,7 +266,8 @@ fn run_fault_level(
                 let file = format!("/u{i}/data.dat");
                 let dir = format!("/u{i}");
                 start_line.wait();
-                let (mut ok, mut failed) = (0u64, 0u64);
+                let (mut ok, mut failed, mut fail_open) = (0u64, 0u64, 0u64);
+                let mut rounds = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     // Idempotent-only mix: everything here is safe to
                     // retry, so under the policy the storm should cost
@@ -266,8 +283,16 @@ fn run_fault_level(
                             Err(_) => failed += 1,
                         }
                     }
+                    // Every 32nd round, probe the forbidden tree. The
+                    // only acceptable *answer* is EACCES; a success is
+                    // fail-open. A transport failure (retry budget spent
+                    // mid-storm) is neither — the verdict never arrived.
+                    if rounds.is_multiple_of(32) && c.get("/private/secret").is_ok() {
+                        fail_open += 1;
+                    }
+                    rounds += 1;
                 }
-                (ok, failed, c.retries(), c.reconnects())
+                (ok, failed, fail_open, c.retries(), c.reconnects())
             })
         })
         .collect();
@@ -280,15 +305,17 @@ fn run_fault_level(
         reqs_per_sec: 0.0,
         ok: 0,
         failed: 0,
+        fail_open: 0,
         retries: 0,
         reconnects: 0,
         wire_faults: 0,
         vfs_faults: 0,
     };
     for w in workers {
-        let (ok, failed, retries, reconnects) = w.join().unwrap();
+        let (ok, failed, fail_open, retries, reconnects) = w.join().unwrap();
         row.ok += ok;
         row.failed += failed;
+        row.fail_open += fail_open;
         row.retries += retries;
         row.reconnects += reconnects;
     }
@@ -312,12 +339,13 @@ fn run_faults() {
     for fault_pct in [0u32, 5, 10, 20] {
         let row = run_fault_level(&ca, fault_pct, clients, window, seed);
         println!(
-            "{:>2}% faults: {:>9.0} req/s  ok {} failed {}  retries {} reconnects {}  \
-             injected wire {} vfs {}",
+            "{:>2}% faults: {:>9.0} req/s  ok {} failed {} fail_open {}  retries {} \
+             reconnects {}  injected wire {} vfs {}",
             row.fault_pct,
             row.reqs_per_sec,
             row.ok,
             row.failed,
+            row.fail_open,
             row.retries,
             row.reconnects,
             row.wire_faults,
@@ -334,11 +362,13 @@ fn run_faults() {
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"fault_pct\": {}, \"reqs_per_sec\": {:.1}, \"ok\": {}, \"failed\": {}, \
-             \"retries\": {}, \"reconnects\": {}, \"wire_faults\": {}, \"vfs_faults\": {}}}{}\n",
+             \"fail_open\": {}, \"retries\": {}, \"reconnects\": {}, \"wire_faults\": {}, \
+             \"vfs_faults\": {}}}{}\n",
             r.fault_pct,
             r.reqs_per_sec,
             r.ok,
             r.failed,
+            r.fail_open,
             r.retries,
             r.reconnects,
             r.wire_faults,
@@ -356,6 +386,15 @@ fn run_faults() {
     } else {
         println!("all operations succeeded at every fault rate (faults fully masked)");
     }
+    // Not gated behind an env knob: a fail-open verdict — the forbidden
+    // probe succeeding because a fault confused the policy path — is a
+    // security bug at any fault rate, in any run.
+    let fail_open: u64 = rows.iter().map(|r| r.fail_open).sum();
+    assert_eq!(
+        fail_open, 0,
+        "{fail_open} fail-open verdict(s): a denied operation succeeded under injected faults"
+    );
+    println!("fail-open check passed: every forbidden probe stayed denied under the storm");
 }
 
 fn main() {

@@ -2,7 +2,8 @@
 //!
 //! Besides speaking the protocol, the client owns the robustness story
 //! for the WAN deployments the paper targets: every RPC runs under a
-//! [`RetryPolicy`] (capped exponential backoff, seeded jitter, a
+//! [`RetryPolicy`] (an immediate first retry, then capped
+//! decorrelated-jitter backoff under a seeded stream and a
 //! wall-clock budget), any transport fault **poisons** the connection
 //! so a half-read reply can never be mistaken for the next call's
 //! answer, and the next attempt transparently reconnects — re-running
@@ -46,7 +47,10 @@ use std::time::{Duration, Instant};
 pub struct RetryPolicy {
     /// Total attempts per RPC, first try included (1 = never retry).
     pub max_attempts: u32,
-    /// Backoff before the first retry; doubles per retry.
+    /// Floor of the backoff sleep. The first retry is always
+    /// immediate; from the second retry on, each sleep is drawn
+    /// uniformly from `[base_delay, 3·previous]` (capped at
+    /// [`RetryPolicy::max_delay`]).
     pub base_delay: Duration,
     /// Ceiling on any single backoff sleep.
     pub max_delay: Duration,
@@ -107,6 +111,31 @@ enum Verb {
     FdWrite,
     /// Re-execution may double-apply (`mkdir`, `rename`, `exec`, …).
     Mutating,
+}
+
+impl Verb {
+    /// How reluctantly this class retries, for composing a batch's
+    /// class from its members: fd-based verbs never survive a
+    /// reconnect, so they dominate everything; mutating dominates the
+    /// idempotent classes.
+    fn rank(self) -> u8 {
+        match self {
+            Verb::ReadOnly => 0,
+            Verb::IdemWrite => 1,
+            Verb::Mutating => 2,
+            Verb::FdRead => 3,
+            Verb::FdWrite => 4,
+        }
+    }
+
+    /// The more conservative of two classes.
+    fn compose(self, other: Verb) -> Verb {
+        if other.rank() > self.rank() {
+            other
+        } else {
+            self
+        }
+    }
 }
 
 /// Why one attempt failed — the split [`codec::parse_response`]
@@ -212,22 +241,40 @@ fn next_jitter(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// The sleep before the retry after `failed_attempts` failures:
-/// `base · 2^(failures-1)` capped at `max_delay`, jittered uniformly
-/// into `[half, full]` so a thundering herd of retrying clients
-/// decorrelates.
-fn backoff_delay(policy: &RetryPolicy, failed_attempts: u32, jitter: &mut u64) -> Duration {
-    let shift = failed_attempts.saturating_sub(1).min(16);
-    let exp = policy
-        .base_delay
-        .saturating_mul(1u32 << shift)
-        .min(policy.max_delay);
-    let nanos = exp.as_nanos() as u64;
-    if nanos == 0 {
+/// The sleep before the retry after `failed_attempts` failures.
+///
+/// The **first** retry goes out immediately: the faults this layer
+/// masks (a shed reply, one dropped connection) usually clear at once,
+/// and sleeping `base_delay` on every blip produced a visible latency
+/// cliff at low fault rates. From the second retry on, the sleep is
+/// *decorrelated jitter*: uniform in `[base, 3·prev]` capped at
+/// `max_delay`, where `prev` is the previous sleep. The schedule still
+/// grows geometrically in expectation, but two clients that failed in
+/// lockstep drift apart after one round instead of re-colliding at
+/// every power of two.
+fn backoff_delay(
+    policy: &RetryPolicy,
+    failed_attempts: u32,
+    prev: &mut Duration,
+    jitter: &mut u64,
+) -> Duration {
+    if failed_attempts <= 1 {
         return Duration::ZERO;
     }
-    let lo = nanos / 2;
-    Duration::from_nanos(lo + next_jitter(jitter) % (nanos - lo + 1))
+    let lo = policy.base_delay.as_nanos() as u64;
+    let cap = policy.max_delay.as_nanos() as u64;
+    // `prev` starts at base (set by the caller), so the first sleeping
+    // retry picks from [base, 3·base].
+    let hi = (prev.as_nanos() as u64).saturating_mul(3).max(lo).min(cap.max(lo));
+    let span = hi - lo.min(hi);
+    let pick = if span == 0 {
+        hi
+    } else {
+        lo + next_jitter(jitter) % (span + 1)
+    };
+    let d = Duration::from_nanos(pick.min(cap));
+    *prev = d.max(policy.base_delay);
+    d
 }
 
 /// An authenticated connection to a Chirp server, with transparent
@@ -272,6 +319,7 @@ impl ChirpClient {
         let mut jitter = policy.jitter_seed;
         let start = Instant::now();
         let mut attempt = 1u32;
+        let mut prev = policy.base_delay;
         let (conn, principal) = loop {
             match dial(addr, creds, &policy) {
                 Ok(ok) => break ok,
@@ -279,7 +327,7 @@ impl ChirpClient {
                     if attempt >= policy.max_attempts || start.elapsed() >= policy.budget {
                         return Err(e);
                     }
-                    let d = backoff_delay(&policy, attempt, &mut jitter);
+                    let d = backoff_delay(&policy, attempt, &mut prev, &mut jitter);
                     if !d.is_zero() {
                         std::thread::sleep(d);
                     }
@@ -349,6 +397,7 @@ impl ChirpClient {
         let trace = self.stamp();
         let start = Instant::now();
         let mut attempt = 1u32;
+        let mut prev = self.policy.base_delay;
         loop {
             match self.try_once(line, payload, trace, attempt, &mut parse) {
                 Ok(v) => return Ok(v),
@@ -357,7 +406,7 @@ impl ChirpClient {
                         return Err(fail.errno());
                     }
                     self.retries += 1;
-                    let d = backoff_delay(&self.policy, attempt, &mut self.jitter);
+                    let d = backoff_delay(&self.policy, attempt, &mut prev, &mut self.jitter);
                     if !d.is_zero() {
                         std::thread::sleep(d);
                     }
@@ -649,6 +698,70 @@ impl ChirpClient {
         parse_slowop_rows(&text)
     }
 
+    /// Start a pipelined run: queue any number of requests, then
+    /// [`Pipeline::run`] writes them all in one burst and collects the
+    /// replies in order. Wire protocol v2 — each request carries an
+    /// `id=<n>` token the server echoes on its reply, so the client can
+    /// verify correlation even though replies may have been computed
+    /// out of order server-side.
+    ///
+    /// Pipelined requests do **not** retry: a transport fault mid-run
+    /// leaves it ambiguous which queued operations executed, so the
+    /// whole run fails and the connection is poisoned. Callers that
+    /// need retry semantics should pipeline only idempotent operations
+    /// and re-run the batch themselves.
+    pub fn pipeline(&mut self) -> Pipeline<'_> {
+        Pipeline {
+            client: self,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Run many small metadata operations in **one** round trip via the
+    /// v2 `batch` RPC: the sub-operations travel as a single payload,
+    /// the replies come back as a single payload, and the server runs
+    /// the whole batch under one shed check and one in-flight slot.
+    ///
+    /// Unlike [`ChirpClient::pipeline`], a batch is one wire-level
+    /// request, so it runs under the normal retry engine — classified
+    /// as conservatively as its most dangerous member (a batch with one
+    /// `mkdir` in it retries like a `mkdir`).
+    ///
+    /// Per-operation failures do not fail the batch: each
+    /// [`BatchReply`] carries its own result.
+    pub fn batch(&mut self, ops: &[BatchOp]) -> SysResult<Vec<BatchReply>> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut body = String::new();
+        for op in ops {
+            body.push_str(&op.line());
+            body.push('\n');
+        }
+        let class = ops
+            .iter()
+            .map(BatchOp::class)
+            .fold(Verb::ReadOnly, Verb::compose);
+        let line = format!("batch {}", body.len());
+        let expected = ops.len();
+        self.rpc(class, &line, Some(body.as_bytes()), move |r, words| {
+            let len: u64 = words
+                .first()
+                .and_then(|w| w.parse().ok())
+                .ok_or(Errno::EPROTO)?;
+            let data = codec::read_payload(r, len)?;
+            let text = String::from_utf8(data).map_err(|_| Errno::EPROTO)?;
+            let replies: Vec<BatchReply> = text
+                .lines()
+                .map(parse_batch_line)
+                .collect::<SysResult<_>>()?;
+            if replies.len() != expected {
+                return Err(Errno::EPROTO);
+            }
+            Ok(replies)
+        })
+    }
+
     /// Polite disconnect. A no-op on an already-poisoned connection —
     /// there is nothing left to be polite to.
     pub fn quit(mut self) -> SysResult<()> {
@@ -688,6 +801,397 @@ fn read_reply_payload(r: &mut BufReader<TcpStream>, words: &[String]) -> SysResu
         .and_then(|w| w.parse().ok())
         .ok_or(Errno::EPROTO)?;
     codec::read_payload(r, len)
+}
+
+/// One request queued on a [`Pipeline`].
+#[derive(Debug)]
+struct QueuedOp {
+    line: String,
+    payload: Option<Vec<u8>>,
+    trace: TraceId,
+    /// Whether an `ok` reply announces a payload (`ok <len>` + bytes)
+    /// that must be drained to keep the stream framed.
+    wants_payload: bool,
+}
+
+/// The reply to one pipelined request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipeReply {
+    /// The trace id this request carried (joins server audit rows).
+    pub trace: TraceId,
+    /// Decoded `ok` reply words, or the application errno from an
+    /// `error` reply. Transport-level faults fail the whole run
+    /// instead of appearing here.
+    pub result: SysResult<Vec<String>>,
+    /// The reply payload, for operations that return one (`get`,
+    /// `readdir`, `pread`, …).
+    pub payload: Option<Vec<u8>>,
+}
+
+impl PipeReply {
+    /// The first reply word parsed as a number (fd, byte count, …).
+    pub fn num(&self) -> SysResult<i64> {
+        self.result
+            .as_ref()
+            .map_err(|e| *e)?
+            .first()
+            .and_then(|w| w.parse().ok())
+            .ok_or(Errno::EPROTO)
+    }
+}
+
+/// A queue of requests sent to the server in one burst (wire protocol
+/// v2 pipelining). Build with [`ChirpClient::pipeline`], enqueue
+/// operations, then call [`Pipeline::run`].
+#[derive(Debug)]
+pub struct Pipeline<'a> {
+    client: &'a mut ChirpClient,
+    ops: Vec<QueuedOp>,
+}
+
+impl Pipeline<'_> {
+    fn push(&mut self, line: String, payload: Option<Vec<u8>>, wants_payload: bool) -> usize {
+        let trace = self.client.stamp();
+        self.ops.push(QueuedOp {
+            line,
+            payload,
+            trace,
+            wants_payload,
+        });
+        self.ops.len() - 1
+    }
+
+    /// Operations queued so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Queue a `whoami`.
+    pub fn whoami(&mut self) -> usize {
+        self.push("whoami".to_string(), None, false)
+    }
+
+    /// Queue a `stat`.
+    pub fn stat(&mut self, path: &str) -> usize {
+        self.push(format!("stat {}", encode_word(path)), None, false)
+    }
+
+    /// Queue an `open`.
+    pub fn open(&mut self, path: &str, flags: OpenFlags, mode: u16) -> usize {
+        self.push(
+            format!("open {} {} {}", encode_word(path), flags.to_bits(), mode),
+            None,
+            false,
+        )
+    }
+
+    /// Queue a `close`.
+    pub fn close(&mut self, fd: i64) -> usize {
+        self.push(format!("close {fd}"), None, false)
+    }
+
+    /// Queue an `fstat`.
+    pub fn fstat(&mut self, fd: i64) -> usize {
+        self.push(format!("fstat {fd}"), None, false)
+    }
+
+    /// Queue a `pread`; the reply payload carries the bytes.
+    pub fn pread(&mut self, fd: i64, len: usize, off: u64) -> usize {
+        self.push(format!("pread {fd} {len} {off}"), None, true)
+    }
+
+    /// Queue a `pwrite`.
+    pub fn pwrite(&mut self, fd: i64, data: &[u8], off: u64) -> usize {
+        self.push(
+            format!("pwrite {fd} {off} {}", data.len()),
+            Some(data.to_vec()),
+            false,
+        )
+    }
+
+    /// Queue a `mkdir`.
+    pub fn mkdir(&mut self, path: &str, mode: u16) -> usize {
+        self.push(format!("mkdir {} {}", encode_word(path), mode), None, false)
+    }
+
+    /// Queue an `rmdir`.
+    pub fn rmdir(&mut self, path: &str) -> usize {
+        self.push(format!("rmdir {}", encode_word(path)), None, false)
+    }
+
+    /// Queue an `unlink`.
+    pub fn unlink(&mut self, path: &str) -> usize {
+        self.push(format!("unlink {}", encode_word(path)), None, false)
+    }
+
+    /// Queue a `rename`.
+    pub fn rename(&mut self, old: &str, new: &str) -> usize {
+        self.push(
+            format!("rename {} {}", encode_word(old), encode_word(new)),
+            None,
+            false,
+        )
+    }
+
+    /// Queue a `truncate`.
+    pub fn truncate(&mut self, path: &str, len: u64) -> usize {
+        self.push(format!("truncate {} {len}", encode_word(path)), None, false)
+    }
+
+    /// Queue a `readdir`; the reply payload carries the listing.
+    pub fn readdir(&mut self, path: &str) -> usize {
+        self.push(format!("readdir {}", encode_word(path)), None, true)
+    }
+
+    /// Queue a `getacl`; the reply payload carries the ACL text.
+    pub fn getacl(&mut self, path: &str) -> usize {
+        self.push(format!("getacl {}", encode_word(path)), None, true)
+    }
+
+    /// Queue a whole-file `get`; the reply payload carries the bytes.
+    pub fn get(&mut self, path: &str) -> usize {
+        self.push(format!("get {}", encode_word(path)), None, true)
+    }
+
+    /// Queue a whole-file `put` (mode 0644).
+    pub fn put(&mut self, path: &str, data: &[u8]) -> usize {
+        self.push(
+            format!("put {} {} {}", encode_word(path), data.len(), 0o644),
+            Some(data.to_vec()),
+            false,
+        )
+    }
+
+    /// Send every queued request in one write, then read the replies
+    /// in queue order, verifying each echoed `id=` token. Returns one
+    /// [`PipeReply`] per queued operation.
+    ///
+    /// Any transport fault (including an id mismatch) poisons the
+    /// connection and fails the whole run — no retries.
+    pub fn run(self) -> SysResult<Vec<PipeReply>> {
+        let Pipeline { client, ops } = self;
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        if client.conn.is_none() {
+            let (conn, principal) = dial(client.addr, &client.creds, &client.policy)?;
+            client.conn = Some(conn);
+            client.principal = principal;
+            client.generation += 1;
+            client.reconnects += 1;
+        }
+        let mut conn = client.conn.take().expect("just ensured a connection");
+        let res = run_pipeline(&mut conn, &ops);
+        // Same poisoning rule as the one-shot path: only a clean run
+        // proves the stream is still framed.
+        if res.is_ok() {
+            client.conn = Some(conn);
+        }
+        res
+    }
+}
+
+/// The wire work of [`Pipeline::run`] on one connection: one buffered
+/// write for all requests, then an in-order, id-verified read pass.
+fn run_pipeline(conn: &mut Conn, ops: &[QueuedOp]) -> SysResult<Vec<PipeReply>> {
+    let mut buf = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        // v2 stacking order: `<line> id=<n> trace=<t>` — the trace
+        // token stays last on the wire, as v1 servers expect.
+        let stamped = codec::with_trace(&codec::with_id(&op.line, (i + 1) as u64), op.trace);
+        if stamped.len() + 1 > codec::LINE_MAX {
+            return Err(Errno::EINVAL);
+        }
+        buf.extend_from_slice(stamped.as_bytes());
+        buf.push(b'\n');
+        if let Some(p) = &op.payload {
+            buf.extend_from_slice(p);
+        }
+    }
+    conn.writer.write_all(&buf).map_err(|_| Errno::EPIPE)?;
+    conn.writer.flush().map_err(|_| Errno::EPIPE)?;
+    let mut replies = Vec::with_capacity(ops.len());
+    for (i, op) in ops.iter().enumerate() {
+        let raw = codec::read_line(&mut conn.reader)?;
+        let (head, id) = codec::strip_id(&raw);
+        if id != Some((i + 1) as u64) {
+            return Err(Errno::EPROTO);
+        }
+        let result = match parse_reply(head) {
+            Ok(words) => Ok(words),
+            Err(Fail::App(e)) => Err(e),
+            Err(fail) => return Err(fail.errno()),
+        };
+        let payload = match (&result, op.wants_payload) {
+            (Ok(words), true) => {
+                let len: u64 = words
+                    .first()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or(Errno::EPROTO)?;
+                Some(codec::read_payload(&mut conn.reader, len)?)
+            }
+            _ => None,
+        };
+        replies.push(PipeReply {
+            trace: op.trace,
+            result,
+            payload,
+        });
+    }
+    Ok(replies)
+}
+
+/// One operation in a [`ChirpClient::batch`] — the metadata subset of
+/// the protocol the server accepts inside a `batch` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Ask the server who we are.
+    Whoami,
+    /// Stat a path.
+    Stat(String),
+    /// Stat an open server-side fd.
+    Fstat(i64),
+    /// Open a path; the sub-reply number is the fd.
+    Open {
+        /// Client-visible path.
+        path: String,
+        /// Open flags.
+        flags: OpenFlags,
+        /// Creation mode.
+        mode: u16,
+    },
+    /// Close a server-side fd.
+    Close(i64),
+    /// List a directory (sub-reply text is the encoded listing).
+    Readdir(String),
+    /// Fetch a directory's ACL (sub-reply text is the ACL).
+    Getacl(String),
+    /// Create a directory.
+    Mkdir {
+        /// Client-visible path.
+        path: String,
+        /// Creation mode.
+        mode: u16,
+    },
+    /// Remove a directory.
+    Rmdir(String),
+    /// Unlink a file.
+    Unlink(String),
+    /// Rename a path.
+    Rename {
+        /// Old client-visible path.
+        old: String,
+        /// New client-visible path.
+        new: String,
+    },
+    /// Truncate a file.
+    Truncate {
+        /// Client-visible path.
+        path: String,
+        /// New length.
+        len: u64,
+    },
+}
+
+impl BatchOp {
+    /// Render the sub-operation's protocol line.
+    fn line(&self) -> String {
+        match self {
+            BatchOp::Whoami => "whoami".to_string(),
+            BatchOp::Stat(p) => format!("stat {}", encode_word(p)),
+            BatchOp::Fstat(fd) => format!("fstat {fd}"),
+            BatchOp::Open { path, flags, mode } => {
+                format!("open {} {} {}", encode_word(path), flags.to_bits(), mode)
+            }
+            BatchOp::Close(fd) => format!("close {fd}"),
+            BatchOp::Readdir(p) => format!("readdir {}", encode_word(p)),
+            BatchOp::Getacl(p) => format!("getacl {}", encode_word(p)),
+            BatchOp::Mkdir { path, mode } => format!("mkdir {} {}", encode_word(path), mode),
+            BatchOp::Rmdir(p) => format!("rmdir {}", encode_word(p)),
+            BatchOp::Unlink(p) => format!("unlink {}", encode_word(p)),
+            BatchOp::Rename { old, new } => {
+                format!("rename {} {}", encode_word(old), encode_word(new))
+            }
+            BatchOp::Truncate { path, len } => format!("truncate {} {len}", encode_word(path)),
+        }
+    }
+
+    /// Retry classification (see [`Verb`]).
+    fn class(&self) -> Verb {
+        match self {
+            BatchOp::Whoami | BatchOp::Stat(_) | BatchOp::Readdir(_) | BatchOp::Getacl(_) => {
+                Verb::ReadOnly
+            }
+            BatchOp::Open { flags, .. } => {
+                if flags.excl {
+                    Verb::Mutating
+                } else if flags.write || flags.create || flags.trunc {
+                    Verb::IdemWrite
+                } else {
+                    Verb::ReadOnly
+                }
+            }
+            BatchOp::Fstat(_) => Verb::FdRead,
+            BatchOp::Close(_) => Verb::FdWrite,
+            BatchOp::Truncate { .. } => Verb::IdemWrite,
+            BatchOp::Mkdir { .. }
+            | BatchOp::Rmdir(_)
+            | BatchOp::Unlink(_)
+            | BatchOp::Rename { .. } => Verb::Mutating,
+        }
+    }
+}
+
+/// The result of one [`BatchOp`] inside a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReply {
+    /// Decoded sub-reply words, or the operation's errno. Operations
+    /// that return bulk text (`readdir`, `getacl`) collapse it into a
+    /// single word — see [`BatchReply::text`].
+    pub result: SysResult<Vec<String>>,
+}
+
+impl BatchReply {
+    /// The first reply word parsed as a number (fd, size, exit code).
+    pub fn num(&self) -> SysResult<i64> {
+        self.result
+            .as_ref()
+            .map_err(|e| *e)?
+            .first()
+            .and_then(|w| w.parse().ok())
+            .ok_or(Errno::EPROTO)
+    }
+
+    /// The sub-reply's bulk text (empty when the reply carried none).
+    pub fn text(&self) -> SysResult<String> {
+        Ok(self
+            .result
+            .as_ref()
+            .map_err(|e| *e)?
+            .first()
+            .cloned()
+            .unwrap_or_default())
+    }
+
+    /// Decode a `stat`/`fstat` sub-reply.
+    pub fn stat(&self) -> SysResult<StatBuf> {
+        ChirpClient::stat_words(self.result.as_ref().map_err(|e| *e)?)
+    }
+}
+
+/// Parse one line of a batch reply payload. Transport-shaped garbage
+/// (neither `ok` nor `error <code>`) fails the whole batch.
+fn parse_batch_line(line: &str) -> SysResult<BatchReply> {
+    match parse_reply(line) {
+        Ok(words) => Ok(BatchReply { result: Ok(words) }),
+        Err(Fail::App(e)) => Ok(BatchReply { result: Err(e) }),
+        Err(_) => Err(Errno::EPROTO),
+    }
 }
 
 /// One line of the `stats` RPC: a syscall's dispatch count and latency
@@ -869,21 +1373,29 @@ mod tests {
     }
 
     #[test]
-    fn backoff_grows_caps_and_jitters_within_bounds() {
+    fn first_retry_is_immediate_then_backoff_stays_within_bounds() {
         let policy = RetryPolicy {
             base_delay: Duration::from_millis(2),
             max_delay: Duration::from_millis(100),
             ..RetryPolicy::default()
         };
         let mut jitter = 7u64;
-        for failures in 1..12u32 {
-            let exp = policy
-                .base_delay
-                .saturating_mul(1 << (failures - 1).min(16))
-                .min(policy.max_delay);
-            for _ in 0..32 {
-                let d = backoff_delay(&policy, failures, &mut jitter);
-                assert!(d >= exp / 2 && d <= exp, "failures={failures}: {d:?} vs {exp:?}");
+        for trial in 0..32 {
+            let mut prev = policy.base_delay;
+            // The first retry never sleeps — that was the fault-sweep
+            // latency cliff.
+            assert_eq!(
+                backoff_delay(&policy, 1, &mut prev, &mut jitter),
+                Duration::ZERO
+            );
+            for failures in 2..12u32 {
+                let hi = (prev * 3).min(policy.max_delay);
+                let d = backoff_delay(&policy, failures, &mut prev, &mut jitter);
+                assert!(
+                    d >= policy.base_delay.min(hi) && d <= policy.max_delay,
+                    "trial={trial} failures={failures}: {d:?} outside [base, cap]"
+                );
+                assert!(d <= hi, "trial={trial} failures={failures}: {d:?} > 3·prev {hi:?}");
             }
         }
         // A zero base never sleeps.
@@ -891,19 +1403,56 @@ mod tests {
             base_delay: Duration::ZERO,
             ..RetryPolicy::default()
         };
-        assert_eq!(backoff_delay(&zero, 3, &mut jitter), Duration::ZERO);
+        let mut prev = Duration::ZERO;
+        assert_eq!(backoff_delay(&zero, 3, &mut prev, &mut jitter), Duration::ZERO);
     }
 
     #[test]
     fn same_seed_same_backoff_schedule() {
         let policy = RetryPolicy::default();
         let (mut a, mut b) = (99u64, 99u64);
+        let (mut pa, mut pb) = (policy.base_delay, policy.base_delay);
         for failures in 1..8 {
             assert_eq!(
-                backoff_delay(&policy, failures, &mut a),
-                backoff_delay(&policy, failures, &mut b)
+                backoff_delay(&policy, failures, &mut pa, &mut a),
+                backoff_delay(&policy, failures, &mut pb, &mut b)
             );
         }
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn batch_ops_render_lines_and_compose_classes() {
+        let ops = [
+            BatchOp::Whoami,
+            BatchOp::Stat("/a dir/f".to_string()),
+            BatchOp::Rename {
+                old: "/x".to_string(),
+                new: "/y".to_string(),
+            },
+        ];
+        assert_eq!(ops[0].line(), "whoami");
+        assert_eq!(ops[1].line(), "stat /a%20dir/f");
+        assert_eq!(ops[2].line(), "rename /x /y");
+        // One mutating member makes the whole batch mutating…
+        let class = ops.iter().map(BatchOp::class).fold(Verb::ReadOnly, Verb::compose);
+        assert_eq!(class, Verb::Mutating);
+        // …and an fd-based member dominates even that.
+        assert_eq!(Verb::Mutating.compose(Verb::FdRead), Verb::FdRead);
+        assert_eq!(Verb::ReadOnly.compose(Verb::ReadOnly), Verb::ReadOnly);
+    }
+
+    #[test]
+    fn batch_reply_lines_split_ok_from_error() {
+        let ok = parse_batch_line("ok 42").unwrap();
+        assert_eq!(ok.num().unwrap(), 42);
+        let denied = parse_batch_line("error 13").unwrap();
+        assert_eq!(denied.result, Err(Errno::EACCES));
+        // Bulk text collapses to one decoded word.
+        let listing = parse_batch_line("ok a%0Ab%0A").unwrap();
+        assert_eq!(listing.text().unwrap(), "a\nb\n");
+        // Garbage is a transport fault for the whole batch.
+        assert_eq!(parse_batch_line("gibberish"), Err(Errno::EPROTO));
     }
 
     #[test]

@@ -170,6 +170,50 @@ pub fn strip_retry(line: &str) -> (&str, Option<u32>) {
     (line, None)
 }
 
+/// The spelling of the optional request-id token introduced by wire
+/// protocol generation 2: `id=` followed by a nonzero decimal ordinal.
+///
+/// A pipelining client appends `id=<n>` to each request (before the
+/// retry and trace tokens in line order, so it is stripped after them),
+/// and the server echoes the same token as the final word of the
+/// matching reply line. Requests without an id get strict in-order v1
+/// replies with no token, so v1 clients are unaffected, and a v1 server
+/// sees the token as one ignorable trailing word.
+pub const ID_PREFIX: &str = "id=";
+
+/// Append a request-id token to a command or reply line. Zero is never
+/// emitted — an un-pipelined request carries no token.
+pub fn with_id(line: &str, id: u64) -> String {
+    debug_assert!(id > 0, "request ids are 1-based");
+    format!("{line} {ID_PREFIX}{id}")
+}
+
+/// Split a trailing request-id token off a raw line (after
+/// [`strip_trace`] and [`strip_retry`] on requests; replies carry the
+/// id token last and alone). Returns the line without the token and the
+/// id when one was present and well-formed.
+///
+/// Same compatibility posture as [`strip_retry`]: recognized only after
+/// a preceding word and only with a nonzero all-digit value of sane
+/// length, so an ordinary final argument is never eaten.
+pub fn strip_id(line: &str) -> (&str, Option<u64>) {
+    if let Some(idx) = line.rfind(' ') {
+        if let Some(digits) = line[idx + 1..].strip_prefix(ID_PREFIX) {
+            if !digits.is_empty()
+                && digits.len() <= 18
+                && digits.bytes().all(|b| b.is_ascii_digit())
+            {
+                if let Ok(n) = digits.parse::<u64>() {
+                    if n > 0 {
+                        return (&line[..idx], Some(n));
+                    }
+                }
+            }
+        }
+    }
+    (line, None)
+}
+
 /// Split a command line into decoded words.
 pub fn split_words(line: &str) -> SysResult<Vec<String>> {
     line.split(' ')
@@ -345,6 +389,40 @@ mod tests {
         }
         // A final argument that merely resembles the prefix survives.
         assert_eq!(strip_retry("put retry=x 3"), ("put retry=x 3", None));
+    }
+
+    #[test]
+    fn id_token_round_trips() {
+        let line = with_id("stat /a", 7);
+        assert_eq!(line, "stat /a id=7");
+        assert_eq!(strip_id(&line), ("stat /a", Some(7)));
+        // Full v2 stacking on a request: id, then retry, then trace
+        // last-on-wire; stripping runs in reverse wire order.
+        let trace = idbox_obs::next_trace_id();
+        let full = with_trace(&with_retry(&with_id("stat /a", 3), 1), trace);
+        let (rest, got_trace) = strip_trace(&full);
+        assert_eq!(got_trace, Some(trace));
+        let (rest, got_retry) = strip_retry(rest);
+        assert_eq!(got_retry, Some(1));
+        assert_eq!(strip_id(rest), ("stat /a", Some(3)));
+    }
+
+    #[test]
+    fn strip_id_leaves_ordinary_lines_alone() {
+        assert_eq!(strip_id("stat /a"), ("stat /a", None));
+        // A lone token with no preceding command is not stripped.
+        assert_eq!(strip_id("id=1"), ("id=1", None));
+        for bad in [
+            "stat /a id=0",
+            "stat /a id=",
+            "stat /a id=x",
+            "stat /a id=1x",
+            "stat /a id=1234567890123456789",
+        ] {
+            assert_eq!(strip_id(bad), (bad, None));
+        }
+        // A final argument that merely resembles the prefix survives.
+        assert_eq!(strip_id("put id=x 3"), ("put id=x 3", None));
     }
 
     #[test]

@@ -1,0 +1,721 @@
+//! The server's readiness-polled event loop.
+//!
+//! Connections are state machines, not threads: each worker owns a set
+//! of connections and multiplexes them over [`crate::poll`]. A
+//! connection moves through two phases — authentication (driven by the
+//! incremental [`ServerAuthMachine`]) and the session proper, where a
+//! framer slices the read buffer into wire-protocol frames (a command
+//! line plus, for the payload-bearing verbs, its announced payload) and
+//! hands each complete frame to the dispatcher.
+//!
+//! Wire-protocol generation 2 rides on this structure: a pipelining
+//! client may send many frames before reading replies; every frame that
+//! carried an `id=<n>` token gets the same token echoed on its reply
+//! line, and all replies produced in one readiness cycle are flushed
+//! with a single write. Clients that send no ids (generation 1) get the
+//! old strict in-order, flush-per-reply behaviour, because they only
+//! ever have one frame outstanding.
+
+use crate::codec::{self, error_line};
+use crate::poll::{poll_fds, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+use crate::server::{
+    announced_payload, dispatch, record_span, ConnRegistry, GuestFn, Reply, SessionCtl,
+    SessionGauge, SessionObs, InflightGuard,
+};
+use idbox_auth::{AuthOutcome, ServerAuthMachine, ServerVerifier};
+use idbox_core::{BoxOptions, IdentityBox, Verdict};
+use idbox_interpose::{GuestCtx, Supervisor, TraceeVm};
+use idbox_kernel::Pid;
+use idbox_obs::{IdentityCounters, Phase, TraceCell, TraceId};
+use idbox_types::{CostModel, Errno, Principal};
+use idbox_vfs::Cred;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Maximum bytes pulled off one socket per readiness cycle, so a
+/// fire-hosing peer cannot starve its worker's other connections.
+const READ_BUDGET: usize = 256 * 1024;
+
+/// Soft cap on buffered replies: while a connection's write buffer sits
+/// above this, no further frames are processed for it (the peer must
+/// drain what it already asked for — per-connection backpressure).
+const OUT_SOFT_CAP: usize = 1024 * 1024;
+
+/// Poll tick: upper bound on how long a worker sleeps when nothing is
+/// ready. Wake sockets make registration and shutdown prompt; the tick
+/// only paces the idle sweep.
+const POLL_TICK_MS: i32 = 20;
+
+/// Maximum sub-operations accepted in one `batch` frame.
+pub(crate) const BATCH_MAX_OPS: usize = 4096;
+
+/// Everything a worker needs to serve connections, shared across the
+/// accept thread and all workers.
+pub(crate) struct LoopCtx {
+    pub(crate) ctl: SessionCtl,
+    pub(crate) programs: Arc<BTreeMap<String, GuestFn>>,
+    pub(crate) cost_model: CostModel,
+    pub(crate) sup_cred: Cred,
+    pub(crate) io_timeout: Option<Duration>,
+    pub(crate) conns: ConnRegistry,
+}
+
+/// A freshly accepted connection, handed from the accept thread to a
+/// worker. The stream is already nonblocking; the verifier carries the
+/// peer's reverse-lookup hostname.
+pub(crate) struct Registration {
+    pub(crate) id: u64,
+    pub(crate) stream: TcpStream,
+    pub(crate) verifier: ServerVerifier,
+}
+
+/// The accept thread's handle to one worker: a registration queue plus
+/// the write side of the worker's wake socket.
+pub(crate) struct WorkerHandle {
+    tx: Sender<Registration>,
+    wake: TcpStream,
+}
+
+impl WorkerHandle {
+    /// A second handle to the same worker (the accept thread and the
+    /// server handle each hold one).
+    pub(crate) fn duplicate(&self) -> std::io::Result<WorkerHandle> {
+        Ok(WorkerHandle {
+            tx: self.tx.clone(),
+            wake: self.wake.try_clone()?,
+        })
+    }
+
+    /// Hand a connection to this worker and wake it out of `poll`.
+    pub(crate) fn submit(&self, reg: Registration) {
+        let _ = self.tx.send(reg);
+        self.notify();
+    }
+
+    /// Wake the worker (used on shutdown, and after `submit`). The wake
+    /// socket is nonblocking on both sides; a full buffer already means
+    /// a wakeup is pending, so a short write is fine.
+    pub(crate) fn notify(&self) {
+        let _ = (&self.wake).write(&[1]);
+    }
+}
+
+/// A local socket pair to interrupt `poll` with (std has no pipe).
+fn wake_pair() -> std::io::Result<(TcpStream, TcpStream)> {
+    let l = TcpListener::bind(("127.0.0.1", 0))?;
+    let tx = TcpStream::connect(l.local_addr()?)?;
+    let (rx, _) = l.accept()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((tx, rx))
+}
+
+/// Spawn `n` event-loop workers. Worker threads are detached — they
+/// exit promptly when `stop` is set (shutdown wakes them), and a worker
+/// stuck inside a long dispatch must not be able to hang shutdown.
+pub(crate) fn spawn_workers(
+    n: usize,
+    lc: Arc<LoopCtx>,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<Vec<WorkerHandle>> {
+    let mut handles = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (wake_tx, wake_rx) = wake_pair()?;
+        let (tx, rx) = std::sync::mpsc::channel();
+        let lc = Arc::clone(&lc);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || run_worker(rx, wake_rx, lc, stop));
+        handles.push(WorkerHandle { tx, wake: wake_tx });
+    }
+    Ok(handles)
+}
+
+fn run_worker(
+    rx: Receiver<Registration>,
+    wake: TcpStream,
+    lc: Arc<LoopCtx>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut fds: Vec<PollFd> = Vec::new();
+    loop {
+        while let Ok(reg) = rx.try_recv() {
+            conns.push(Conn::new(reg));
+        }
+        if stop.load(Ordering::Relaxed) {
+            for c in conns {
+                c.teardown(&lc);
+            }
+            return;
+        }
+        fds.clear();
+        fds.push(PollFd {
+            fd: wake.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        });
+        for c in &conns {
+            let mut events = 0;
+            if c.outbuf.len() - c.outpos <= OUT_SOFT_CAP && !c.close_after_flush {
+                events |= POLLIN;
+            }
+            if c.outpos < c.outbuf.len() {
+                events |= POLLOUT;
+            }
+            fds.push(PollFd {
+                fd: c.stream.as_raw_fd(),
+                events,
+                revents: 0,
+            });
+        }
+        let _ = poll_fds(&mut fds, POLL_TICK_MS);
+        if fds[0].revents & POLLIN != 0 {
+            let mut buf = [0u8; 64];
+            while matches!((&wake).read(&mut buf), Ok(n) if n > 0) {}
+        }
+        for (c, pfd) in conns.iter_mut().zip(fds[1..].iter()) {
+            if pfd.revents & (POLLERR | POLLNVAL) != 0 {
+                c.dead = true;
+                continue;
+            }
+            if pfd.revents & (POLLIN | POLLHUP) != 0 {
+                c.fill();
+            }
+            c.pump(&lc);
+            c.flush();
+        }
+        if let Some(limit) = lc.io_timeout {
+            let now = Instant::now();
+            for c in conns.iter_mut() {
+                if now.duration_since(c.last_activity) > limit {
+                    c.dead = true;
+                }
+            }
+        }
+        let mut i = 0;
+        while i < conns.len() {
+            if conns[i].dead {
+                conns.swap_remove(i).teardown(&lc);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Which phase of its life a connection is in.
+enum ConnPhase {
+    Auth(ServerAuthMachine),
+    Session(Box<Session>),
+}
+
+/// A frame whose command line has been read but whose announced payload
+/// has not fully arrived yet.
+struct PendingFrame {
+    words: Vec<String>,
+    id: Option<u64>,
+    retry: Option<u32>,
+    trace: Option<TraceId>,
+    payload_len: u64,
+}
+
+/// Why `pump` stopped consuming frames.
+#[derive(PartialEq)]
+enum PumpExit {
+    /// Ran out of complete frames; more input is needed.
+    Starved,
+    /// The write buffer is over the soft cap; resume after a flush.
+    Backpressure,
+    /// The connection is closing (quit, protocol error, auth refusal).
+    Closing,
+}
+
+/// One connection's full state: buffers, phase, and liveness.
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    inpos: usize,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    last_activity: Instant,
+    phase: ConnPhase,
+    pending: Option<PendingFrame>,
+    saw_eof: bool,
+    close_after_flush: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(reg: Registration) -> Self {
+        Conn {
+            id: reg.id,
+            stream: reg.stream,
+            inbuf: Vec::new(),
+            inpos: 0,
+            outbuf: Vec::new(),
+            outpos: 0,
+            last_activity: Instant::now(),
+            phase: ConnPhase::Auth(ServerAuthMachine::new(reg.verifier)),
+            pending: None,
+            saw_eof: false,
+            close_after_flush: false,
+            dead: false,
+        }
+    }
+
+    /// Pull whatever the socket has (bounded by [`READ_BUDGET`]).
+    fn fill(&mut self) {
+        let mut scratch = [0u8; 16 * 1024];
+        let mut total = 0;
+        loop {
+            match (&self.stream).read(&mut scratch) {
+                Ok(0) => {
+                    self.saw_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.inbuf.extend_from_slice(&scratch[..n]);
+                    self.last_activity = Instant::now();
+                    total += n;
+                    if total >= READ_BUDGET {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Write as much buffered output as the socket takes right now.
+    /// This is the single flush point: every reply produced during one
+    /// readiness cycle goes out in (at most) one burst of writes.
+    fn flush(&mut self) {
+        while self.outpos < self.outbuf.len() {
+            match (&self.stream).write(&self.outbuf[self.outpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.outpos += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.outpos == self.outbuf.len() {
+            self.outbuf.clear();
+            self.outpos = 0;
+            if self.close_after_flush {
+                self.dead = true;
+            }
+        } else if self.outpos > OUT_SOFT_CAP {
+            self.outbuf.drain(..self.outpos);
+            self.outpos = 0;
+        }
+    }
+
+    fn queue_bytes(&mut self, bytes: &[u8]) {
+        self.outbuf.extend_from_slice(bytes);
+    }
+
+    fn queue_line(&mut self, line: &str) {
+        self.outbuf.extend_from_slice(line.as_bytes());
+        self.outbuf.push(b'\n');
+    }
+
+    /// Unconsumed input.
+    fn avail(&self) -> usize {
+        self.inbuf.len() - self.inpos
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.inpos += n;
+        // Compact once the consumed prefix dominates, so long sessions
+        // do not accrete an ever-growing buffer.
+        if self.inpos > 4096 && self.inpos * 2 >= self.inbuf.len() {
+            self.inbuf.drain(..self.inpos);
+            self.inpos = 0;
+        }
+    }
+
+    /// Slice one `\n`-terminated line off the input buffer, enforcing
+    /// the same bound as `codec::read_line`: the newline must arrive
+    /// within [`codec::LINE_MAX`] bytes.
+    fn take_line(&mut self) -> Result<Option<String>, Errno> {
+        let buf = &self.inbuf[self.inpos..];
+        let window = buf.len().min(codec::LINE_MAX);
+        match buf[..window].iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                let mut line = std::str::from_utf8(&buf[..i])
+                    .map_err(|_| Errno::EPROTO)?
+                    .to_string();
+                while line.ends_with('\r') {
+                    line.pop();
+                }
+                self.consume(i + 1);
+                Ok(Some(line))
+            }
+            None if buf.len() >= codec::LINE_MAX => Err(Errno::EPROTO),
+            None => Ok(None),
+        }
+    }
+
+    /// Consume frames until starved, backpressured, or closing.
+    fn pump(&mut self, lc: &LoopCtx) {
+        let exit = loop {
+            if self.dead {
+                break PumpExit::Closing;
+            }
+            if self.close_after_flush {
+                break PumpExit::Closing;
+            }
+            if self.outbuf.len() - self.outpos > OUT_SOFT_CAP {
+                break PumpExit::Backpressure;
+            }
+            let step = match self.phase {
+                ConnPhase::Auth(_) => self.step_auth(lc),
+                ConnPhase::Session(_) => self.step_session(lc),
+            };
+            match step {
+                Some(()) => continue,
+                None => break PumpExit::Starved,
+            }
+        };
+        // EOF with no undispatched frame left: nothing more will ever
+        // arrive, so finish sending what we owe and close.
+        if exit == PumpExit::Starved && self.saw_eof {
+            self.close_after_flush = true;
+        }
+    }
+
+    /// Satellite fix for silent teardown: a protocol violation (overlong
+    /// line, invalid UTF-8) now answers `error EPROTO` once, lands in
+    /// the audit ring as a shed, and then closes the connection.
+    fn protocol_teardown(&mut self, lc: &LoopCtx) {
+        let (identity, trace) = match &self.phase {
+            ConnPhase::Session(s) => (s.obs.identity.clone(), s.obs.trace.get()),
+            ConnPhase::Auth(_) => ("(unauthenticated)".to_string(), None),
+        };
+        if let ConnPhase::Session(s) = &self.phase {
+            s.counters.bump_rpc_shed();
+        } else {
+            lc.ctl.metrics.bump_admission_shed();
+        }
+        lc.ctl.audit.record_named(
+            &identity,
+            "proto-shed",
+            None,
+            Verdict::Deny,
+            Some(Errno::EPROTO),
+            trace,
+        );
+        self.queue_line(&error_line(Errno::EPROTO));
+        self.close_after_flush = true;
+    }
+
+    /// One auth-phase step: feed a line to the machine, queue its
+    /// replies, and promote the connection on success. Returns `Some`
+    /// when progress was made.
+    fn step_auth(&mut self, lc: &LoopCtx) -> Option<()> {
+        let line = match self.take_line() {
+            Ok(Some(line)) => line,
+            Ok(None) => return None,
+            Err(_) => {
+                self.protocol_teardown(lc);
+                return None;
+            }
+        };
+        let (replies, outcome) = {
+            let ConnPhase::Auth(machine) = &mut self.phase else {
+                unreachable!("step_auth outside auth phase")
+            };
+            let mut replies = Vec::new();
+            let outcome = machine.step(&line, &mut replies);
+            (replies, outcome)
+        };
+        for r in &replies {
+            self.queue_line(r);
+        }
+        match outcome {
+            Ok(AuthOutcome::Continue) => Some(()),
+            Ok(AuthOutcome::Authenticated(principal)) => {
+                match Session::build(principal, lc) {
+                    Ok(session) => {
+                        self.phase = ConnPhase::Session(Box::new(session));
+                        Some(())
+                    }
+                    // The box could not be provisioned; the client saw
+                    // its welcome but the session cannot exist.
+                    Err(_) => {
+                        self.close_after_flush = true;
+                        None
+                    }
+                }
+            }
+            Ok(AuthOutcome::Refused) | Err(_) => {
+                self.close_after_flush = true;
+                None
+            }
+        }
+    }
+
+    /// One session-phase step: complete a frame (line + payload) and
+    /// dispatch it. Returns `Some` when progress was made.
+    fn step_session(&mut self, lc: &LoopCtx) -> Option<()> {
+        // A frame waiting on its payload blocks the stream (frames are
+        // strictly ordered), so nothing else can be parsed before it.
+        if let Some(pf) = &self.pending {
+            if (self.avail() as u64) < pf.payload_len {
+                return None;
+            }
+            let pf = self.pending.take().expect("pending frame present");
+            let start = self.inpos;
+            let payload =
+                self.inbuf[start..start + pf.payload_len as usize].to_vec();
+            self.consume(pf.payload_len as usize);
+            self.dispatch_frame(pf, payload, lc);
+            return Some(());
+        }
+        let raw = match self.take_line() {
+            Ok(Some(line)) => line,
+            Ok(None) => return None,
+            Err(_) => {
+                self.protocol_teardown(lc);
+                return None;
+            }
+        };
+        // v2 token order on the wire: <command> id=<n> retry=<k>
+        // trace=<t> — stripped in reverse.
+        let (line, trace) = codec::strip_trace(&raw);
+        let (line, retry) = codec::strip_retry(line);
+        let (line, id) = codec::strip_id(line);
+        let words = match codec::split_words(line) {
+            Ok(w) if !w.is_empty() => w,
+            _ => {
+                self.queue_reply(Err(Errno::EPROTO), id);
+                return Some(());
+            }
+        };
+        let pf = match announced_payload(&words) {
+            Ok(len) => PendingFrame {
+                words,
+                id,
+                retry,
+                trace,
+                payload_len: len.unwrap_or(0),
+            },
+            // A bad or oversized announce is answered without waiting
+            // for (or allocating) any payload. The peer may still send
+            // the bytes, which will fail to parse as a command line —
+            // that desync then tears the connection down as a protocol
+            // error, which is the best available recovery.
+            Err(e) => {
+                self.queue_reply(Err(e), id);
+                return Some(());
+            }
+        };
+        if (self.avail() as u64) < pf.payload_len {
+            self.pending = Some(pf);
+            return Some(());
+        }
+        let start = self.inpos;
+        let payload = self.inbuf[start..start + pf.payload_len as usize].to_vec();
+        self.consume(pf.payload_len as usize);
+        self.dispatch_frame(pf, payload, lc);
+        Some(())
+    }
+
+    /// Dispatch one complete frame through the session and queue its
+    /// reply (stamped with the frame's id when it carried one).
+    fn dispatch_frame(&mut self, pf: PendingFrame, payload: Vec<u8>, lc: &LoopCtx) {
+        let ConnPhase::Session(session) = &mut self.phase else {
+            unreachable!("frames only exist in session phase")
+        };
+        let (reply, close) = session.handle_frame(&pf, &payload, lc);
+        if close {
+            self.close_after_flush = true;
+        }
+        if let Some(r) = reply {
+            self.queue_reply(r, pf.id);
+        }
+    }
+
+    /// Render a reply — head line (id-stamped when the request was
+    /// pipelined), then any payload — into the write buffer.
+    fn queue_reply(&mut self, reply: Result<Reply, Errno>, id: Option<u64>) {
+        let (head, data) = match reply {
+            Ok(Reply::Line(l)) => (l, None),
+            Ok(Reply::Payload(head, data)) => (head, Some(data)),
+            Err(e) => (error_line(e), None),
+        };
+        let head = match id {
+            Some(n) => codec::with_id(&head, n),
+            None => head,
+        };
+        self.queue_line(&head);
+        if let Some(data) = data {
+            self.queue_bytes(&data);
+        }
+    }
+
+    /// Close out the connection: end the boxed session (if one was
+    /// established) and deregister.
+    fn teardown(self, lc: &LoopCtx) {
+        if let ConnPhase::Session(s) = self.phase {
+            s.end();
+        }
+        lc.conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&self.id);
+    }
+}
+
+/// An authenticated session: the identity box's supervisor and guest
+/// process, plus per-identity observability state. The tracee VM is
+/// kept across dispatches instead of being reallocated per request.
+pub(crate) struct Session {
+    principal: Principal,
+    sup: Supervisor,
+    vm: Option<TraceeVm>,
+    pid: Pid,
+    counters: Arc<IdentityCounters>,
+    _gauge: SessionGauge,
+    obs: SessionObs,
+}
+
+impl Session {
+    /// The heart of the design, unchanged from the threaded server:
+    /// every connection's operations run inside an identity box
+    /// carrying the authenticated principal.
+    fn build(principal: Principal, lc: &LoopCtx) -> Result<Session, Errno> {
+        let identity = principal.to_identity();
+        let counters = lc.ctl.metrics.handle(identity.as_str());
+        counters.session_started();
+        let gauge = SessionGauge(Arc::clone(&counters));
+        let obs = SessionObs {
+            trace: Arc::new(TraceCell::new()),
+            identity: identity.as_str().to_string(),
+        };
+        let options = BoxOptions {
+            cost_model: lc.cost_model,
+            audit_ring: Some(Arc::clone(&lc.ctl.audit)),
+            trace: Some(Arc::clone(&obs.trace)),
+            metrics: Some(Arc::clone(&lc.ctl.metrics)),
+            slow_ops: Some(Arc::clone(&lc.ctl.slow_ops)),
+            ..Default::default()
+        };
+        let b = IdentityBox::with_options(
+            Arc::clone(&lc.ctl.kernel),
+            identity,
+            lc.sup_cred,
+            options,
+        )?;
+        let pid = b.spawn_process("chirp-session")?;
+        let sup = b.supervisor();
+        Ok(Session {
+            principal,
+            sup,
+            vm: Some(TraceeVm::new()),
+            pid,
+            counters,
+            _gauge: gauge,
+            obs,
+        })
+    }
+
+    /// Handle one complete frame: shed checks, dispatch, span. Returns
+    /// the reply (None only for frames that produce no reply — there
+    /// are none today) and whether the connection should close.
+    fn handle_frame(
+        &mut self,
+        pf: &PendingFrame,
+        payload: &[u8],
+        lc: &LoopCtx,
+    ) -> (Option<Result<Reply, Errno>>, bool) {
+        let ctl = &lc.ctl;
+        self.obs.trace.set(pf.trace);
+        if pf.retry.is_some() {
+            // The client re-sent an earlier attempt (possibly over a
+            // fresh connection); count it so retry pressure is visible
+            // per identity.
+            self.counters.bump_rpc_retried();
+        }
+        if pf.words[0] == "quit" {
+            return (Some(Ok(Reply::Line("ok".to_string()))), true);
+        }
+        // Graceful degradation: refuse work we cannot (drain) or should
+        // not (overload) take on, with a fast EAGAIN the retry policy
+        // understands. The frame — payload included — is already
+        // consumed, so the stream stays synchronized.
+        let shed_reason = if ctl.draining.load(Ordering::Relaxed) {
+            Some("drain")
+        } else if ctl
+            .busy_watermark
+            .is_some_and(|w| ctl.inflight.load(Ordering::Relaxed) >= w as u64)
+        {
+            Some("busy")
+        } else if ctl
+            .max_inflight_per_identity
+            .is_some_and(|m| self.counters.inflight() >= m as u64)
+        {
+            Some("identity-limit")
+        } else {
+            None
+        };
+        if let Some(reason) = shed_reason {
+            self.counters.bump_rpc_shed();
+            ctl.audit.record_named(
+                &self.obs.identity,
+                "rpc-shed",
+                Some(format!("{} {reason}", pf.words[0])),
+                Verdict::Deny,
+                Some(Errno::EAGAIN),
+                self.obs.trace.get(),
+            );
+            return (Some(Err(Errno::EAGAIN)), false);
+        }
+        let t0 = Instant::now();
+        let inflight = InflightGuard::new(&ctl.inflight, &self.counters);
+        let vm = self.vm.take().unwrap_or_default();
+        let mut ctx = GuestCtx::with_vm(&mut self.sup, self.pid, vm);
+        let result = dispatch(
+            &pf.words,
+            payload,
+            &mut ctx,
+            &self.principal,
+            &lc.programs,
+            ctl,
+            &self.obs,
+        );
+        self.vm = Some(ctx.into_vm());
+        drop(inflight);
+        record_span(ctl, &self.obs, Phase::Rpc, &pf.words[0], t0.elapsed());
+        (Some(result), false)
+    }
+
+    /// End the boxed session's guest process.
+    fn end(mut self) {
+        let vm = self.vm.take().unwrap_or_default();
+        let mut ctx = GuestCtx::with_vm(&mut self.sup, self.pid, vm);
+        ctx.exit(0);
+    }
+}

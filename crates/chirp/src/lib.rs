@@ -24,11 +24,16 @@
 
 pub mod catalog;
 mod client;
-mod codec;
+pub mod codec;
 mod driver;
+mod eventloop;
+mod poll;
 mod server;
 
-pub use client::{AuditRow, ChirpClient, RetryPolicy, SlowOpRow, StatRow};
+pub use client::{
+    AuditRow, BatchOp, BatchReply, ChirpClient, PipeReply, Pipeline, RetryPolicy, SlowOpRow,
+    StatRow,
+};
 pub use codec::{decode_word, encode_word};
 pub use driver::ChirpDriver;
 pub use server::{ChirpServer, ChirpServerHandle, GuestFn, ServerConfig};

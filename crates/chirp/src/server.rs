@@ -1,10 +1,11 @@
 //! The Chirp server.
 
 use crate::codec::{self, error_line, ok_num};
+use crate::eventloop::{self, LoopCtx, Registration, WorkerHandle, BATCH_MAX_OPS};
 use crate::export_path;
 use idbox_acl::Acl;
-use idbox_auth::{authenticate_server, AuthTransport, ServerVerifier};
-use idbox_core::{AuditRing, BoxOptions, IdentityBox, Verdict};
+use idbox_auth::ServerVerifier;
+use idbox_core::{AuditRing, Verdict};
 use idbox_interpose::abi;
 use idbox_interpose::{share, GuestCtx, SharedKernel};
 use idbox_kernel::{Account, Kernel, OpenFlags, Pid, Syscall};
@@ -15,7 +16,7 @@ use idbox_obs::{
 use idbox_types::{CostModel, Errno, SysResult};
 use idbox_vfs::Cred;
 use std::collections::BTreeMap;
-use std::io::{BufReader, Write};
+use std::io::Write;
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -74,6 +75,12 @@ pub struct ServerConfig {
     /// force-closing their sockets. Bounded so a stuck guest program
     /// cannot hang the embedding process (or CI) forever.
     pub drain_deadline: Duration,
+    /// Event-loop worker threads multiplexing connections. `0` (the
+    /// default) resolves from `IDBOX_EVENT_LOOPS`, falling back to the
+    /// host's parallelism clamped to [2, 8]. At least two workers run
+    /// even on one core, so a long-running dispatch (a slow `exec`)
+    /// never blocks every other connection.
+    pub event_loops: usize,
 }
 
 impl Default for ServerConfig {
@@ -98,15 +105,36 @@ impl Default for ServerConfig {
             busy_watermark: None,
             max_inflight_per_identity: None,
             drain_deadline: Duration::from_secs(1),
+            event_loops: 0,
         }
     }
+}
+
+/// Resolve the worker count: explicit config wins, then the
+/// `IDBOX_EVENT_LOOPS` environment knob, then host parallelism clamped
+/// to [2, 8].
+fn resolve_event_loops(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    if let Some(n) = std::env::var("IDBOX_EVENT_LOOPS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8)
 }
 
 /// Live-connection registry: duplicated stream handles keyed by a
 /// connection id, used both to gate admission (`len()` against
 /// `max_connections`) and to signal lingering sessions on shutdown
 /// (`TcpStream::shutdown` unblocks their reads).
-type ConnRegistry = Arc<std::sync::Mutex<std::collections::HashMap<u64, TcpStream>>>;
+pub(crate) type ConnRegistry = Arc<std::sync::Mutex<std::collections::HashMap<u64, TcpStream>>>;
 
 /// A Chirp server ready to be spawned.
 pub struct ChirpServer {
@@ -176,35 +204,52 @@ impl ChirpServer {
         &self.kernel
     }
 
-    /// Bind to a local port and serve connections on a background
-    /// thread. Returns a handle carrying the bound address.
+    /// Bind to a local port and serve connections from a readiness-
+    /// polled event loop: an accept thread admits connections and
+    /// hands them to worker threads, each multiplexing its share of
+    /// connections as nonblocking state machines. Returns a handle
+    /// carrying the bound address.
     pub fn spawn(self) -> std::io::Result<ChirpServerHandle> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
-        let kernel = Arc::clone(&self.kernel);
-        let programs = Arc::new(self.programs);
         let verifier = Arc::new(self.config.verifier);
         let host_db = Arc::new(self.config.host_db);
-        let cost_model = self.config.cost_model;
-        let sup_cred = self.sup_cred;
-        let io_timeout = self.config.io_timeout;
         let max_connections = self.config.max_connections;
-        let admins = Arc::new(self.config.admins);
         let audit = Arc::clone(&self.audit);
         let metrics = Arc::clone(&self.metrics);
-        let slow_ops = Arc::clone(&self.slow_ops);
-        let busy_watermark = self.config.busy_watermark;
-        let max_inflight_per_identity = self.config.max_inflight_per_identity;
         let drain_deadline = self.config.drain_deadline;
         let draining = Arc::new(AtomicBool::new(false));
-        let draining2 = Arc::clone(&draining);
         let inflight = Arc::new(AtomicU64::new(0));
-        let inflight2 = Arc::clone(&inflight);
         let conns: ConnRegistry = Arc::default();
         let conns2 = Arc::clone(&conns);
+        let ctl = SessionCtl {
+            kernel: Arc::clone(&self.kernel),
+            admins: Arc::new(self.config.admins),
+            audit: Arc::clone(&self.audit),
+            metrics: Arc::clone(&self.metrics),
+            slow_ops: Arc::clone(&self.slow_ops),
+            draining: Arc::clone(&draining),
+            inflight: Arc::clone(&inflight),
+            busy_watermark: self.config.busy_watermark,
+            max_inflight_per_identity: self.config.max_inflight_per_identity,
+        };
+        let lc = Arc::new(LoopCtx {
+            ctl,
+            programs: Arc::new(self.programs),
+            cost_model: self.config.cost_model,
+            sup_cred: self.sup_cred,
+            io_timeout: self.config.io_timeout,
+            conns: Arc::clone(&conns),
+        });
+        let n_workers = resolve_event_loops(self.config.event_loops);
+        let workers = eventloop::spawn_workers(n_workers, lc, Arc::clone(&stop))?;
+        let wakers: Vec<WorkerHandle> = workers
+            .iter()
+            .map(|w| w.duplicate())
+            .collect::<std::io::Result<_>>()?;
         // Catalog heartbeat: register now and on every period until
         // shutdown.
         if let Some(catalog) = self.config.catalog {
@@ -262,44 +307,19 @@ impl ChirpServer {
                         // Small request/response lines: without nodelay
                         // every reply stalls on Nagle + delayed ACK.
                         let _ = stream.set_nodelay(true);
-                        let _ = stream.set_read_timeout(io_timeout);
-                        let _ = stream.set_write_timeout(io_timeout);
-                        let kernel = Arc::clone(&kernel);
-                        let programs = Arc::clone(&programs);
-                        let conns = Arc::clone(&conns2);
-                        let admins = Arc::clone(&admins);
-                        let audit = Arc::clone(&audit);
-                        let metrics = Arc::clone(&metrics);
-                        let slow_ops = Arc::clone(&slow_ops);
-                        let mut verifier = (*verifier).clone();
-                        verifier.peer_hostname = host_db.get(&peer.ip()).cloned();
-                        // Detached: a connection lives as long as its
-                        // client keeps the socket open (or until the
-                        // io_timeout disconnects an idle one). Shutdown
-                        // stops the accept loop and then signals
-                        // lingering sessions through the registry.
-                        let draining = Arc::clone(&draining2);
-                        let inflight = Arc::clone(&inflight2);
-                        std::thread::spawn(move || {
-                            let ctl = SessionCtl {
-                                kernel: Arc::clone(&kernel),
-                                admins,
-                                audit,
-                                metrics,
-                                slow_ops,
-                                draining,
-                                inflight,
-                                busy_watermark,
-                                max_inflight_per_identity,
-                            };
-                            let _ = serve_connection(
-                                stream, kernel, &verifier, &programs, cost_model, sup_cred,
-                                &ctl,
-                            );
-                            conns
+                        if stream.set_nonblocking(true).is_err() {
+                            conns2
                                 .lock()
                                 .unwrap_or_else(|e| e.into_inner())
                                 .remove(&id);
+                            continue;
+                        }
+                        let mut verifier = (*verifier).clone();
+                        verifier.peer_hostname = host_db.get(&peer.ip()).cloned();
+                        workers[id as usize % workers.len()].submit(Registration {
+                            id,
+                            stream,
+                            verifier,
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -321,6 +341,7 @@ impl ChirpServer {
             draining,
             inflight,
             drain_deadline,
+            wakers,
         })
     }
 }
@@ -338,6 +359,7 @@ pub struct ChirpServerHandle {
     draining: Arc<AtomicBool>,
     inflight: Arc<AtomicU64>,
     drain_deadline: Duration,
+    wakers: Vec<WorkerHandle>,
 }
 
 impl ChirpServerHandle {
@@ -383,6 +405,13 @@ impl ChirpServerHandle {
         self.draining.store(true, Ordering::Relaxed);
     }
 
+    /// Leave drain mode: requests are served normally again. Pairs with
+    /// [`ChirpServerHandle::begin_drain`] for maintenance windows that
+    /// end without a shutdown.
+    pub fn end_drain(&self) {
+        self.draining.store(false, Ordering::Relaxed);
+    }
+
     /// Graceful shutdown: enter drain mode, stop accepting, let
     /// in-flight RPCs finish (bounded by the configured
     /// `drain_deadline`), then signal every lingering connection —
@@ -402,6 +431,11 @@ impl ChirpServerHandle {
         // must not be able to hang the embedding process).
         self.draining.store(true, Ordering::Relaxed);
         self.stop.store(true, Ordering::Relaxed);
+        // Kick every worker out of `poll` so they observe the stop flag
+        // promptly (workers are detached; only the accept thread joins).
+        for w in &self.wakers {
+            w.notify();
+        }
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
@@ -436,6 +470,11 @@ impl ChirpServerHandle {
         for stream in registry.values() {
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
+        // The shutdown sockets report readable in the workers' poll
+        // sets; one more wake covers workers sleeping on an empty set.
+        for w in &self.wakers {
+            w.notify();
+        }
     }
 }
 
@@ -445,43 +484,23 @@ impl Drop for ChirpServerHandle {
     }
 }
 
-/// The auth transport over a TCP stream.
-struct TcpLineTransport {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-impl AuthTransport for TcpLineTransport {
-    fn send_line(&mut self, line: &str) -> Result<(), String> {
-        self.writer
-            .write_all(line.as_bytes())
-            .and_then(|_| self.writer.write_all(b"\n"))
-            .and_then(|_| self.writer.flush())
-            .map_err(|e| e.to_string())
-    }
-
-    fn recv_line(&mut self) -> Result<String, String> {
-        codec::read_line(&mut self.reader).map_err(|e| e.to_string())
-    }
-}
-
 /// Server-wide observability state a session can reach from `dispatch`:
 /// the shared kernel (latency histograms live inside it), the admin
 /// list, and the audit ring.
-struct SessionCtl {
-    kernel: SharedKernel,
-    admins: Arc<Vec<String>>,
-    audit: Arc<AuditRing>,
-    metrics: Arc<IdentityMetrics>,
-    slow_ops: Arc<SlowOpLog>,
+pub(crate) struct SessionCtl {
+    pub(crate) kernel: SharedKernel,
+    pub(crate) admins: Arc<Vec<String>>,
+    pub(crate) audit: Arc<AuditRing>,
+    pub(crate) metrics: Arc<IdentityMetrics>,
+    pub(crate) slow_ops: Arc<SlowOpLog>,
     /// Set when the server is draining: every request is shed so
     /// in-flight work can finish and sessions wind down.
-    draining: Arc<AtomicBool>,
+    pub(crate) draining: Arc<AtomicBool>,
     /// Server-wide count of RPCs currently in dispatch, shared with the
     /// handle (shutdown polls it) and checked against `busy_watermark`.
-    inflight: Arc<AtomicU64>,
-    busy_watermark: Option<usize>,
-    max_inflight_per_identity: Option<usize>,
+    pub(crate) inflight: Arc<AtomicU64>,
+    pub(crate) busy_watermark: Option<usize>,
+    pub(crate) max_inflight_per_identity: Option<usize>,
 }
 
 impl SessionCtl {
@@ -499,14 +518,14 @@ impl SessionCtl {
 /// Per-session observability state threaded into `dispatch`: the cell
 /// holding the current request's trace id and the identity string spans
 /// are labeled with.
-struct SessionObs {
-    trace: Arc<TraceCell>,
-    identity: String,
+pub(crate) struct SessionObs {
+    pub(crate) trace: Arc<TraceCell>,
+    pub(crate) identity: String,
 }
 
 /// Decrements an identity's active-session gauge when the session ends,
 /// on every exit path.
-struct SessionGauge(Arc<IdentityCounters>);
+pub(crate) struct SessionGauge(pub(crate) Arc<IdentityCounters>);
 
 impl Drop for SessionGauge {
     fn drop(&mut self) {
@@ -518,13 +537,13 @@ impl Drop for SessionGauge {
 /// load-shedding watermark and the drain poll read it) and the
 /// identity's gauge. Dropped on every exit path, so a panicking dispatch
 /// cannot leak an in-flight slot and wedge shutdown.
-struct InflightGuard {
+pub(crate) struct InflightGuard {
     global: Arc<AtomicU64>,
     counters: Arc<IdentityCounters>,
 }
 
 impl InflightGuard {
-    fn new(global: &Arc<AtomicU64>, counters: &Arc<IdentityCounters>) -> Self {
+    pub(crate) fn new(global: &Arc<AtomicU64>, counters: &Arc<IdentityCounters>) -> Self {
         global.fetch_add(1, Ordering::Relaxed);
         counters.rpc_started();
         InflightGuard {
@@ -543,145 +562,41 @@ impl Drop for InflightGuard {
     }
 }
 
-/// Payload length announced by a request line, for the verbs that stream
-/// a payload after it. A shed reply must still consume that payload, or
-/// the next `read_line` would parse payload bytes as a request.
-fn request_payload_len(words: &[String]) -> Option<u64> {
-    let idx = match words[0].as_str() {
-        "pwrite" => 3,
-        "put" | "setacl" => 2,
-        _ => return None,
+/// Payload length announced by a request line, for the verbs that carry
+/// a payload after it: `Ok(None)` for payload-less verbs, `Ok(Some(n))`
+/// for a valid announce, and the errno to answer with for a malformed
+/// or oversized one (which the framer answers *without* waiting for any
+/// payload bytes — no announce can make the server reserve more than
+/// [`codec::PAYLOAD_MAX`]).
+pub(crate) fn announced_payload(words: &[String]) -> Result<Option<u64>, Errno> {
+    let (idx, oversize) = match words[0].as_str() {
+        "pwrite" => (3, Errno::EPROTO),
+        // `put` historically refuses an oversized announce with EINVAL;
+        // the others surface the payload reader's EPROTO.
+        "put" => (2, Errno::EINVAL),
+        "setacl" => (2, Errno::EPROTO),
+        "batch" => (1, Errno::EPROTO),
+        _ => return Ok(None),
     };
-    words.get(idx).and_then(|w| w.parse().ok())
-}
-
-/// Serve one authenticated connection inside an identity box.
-fn serve_connection(
-    stream: TcpStream,
-    kernel: SharedKernel,
-    verifier: &ServerVerifier,
-    programs: &BTreeMap<String, GuestFn>,
-    cost_model: CostModel,
-    sup_cred: Cred,
-    ctl: &SessionCtl,
-) -> SysResult<()> {
-    let reader = BufReader::new(stream.try_clone().map_err(|_| Errno::EIO)?);
-    let mut transport = TcpLineTransport {
-        reader,
-        writer: stream,
-    };
-    let principal = match authenticate_server(&mut transport, verifier) {
-        Ok(p) => p,
-        Err(_) => return Err(Errno::EACCES), // client saw the refusal
-    };
-
-    // The heart of the design: this connection's operations run inside
-    // an identity box carrying the authenticated principal. The same
-    // identity keys the session's metrics, and the session's trace cell
-    // joins each request's id to the rulings and spans it causes.
-    let identity = principal.to_identity();
-    let counters = ctl.metrics.handle(identity.as_str());
-    counters.session_started();
-    let _gauge = SessionGauge(Arc::clone(&counters));
-    let obs = SessionObs {
-        trace: Arc::new(TraceCell::new()),
-        identity: identity.as_str().to_string(),
-    };
-    let options = BoxOptions {
-        cost_model,
-        audit_ring: Some(Arc::clone(&ctl.audit)),
-        trace: Some(Arc::clone(&obs.trace)),
-        metrics: Some(Arc::clone(&ctl.metrics)),
-        slow_ops: Some(Arc::clone(&ctl.slow_ops)),
-        ..Default::default()
-    };
-    let b = IdentityBox::with_options(kernel, identity, sup_cred, options)?;
-    let pid = b.spawn_process("chirp-session")?;
-    let mut sup = b.supervisor();
-    let mut ctx = GuestCtx::new(&mut sup, pid);
-
-    let TcpLineTransport {
-        mut reader,
-        mut writer,
-    } = transport;
-
-    while let Ok(raw) = codec::read_line(&mut reader) {
-        let (line, trace_id) = codec::strip_trace(&raw);
-        obs.trace.set(trace_id);
-        let (line, retry) = codec::strip_retry(line);
-        if retry.is_some() {
-            // The client re-sent an earlier attempt (possibly over a
-            // fresh connection); count it so retry pressure is visible
-            // per identity.
-            counters.bump_rpc_retried();
-        }
-        let words = match codec::split_words(line) {
-            Ok(w) if !w.is_empty() => w,
-            _ => {
-                codec::write_line(&mut writer, &error_line(Errno::EPROTO))?;
-                continue;
-            }
-        };
-        if words[0] == "quit" {
-            codec::write_line(&mut writer, "ok")?;
-            break;
-        }
-        // Graceful degradation: refuse work we cannot (drain) or should
-        // not (overload) take on, with a fast EAGAIN the retry policy
-        // understands, instead of queueing or failing mid-operation.
-        let shed_reason = if ctl.draining.load(Ordering::Relaxed) {
-            Some("drain")
-        } else if ctl
-            .busy_watermark
-            .is_some_and(|w| ctl.inflight.load(Ordering::Relaxed) >= w as u64)
-        {
-            Some("busy")
-        } else if ctl
-            .max_inflight_per_identity
-            .is_some_and(|m| counters.inflight() >= m as u64)
-        {
-            Some("identity-limit")
-        } else {
-            None
-        };
-        if let Some(reason) = shed_reason {
-            if let Some(len) = request_payload_len(&words) {
-                let _ = codec::read_payload(&mut reader, len);
-            }
-            counters.bump_rpc_shed();
-            ctl.audit.record_named(
-                &obs.identity,
-                "rpc-shed",
-                Some(format!("{} {reason}", words[0])),
-                Verdict::Deny,
-                Some(Errno::EAGAIN),
-                obs.trace.get(),
-            );
-            codec::write_line(&mut writer, &error_line(Errno::EAGAIN))?;
-            continue;
-        }
-        let t0 = std::time::Instant::now();
-        let inflight = InflightGuard::new(&ctl.inflight, &counters);
-        let result = dispatch(&words, &mut reader, &mut ctx, &principal, programs, ctl, &obs);
-        drop(inflight);
-        record_span(ctl, &obs, Phase::Rpc, &words[0], t0.elapsed());
-        match result {
-            Ok(Reply::Line(l)) => codec::write_line(&mut writer, &l)?,
-            Ok(Reply::Payload(head, data)) => {
-                codec::write_line(&mut writer, &head)?;
-                writer.write_all(&data).map_err(|_| Errno::EPIPE)?;
-                writer.flush().map_err(|_| Errno::EPIPE)?;
-            }
-            Err(e) => codec::write_line(&mut writer, &error_line(e))?,
-        }
+    let len: u64 = words
+        .get(idx)
+        .and_then(|w| w.parse().ok())
+        .ok_or(Errno::EPROTO)?;
+    if len > codec::PAYLOAD_MAX {
+        return Err(oversize);
     }
-    ctx.exit(0);
-    Ok(())
+    Ok(Some(len))
 }
 
 /// Offer one timed phase of the current request to the slow-op ring
 /// (which applies its threshold).
-fn record_span(ctl: &SessionCtl, obs: &SessionObs, phase: Phase, name: &str, dur: Duration) {
+pub(crate) fn record_span(
+    ctl: &SessionCtl,
+    obs: &SessionObs,
+    phase: Phase,
+    name: &str,
+    dur: Duration,
+) {
     let dur_ns = dur.as_nanos().min(u128::from(u64::MAX)) as u64;
     ctl.slow_ops.record(Span {
         trace: obs.trace.get(),
@@ -693,7 +608,7 @@ fn record_span(ctl: &SessionCtl, obs: &SessionObs, phase: Phase, name: &str, dur
     });
 }
 
-enum Reply {
+pub(crate) enum Reply {
     Line(String),
     Payload(String, Vec<u8>),
 }
@@ -702,9 +617,12 @@ fn parse_num<T: std::str::FromStr>(w: Option<&String>) -> SysResult<T> {
     w.and_then(|s| s.parse().ok()).ok_or(Errno::EPROTO)
 }
 
-fn dispatch(
+/// Dispatch one framed request. `payload` is the request's announced
+/// payload, already sliced off the wire by the framer (empty for
+/// payload-less verbs), so dispatch never touches the socket.
+pub(crate) fn dispatch(
     words: &[String],
-    reader: &mut BufReader<TcpStream>,
+    payload: &[u8],
     ctx: &mut GuestCtx<'_>,
     principal: &idbox_types::Principal,
     programs: &BTreeMap<String, GuestFn>,
@@ -753,9 +671,7 @@ fn dispatch(
         "pwrite" => {
             let fd: i64 = parse_num(words.get(1))?;
             let off: u64 = parse_num(words.get(2))?;
-            let len: u64 = parse_num(words.get(3))?;
-            let data = codec::read_payload(reader, len)?;
-            let n = ctx.pwrite(fd, &data, off)?;
+            let n = ctx.pwrite(fd, payload, off)?;
             Ok(Reply::Line(ok_num(n as i64)))
         }
         "fstat" => {
@@ -804,11 +720,9 @@ fn dispatch(
         }
         "setacl" => {
             let dir = export_path(arg(1)?);
-            let len: u64 = parse_num(words.get(2))?;
-            let data = codec::read_payload(reader, len)?;
             // Validate before installing: a bad ACL must not brick the
             // directory.
-            let text = String::from_utf8(data).map_err(|_| Errno::EINVAL)?;
+            let text = String::from_utf8(payload.to_vec()).map_err(|_| Errno::EINVAL)?;
             Acl::parse(&text).map_err(|_| Errno::EINVAL)?;
             let acl_path = format!("{dir}/{}", idbox_types::ACL_FILE_NAME);
             ctx.write_file(&acl_path, text.as_bytes())?;
@@ -816,26 +730,41 @@ fn dispatch(
         }
         "put" => {
             let path = export_path(arg(1)?);
-            let len: u64 = parse_num(words.get(2))?;
-            // Refuse an oversized announce before any allocation or
-            // payload read. `read_payload` enforces the same cap
-            // (EPROTO), but checking here keeps the guarantee local:
-            // no `put` line can make the server reserve more than
-            // PAYLOAD_MAX, whatever the payload reader does.
-            if len > codec::PAYLOAD_MAX {
-                return Err(Errno::EINVAL);
-            }
             let mode: u16 = match words.get(3) {
                 Some(w) => w.parse().map_err(|_| Errno::EPROTO)?,
                 None => 0o644,
             };
-            let data = codec::read_payload(reader, len)?;
-            ctx.write_file_mode(&path, &data, mode)?;
+            ctx.write_file_mode(&path, payload, mode)?;
             Ok(Reply::Line("ok".to_string()))
         }
         "get" => {
             let data = ctx.read_file(&export_path(arg(1)?))?;
             Ok(Reply::Payload(ok_num(data.len() as i64), data))
+        }
+        // Wire protocol v2: many small metadata ops in one frame. The
+        // payload is one command line per sub-op (same word encoding as
+        // top-level requests, no trailing tokens); the reply payload is
+        // one reply line per sub-op, in order — `ok ...` with any bulk
+        // result percent-encoded as a single word, or `error <code>`.
+        // Sub-ops fail independently; the batch itself only errors on a
+        // malformed envelope. One shed check and one in-flight slot
+        // cover the whole frame — that is the point: cross the
+        // expensive boundary once per batch, not once per call.
+        "batch" => {
+            let text = std::str::from_utf8(payload).map_err(|_| Errno::EINVAL)?;
+            let lines: Vec<&str> = text
+                .split('\n')
+                .filter(|l| !l.trim().is_empty())
+                .collect();
+            if lines.len() > BATCH_MAX_OPS {
+                return Err(Errno::EINVAL);
+            }
+            let mut out = String::new();
+            for line in lines {
+                out.push_str(&batch_sub_op(line, ctx, principal, programs, ctl, obs));
+                out.push('\n');
+            }
+            Ok(Reply::Payload(ok_num(out.len() as i64), out.into_bytes()))
         }
         "exec" => {
             let path = export_path(arg(1)?);
@@ -931,6 +860,43 @@ fn dispatch(
             Ok(Reply::Payload(ok_num(text.len() as i64), text.into_bytes()))
         }
         _ => Err(Errno::ENOSYS),
+    }
+}
+
+/// Verbs a `batch` frame may carry: the small metadata ops whose
+/// round-trip tax batching exists to amortize. Payload-bearing verbs,
+/// `exec`, the admin RPCs, and `batch` itself are excluded — they keep
+/// their own frames.
+const BATCH_VERBS: &[&str] = &[
+    "whoami", "stat", "fstat", "open", "close", "readdir", "getacl", "mkdir", "rmdir", "unlink",
+    "rename", "truncate",
+];
+
+/// Run one batch sub-op and render its reply line. Bulk replies
+/// (readdir listings, ACL text) are percent-encoded into a single word
+/// so every sub-reply stays a one-liner.
+fn batch_sub_op(
+    line: &str,
+    ctx: &mut GuestCtx<'_>,
+    principal: &idbox_types::Principal,
+    programs: &BTreeMap<String, GuestFn>,
+    ctl: &SessionCtl,
+    obs: &SessionObs,
+) -> String {
+    let words = match codec::split_words(line) {
+        Ok(w) if !w.is_empty() => w,
+        _ => return error_line(Errno::EPROTO),
+    };
+    if !BATCH_VERBS.contains(&words[0].as_str()) {
+        return error_line(Errno::ENOSYS);
+    }
+    match dispatch(&words, &[], ctx, principal, programs, ctl, obs) {
+        Ok(Reply::Line(l)) => l,
+        Ok(Reply::Payload(_, data)) => match String::from_utf8(data) {
+            Ok(text) => format!("ok {}", codec::encode_word(&text)),
+            Err(_) => error_line(Errno::EIO),
+        },
+        Err(e) => error_line(e),
     }
 }
 

@@ -45,6 +45,19 @@ impl<'a> GuestCtx<'a> {
         }
     }
 
+    /// Create a context reusing an already-allocated VM. Long-lived
+    /// sessions that drive a guest process one request at a time (the
+    /// Chirp event loop) keep the VM across dispatches instead of
+    /// reallocating its memory image per call.
+    pub fn with_vm(sup: &'a mut Supervisor, pid: Pid, vm: TraceeVm) -> Self {
+        GuestCtx { sup, vm, pid }
+    }
+
+    /// Take the VM back out for reuse by a later [`GuestCtx::with_vm`].
+    pub fn into_vm(self) -> TraceeVm {
+        self.vm
+    }
+
     /// The process this context drives.
     pub fn pid(&self) -> Pid {
         self.pid
