@@ -10,6 +10,14 @@ cargo test -q
 # stats/audit/metrics/slowops RPCs and the trace-id join.
 cargo test -q -p idbox-obs -p idbox-kernel -p idbox-core
 cargo test -q -p idbox-chirp --test e2e
+# Self-observation plane: flight-recorder/tracedump e2e (Chrome-trace
+# JSON validity, admin gating, bounded rings under an RPC storm), the
+# loop-stall watchdog, the health roll-up, and hostile-identity label
+# escaping in the lock/loop Prometheus families.
+cargo test -q -p idbox-chirp --test observability
+# Lock-profile units: log2 wait histograms, snapshot diffs, percentile
+# math, and the enable/disable kill switch.
+cargo test -q -p idbox-sync
 # Fast-path cache equivalence: the dentry cache and the ACL verdict
 # cache must be pure optimizations (cached and uncached resolution /
 # rulings agree under random mutation interleavings).
@@ -51,6 +59,12 @@ IDBOX_BENCH_WINDOW_MS=150 IDBOX_BENCH_ASSERT_PIPELINE=1 \
 # scaling assertion self-skips on hosts with fewer than 4 cores.
 IDBOX_BENCH_WINDOW_MS=150 IDBOX_BENCH_ASSERT_SCALING=1 \
   cargo run --release -q -p idbox-bench --bin contention
+# Observability overhead smoke (~2 s): the on-vs-off A/B must run end
+# to end and emit results/BENCH_overhead.tsv. The <=3% overhead
+# assertion self-skips on single-core hosts, where the ratio is
+# scheduler noise.
+IDBOX_BENCH_WINDOW_MS=150 IDBOX_BENCH_ASSERT_OVERHEAD=1 \
+  cargo run --release -q -p idbox-bench --bin server_throughput -- --overhead
 # The whole workspace lints clean across all targets (tests, benches,
 # bins), and the API docs build without warnings.
 cargo clippy --workspace --all-targets -- -D warnings

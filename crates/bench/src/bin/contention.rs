@@ -10,6 +10,12 @@
 //! subtrees take disjoint locks, so aggregate throughput should scale
 //! with client count on a multi-core host.
 //!
+//! Each level also reports *where the time went*: the shard-lock
+//! profiles (`parking_lot::lock_snapshot`) are diffed around the timed
+//! window, giving total acquisitions, how many blocked, total blocked
+//! milliseconds, and the p99 contended wait — the numbers that say
+//! whether a flat speedup curve is lock contention or something else.
+//!
 //! Emits `results/BENCH_contention.tsv`. Knobs:
 //!
 //! * `IDBOX_BENCH_WINDOW_MS` — timed window per level (default 400).
@@ -23,6 +29,7 @@ use idbox_interpose::{share, AllowAll, GuestCtx, SharedKernel, Supervisor};
 use idbox_kernel::{Kernel, OpenFlags, Whence};
 use idbox_types::Identity;
 use idbox_vfs::Cred;
+use parking_lot::DomainLockSnapshot;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -34,6 +41,23 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Where the time went: per-domain lock-wait deltas across one level,
+/// matched by domain name (a domain registered mid-run has no earlier
+/// baseline and counts from zero).
+fn lock_delta(now: &[DomainLockSnapshot], then: &[DomainLockSnapshot]) -> Vec<DomainLockSnapshot> {
+    now.iter()
+        .map(|d| {
+            match then
+                .iter()
+                .find(|e| e.domain == d.domain && e.shards.len() == d.shards.len())
+            {
+                Some(e) => d.diff(e),
+                None => d.clone(),
+            }
+        })
+        .collect()
 }
 
 /// Run one contention level: `n` clients for `window`. Returns the
@@ -127,7 +151,9 @@ fn main() {
         // Untimed warm-up so every level starts with hot caches and
         // settled allocator state.
         run_level(&kernel, n, warmup);
+        let lock0 = parking_lot::lock_snapshot();
         let (ops, elapsed) = run_level(&kernel, n, window);
+        let diffs = lock_delta(&parking_lot::lock_snapshot(), &lock0);
         let rate = ops as f64 / elapsed.as_secs_f64();
         if single_rate == 0.0 {
             single_rate = rate;
@@ -136,8 +162,23 @@ fn main() {
         if n == 4 {
             speedup_at_4 = Some(speedup);
         }
+        // Where the time went: how many lock acquisitions this level's
+        // syscalls made, how many of those actually blocked, and how
+        // bad a blocked one got.
+        let acq: u64 = diffs.iter().map(|d| d.acquisitions()).sum();
+        let waits: u64 = diffs.iter().map(|d| d.waits()).sum();
+        let wait_ms = diffs.iter().map(|d| d.wait_total_us()).sum::<u64>() as f64 / 1000.0;
+        let p99 = parking_lot::lock_wait_percentile_us(&diffs, 99.0);
+        let p99_cell = p99.map_or_else(|| "-".to_string(), |v| v.to_string());
+        let contended_pct = if acq > 0 {
+            100.0 * waits as f64 / acq as f64
+        } else {
+            0.0
+        };
         println!(
-            "{n} clients: {rate:>10.0} syscalls/s  ({speedup:.2}x of single client)"
+            "{n} clients: {rate:>10.0} syscalls/s  ({speedup:.2}x of single client)  \
+             locks: {waits}/{acq} contended ({contended_pct:.2}%), \
+             {wait_ms:.1} ms waiting, p99 {p99_cell} us"
         );
         // Single-core hosts cannot show lock scaling: record `-`, not
         // a misleading ~1.0.
@@ -146,14 +187,17 @@ fn main() {
         } else {
             "-".to_string()
         };
-        rows.push(format!("{n}\t{rate:.0}\t{speedup_cell}\t{cores}"));
+        rows.push(format!(
+            "{n}\t{rate:.0}\t{speedup_cell}\t{acq}\t{waits}\t{wait_ms:.1}\t{p99_cell}\t{cores}"
+        ));
     }
     if cores < 2 {
         println!("note: only {cores} core(s) available; client scaling is core-bound");
     }
     idbox_bench::write_tsv(
         "BENCH_contention.tsv",
-        "clients\tsyscalls_per_sec\tspeedup_vs_1\thost_cores",
+        "clients\tsyscalls_per_sec\tspeedup_vs_1\tlock_acquisitions\tlock_waits\t\
+         lock_wait_ms\tlock_wait_p99_us\thost_cores",
         &rows,
     );
     if std::env::var("IDBOX_BENCH_ASSERT_SCALING").is_ok() {

@@ -13,6 +13,13 @@
 //! cargo run --release -p idbox-bench --bin pipeline
 //! ```
 //!
+//! Each mode also reports *where the time went* on the server: the
+//! event-loop lag histogram is diffed around the mode's window, so the
+//! `loop_p99_us` column says how long one readiness cycle ran — the
+//! number that separates "the wire is the bottleneck" (tiny cycles,
+//! many round trips) from "dispatch is" (few cycles, each doing real
+//! work).
+//!
 //! Knobs: `IDBOX_BENCH_WINDOW_MS` shrinks the per-mode measurement
 //! window (CI smoke); `IDBOX_PIPELINE_DEPTH` (comma-separated) picks
 //! the pipeline depths to sweep, default `4,16,64`. With
@@ -23,6 +30,7 @@
 use idbox_acl::{Acl, Rights};
 use idbox_auth::{CertificateAuthority, ClientCredential, ServerVerifier};
 use idbox_chirp::{BatchOp, ChirpClient, ChirpServer, ServerConfig};
+use idbox_obs::{lag_percentile_from, LOOP_LAG_BUCKETS};
 use idbox_types::AuthMethod;
 use std::time::{Duration, Instant};
 
@@ -113,32 +121,52 @@ fn main() {
     c.mkdir("/bench", 0o755).unwrap();
     c.put(FILE, &vec![7u8; 4096]).unwrap();
 
+    // Loop-lag p99 across one mode's window: diff the server's merged
+    // histogram around the run.
+    let lag_window = |handle: &idbox_chirp::ChirpServerHandle,
+                      before: [u64; LOOP_LAG_BUCKETS]|
+     -> String {
+        let after = handle.loop_stats().lag_buckets();
+        let diff: [u64; LOOP_LAG_BUCKETS] = std::array::from_fn(|i| after[i] - before[i]);
+        lag_percentile_from(&diff, 99.0).map_or_else(|| "-".to_string(), |v| v.to_string())
+    };
+
     let mut rows = Vec::new();
     // Warm the caches and the session before the serial baseline so
     // every mode is compared warm-on-warm.
     run_serial(&mut c, warmup);
+    let lag0 = handle.loop_stats().lag_buckets();
     let serial = run_serial(&mut c, window);
-    println!("serial        : {serial:>10.0} ops/s  (baseline)");
-    rows.push(format!("serial\t1\t{serial:.0}\t1.00\t{cores}"));
+    let lag = lag_window(&handle, lag0);
+    println!("serial        : {serial:>10.0} ops/s  (baseline, loop p99 {lag} us)");
+    rows.push(format!("serial\t1\t{serial:.0}\t1.00\t{lag}\t{cores}"));
 
     let mut deep_speedup = 0.0f64;
     for &depth in &depths {
         run_pipelined(&mut c, depth, warmup);
+        let lag0 = handle.loop_stats().lag_buckets();
         let rate = run_pipelined(&mut c, depth, window);
+        let lag = lag_window(&handle, lag0);
         let speedup = rate / serial;
         if depth >= 16 {
             deep_speedup = deep_speedup.max(speedup);
         }
-        println!("pipeline d={depth:<3}: {rate:>10.0} ops/s  ({speedup:.2}x serial)");
-        rows.push(format!("pipeline\t{depth}\t{rate:.0}\t{speedup:.2}\t{cores}"));
+        println!(
+            "pipeline d={depth:<3}: {rate:>10.0} ops/s  ({speedup:.2}x serial, loop p99 {lag} us)"
+        );
+        rows.push(format!("pipeline\t{depth}\t{rate:.0}\t{speedup:.2}\t{lag}\t{cores}"));
     }
 
     let batch_depth = 64;
     run_batched(&mut c, batch_depth, warmup);
+    let lag0 = handle.loop_stats().lag_buckets();
     let rate = run_batched(&mut c, batch_depth, window);
+    let lag = lag_window(&handle, lag0);
     let speedup = rate / serial;
-    println!("batch    n={batch_depth:<2}: {rate:>10.0} ops/s  ({speedup:.2}x serial)");
-    rows.push(format!("batch\t{batch_depth}\t{rate:.0}\t{speedup:.2}\t{cores}"));
+    println!(
+        "batch    n={batch_depth:<2}: {rate:>10.0} ops/s  ({speedup:.2}x serial, loop p99 {lag} us)"
+    );
+    rows.push(format!("batch\t{batch_depth}\t{rate:.0}\t{speedup:.2}\t{lag}\t{cores}"));
 
     if cores < 2 {
         println!("note: only {cores} core(s) available; client and server are core-bound");
@@ -160,7 +188,7 @@ fn main() {
 
     idbox_bench::write_tsv(
         "BENCH_pipeline.tsv",
-        "mode\tdepth\tops_per_sec\tspeedup_vs_serial\thost_cores",
+        "mode\tdepth\tops_per_sec\tspeedup_vs_serial\tloop_p99_us\thost_cores",
         &rows,
     );
     let _ = c.quit();

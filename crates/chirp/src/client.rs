@@ -396,11 +396,24 @@ impl ChirpClient {
     ) -> SysResult<T> {
         let trace = self.stamp();
         let start = Instant::now();
+        let start_ns = idbox_obs::now_unix_ns();
         let mut attempt = 1u32;
         let mut prev = self.policy.base_delay;
         loop {
             match self.try_once(line, payload, trace, attempt, &mut parse) {
-                Ok(v) => return Ok(v),
+                Ok(v) => {
+                    // The caller-side plane of the flight recorder:
+                    // whole-RPC spans including retries and backoff,
+                    // joined to the server planes by the trace id.
+                    idbox_obs::flight::record_span(
+                        "client",
+                        line.split(' ').next().unwrap_or("rpc"),
+                        Some(trace),
+                        start_ns,
+                        start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                    );
+                    return Ok(v);
+                }
                 Err(fail) => {
                     if !self.should_retry(class, &fail, attempt, start) {
                         return Err(fail.errno());
@@ -688,6 +701,29 @@ impl ChirpClient {
     pub fn metrics(&mut self) -> SysResult<String> {
         let data = self.rpc(Verb::ReadOnly, "metrics", None, read_reply_payload)?;
         String::from_utf8(data).map_err(|_| Errno::EPROTO)
+    }
+
+    /// Dump the server's flight recorder as Chrome trace-viewer JSON
+    /// (loadable in Perfetto / `chrome://tracing`). `window` restricts
+    /// the dump to events from the trailing `Some(seconds)`; `None`
+    /// returns everything still buffered. Admin principals only.
+    pub fn tracedump(&mut self, window: Option<u64>) -> SysResult<String> {
+        let line = match window {
+            Some(secs) => format!("tracedump {secs}"),
+            None => "tracedump".to_string(),
+        };
+        let data = self.rpc(Verb::ReadOnly, &line, None, read_reply_payload)?;
+        String::from_utf8(data).map_err(|_| Errno::EPROTO)
+    }
+
+    /// One-line health rollup: event-loop lag p99, shard-lock wait p99,
+    /// in-flight requests, shed count, connections, workers, and stall
+    /// count. Percentiles are `None` while the underlying histograms
+    /// are empty. Admin principals only.
+    pub fn health(&mut self) -> SysResult<HealthRow> {
+        self.rpc(Verb::ReadOnly, "health", None, |_, words| {
+            parse_health_row(words)
+        })
     }
 
     /// The server's recent slow operations, oldest first. Admin
@@ -986,11 +1022,26 @@ impl Pipeline<'_> {
             client.reconnects += 1;
         }
         let mut conn = client.conn.take().expect("just ensured a connection");
+        let start = Instant::now();
+        let start_ns = idbox_obs::now_unix_ns();
         let res = run_pipeline(&mut conn, &ops);
         // Same poisoning rule as the one-shot path: only a clean run
         // proves the stream is still framed.
         if res.is_ok() {
             client.conn = Some(conn);
+            // One caller-side flight span per queued op, all sharing
+            // the burst's wall-clock window: the per-op server spans
+            // (rpc/dispatch/policy/shard) carve up the interior.
+            let dur_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            for op in &ops {
+                idbox_obs::flight::record_span(
+                    "client",
+                    op.line.split(' ').next().unwrap_or("rpc"),
+                    Some(op.trace),
+                    start_ns,
+                    dur_ns,
+                );
+            }
         }
         res
     }
@@ -1202,10 +1253,34 @@ pub struct StatRow {
     pub name: String,
     /// Dispatches recorded.
     pub count: u64,
-    /// Median latency (ns).
-    pub p50_ns: u64,
-    /// 99th-percentile latency (ns).
-    pub p99_ns: u64,
+    /// Median latency (ns); `None` when the histogram is empty (the
+    /// server sends `-`).
+    pub p50_ns: Option<u64>,
+    /// 99th-percentile latency (ns); `None` when the histogram is
+    /// empty.
+    pub p99_ns: Option<u64>,
+}
+
+/// The `health` RPC rollup: the numbers an operator reaches for first
+/// during an incident, in one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthRow {
+    /// 99th-percentile event-loop cycle lag in microseconds, merged
+    /// across workers; `None` while no readiness cycle has been timed.
+    pub loop_p99_us: Option<u64>,
+    /// 99th-percentile shard-lock wait in microseconds, merged across
+    /// every profiled lock domain; `None` while uncontended.
+    pub shard_wait_p99_us: Option<u64>,
+    /// Requests currently being served.
+    pub inflight: u64,
+    /// Requests refused by load shedding (admission + per-identity).
+    pub shed: u64,
+    /// Connections currently registered with the event loops.
+    pub conns: u64,
+    /// Event-loop worker threads.
+    pub workers: u64,
+    /// Loop-stall watchdog trips since the server started.
+    pub stalls: u64,
 }
 
 /// One line of the `audit` RPC: a policy decision the server recorded.
@@ -1254,16 +1329,62 @@ fn parse_stat_rows(text: &str) -> SysResult<Vec<StatRow>> {
         .map(|line| {
             let mut f = line.split_whitespace();
             let row = (|| {
+                let name = f.next()?.to_string();
+                let count = f.next()?.parse().ok()?;
+                let mut pct = || -> Option<Option<u64>> {
+                    match f.next()? {
+                        "-" => Some(None),
+                        w => Some(Some(w.parse().ok()?)),
+                    }
+                };
                 Some(StatRow {
-                    name: f.next()?.to_string(),
-                    count: f.next()?.parse().ok()?,
-                    p50_ns: f.next()?.parse().ok()?,
-                    p99_ns: f.next()?.parse().ok()?,
+                    name,
+                    count,
+                    p50_ns: pct()?,
+                    p99_ns: pct()?,
                 })
             })();
             row.ok_or(Errno::EPROTO)
         })
         .collect()
+}
+
+/// Parse the `health` reply words (`key=value` pairs past the `ok`,
+/// already stripped). Unknown keys are ignored so a newer server can
+/// append more; `-` means "no data yet" for percentile fields.
+fn parse_health_row(words: &[String]) -> SysResult<HealthRow> {
+    let mut row = HealthRow {
+        loop_p99_us: None,
+        shard_wait_p99_us: None,
+        inflight: 0,
+        shed: 0,
+        conns: 0,
+        workers: 0,
+        stalls: 0,
+    };
+    for w in words {
+        let Some((key, val)) = w.split_once('=') else {
+            return Err(Errno::EPROTO);
+        };
+        let opt = || -> SysResult<Option<u64>> {
+            match val {
+                "-" => Ok(None),
+                v => v.parse().map(Some).map_err(|_| Errno::EPROTO),
+            }
+        };
+        let num = || -> SysResult<u64> { val.parse().map_err(|_| Errno::EPROTO) };
+        match key {
+            "loop_p99_us" => row.loop_p99_us = opt()?,
+            "shard_wait_p99_us" => row.shard_wait_p99_us = opt()?,
+            "inflight" => row.inflight = num()?,
+            "shed" => row.shed = num()?,
+            "conns" => row.conns = num()?,
+            "workers" => row.workers = num()?,
+            "stalls" => row.stalls = num()?,
+            _ => {}
+        }
+    }
+    Ok(row)
 }
 
 /// Parse `audit` payload lines. The trace column was appended after
@@ -1332,8 +1453,32 @@ mod tests {
         let newer = parse_stat_rows("stat 10 100 900 9999 extra\n").unwrap();
         assert_eq!(known, newer);
         assert_eq!(known[0].name, "stat");
-        assert_eq!((known[0].count, known[0].p50_ns, known[0].p99_ns), (10, 100, 900));
+        assert_eq!(
+            (known[0].count, known[0].p50_ns, known[0].p99_ns),
+            (10, Some(100), Some(900))
+        );
         assert!(parse_stat_rows("stat 10 100\n").is_err(), "short row is EPROTO");
+        // An empty histogram has no percentiles: the server sends `-`.
+        let empty = parse_stat_rows("stat 0 - -\n").unwrap();
+        assert_eq!((empty[0].p50_ns, empty[0].p99_ns), (None, None));
+    }
+
+    #[test]
+    fn health_row_parses_dashes_and_ignores_unknown_keys() {
+        let words: Vec<String> = "loop_p99_us=120 shard_wait_p99_us=- inflight=3 shed=1 \
+             conns=2 workers=4 stalls=0 future_key=9"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let row = parse_health_row(&words).unwrap();
+        assert_eq!(row.loop_p99_us, Some(120));
+        assert_eq!(row.shard_wait_p99_us, None);
+        assert_eq!((row.inflight, row.shed, row.conns), (3, 1, 2));
+        assert_eq!((row.workers, row.stalls), (4, 0));
+        assert_eq!(
+            parse_health_row(&["nokey".to_string()]),
+            Err(Errno::EPROTO)
+        );
     }
 
     #[test]

@@ -64,6 +64,8 @@ pub(crate) struct LoopCtx {
     pub(crate) sup_cred: Cred,
     pub(crate) io_timeout: Option<Duration>,
     pub(crate) conns: ConnRegistry,
+    /// Soft watchdog budget for one readiness cycle; `None` disables.
+    pub(crate) stall_budget: Option<Duration>,
 }
 
 /// A freshly accepted connection, handed from the accept thread to a
@@ -125,18 +127,19 @@ pub(crate) fn spawn_workers(
     stop: Arc<AtomicBool>,
 ) -> std::io::Result<Vec<WorkerHandle>> {
     let mut handles = Vec::with_capacity(n);
-    for _ in 0..n {
+    for widx in 0..n {
         let (wake_tx, wake_rx) = wake_pair()?;
         let (tx, rx) = std::sync::mpsc::channel();
         let lc = Arc::clone(&lc);
         let stop = Arc::clone(&stop);
-        std::thread::spawn(move || run_worker(rx, wake_rx, lc, stop));
+        std::thread::spawn(move || run_worker(widx, rx, wake_rx, lc, stop));
         handles.push(WorkerHandle { tx, wake: wake_tx });
     }
     Ok(handles)
 }
 
 fn run_worker(
+    widx: usize,
     rx: Receiver<Registration>,
     wake: TcpStream,
     lc: Arc<LoopCtx>,
@@ -144,6 +147,10 @@ fn run_worker(
 ) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut fds: Vec<PollFd> = Vec::new();
+    // Watchdog rate limit: at most one `loop-stall` audit row per
+    // second per worker, so a persistently stalled loop cannot flood
+    // the audit ring out of its useful history.
+    let mut last_stall_row: Option<Instant> = None;
     loop {
         while let Ok(reg) = rx.try_recv() {
             conns.push(Conn::new(reg));
@@ -175,6 +182,16 @@ fn run_worker(
             });
         }
         let _ = poll_fds(&mut fds, POLL_TICK_MS);
+        // Readiness → dispatch → flush for every ready connection is
+        // one "cycle"; its duration is the loop-lag sample. Idle ticks
+        // (nothing ready) are not samples — they would drown the
+        // histogram in POLL_TICK_MS-sized noise.
+        let cycle_start = Instant::now();
+        let ready = fds.iter().any(|f| f.revents != 0);
+        let ws = lc.ctl.loop_stats.worker(widx);
+        if ready {
+            ws.bump_wakeup();
+        }
         if fds[0].revents & POLLIN != 0 {
             let mut buf = [0u8; 64];
             while matches!((&wake).read(&mut buf), Ok(n) if n > 0) {}
@@ -188,6 +205,11 @@ fn run_worker(
                 c.fill();
             }
             c.pump(&lc);
+            let backlog = c.outbuf.len() - c.outpos;
+            if backlog > 0 {
+                ws.note_outbuf(backlog);
+                ws.bump_flush();
+            }
             c.flush();
         }
         if let Some(limit) = lc.io_timeout {
@@ -204,6 +226,34 @@ fn run_worker(
                 conns.swap_remove(i).teardown(&lc);
             } else {
                 i += 1;
+            }
+        }
+        ws.set_conns(conns.len());
+        if ready {
+            let cycle = cycle_start.elapsed();
+            ws.lag.record_us(cycle.as_micros() as u64);
+            if let Some(budget) = lc.stall_budget {
+                if cycle > budget {
+                    ws.bump_stall();
+                    idbox_obs::flight::record_instant("loop", "loop-stall", None);
+                    let rate_ok = last_stall_row
+                        .is_none_or(|t| t.elapsed() >= Duration::from_secs(1));
+                    if rate_ok {
+                        last_stall_row = Some(Instant::now());
+                        lc.ctl.audit.record_named(
+                            "(server)",
+                            "loop-stall",
+                            Some(format!(
+                                "worker={widx} cycle_ms={} budget_ms={}",
+                                cycle.as_millis(),
+                                budget.as_millis()
+                            )),
+                            Verdict::Deny,
+                            Some(Errno::EBUSY),
+                            None,
+                        );
+                    }
+                }
             }
         }
     }
@@ -419,6 +469,7 @@ impl Conn {
         } else {
             lc.ctl.metrics.bump_admission_shed();
         }
+        idbox_obs::flight::record_instant("shed", "proto", trace);
         lc.ctl.audit.record_named(
             &identity,
             "proto-shed",
@@ -550,6 +601,10 @@ impl Conn {
             unreachable!("frames only exist in session phase")
         };
         let (reply, close) = session.handle_frame(&pf, &payload, lc);
+        // The frame's trace was parked on this thread for the duration
+        // of the dispatch; clear it so events from the next frame (or
+        // idle work) are not mis-tagged.
+        idbox_obs::flight::set_current_trace(None);
         if close {
             self.close_after_flush = true;
         }
@@ -653,11 +708,13 @@ impl Session {
     ) -> (Option<Result<Reply, Errno>>, bool) {
         let ctl = &lc.ctl;
         self.obs.trace.set(pf.trace);
+        idbox_obs::flight::set_current_trace(pf.trace);
         if pf.retry.is_some() {
             // The client re-sent an earlier attempt (possibly over a
             // fresh connection); count it so retry pressure is visible
             // per identity.
             self.counters.bump_rpc_retried();
+            idbox_obs::flight::record_instant("retry", &pf.words[0], pf.trace);
         }
         if pf.words[0] == "quit" {
             return (Some(Ok(Reply::Line("ok".to_string()))), true);
@@ -683,6 +740,7 @@ impl Session {
         };
         if let Some(reason) = shed_reason {
             self.counters.bump_rpc_shed();
+            idbox_obs::flight::record_instant("shed", reason, pf.trace);
             ctl.audit.record_named(
                 &self.obs.identity,
                 "rpc-shed",

@@ -31,8 +31,8 @@ mod poll;
 mod server;
 
 pub use client::{
-    AuditRow, BatchOp, BatchReply, ChirpClient, PipeReply, Pipeline, RetryPolicy, SlowOpRow,
-    StatRow,
+    AuditRow, BatchOp, BatchReply, ChirpClient, HealthRow, PipeReply, Pipeline, RetryPolicy,
+    SlowOpRow, StatRow,
 };
 pub use codec::{decode_word, encode_word};
 pub use driver::ChirpDriver;

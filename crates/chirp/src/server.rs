@@ -81,6 +81,12 @@ pub struct ServerConfig {
     /// even on one core, so a long-running dispatch (a slow `exec`)
     /// never blocks every other connection.
     pub event_loops: usize,
+    /// Soft watchdog budget for one event-loop readiness cycle. A
+    /// worker whose cycle (readiness → dispatch → flush) exceeds the
+    /// budget bumps its stall counter and emits a rate-limited
+    /// `loop-stall` audit row. `None` (the default) resolves from
+    /// `IDBOX_LOOP_STALL_MS` (unset or 0 disables the watchdog).
+    pub loop_stall: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -106,8 +112,22 @@ impl Default for ServerConfig {
             max_inflight_per_identity: None,
             drain_deadline: Duration::from_secs(1),
             event_loops: 0,
+            loop_stall: None,
         }
     }
+}
+
+/// Resolve the stall-watchdog budget: explicit config wins, then the
+/// `IDBOX_LOOP_STALL_MS` environment knob; unset or 0 disables.
+fn resolve_loop_stall(configured: Option<Duration>) -> Option<Duration> {
+    if let Some(d) = configured {
+        return (d > Duration::ZERO).then_some(d);
+    }
+    std::env::var("IDBOX_LOOP_STALL_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(Duration::from_millis)
 }
 
 /// Resolve the worker count: explicit config wins, then the
@@ -225,12 +245,18 @@ impl ChirpServer {
         let inflight = Arc::new(AtomicU64::new(0));
         let conns: ConnRegistry = Arc::default();
         let conns2 = Arc::clone(&conns);
+        let n_workers = resolve_event_loops(self.config.event_loops);
+        let loop_stats = Arc::new(idbox_obs::LoopStats::new(n_workers));
+        // First server in the process wires the lock shim's contention
+        // hook into the flight recorder (idempotent).
+        idbox_obs::flight::install_lock_hook();
         let ctl = SessionCtl {
             kernel: Arc::clone(&self.kernel),
             admins: Arc::new(self.config.admins),
             audit: Arc::clone(&self.audit),
             metrics: Arc::clone(&self.metrics),
             slow_ops: Arc::clone(&self.slow_ops),
+            loop_stats: Arc::clone(&loop_stats),
             draining: Arc::clone(&draining),
             inflight: Arc::clone(&inflight),
             busy_watermark: self.config.busy_watermark,
@@ -243,8 +269,8 @@ impl ChirpServer {
             sup_cred: self.sup_cred,
             io_timeout: self.config.io_timeout,
             conns: Arc::clone(&conns),
+            stall_budget: resolve_loop_stall(self.config.loop_stall),
         });
-        let n_workers = resolve_event_loops(self.config.event_loops);
         let workers = eventloop::spawn_workers(n_workers, lc, Arc::clone(&stop))?;
         let wakers: Vec<WorkerHandle> = workers
             .iter()
@@ -338,6 +364,7 @@ impl ChirpServer {
             audit: Arc::clone(&self.audit),
             metrics: Arc::clone(&self.metrics),
             slow_ops: Arc::clone(&self.slow_ops),
+            loop_stats,
             draining,
             inflight,
             drain_deadline,
@@ -356,6 +383,7 @@ pub struct ChirpServerHandle {
     audit: Arc<AuditRing>,
     metrics: Arc<IdentityMetrics>,
     slow_ops: Arc<SlowOpLog>,
+    loop_stats: Arc<idbox_obs::LoopStats>,
     draining: Arc<AtomicBool>,
     inflight: Arc<AtomicU64>,
     drain_deadline: Duration,
@@ -386,6 +414,11 @@ impl ChirpServerHandle {
     /// The server-wide slow-operation span ring.
     pub fn slow_ops(&self) -> &Arc<SlowOpLog> {
         &self.slow_ops
+    }
+
+    /// Per-worker event-loop health counters.
+    pub fn loop_stats(&self) -> &Arc<idbox_obs::LoopStats> {
+        &self.loop_stats
     }
 
     /// Number of connections currently being served.
@@ -493,6 +526,7 @@ pub(crate) struct SessionCtl {
     pub(crate) audit: Arc<AuditRing>,
     pub(crate) metrics: Arc<IdentityMetrics>,
     pub(crate) slow_ops: Arc<SlowOpLog>,
+    pub(crate) loop_stats: Arc<idbox_obs::LoopStats>,
     /// Set when the server is draining: every request is shed so
     /// in-flight work can finish and sessions wind down.
     pub(crate) draining: Arc<AtomicBool>,
@@ -598,8 +632,24 @@ pub(crate) fn record_span(
     dur: Duration,
 ) {
     let dur_ns = dur.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let trace = obs.trace.get();
+    if trace.is_some() {
+        let plane = match phase {
+            Phase::Rpc => "rpc",
+            Phase::Policy => "policy",
+            Phase::Dispatch => "dispatch",
+            Phase::Exec => "exec",
+        };
+        idbox_obs::flight::record_span(
+            plane,
+            name,
+            trace,
+            now_unix_ns().saturating_sub(dur_ns),
+            dur_ns,
+        );
+    }
     ctl.slow_ops.record(Span {
-        trace: obs.trace.get(),
+        trace,
         phase,
         name: name.to_string(),
         identity: obs.identity.clone(),
@@ -790,6 +840,10 @@ pub(crate) fn dispatch(
             let snap = ctl.kernel.read().latency().snapshot();
             let mut text = String::new();
             for (name, count, p50, p99) in snap.rows() {
+                // An empty histogram has no percentiles; emit `-` rather
+                // than a fake 0 ns that reads as "instant".
+                let p50 = p50.map_or_else(|| "-".to_string(), |v| v.to_string());
+                let p99 = p99.map_or_else(|| "-".to_string(), |v| v.to_string());
                 text.push_str(&format!("{name} {count} {p50} {p99}\n"));
             }
             Ok(Reply::Payload(ok_num(text.len() as i64), text.into_bytes()))
@@ -836,8 +890,58 @@ pub(crate) fn dispatch(
         }
         "metrics" => {
             ctl.require_admin(principal)?;
-            let text = ctl.metrics.render_prometheus();
+            let mut text = ctl.metrics.render_prometheus();
+            text.push_str(&idbox_obs::render_lock_prometheus(
+                &parking_lot::lock_snapshot(),
+            ));
+            text.push_str(&ctl.loop_stats.render_prometheus());
             Ok(Reply::Payload(ok_num(text.len() as i64), text.into_bytes()))
+        }
+        // Flight-recorder dump: every buffered structured event (spans,
+        // shard waits, sheds, retries) rendered as Chrome trace-viewer
+        // JSON, loadable in Perfetto / chrome://tracing. An optional
+        // seconds argument restricts the dump to the trailing window.
+        "tracedump" => {
+            ctl.require_admin(principal)?;
+            let since_ns = match words.get(1) {
+                Some(w) => {
+                    let secs: u64 = w.parse().map_err(|_| Errno::EPROTO)?;
+                    now_unix_ns().saturating_sub(secs.saturating_mul(1_000_000_000))
+                }
+                None => 0,
+            };
+            let events = idbox_obs::flight::snapshot_since(since_ns);
+            let text = idbox_obs::flight::render_chrome_trace(&events);
+            Ok(Reply::Payload(ok_num(text.len() as i64), text.into_bytes()))
+        }
+        // One-line health rollup: the numbers an operator reaches for
+        // first during an incident, without scraping full Prometheus
+        // text. Percentiles are `-` while the histograms are empty.
+        "health" => {
+            ctl.require_admin(principal)?;
+            let loop_p99 = ctl
+                .loop_stats
+                .lag_percentile_us(99.0)
+                .map_or_else(|| "-".to_string(), |v| v.to_string());
+            let locks = parking_lot::lock_snapshot();
+            let shard_p99 = parking_lot::lock_wait_percentile_us(&locks, 99.0)
+                .map_or_else(|| "-".to_string(), |v| v.to_string());
+            let mut inflight = 0u64;
+            let mut shed = ctl.metrics.admission_shed();
+            for (_, c) in ctl.metrics.snapshot() {
+                inflight += c.inflight();
+                shed += c.rpcs_shed();
+            }
+            Ok(Reply::Line(format!(
+                "ok loop_p99_us={} shard_wait_p99_us={} inflight={} shed={} conns={} workers={} stalls={}",
+                loop_p99,
+                shard_p99,
+                inflight,
+                shed,
+                ctl.loop_stats.conns_total(),
+                ctl.loop_stats.workers().len(),
+                ctl.loop_stats.stalls_total(),
+            )))
         }
         "slowops" => {
             ctl.require_admin(principal)?;

@@ -676,8 +676,9 @@ fn stats_and_audit_rpcs_expose_latency_and_denials() {
     assert!(total > 0);
     for row in &stats {
         assert!(row.count > 0, "zero-count row {row:?} should be omitted");
-        assert!(row.p50_ns > 0, "histogram bucket ceilings start at 1ns");
-        assert!(row.p50_ns <= row.p99_ns, "p50 > p99 in {row:?}");
+        let (p50, p99) = (row.p50_ns.unwrap(), row.p99_ns.unwrap());
+        assert!(p50 > 0, "histogram bucket ceilings start at 1ns");
+        assert!(p50 <= p99, "p50 > p99 in {row:?}");
     }
     // The traffic above certainly opened files.
     assert!(stats.iter().any(|r| r.name == "open"), "{stats:?}");
@@ -772,7 +773,16 @@ fn assert_prometheus_shape(text: &str) {
                 .unwrap_or_else(|| panic!("sample without value: {line:?}"));
             assert!(value.parse::<f64>().is_ok(), "bad value: {line:?}");
             let name = head.split('{').next().unwrap();
-            assert!(families.contains(name), "sample {name} without TYPE header");
+            // Histogram samples carry the conventional suffixes under
+            // the base family's single TYPE header.
+            let base = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|s| name.strip_suffix(s))
+                .filter(|b| families.contains(*b));
+            assert!(
+                families.contains(name) || base.is_some(),
+                "sample {name} without TYPE header"
+            );
         }
     }
 }

@@ -270,8 +270,26 @@ impl Supervisor {
         Self::observe_span(obs, Phase::Dispatch, call.name(), nanos);
     }
 
-    /// Record one phase span into the slow-op ring if it is slow enough.
+    /// Record one phase span: into the flight recorder when the
+    /// request is traced (every span, so a tracedump shows the whole
+    /// request), and into the slow-op ring if it is slow enough.
     fn observe_span(obs: &ObsHooks, phase: Phase, name: &str, nanos: u64) {
+        let trace = obs.trace.get();
+        if trace.is_some() {
+            let plane = match phase {
+                Phase::Rpc => "rpc",
+                Phase::Policy => "policy",
+                Phase::Dispatch => "dispatch",
+                Phase::Exec => "exec",
+            };
+            idbox_obs::flight::record_span(
+                plane,
+                name,
+                trace,
+                idbox_obs::now_unix_ns().saturating_sub(nanos),
+                nanos,
+            );
+        }
         if nanos >= obs.slow_ops.threshold_ns() {
             obs.slow_ops.record(Span {
                 trace: obs.trace.get(),

@@ -52,7 +52,7 @@ use crate::stats::{LatencyStats, SyscallStats};
 use crate::syscall::{SysRet, Syscall, Whence};
 use idbox_types::{Errno, Identity, SysResult};
 use idbox_vfs::{path as vpath, Access, Cred, FileKind, Ino, Vfs};
-use parking_lot::{Mutex, RwLock, ShardSet};
+use parking_lot::{ProfiledMutex, ProfiledRwLock, ShardSet};
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::{Arc, OnceLock};
 
@@ -92,14 +92,14 @@ struct ProcTable {
     /// `pid % shard_count` → that pid's entry. Each entry owns its fd
     /// table, so fd ops lock exactly one shard.
     shards: ShardSet<BTreeMap<u32, Process>>,
-    alloc: Mutex<PidAlloc>,
+    alloc: ProfiledMutex<PidAlloc>,
 }
 
 impl ProcTable {
     fn with_shards(n: usize) -> Self {
         ProcTable {
-            shards: ShardSet::from_fn(n, |_| BTreeMap::new()),
-            alloc: Mutex::new(PidAlloc {
+            shards: ShardSet::from_fn_named("proc", n, |_| BTreeMap::new()),
+            alloc: ProfiledMutex::new("pid-alloc", PidAlloc {
                 next: 2,
                 max_pid: u32::MAX,
                 reserved: HashSet::new(),
@@ -133,7 +133,7 @@ struct PipeSlot {
 /// The pipe domain: all slots behind one mutex (pipe traffic is tiny
 /// compared to vfs traffic; a single leaf lock suffices).
 struct PipeTable {
-    slots: Mutex<Vec<PipeSlot>>,
+    slots: ProfiledMutex<Vec<PipeSlot>>,
 }
 
 /// The simulated kernel.
@@ -146,9 +146,9 @@ struct PipeTable {
 /// the supervisor performs directly rather than on behalf of a guest.
 pub struct Kernel {
     vfs: Vfs,
-    mounts: Mutex<MountTable>,
+    mounts: ProfiledMutex<MountTable>,
     procs: ProcTable,
-    accounts: RwLock<AccountDb>,
+    accounts: ProfiledRwLock<AccountDb>,
     pipes: PipeTable,
     /// Per-syscall-name invocation counters (workload characterization).
     /// Atomic, so every concurrent dispatch records calls; see
@@ -235,11 +235,11 @@ impl Kernel {
         );
         Kernel {
             vfs,
-            mounts: Mutex::new(MountTable::default()),
+            mounts: ProfiledMutex::new("mounts", MountTable::default()),
             procs,
-            accounts: RwLock::new(accounts),
+            accounts: ProfiledRwLock::new("accounts", accounts),
             pipes: PipeTable {
-                slots: Mutex::new(Vec::new()),
+                slots: ProfiledMutex::new("pipes", Vec::new()),
             },
             stats: SyscallStats::new(),
             latency: Arc::new(LatencyStats::new()),

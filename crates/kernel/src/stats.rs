@@ -201,9 +201,11 @@ impl LatencySnapshot {
         }
     }
 
-    /// `(name, count, p50 ns, p99 ns)` for every call with data,
-    /// in [`Syscall::NAMES`] order.
-    pub fn rows(&self) -> Vec<(&'static str, u64, u64, u64)> {
+    /// `(name, count, p50 ns, p99 ns)` for every call with data, in
+    /// [`Syscall::NAMES`] order. Percentiles are `None` when the row
+    /// has a count but no histogram mass (possible across a wrapped
+    /// `diff`): dashboards must see "no data", not a false zero.
+    pub fn rows(&self) -> Vec<(&'static str, u64, Option<u64>, Option<u64>)> {
         Syscall::NAMES
             .iter()
             .zip(&self.buckets)
@@ -213,8 +215,8 @@ impl LatencySnapshot {
                     (
                         name,
                         n,
-                        percentile_of(row, 50.0).unwrap_or(0),
-                        percentile_of(row, 99.0).unwrap_or(0),
+                        percentile_of(row, 50.0),
+                        percentile_of(row, 99.0),
                     )
                 })
             })
@@ -372,6 +374,33 @@ mod tests {
         // And the clamped window still has a sane percentile contract.
         assert_eq!(delta.percentile("getpid", 50.0), None);
         assert!(delta.percentile("stat", 50.0).is_some());
+    }
+
+    #[test]
+    fn rows_after_wrap_report_no_false_zeros() {
+        // A wrap that wipes one bucket but leaves another: the row
+        // keeps its surviving count and its percentiles come from the
+        // surviving mass only. A fully wiped row vanishes from rows()
+        // instead of surfacing as count 0 / percentile 0.
+        let l = LatencyStats::new();
+        for _ in 0..5 {
+            l.record(&Syscall::Getpid, 1); // bucket 0
+        }
+        l.record(&Syscall::Stat("/x".into()), 1);
+        let earlier = l.snapshot();
+        let now = LatencyStats::new();
+        now.record(&Syscall::Getpid, 1); // bucket 0 "wrapped" below earlier
+        for _ in 0..3 {
+            now.record(&Syscall::Getpid, 1_000_000); // bucket 19 survives
+        }
+        let delta = now.snapshot().diff(&earlier);
+        let rows = delta.rows();
+        assert_eq!(rows.len(), 1, "fully wiped stat row is absent");
+        let (name, count, p50, p99) = rows[0];
+        assert_eq!(name, "getpid");
+        assert_eq!(count, 3, "only the surviving bucket counts");
+        assert_eq!(p50, Some((1 << 20) - 1));
+        assert_eq!(p99, Some((1 << 20) - 1));
     }
 
     #[test]

@@ -26,6 +26,14 @@
 //! name slice (the kernel's `Syscall::NAMES`), which keeps the kernel
 //! dependency out.
 
+pub mod flight;
+mod runtime;
+
+pub use runtime::{
+    lag_percentile_from, render_lock_prometheus, Log2HistoUs, LoopStats, WorkerStats,
+    LOOP_LAG_BUCKETS,
+};
+
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;

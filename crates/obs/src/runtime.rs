@@ -1,0 +1,394 @@
+//! Runtime health instruments: per-worker event-loop statistics and
+//! the Prometheus rendering of the new self-observation families
+//! (shard-lock waits, loop lag, flush/wakeup counters, gauges).
+//!
+//! The event loop bumps these through `&self` relaxed atomics — no
+//! lock is ever taken on a readiness cycle. Rendering walks the same
+//! atomics, so a scrape observes a consistent-enough point-in-time
+//! view without stopping any worker.
+
+use crate::escape_label;
+use parking_lot::DomainLockSnapshot;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Number of log2 microsecond buckets in a [`Log2HistoUs`].
+pub const LOOP_LAG_BUCKETS: usize = 22;
+
+fn bucket_of(us: u64) -> usize {
+    let b = 63 - (us | 1).leading_zeros() as usize;
+    b.min(LOOP_LAG_BUCKETS - 1)
+}
+
+/// Upper edge (inclusive, µs) of bucket `i`.
+fn bucket_ceiling_us(i: usize) -> u64 {
+    if i + 1 >= LOOP_LAG_BUCKETS {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// A log2 microsecond histogram with relaxed-atomic buckets.
+#[derive(Debug, Default)]
+pub struct Log2HistoUs {
+    buckets: [AtomicU64; LOOP_LAG_BUCKETS],
+    total_us: AtomicU64,
+}
+
+impl Log2HistoUs {
+    /// Record one sample.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_of(us)].fetch_add(1, Relaxed);
+        self.total_us.fetch_add(us, Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Relaxed)).sum()
+    }
+
+    /// Sum of all samples, microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.total_us.load(Relaxed)
+    }
+
+    fn load(&self) -> [u64; LOOP_LAG_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Relaxed))
+    }
+
+    /// Approximate percentile (bucket ceiling, µs); `None` when empty.
+    pub fn percentile_us(&self, p: f64) -> Option<u64> {
+        percentile_of(&self.load(), p)
+    }
+}
+
+/// Percentile (bucket ceiling, µs) of an externally held loop-lag
+/// bucket array — typically the difference of two
+/// [`LoopStats::lag_buckets`] snapshots; `None` when empty.
+pub fn lag_percentile_from(buckets: &[u64; LOOP_LAG_BUCKETS], p: f64) -> Option<u64> {
+    percentile_of(buckets, p)
+}
+
+fn percentile_of(buckets: &[u64; LOOP_LAG_BUCKETS], p: f64) -> Option<u64> {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, b) in buckets.iter().enumerate() {
+        seen += b;
+        if seen >= rank {
+            return Some(bucket_ceiling_us(i));
+        }
+    }
+    Some(bucket_ceiling_us(LOOP_LAG_BUCKETS - 1))
+}
+
+/// Health counters for one event-loop worker.
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Readiness-cycle duration histogram (poll return → all ready
+    /// connections serviced and flushed), µs.
+    pub lag: Log2HistoUs,
+    wakeups: AtomicU64,
+    flushes: AtomicU64,
+    conns: AtomicU64,
+    outbuf_hw: AtomicU64,
+    stalls: AtomicU64,
+}
+
+impl WorkerStats {
+    /// Count one poll return that reported readiness.
+    pub fn bump_wakeup(&self) {
+        self.wakeups.fetch_add(1, Relaxed);
+    }
+
+    /// Count one coalesced flush (a cycle-end write burst).
+    pub fn bump_flush(&self) {
+        self.flushes.fetch_add(1, Relaxed);
+    }
+
+    /// Count one tripped stall watchdog.
+    pub fn bump_stall(&self) {
+        self.stalls.fetch_add(1, Relaxed);
+    }
+
+    /// Publish the worker's current connection count.
+    pub fn set_conns(&self, n: usize) {
+        self.conns.store(n as u64, Relaxed);
+    }
+
+    /// Raise the output-buffer high watermark to `bytes` if higher.
+    pub fn note_outbuf(&self, bytes: usize) {
+        self.outbuf_hw.fetch_max(bytes as u64, Relaxed);
+    }
+
+    /// Poll returns that reported readiness.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.load(Relaxed)
+    }
+
+    /// Coalesced flush bursts.
+    pub fn flushes(&self) -> u64 {
+        self.flushes.load(Relaxed)
+    }
+
+    /// Stall watchdog trips.
+    pub fn stalls(&self) -> u64 {
+        self.stalls.load(Relaxed)
+    }
+
+    /// Current connection count.
+    pub fn conns(&self) -> u64 {
+        self.conns.load(Relaxed)
+    }
+
+    /// Output-buffer high watermark, bytes.
+    pub fn outbuf_hw(&self) -> u64 {
+        self.outbuf_hw.load(Relaxed)
+    }
+}
+
+/// Health counters for a pool of event-loop workers.
+#[derive(Debug)]
+pub struct LoopStats {
+    workers: Box<[WorkerStats]>,
+}
+
+impl LoopStats {
+    /// Stats for `n` workers (at least 1).
+    pub fn new(n: usize) -> LoopStats {
+        LoopStats {
+            workers: (0..n.max(1)).map(|_| WorkerStats::default()).collect(),
+        }
+    }
+
+    /// Per-worker stats, indexed by worker id.
+    pub fn worker(&self, i: usize) -> &WorkerStats {
+        &self.workers[i]
+    }
+
+    /// All workers.
+    pub fn workers(&self) -> &[WorkerStats] {
+        &self.workers
+    }
+
+    /// Loop-lag percentile merged across workers; `None` when no
+    /// cycle has been recorded yet.
+    pub fn lag_percentile_us(&self, p: f64) -> Option<u64> {
+        percentile_of(&self.lag_buckets(), p)
+    }
+
+    /// The merged loop-lag histogram across workers — snapshot before
+    /// and after a window, subtract, and feed [`lag_percentile_from`]
+    /// to isolate the window's cycles.
+    pub fn lag_buckets(&self) -> [u64; LOOP_LAG_BUCKETS] {
+        let mut merged = [0u64; LOOP_LAG_BUCKETS];
+        for w in self.workers.iter() {
+            for (m, b) in merged.iter_mut().zip(w.lag.load().iter()) {
+                *m += b;
+            }
+        }
+        merged
+    }
+
+    /// Connections currently owned across all workers.
+    pub fn conns_total(&self) -> u64 {
+        self.workers.iter().map(|w| w.conns()).sum()
+    }
+
+    /// Stall watchdog trips across all workers.
+    pub fn stalls_total(&self) -> u64 {
+        self.workers.iter().map(|w| w.stalls()).sum()
+    }
+
+    /// Render the event-loop families in Prometheus text format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE idbox_loop_lag_us histogram\n");
+        for (i, w) in self.workers.iter().enumerate() {
+            let buckets = w.lag.load();
+            let mut cum = 0u64;
+            for (b, n) in buckets.iter().enumerate() {
+                cum += n;
+                let le = bucket_ceiling_us(b);
+                if le == u64::MAX {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "idbox_loop_lag_us_bucket{{worker=\"{i}\",le=\"{le}\"}} {cum}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "idbox_loop_lag_us_bucket{{worker=\"{i}\",le=\"+Inf\"}} {cum}"
+            );
+            let _ = writeln!(
+                out,
+                "idbox_loop_lag_us_sum{{worker=\"{i}\"}} {}",
+                w.lag.total_us()
+            );
+            let _ = writeln!(out, "idbox_loop_lag_us_count{{worker=\"{i}\"}} {cum}");
+        }
+        for (name, get) in [
+            (
+                "idbox_loop_wakeups_total",
+                &(|w: &WorkerStats| w.wakeups()) as &dyn Fn(&WorkerStats) -> u64,
+            ),
+            ("idbox_loop_flushes_total", &|w: &WorkerStats| w.flushes()),
+            ("idbox_loop_stalls_total", &|w: &WorkerStats| w.stalls()),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for (i, w) in self.workers.iter().enumerate() {
+                let _ = writeln!(out, "{name}{{worker=\"{i}\"}} {}", get(w));
+            }
+        }
+        out.push_str("# TYPE idbox_loop_connections gauge\n");
+        for (i, w) in self.workers.iter().enumerate() {
+            let _ = writeln!(out, "idbox_loop_connections{{worker=\"{i}\"}} {}", w.conns());
+        }
+        out.push_str("# TYPE idbox_loop_outbuf_high_watermark_bytes gauge\n");
+        for (i, w) in self.workers.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "idbox_loop_outbuf_high_watermark_bytes{{worker=\"{i}\"}} {}",
+                w.outbuf_hw()
+            );
+        }
+        out
+    }
+}
+
+/// Render the shard-lock families from a [`parking_lot::lock_snapshot`]
+/// in Prometheus text format: per-shard acquisition/wait counters and
+/// the contended-wait histogram, keyed by `domain` and `shard`.
+pub fn render_lock_prometheus(snaps: &[DomainLockSnapshot]) -> String {
+    let mut out = String::new();
+    out.push_str("# TYPE idbox_shard_lock_acquisitions_total counter\n");
+    for d in snaps {
+        for (i, s) in d.shards.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "idbox_shard_lock_acquisitions_total{{domain=\"{}\",shard=\"{i}\"}} {}",
+                escape_label(d.domain),
+                s.acquisitions
+            );
+        }
+    }
+    out.push_str("# TYPE idbox_shard_lock_waits_total counter\n");
+    for d in snaps {
+        for (i, s) in d.shards.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "idbox_shard_lock_waits_total{{domain=\"{}\",shard=\"{i}\"}} {}",
+                escape_label(d.domain),
+                s.waits
+            );
+        }
+    }
+    out.push_str("# TYPE idbox_shard_lock_wait_us histogram\n");
+    for d in snaps {
+        for (i, s) in d.shards.iter().enumerate() {
+            let mut cum = 0u64;
+            for (b, n) in s.buckets.iter().enumerate() {
+                cum += n;
+                let le = parking_lot::lock_bucket_ceiling_us(b);
+                if le == u64::MAX {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "idbox_shard_lock_wait_us_bucket{{domain=\"{}\",shard=\"{i}\",le=\"{le}\"}} {cum}",
+                    escape_label(d.domain)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "idbox_shard_lock_wait_us_bucket{{domain=\"{}\",shard=\"{i}\",le=\"+Inf\"}} {cum}",
+                escape_label(d.domain)
+            );
+            let _ = writeln!(
+                out,
+                "idbox_shard_lock_wait_us_sum{{domain=\"{}\",shard=\"{i}\"}} {}",
+                escape_label(d.domain),
+                s.wait_total_us
+            );
+            let _ = writeln!(
+                out,
+                "idbox_shard_lock_wait_us_count{{domain=\"{}\",shard=\"{i}\"}} {cum}",
+                escape_label(d.domain)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::ShardLockSnapshot;
+
+    #[test]
+    fn histo_percentiles() {
+        let h = Log2HistoUs::default();
+        assert_eq!(h.percentile_us(99.0), None);
+        for _ in 0..99 {
+            h.record_us(100); // bucket 6, ceiling 127
+        }
+        h.record_us(100_000); // bucket 16
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile_us(50.0), Some(127));
+        assert_eq!(h.percentile_us(100.0), Some((1 << 17) - 1));
+        assert!(h.total_us() >= 100 * 99 + 100_000);
+    }
+
+    #[test]
+    fn loop_stats_render_and_merge() {
+        let ls = LoopStats::new(2);
+        ls.worker(0).bump_wakeup();
+        ls.worker(0).bump_flush();
+        ls.worker(0).lag.record_us(50);
+        ls.worker(1).lag.record_us(5_000);
+        ls.worker(1).set_conns(3);
+        ls.worker(1).note_outbuf(9000);
+        ls.worker(1).note_outbuf(100); // watermark does not regress
+        ls.worker(1).bump_stall();
+        assert_eq!(ls.conns_total(), 3);
+        assert_eq!(ls.stalls_total(), 1);
+        assert!(ls.lag_percentile_us(99.0).unwrap() >= 5_000);
+        let text = ls.render_prometheus();
+        assert!(text.contains("idbox_loop_lag_us_bucket{worker=\"0\",le=\"63\"} 1"));
+        assert!(text.contains("idbox_loop_lag_us_bucket{worker=\"0\",le=\"+Inf\"} 1"));
+        assert!(text.contains("idbox_loop_wakeups_total{worker=\"0\"} 1"));
+        assert!(text.contains("idbox_loop_flushes_total{worker=\"0\"} 1"));
+        assert!(text.contains("idbox_loop_connections{worker=\"1\"} 3"));
+        assert!(text.contains("idbox_loop_outbuf_high_watermark_bytes{worker=\"1\"} 9000"));
+        assert!(text.contains("idbox_loop_stalls_total{worker=\"1\"} 1"));
+    }
+
+    #[test]
+    fn lock_render_has_families_and_escapes() {
+        let mut buckets = [0u64; parking_lot::LOCK_WAIT_BUCKETS];
+        buckets[1] = 2;
+        let shard = ShardLockSnapshot {
+            acquisitions: 10,
+            waits: 2,
+            wait_total_us: 30,
+            buckets,
+        };
+        let snap = DomainLockSnapshot {
+            domain: "vfs",
+            shards: vec![ShardLockSnapshot::default(), shard],
+        };
+        let text = render_lock_prometheus(&[snap]);
+        assert!(text.contains("idbox_shard_lock_acquisitions_total{domain=\"vfs\",shard=\"1\"} 10"));
+        assert!(text.contains("idbox_shard_lock_waits_total{domain=\"vfs\",shard=\"1\"} 2"));
+        assert!(text.contains("idbox_shard_lock_wait_us_bucket{domain=\"vfs\",shard=\"1\",le=\"3\"} 2"));
+        assert!(text.contains("idbox_shard_lock_wait_us_sum{domain=\"vfs\",shard=\"1\"} 30"));
+        assert!(text.contains("idbox_shard_lock_wait_us_count{domain=\"vfs\",shard=\"1\"} 2"));
+        assert!(text.contains("idbox_shard_lock_wait_us_bucket{domain=\"vfs\",shard=\"0\",le=\"+Inf\"} 0"));
+    }
+}

@@ -11,6 +11,14 @@
 
 use std::sync::TryLockError;
 
+mod profile;
+
+pub use profile::{
+    lock_bucket_ceiling_us, lock_profiling_enabled, lock_snapshot, lock_wait_percentile_us,
+    set_contention_hook, set_lock_profiling, ContentionHook, DomainLockSnapshot, DomainProfile,
+    ProfiledMutex, ProfiledRwLock, ShardLockSnapshot, LOCK_WAIT_BUCKETS,
+};
+
 /// A mutual-exclusion lock whose `lock()` returns the guard directly.
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
 
@@ -166,6 +174,7 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
 /// acquisition helpers exist.
 pub struct ShardSet<T> {
     shards: Box<[RwLock<T>]>,
+    profile: Option<std::sync::Arc<DomainProfile>>,
 }
 
 impl<T> ShardSet<T> {
@@ -175,6 +184,39 @@ impl<T> ShardSet<T> {
         let shards: Vec<RwLock<T>> = (0..n).map(|i| RwLock::new(init(i))).collect();
         ShardSet {
             shards: shards.into_boxed_slice(),
+            profile: None,
+        }
+    }
+
+    /// Like [`ShardSet::from_fn`], but registered under `name` in the
+    /// process-wide lock profile (see [`lock_snapshot`]): every
+    /// acquisition is counted per shard and contended waits are
+    /// histogrammed, unless `IDBOX_LOCK_PROFILE=0`.
+    pub fn from_fn_named(name: &'static str, n: usize, init: impl FnMut(usize) -> T) -> Self {
+        let mut s = Self::from_fn(n, init);
+        s.profile = Some(DomainProfile::register(name, s.shards.len()));
+        s
+    }
+
+    fn lock_read(&self, idx: usize) -> RwLockReadGuard<'_, T> {
+        match &self.profile {
+            Some(p) => p.acquire(
+                idx,
+                || self.shards[idx].try_read(),
+                || self.shards[idx].read(),
+            ),
+            None => self.shards[idx].read(),
+        }
+    }
+
+    fn lock_write(&self, idx: usize) -> RwLockWriteGuard<'_, T> {
+        match &self.profile {
+            Some(p) => p.acquire(
+                idx,
+                || self.shards[idx].try_write(),
+                || self.shards[idx].write(),
+            ),
+            None => self.shards[idx].write(),
         }
     }
 
@@ -195,12 +237,12 @@ impl<T> ShardSet<T> {
 
     /// Shared guard for one shard (rule 1: hold nothing else).
     pub fn read(&self, idx: usize) -> RwLockReadGuard<'_, T> {
-        self.shards[idx].read()
+        self.lock_read(idx)
     }
 
     /// Exclusive guard for one shard (rule 1: hold nothing else).
     pub fn write(&self, idx: usize) -> RwLockWriteGuard<'_, T> {
-        self.shards[idx].write()
+        self.lock_write(idx)
     }
 
     /// Exclusive guards for two shards, acquired in ascending index
@@ -213,14 +255,14 @@ impl<T> ShardSet<T> {
         b: usize,
     ) -> (RwLockWriteGuard<'_, T>, Option<RwLockWriteGuard<'_, T>>) {
         if a == b {
-            (self.shards[a].write(), None)
+            (self.lock_write(a), None)
         } else if a < b {
-            let ga = self.shards[a].write();
-            let gb = self.shards[b].write();
+            let ga = self.lock_write(a);
+            let gb = self.lock_write(b);
             (ga, Some(gb))
         } else {
-            let gb = self.shards[b].write();
-            let ga = self.shards[a].write();
+            let gb = self.lock_write(b);
+            let ga = self.lock_write(a);
             (ga, Some(gb))
         }
     }
@@ -234,20 +276,20 @@ impl<T> ShardSet<T> {
         order.dedup();
         let guards = order
             .into_iter()
-            .map(|i| (i, self.shards[i].write()))
+            .map(|i| (i, self.lock_write(i)))
             .collect();
         ShardMultiGuard { guards }
     }
 
     /// Exclusive guards for every shard, ascending.
     pub fn write_all(&self) -> Vec<RwLockWriteGuard<'_, T>> {
-        self.shards.iter().map(|s| s.write()).collect()
+        (0..self.shards.len()).map(|i| self.lock_write(i)).collect()
     }
 
     /// Shared guards for every shard, ascending. Used for consistent
     /// whole-structure snapshots (e.g. `Clone`).
     pub fn read_all(&self) -> Vec<RwLockReadGuard<'_, T>> {
-        self.shards.iter().map(|s| s.read()).collect()
+        (0..self.shards.len()).map(|i| self.lock_read(i)).collect()
     }
 
     /// Lock-free access to every shard (requires exclusive ownership).

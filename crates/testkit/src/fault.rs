@@ -69,6 +69,9 @@ struct PlanInner {
     tx: Mutex<VecDeque<Fault>>,
     rx: Mutex<VecDeque<Fault>>,
     vfs: Mutex<VecDeque<Errno>>,
+    /// Armed filesystem *delays*: the hooked data op sleeps this long,
+    /// then proceeds normally — a slow disk rather than a broken one.
+    vfs_slow: Mutex<VecDeque<Duration>>,
     /// Per-request probability (parts per million) that the wire drops
     /// the connection at that request boundary.
     drop_ppm: u32,
@@ -101,6 +104,7 @@ impl FaultPlan {
                 tx: Mutex::new(VecDeque::new()),
                 rx: Mutex::new(VecDeque::new()),
                 vfs: Mutex::new(VecDeque::new()),
+                vfs_slow: Mutex::new(VecDeque::new()),
                 drop_ppm,
                 vfs_eio_ppm,
                 wire_injected: AtomicU64::new(0),
@@ -125,6 +129,33 @@ impl FaultPlan {
     /// Queue one filesystem errno; popped by the next hooked data op.
     pub fn arm_vfs(&self, errno: Errno) {
         self.inner.vfs.lock().unwrap().push_back(errno);
+    }
+
+    /// Queue one filesystem *delay*: the next hooked data op that calls
+    /// [`FaultPlan::vfs_slow`] sleeps this long and then proceeds. The
+    /// deterministic way to wedge exactly one dispatch — what the
+    /// event-loop stall-watchdog tests are built on.
+    pub fn arm_vfs_slow(&self, d: Duration) {
+        self.inner.vfs_slow.lock().unwrap().push_back(d);
+    }
+
+    /// Pop the next armed filesystem delay, if any. A sleeping hook
+    /// calls this *in addition to* [`FaultPlan::vfs_fault`]:
+    ///
+    /// ```ignore
+    /// FaultHook::new(move |op, _ino| {
+    ///     if let Some(d) = plan.vfs_slow(op) {
+    ///         std::thread::sleep(d);
+    ///     }
+    ///     plan.vfs_fault(op)
+    /// })
+    /// ```
+    pub fn vfs_slow(&self, _op: &str) -> Option<Duration> {
+        let d = self.inner.vfs_slow.lock().unwrap().pop_front();
+        if d.is_some() {
+            self.inner.vfs_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        d
     }
 
     /// Pop the next armed wire fault for `dir`, if any.
@@ -474,6 +505,19 @@ mod tests {
         let hits = (0..1000).filter(|_| plan.vfs_fault("read").is_some()).count();
         assert!((300..700).contains(&hits), "rate draw wildly off: {hits}/1000");
         assert_eq!(plan.vfs_injected(), 1 + hits as u64);
+    }
+
+    #[test]
+    fn armed_vfs_slow_pops_once_then_exhausts() {
+        let plan = FaultPlan::new(3);
+        plan.arm_vfs_slow(Duration::from_millis(7));
+        assert_eq!(plan.vfs_slow("read"), Some(Duration::from_millis(7)));
+        assert_eq!(plan.vfs_slow("read"), None, "armed delays are one-shot");
+        assert_eq!(plan.vfs_injected(), 1);
+        // Delays and errnos queue independently.
+        plan.arm_vfs(Errno::EIO);
+        assert_eq!(plan.vfs_slow("read"), None);
+        assert_eq!(plan.vfs_fault("read"), Some(Errno::EIO));
     }
 
     #[test]

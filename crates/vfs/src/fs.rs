@@ -362,7 +362,7 @@ impl Clone for Vfs {
         let guards = self.shards.read_all();
         let alloc = self.alloc.lock();
         let mut maps: Vec<ShardMap> = guards.iter().map(|g| (**g).clone()).collect();
-        let shards = ShardSet::from_fn(maps.len(), |i| std::mem::take(&mut maps[i]));
+        let shards = ShardSet::from_fn_named("vfs", maps.len(), |i| std::mem::take(&mut maps[i]));
         Vfs {
             shards,
             dcaches: self
@@ -396,7 +396,7 @@ impl Vfs {
     pub fn with_shards(n: usize) -> Self {
         let n = n.clamp(1, 1024);
         let vfs = Vfs {
-            shards: ShardSet::from_fn(n, |_| ShardMap::new()),
+            shards: ShardSet::from_fn_named("vfs", n, |_| ShardMap::new()),
             dcaches: (0..n)
                 .map(|_| DentryCache::new((DENTRY_CACHE_CAP / n).max(64)))
                 .collect::<Vec<_>>()
