@@ -23,6 +23,10 @@ cargo test -q -p idbox-sync
 # rulings agree under random mutation interleavings).
 cargo test -q -p idbox-vfs --test props
 cargo test -q -p idbox-core --test cache_equivalence
+# Zero-copy data plane: the chunked extent store must agree with a
+# flat-buffer model under random write/truncate/read interleavings
+# (copy-on-write aliasing included), pinned seed.
+IDBOX_PROP_SEED=0x1DB0F cargo test -q -p idbox-vfs --test extent_props
 # Robustness: seeded fault injection (wire + vfs) against the real
 # stack, retry/reconnect masking, load shedding, bounded drain. The
 # pinned seed makes a CI failure reproduce exactly.
@@ -59,6 +63,12 @@ IDBOX_BENCH_WINDOW_MS=150 IDBOX_BENCH_ASSERT_PIPELINE=1 \
 # scaling assertion self-skips on hosts with fewer than 4 cores.
 IDBOX_BENCH_WINDOW_MS=150 IDBOX_BENCH_ASSERT_SCALING=1 \
   cargo run --release -q -p idbox-bench --bin contention
+# Data-plane smoke (~2 s): the zero-copy vs copying A/B must run end
+# to end and emit results/BENCH_dataplane.tsv. The >= 2x floor on
+# 1 MiB+ get self-skips on single-core hosts.
+IDBOX_BENCH_WINDOW_MS=150 IDBOX_DATAPLANE_SIZES=4096,1048576,16777216 \
+  IDBOX_BENCH_ASSERT_DATAPLANE=1 \
+  cargo run --release -q -p idbox-bench --bin dataplane
 # Observability overhead smoke (~2 s): the on-vs-off A/B must run end
 # to end and emit results/BENCH_overhead.tsv. The <=3% overhead
 # assertion self-skips on single-core hosts, where the ratio is

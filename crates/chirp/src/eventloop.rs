@@ -26,16 +26,16 @@ use idbox_auth::{AuthOutcome, ServerAuthMachine, ServerVerifier};
 use idbox_core::{BoxOptions, IdentityBox, Verdict};
 use idbox_interpose::{GuestCtx, Supervisor, TraceeVm};
 use idbox_kernel::Pid;
-use idbox_obs::{IdentityCounters, Phase, TraceCell, TraceId};
+use idbox_obs::{now_unix_ns, IdentityCounters, Phase, TraceCell, TraceId};
 use idbox_types::{CostModel, Errno, Principal};
-use idbox_vfs::Cred;
-use std::collections::BTreeMap;
-use std::io::{Read, Write};
+use idbox_vfs::{ByteExtent, Cred};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Maximum bytes pulled off one socket per readiness cycle, so a
@@ -51,6 +51,35 @@ const OUT_SOFT_CAP: usize = 1024 * 1024;
 /// ready. Wake sockets make registration and shutdown prompt; the tick
 /// only paces the idle sweep.
 const POLL_TICK_MS: i32 = 20;
+
+/// Owned pushes below this merge into the queue's trailing owned
+/// segment, so a burst of pipelined one-line replies costs one iovec
+/// entry instead of hundreds.
+const COALESCE_MAX: usize = 16 * 1024;
+
+/// Maximum segments handed to one vectored write. Kernels cap iovec
+/// counts (IOV_MAX is 1024 on Linux); staying far below it also bounds
+/// the per-flush stack work.
+const FLUSH_IOVEC_MAX: usize = 64;
+
+/// Maximum inbound payload buffers a connection keeps pooled between
+/// frames.
+const POOL_MAX_BUFS: usize = 4;
+
+/// Largest buffer capacity the inbound payload pool retains, resolved
+/// once per process from `IDBOX_PAYLOAD_POOL_KIB` (0 disables pooling;
+/// default 256 KiB). Oversized buffers are freed after dispatch so one
+/// huge `put` cannot pin its high-water allocation forever.
+fn payload_pool_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("IDBOX_PAYLOAD_POOL_KIB")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|kib| kib.saturating_mul(1024))
+            .unwrap_or(256 * 1024)
+    })
+}
 
 /// Maximum sub-operations accepted in one `batch` frame.
 pub(crate) const BATCH_MAX_OPS: usize = 4096;
@@ -169,10 +198,10 @@ fn run_worker(
         });
         for c in &conns {
             let mut events = 0;
-            if c.outbuf.len() - c.outpos <= OUT_SOFT_CAP && !c.close_after_flush {
+            if c.out.unflushed() <= OUT_SOFT_CAP && !c.close_after_flush {
                 events |= POLLIN;
             }
-            if c.outpos < c.outbuf.len() {
+            if !c.out.is_empty() {
                 events |= POLLOUT;
             }
             fds.push(PollFd {
@@ -204,13 +233,24 @@ fn run_worker(
             if pfd.revents & (POLLIN | POLLHUP) != 0 {
                 c.fill();
             }
-            c.pump(&lc);
-            let backlog = c.outbuf.len() - c.outpos;
-            if backlog > 0 {
-                ws.note_outbuf(backlog);
-                ws.bump_flush();
+            loop {
+                c.pump(&lc);
+                let backlog = c.out.unflushed();
+                if backlog > 0 {
+                    ws.note_outbuf(backlog);
+                    ws.bump_flush();
+                }
+                c.flush();
+                // A backpressure pause means complete frames are still
+                // sitting in `inbuf`. If flush just freed queue room,
+                // service them now — otherwise a pipelined burst pays a
+                // full poll tick per streamed reply while the socket
+                // sits idle. When flush could not drain below the cap,
+                // POLLOUT wakes the loop as soon as the peer reads.
+                if c.dead || !c.pump_paused || c.out.unflushed() > OUT_SOFT_CAP {
+                    break;
+                }
             }
-            c.flush();
         }
         if let Some(limit) = lc.io_timeout {
             let now = Instant::now();
@@ -286,17 +326,173 @@ enum PumpExit {
     Closing,
 }
 
+/// One queued output segment: bytes the connection owns (head lines,
+/// rendered text replies), or an extent borrowed from the Vfs via an
+/// `Arc` — the zero-copy path, where the file's chunks go to the socket
+/// without ever being copied into a connection buffer.
+enum OutSeg {
+    Owned(Vec<u8>),
+    Shared(ByteExtent),
+}
+
+impl OutSeg {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            OutSeg::Owned(v) => v,
+            OutSeg::Shared(e) => e.as_slice(),
+        }
+    }
+}
+
+/// A streamed reply's completion marker: once `end` total bytes have
+/// been flushed, the reply's last byte has left the process and its
+/// data-plane `stream` span can close.
+struct StreamMark {
+    end: u64,
+    trace: Option<TraceId>,
+    start_ns: u64,
+}
+
+/// The connection's write side: a queue of segments flushed with
+/// vectored writes. Cumulative `queued`/`flushed` counters replace the
+/// old flat buffer's len/pos pair, so backpressure accounting works the
+/// same way whether a segment is owned or borrowed.
+#[derive(Default)]
+struct OutQueue {
+    segs: VecDeque<OutSeg>,
+    /// Bytes of `segs[0]` already written.
+    head_pos: usize,
+    /// Total bytes ever queued (monotonic).
+    queued: u64,
+    /// Total bytes ever flushed (monotonic).
+    flushed: u64,
+    marks: VecDeque<StreamMark>,
+}
+
+impl OutQueue {
+    /// Bytes queued but not yet written to the socket.
+    fn unflushed(&self) -> usize {
+        (self.queued - self.flushed) as usize
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queued == self.flushed
+    }
+
+    /// Queue owned bytes, coalescing small pushes into the trailing
+    /// owned segment. Appending to the front segment while `head_pos`
+    /// points into it is fine — the flushed prefix is never touched.
+    fn push_owned(&mut self, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.queued += bytes.len() as u64;
+        if let Some(OutSeg::Owned(v)) = self.segs.back_mut() {
+            if v.len() < COALESCE_MAX {
+                v.extend_from_slice(bytes);
+                return;
+            }
+        }
+        self.segs.push_back(OutSeg::Owned(bytes.to_vec()));
+    }
+
+    /// Queue an owned buffer without copying it (large rendered
+    /// replies); small ones still coalesce.
+    fn push_owned_vec(&mut self, v: Vec<u8>) {
+        if v.len() < COALESCE_MAX {
+            self.push_owned(&v);
+            return;
+        }
+        self.queued += v.len() as u64;
+        self.segs.push_back(OutSeg::Owned(v));
+    }
+
+    /// Queue a borrowed extent. The bytes stay in the Vfs's chunk; the
+    /// queue holds only the `Arc`.
+    fn push_shared(&mut self, extent: ByteExtent) {
+        if extent.is_empty() {
+            return;
+        }
+        self.queued += extent.len() as u64;
+        self.segs.push_back(OutSeg::Shared(extent));
+    }
+
+    /// Mark the current queue tail as the end of a streamed reply.
+    fn push_mark(&mut self, trace: Option<TraceId>, start_ns: u64) {
+        self.marks.push_back(StreamMark {
+            end: self.queued,
+            trace,
+            start_ns,
+        });
+    }
+
+    /// One vectored write of up to [`FLUSH_IOVEC_MAX`] segments.
+    fn write_once(&mut self, mut stream: &TcpStream) -> std::io::Result<usize> {
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(self.segs.len().min(FLUSH_IOVEC_MAX));
+        for (i, seg) in self.segs.iter().enumerate() {
+            if slices.len() == FLUSH_IOVEC_MAX {
+                break;
+            }
+            let s = seg.as_slice();
+            let s = if i == 0 { &s[self.head_pos..] } else { s };
+            slices.push(IoSlice::new(s));
+        }
+        stream.write_vectored(&slices)
+    }
+
+    /// Account `n` bytes written: pop fully flushed segments (releasing
+    /// their `Arc`s) and advance into a partially written head.
+    fn advance(&mut self, mut n: usize) {
+        self.flushed += n as u64;
+        while n > 0 {
+            let rem = self
+                .segs
+                .front()
+                .map(|s| s.as_slice().len() - self.head_pos)
+                .expect("advanced past the end of the out queue");
+            if n >= rem {
+                n -= rem;
+                self.segs.pop_front();
+                self.head_pos = 0;
+            } else {
+                self.head_pos += n;
+                n = 0;
+            }
+        }
+    }
+
+    /// The next streamed reply whose last byte has now been flushed.
+    fn pop_done_mark(&mut self) -> Option<StreamMark> {
+        if self.marks.front().is_some_and(|m| m.end <= self.flushed) {
+            self.marks.pop_front()
+        } else {
+            None
+        }
+    }
+}
+
 /// One connection's full state: buffers, phase, and liveness.
 struct Conn {
     id: u64,
     stream: TcpStream,
     inbuf: Vec<u8>,
     inpos: usize,
-    outbuf: Vec<u8>,
-    outpos: usize,
+    out: OutQueue,
     last_activity: Instant,
     phase: ConnPhase,
     pending: Option<PendingFrame>,
+    /// Pooled inbound payload buffers, reused across frames so every
+    /// `put` body does not cost a fresh allocation.
+    payload_pool: Vec<Vec<u8>>,
+    /// The session identity's counters, set once authentication
+    /// completes; wire-byte totals before that have no identity to
+    /// charge and are not counted.
+    counters: Option<Arc<IdentityCounters>>,
+    /// `pump` stopped on backpressure with complete frames still
+    /// buffered in `inbuf`. The worker loop re-pumps such connections
+    /// after `flush` frees queue room, instead of letting the buffered
+    /// frames wait out a poll tick on an idle socket.
+    pump_paused: bool,
     saw_eof: bool,
     close_after_flush: bool,
     dead: bool,
@@ -309,11 +505,13 @@ impl Conn {
             stream: reg.stream,
             inbuf: Vec::new(),
             inpos: 0,
-            outbuf: Vec::new(),
-            outpos: 0,
+            out: OutQueue::default(),
             last_activity: Instant::now(),
             phase: ConnPhase::Auth(ServerAuthMachine::new(reg.verifier)),
             pending: None,
+            payload_pool: Vec::new(),
+            counters: None,
+            pump_paused: false,
             saw_eof: false,
             close_after_flush: false,
             dead: false,
@@ -346,20 +544,27 @@ impl Conn {
                 }
             }
         }
+        if total > 0 {
+            if let Some(c) = &self.counters {
+                c.add_bytes_in(total as u64);
+            }
+        }
     }
 
-    /// Write as much buffered output as the socket takes right now.
-    /// This is the single flush point: every reply produced during one
-    /// readiness cycle goes out in (at most) one burst of writes.
+    /// Write as much queued output as the socket takes right now, one
+    /// vectored write per burst: head lines and borrowed extents go out
+    /// as scatter-gather segments, so a streamed file is never copied
+    /// into a flat connection buffer first.
     fn flush(&mut self) {
-        while self.outpos < self.outbuf.len() {
-            match (&self.stream).write(&self.outbuf[self.outpos..]) {
+        let before = self.out.flushed;
+        while !self.out.is_empty() {
+            match self.out.write_once(&self.stream) {
                 Ok(0) => {
                     self.dead = true;
                     break;
                 }
                 Ok(n) => {
-                    self.outpos += n;
+                    self.out.advance(n);
                     self.last_activity = Instant::now();
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -370,25 +575,31 @@ impl Conn {
                 }
             }
         }
-        if self.outpos == self.outbuf.len() {
-            self.outbuf.clear();
-            self.outpos = 0;
-            if self.close_after_flush {
-                self.dead = true;
+        let wrote = self.out.flushed - before;
+        if wrote > 0 {
+            if let Some(c) = &self.counters {
+                c.add_bytes_out(wrote);
             }
-        } else if self.outpos > OUT_SOFT_CAP {
-            self.outbuf.drain(..self.outpos);
-            self.outpos = 0;
+        }
+        // A streamed reply's span closes when its last byte has been
+        // accepted by the socket — the stream phase `tracedump` shows.
+        while let Some(m) = self.out.pop_done_mark() {
+            idbox_obs::flight::record_span(
+                "data",
+                "stream",
+                m.trace,
+                m.start_ns,
+                now_unix_ns().saturating_sub(m.start_ns),
+            );
+        }
+        if self.out.is_empty() && self.close_after_flush {
+            self.dead = true;
         }
     }
 
-    fn queue_bytes(&mut self, bytes: &[u8]) {
-        self.outbuf.extend_from_slice(bytes);
-    }
-
     fn queue_line(&mut self, line: &str) {
-        self.outbuf.extend_from_slice(line.as_bytes());
-        self.outbuf.push(b'\n');
+        self.out.push_owned(line.as_bytes());
+        self.out.push_owned(b"\n");
     }
 
     /// Unconsumed input.
@@ -437,7 +648,7 @@ impl Conn {
             if self.close_after_flush {
                 break PumpExit::Closing;
             }
-            if self.outbuf.len() - self.outpos > OUT_SOFT_CAP {
+            if self.out.unflushed() > OUT_SOFT_CAP {
                 break PumpExit::Backpressure;
             }
             let step = match self.phase {
@@ -449,6 +660,7 @@ impl Conn {
                 None => break PumpExit::Starved,
             }
         };
+        self.pump_paused = exit == PumpExit::Backpressure;
         // EOF with no undispatched frame left: nothing more will ever
         // arrive, so finish sending what we owe and close.
         if exit == PumpExit::Starved && self.saw_eof {
@@ -510,6 +722,9 @@ impl Conn {
             Ok(AuthOutcome::Authenticated(principal)) => {
                 match Session::build(principal, lc) {
                     Ok(session) => {
+                        // From here on, wire bytes in both directions
+                        // are charged to the authenticated identity.
+                        self.counters = Some(Arc::clone(&session.counters));
                         self.phase = ConnPhase::Session(Box::new(session));
                         Some(())
                     }
@@ -538,10 +753,7 @@ impl Conn {
                 return None;
             }
             let pf = self.pending.take().expect("pending frame present");
-            let start = self.inpos;
-            let payload =
-                self.inbuf[start..start + pf.payload_len as usize].to_vec();
-            self.consume(pf.payload_len as usize);
+            let payload = self.extract_payload(pf.payload_len as usize);
             self.dispatch_frame(pf, payload, lc);
             return Some(());
         }
@@ -561,7 +773,7 @@ impl Conn {
         let words = match codec::split_words(line) {
             Ok(w) if !w.is_empty() => w,
             _ => {
-                self.queue_reply(Err(Errno::EPROTO), id);
+                self.queue_reply(Err(Errno::EPROTO), id, trace);
                 return Some(());
             }
         };
@@ -579,7 +791,7 @@ impl Conn {
             // that desync then tears the connection down as a protocol
             // error, which is the best available recovery.
             Err(e) => {
-                self.queue_reply(Err(e), id);
+                self.queue_reply(Err(e), id, trace);
                 return Some(());
             }
         };
@@ -587,20 +799,42 @@ impl Conn {
             self.pending = Some(pf);
             return Some(());
         }
-        let start = self.inpos;
-        let payload = self.inbuf[start..start + pf.payload_len as usize].to_vec();
-        self.consume(pf.payload_len as usize);
+        let payload = self.extract_payload(pf.payload_len as usize);
         self.dispatch_frame(pf, payload, lc);
         Some(())
     }
 
+    /// Slice a frame's announced payload off the input buffer into a
+    /// pooled buffer (reused across frames instead of allocated fresh).
+    fn extract_payload(&mut self, len: usize) -> Vec<u8> {
+        let start = self.inpos;
+        let mut payload = self.payload_pool.pop().unwrap_or_default();
+        payload.extend_from_slice(&self.inbuf[start..start + len]);
+        self.consume(len);
+        payload
+    }
+
+    /// Return a payload buffer to the pool. A dispatch that consumed
+    /// the buffer by value (`setacl`) leaves an empty, capacity-less
+    /// vec behind, which is dropped here; so are buffers a huge `put`
+    /// grew past the pool cap.
+    fn recycle_payload(&mut self, mut buf: Vec<u8>) {
+        buf.clear();
+        let cap = payload_pool_cap();
+        if self.payload_pool.len() < POOL_MAX_BUFS && buf.capacity() > 0 && buf.capacity() <= cap
+        {
+            self.payload_pool.push(buf);
+        }
+    }
+
     /// Dispatch one complete frame through the session and queue its
     /// reply (stamped with the frame's id when it carried one).
-    fn dispatch_frame(&mut self, pf: PendingFrame, payload: Vec<u8>, lc: &LoopCtx) {
+    fn dispatch_frame(&mut self, pf: PendingFrame, mut payload: Vec<u8>, lc: &LoopCtx) {
         let ConnPhase::Session(session) = &mut self.phase else {
             unreachable!("frames only exist in session phase")
         };
-        let (reply, close) = session.handle_frame(&pf, &payload, lc);
+        let (reply, close) = session.handle_frame(&pf, &mut payload, lc);
+        self.recycle_payload(payload);
         // The frame's trace was parked on this thread for the duration
         // of the dispatch; clear it so events from the next frame (or
         // idle work) are not mis-tagged.
@@ -609,16 +843,23 @@ impl Conn {
             self.close_after_flush = true;
         }
         if let Some(r) = reply {
-            self.queue_reply(r, pf.id);
+            self.queue_reply(r, pf.id, pf.trace);
         }
     }
 
-    /// Render a reply — head line (id-stamped when the request was
-    /// pipelined), then any payload — into the write buffer.
-    fn queue_reply(&mut self, reply: Result<Reply, Errno>, id: Option<u64>) {
-        let (head, data) = match reply {
+    /// Render a reply into the output queue: the head line (id-stamped
+    /// when the request was pipelined), then the payload — owned bytes
+    /// for rendered replies, borrowed extents for streamed ones.
+    fn queue_reply(
+        &mut self,
+        reply: Result<Reply, Errno>,
+        id: Option<u64>,
+        trace: Option<TraceId>,
+    ) {
+        let (head, body) = match reply {
             Ok(Reply::Line(l)) => (l, None),
-            Ok(Reply::Payload(head, data)) => (head, Some(data)),
+            Ok(Reply::Payload(head, data)) => (head, Some(Ok(data))),
+            Ok(Reply::Stream(head, extents)) => (head, Some(Err(extents))),
             Err(e) => (error_line(e), None),
         };
         let head = match id {
@@ -626,8 +867,16 @@ impl Conn {
             None => head,
         };
         self.queue_line(&head);
-        if let Some(data) = data {
-            self.queue_bytes(&data);
+        match body {
+            Some(Ok(data)) => self.out.push_owned_vec(data),
+            Some(Err(extents)) => {
+                let start_ns = now_unix_ns();
+                for part in extents.parts {
+                    self.out.push_shared(part);
+                }
+                self.out.push_mark(trace, start_ns);
+            }
+            None => {}
         }
     }
 
@@ -703,7 +952,7 @@ impl Session {
     fn handle_frame(
         &mut self,
         pf: &PendingFrame,
-        payload: &[u8],
+        payload: &mut Vec<u8>,
         lc: &LoopCtx,
     ) -> (Option<Result<Reply, Errno>>, bool) {
         let ctl = &lc.ctl;

@@ -14,7 +14,7 @@ use idbox_obs::{
     IDENTITY_METRICS_DEFAULT_CAP, SLOW_OP_DEFAULT_CAP,
 };
 use idbox_types::{CostModel, Errno, SysResult};
-use idbox_vfs::Cred;
+use idbox_vfs::{Cred, ExtentList};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
@@ -87,6 +87,14 @@ pub struct ServerConfig {
     /// `loop-stall` audit row. `None` (the default) resolves from
     /// `IDBOX_LOOP_STALL_MS` (unset or 0 disables the watchdog).
     pub loop_stall: Option<Duration>,
+    /// Ablation switch for the zero-copy data plane: when set, `get`
+    /// and `pread` fall back to the copying read path (flat buffer
+    /// materialized under the shard lock, then copied into the
+    /// connection's write buffer), so the extent pipeline can be A/B
+    /// benchmarked against the pre-extent behaviour. `false` (the
+    /// default) also consults `IDBOX_DATAPLANE_COPY` (set to 1 to force
+    /// the copying path at startup).
+    pub copy_data_plane: bool,
 }
 
 impl Default for ServerConfig {
@@ -113,8 +121,19 @@ impl Default for ServerConfig {
             drain_deadline: Duration::from_secs(1),
             event_loops: 0,
             loop_stall: None,
+            copy_data_plane: false,
         }
     }
+}
+
+/// Resolve the data-plane ablation switch: explicit config wins, then
+/// the `IDBOX_DATAPLANE_COPY` environment knob (1 = copying path).
+fn resolve_copy_data_plane(configured: bool) -> bool {
+    configured
+        || std::env::var("IDBOX_DATAPLANE_COPY")
+            .ok()
+            .and_then(|v| v.trim().parse::<u8>().ok())
+            .is_some_and(|v| v != 0)
 }
 
 /// Resolve the stall-watchdog budget: explicit config wins, then the
@@ -261,6 +280,7 @@ impl ChirpServer {
             inflight: Arc::clone(&inflight),
             busy_watermark: self.config.busy_watermark,
             max_inflight_per_identity: self.config.max_inflight_per_identity,
+            copy_data_plane: resolve_copy_data_plane(self.config.copy_data_plane),
         };
         let lc = Arc::new(LoopCtx {
             ctl,
@@ -535,6 +555,9 @@ pub(crate) struct SessionCtl {
     pub(crate) inflight: Arc<AtomicU64>,
     pub(crate) busy_watermark: Option<usize>,
     pub(crate) max_inflight_per_identity: Option<usize>,
+    /// When set, `get`/`pread` use the copying read path instead of
+    /// streamed extents (the data-plane ablation switch).
+    pub(crate) copy_data_plane: bool,
 }
 
 impl SessionCtl {
@@ -661,18 +684,46 @@ pub(crate) fn record_span(
 pub(crate) enum Reply {
     Line(String),
     Payload(String, Vec<u8>),
+    /// Head line plus extents borrowed from the Vfs via `Arc` — the
+    /// zero-copy reply path. The event loop queues the extents as
+    /// scatter-gather segments and streams them with vectored writes;
+    /// the file bytes are never copied into a connection buffer.
+    Stream(String, ExtentList),
 }
 
 fn parse_num<T: std::str::FromStr>(w: Option<&String>) -> SysResult<T> {
     w.and_then(|s| s.parse().ok()).ok_or(Errno::EPROTO)
 }
 
+/// Time a data-plane read (the Vfs extent fetch) and record it on the
+/// flight recorder's `data` plane, joined to the request's trace id.
+/// The matching `stream` span closes in the event loop when the reply's
+/// last byte is flushed.
+fn data_read_span<T>(obs: &SessionObs, f: impl FnOnce() -> SysResult<T>) -> SysResult<T> {
+    let t0 = std::time::Instant::now();
+    let result = f();
+    if let Some(trace) = obs.trace.get() {
+        let dur_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        idbox_obs::flight::record_span(
+            "data",
+            "read",
+            Some(trace),
+            now_unix_ns().saturating_sub(dur_ns),
+            dur_ns,
+        );
+    }
+    result
+}
+
 /// Dispatch one framed request. `payload` is the request's announced
 /// payload, already sliced off the wire by the framer (empty for
-/// payload-less verbs), so dispatch never touches the socket.
+/// payload-less verbs), so dispatch never touches the socket. It is
+/// passed as an owned buffer so verbs that keep the bytes (`setacl`)
+/// can take them without another copy; the framer recycles whatever is
+/// left behind.
 pub(crate) fn dispatch(
     words: &[String],
-    payload: &[u8],
+    payload: &mut Vec<u8>,
     ctx: &mut GuestCtx<'_>,
     principal: &idbox_types::Principal,
     programs: &BTreeMap<String, GuestFn>,
@@ -713,10 +764,14 @@ pub(crate) fn dispatch(
             if len as u64 > codec::PAYLOAD_MAX {
                 return Err(Errno::EINVAL);
             }
-            let mut buf = vec![0u8; len];
-            let n = ctx.pread(fd, &mut buf, off)?;
-            buf.truncate(n);
-            Ok(Reply::Payload(ok_num(n as i64), buf))
+            if ctl.copy_data_plane {
+                let mut buf = vec![0u8; len];
+                let n = ctx.pread(fd, &mut buf, off)?;
+                buf.truncate(n);
+                return Ok(Reply::Payload(ok_num(n as i64), buf));
+            }
+            let extents = data_read_span(obs, || ctx.pread_extents(fd, len, off))?;
+            Ok(Reply::Stream(ok_num(extents.total as i64), extents))
         }
         "pwrite" => {
             let fd: i64 = parse_num(words.get(1))?;
@@ -771,8 +826,10 @@ pub(crate) fn dispatch(
         "setacl" => {
             let dir = export_path(arg(1)?);
             // Validate before installing: a bad ACL must not brick the
-            // directory.
-            let text = String::from_utf8(payload.to_vec()).map_err(|_| Errno::EINVAL)?;
+            // directory. The payload buffer is taken by value — no
+            // intermediate copy on the way to the UTF-8 check.
+            let text =
+                String::from_utf8(std::mem::take(payload)).map_err(|_| Errno::EINVAL)?;
             Acl::parse(&text).map_err(|_| Errno::EINVAL)?;
             let acl_path = format!("{dir}/{}", idbox_types::ACL_FILE_NAME);
             ctx.write_file(&acl_path, text.as_bytes())?;
@@ -788,8 +845,13 @@ pub(crate) fn dispatch(
             Ok(Reply::Line("ok".to_string()))
         }
         "get" => {
-            let data = ctx.read_file(&export_path(arg(1)?))?;
-            Ok(Reply::Payload(ok_num(data.len() as i64), data))
+            let path = export_path(arg(1)?);
+            if ctl.copy_data_plane {
+                let data = ctx.read_file(&path)?;
+                return Ok(Reply::Payload(ok_num(data.len() as i64), data));
+            }
+            let extents = data_read_span(obs, || ctx.read_file_extents(&path))?;
+            Ok(Reply::Stream(ok_num(extents.total as i64), extents))
         }
         // Wire protocol v2: many small metadata ops in one frame. The
         // payload is one command line per sub-op (same word encoding as
@@ -994,9 +1056,15 @@ fn batch_sub_op(
     if !BATCH_VERBS.contains(&words[0].as_str()) {
         return error_line(Errno::ENOSYS);
     }
-    match dispatch(&words, &[], ctx, principal, programs, ctl, obs) {
+    match dispatch(&words, &mut Vec::new(), ctx, principal, programs, ctl, obs) {
         Ok(Reply::Line(l)) => l,
         Ok(Reply::Payload(_, data)) => match String::from_utf8(data) {
+            Ok(text) => format!("ok {}", codec::encode_word(&text)),
+            Err(_) => error_line(Errno::EIO),
+        },
+        // No batch verb streams today, but collapse extents the same
+        // way a rendered payload collapses if one ever does.
+        Ok(Reply::Stream(_, extents)) => match String::from_utf8(extents.to_vec()) {
             Ok(text) => format!("ok {}", codec::encode_word(&text)),
             Err(_) => error_line(Errno::EIO),
         },

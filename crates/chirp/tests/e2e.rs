@@ -1011,3 +1011,66 @@ fn oversized_put_announce_is_rejected_before_allocation() {
 
     handle.shutdown();
 }
+
+/// Replies larger than the event loop's 1 MiB backpressure watermark
+/// must be delivered completely — serially and pipelined — instead of
+/// deadlocking behind the soft cap or tearing the connection down. This
+/// exercises the streamed extent path end to end: the 3 MiB body
+/// crosses the cap three times over, so the worker has to interleave
+/// flushes with the peer draining.
+#[test]
+fn oversized_replies_stream_without_deadlock_or_teardown() {
+    let (handle, ca) = spawn_figure3_server();
+    let mut fred = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    fred.mkdir("/work", 0o755).unwrap();
+    // Patterned so truncation or reordering cannot pass unnoticed.
+    let big: Vec<u8> = (0..3u32 * 1024 * 1024)
+        .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+        .collect();
+    fred.put("/work/big.dat", &big).unwrap();
+
+    // Serial: one oversized get on a fresh connection.
+    assert_eq!(fred.get("/work/big.dat").unwrap(), big);
+
+    // Pipelined: three oversized gets in one burst on one connection.
+    // The server queues ~9 MiB of replies against a 1 MiB soft cap and
+    // must stream them out in order while the client drains.
+    let mut p = fred.pipeline();
+    for _ in 0..3 {
+        p.get("/work/big.dat");
+    }
+    let replies = p.run().unwrap();
+    assert_eq!(replies.len(), 3);
+    for r in &replies {
+        assert_eq!(r.num().unwrap() as usize, big.len());
+        assert_eq!(r.payload.as_deref().unwrap(), &big[..]);
+    }
+
+    // The connection survived: an ordinary RPC still round-trips.
+    assert!(fred.stat("/work/big.dat").is_ok());
+    handle.shutdown();
+}
+
+/// The data-plane ablation switch must preserve wire behaviour exactly:
+/// with `copy_data_plane` set, the same oversized transfer flows
+/// through the copying path (flat buffer materialized, then queued as
+/// one owned segment).
+#[test]
+fn ablated_copy_path_serves_oversized_replies_identically() {
+    let (ca, verifier) = gsi_setup();
+    let server = ChirpServer::new(ServerConfig {
+        name: "ablated".to_string(),
+        verifier,
+        root_acl: figure3_root_acl(),
+        copy_data_plane: true,
+        ..Default::default()
+    })
+    .unwrap();
+    let handle = server.spawn().unwrap();
+    let mut fred = ChirpClient::connect(handle.addr(), &fred_creds(&ca)).unwrap();
+    fred.mkdir("/work", 0o755).unwrap();
+    let big = vec![0xA7u8; 2 * 1024 * 1024];
+    fred.put("/work/big.dat", &big).unwrap();
+    assert_eq!(fred.get("/work/big.dat").unwrap(), big);
+    handle.shutdown();
+}

@@ -599,8 +599,8 @@ impl IdentityBoxPolicy {
             | SigPending | Pipe | GetUserName | Getenv(_) => PolicyDecision::Allow,
 
             // fd-based calls were authorized at open time.
-            Close(_) | Read(..) | Write(..) | Pread(..) | Pwrite(..) | Lseek(..)
-            | Dup(_) | Fstat(_) => PolicyDecision::Allow,
+            Close(_) | Read(..) | Write(..) | Pread(..) | Preadx(..) | Pwrite(..)
+            | Lseek(..) | Dup(_) | Fstat(_) => PolicyDecision::Allow,
 
             // Signals: only to processes carrying the same identity
             // (paper, Section 3).

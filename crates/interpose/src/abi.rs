@@ -88,6 +88,10 @@ pub mod nr {
     pub const SIGPENDING: u64 = 1002;
     /// getenv(name, namelen, buf, cap) — read one environment variable
     pub const GETENV: u64 = 1003;
+    /// preadx(fd, len, off) — positioned read answered with borrowed
+    /// extents held supervisor-side (the zero-copy data plane): the
+    /// bytes never enter guest memory, only the total length returns.
+    pub const PREADX: u64 = 1004;
 }
 
 /// The environment variable a boxed child spawned by the `exec` RPC

@@ -6,7 +6,7 @@ use crate::policy::{AllowAll, PolicyDecision, SyscallPolicy};
 use crate::trace::TraceSink;
 use crate::vm::{reg, TraceeVm};
 use crate::{SharedKernel, SMALL_IO_MAX};
-use idbox_kernel::{LatencyStats, OpenFlags, Pid, Signal, Syscall, SysRet};
+use idbox_kernel::{ExtentList, LatencyStats, OpenFlags, Pid, Signal, Syscall, SysRet};
 use idbox_obs::{IdentityCounters, Phase, SlowOpLog, Span, TraceCell};
 use idbox_types::{CostModel, Errno, SwitchEngine, SysResult, TrapCostReport};
 use idbox_vfs::Access;
@@ -84,6 +84,11 @@ pub struct Supervisor {
     /// them. All hooks are atomics bumped through `&self` — nothing
     /// here adds a lock to the dispatch path.
     obs: Option<ObsHooks>,
+    /// The last `preadx` reply's extents, parked out-of-band: extent
+    /// payloads never enter flat guest memory (that copy is the whole
+    /// thing being avoided), so `execute` stashes them here and the
+    /// embedding context collects them with [`Supervisor::take_extents`].
+    pending_extents: Option<ExtentList>,
 }
 
 impl Supervisor {
@@ -99,6 +104,7 @@ impl Supervisor {
             trace: None,
             obs: None,
             latency,
+            pending_extents: None,
         }
     }
 
@@ -116,6 +122,7 @@ impl Supervisor {
             trace: None,
             obs: None,
             latency,
+            pending_extents: None,
         }
     }
 
@@ -135,6 +142,7 @@ impl Supervisor {
             trace: None,
             obs: None,
             latency,
+            pending_extents: None,
         }
     }
 
@@ -180,6 +188,29 @@ impl Supervisor {
         self.channel.total_bytes()
     }
 
+    /// Collect the extents parked by the last `preadx` reply, if any.
+    /// The guest saw only the total length in its return register; the
+    /// bytes themselves stay supervisor-side as `Arc` borrows, and the
+    /// embedding context (the Chirp server's `get`) streams them from
+    /// here without a copy.
+    pub fn take_extents(&mut self) -> Option<ExtentList> {
+        self.pending_extents.take()
+    }
+
+    /// Park an extent reply and translate it into the register-visible
+    /// result (`Num(total)`): extents never pass through `write_reply`,
+    /// whose catch-all would reject the unknown shape as `EPROTO`.
+    fn park_extents(&mut self, result: SysResult<SysRet>) -> SysResult<SysRet> {
+        match result {
+            Ok(SysRet::Extents(x)) => {
+                let total = x.total as i64;
+                self.pending_extents = Some(x);
+                Ok(SysRet::Num(total))
+            }
+            other => other,
+        }
+    }
+
     /// Service the system call currently loaded in `vm`'s registers on
     /// behalf of `pid`. On return, `RET` and any output buffers are
     /// filled in.
@@ -211,6 +242,7 @@ impl Supervisor {
         if let Some(trace) = &self.trace {
             trace.record(pid, &call, &result);
         }
+        let result = self.park_extents(result);
         if let Err(e) = write_reply(vm, result, out, &mut DirectData) {
             vm.set_ret(e.as_ret());
         }
@@ -260,6 +292,9 @@ impl Supervisor {
             match (call, ret) {
                 (Syscall::Read(..) | Syscall::Pread(..), SysRet::Data(data)) => {
                     obs.counters.add_bytes_read(data.len() as u64);
+                }
+                (Syscall::Preadx(..), SysRet::Extents(x)) => {
+                    obs.counters.add_bytes_read(x.total as u64);
                 }
                 (Syscall::Write(..) | Syscall::Pwrite(..), SysRet::Num(n)) if *n > 0 => {
                     obs.counters.add_bytes_written(*n as u64);
@@ -360,6 +395,10 @@ impl Supervisor {
         if let Some(trace) = &self.trace {
             trace.record(pid, &call, &result);
         }
+        // Extent replies stay supervisor-side: only the length crosses
+        // back into the guest — no pokes, no channel bytes. That *is*
+        // the zero copy.
+        let result = self.park_extents(result);
 
         // Step 6: the supervisor modifies the result into the child:
         // registers and small payloads by poke, bulk payloads through the
@@ -532,6 +571,9 @@ fn decode_call(vm: &TraceeVm, reader: &mut dyn ArgReader) -> SysResult<(Syscall,
                 cap: a2 as usize,
             },
         ),
+        // Zero-copy read: the reply is held supervisor-side as borrowed
+        // extents, so there is no output buffer to fill.
+        nr::PREADX => (Syscall::Preadx(a0 as usize, a1 as usize, a2), OutSpec::None),
         nr::WRITE => {
             let data = reader.read_bytes(vm, a1, a2 as usize)?;
             (Syscall::Write(a0 as usize, data), OutSpec::None)

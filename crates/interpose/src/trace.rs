@@ -122,7 +122,7 @@ fn call_detail(call: &Syscall) -> String {
         Chown(p, uid, gid) => format!("{p} -> {uid}:{gid}"),
         Link(a, b) | Symlink(a, b) | Rename(a, b) => format!("{a} -> {b}"),
         AccessCheck(p, _) => p.clone(),
-        Read(fd, len) | Pread(fd, len, _) => format!("fd{fd}, {len}b"),
+        Read(fd, len) | Pread(fd, len, _) | Preadx(fd, len, _) => format!("fd{fd}, {len}b"),
         Write(fd, data) | Pwrite(fd, data, _) => format!("fd{fd}, {}b", data.len()),
         Close(fd) | Dup(fd) | Fstat(fd) => format!("fd{fd}"),
         Lseek(fd, off, _) => format!("fd{fd}, {off}"),

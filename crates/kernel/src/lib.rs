@@ -31,3 +31,6 @@ pub use process::{
     FileBacking, OpenFile, OpenFlags, Pid, PipeEnd, ProcState, Process, Signal, MAX_FDS,
 };
 pub use syscall::{Syscall, SysRet, Whence};
+// The zero-copy read path's payload types, re-exported so callers of
+// `SysRet::Extents` need not depend on the vfs crate directly.
+pub use idbox_vfs::{ByteExtent, ExtentList};

@@ -8,7 +8,7 @@
 
 use crate::process::{OpenFlags, Pid, Signal};
 use idbox_types::Identity;
-use idbox_vfs::{Access, DirEntry, StatBuf};
+use idbox_vfs::{Access, DirEntry, ExtentList, StatBuf};
 
 /// `lseek` origins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +102,10 @@ pub enum Syscall {
     /// Read one variable from the process's environment (simulated:
     /// the supervisor seeds the table, children inherit it on fork).
     Getenv(String),
+    /// Positioned read returning borrowed extents instead of copied
+    /// bytes (`fd`, `len`, `off`): the zero-copy data plane's read
+    /// primitive. Like `pread`, the fd offset does not move.
+    Preadx(usize, usize, u64),
 }
 
 impl Syscall {
@@ -113,7 +117,7 @@ impl Syscall {
     /// All syscall names, one per variant, in declaration order. The
     /// kernel's statistics table is indexed by [`Syscall::slot`], which
     /// must agree with this array (checked by a test below).
-    pub const NAMES: [&'static str; 38] = [
+    pub const NAMES: [&'static str; 39] = [
         "getpid",
         "getppid",
         "getuid",
@@ -152,6 +156,7 @@ impl Syscall {
         "pipe",
         "get_user_name",
         "getenv",
+        "preadx",
     ];
 
     /// This call's index into [`Syscall::NAMES`] (and into the kernel's
@@ -197,6 +202,7 @@ impl Syscall {
             Pipe => 35,
             GetUserName => 36,
             Getenv(_) => 37,
+            Preadx(..) => 38,
         }
     }
 
@@ -238,6 +244,7 @@ impl Syscall {
                 | Readdir(_)
                 | Read(..)
                 | Pread(..)
+                | Preadx(..)
                 | Lseek(..)
         )
     }
@@ -292,6 +299,10 @@ pub enum SysRet {
     PipeFds(usize, usize),
     /// The identity reported by `get_user_name`.
     Name(Identity),
+    /// Bytes read as borrowed extents (`preadx`): `Arc` clones of the
+    /// file's chunks, no copy made. Compares by content, so chunking
+    /// differences are invisible to equality-based tests.
+    Extents(ExtentList),
 }
 
 impl SysRet {
@@ -348,6 +359,7 @@ mod tests {
         assert!(Syscall::Readdir("/".into()).is_read_only());
         assert!(Syscall::Read(0, 16).is_read_only());
         assert!(Syscall::Pread(0, 16, 0).is_read_only());
+        assert!(Syscall::Preadx(0, 16, 0).is_read_only());
         assert!(Syscall::Lseek(0, 0, Whence::Set).is_read_only());
         // Mutators must never be classified read-only.
         assert!(!Syscall::Open("/f".into(), OpenFlags::rdonly(), 0).is_read_only());
@@ -401,6 +413,7 @@ mod tests {
             Pipe,
             GetUserName,
             Getenv(String::new()),
+            Preadx(0, 0, 0),
         ];
         assert_eq!(samples.len(), Syscall::NAMES.len());
         for (i, call) in samples.iter().enumerate() {

@@ -269,6 +269,12 @@ pub struct IdentityCounters {
     syscalls: Box<[AtomicU64]>,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    /// Wire bytes received from this identity's connections (frames +
+    /// payloads), counted at the event loop's socket reads.
+    bytes_in: AtomicU64,
+    /// Wire bytes flushed to this identity's connections, counted at
+    /// the event loop's (vectored) socket writes.
+    bytes_out: AtomicU64,
     denials: AtomicU64,
     reserve_amplifications: AtomicU64,
     verdict_cache_hits: AtomicU64,
@@ -287,6 +293,8 @@ impl IdentityCounters {
             syscalls: (0..slots).map(|_| AtomicU64::new(0)).collect(),
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
             denials: AtomicU64::new(0),
             reserve_amplifications: AtomicU64::new(0),
             verdict_cache_hits: AtomicU64::new(0),
@@ -315,6 +323,16 @@ impl IdentityCounters {
     /// Count payload bytes accepted by write-family calls.
     pub fn add_bytes_written(&self, n: u64) {
         self.bytes_written.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count wire bytes received on this identity's connections.
+    pub fn add_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count wire bytes sent on this identity's connections.
+    pub fn add_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Count one policy denial.
@@ -393,6 +411,16 @@ impl IdentityCounters {
     /// Payload bytes accepted by write-family calls.
     pub fn bytes_written(&self) -> u64 {
         self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Wire bytes received on this identity's connections.
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in.load(Ordering::Relaxed)
+    }
+
+    /// Wire bytes sent on this identity's connections.
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out.load(Ordering::Relaxed)
     }
 
     /// Policy denials recorded.
@@ -573,7 +601,7 @@ impl IdentityMetrics {
         }
 
         type SimpleFamily = (&'static str, &'static str, &'static str, fn(&IdentityCounters) -> u64);
-        let simple: [SimpleFamily; 10] = [
+        let simple: [SimpleFamily; 12] = [
             (
                 "idbox_bytes_read_total",
                 "Payload bytes returned by read-family syscalls, by identity.",
@@ -585,6 +613,18 @@ impl IdentityMetrics {
                 "Payload bytes accepted by write-family syscalls, by identity.",
                 "counter",
                 IdentityCounters::bytes_written,
+            ),
+            (
+                "idbox_bytes_in_total",
+                "Wire bytes received on this identity's connections.",
+                "counter",
+                IdentityCounters::bytes_in,
+            ),
+            (
+                "idbox_bytes_out_total",
+                "Wire bytes sent on this identity's connections.",
+                "counter",
+                IdentityCounters::bytes_out,
             ),
             (
                 "idbox_denials_total",

@@ -40,9 +40,10 @@
 //! against other renames with an outermost mutex so its ancestry check
 //! (`is_same_or_ancestor`) stays stable while it works.
 
+use crate::extent::{FileContent, DEFAULT_CHUNK_SIZE, MAX_CHUNK_SIZE, MIN_CHUNK_SIZE};
 use crate::inode::{Inode, Payload};
 use crate::path::{self, NAME_MAX, PATH_MAX};
-use crate::{Access, FileKind, Ino, StatBuf};
+use crate::{Access, ExtentList, FileKind, Ino, StatBuf};
 use idbox_types::{Errno, SysResult};
 use parking_lot::{Mutex, RwLock, RwLockWriteGuard, ShardSet};
 use std::collections::{BTreeMap, HashMap};
@@ -98,6 +99,22 @@ fn default_shard_count() -> usize {
             .ok()
             .and_then(|s| s.parse::<usize>().ok())
             .map_or(16, |n| n.clamp(1, 1024))
+    })
+}
+
+/// Default file chunk size, overridable via `IDBOX_VFS_CHUNK_KIB`
+/// (clamped to 1..=16384 KiB). Read once; every `Vfs::new` in the
+/// process sees the same value. Tests and benches that need a
+/// different granularity use [`Vfs::set_chunk_size`] instead.
+fn default_chunk_size() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("IDBOX_VFS_CHUNK_KIB")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .map_or(DEFAULT_CHUNK_SIZE, |kib| {
+                (kib * 1024).clamp(MIN_CHUNK_SIZE, MAX_CHUNK_SIZE)
+            })
     })
 }
 
@@ -340,6 +357,9 @@ pub struct Vfs {
     rename_lock: Mutex<()>,
     dcache_enabled: bool,
     fault_hook: Option<FaultHook>,
+    /// Nominal chunk size for files created after this point (existing
+    /// files keep the chunk size they were created with).
+    chunk_size: usize,
 }
 
 impl Default for Vfs {
@@ -378,6 +398,7 @@ impl Clone for Vfs {
             rename_lock: Mutex::new(()),
             dcache_enabled: self.dcache_enabled,
             fault_hook: self.fault_hook.clone(),
+            chunk_size: self.chunk_size,
         }
     }
 }
@@ -411,6 +432,7 @@ impl Vfs {
             rename_lock: Mutex::new(()),
             dcache_enabled: true,
             fault_hook: None,
+            chunk_size: default_chunk_size(),
         };
         let mut entries = BTreeMap::new();
         entries.insert(".".to_string(), Ino(1));
@@ -498,6 +520,19 @@ impl Vfs {
     /// by data operations ([`Vfs::read_into`], [`Vfs::write_at`]).
     pub fn set_fault_hook(&mut self, hook: Option<FaultHook>) {
         self.fault_hook = hook;
+    }
+
+    /// The nominal chunk size new files are created with.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Override the chunk size for files created after this call
+    /// (clamped to 512 B ..= 16 MiB). Existing files keep the chunk
+    /// size they were created with; tests use small chunks to force
+    /// boundary crossings, benches sweep granularities.
+    pub fn set_chunk_size(&mut self, bytes: usize) {
+        self.chunk_size = bytes.clamp(MIN_CHUNK_SIZE, MAX_CHUNK_SIZE);
     }
 
     /// Number of live inodes (for tests and invariant checks).
@@ -839,7 +874,7 @@ impl Vfs {
                     pair.map(sc).insert(
                         ino.0,
                         Inode {
-                            payload: Payload::File(Vec::new()),
+                            payload: Payload::File(FileContent::new(self.chunk_size)),
                             mode: mode & 0o7777,
                             uid: cred.uid,
                             gid: cred.gid,
@@ -880,23 +915,39 @@ impl Vfs {
             Payload::Dir(_) => return Err(Errno::EISDIR),
             Payload::Symlink(_) => return Err(Errno::EINVAL),
         };
-        let off = off as usize;
-        if off >= data.len() {
-            return Ok(0);
-        }
-        let n = out.len().min(data.len() - off);
-        out[..n].copy_from_slice(&data[off..off + n]);
-        Ok(n)
+        Ok(data.read_into(off as usize, out))
     }
 
-    /// A file's full contents, copied out (the shard lock cannot be held
-    /// across a return).
+    /// A file's full contents, copied out (compat path for callers that
+    /// need one contiguous buffer; the zero-copy path is
+    /// [`Vfs::file_extents`]).
     pub fn file_data(&self, ino: Ino) -> SysResult<Vec<u8>> {
         self.try_with_inode(ino, |i| match &i.payload {
-            Payload::File(data) => Ok(data.clone()),
+            Payload::File(data) => Ok(data.to_vec()),
             Payload::Dir(_) => Err(Errno::EISDIR),
             Payload::Symlink(_) => Err(Errno::EINVAL),
         })
+    }
+
+    /// Borrow `[off, off+want)` of a file (clamped to EOF) as cheap
+    /// `Arc` clones of its chunks — no byte is copied, under the shard
+    /// lock or after it. The returned extents are an immutable snapshot:
+    /// concurrent writers copy-on-write shared chunks, so the bytes
+    /// behind the `Arc`s never change while the caller streams them.
+    ///
+    /// Reads are "noatime", like [`Vfs::read_into`], and honour the
+    /// same `"read"` fault-hook point.
+    pub fn file_extents(&self, ino: Ino, off: u64, want: usize) -> SysResult<ExtentList> {
+        if let Some(hook) = &self.fault_hook {
+            hook.check("read", ino)?;
+        }
+        let g = self.shards.read(self.shards.shard_of(ino.0));
+        let inode = g.get(&ino.0).ok_or(Errno::ENOENT)?;
+        match &inode.payload {
+            Payload::File(data) => Ok(data.extents(off as usize, want)),
+            Payload::Dir(_) => Err(Errno::EISDIR),
+            Payload::Symlink(_) => Err(Errno::EINVAL),
+        }
     }
 
     /// Write `data` at `off`, growing the file (zero-filling any gap).
@@ -914,11 +965,8 @@ impl Vfs {
             Payload::Symlink(_) => return Err(Errno::EINVAL),
         };
         let off = off as usize;
-        let end = off.checked_add(data.len()).ok_or(Errno::EFBIG)?;
-        if end > file.len() {
-            file.resize(end, 0);
-        }
-        file[off..end].copy_from_slice(data);
+        off.checked_add(data.len()).ok_or(Errno::EFBIG)?;
+        file.write_at(off, data);
         inode.mtime = now;
         Ok(data.len())
     }
@@ -930,7 +978,7 @@ impl Vfs {
         let inode = g.get_mut(&ino.0).ok_or(Errno::ENOENT)?;
         match &mut inode.payload {
             Payload::File(file) => {
-                file.resize(len as usize, 0);
+                file.resize(len as usize);
                 inode.mtime = now;
                 Ok(())
             }

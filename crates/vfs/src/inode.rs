@@ -1,5 +1,6 @@
 //! Inodes and their metadata.
 
+use crate::extent::FileContent;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -68,10 +69,12 @@ impl StatBuf {
     }
 }
 
-/// The content of an inode.
+/// The content of an inode. Regular-file bytes live in the chunked,
+/// `Arc`-backed [`FileContent`] so reads can borrow extents instead of
+/// copying (see the `extent` module).
 #[derive(Debug, Clone)]
 pub(crate) enum Payload {
-    File(Vec<u8>),
+    File(FileContent),
     Dir(BTreeMap<String, Ino>),
     Symlink(String),
 }
@@ -132,16 +135,22 @@ impl Inode {
 mod tests {
     use super::*;
 
+    fn file_of(bytes: &[u8]) -> FileContent {
+        let mut f = FileContent::new(crate::extent::DEFAULT_CHUNK_SIZE);
+        f.write_at(0, bytes);
+        f
+    }
+
     #[test]
     fn payload_kinds() {
-        assert_eq!(Payload::File(vec![]).kind(), FileKind::File);
+        assert_eq!(Payload::File(file_of(b"")).kind(), FileKind::File);
         assert_eq!(Payload::Dir(BTreeMap::new()).kind(), FileKind::Dir);
         assert_eq!(Payload::Symlink("/x".into()).kind(), FileKind::Symlink);
     }
 
     #[test]
     fn payload_sizes() {
-        assert_eq!(Payload::File(vec![1, 2, 3]).size(), 3);
+        assert_eq!(Payload::File(file_of(&[1, 2, 3])).size(), 3);
         assert_eq!(Payload::Symlink("/etc".into()).size(), 4);
         let mut d = BTreeMap::new();
         d.insert("a".to_string(), Ino(1));

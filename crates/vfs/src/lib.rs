@@ -17,10 +17,12 @@
 //! like the syscall interface; inode numbers ([`Ino`]) appear in results
 //! (`stat`) and in the open-file layer of the kernel.
 
+pub mod extent;
 mod fs;
 mod inode;
 pub mod path;
 
+pub use extent::{ByteExtent, ExtentList};
 pub use fs::{Cred, DirEntry, FaultHook, Vfs};
 pub use inode::{FileKind, Ino, StatBuf};
 

@@ -1,0 +1,146 @@
+//! Extent-equivalence property suite: the chunked, `Arc`-backed file
+//! representation must be observationally identical to a flat
+//! `Vec<u8>` model under random data-op sequences.
+//!
+//! Every sequence mixes `write_at` / `read_into` / `truncate` /
+//! `append` with offsets and lengths chosen to straddle chunk
+//! boundaries (the Vfs under test uses a deliberately tiny chunk so a
+//! few hundred bytes cross several), and after every op the model and
+//! the real file must agree on size, on every probed byte range, and
+//! on the whole contents via both the flat (`file_data`) and
+//! zero-copy (`file_extents`) read paths. Honors `IDBOX_PROP_SEED`
+//! via the testkit proptest shim, like the rest of the suite.
+
+use idbox_vfs::{Cred, Vfs};
+use proptest::prelude::*;
+
+const ROOT: Cred = Cred::ROOT;
+
+/// Tiny chunk so ordinary op sizes cross chunk boundaries constantly.
+const TEST_CHUNK: usize = 512;
+
+/// A random data-plane operation on one file.
+#[derive(Debug, Clone)]
+enum DataOp {
+    Write { off: u64, data: Vec<u8> },
+    Truncate { len: u64 },
+    Append { data: Vec<u8> },
+    Read { off: u64, len: usize },
+}
+
+fn data_op() -> impl Strategy<Value = DataOp> {
+    // Offsets/lengths up to a few chunks, biased around the 512-byte
+    // chunk edges by sheer density of cases.
+    prop_oneof![
+        (0u64..2048, proptest::collection::vec(any::<u8>(), 0..1600))
+            .prop_map(|(off, data)| DataOp::Write { off, data }),
+        (0u64..2600).prop_map(|len| DataOp::Truncate { len }),
+        proptest::collection::vec(any::<u8>(), 0..1100).prop_map(|data| DataOp::Append { data }),
+        (0u64..2600, 0usize..1600).prop_map(|(off, len)| DataOp::Read { off, len }),
+    ]
+}
+
+/// The reference implementation: the flat `Vec<u8>` semantics the old
+/// `Payload::File(Vec<u8>)` representation had.
+#[derive(Default)]
+struct FlatModel {
+    data: Vec<u8>,
+}
+
+impl FlatModel {
+    fn write_at(&mut self, off: usize, data: &[u8]) {
+        let end = off + data.len();
+        if end > self.data.len() {
+            self.data.resize(end, 0);
+        }
+        self.data[off..end].copy_from_slice(data);
+    }
+
+    fn truncate(&mut self, len: usize) {
+        self.data.resize(len, 0);
+    }
+
+    fn read(&self, off: usize, len: usize) -> Vec<u8> {
+        if off >= self.data.len() {
+            return Vec::new();
+        }
+        let n = len.min(self.data.len() - off);
+        self.data[off..off + n].to_vec()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chunked extents ≡ flat Vec over random op sequences.
+    #[test]
+    fn chunked_file_matches_flat_model(
+        ops in proptest::collection::vec(data_op(), 1..40),
+    ) {
+        let mut v = Vfs::new();
+        v.set_chunk_size(TEST_CHUNK);
+        let ino = v.create(v.root(), "/f", 0o644, &ROOT).unwrap();
+        let mut model = FlatModel::default();
+
+        for op in &ops {
+            match op {
+                DataOp::Write { off, data } => {
+                    prop_assert_eq!(v.write_at(ino, *off, data).unwrap(), data.len());
+                    model.write_at(*off as usize, data);
+                }
+                DataOp::Truncate { len } => {
+                    v.truncate(ino, *len).unwrap();
+                    model.truncate(*len as usize);
+                }
+                DataOp::Append { data } => {
+                    let at = v.fstat(ino).unwrap().size;
+                    prop_assert_eq!(v.write_at(ino, at, data).unwrap(), data.len());
+                    model.write_at(at as usize, data);
+                }
+                DataOp::Read { off, len } => {
+                    let mut buf = vec![0u8; *len];
+                    let n = v.read_into(ino, *off, &mut buf).unwrap();
+                    prop_assert_eq!(&buf[..n], &model.read(*off as usize, *len)[..]);
+                    // The zero-copy path must agree byte for byte with
+                    // the copying path on the same window.
+                    let x = v.file_extents(ino, *off, *len).unwrap();
+                    prop_assert_eq!(x.total, n);
+                    prop_assert_eq!(x.to_vec(), buf[..n].to_vec());
+                }
+            }
+            // After every op: size and full contents agree on both
+            // read paths.
+            prop_assert_eq!(v.fstat(ino).unwrap().size as usize, model.data.len());
+            prop_assert_eq!(v.file_data(ino).unwrap(), model.data.clone());
+            let whole = v.file_extents(ino, 0, usize::MAX).unwrap();
+            prop_assert_eq!(whole.total, model.data.len());
+            prop_assert_eq!(whole.to_vec(), model.data.clone());
+        }
+    }
+
+    /// Extents snapshot: bytes borrowed before a write never change,
+    /// even as the file is rewritten/truncated under them (CoW).
+    #[test]
+    fn held_extents_are_immutable_snapshots(
+        initial in proptest::collection::vec(any::<u8>(), 1..2000),
+        ops in proptest::collection::vec(data_op(), 1..12),
+    ) {
+        let mut v = Vfs::new();
+        v.set_chunk_size(TEST_CHUNK);
+        let ino = v.create(v.root(), "/f", 0o644, &ROOT).unwrap();
+        v.write_at(ino, 0, &initial).unwrap();
+        let snapshot = v.file_extents(ino, 0, usize::MAX).unwrap();
+        for op in &ops {
+            match op {
+                DataOp::Write { off, data } => { v.write_at(ino, *off, data).unwrap(); }
+                DataOp::Truncate { len } => { v.truncate(ino, *len).unwrap(); }
+                DataOp::Append { data } => {
+                    let at = v.fstat(ino).unwrap().size;
+                    v.write_at(ino, at, data).unwrap();
+                }
+                DataOp::Read { .. } => {}
+            }
+        }
+        prop_assert_eq!(snapshot.to_vec(), initial);
+    }
+}
