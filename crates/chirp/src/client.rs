@@ -703,6 +703,16 @@ impl ChirpClient {
         String::from_utf8(data).map_err(|_| Errno::EPROTO)
     }
 
+    /// Force a durability snapshot on the server: the namespace and
+    /// account database are written to disk and replayed log history is
+    /// truncated. Returns the snapshot's LSN watermark. `ENOSYS` on a
+    /// volatile (no-WAL) server; admin principals only.
+    pub fn walsnap(&mut self) -> SysResult<u64> {
+        self.rpc(Verb::ReadOnly, "walsnap", None, |_, words| {
+            words.first().and_then(|w| w.parse().ok()).ok_or(Errno::EPROTO)
+        })
+    }
+
     /// Dump the server's flight recorder as Chrome trace-viewer JSON
     /// (loadable in Perfetto / `chrome://tracing`). `window` restricts
     /// the dump to events from the trailing `Some(seconds)`; `None`

@@ -52,10 +52,11 @@ pub struct ServerConfig {
     /// refused with a protocol `error` line instead of being accepted.
     pub max_connections: usize,
     /// Qualified principals (`method:name`, e.g.
-    /// `globus:/O=UnivNowhere/CN=Admin`) allowed to call the `stats`,
-    /// `audit`, `metrics`, and `slowops` RPCs. Everyone else gets
-    /// `EACCES`; the default is empty, so observability is off the wire
-    /// unless explicitly granted.
+    /// `globus:/O=UnivNowhere/CN=Admin`) allowed to call the admin
+    /// RPCs (`stats`, `audit`, `metrics`, `slowops`, `tracedump`,
+    /// `health`, `walsnap`). Everyone else gets `EACCES`; the default
+    /// is empty, so observability is off the wire unless explicitly
+    /// granted.
     pub admins: Vec<String>,
     /// Operations at least this long are kept as spans in the slow-op
     /// ring (the `slowops` RPC). `Duration::ZERO` keeps everything.
@@ -95,6 +96,26 @@ pub struct ServerConfig {
     /// default) also consults `IDBOX_DATAPLANE_COPY` (set to 1 to force
     /// the copying path at startup).
     pub copy_data_plane: bool,
+    /// Directory for the write-ahead log. When set (or when
+    /// `IDBOX_WAL_DIR` names a directory), every namespace and account
+    /// mutation is logged to disk and replayed on the next boot, so the
+    /// export space survives a restart or crash. `None` with the env
+    /// unset (the in-memory default) keeps the kernel volatile.
+    pub wal_dir: Option<std::path::PathBuf>,
+    /// Group-commit burst backstop: the flusher is woken early once
+    /// this many records are dirty (the `IDBOX_WAL_SYNC_MS` tick is the
+    /// primary pacing). `Some(0)` = fsync every append (strictest).
+    /// `None` resolves from `IDBOX_WAL_SYNC_OPS`, default 65536.
+    pub wal_sync_ops: Option<u64>,
+    /// Group-commit interval: a background flusher fsyncs dirty records
+    /// at least this often, in milliseconds. Ignored when syncing every
+    /// op. `None` resolves from `IDBOX_WAL_SYNC_MS`, default 25.
+    pub wal_sync_ms: Option<u64>,
+    /// Auto-snapshot cadence: snapshot + truncate the log whenever this
+    /// many records have accumulated since the last snapshot. `Some(0)`
+    /// disables auto-snapshots (the `walsnap` RPC still works). `None`
+    /// resolves from `IDBOX_WAL_SNAPSHOT_OPS`, default 10000.
+    pub wal_snapshot_ops: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -122,8 +143,38 @@ impl Default for ServerConfig {
             event_loops: 0,
             loop_stall: None,
             copy_data_plane: false,
+            wal_dir: None,
+            wal_sync_ops: None,
+            wal_sync_ms: None,
+            wal_snapshot_ops: None,
         }
     }
+}
+
+/// Resolve the WAL directory: explicit config wins, then the
+/// `IDBOX_WAL_DIR` environment knob (unset or empty = durability off).
+fn resolve_wal_dir(configured: &Option<std::path::PathBuf>) -> Option<std::path::PathBuf> {
+    if configured.is_some() {
+        return configured.clone();
+    }
+    std::env::var("IDBOX_WAL_DIR")
+        .ok()
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+        .map(std::path::PathBuf::from)
+}
+
+/// Resolve a numeric WAL knob: explicit config wins, then the named
+/// environment variable, then the default. Zero is a meaningful value
+/// (sync-every-op / auto-snapshot off), not "unset".
+fn resolve_wal_knob(configured: Option<u64>, env: &str, default: u64) -> u64 {
+    if let Some(v) = configured {
+        return v;
+    }
+    std::env::var(env)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(default)
 }
 
 /// Resolve the data-plane ablation switch: explicit config wins, then
@@ -184,6 +235,12 @@ pub struct ChirpServer {
     audit: Arc<AuditRing>,
     metrics: Arc<IdentityMetrics>,
     slow_ops: Arc<SlowOpLog>,
+    /// Auto-snapshot cadence in records (0 = off); meaningful only when
+    /// the kernel carries a WAL.
+    wal_snapshot_every: u64,
+    /// The recovery report from boot, when a WAL directory was
+    /// configured.
+    recovery: Option<idbox_vfs::RecoveryReport>,
 }
 
 /// The kernel's syscall name table, as the `'static` slice the metrics
@@ -200,16 +257,43 @@ impl ChirpServer {
     /// that cannot be installed) come back as errors so a bad config
     /// cannot kill the embedding process.
     pub fn new(config: ServerConfig) -> SysResult<Self> {
-        let mut k = Kernel::new();
-        k.accounts_mut().add(Account::new("chirp", 1000, 1000))?;
+        // Durable mode: boot the kernel from the WAL directory's
+        // snapshot + log instead of from scratch.
+        let wal_dir = resolve_wal_dir(&config.wal_dir);
+        let (mut k, recovery) = match &wal_dir {
+            Some(dir) => {
+                let mut wal_cfg = idbox_vfs::WalConfig::new(dir.clone());
+                wal_cfg.sync_ops = resolve_wal_knob(config.wal_sync_ops, "IDBOX_WAL_SYNC_OPS", 65536);
+                wal_cfg.sync_ms = resolve_wal_knob(config.wal_sync_ms, "IDBOX_WAL_SYNC_MS", 25);
+                let (k, report) = Kernel::with_durability(wal_cfg).map_err(|_| Errno::EIO)?;
+                (k, Some(report))
+            }
+            None => (Kernel::new(), None),
+        };
+        let wal_snapshot_every = if wal_dir.is_some() {
+            resolve_wal_knob(config.wal_snapshot_ops, "IDBOX_WAL_SNAPSHOT_OPS", 10_000)
+        } else {
+            0
+        };
+        let restored = recovery.as_ref().is_some_and(|r| r.restored);
+        // Setup is idempotent across restarts: on a restored namespace
+        // the account and export root already exist, and the operator's
+        // live ACL and ownership (possibly changed since first boot via
+        // `setacl`) are preserved rather than clobbered with the
+        // config's bootstrap values.
+        if k.accounts().lookup("chirp").is_none() {
+            k.account_add(Account::new("chirp", 1000, 1000))?;
+        }
         let sup_cred = Cred::new(1000, 1000);
         let root = k.vfs().root();
         let export = k
             .vfs_mut()
             .mkdir_all(root, crate::EXPORT_ROOT, 0o755, &Cred::ROOT)?;
-        k.vfs_mut()
-            .chown(root, crate::EXPORT_ROOT, 1000, 1000, &Cred::ROOT)?;
-        idbox_core::write_acl(k.vfs_mut(), export, &config.root_acl, &sup_cred)?;
+        if !restored {
+            k.vfs_mut()
+                .chown(root, crate::EXPORT_ROOT, 1000, 1000, &Cred::ROOT)?;
+            idbox_core::write_acl(k.vfs_mut(), export, &config.root_acl, &sup_cred)?;
+        }
         let slow_ops = Arc::new(SlowOpLog::new(
             SLOW_OP_DEFAULT_CAP,
             config.slow_op_threshold.as_nanos().min(u128::from(u64::MAX)) as u64,
@@ -225,7 +309,14 @@ impl ChirpServer {
                 IDENTITY_METRICS_DEFAULT_CAP,
             )),
             slow_ops,
+            wal_snapshot_every,
+            recovery,
         })
+    }
+
+    /// The boot recovery report, when a WAL directory was configured.
+    pub fn recovery(&self) -> Option<&idbox_vfs::RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// Register a guest program for `exec` (resolved from staged
@@ -296,6 +387,27 @@ impl ChirpServer {
             .iter()
             .map(|w| w.duplicate())
             .collect::<std::io::Result<_>>()?;
+        // Auto-snapshot: when the kernel is durable and a cadence is
+        // configured, a background thread snapshots the namespace and
+        // truncates the log whenever enough records accumulate. Taking
+        // the snapshot under the shared kernel lock lets RPCs proceed;
+        // the vfs shard read locks inside `snapshot_cut` provide the
+        // consistency point.
+        let wal = self.kernel.read().vfs().wal().cloned();
+        if let (Some(wal), every) = (wal, self.wal_snapshot_every) {
+            if every > 0 {
+                let kernel = Arc::clone(&self.kernel);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        if wal.since_snapshot() >= every {
+                            let _ = kernel.read().wal_snapshot();
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                });
+            }
+        }
         // Catalog heartbeat: register now and on every period until
         // shutdown.
         if let Some(catalog) = self.config.catalog {
@@ -957,7 +1069,36 @@ pub(crate) fn dispatch(
                 &parking_lot::lock_snapshot(),
             ));
             text.push_str(&ctl.loop_stats.render_prometheus());
+            // Durable servers expose the WAL families too. The stats
+            // come from the vfs layer; obs only sees a snapshot struct.
+            let wal = ctl.kernel.read().vfs().wal().cloned();
+            if let Some(wal) = wal {
+                let s = wal.stats();
+                text.push_str(&idbox_obs::render_wal_prometheus(&idbox_obs::WalCounters {
+                    appends: s.appends,
+                    bytes: s.append_bytes,
+                    fsyncs: s.fsyncs,
+                    snapshots: s.snapshots,
+                    errors: s.errors,
+                    log_bytes: s.log_bytes,
+                    since_snapshot: s.since_snapshot,
+                    replayed: s.replayed,
+                    torn_tails: u64::from(s.torn_tail),
+                    corrupt_frames: u64::from(s.corrupt_frame),
+                }));
+            }
             Ok(Reply::Payload(ok_num(text.len() as i64), text.into_bytes()))
+        }
+        // Force a durability snapshot now (admin-only): cuts the log at
+        // a consistent point and truncates replayed history. `ENOSYS`
+        // on a volatile (no-WAL) server, `EIO` when the disk fails.
+        "walsnap" => {
+            ctl.require_admin(principal)?;
+            match ctl.kernel.read().wal_snapshot() {
+                Ok(Some(watermark)) => Ok(Reply::Line(format!("ok {watermark}"))),
+                Ok(None) => Err(Errno::ENOSYS),
+                Err(_) => Err(Errno::EIO),
+            }
         }
         // Flight-recorder dump: every buffered structured event (spans,
         // shard waits, sheds, retries) rendered as Chrome trace-viewer

@@ -192,6 +192,75 @@ impl AccountDb {
         db.next_uid = max_uid + 1;
         db
     }
+
+    // ------------------------------------------------------------------
+    // Durability (WAL snapshot blob + record replay)
+    // ------------------------------------------------------------------
+
+    /// Serialize the full database — accounts *and* allocator/counter
+    /// state, which `passwd_file` does not carry — for the WAL snapshot.
+    pub fn to_blob(&self) -> Vec<u8> {
+        let mut s = String::from("idbox-accounts v1\n");
+        s.push_str(&format!("next_uid {}\n", self.next_uid));
+        s.push_str(&format!("creations {}\n", self.admin_creations));
+        s.push_str(&format!("removals {}\n", self.admin_removals));
+        s.push_str(&self.passwd_file());
+        s.into_bytes()
+    }
+
+    /// Rebuild a database from a [`AccountDb::to_blob`] image. `None`
+    /// when the header does not parse (a corrupt snapshot).
+    pub fn from_blob(blob: &[u8]) -> Option<Self> {
+        let text = std::str::from_utf8(blob).ok()?;
+        let mut lines = text.lines();
+        if lines.next()? != "idbox-accounts v1" {
+            return None;
+        }
+        let field = |line: &str, key: &str| -> Option<u64> {
+            line.strip_prefix(key)?.trim().parse().ok()
+        };
+        let next_uid = field(lines.next()?, "next_uid ")? as u32;
+        let admin_creations = field(lines.next()?, "creations ")?;
+        let admin_removals = field(lines.next()?, "removals ")?;
+        let mut db = AccountDb {
+            next_uid,
+            admin_creations,
+            admin_removals,
+            ..Default::default()
+        };
+        for line in lines {
+            if let Some(a) = Account::parse_line(line) {
+                db.insert_raw(a);
+            }
+        }
+        Some(db)
+    }
+
+    /// Redo one logged account creation. Tolerant by design — a replayed
+    /// record describes an operation that already succeeded, so a
+    /// malformed line or duplicate is skipped, never an error. Counts
+    /// the admin action (the live operation counted it too) and keeps
+    /// the uid allocator ahead of every replayed uid.
+    pub fn replay_add(&mut self, line: &str) {
+        if let Some(a) = Account::parse_line(line) {
+            if self.by_name.contains_key(&a.name) {
+                return;
+            }
+            self.admin_creations += 1;
+            if a.uid >= self.next_uid && a.uid < 60000 {
+                self.next_uid = a.uid + 1;
+            }
+            self.insert_raw(a);
+        }
+    }
+
+    /// Redo one logged account removal (tolerant, like
+    /// [`AccountDb::replay_add`]).
+    pub fn replay_remove(&mut self, name: &str) {
+        if self.by_name.remove(name).is_some() {
+            self.admin_removals += 1;
+        }
+    }
 }
 
 #[cfg(test)]

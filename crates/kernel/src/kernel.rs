@@ -42,6 +42,12 @@
 //!    allocator lock.)
 //! 4. `vfs`, `pipes`, `mounts`, and `accounts` locks are never held
 //!    while acquiring one another; calls into each domain are sequenced.
+//! 5. The write-ahead log's internal mutex (durability; see
+//!    `idbox_vfs::wal`) is a leaf below the vfs shard locks: the vfs
+//!    appends while holding shard write locks, and nothing acquired
+//!    under the WAL mutex can take any other lock. Snapshot capture
+//!    takes every vfs shard read lock, then the WAL mutex — the same
+//!    downward direction.
 
 use crate::accounts::AccountDb;
 use crate::driver::{FsDriver, MountTable};
@@ -50,7 +56,9 @@ use crate::process::{
 };
 use crate::stats::{LatencyStats, SyscallStats};
 use crate::syscall::{SysRet, Syscall, Whence};
+use crate::accounts::Account;
 use idbox_types::{Errno, Identity, SysResult};
+use idbox_vfs::wal::{AccountOp, RecoveryReport, Wal, WalConfig, WalRecordRef};
 use idbox_vfs::{path as vpath, Access, Cred, ExtentList, FileKind, Ino, Vfs};
 use parking_lot::{ProfiledMutex, ProfiledRwLock, ShardSet};
 use std::collections::{BTreeMap, HashSet, VecDeque};
@@ -197,6 +205,65 @@ impl Kernel {
     }
 
     fn build(vfs: Vfs, proc_shards: usize) -> Self {
+        let accounts = Self::layout(&vfs);
+        Self::assemble(vfs, accounts, proc_shards)
+    }
+
+    /// Open (or create) a durable kernel whose namespace lives in the
+    /// write-ahead log at `cfg.dir`. A fresh directory boots the same
+    /// standard layout as [`Kernel::new`] — with every operation logged,
+    /// so the log alone can always rebuild the namespace — while a
+    /// directory holding a previous incarnation's snapshot/log restores
+    /// that namespace (files, ACL files, accounts) and resumes logging
+    /// after it. Process table, pipes, and mounts are volatile by
+    /// design: processes do not survive a restart. Returns the kernel
+    /// plus the replay report ([`RecoveryReport::restored`]
+    /// distinguishes the two paths).
+    pub fn with_durability(cfg: WalConfig) -> std::io::Result<(Self, RecoveryReport)> {
+        let (wal, recovered) = Wal::open(cfg)?;
+        let wal = Arc::new(wal);
+        let report = recovered.report;
+        let kernel = match recovered.vfs {
+            Some(mut vfs) => {
+                let mut accounts = match recovered.accounts.as_deref() {
+                    Some(blob) => {
+                        AccountDb::from_blob(blob).ok_or_else(|| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                "corrupt account blob in WAL snapshot",
+                            )
+                        })?
+                    }
+                    None => AccountDb::with_system_accounts(),
+                };
+                for op in &recovered.account_ops {
+                    match op {
+                        AccountOp::Add(line) => accounts.replay_add(line),
+                        AccountOp::Remove(name) => accounts.replay_remove(name),
+                    }
+                }
+                // Resume logging on the restored namespace.
+                vfs.set_wal(Some(Arc::clone(&wal)));
+                Self::assemble(vfs, accounts, default_proc_shards())
+            }
+            None => {
+                // First boot: arm the log *before* the standard layout
+                // is created, so the log covers the namespace from its
+                // root-only origin — replay can then always start from
+                // `Vfs::new()` when no snapshot exists yet.
+                let mut vfs = Vfs::new();
+                vfs.set_wal(Some(Arc::clone(&wal)));
+                let accounts = Self::layout(&vfs);
+                Self::assemble(vfs, accounts, default_proc_shards())
+            }
+        };
+        wal.start_flusher();
+        Ok((kernel, report))
+    }
+
+    /// Create the standard filesystem layout on a root-only filesystem
+    /// and return the matching system account database.
+    fn layout(vfs: &Vfs) -> AccountDb {
         let root = vfs.root();
         let r = &Cred::ROOT;
         vfs.mkdir(root, "/etc", 0o755, r).unwrap();
@@ -215,6 +282,13 @@ impl Kernel {
         let accounts = AccountDb::with_system_accounts();
         vfs.write_file(root, "/etc/passwd", accounts.passwd_file().as_bytes(), r)
             .unwrap();
+        accounts
+    }
+
+    /// Wrap an existing namespace and account database in the volatile
+    /// kernel state (process table with init, pipes, mounts, counters).
+    fn assemble(vfs: Vfs, accounts: AccountDb, proc_shards: usize) -> Self {
+        let root = vfs.root();
         let procs = ProcTable::with_shards(proc_shards);
         procs.shards.write(procs.shard_of(INIT)).insert(
             INIT.0,
@@ -290,6 +364,52 @@ impl Kernel {
         self.vfs
             .write_file(root, "/etc/passwd", text.as_bytes(), &Cred::ROOT)
             .expect("passwd file is always writable by root");
+    }
+
+    /// Add an account, logging it to the WAL when one is attached. Use
+    /// this (not `accounts_mut().add(..)` directly) for any account
+    /// creation that must survive a restart. Exclusive access (`&mut
+    /// self`) orders the database change and its log record against
+    /// concurrent snapshots, which hold the shared side of the kernel
+    /// lock.
+    pub fn account_add(&mut self, account: Account) -> SysResult<()> {
+        let line = account.passwd_line();
+        self.accounts.get_mut().add(account)?;
+        if let Some(wal) = self.vfs.wal() {
+            wal.append(WalRecordRef::AccountAdd { line: &line });
+        }
+        Ok(())
+    }
+
+    /// Remove an account by name, logging it to the WAL when one is
+    /// attached (the durable counterpart of `accounts_mut().remove(..)`).
+    pub fn account_remove(&mut self, name: &str) -> SysResult<Account> {
+        let removed = self.accounts.get_mut().remove(name)?;
+        if let Some(wal) = self.vfs.wal() {
+            wal.append(WalRecordRef::AccountRemove { name });
+        }
+        Ok(removed)
+    }
+
+    /// Snapshot the durable state (namespace + accounts) and truncate
+    /// the log. `Ok(None)` when no WAL is attached; otherwise the
+    /// snapshot's LSN watermark.
+    ///
+    /// Safe against concurrent syscalls: the namespace is serialized
+    /// under every vfs shard read lock, at a log rotation point captured
+    /// under those same locks. The account blob is captured just before
+    /// — account *mutations* go through `&mut self`
+    /// ([`Kernel::account_add`] / [`Kernel::account_remove`]), so a
+    /// shared borrow cannot race one, and reads of the blob stay
+    /// consistent with the rotation.
+    pub fn wal_snapshot(&self) -> std::io::Result<Option<u64>> {
+        let Some(wal) = self.vfs.wal().cloned() else {
+            return Ok(None);
+        };
+        let accounts_blob = self.accounts.read().to_blob();
+        let (vfs_blob, watermark) = self.vfs.snapshot_cut()?;
+        wal.install_snapshot(watermark, &vfs_blob, &accounts_blob)?;
+        Ok(Some(watermark))
     }
 
     /// Mount a filesystem driver under a path prefix. Returns the mount

@@ -26,9 +26,11 @@
 //! name slice (the kernel's `Syscall::NAMES`), which keeps the kernel
 //! dependency out.
 
+mod durability;
 pub mod flight;
 mod runtime;
 
+pub use durability::{render_wal_prometheus, WalCounters};
 pub use runtime::{
     lag_percentile_from, render_lock_prometheus, Log2HistoUs, LoopStats, WorkerStats,
     LOOP_LAG_BUCKETS,

@@ -38,11 +38,16 @@
 //! inode-number allocator is a leaf mutex that may be taken under shard
 //! locks but never the reverse; and `rename` additionally serializes
 //! against other renames with an outermost mutex so its ancestry check
-//! (`is_same_or_ancestor`) stays stable while it works.
+//! (`is_same_or_ancestor`) stays stable while it works. The write-ahead
+//! log's internal mutex (see [`crate::wal`]) is a further leaf below
+//! the shard locks: phase 2 appends its redo record while still holding
+//! the shard write locks, which is what makes the single global log
+//! order a valid serialization of the sharded execution.
 
 use crate::extent::{FileContent, DEFAULT_CHUNK_SIZE, MAX_CHUNK_SIZE, MIN_CHUNK_SIZE};
 use crate::inode::{Inode, Payload};
 use crate::path::{self, NAME_MAX, PATH_MAX};
+use crate::wal::{self, Wal, WalRecord, WalRecordRef};
 use crate::{Access, ExtentList, FileKind, Ino, StatBuf};
 use idbox_types::{Errno, SysResult};
 use parking_lot::{Mutex, RwLock, RwLockWriteGuard, ShardSet};
@@ -360,6 +365,10 @@ pub struct Vfs {
     /// Nominal chunk size for files created after this point (existing
     /// files keep the chunk size they were created with).
     chunk_size: usize,
+    /// Durability: when attached, every phase-2 mutation appends its
+    /// redo record here before releasing the shard locks. `None` (the
+    /// default) is the pure in-memory filesystem.
+    wal: Option<Arc<Wal>>,
 }
 
 impl Default for Vfs {
@@ -399,6 +408,10 @@ impl Clone for Vfs {
             dcache_enabled: self.dcache_enabled,
             fault_hook: self.fault_hook.clone(),
             chunk_size: self.chunk_size,
+            // A clone is a divergent fork (equivalence twins, tests);
+            // logging its mutations into the original's WAL would
+            // corrupt replay, so forks start without one.
+            wal: None,
         }
     }
 }
@@ -433,6 +446,7 @@ impl Vfs {
             dcache_enabled: true,
             fault_hook: None,
             chunk_size: default_chunk_size(),
+            wal: None,
         };
         let mut entries = BTreeMap::new();
         entries.insert(".".to_string(), Ino(1));
@@ -520,6 +534,31 @@ impl Vfs {
     /// by data operations ([`Vfs::read_into`], [`Vfs::write_at`]).
     pub fn set_fault_hook(&mut self, hook: Option<FaultHook>) {
         self.fault_hook = hook;
+    }
+
+    /// Attach a write-ahead log: from this point every mutating
+    /// operation appends its redo record before releasing the shard
+    /// locks that applied it. Attach the log *before* populating the
+    /// filesystem (or right after restoring a recovered one), so the
+    /// log plus its snapshot always cover the full namespace.
+    pub fn set_wal(&mut self, wal: Option<Arc<Wal>>) {
+        self.wal = wal;
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Append one redo record when a WAL is attached. Callers hold the
+    /// shard write locks that applied the mutation; the WAL's internal
+    /// mutex is a leaf below them (see the module docs), so the global
+    /// append order is a valid serialization of the sharded execution.
+    #[inline]
+    fn log<'a>(&self, rec: impl FnOnce() -> WalRecordRef<'a>) {
+        if let Some(wal) = &self.wal {
+            wal.append(rec());
+        }
     }
 
     /// The nominal chunk size new files are created with.
@@ -871,6 +910,15 @@ impl Vfs {
                     .is_some_and(|e| !e.contains_key(&name));
                 if ok {
                     let now = self.tick();
+                    self.log(|| WalRecordRef::Create {
+                        dir: dir.0,
+                        name: &name,
+                        ino: ino.0,
+                        mode: mode & 0o7777,
+                        uid: cred.uid,
+                        gid: cred.gid,
+                        now,
+                    });
                     pair.map(sc).insert(
                         ino.0,
                         Inode {
@@ -968,6 +1016,12 @@ impl Vfs {
         off.checked_add(data.len()).ok_or(Errno::EFBIG)?;
         file.write_at(off, data);
         inode.mtime = now;
+        self.log(|| WalRecordRef::Write {
+            ino: ino.0,
+            off: off as u64,
+            data,
+            now,
+        });
         Ok(data.len())
     }
 
@@ -980,6 +1034,11 @@ impl Vfs {
             Payload::File(file) => {
                 file.resize(len as usize);
                 inode.mtime = now;
+                self.log(|| WalRecordRef::Truncate {
+                    ino: ino.0,
+                    len,
+                    now,
+                });
                 Ok(())
             }
             Payload::Dir(_) => Err(Errno::EISDIR),
@@ -1011,6 +1070,15 @@ impl Vfs {
                     .is_some_and(|e| !e.contains_key(&name));
                 if ok {
                     let now = self.tick();
+                    self.log(|| WalRecordRef::Mkdir {
+                        dir: dir.0,
+                        name: &name,
+                        ino: ino.0,
+                        mode: mode & 0o7777,
+                        uid: cred.uid,
+                        gid: cred.gid,
+                        now,
+                    });
                     let mut entries = BTreeMap::new();
                     entries.insert(".".to_string(), ino);
                     entries.insert("..".to_string(), dir);
@@ -1068,6 +1136,12 @@ impl Vfs {
                 });
             if dir_ok && tgt_ok {
                 let now = self.tick();
+                self.log(|| WalRecordRef::Rmdir {
+                    dir: dir.0,
+                    name: &name,
+                    target: target.0,
+                    now,
+                });
                 let dinode = pair.map(sd).get_mut(&dir.0).expect("revalidated");
                 if let Payload::Dir(entries) = &mut dinode.payload {
                     entries.remove(&name);
@@ -1106,6 +1180,12 @@ impl Vfs {
                 .is_some_and(|t| t.payload.kind() != FileKind::Dir);
             if dir_ok && tgt_ok {
                 let now = self.tick();
+                self.log(|| WalRecordRef::Unlink {
+                    dir: dir.0,
+                    name: &name,
+                    target: target.0,
+                    now,
+                });
                 let dinode = pair.map(sd).get_mut(&dir.0).expect("revalidated");
                 if let Payload::Dir(entries) = &mut dinode.payload {
                     entries.remove(&name);
@@ -1148,6 +1228,12 @@ impl Vfs {
                 .is_some_and(|t| t.payload.kind() != FileKind::Dir);
             if dir_ok && tgt_ok {
                 let now = self.tick();
+                self.log(|| WalRecordRef::Link {
+                    dir: dir.0,
+                    name: &name,
+                    target: target.0,
+                    now,
+                });
                 let dinode = pair.map(sd).get_mut(&dir.0).expect("revalidated");
                 dinode.mtime = now;
                 if let Payload::Dir(entries) = &mut dinode.payload {
@@ -1186,6 +1272,15 @@ impl Vfs {
                     .is_some_and(|e| !e.contains_key(&name));
                 if ok {
                     let now = self.tick();
+                    self.log(|| WalRecordRef::Symlink {
+                        dir: dir.0,
+                        name: &name,
+                        ino: ino.0,
+                        target,
+                        uid: cred.uid,
+                        gid: cred.gid,
+                        now,
+                    });
                     pair.map(sc).insert(
                         ino.0,
                         Inode {
@@ -1327,6 +1422,17 @@ impl Vfs {
                 self.dcaches[sn].bump();
             }
             let now = self.tick();
+            self.log(|| WalRecordRef::Rename {
+                odir: odir.0,
+                oname: &oname,
+                ndir: ndir.0,
+                nname: &nname,
+                src: src.0,
+                replaced: dst_plan.map_or(0, |(d, _)| d.0),
+                replaced_is_dir: dst_plan.is_some_and(|(_, is_dir)| is_dir),
+                src_is_dir,
+                now,
+            });
             let od = mg.get_mut(so).get_mut(&odir.0).expect("revalidated");
             if let Payload::Dir(entries) = &mut od.payload {
                 entries.remove(&oname);
@@ -1418,6 +1524,11 @@ impl Vfs {
         }
         inode.mode = mode & 0o7777;
         inode.ctime = now;
+        self.log(|| WalRecordRef::Chmod {
+            ino: ino.0,
+            mode: mode & 0o7777,
+            now,
+        });
         Ok(())
     }
 
@@ -1437,6 +1548,7 @@ impl Vfs {
         inode.uid = uid;
         inode.gid = gid;
         inode.ctime = now;
+        self.log(|| WalRecordRef::Chown { ino: ino.0, uid, gid, now });
         Ok(())
     }
 
@@ -1514,6 +1626,536 @@ impl Vfs {
             }
         }
         Ok(cur)
+    }
+
+    // ------------------------------------------------------------------
+    // Durability plumbing (see crate::wal)
+    // ------------------------------------------------------------------
+
+    /// Serialize the whole namespace and cut the log at a consistent
+    /// point. With every shard read-locked (so no mutation — and hence
+    /// no WAL append — can be in flight), the WAL rotates to a fresh
+    /// segment whose first LSN becomes the snapshot *watermark*, then
+    /// the inode table is serialized under those same locks. Every
+    /// record below the watermark is reflected in the returned blob;
+    /// every record at or above it is replayed on top at boot. Returns
+    /// `(blob, watermark)`; the caller commits the pair with
+    /// [`Wal::install_snapshot`]. Errors when no WAL is attached.
+    pub fn snapshot_cut(&self) -> std::io::Result<(Vec<u8>, u64)> {
+        let wal = self
+            .wal
+            .as_ref()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "no WAL attached"))?;
+        let guards = self.shards.read_all();
+        let alloc = self.alloc.lock();
+        let watermark = wal.rotate()?;
+        let mut blob = Vec::new();
+        wal::put_u64(&mut blob, self.root.0);
+        wal::put_u64(&mut blob, self.clock.load(Ordering::Relaxed));
+        wal::put_u64(&mut blob, self.change_gen.load(Ordering::Relaxed));
+        wal::put_u64(&mut blob, alloc.next);
+        // Sorted for a deterministic blob; unlinked-but-pinned inodes
+        // are skipped — open handles do not survive a restart, so the
+        // recovered namespace must not contain them.
+        let mut inodes: Vec<(u64, &Inode)> = guards
+            .iter()
+            .flat_map(|g| g.iter().map(|(k, v)| (*k, v)))
+            .filter(|(_, inode)| inode.nlink > 0)
+            .collect();
+        inodes.sort_by_key(|(ino, _)| *ino);
+        wal::put_u64(&mut blob, inodes.len() as u64);
+        for (ino, inode) in inodes {
+            wal::put_u64(&mut blob, ino);
+            match &inode.payload {
+                Payload::File(_) => blob.push(0),
+                Payload::Dir(_) => blob.push(1),
+                Payload::Symlink(_) => blob.push(2),
+            }
+            wal::put_u16(&mut blob, inode.mode);
+            wal::put_u32(&mut blob, inode.uid);
+            wal::put_u32(&mut blob, inode.gid);
+            wal::put_u32(&mut blob, inode.nlink);
+            wal::put_u64(&mut blob, inode.atime);
+            wal::put_u64(&mut blob, inode.mtime);
+            wal::put_u64(&mut blob, inode.ctime);
+            match &inode.payload {
+                Payload::File(f) => wal::put_bytes(&mut blob, &f.to_vec()),
+                Payload::Dir(e) => {
+                    wal::put_u64(&mut blob, e.len() as u64);
+                    for (name, child) in e {
+                        wal::put_str(&mut blob, name);
+                        wal::put_u64(&mut blob, child.0);
+                    }
+                }
+                Payload::Symlink(t) => wal::put_str(&mut blob, t),
+            }
+        }
+        Ok((blob, watermark))
+    }
+
+    /// Rebuild a filesystem from a [`Vfs::snapshot_cut`] blob. `None`
+    /// on any decode failure (the caller treats that as a corrupt
+    /// snapshot). Chunk sizes are not preserved: file contents are
+    /// rehydrated at the current default granularity, a performance
+    /// detail with no namespace-visible effect.
+    pub(crate) fn from_snapshot(blob: &[u8]) -> Option<Vfs> {
+        let mut c = wal::Cursor::new(blob);
+        let root = c.u64()?;
+        let clock = c.u64()?;
+        let change_gen = c.u64()?;
+        let _alloc_next = c.u64()?;
+        let count = c.u64()?;
+        let vfs = Vfs::new();
+        // The constructor seeds a root inode; the blob carries the
+        // real one (same number, restored attributes).
+        vfs.shards
+            .write(vfs.shards.shard_of(root))
+            .remove(&root);
+        vfs.clock.store(clock, Ordering::Relaxed);
+        vfs.change_gen.store(change_gen, Ordering::Relaxed);
+        for _ in 0..count {
+            let ino = c.u64()?;
+            let tag = c.u8()?;
+            let mode = c.u16()?;
+            let uid = c.u32()?;
+            let gid = c.u32()?;
+            let nlink = c.u32()?;
+            let atime = c.u64()?;
+            let mtime = c.u64()?;
+            let ctime = c.u64()?;
+            let payload = match tag {
+                0 => {
+                    let data = c.bytes()?;
+                    let mut f = FileContent::new(vfs.chunk_size);
+                    f.write_at(0, &data);
+                    Payload::File(f)
+                }
+                1 => {
+                    let n = c.u64()?;
+                    let mut entries = BTreeMap::new();
+                    for _ in 0..n {
+                        let name = c.str()?;
+                        let child = c.u64()?;
+                        entries.insert(name, Ino(child));
+                    }
+                    Payload::Dir(entries)
+                }
+                2 => Payload::Symlink(c.str()?),
+                _ => return None,
+            };
+            vfs.shards.write(vfs.shards.shard_of(ino)).insert(
+                ino,
+                Inode {
+                    payload,
+                    mode,
+                    uid,
+                    gid,
+                    nlink,
+                    pins: 0,
+                    atime,
+                    mtime,
+                    ctime,
+                },
+            );
+        }
+        c.done().then_some(vfs)
+    }
+
+    /// Redo one logged mutation during replay. Records are *physical*:
+    /// they carry the inode number and timestamp the live operation
+    /// used, so no permission check, allocation, or clock tick happens
+    /// here — the record installs exactly what the live operation
+    /// installed. A record naming an inode that no longer exists is
+    /// skipped silently: the only way that happens is a write to an
+    /// unlinked-but-pinned file, which was already invisible in the
+    /// namespace the log describes.
+    pub(crate) fn apply_record(&self, rec: &WalRecord) {
+        match rec {
+            WalRecord::Create {
+                dir,
+                name,
+                ino,
+                mode,
+                uid,
+                gid,
+                now,
+            } => self.apply_new_inode(
+                *dir,
+                name,
+                *ino,
+                Payload::File(FileContent::new(self.chunk_size)),
+                *mode,
+                *uid,
+                *gid,
+                *now,
+                1,
+                false,
+            ),
+            WalRecord::Mkdir {
+                dir,
+                name,
+                ino,
+                mode,
+                uid,
+                gid,
+                now,
+            } => {
+                let mut entries = BTreeMap::new();
+                entries.insert(".".to_string(), Ino(*ino));
+                entries.insert("..".to_string(), Ino(*dir));
+                self.apply_new_inode(
+                    *dir,
+                    name,
+                    *ino,
+                    Payload::Dir(entries),
+                    *mode,
+                    *uid,
+                    *gid,
+                    *now,
+                    2,
+                    true,
+                );
+            }
+            WalRecord::Symlink {
+                dir,
+                name,
+                ino,
+                target,
+                uid,
+                gid,
+                now,
+            } => self.apply_new_inode(
+                *dir,
+                name,
+                *ino,
+                Payload::Symlink(target.clone()),
+                0o777,
+                *uid,
+                *gid,
+                *now,
+                1,
+                false,
+            ),
+            WalRecord::Link {
+                dir,
+                name,
+                target,
+                now,
+            } => {
+                let sd = self.shards.shard_of(*dir);
+                let st = self.shards.shard_of(*target);
+                let mut pair = PairGuard::lock(&self.shards, sd, st);
+                if pair.map_ref(st).contains_key(target) {
+                    if let Some(dinode) = pair.map(sd).get_mut(dir) {
+                        dinode.mtime = *now;
+                        if let Payload::Dir(entries) = &mut dinode.payload {
+                            entries.insert(name.clone(), Ino(*target));
+                        }
+                        let t = pair.map(st).get_mut(target).expect("checked");
+                        t.nlink += 1;
+                        t.ctime = *now;
+                    }
+                }
+            }
+            WalRecord::Unlink {
+                dir,
+                name,
+                target,
+                now,
+            } => {
+                let sd = self.shards.shard_of(*dir);
+                let st = self.shards.shard_of(*target);
+                let mut pair = PairGuard::lock(&self.shards, sd, st);
+                if let Some(dinode) = pair.map(sd).get_mut(dir) {
+                    if let Payload::Dir(entries) = &mut dinode.payload {
+                        entries.remove(name);
+                    }
+                    dinode.mtime = *now;
+                }
+                if let Some(t) = pair.map(st).get_mut(target) {
+                    t.nlink = t.nlink.saturating_sub(1);
+                    t.ctime = *now;
+                    self.maybe_free_locked(st, pair.map(st), Ino(*target));
+                }
+            }
+            WalRecord::Rmdir {
+                dir,
+                name,
+                target,
+                now,
+            } => {
+                let sd = self.shards.shard_of(*dir);
+                let st = self.shards.shard_of(*target);
+                let mut pair = PairGuard::lock(&self.shards, sd, st);
+                if let Some(dinode) = pair.map(sd).get_mut(dir) {
+                    if let Payload::Dir(entries) = &mut dinode.payload {
+                        entries.remove(name);
+                    }
+                    dinode.nlink = dinode.nlink.saturating_sub(1);
+                    dinode.mtime = *now;
+                }
+                if let Some(t) = pair.map(st).get_mut(target) {
+                    t.nlink = 0;
+                    self.maybe_free_locked(st, pair.map(st), Ino(*target));
+                }
+            }
+            WalRecord::Rename {
+                odir,
+                oname,
+                ndir,
+                nname,
+                src,
+                replaced,
+                replaced_is_dir,
+                src_is_dir,
+                now,
+            } => {
+                let so = self.shards.shard_of(*odir);
+                let sn = self.shards.shard_of(*ndir);
+                let ss = self.shards.shard_of(*src);
+                let mut idxs = vec![so, sn, ss];
+                if *replaced != 0 {
+                    idxs.push(self.shards.shard_of(*replaced));
+                }
+                let mut mg = self.shards.write_many(&idxs);
+                if mg.get(so).get(odir).is_none()
+                    || mg.get(sn).get(ndir).is_none()
+                    || mg.get(ss).get(src).is_none()
+                {
+                    return;
+                }
+                if *replaced != 0 {
+                    let sdst = self.shards.shard_of(*replaced);
+                    let nd = mg.get_mut(sn).get_mut(ndir).expect("checked");
+                    if let Payload::Dir(entries) = &mut nd.payload {
+                        entries.remove(nname);
+                    }
+                    if *replaced_is_dir {
+                        nd.nlink = nd.nlink.saturating_sub(1);
+                    }
+                    if let Some(d) = mg.get_mut(sdst).get_mut(replaced) {
+                        if *replaced_is_dir {
+                            d.nlink = 0;
+                        } else {
+                            d.nlink = d.nlink.saturating_sub(1);
+                        }
+                        self.maybe_free_locked(sdst, mg.get_mut(sdst), Ino(*replaced));
+                    }
+                }
+                let od = mg.get_mut(so).get_mut(odir).expect("checked");
+                if let Payload::Dir(entries) = &mut od.payload {
+                    entries.remove(oname);
+                }
+                let nd = mg.get_mut(sn).get_mut(ndir).expect("checked");
+                if let Payload::Dir(entries) = &mut nd.payload {
+                    entries.insert(nname.clone(), Ino(*src));
+                }
+                if *src_is_dir && odir != ndir {
+                    let s = mg.get_mut(ss).get_mut(src).expect("checked");
+                    if let Payload::Dir(entries) = &mut s.payload {
+                        entries.insert("..".to_string(), Ino(*ndir));
+                    }
+                    let od = mg.get_mut(so).get_mut(odir).expect("checked");
+                    od.nlink = od.nlink.saturating_sub(1);
+                    mg.get_mut(sn).get_mut(ndir).expect("checked").nlink += 1;
+                }
+                mg.get_mut(so).get_mut(odir).expect("checked").mtime = *now;
+                mg.get_mut(sn).get_mut(ndir).expect("checked").mtime = *now;
+            }
+            WalRecord::Write {
+                ino,
+                off,
+                data,
+                now,
+            } => {
+                let mut g = self.shards.write(self.shards.shard_of(*ino));
+                if let Some(inode) = g.get_mut(ino) {
+                    if let Payload::File(file) = &mut inode.payload {
+                        file.write_at(*off as usize, data);
+                        inode.mtime = *now;
+                    }
+                }
+            }
+            WalRecord::Truncate { ino, len, now } => {
+                let mut g = self.shards.write(self.shards.shard_of(*ino));
+                if let Some(inode) = g.get_mut(ino) {
+                    if let Payload::File(file) = &mut inode.payload {
+                        file.resize(*len as usize);
+                        inode.mtime = *now;
+                    }
+                }
+            }
+            WalRecord::Chmod { ino, mode, now } => {
+                let mut g = self.shards.write(self.shards.shard_of(*ino));
+                if let Some(inode) = g.get_mut(ino) {
+                    inode.mode = mode & 0o7777;
+                    inode.ctime = *now;
+                }
+            }
+            WalRecord::Chown {
+                ino,
+                uid,
+                gid,
+                now,
+            } => {
+                let mut g = self.shards.write(self.shards.shard_of(*ino));
+                if let Some(inode) = g.get_mut(ino) {
+                    inode.uid = *uid;
+                    inode.gid = *gid;
+                    inode.ctime = *now;
+                }
+            }
+            // Account records are interpreted by the kernel crate, not
+            // the filesystem.
+            WalRecord::AccountAdd { .. } | WalRecord::AccountRemove { .. } => {}
+        }
+        // Advance the logical clock past the record's timestamp so
+        // post-recovery mutations stamp strictly later times. (The live
+        // clock may have been further ahead — failed operations tick
+        // without logging — but per-inode times are restored verbatim
+        // above, so the lag is invisible in the namespace.)
+        if let Some(now) = record_now(rec) {
+            self.clock.fetch_max(now, Ordering::Relaxed);
+            self.change_gen.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Shared redo path for the three inode-creating records.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_new_inode(
+        &self,
+        dir: u64,
+        name: &str,
+        ino: u64,
+        payload: Payload,
+        mode: u16,
+        uid: u32,
+        gid: u32,
+        now: u64,
+        nlink: u32,
+        parent_gains_link: bool,
+    ) {
+        let sd = self.shards.shard_of(dir);
+        let sc = self.shards.shard_of(ino);
+        let mut pair = PairGuard::lock(&self.shards, sd, sc);
+        let parent_is_dir = pair
+            .map_ref(sd)
+            .get(&dir)
+            .is_some_and(|i| matches!(i.payload, Payload::Dir(_)));
+        if !parent_is_dir {
+            return;
+        }
+        pair.map(sc).insert(
+            ino,
+            Inode {
+                payload,
+                mode: mode & 0o7777,
+                uid,
+                gid,
+                nlink,
+                pins: 0,
+                atime: now,
+                mtime: now,
+                ctime: now,
+            },
+        );
+        let dinode = pair.map(sd).get_mut(&dir).expect("checked");
+        if parent_gains_link {
+            dinode.nlink += 1;
+        }
+        dinode.mtime = now;
+        if let Payload::Dir(entries) = &mut dinode.payload {
+            entries.insert(name.to_string(), Ino(ino));
+        }
+    }
+
+    /// Rebuild the inode-number allocator after replay: the free list
+    /// is unknowable from the log (and irrelevant — records carry
+    /// explicit numbers), so allocation resumes past the highest live
+    /// inode. Also drops any fully unlinked leftovers.
+    pub(crate) fn finish_recovery(&self) {
+        let mut max = self.root.0;
+        for i in 0..self.shards.len() {
+            let mut g = self.shards.write(i);
+            g.retain(|_, inode| inode.nlink > 0);
+            for ino in g.keys() {
+                max = max.max(*ino);
+            }
+        }
+        let mut a = self.alloc.lock();
+        a.next = max + 1;
+        a.free.clear();
+    }
+
+    /// A deterministic, human-readable dump of everything the
+    /// namespace makes visible: one line per reachable object (walked
+    /// depth-first in sorted entry order) with path, inode number,
+    /// kind, permissions, ownership, link count, timestamps, and
+    /// content (CRC for files, target for symlinks). Two filesystems
+    /// with equal fingerprints are indistinguishable to every syscall;
+    /// the crash-recovery suite compares a recovered namespace against
+    /// a prefix twin with this.
+    pub fn namespace_fingerprint(&self) -> String {
+        let mut out = String::new();
+        self.fingerprint_node("/", self.root, &mut out);
+        out
+    }
+
+    fn fingerprint_node(&self, path: &str, ino: Ino, out: &mut String) {
+        let info = self.with_inode(ino, |i| {
+            let desc = match &i.payload {
+                Payload::File(f) => {
+                    let data = f.to_vec();
+                    format!("file len={} crc={:08x}", data.len(), wal::crc32(&data))
+                }
+                Payload::Dir(_) => "dir".to_string(),
+                Payload::Symlink(t) => format!("symlink -> {t}"),
+            };
+            let children: Vec<(String, Ino)> = match &i.payload {
+                Payload::Dir(e) => e
+                    .iter()
+                    .filter(|(n, _)| n.as_str() != "." && n.as_str() != "..")
+                    .map(|(n, c)| (n.clone(), *c))
+                    .collect(),
+                _ => Vec::new(),
+            };
+            let line = format!(
+                "{path}|ino {}|{desc}|mode {:04o}|uid {} gid {}|nlink {}|t {}/{}/{}",
+                ino.0, i.mode, i.uid, i.gid, i.nlink, i.atime, i.mtime, i.ctime
+            );
+            (line, children)
+        });
+        if let Ok((line, children)) = info {
+            out.push_str(&line);
+            out.push('\n');
+            for (name, child) in children {
+                let child_path = if path == "/" {
+                    format!("/{name}")
+                } else {
+                    format!("{path}/{name}")
+                };
+                self.fingerprint_node(&child_path, child, out);
+            }
+        }
+    }
+}
+
+/// The logical timestamp a record carries (`None` for account records,
+/// which do not touch the filesystem clock).
+fn record_now(rec: &WalRecord) -> Option<u64> {
+    match rec {
+        WalRecord::Create { now, .. }
+        | WalRecord::Mkdir { now, .. }
+        | WalRecord::Symlink { now, .. }
+        | WalRecord::Link { now, .. }
+        | WalRecord::Unlink { now, .. }
+        | WalRecord::Rmdir { now, .. }
+        | WalRecord::Rename { now, .. }
+        | WalRecord::Write { now, .. }
+        | WalRecord::Truncate { now, .. }
+        | WalRecord::Chmod { now, .. }
+        | WalRecord::Chown { now, .. } => Some(*now),
+        WalRecord::AccountAdd { .. } | WalRecord::AccountRemove { .. } => None,
     }
 }
 

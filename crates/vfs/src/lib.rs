@@ -16,15 +16,21 @@
 //! Everything is addressed by absolute or cwd-relative textual paths, just
 //! like the syscall interface; inode numbers ([`Ino`]) appear in results
 //! (`stat`) and in the open-file layer of the kernel.
+//!
+//! The filesystem is in-memory but not necessarily volatile: attach a
+//! [`wal::Wal`] (see the [`wal`] module) and every mutation is logged
+//! to disk, snapshotted periodically, and replayed on the next boot.
 
 pub mod extent;
 mod fs;
 mod inode;
 pub mod path;
+pub mod wal;
 
 pub use extent::{ByteExtent, ExtentList};
 pub use fs::{Cred, DirEntry, FaultHook, Vfs};
 pub use inode::{FileKind, Ino, StatBuf};
+pub use wal::{AccountOp, Recovered, RecoveryReport, Wal, WalConfig, WalRecord, WalRecordRef, WalStats};
 
 /// Access request bits used by permission checks (same encoding as the
 /// Unix `access(2)` masks).

@@ -1,0 +1,2243 @@
+//! The durability plane: a write-ahead log plus namespace snapshots.
+//!
+//! The paper's storage servers are trusted with real data, so the
+//! namespace (files, directories, ACL files, accounts) must survive a
+//! server crash. The in-memory [`Vfs`] stays the hot path; durability is
+//! layered *under* it:
+//!
+//! * Every mutating namespace operation appends one compact binary
+//!   [`WalRecord`] to the log **while still holding the shard write
+//!   locks that applied it**. The WAL mutex is a leaf lock below the
+//!   shard locks, so the global append order is a valid serialization
+//!   of the sharded execution: two operations that do not commute always
+//!   share a shard lock, hence appear in the log in their real order.
+//! * Records are framed `[len u32][crc32 u32][lsn varint + payload]`;
+//!   header fixed-width little-endian, record fields LEB128 varints, all
+//!   little-endian. Replay stops at the first frame that fails the
+//!   length or CRC check, so a torn final record (the normal crash
+//!   shape) silently truncates to the last durable prefix.
+//! * `fsync` is amortized by **group commit**: appends buffer in the OS
+//!   file and a flusher thread syncs every [`WalConfig::sync_ms`]
+//!   milliseconds, or inline once [`WalConfig::sync_ops`] appends
+//!   accumulate. `sync_ops == 0` degenerates to sync-every-op (no loss
+//!   window, every append pays the fsync).
+//! * A **snapshot** serializes the whole namespace under all shard read
+//!   locks, rotates the log at an LSN watermark captured under those
+//!   same locks, and purges segments older than the watermark. Boot
+//!   restores the snapshot, then replays the suffix (`lsn >=
+//!   watermark`) on top.
+//!
+//! Records are *physical redo* records: they carry the inode number the
+//! live operation assigned and the logical timestamp it ticked, so
+//! replay does not have to reproduce allocator or clock behaviour — it
+//! installs exactly the state the live operation installed. After
+//! replay the inode allocator is rebuilt as `next = max(live) + 1` with
+//! an empty free list, and open-handle pins reset to zero (processes do
+//! not survive a crash; an inode that was unlinked-but-pinned is gone,
+//! which is exactly the namespace a restarted server should see).
+//!
+//! Failure policy is **fail-stop on the log**: an append that cannot
+//! reach the disk marks the log dead and counts an error; the in-memory
+//! namespace keeps serving, and the error counter surfaces through the
+//! `idbox_wal_errors_total` Prometheus family so an operator sees the
+//! durability loss instead of a silent lie.
+
+use crate::fs::Vfs;
+use parking_lot::Mutex;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Magic prefix of a log segment file.
+const SEG_MAGIC: &[u8; 8] = b"IDBXWAL1";
+/// Magic prefix of a snapshot file.
+const SNAP_MAGIC: &[u8; 8] = b"IDBXSNP1";
+/// Upper bound accepted for one framed record (a frame claiming more is
+/// treated as torn/corrupt, not allocated).
+const MAX_FRAME: u32 = 1 << 30;
+/// The snapshot file name; segments are `wal-<start_lsn>.log`.
+const SNAP_NAME: &str = "snapshot.bin";
+
+/// Configuration for [`Wal::open`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding the snapshot and log segments (created when
+    /// missing).
+    pub dir: PathBuf,
+    /// Appends accumulated before the flusher is woken early. `0` =
+    /// sync every append before returning (no loss window); `n > 0` =
+    /// group commit, syncing after every `n` appends or on the flusher
+    /// tick, whichever comes first. The tick (`sync_ms`) is the primary
+    /// pacing — this threshold is a backstop that bounds how much a
+    /// burst can accumulate between ticks, so it should be large
+    /// (thousands): a small value degrades to fsync-per-batch and taxes
+    /// the mutation hot path with the fsync's kernel CPU.
+    pub sync_ops: u64,
+    /// Flusher cadence for group commit, in milliseconds — the loss
+    /// window under power failure. Ignored (no flusher thread) when
+    /// `sync_ops == 0`; clamped to at least 1 ms otherwise.
+    pub sync_ms: u64,
+}
+
+impl WalConfig {
+    /// Group-commit defaults (65536-op backstop / 25 ms tick) in `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalConfig {
+            dir: dir.into(),
+            sync_ops: 65536,
+            sync_ms: 25,
+        }
+    }
+
+    /// Switch to sync-every-op (every append fsyncs inline).
+    pub fn sync_every_op(mut self) -> Self {
+        self.sync_ops = 0;
+        self
+    }
+}
+
+/// One logged namespace mutation, exactly as the live operation applied
+/// it. Field meanings mirror the corresponding [`Vfs`] operations; all
+/// inode numbers are the raw `u64` the live operation assigned, and
+/// `now` is the logical timestamp it ticked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// `create`: a regular file `name` in directory `dir`.
+    Create {
+        /// Parent directory inode.
+        dir: u64,
+        /// Entry name.
+        name: String,
+        /// Assigned inode number.
+        ino: u64,
+        /// Permission bits.
+        mode: u16,
+        /// Owner uid.
+        uid: u32,
+        /// Owner gid.
+        gid: u32,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// `mkdir`: a directory `name` in `dir`.
+    Mkdir {
+        /// Parent directory inode.
+        dir: u64,
+        /// Entry name.
+        name: String,
+        /// Assigned inode number.
+        ino: u64,
+        /// Permission bits.
+        mode: u16,
+        /// Owner uid.
+        uid: u32,
+        /// Owner gid.
+        gid: u32,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// `symlink`: a link `name` in `dir` holding `target`.
+    Symlink {
+        /// Parent directory inode.
+        dir: u64,
+        /// Entry name.
+        name: String,
+        /// Assigned inode number.
+        ino: u64,
+        /// Link target text.
+        target: String,
+        /// Owner uid.
+        uid: u32,
+        /// Owner gid.
+        gid: u32,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// `link`: a new name for existing inode `target`.
+    Link {
+        /// Parent directory inode.
+        dir: u64,
+        /// Entry name.
+        name: String,
+        /// Linked inode number.
+        target: u64,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// `unlink`: remove `name` (bound to `target`) from `dir`.
+    Unlink {
+        /// Parent directory inode.
+        dir: u64,
+        /// Entry name.
+        name: String,
+        /// Unlinked inode number.
+        target: u64,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// `rmdir`: remove empty directory `name` (bound to `target`).
+    Rmdir {
+        /// Parent directory inode.
+        dir: u64,
+        /// Entry name.
+        name: String,
+        /// Removed directory inode.
+        target: u64,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// `rename`: move `src` from `odir/oname` to `ndir/nname`,
+    /// replacing `replaced` (0 = nothing replaced).
+    Rename {
+        /// Old parent directory inode.
+        odir: u64,
+        /// Old entry name.
+        oname: String,
+        /// New parent directory inode.
+        ndir: u64,
+        /// New entry name.
+        nname: String,
+        /// Moved inode number.
+        src: u64,
+        /// Replaced destination inode (0 when the destination was
+        /// empty).
+        replaced: u64,
+        /// Whether the replaced destination was a directory.
+        replaced_is_dir: bool,
+        /// Whether the moved inode is a directory.
+        src_is_dir: bool,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// `write_at`: `data` written at byte offset `off` of file `ino`.
+    Write {
+        /// Target file inode.
+        ino: u64,
+        /// Byte offset.
+        off: u64,
+        /// Bytes written.
+        data: Vec<u8>,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// `truncate`: resize file `ino` to `len` bytes.
+    Truncate {
+        /// Target file inode.
+        ino: u64,
+        /// New length.
+        len: u64,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// `chmod`: set permission bits on `ino`.
+    Chmod {
+        /// Target inode.
+        ino: u64,
+        /// New permission bits.
+        mode: u16,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// `chown`: set ownership on `ino`.
+    Chown {
+        /// Target inode.
+        ino: u64,
+        /// New owner uid.
+        uid: u32,
+        /// New owner gid.
+        gid: u32,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// An account added to the kernel's account database, as its passwd
+    /// line (the vfs does not interpret it; the kernel replays it).
+    AccountAdd {
+        /// The account's `/etc/passwd` line.
+        line: String,
+    },
+    /// An account removed from the kernel's account database.
+    AccountRemove {
+        /// The removed account's name.
+        name: String,
+    },
+}
+
+/// Borrowed view of a [`WalRecord`], for allocation-free logging: the
+/// vfs mutation paths build one of these on the stack out of the
+/// caller's own strings and buffers and hand it to [`Wal::append`], so
+/// the hot path never clones a name or a data slice. Variants and
+/// field meanings mirror [`WalRecord`] exactly; the owned form exists
+/// for decode/replay and delegates its encoding here.
+#[derive(Debug, Clone, Copy)]
+pub enum WalRecordRef<'a> {
+    /// See [`WalRecord::Create`].
+    Create {
+        /// Parent directory inode.
+        dir: u64,
+        /// Entry name.
+        name: &'a str,
+        /// Assigned inode number.
+        ino: u64,
+        /// Permission bits.
+        mode: u16,
+        /// Owner uid.
+        uid: u32,
+        /// Owner gid.
+        gid: u32,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// See [`WalRecord::Mkdir`].
+    Mkdir {
+        /// Parent directory inode.
+        dir: u64,
+        /// Entry name.
+        name: &'a str,
+        /// Assigned inode number.
+        ino: u64,
+        /// Permission bits.
+        mode: u16,
+        /// Owner uid.
+        uid: u32,
+        /// Owner gid.
+        gid: u32,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// See [`WalRecord::Symlink`].
+    Symlink {
+        /// Parent directory inode.
+        dir: u64,
+        /// Entry name.
+        name: &'a str,
+        /// Assigned inode number.
+        ino: u64,
+        /// Link target text.
+        target: &'a str,
+        /// Owner uid.
+        uid: u32,
+        /// Owner gid.
+        gid: u32,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// See [`WalRecord::Link`].
+    Link {
+        /// Parent directory inode.
+        dir: u64,
+        /// Entry name.
+        name: &'a str,
+        /// Linked inode number.
+        target: u64,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// See [`WalRecord::Unlink`].
+    Unlink {
+        /// Parent directory inode.
+        dir: u64,
+        /// Entry name.
+        name: &'a str,
+        /// Unlinked inode number.
+        target: u64,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// See [`WalRecord::Rmdir`].
+    Rmdir {
+        /// Parent directory inode.
+        dir: u64,
+        /// Entry name.
+        name: &'a str,
+        /// Removed directory inode.
+        target: u64,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// See [`WalRecord::Rename`].
+    Rename {
+        /// Old parent directory inode.
+        odir: u64,
+        /// Old entry name.
+        oname: &'a str,
+        /// New parent directory inode.
+        ndir: u64,
+        /// New entry name.
+        nname: &'a str,
+        /// Moved inode number.
+        src: u64,
+        /// Replaced destination inode (0 when the destination was
+        /// empty).
+        replaced: u64,
+        /// Whether the replaced destination was a directory.
+        replaced_is_dir: bool,
+        /// Whether the moved inode is a directory.
+        src_is_dir: bool,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// See [`WalRecord::Write`].
+    Write {
+        /// Target file inode.
+        ino: u64,
+        /// Byte offset.
+        off: u64,
+        /// Bytes written.
+        data: &'a [u8],
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// See [`WalRecord::Truncate`].
+    Truncate {
+        /// Target file inode.
+        ino: u64,
+        /// New length.
+        len: u64,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// See [`WalRecord::Chmod`].
+    Chmod {
+        /// Target inode.
+        ino: u64,
+        /// New permission bits.
+        mode: u16,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// See [`WalRecord::Chown`].
+    Chown {
+        /// Target inode.
+        ino: u64,
+        /// New owner uid.
+        uid: u32,
+        /// New owner gid.
+        gid: u32,
+        /// Logical timestamp.
+        now: u64,
+    },
+    /// See [`WalRecord::AccountAdd`].
+    AccountAdd {
+        /// The account's `/etc/passwd` line.
+        line: &'a str,
+    },
+    /// See [`WalRecord::AccountRemove`].
+    AccountRemove {
+        /// The removed account's name.
+        name: &'a str,
+    },
+}
+
+impl WalRecordRef<'_> {
+    fn tag(self) -> u8 {
+        match self {
+            WalRecordRef::Create { .. } => 1,
+            WalRecordRef::Mkdir { .. } => 2,
+            WalRecordRef::Symlink { .. } => 3,
+            WalRecordRef::Link { .. } => 4,
+            WalRecordRef::Unlink { .. } => 5,
+            WalRecordRef::Rmdir { .. } => 6,
+            WalRecordRef::Rename { .. } => 7,
+            WalRecordRef::Write { .. } => 8,
+            WalRecordRef::Truncate { .. } => 9,
+            WalRecordRef::Chmod { .. } => 10,
+            WalRecordRef::Chown { .. } => 11,
+            WalRecordRef::AccountAdd { .. } => 12,
+            WalRecordRef::AccountRemove { .. } => 13,
+        }
+    }
+
+    /// Append the record's binary form (tag + fields) to `out`.
+    pub fn encode(self, out: &mut Vec<u8>) {
+        out.push(self.tag());
+        match self {
+            WalRecordRef::Create {
+                dir,
+                name,
+                ino,
+                mode,
+                uid,
+                gid,
+                now,
+            }
+            | WalRecordRef::Mkdir {
+                dir,
+                name,
+                ino,
+                mode,
+                uid,
+                gid,
+                now,
+            } => {
+                put_vu64(out, dir);
+                put_vstr(out, name);
+                put_vu64(out, ino);
+                put_vu64(out, u64::from(mode));
+                put_vu64(out, u64::from(uid));
+                put_vu64(out, u64::from(gid));
+                put_vu64(out, now);
+            }
+            WalRecordRef::Symlink {
+                dir,
+                name,
+                ino,
+                target,
+                uid,
+                gid,
+                now,
+            } => {
+                put_vu64(out, dir);
+                put_vstr(out, name);
+                put_vu64(out, ino);
+                put_vstr(out, target);
+                put_vu64(out, u64::from(uid));
+                put_vu64(out, u64::from(gid));
+                put_vu64(out, now);
+            }
+            WalRecordRef::Link {
+                dir,
+                name,
+                target,
+                now,
+            }
+            | WalRecordRef::Unlink {
+                dir,
+                name,
+                target,
+                now,
+            }
+            | WalRecordRef::Rmdir {
+                dir,
+                name,
+                target,
+                now,
+            } => {
+                put_vu64(out, dir);
+                put_vstr(out, name);
+                put_vu64(out, target);
+                put_vu64(out, now);
+            }
+            WalRecordRef::Rename {
+                odir,
+                oname,
+                ndir,
+                nname,
+                src,
+                replaced,
+                replaced_is_dir,
+                src_is_dir,
+                now,
+            } => {
+                put_vu64(out, odir);
+                put_vstr(out, oname);
+                put_vu64(out, ndir);
+                put_vstr(out, nname);
+                put_vu64(out, src);
+                put_vu64(out, replaced);
+                out.push(u8::from(replaced_is_dir));
+                out.push(u8::from(src_is_dir));
+                put_vu64(out, now);
+            }
+            WalRecordRef::Write {
+                ino,
+                off,
+                data,
+                now,
+            } => {
+                put_vu64(out, ino);
+                put_vu64(out, off);
+                put_vbytes(out, data);
+                put_vu64(out, now);
+            }
+            WalRecordRef::Truncate { ino, len, now } => {
+                put_vu64(out, ino);
+                put_vu64(out, len);
+                put_vu64(out, now);
+            }
+            WalRecordRef::Chmod { ino, mode, now } => {
+                put_vu64(out, ino);
+                put_vu64(out, u64::from(mode));
+                put_vu64(out, now);
+            }
+            WalRecordRef::Chown { ino, uid, gid, now } => {
+                put_vu64(out, ino);
+                put_vu64(out, u64::from(uid));
+                put_vu64(out, u64::from(gid));
+                put_vu64(out, now);
+            }
+            WalRecordRef::AccountAdd { line } => put_vstr(out, line),
+            WalRecordRef::AccountRemove { name } => put_vstr(out, name),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CRC-32C (Castagnoli polynomial; no external crates)
+// ---------------------------------------------------------------------
+
+fn crc32_tables() -> &'static [[u32; 256]; 8] {
+    static TABLES: std::sync::OnceLock<[[u32; 256]; 8]> = std::sync::OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0x82F6_3B78 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            t[0][i] = c;
+            i += 1;
+        }
+        // Derived tables: t[k][b] advances byte b through k extra zero
+        // bytes, letting the hot loop fold eight input bytes per step.
+        for i in 0..256 {
+            let mut c = t[0][i];
+            for k in 1..8 {
+                c = t[0][(c & 0xFF) as usize] ^ (c >> 8);
+                t[k][i] = c;
+            }
+        }
+        t
+    })
+}
+
+/// CRC-32C of `data`, as used by the record frames and the snapshot
+/// trailer. The Castagnoli polynomial — the same choice ext4 and iSCSI
+/// made — so the hot path can ride the SSE4.2 `crc32` instruction where
+/// the CPU has it; table-driven slicing-by-8 elsewhere. The WAL
+/// computes this once per namespace mutation under a shard write lock,
+/// so the per-byte cost shows up directly in metadata throughput.
+pub fn crc32(data: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("sse4.2") {
+        // SAFETY: the required CPU feature was just detected.
+        return unsafe { crc32_hw(data) };
+    }
+    crc32_sw(data)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.2")]
+unsafe fn crc32_hw(data: &[u8]) -> u32 {
+    use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+    let mut c = u64::from(!0u32);
+    let mut chunks = data.chunks_exact(8);
+    for ch in &mut chunks {
+        c = _mm_crc32_u64(c, u64::from_le_bytes(ch.try_into().unwrap()));
+    }
+    let mut c = c as u32;
+    for &b in chunks.remainder() {
+        c = _mm_crc32_u8(c, b);
+    }
+    !c
+}
+
+fn crc32_sw(data: &[u8]) -> u32 {
+    let t = crc32_tables();
+    let mut c = !0u32;
+    let mut chunks = data.chunks_exact(8);
+    for ch in &mut chunks {
+        let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ c;
+        let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+        c = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+    put_u32(out, v.len() as u32);
+    out.extend_from_slice(v);
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, v: &str) {
+    put_bytes(out, v.as_bytes());
+}
+
+/// LEB128 varint writer, the record codec's integer form (see
+/// [`Cursor::vu64`]).
+pub(crate) fn put_vu64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+pub(crate) fn put_vbytes(out: &mut Vec<u8>, v: &[u8]) {
+    put_vu64(out, v.len() as u64);
+    out.extend_from_slice(v);
+}
+
+pub(crate) fn put_vstr(out: &mut Vec<u8>, v: &str) {
+    put_vbytes(out, v.as_bytes());
+}
+
+/// A bounds-checked little-endian reader over a byte slice; every `get`
+/// returns `None` past the end, so a truncated payload surfaces as a
+/// decode failure instead of a panic.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|s| u16::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    pub(crate) fn bytes(&mut self) -> Option<Vec<u8>> {
+        let n = self.u32()? as usize;
+        self.take(n).map(|s| s.to_vec())
+    }
+
+    /// LEB128 varint: the record codec's integer form (records are
+    /// dominated by small integers — inode numbers, uids, logical
+    /// ticks — so this halves the logged bytes versus fixed width).
+    pub(crate) fn vu64(&mut self) -> Option<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift == 63 && b > 1 {
+                return None; // overflow: not a canonical u64
+            }
+            v |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                return Some(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return None;
+            }
+        }
+    }
+
+    pub(crate) fn vbytes(&mut self) -> Option<Vec<u8>> {
+        let n = usize::try_from(self.vu64()?).ok()?;
+        self.take(n).map(|s| s.to_vec())
+    }
+
+    pub(crate) fn vstr(&mut self) -> Option<String> {
+        String::from_utf8(self.vbytes()?).ok()
+    }
+
+    /// Bytes consumed so far.
+    pub(crate) fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    pub(crate) fn str(&mut self) -> Option<String> {
+        String::from_utf8(self.bytes()?).ok()
+    }
+
+    pub(crate) fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+impl WalRecord {
+    /// Borrowed view of this record, for allocation-free encoding.
+    pub fn as_ref(&self) -> WalRecordRef<'_> {
+        match self {
+            WalRecord::Create { dir, name, ino, mode, uid, gid, now } => WalRecordRef::Create {
+                dir: *dir,
+                name,
+                ino: *ino,
+                mode: *mode,
+                uid: *uid,
+                gid: *gid,
+                now: *now,
+            },
+            WalRecord::Mkdir { dir, name, ino, mode, uid, gid, now } => WalRecordRef::Mkdir {
+                dir: *dir,
+                name,
+                ino: *ino,
+                mode: *mode,
+                uid: *uid,
+                gid: *gid,
+                now: *now,
+            },
+            WalRecord::Symlink { dir, name, ino, target, uid, gid, now } => {
+                WalRecordRef::Symlink {
+                    dir: *dir,
+                    name,
+                    ino: *ino,
+                    target,
+                    uid: *uid,
+                    gid: *gid,
+                    now: *now,
+                }
+            }
+            WalRecord::Link { dir, name, target, now } => WalRecordRef::Link {
+                dir: *dir,
+                name,
+                target: *target,
+                now: *now,
+            },
+            WalRecord::Unlink { dir, name, target, now } => WalRecordRef::Unlink {
+                dir: *dir,
+                name,
+                target: *target,
+                now: *now,
+            },
+            WalRecord::Rmdir { dir, name, target, now } => WalRecordRef::Rmdir {
+                dir: *dir,
+                name,
+                target: *target,
+                now: *now,
+            },
+            WalRecord::Rename {
+                odir,
+                oname,
+                ndir,
+                nname,
+                src,
+                replaced,
+                replaced_is_dir,
+                src_is_dir,
+                now,
+            } => WalRecordRef::Rename {
+                odir: *odir,
+                oname,
+                ndir: *ndir,
+                nname,
+                src: *src,
+                replaced: *replaced,
+                replaced_is_dir: *replaced_is_dir,
+                src_is_dir: *src_is_dir,
+                now: *now,
+            },
+            WalRecord::Write { ino, off, data, now } => WalRecordRef::Write {
+                ino: *ino,
+                off: *off,
+                data,
+                now: *now,
+            },
+            WalRecord::Truncate { ino, len, now } => WalRecordRef::Truncate {
+                ino: *ino,
+                len: *len,
+                now: *now,
+            },
+            WalRecord::Chmod { ino, mode, now } => WalRecordRef::Chmod {
+                ino: *ino,
+                mode: *mode,
+                now: *now,
+            },
+            WalRecord::Chown { ino, uid, gid, now } => WalRecordRef::Chown {
+                ino: *ino,
+                uid: *uid,
+                gid: *gid,
+                now: *now,
+            },
+            WalRecord::AccountAdd { line } => WalRecordRef::AccountAdd { line },
+            WalRecord::AccountRemove { name } => WalRecordRef::AccountRemove { name },
+        }
+    }
+
+    /// Append the record's binary form (tag + fields) to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        self.as_ref().encode(out)
+    }
+
+    /// Decode one record from `buf` (which must contain exactly one
+    /// record). `None` on any truncation, unknown tag, or trailing
+    /// garbage.
+    pub fn decode(buf: &[u8]) -> Option<WalRecord> {
+        let mut c = Cursor::new(buf);
+        let tag = c.u8()?;
+        let rec = match tag {
+            1 | 2 => {
+                let dir = c.vu64()?;
+                let name = c.vstr()?;
+                let ino = c.vu64()?;
+                let mode = u16::try_from(c.vu64()?).ok()?;
+                let uid = u32::try_from(c.vu64()?).ok()?;
+                let gid = u32::try_from(c.vu64()?).ok()?;
+                let now = c.vu64()?;
+                if tag == 1 {
+                    WalRecord::Create {
+                        dir,
+                        name,
+                        ino,
+                        mode,
+                        uid,
+                        gid,
+                        now,
+                    }
+                } else {
+                    WalRecord::Mkdir {
+                        dir,
+                        name,
+                        ino,
+                        mode,
+                        uid,
+                        gid,
+                        now,
+                    }
+                }
+            }
+            3 => WalRecord::Symlink {
+                dir: c.vu64()?,
+                name: c.vstr()?,
+                ino: c.vu64()?,
+                target: c.vstr()?,
+                uid: u32::try_from(c.vu64()?).ok()?,
+                gid: u32::try_from(c.vu64()?).ok()?,
+                now: c.vu64()?,
+            },
+            4..=6 => {
+                let dir = c.vu64()?;
+                let name = c.vstr()?;
+                let target = c.vu64()?;
+                let now = c.vu64()?;
+                match tag {
+                    4 => WalRecord::Link {
+                        dir,
+                        name,
+                        target,
+                        now,
+                    },
+                    5 => WalRecord::Unlink {
+                        dir,
+                        name,
+                        target,
+                        now,
+                    },
+                    _ => WalRecord::Rmdir {
+                        dir,
+                        name,
+                        target,
+                        now,
+                    },
+                }
+            }
+            7 => WalRecord::Rename {
+                odir: c.vu64()?,
+                oname: c.vstr()?,
+                ndir: c.vu64()?,
+                nname: c.vstr()?,
+                src: c.vu64()?,
+                replaced: c.vu64()?,
+                replaced_is_dir: c.u8()? != 0,
+                src_is_dir: c.u8()? != 0,
+                now: c.vu64()?,
+            },
+            8 => WalRecord::Write {
+                ino: c.vu64()?,
+                off: c.vu64()?,
+                data: c.vbytes()?,
+                now: c.vu64()?,
+            },
+            9 => WalRecord::Truncate {
+                ino: c.vu64()?,
+                len: c.vu64()?,
+                now: c.vu64()?,
+            },
+            10 => WalRecord::Chmod {
+                ino: c.vu64()?,
+                mode: u16::try_from(c.vu64()?).ok()?,
+                now: c.vu64()?,
+            },
+            11 => WalRecord::Chown {
+                ino: c.vu64()?,
+                uid: u32::try_from(c.vu64()?).ok()?,
+                gid: u32::try_from(c.vu64()?).ok()?,
+                now: c.vu64()?,
+            },
+            12 => WalRecord::AccountAdd { line: c.vstr()? },
+            13 => WalRecord::AccountRemove { name: c.vstr()? },
+            _ => return None,
+        };
+        c.done().then_some(rec)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The log proper
+// ---------------------------------------------------------------------
+
+/// Counters describing one [`Wal`]'s activity, rendered into the
+/// `idbox_wal_*` Prometheus families by the server. All values are
+/// cumulative since [`Wal::open`] except `log_bytes` (current segment
+/// size) and the recovery fields (fixed at open time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended.
+    pub appends: u64,
+    /// Framed bytes appended.
+    pub append_bytes: u64,
+    /// `fsync` calls issued.
+    pub fsyncs: u64,
+    /// Snapshots installed.
+    pub snapshots: u64,
+    /// Append/sync failures after which the log went fail-stop.
+    pub errors: u64,
+    /// Bytes in the active segment.
+    pub log_bytes: u64,
+    /// Records appended since the last snapshot (drives auto-snapshot).
+    pub since_snapshot: u64,
+    /// Records replayed at open.
+    pub replayed: u64,
+    /// Whether replay stopped at a torn tail (normal crash shape).
+    pub torn_tail: bool,
+    /// Whether replay stopped at a mid-log CRC/length mismatch.
+    pub corrupt_frame: bool,
+    /// Whether a snapshot was restored at open.
+    pub snapshot_loaded: bool,
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The restored namespace (`None` when the directory held no
+    /// durable state — a first boot). The returned filesystem has no
+    /// WAL attached; the caller attaches the log with [`Vfs::set_wal`]
+    /// once it is ready to resume logging.
+    pub vfs: Option<Vfs>,
+    /// The opaque account-database blob stored in the snapshot, if one
+    /// was restored (the kernel crate interprets it).
+    pub accounts: Option<Vec<u8>>,
+    /// Account records replayed from the log suffix, in order.
+    pub account_ops: Vec<AccountOp>,
+    /// Replay statistics, also visible via [`Wal::stats`].
+    pub report: RecoveryReport,
+}
+
+/// One replayed account mutation (interpreted by the kernel crate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccountOp {
+    /// An account was added; the payload is its passwd line.
+    Add(String),
+    /// The named account was removed.
+    Remove(String),
+}
+
+/// Replay statistics from one [`Wal::open`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// True when durable state was found and restored (snapshot, log
+    /// records, or both).
+    pub restored: bool,
+    /// Records replayed from log segments.
+    pub replayed: u64,
+    /// Replay stopped at a torn final record.
+    pub torn_tail: bool,
+    /// Replay stopped at a mid-log corruption (CRC or length mismatch
+    /// with further bytes behind it).
+    pub corrupt_frame: bool,
+    /// A snapshot was restored.
+    pub snapshot_loaded: bool,
+    /// The snapshot's LSN watermark (0 without a snapshot).
+    pub watermark: u64,
+}
+
+struct WalInner {
+    file: File,
+    /// Next LSN to assign.
+    next_lsn: u64,
+    /// First LSN of the active segment (names the file).
+    seg_start: u64,
+    /// Appends since the last fsync.
+    dirty: u64,
+    /// Frames appended but not yet written to the file. Group commit
+    /// keeps the syscall off the hot path entirely: appends only
+    /// extend this buffer, and the flusher writes + fsyncs it. Within
+    /// one fsync window the distinction is invisible to crash safety —
+    /// un-fsynced bytes are lost either way.
+    buf: Vec<u8>,
+    /// Bytes appended to the active segment (including still-buffered
+    /// bytes).
+    seg_bytes: u64,
+    /// Lifetime append count. Plain (non-atomic) because every append
+    /// already holds this mutex; keeping it here spares the hot path an
+    /// atomic read-modify-write per counter.
+    appends: u64,
+    /// Lifetime appended frame bytes.
+    append_bytes: u64,
+    /// Appends since the last snapshot (auto-snapshot cadence input).
+    since_snapshot: u64,
+    /// Remaining byte budget before a simulated crash (testing knob):
+    /// writes beyond the budget are silently dropped, exactly like
+    /// power loss mid-write. `None` = disabled.
+    crash_after: Option<u64>,
+    /// Fail-stop flag: a real I/O error stops all further logging.
+    dead: bool,
+}
+
+/// The write-ahead log. One instance per [`Vfs`]; shared behind an
+/// `Arc` between the filesystem (which appends), the kernel (which
+/// snapshots and logs account changes), and the server (which renders
+/// stats and drives auto-snapshots).
+pub struct Wal {
+    cfg: WalConfig,
+    inner: Mutex<WalInner>,
+    fsyncs: AtomicU64,
+    snapshots: AtomicU64,
+    errors: AtomicU64,
+    report: RecoveryReport,
+    /// Serializes flushers (the flusher thread, `rotate`, manual
+    /// `sync` callers) so batches hit the file and the disk in LSN
+    /// order. Ordered **above** `inner`: a flusher takes `flush_lock`
+    /// then `inner`; the append hot path takes only `inner`. The
+    /// guarded `Vec` is the spare batch buffer the flusher swaps with
+    /// [`WalInner::buf`], so neither side ever reallocates steady-state.
+    flush_lock: Mutex<Vec<u8>>,
+    /// Set when an appender has already asked for a flush this batch;
+    /// throttles threshold wakeups to one unpark per flush cycle.
+    flush_pending: AtomicBool,
+    flusher_stop: Arc<AtomicBool>,
+    flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// The flusher's thread handle, for threshold wakeups. Unset until
+    /// [`Wal::start_flusher`] runs; while unset, the threshold falls
+    /// back to an inline flush so group commit is never *less* durable
+    /// than configured.
+    flusher_thread: std::sync::OnceLock<std::thread::Thread>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Wal({:?}, sync_ops {}, sync_ms {})",
+            self.cfg.dir, self.cfg.sync_ops, self.cfg.sync_ms
+        )
+    }
+}
+
+fn seg_name(start_lsn: u64) -> String {
+    format!("wal-{start_lsn:020}.log")
+}
+
+fn parse_seg_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?.strip_suffix(".log")?.parse().ok()
+}
+
+fn open_segment(dir: &Path, start_lsn: u64) -> std::io::Result<File> {
+    let path = dir.join(seg_name(start_lsn));
+    let mut f = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    if f.metadata()?.len() == 0 {
+        f.write_all(SEG_MAGIC)?;
+        f.sync_data()?;
+    }
+    Ok(f)
+}
+
+/// Best-effort directory fsync so renames/creates of snapshot and
+/// segment files are themselves durable (ignored on platforms where
+/// directories cannot be opened).
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+impl Wal {
+    /// Open (or create) the log in `cfg.dir`, replaying any durable
+    /// state found there. Returns the log plus what was recovered; the
+    /// caller wires the recovered namespace back into a kernel and then
+    /// attaches the log with [`Vfs::set_wal`].
+    pub fn open(cfg: WalConfig) -> std::io::Result<(Wal, Recovered)> {
+        fs::create_dir_all(&cfg.dir)?;
+        // A leftover `snapshot.tmp` is a snapshot that never committed;
+        // the previous snapshot (or the full log) is still authoritative.
+        let _ = fs::remove_file(cfg.dir.join("snapshot.tmp"));
+        let recovered = replay_dir(&cfg.dir)?;
+        let report = recovered.report;
+        // Appends resume in a fresh segment starting at the next LSN:
+        // old segments stay as replayable prefixes (any garbage past
+        // the last good record was truncated by `replay_dir`).
+        let next_lsn = report.next_lsn;
+        let file = open_segment(&cfg.dir, next_lsn)?;
+        sync_dir(&cfg.dir);
+        let seg_bytes = file.metadata()?.len();
+        let wal = Wal {
+            inner: Mutex::new(WalInner {
+                file,
+                next_lsn,
+                seg_start: next_lsn,
+                dirty: 0,
+                buf: Vec::new(),
+                seg_bytes,
+                appends: 0,
+                append_bytes: 0,
+                since_snapshot: 0,
+                crash_after: None,
+                dead: false,
+            }),
+            fsyncs: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            report: report.public,
+            flush_lock: Mutex::new(Vec::new()),
+            flush_pending: AtomicBool::new(false),
+            flusher_stop: Arc::new(AtomicBool::new(false)),
+            flusher: Mutex::new(None),
+            flusher_thread: std::sync::OnceLock::new(),
+            cfg,
+        };
+        Ok((
+            wal,
+            Recovered {
+                vfs: recovered.vfs,
+                accounts: recovered.accounts,
+                account_ops: recovered.account_ops,
+                report: report.public,
+            },
+        ))
+    }
+
+    /// Spawn the group-commit flusher thread against `self` (called by
+    /// the owner once the log is in its final `Arc`). A no-op in
+    /// sync-every-op mode, where appends sync inline.
+    ///
+    /// With the flusher running, the append hot path does no file I/O
+    /// at all: it buffers the frame and, at the `sync_ops` threshold,
+    /// unparks this thread, which writes and fsyncs the batch. The
+    /// thread also wakes itself every `sync_ms` so a quiet log still
+    /// drains promptly.
+    pub fn start_flusher(self: &Arc<Self>) {
+        if self.cfg.sync_ops == 0 {
+            return;
+        }
+        let period = Duration::from_millis(self.cfg.sync_ms.max(1));
+        let stop = Arc::clone(&self.flusher_stop);
+        let wal = Arc::clone(self);
+        let handle = std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::park_timeout(period);
+                wal.sync();
+            }
+        });
+        let _ = self.flusher_thread.set(handle.thread().clone());
+        *self.flusher.lock() = Some(handle);
+    }
+
+    /// The replay outcome fixed at open time.
+    pub fn report(&self) -> RecoveryReport {
+        self.report
+    }
+
+    /// Live counters (see [`WalStats`]).
+    pub fn stats(&self) -> WalStats {
+        let inner = self.inner.lock();
+        WalStats {
+            appends: inner.appends,
+            append_bytes: inner.append_bytes,
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            log_bytes: inner.seg_bytes,
+            since_snapshot: inner.since_snapshot,
+            replayed: self.report.replayed,
+            torn_tail: self.report.torn_tail,
+            corrupt_frame: self.report.corrupt_frame,
+            snapshot_loaded: self.report.snapshot_loaded,
+        }
+    }
+
+    /// Records appended since the last snapshot (drives the server's
+    /// auto-snapshot cadence).
+    pub fn since_snapshot(&self) -> u64 {
+        self.inner.lock().since_snapshot
+    }
+
+    /// Testing knob: silently drop every byte written after `budget`
+    /// more bytes reach the file — the write-side shape of a crash,
+    /// including a torn final record when the budget lands mid-frame.
+    /// The crash-point proptest drives this from the seeded fault
+    /// plane.
+    pub fn set_crash_after_bytes(&self, budget: u64) {
+        self.inner.lock().crash_after = Some(budget);
+    }
+
+    /// Append one record; called by the vfs under the mutating shard
+    /// write locks (the WAL mutex is a leaf below them) and by the
+    /// kernel for account records. Assigns the next LSN; honours the
+    /// group-commit policy before returning.
+    pub fn append(&self, rec: WalRecordRef<'_>) {
+        let mut inner = self.inner.lock();
+        if inner.dead {
+            return;
+        }
+        // Frame straight into the pending buffer — the hot path does
+        // no file I/O and no allocation (steady-state); the flusher
+        // (or the inline sync below) writes and fsyncs batches. The
+        // `[len][crc]` header is reserved up front and backfilled once
+        // the payload is encoded in place.
+        let i = &mut *inner;
+        let start = i.buf.len();
+        i.buf.extend_from_slice(&[0u8; 8]);
+        put_vu64(&mut i.buf, i.next_lsn);
+        rec.encode(&mut i.buf);
+        let payload_len = i.buf.len() - start - 8;
+        let crc = crc32(&i.buf[start + 8..]);
+        i.buf[start..start + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+        i.buf[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+        let frame_len = (payload_len + 8) as u64;
+        i.next_lsn += 1;
+        i.dirty += 1;
+        i.seg_bytes += frame_len;
+        i.appends += 1;
+        i.append_bytes += frame_len;
+        i.since_snapshot += 1;
+        if self.cfg.sync_ops == 0 {
+            // Sync-every-op: the record is on disk before the mutation
+            // returns.
+            Self::sync_locked(&mut inner, &self.fsyncs, &self.errors);
+        } else if inner.dirty >= self.cfg.sync_ops {
+            // Group-commit threshold: hand the batch to the flusher
+            // without blocking this (shard-lock-holding) thread, waking
+            // it once per batch. Until a flusher exists, flush inline —
+            // never weaker than the configured policy.
+            match self.flusher_thread.get() {
+                Some(t) => {
+                    drop(inner);
+                    if !self.flush_pending.swap(true, Ordering::Relaxed) {
+                        t.unpark();
+                    }
+                }
+                None => Self::sync_locked(&mut inner, &self.fsyncs, &self.errors),
+            }
+        }
+    }
+
+    fn sync_locked(inner: &mut WalInner, fsyncs: &AtomicU64, errors: &AtomicU64) {
+        if inner.dead {
+            inner.buf.clear();
+            inner.dirty = 0;
+            return;
+        }
+        // Simulated crash: persist only the remaining byte budget and
+        // drop the rest, exactly like power loss mid-write — and never
+        // fsync, the machine is "off".
+        if let Some(budget) = inner.crash_after {
+            let n = (budget as usize).min(inner.buf.len());
+            let (file, buf) = (&mut inner.file, &inner.buf);
+            let _ = file.write_all(&buf[..n]);
+            inner.crash_after = Some(budget - n as u64);
+            inner.buf.clear();
+            inner.dirty = 0;
+            return;
+        }
+        if !inner.buf.is_empty() {
+            let (file, buf) = (&mut inner.file, &inner.buf);
+            if file.write_all(buf).is_err() {
+                inner.dead = true;
+                inner.buf.clear();
+                inner.dirty = 0;
+                errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            inner.buf.clear();
+        }
+        if inner.dirty == 0 {
+            return;
+        }
+        match inner.file.sync_data() {
+            Ok(()) => {
+                inner.dirty = 0;
+                fsyncs.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                inner.dead = true;
+                errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Force an fsync of any unsynced appends (the group-commit
+    /// flusher's tick; also safe to call manually).
+    ///
+    /// Double-buffered: the pending frames are written to the file
+    /// under the append mutex (a cheap buffered syscall), but the
+    /// fsync — the expensive part — runs on a duplicated handle
+    /// *outside* it, so appenders holding vfs shard locks never wait
+    /// on the disk. `flush_lock` keeps concurrent flushers in order.
+    pub fn sync(&self) {
+        let mut batch = self.flush_lock.lock();
+        let (file, covered) = {
+            let mut inner = self.inner.lock();
+            if inner.dead || inner.crash_after.is_some() {
+                Self::sync_locked(&mut inner, &self.fsyncs, &self.errors);
+                return;
+            }
+            if inner.dirty == 0 {
+                return;
+            }
+            // Steal the pending frames by swapping in the (empty)
+            // spare buffer; appends landing from here on belong to the
+            // next batch and may wake us again.
+            std::mem::swap(&mut inner.buf, &mut *batch);
+            self.flush_pending.store(false, Ordering::Relaxed);
+            match inner.file.try_clone() {
+                Ok(f) => (f, inner.dirty),
+                Err(_) => {
+                    // Cannot dup the handle: put the frames back and
+                    // flush inline rather than skip the sync.
+                    std::mem::swap(&mut inner.buf, &mut *batch);
+                    Self::sync_locked(&mut inner, &self.fsyncs, &self.errors);
+                    return;
+                }
+            }
+        };
+        // Write and fsync with no appender-visible lock held. The file
+        // sees writes only under `flush_lock` in this mode, so batches
+        // stay in LSN order.
+        let wrote = if batch.is_empty() { Ok(()) } else { (&file).write_all(&batch) };
+        batch.clear();
+        match wrote.and_then(|()| file.sync_data()) {
+            Ok(()) => {
+                // Only the records this fsync covered become clean;
+                // anything appended meanwhile stays dirty for the next
+                // batch.
+                let mut inner = self.inner.lock();
+                inner.dirty = inner.dirty.saturating_sub(covered);
+                self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.inner.lock().dead = true;
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Rotate to a fresh segment and return the first LSN that will
+    /// land in it — the snapshot watermark. Called by
+    /// [`Vfs::snapshot_cut`] **while all shard read locks are held**,
+    /// so no namespace record can be in flight: every record below the
+    /// watermark is already applied to the state being serialized, and
+    /// every record at or above it will be replayed on top.
+    pub(crate) fn rotate(&self) -> std::io::Result<u64> {
+        // Keep the out-of-band flusher from fsyncing the old handle
+        // while we swap segments underneath it.
+        let _serialize = self.flush_lock.lock();
+        let mut inner = self.inner.lock();
+        Self::sync_locked(&mut inner, &self.fsyncs, &self.errors);
+        let watermark = inner.next_lsn;
+        let file = open_segment(&self.cfg.dir, watermark)?;
+        sync_dir(&self.cfg.dir);
+        inner.seg_bytes = file.metadata()?.len();
+        inner.file = file;
+        inner.seg_start = watermark;
+        Ok(watermark)
+    }
+
+    /// Commit a snapshot: write it to `snapshot.tmp`, fsync, rename
+    /// over `snapshot.bin`, then purge every segment older than the
+    /// watermark (their records are all below it). Called by the kernel
+    /// after [`Vfs::snapshot_cut`] produced the blob and watermark.
+    pub fn install_snapshot(
+        &self,
+        watermark: u64,
+        vfs_blob: &[u8],
+        accounts_blob: &[u8],
+    ) -> std::io::Result<()> {
+        let mut payload = Vec::with_capacity(vfs_blob.len() + accounts_blob.len() + 32);
+        put_u32(&mut payload, 1); // version
+        put_u64(&mut payload, watermark);
+        put_bytes(&mut payload, vfs_blob);
+        put_bytes(&mut payload, accounts_blob);
+        let tmp = self.cfg.dir.join("snapshot.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(SNAP_MAGIC)?;
+            f.write_all(&(payload.len() as u32).to_le_bytes())?;
+            f.write_all(&crc32(&payload).to_le_bytes())?;
+            f.write_all(&payload)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, self.cfg.dir.join(SNAP_NAME))?;
+        sync_dir(&self.cfg.dir);
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().since_snapshot = 0;
+        // Older segments are now redundant; losing one early is safe
+        // (the snapshot covers it), so purge failures are ignored.
+        if let Ok(entries) = fs::read_dir(&self.cfg.dir) {
+            for e in entries.flatten() {
+                if let Some(start) = e.file_name().to_str().and_then(parse_seg_name) {
+                    if start < watermark {
+                        let _ = fs::remove_file(e.path());
+                    }
+                }
+            }
+        }
+        sync_dir(&self.cfg.dir);
+        Ok(())
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        self.flusher_stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.flusher_thread.get() {
+            t.unpark();
+        }
+        if let Some(h) = self.flusher.lock().take() {
+            let _ = h.join();
+        }
+        let mut inner = self.inner.lock();
+        Self::sync_locked(&mut inner, &self.fsyncs, &self.errors);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+struct ReplayOutcome {
+    public: RecoveryReport,
+    next_lsn: u64,
+}
+
+impl std::ops::Deref for ReplayOutcome {
+    type Target = RecoveryReport;
+    fn deref(&self) -> &RecoveryReport {
+        &self.public
+    }
+}
+
+struct DirRecovery {
+    vfs: Option<Vfs>,
+    accounts: Option<Vec<u8>>,
+    account_ops: Vec<AccountOp>,
+    report: ReplayOutcome,
+}
+
+/// A parsed `snapshot.bin`: `(watermark, vfs_blob, accounts_blob)`.
+type SnapshotParts = (u64, Vec<u8>, Vec<u8>);
+
+/// Parse `snapshot.bin`.
+fn read_snapshot(path: &Path) -> std::io::Result<Option<SnapshotParts>> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let bad = || std::io::Error::new(std::io::ErrorKind::InvalidData, "corrupt WAL snapshot");
+    if bytes.len() < 16 || &bytes[..8] != SNAP_MAGIC {
+        return Err(bad());
+    }
+    let len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let payload = bytes.get(16..16 + len).ok_or_else(bad)?;
+    if crc32(payload) != crc {
+        return Err(bad());
+    }
+    let mut c = Cursor::new(payload);
+    let version = c.u32().ok_or_else(bad)?;
+    if version != 1 {
+        return Err(bad());
+    }
+    let watermark = c.u64().ok_or_else(bad)?;
+    let vfs_blob = c.bytes().ok_or_else(bad)?;
+    let accounts_blob = c.bytes().ok_or_else(bad)?;
+    Ok(Some((watermark, vfs_blob, accounts_blob)))
+}
+
+/// Restore everything durable in `dir`: snapshot first, then every log
+/// segment in LSN order, stopping at the first torn or corrupt frame
+/// (which is then truncated away so the on-disk state is a clean
+/// prefix).
+fn replay_dir(dir: &Path) -> std::io::Result<DirRecovery> {
+    let snap = read_snapshot(&dir.join(SNAP_NAME))?;
+    let mut report = RecoveryReport::default();
+    let mut accounts = None;
+    let mut vfs = match snap {
+        Some((watermark, vfs_blob, accounts_blob)) => {
+            let v = Vfs::from_snapshot(&vfs_blob).ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "corrupt WAL snapshot body")
+            })?;
+            report.snapshot_loaded = true;
+            report.restored = true;
+            report.watermark = watermark;
+            accounts = Some(accounts_blob);
+            Some(v)
+        }
+        None => None,
+    };
+    let mut segs: Vec<(u64, PathBuf)> = Vec::new();
+    for e in fs::read_dir(dir)? {
+        let e = e?;
+        if let Some(start) = e.file_name().to_str().and_then(parse_seg_name) {
+            segs.push((start, e.path()));
+        }
+    }
+    segs.sort();
+    let mut account_ops = Vec::new();
+    let mut next_lsn = report.watermark;
+    let mut stopped = false;
+    for (_, path) in &segs {
+        if stopped {
+            // Everything past a bad frame is untrusted; drop the whole
+            // later segment so the next boot sees a clean prefix.
+            let _ = fs::remove_file(path);
+            continue;
+        }
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let is_last_seg = path == &segs.last().expect("non-empty").1;
+        let mut pos = if bytes.len() >= 8 && &bytes[..8] == SEG_MAGIC {
+            8
+        } else {
+            // A segment without its magic never completed its first
+            // write; torn at byte 0 (corrupt when later segments exist).
+            if is_last_seg {
+                report.torn_tail = true;
+            } else {
+                report.corrupt_frame = true;
+            }
+            truncate_file(path, 0)?;
+            stopped = true;
+            continue;
+        };
+        while pos < bytes.len() {
+            let frame_end = match check_frame(&bytes, pos) {
+                FrameCheck::Ok(end) => end,
+                FrameCheck::Torn => {
+                    // An incomplete frame running to EOF: the normal
+                    // crash shape in the final segment. The same shape
+                    // inside a non-final segment means records were
+                    // lost before later ones were written — corruption.
+                    if is_last_seg {
+                        report.torn_tail = true;
+                    } else {
+                        report.corrupt_frame = true;
+                    }
+                    truncate_file(path, pos as u64)?;
+                    stopped = true;
+                    break;
+                }
+                FrameCheck::Corrupt => {
+                    report.corrupt_frame = true;
+                    truncate_file(path, pos as u64)?;
+                    stopped = true;
+                    break;
+                }
+            };
+            let payload = &bytes[pos + 8..frame_end];
+            let mut c = Cursor::new(payload);
+            let (lsn, rec) = match c.vu64().and_then(|lsn| {
+                WalRecord::decode(&payload[c.consumed()..]).map(|r| (lsn, r))
+            }) {
+                Some(x) => x,
+                None => {
+                    report.corrupt_frame = true;
+                    truncate_file(path, pos as u64)?;
+                    stopped = true;
+                    break;
+                }
+            };
+            pos = frame_end;
+            if lsn < report.watermark {
+                // Pre-watermark leftovers (crash between rotation and
+                // purge); the snapshot already covers them.
+                continue;
+            }
+            let v = vfs.get_or_insert_with(Vfs::new);
+            match rec {
+                WalRecord::AccountAdd { line } => account_ops.push(AccountOp::Add(line)),
+                WalRecord::AccountRemove { name } => account_ops.push(AccountOp::Remove(name)),
+                other => v.apply_record(&other),
+            }
+            report.replayed += 1;
+            report.restored = true;
+            next_lsn = lsn + 1;
+        }
+    }
+    if let Some(v) = &vfs {
+        v.finish_recovery();
+    }
+    Ok(DirRecovery {
+        vfs: if report.restored { vfs } else { None },
+        accounts,
+        account_ops,
+        report: ReplayOutcome {
+            public: report,
+            next_lsn,
+        },
+    })
+}
+
+enum FrameCheck {
+    /// A whole valid frame starts at `pos`; its end offset.
+    Ok(usize),
+    /// The frame is cut short by EOF (header or payload incomplete) —
+    /// the shape a power cut mid-write leaves behind.
+    Torn,
+    /// The frame is fully present but fails its CRC or claims an
+    /// implausible length: the bytes were durable and are now wrong.
+    Corrupt,
+}
+
+fn check_frame(bytes: &[u8], pos: usize) -> FrameCheck {
+    let Some(header) = bytes.get(pos..pos + 8) else {
+        return FrameCheck::Torn;
+    };
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+    // Smallest legal payload: 1-byte LSN varint + tag + a 1-byte field.
+    if !(3..=MAX_FRAME).contains(&len) {
+        return FrameCheck::Corrupt;
+    }
+    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let Some(payload) = bytes.get(pos + 8..pos + 8 + len as usize) else {
+        return FrameCheck::Torn;
+    };
+    if crc32(payload) == crc {
+        FrameCheck::Ok(pos + 8 + len as usize)
+    } else {
+        FrameCheck::Corrupt
+    }
+}
+
+fn truncate_file(path: &Path, len: u64) -> std::io::Result<()> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)?;
+    f.sync_data()?;
+    // Truncating to (or before) the magic leaves a stub that would be
+    // re-reported as torn forever; drop empty segments entirely.
+    if len <= SEG_MAGIC.len() as u64 {
+        drop(f);
+        let _ = fs::remove_file(path);
+    } else if let Some(parent) = path.parent() {
+        sync_dir(parent);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cred, Vfs};
+    use std::sync::atomic::AtomicU32;
+
+    const ROOT: Cred = Cred { uid: 0, gid: 0 };
+
+    /// A fresh, empty scratch directory unique to this test run.
+    fn tmpdir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "idbox-wal-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Open a sync-every-op WAL in `dir` and attach it to a fresh Vfs.
+    fn fresh(dir: &Path) -> (Vfs, Arc<Wal>) {
+        let (wal, rec) = Wal::open(WalConfig::new(dir).sync_every_op()).unwrap();
+        assert!(rec.vfs.is_none(), "fresh dir must have nothing to restore");
+        let wal = Arc::new(wal);
+        let mut vfs = Vfs::new();
+        vfs.set_wal(Some(Arc::clone(&wal)));
+        (vfs, wal)
+    }
+
+    /// Reopen `dir` and return the recovered state.
+    fn reopen(dir: &Path) -> Recovered {
+        let (_wal, rec) = Wal::open(WalConfig::new(dir)).unwrap();
+        rec
+    }
+
+    #[test]
+    fn crc32_known_answer() {
+        // CRC-32C check value, plus odd lengths that exercise the
+        // slicing-by-8 remainder path and the hardware/software split.
+        assert_eq!(crc32(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32(b""), 0);
+        let bytewise = |data: &[u8]| {
+            let mut c = !0u32;
+            for &b in data {
+                let mut x = (c ^ b as u32) & 0xFF;
+                for _ in 0..8 {
+                    x = if x & 1 != 0 { 0x82F6_3B78 ^ (x >> 1) } else { x >> 1 };
+                }
+                c = x ^ (c >> 8);
+            }
+            !c
+        };
+        for len in [1usize, 7, 8, 9, 63, 64, 65, 255] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            assert_eq!(crc32(&data), bytewise(&data), "dispatch, len {len}");
+            assert_eq!(crc32_sw(&data), bytewise(&data), "software, len {len}");
+        }
+    }
+
+    /// The path of the only log segment in `dir` (asserts exactly one).
+    fn only_segment(dir: &Path) -> PathBuf {
+        let segs: Vec<PathBuf> = fs::read_dir(dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_str().is_some_and(|n| n.starts_with("wal-")))
+            .map(|e| e.path())
+            .collect();
+        assert_eq!(segs.len(), 1, "expected one segment, got {segs:?}");
+        segs.into_iter().next().unwrap()
+    }
+
+    /// Apply a little bit of everything and record the fingerprint after
+    /// every step (index 0 = untouched root).
+    fn scripted_ops(vfs: &Vfs) -> Vec<String> {
+        let mut fps = vec![vfs.namespace_fingerprint()];
+        let mut step = |v: &Vfs| fps.push(v.namespace_fingerprint());
+        vfs.mkdir(vfs.root(), "/home", 0o755, &ROOT).unwrap();
+        step(vfs);
+        vfs.mkdir(vfs.root(), "/home/fred", 0o700, &ROOT).unwrap();
+        step(vfs);
+        let f = vfs.create(vfs.root(), "/home/fred/data", 0o644, &ROOT).unwrap();
+        step(vfs);
+        vfs.write_at(f, 0, b"hello durable world").unwrap();
+        step(vfs);
+        vfs.chown(vfs.root(), "/home/fred", 1000, 1000, &ROOT).unwrap();
+        step(vfs);
+        vfs.chmod(vfs.root(), "/home/fred/data", 0o600, &ROOT).unwrap();
+        step(vfs);
+        vfs.symlink(vfs.root(), "/home/fred/data", "/home/fred/alias", &ROOT)
+            .unwrap();
+        step(vfs);
+        vfs.link(vfs.root(), "/home/fred/data", "/home/fred/hard", &ROOT)
+            .unwrap();
+        step(vfs);
+        vfs.rename(vfs.root(), "/home/fred/data", "/home/fred/data2", &ROOT)
+            .unwrap();
+        step(vfs);
+        vfs.truncate(f, 5).unwrap();
+        step(vfs);
+        vfs.unlink(vfs.root(), "/home/fred/hard", &ROOT).unwrap();
+        step(vfs);
+        vfs.write_file(vfs.root(), "/home/fred/.__acl", b"globus:/O=U/CN=Fred rwl\n", &ROOT)
+            .unwrap();
+        step(vfs);
+        fps
+    }
+
+    #[test]
+    fn record_codec_roundtrip() {
+        let records = vec![
+            WalRecord::Create {
+                dir: 1,
+                name: "f".into(),
+                ino: 2,
+                mode: 0o644,
+                uid: 10,
+                gid: 20,
+                now: 7,
+            },
+            WalRecord::Mkdir {
+                dir: 1,
+                name: "d".into(),
+                ino: 3,
+                mode: 0o755,
+                uid: 0,
+                gid: 0,
+                now: 8,
+            },
+            WalRecord::Symlink {
+                dir: 3,
+                name: "s".into(),
+                ino: 4,
+                target: "/elsewhere".into(),
+                uid: 1,
+                gid: 2,
+                now: 9,
+            },
+            WalRecord::Link {
+                dir: 1,
+                name: "h".into(),
+                target: 2,
+                now: 10,
+            },
+            WalRecord::Unlink {
+                dir: 1,
+                name: "h".into(),
+                target: 2,
+                now: 11,
+            },
+            WalRecord::Rmdir {
+                dir: 1,
+                name: "d".into(),
+                target: 3,
+                now: 12,
+            },
+            WalRecord::Rename {
+                odir: 1,
+                oname: "a".into(),
+                ndir: 3,
+                nname: "b".into(),
+                src: 2,
+                replaced: 5,
+                replaced_is_dir: false,
+                src_is_dir: true,
+                now: 13,
+            },
+            WalRecord::Write {
+                ino: 2,
+                off: 4096,
+                data: vec![0, 1, 2, 255],
+                now: 14,
+            },
+            WalRecord::Truncate {
+                ino: 2,
+                len: 12,
+                now: 15,
+            },
+            WalRecord::Chmod {
+                ino: 2,
+                mode: 0o4755,
+                now: 16,
+            },
+            WalRecord::Chown {
+                ino: 2,
+                uid: 1000,
+                gid: 1000,
+                now: 17,
+            },
+            WalRecord::AccountAdd {
+                line: "fred:x:1000:1000::/home/fred:/bin/sh".into(),
+            },
+            WalRecord::AccountRemove {
+                name: "fred".into(),
+            },
+        ];
+        for rec in records {
+            let mut buf = Vec::new();
+            rec.encode(&mut buf);
+            assert_eq!(WalRecord::decode(&buf).as_ref(), Some(&rec), "{rec:?}");
+        }
+        // Truncated payloads and unknown tags must decode to None, never panic.
+        let mut buf = Vec::new();
+        WalRecord::Write {
+            ino: 1,
+            off: 0,
+            data: vec![7; 32],
+            now: 1,
+        }
+        .encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(WalRecord::decode(&buf[..cut]), None, "cut at {cut}");
+        }
+        assert_eq!(WalRecord::decode(&[200]), None);
+    }
+
+    #[test]
+    fn clean_shutdown_replays_identically() {
+        let dir = tmpdir("clean");
+        let (vfs, _wal) = fresh(&dir);
+        let fps = scripted_ops(&vfs);
+        let live = vfs.namespace_fingerprint();
+        assert_eq!(&live, fps.last().unwrap());
+        drop(vfs);
+        let rec = reopen(&dir);
+        assert!(rec.report.restored && !rec.report.torn_tail && !rec.report.corrupt_frame);
+        assert_eq!(rec.vfs.unwrap().namespace_fingerprint(), live);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_record_recovers_the_prefix() {
+        let dir = tmpdir("torn");
+        let (vfs, _wal) = fresh(&dir);
+        scripted_ops(&vfs);
+        let before_tail = vfs.namespace_fingerprint();
+        // One final single-record op; the cut below tears exactly it.
+        vfs.mkdir(vfs.root(), "/tail", 0o755, &ROOT).unwrap();
+        drop(vfs);
+        // Cut the final frame short by a few bytes: the classic torn write.
+        let seg = only_segment(&dir);
+        let len = fs::metadata(&seg).unwrap().len();
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        let rec = reopen(&dir);
+        assert!(rec.report.torn_tail, "a cut tail must be reported as torn");
+        assert!(!rec.report.corrupt_frame);
+        let recovered = rec.vfs.unwrap().namespace_fingerprint();
+        assert_eq!(
+            recovered, before_tail,
+            "losing the last record must recover exactly the previous state"
+        );
+        // The truncation is persisted: a second reopen sees a clean log.
+        let rec2 = reopen(&dir);
+        assert!(!rec2.report.torn_tail, "replay must have trimmed the torn tail");
+        assert_eq!(rec2.vfs.unwrap().namespace_fingerprint(), recovered);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crc_mismatch_mid_log_stops_at_the_prefix() {
+        let dir = tmpdir("crc");
+        let (vfs, _wal) = fresh(&dir);
+        let fps = scripted_ops(&vfs);
+        drop(vfs);
+        // Walk the frames and flip one payload byte inside the 4th record.
+        let seg = only_segment(&dir);
+        let bytes = fs::read(&seg).unwrap();
+        let mut pos = SEG_MAGIC.len();
+        for _ in 0..3 {
+            match check_frame(&bytes, pos) {
+                FrameCheck::Ok(end) => pos = end,
+                _ => panic!("expected a valid frame at {pos}"),
+            }
+        }
+        let mut mutated = bytes.clone();
+        mutated[pos + 12] ^= 0xFF; // inside the 4th frame's payload
+        fs::write(&seg, &mutated).unwrap();
+        let rec = reopen(&dir);
+        assert!(rec.report.corrupt_frame, "a CRC flip must be reported as corruption");
+        assert_eq!(rec.report.replayed, 3);
+        let recovered = rec.vfs.unwrap().namespace_fingerprint();
+        assert_eq!(recovered, fps[3], "replay must stop exactly before the bad frame");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_only_boot() {
+        let dir = tmpdir("snaponly");
+        let (vfs, wal) = fresh(&dir);
+        let fps = scripted_ops(&vfs);
+        let (blob, watermark) = vfs.snapshot_cut().unwrap();
+        wal.install_snapshot(watermark, &blob, b"accounts-opaque").unwrap();
+        let live = vfs.namespace_fingerprint();
+        assert_eq!(&live, fps.last().unwrap());
+        drop(vfs);
+        drop(wal);
+        let rec = reopen(&dir);
+        assert!(rec.report.snapshot_loaded);
+        assert_eq!(rec.report.replayed, 0, "no suffix was written after the snapshot");
+        assert_eq!(rec.report.watermark, watermark);
+        assert_eq!(rec.accounts.as_deref(), Some(&b"accounts-opaque"[..]));
+        assert_eq!(rec.vfs.unwrap().namespace_fingerprint(), live);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_plus_suffix_replay() {
+        let dir = tmpdir("snapsuffix");
+        let (vfs, wal) = fresh(&dir);
+        scripted_ops(&vfs);
+        let (blob, watermark) = vfs.snapshot_cut().unwrap();
+        wal.install_snapshot(watermark, &blob, b"").unwrap();
+        // Mutations after the snapshot land in the post-watermark segment.
+        vfs.mkdir(vfs.root(), "/post", 0o755, &ROOT).unwrap();
+        vfs.write_file(vfs.root(), "/post/extra", b"suffix bytes", &ROOT)
+            .unwrap();
+        vfs.unlink(vfs.root(), "/home/fred/alias", &ROOT).unwrap();
+        let live = vfs.namespace_fingerprint();
+        drop(vfs);
+        drop(wal);
+        let rec = reopen(&dir);
+        assert!(rec.report.snapshot_loaded);
+        assert!(rec.report.replayed > 0, "the suffix must replay on top");
+        assert_eq!(rec.vfs.unwrap().namespace_fingerprint(), live);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_during_concurrent_mutation() {
+        let dir = tmpdir("snapconc");
+        let (wal, rec) = Wal::open(WalConfig {
+            dir: dir.clone(),
+            sync_ops: 8,
+            sync_ms: 1,
+        })
+        .unwrap();
+        assert!(rec.vfs.is_none());
+        let wal = Arc::new(wal);
+        wal.start_flusher();
+        let mut vfs = Vfs::new();
+        vfs.set_wal(Some(Arc::clone(&wal)));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let vfs = &vfs;
+                s.spawn(move || {
+                    let home = format!("/w{t}");
+                    vfs.mkdir(vfs.root(), &home, 0o755, &ROOT).unwrap();
+                    for i in 0..40 {
+                        let p = format!("{home}/f{i}");
+                        vfs.write_file(vfs.root(), &p, format!("{t}:{i}").as_bytes(), &ROOT)
+                            .unwrap();
+                        if i % 3 == 0 {
+                            vfs.unlink(vfs.root(), &p, &ROOT).unwrap();
+                        }
+                    }
+                });
+            }
+            // Snapshot repeatedly while the writers run.
+            let vfs = &vfs;
+            let wal2 = Arc::clone(&wal);
+            s.spawn(move || {
+                for _ in 0..5 {
+                    let (blob, watermark) = vfs.snapshot_cut().unwrap();
+                    wal2.install_snapshot(watermark, &blob, b"").unwrap();
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        });
+        let live = vfs.namespace_fingerprint();
+        assert!(wal.stats().snapshots >= 5);
+        drop(vfs);
+        drop(wal);
+        let rec = reopen(&dir);
+        assert!(rec.report.snapshot_loaded);
+        assert_eq!(
+            rec.vfs.unwrap().namespace_fingerprint(),
+            live,
+            "snapshots cut mid-storm must still compose with the suffix"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_amortizes_fsyncs() {
+        let dir = tmpdir("group");
+        let (wal, _rec) = Wal::open(WalConfig {
+            dir: dir.clone(),
+            sync_ops: 64,
+            sync_ms: 1000, // effectively: only the sync_ops threshold fires
+        })
+        .unwrap();
+        let wal = Arc::new(wal);
+        let mut vfs = Vfs::new();
+        vfs.set_wal(Some(Arc::clone(&wal)));
+        for i in 0..256 {
+            vfs.create(vfs.root(), &format!("/f{i}"), 0o644, &ROOT).unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.appends, 256);
+        assert!(
+            stats.fsyncs <= stats.appends / 32,
+            "group commit must amortize: {} fsyncs for {} appends",
+            stats.fsyncs,
+            stats.appends
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulated_crash_budget_tears_the_tail() {
+        let dir = tmpdir("budget");
+        let (vfs, wal) = fresh(&dir);
+        vfs.mkdir(vfs.root(), "/a", 0o755, &ROOT).unwrap();
+        let before = vfs.namespace_fingerprint();
+        // Allow 5 more bytes to reach the disk, then "lose power".
+        wal.set_crash_after_bytes(5);
+        vfs.mkdir(vfs.root(), "/b", 0o755, &ROOT).unwrap();
+        vfs.mkdir(vfs.root(), "/c", 0o755, &ROOT).unwrap();
+        drop(vfs);
+        drop(wal);
+        let rec = reopen(&dir);
+        assert!(rec.report.torn_tail);
+        assert_eq!(
+            rec.vfs.unwrap().namespace_fingerprint(),
+            before,
+            "a torn partial frame must roll back to the last durable op"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_directory_restores_nothing() {
+        let dir = tmpdir("fresh");
+        let rec = reopen(&dir);
+        assert!(!rec.report.restored);
+        assert!(rec.vfs.is_none());
+        assert!(rec.accounts.is_none());
+        assert!(rec.account_ops.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn account_records_replay_in_order() {
+        let dir = tmpdir("accounts");
+        let (wal, _) = Wal::open(WalConfig::new(&dir).sync_every_op()).unwrap();
+        wal.append(WalRecordRef::AccountAdd {
+            line: "fred:x:1000:1000::/home/fred:/bin/sh",
+        });
+        wal.append(WalRecordRef::AccountAdd {
+            line: "barney:x:1001:1001::/home/barney:/bin/sh",
+        });
+        wal.append(WalRecordRef::AccountRemove {
+            name: "fred",
+        });
+        drop(wal);
+        let rec = reopen(&dir);
+        assert_eq!(
+            rec.account_ops,
+            vec![
+                AccountOp::Add("fred:x:1000:1000::/home/fred:/bin/sh".into()),
+                AccountOp::Add("barney:x:1001:1001::/home/barney:/bin/sh".into()),
+                AccountOp::Remove("fred".into()),
+            ]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

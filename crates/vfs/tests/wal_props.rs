@@ -1,0 +1,334 @@
+//! Crash-point recovery properties for the write-ahead log.
+//!
+//! The durability contract (DESIGN.md, "Durability model"): however
+//! the log dies — torn final record, a crash budget that silently
+//! swallows writes, a truncation at *any* byte offset — replay must
+//! yield a namespace equivalent to some prefix of the successful-op
+//! stream. Never a mixed state, never an op applied out of order, and
+//! never a fail-open ACL: a recovered `.__acl` file must hold exactly
+//! the bytes it held at the matched prefix, because a half-recovered
+//! ACL that grants more than any real past state did would turn a
+//! crash into a privilege escalation.
+//!
+//! Equivalence is checked with `Vfs::namespace_fingerprint()`, which
+//! folds every path, inode number, mode, owner, link count, timestamp,
+//! and file CRC into one deterministic string. Each generated op emits
+//! at most one WAL record, so the fingerprint after each op enumerates
+//! every legal recovery target.
+//!
+//! Uses the `idbox-testkit` runner, so `IDBOX_PROP_SEED` (pinned in
+//! `ci.sh`) reproduces a failing case exactly.
+
+use idbox_vfs::{Cred, Vfs, Wal, WalConfig};
+use proptest::{run_cases, PropError, ProptestConfig, TestRng};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+const ROOT: Cred = Cred { uid: 0, gid: 0 };
+const NDIRS: u64 = 3;
+const NFILES: u64 = 5;
+const OPS_PER_CASE: u64 = 28;
+
+static SEQ: AtomicU32 = AtomicU32::new(0);
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "idbox-walprop-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn dir_path(i: u64) -> String {
+    format!("/d{i}")
+}
+
+fn file_path(rng: &mut TestRng) -> String {
+    let f = rng.below(NFILES);
+    if rng.bool() {
+        format!("/f{f}")
+    } else {
+        format!("/d{}/f{f}", rng.below(NDIRS))
+    }
+}
+
+/// Apply one random namespace op. Every arm issues at most one WAL
+/// record when it succeeds (that is why `write_file`, which logs
+/// create + write, is not drawn here); failures log nothing. The
+/// `.__acl` arm stands in for idbox-core ACL storage: those are the
+/// files whose recovered bytes the fail-open check pins.
+fn random_op(vfs: &Vfs, rng: &mut TestRng) {
+    let root = vfs.root();
+    match rng.below(12) {
+        0 => {
+            let _ = vfs.mkdir(root, &dir_path(rng.below(NDIRS)), 0o755, &ROOT);
+        }
+        1 => {
+            let _ = vfs.create(root, &file_path(rng), 0o644, &ROOT);
+        }
+        2 => {
+            if let Ok(ino) = vfs.resolve(root, &file_path(rng), true, &ROOT) {
+                let byte = rng.below(256) as u8;
+                let n = rng.in_range(1, 48) as usize;
+                let _ = vfs.write_at(ino, rng.below(64), &vec![byte; n]);
+            }
+        }
+        3 => {
+            if let Ok(ino) = vfs.resolve(root, &file_path(rng), true, &ROOT) {
+                let _ = vfs.truncate(ino, rng.below(40));
+            }
+        }
+        4 => {
+            let _ = vfs.chmod(root, &file_path(rng), rng.below(0o7777) as u16, &ROOT);
+        }
+        5 => {
+            let id = rng.in_range(1000, 1004) as u32;
+            let _ = vfs.chown(root, &file_path(rng), id, id, &ROOT);
+        }
+        6 => {
+            let target = file_path(rng);
+            let _ = vfs.symlink(root, &target, &format!("/ln{}", rng.below(NFILES)), &ROOT);
+        }
+        7 => {
+            let _ = vfs.link(root, &file_path(rng), &file_path(rng), &ROOT);
+        }
+        8 => {
+            let _ = vfs.unlink(root, &file_path(rng), &ROOT);
+        }
+        9 => {
+            let _ = vfs.rmdir(root, &dir_path(rng.below(NDIRS)), &ROOT);
+        }
+        10 => {
+            let _ = vfs.rename(root, &file_path(rng), &file_path(rng), &ROOT);
+        }
+        _ => {
+            // ACL mutation, one record per draw so every intermediate
+            // ACL state is a legal prefix state: the first draw creates
+            // the directory's empty `.__acl`, later draws overwrite its
+            // head bytes in place.
+            let dir = dir_path(rng.below(NDIRS));
+            let acl = format!("{dir}/.__acl");
+            let grant = format!("globus:/CN=User{} rwl\n", rng.below(4));
+            match vfs.resolve(root, &acl, true, &ROOT) {
+                Ok(ino) => {
+                    let _ = vfs.write_at(ino, 0, grant.as_bytes());
+                }
+                Err(_) => {
+                    let _ = vfs.create(root, &acl, 0o600, &ROOT);
+                }
+            }
+        }
+    }
+}
+
+/// A sync-every-op WAL in `dir` with a fresh namespace attached.
+fn fresh(dir: &Path) -> (Arc<Wal>, Vfs) {
+    let (wal, recovered) = Wal::open(WalConfig::new(dir).sync_every_op()).unwrap();
+    assert!(recovered.vfs.is_none(), "fresh dir must hold no state");
+    let wal = Arc::new(wal);
+    let mut vfs = Vfs::new();
+    vfs.set_wal(Some(Arc::clone(&wal)));
+    (wal, vfs)
+}
+
+/// Replay whatever is in `dir` and fingerprint the result (a missing
+/// namespace replays as the empty root-only namespace).
+fn recover_fingerprint(dir: &Path) -> String {
+    let (_wal, recovered) = Wal::open(WalConfig::new(dir)).unwrap();
+    recovered.vfs.unwrap_or_default().namespace_fingerprint()
+}
+
+/// The fail-open check: every `.__acl` line in the recovered
+/// fingerprint (path, inode, mode, owner, and — decisively — content
+/// CRC) must appear verbatim in the matched prefix state. A recovered
+/// ACL can only ever be an ACL some real past state had.
+fn assert_no_fail_open(recovered: &str, matched_prefix: &str) -> Result<(), PropError> {
+    for line in recovered.lines().filter(|l| l.contains(".__acl")) {
+        if !matched_prefix.lines().any(|p| p == line) {
+            return Err(PropError::fail(format!(
+                "fail-open ACL state after crash recovery:\n  recovered: {line}\n\
+                 not present in the matched prefix"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Run `OPS_PER_CASE` random ops against a WAL'd namespace, returning
+/// the fingerprint after every op (index 0 = the empty namespace). Ops
+/// that fail add a duplicate entry, which is harmless: the set still
+/// enumerates exactly the states some record prefix reaches.
+fn run_script(vfs: &Vfs, rng: &mut TestRng) -> Vec<String> {
+    let mut states = vec![vfs.namespace_fingerprint()];
+    for _ in 0..OPS_PER_CASE {
+        random_op(vfs, rng);
+        states.push(vfs.namespace_fingerprint());
+    }
+    states
+}
+
+/// The log segments in `dir`, in LSN order.
+fn segments(dir: &Path) -> Vec<PathBuf> {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        })
+        .collect();
+    segs.sort();
+    segs
+}
+
+/// Copy the durable state into a fresh directory, chopping the last
+/// log segment at `cut` bytes — a crash frozen at an arbitrary moment
+/// of an in-flight write.
+fn copy_with_cut(src: &Path, cut_fraction: u64) -> PathBuf {
+    let dst = tmpdir("cut");
+    for entry in std::fs::read_dir(src).unwrap() {
+        let p = entry.unwrap().path();
+        std::fs::copy(&p, dst.join(p.file_name().unwrap())).unwrap();
+    }
+    let segs = segments(&dst);
+    let last = segs.last().expect("a log segment always exists");
+    let len = std::fs::metadata(last).unwrap().len();
+    let cut = (len * cut_fraction.min(1000)) / 1000;
+    let f = std::fs::OpenOptions::new().write(true).open(last).unwrap();
+    f.set_len(cut).unwrap();
+    dst
+}
+
+#[test]
+fn truncation_at_any_byte_recovers_a_prefix() {
+    run_cases(
+        ProptestConfig::with_cases(24),
+        "wal_props::truncation_at_any_byte",
+        |rng| {
+            let dir = tmpdir("trunc");
+            let (wal, vfs) = fresh(&dir);
+            let states = run_script(&vfs, rng);
+            wal.sync();
+            drop(vfs);
+            drop(wal);
+            // Eight independent crash points across the log, from
+            // "nothing survived" through "everything survived".
+            for _ in 0..8 {
+                let cut_dir = copy_with_cut(&dir, rng.below(1001));
+                let got = recover_fingerprint(&cut_dir);
+                let Some(matched) = states.iter().find(|s| **s == got) else {
+                    std::fs::remove_dir_all(&cut_dir).ok();
+                    std::fs::remove_dir_all(&dir).ok();
+                    return Err(PropError::fail(format!(
+                        "recovered namespace matches no prefix state:\n{got}"
+                    )));
+                };
+                assert_no_fail_open(&got, matched)?;
+                std::fs::remove_dir_all(&cut_dir).ok();
+            }
+            std::fs::remove_dir_all(&dir).ok();
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn write_side_crash_budget_recovers_a_prefix() {
+    run_cases(
+        ProptestConfig::with_cases(24),
+        "wal_props::write_side_crash_budget",
+        |rng| {
+            // Reference run: the op stream with no crash, enumerating
+            // the legal prefix states. Re-seeding a second generator
+            // from the same draw replays the identical stream below.
+            let budget = rng.below(4096);
+            let seed = rng.next_u64();
+            let ref_dir = tmpdir("ref");
+            let (ref_wal, ref_vfs) = fresh(&ref_dir);
+            let mut rng_a = TestRng::new(seed);
+            let states = run_script(&ref_vfs, &mut rng_a);
+            drop(ref_vfs);
+            drop(ref_wal);
+            // Crashing run: identical ops, but the log silently stops
+            // persisting after `budget` bytes — the write-side shape of
+            // a power cut, torn final record included.
+            let crash_dir = tmpdir("crash");
+            let (crash_wal, crash_vfs) = fresh(&crash_dir);
+            crash_wal.set_crash_after_bytes(budget);
+            let mut rng_b = TestRng::new(seed);
+            let _ = run_script(&crash_vfs, &mut rng_b);
+            drop(crash_vfs);
+            drop(crash_wal);
+            let got = recover_fingerprint(&crash_dir);
+            let found = states.iter().find(|s| **s == got);
+            let outcome = match found {
+                Some(matched) => assert_no_fail_open(&got, matched),
+                None => Err(PropError::fail(format!(
+                    "post-crash namespace matches no prefix state \
+                     (budget {budget}):\n{got}"
+                ))),
+            };
+            std::fs::remove_dir_all(&ref_dir).ok();
+            std::fs::remove_dir_all(&crash_dir).ok();
+            outcome
+        },
+    );
+}
+
+#[test]
+fn snapshot_mid_stream_keeps_prefix_equivalence() {
+    run_cases(
+        ProptestConfig::with_cases(16),
+        "wal_props::snapshot_mid_stream",
+        |rng| {
+            let dir = tmpdir("snap");
+            let (wal, vfs) = fresh(&dir);
+            let cut_at = rng.in_range(4, OPS_PER_CASE);
+            let mut states = vec![vfs.namespace_fingerprint()];
+            let mut snap_index = 0usize;
+            for i in 0..OPS_PER_CASE {
+                random_op(&vfs, rng);
+                states.push(vfs.namespace_fingerprint());
+                if i == cut_at {
+                    // Snapshot + truncate mid-stream, like the server's
+                    // auto-snapshot thread (empty account blob: this
+                    // test lives below the kernel).
+                    let (blob, watermark) = vfs.snapshot_cut().unwrap();
+                    wal.install_snapshot(watermark, &blob, &[]).unwrap();
+                    snap_index = states.len() - 1;
+                }
+            }
+            wal.sync();
+            drop(vfs);
+            drop(wal);
+            // A crash after the snapshot recovers the snapshot state or
+            // later — never anything older (the truncated history) and
+            // never a non-prefix state.
+            for _ in 0..6 {
+                let cut_dir = copy_with_cut(&dir, rng.below(1001));
+                let got = recover_fingerprint(&cut_dir);
+                // The snapshot truncated everything older, so the
+                // recovered state must be one the namespace reached at
+                // or after the snapshot point.
+                let Some(matched) = states[snap_index..].iter().find(|s| **s == got) else {
+                    std::fs::remove_dir_all(&cut_dir).ok();
+                    std::fs::remove_dir_all(&dir).ok();
+                    return Err(PropError::fail(format!(
+                        "recovered state is pre-snapshot or matches no \
+                         prefix (snapshot at index {snap_index}):\n{got}"
+                    )));
+                };
+                assert_no_fail_open(&got, matched)?;
+                std::fs::remove_dir_all(&cut_dir).ok();
+            }
+            std::fs::remove_dir_all(&dir).ok();
+            Ok(())
+        },
+    );
+}
